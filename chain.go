@@ -1,0 +1,237 @@
+package highway
+
+import (
+	"fmt"
+	"time"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
+	"ovshighway/internal/orchestrator"
+	"ovshighway/internal/vnf"
+)
+
+// ChainOptions tunes chain deployments.
+type ChainOptions struct {
+	// Flows is the number of distinct 5-tuples generated (default 1).
+	Flows int
+	// Timestamp stamps generated frames for one-way latency measurement.
+	Timestamp bool
+}
+
+// Chain is a deployed benchmark chain with measurement hooks.
+type Chain struct {
+	dep  *Deployment
+	node *Node
+	n    int
+	ends []*vnf.SrcSink   // memory-only chains (Figure 3(a))
+	gens []*nic.Generator // NIC chains (Figure 3(b))
+	wsnk []*nic.WireSink
+	nics []*nic.NIC
+}
+
+// DeployBidirChain deploys the paper's Figure 3(a) workload: n forwarder VMs
+// in a line with a combined source/sink VM at each end, bidirectional 64B
+// traffic. The number of VMs in the paper's x-axis sense is n+2.
+func (node *Node) DeployBidirChain(n int, opts ChainOptions) (*Chain, error) {
+	g := graph.BidirChain(n)
+	// Inject per-end traffic args (mirror the 5-tuple for the reverse
+	// direction so both ends generate sane, distinct flows).
+	for i := range g.VNFs {
+		switch g.VNFs[i].Name {
+		case "end0":
+			g.VNFs[i].Args = orchestrator.SrcSinkArgs{
+				Spec: orchestrator.DefaultTrafficSpec(), Flows: opts.Flows, Timestamp: opts.Timestamp,
+			}
+		case "end1":
+			spec := orchestrator.DefaultTrafficSpec()
+			spec.SrcIP, spec.DstIP = spec.DstIP, spec.SrcIP
+			spec.SrcMAC, spec.DstMAC = spec.DstMAC, spec.SrcMAC
+			spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
+			g.VNFs[i].Args = orchestrator.SrcSinkArgs{
+				Spec: spec, Flows: opts.Flows, Timestamp: opts.Timestamp,
+			}
+		}
+	}
+	d, err := node.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{dep: d, node: node, n: n}
+	c.ends = []*vnf.SrcSink{
+		d.inner.SrcSink("end0"),
+		d.inner.SrcSink("end1"),
+	}
+	return c, nil
+}
+
+// DeployNICChain deploys the paper's Figure 3(b) workload: n forwarder VMs
+// between two simulated 10G NICs, with external generators and sinks on
+// both NICs (bidirectional 64B traffic through the node).
+func (node *Node) DeployNICChain(n int, opts ChainOptions) (*Chain, error) {
+	flows := opts.Flows
+	if flows == 0 {
+		flows = 1
+	}
+	eth0, err := node.AddNIC(fmt.Sprintf("eth0-n%d", n), 0)
+	if err != nil {
+		return nil, err
+	}
+	eth1, err := node.AddNIC(fmt.Sprintf("eth1-n%d", n), 0)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Chain(n, eth0.PortName(), eth1.PortName())
+	d, err := node.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{dep: d, node: node, n: n, nics: []*nic.NIC{eth0, eth1}}
+
+	fwd := orchestrator.DefaultTrafficSpec()
+	rev := fwd
+	rev.SrcIP, rev.DstIP = fwd.DstIP, fwd.SrcIP
+	rev.SrcPort, rev.DstPort = fwd.DstPort, fwd.SrcPort
+
+	g0, err := nic.NewGenerator(eth0, node.inner.Pool, fwd, flows)
+	if err != nil {
+		d.Stop()
+		return nil, err
+	}
+	g1, err := nic.NewGenerator(eth1, node.inner.Pool, rev, flows)
+	if err != nil {
+		g0.Stop()
+		d.Stop()
+		return nil, err
+	}
+	c.gens = []*nic.Generator{g0, g1}
+	c.wsnk = []*nic.WireSink{nic.NewWireSink(eth0), nic.NewWireSink(eth1)}
+	return c, nil
+}
+
+// Stop halts traffic and tears the chain down, including any NICs the chain
+// created.
+func (c *Chain) Stop() {
+	for _, g := range c.gens {
+		g.Stop()
+	}
+	c.dep.Stop()
+	for _, s := range c.wsnk {
+		s.Stop()
+	}
+	for _, dev := range c.nics {
+		_ = c.node.inner.Switch.RemovePort(dev.PortID())
+	}
+	// Wait out PMD iterations still holding the old port snapshot: draining
+	// a queue the datapath is also consuming would break the SPSC contract.
+	c.node.inner.Switch.WaitDatapathQuiescence()
+	for _, dev := range c.nics {
+		// Free anything still parked in either NIC queue. The generators and
+		// the switch PMDs are stopped or detached by now, so both drains see
+		// quiescent rings.
+		scratch := make([]*mempool.Buf, 32)
+		for {
+			k := dev.DrainToWire(scratch)
+			for i := 0; i < k; i++ {
+				scratch[i].Free()
+			}
+			if k == 0 {
+				break
+			}
+		}
+		for {
+			k := dev.DrainFromWire(scratch)
+			for i := 0; i < k; i++ {
+				scratch[i].Free()
+			}
+			if k == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Length returns the number of forwarder VMs.
+func (c *Chain) Length() int { return c.n }
+
+// ResetWindow zeroes all measurement counters.
+func (c *Chain) ResetWindow() {
+	for _, e := range c.ends {
+		e.ResetWindow()
+	}
+	for _, s := range c.wsnk {
+		s.ResetWindow()
+	}
+}
+
+// RatePps returns the instantaneous aggregate receive rate (both
+// directions summed, matching the paper's bidirectional throughput axis).
+func (c *Chain) RatePps() float64 {
+	var total float64
+	for _, e := range c.ends {
+		total += e.RatePps()
+	}
+	for _, s := range c.wsnk {
+		total += s.RatePps()
+	}
+	return total
+}
+
+// MeasureMpps runs a fresh measurement window of the given duration and
+// returns the aggregate throughput in Mpps.
+func (c *Chain) MeasureMpps(window time.Duration) float64 {
+	c.ResetWindow()
+	time.Sleep(window)
+	return c.RatePps() / 1e6
+}
+
+// LatencyQuantile returns the q-quantile of one-way latency across both
+// directions. Only meaningful for chains deployed with Timestamp: true.
+func (c *Chain) LatencyQuantile(q float64) time.Duration {
+	var worst time.Duration
+	for _, e := range c.ends {
+		if v := e.Lat.Quantile(q); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// LatencyMean returns the mean one-way latency across both directions.
+func (c *Chain) LatencyMean() time.Duration {
+	var sum time.Duration
+	var n int
+	for _, e := range c.ends {
+		if e.Lat.Count() > 0 {
+			sum += e.Lat.Mean()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// LatencySamples returns the number of recorded latency samples.
+func (c *Chain) LatencySamples() uint64 {
+	var total uint64
+	for _, e := range c.ends {
+		total += e.Lat.Count()
+	}
+	return total
+}
+
+// ExpectedBypasses returns the number of directed bypass links a highway
+// node should establish for this chain: every VM↔VM hop in both directions.
+// NIC↔VM hops cannot bypass.
+func (c *Chain) ExpectedBypasses() int {
+	if len(c.gens) > 0 { // NIC chain: n VMs ⇒ n-1 VM↔VM hops
+		if c.n < 2 {
+			return 0
+		}
+		return 2 * (c.n - 1)
+	}
+	// memory-only: n forwarders + 2 endpoint VMs ⇒ n+1 hops
+	return 2 * (c.n + 1)
+}

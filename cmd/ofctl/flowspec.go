@@ -1,0 +1,238 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/pkt"
+)
+
+// flowSpec is a parsed ovs-ofctl-style flow description.
+type flowSpec struct {
+	prio    uint16
+	m       flow.Match
+	acts    flow.Actions
+	idleTO  uint16
+	hardTO  uint16
+	sendRem bool
+}
+
+// parseFlowSpec parses an ovs-ofctl-like flow description:
+//
+//	priority=100,in_port=1,dl_type=0x0800,nw_proto=17,tp_dst=53,actions=output:2
+//
+// Supported match/meta fields: priority, idle_timeout, hard_timeout,
+// send_flow_rem, in_port, dl_type, dl_src, dl_dst, dl_vlan, nw_proto,
+// nw_src, nw_dst (with /len), tp_src, tp_dst.
+// Supported actions: output:N, drop, controller, dec_ttl, mod_dl_src:MAC,
+// mod_dl_dst:MAC.
+func parseFlowSpec(s string) (flowSpec, error) {
+	spec := flowSpec{
+		prio: 32768, // OpenFlow default priority
+		m:    flow.MatchAll(),
+	}
+	actionsSeen := false
+	for _, part := range splitTopLevel(s) {
+		kv := strings.SplitN(part, "=", 2)
+		key := strings.TrimSpace(kv[0])
+		if key == "" {
+			continue
+		}
+		if key == "send_flow_rem" {
+			spec.sendRem = true
+			continue
+		}
+		if len(kv) != 2 {
+			return spec, fmt.Errorf("%s needs a value", key)
+		}
+		val := strings.TrimSpace(kv[1])
+		var err error
+		switch key {
+		case "actions":
+			spec.acts, err = parseActions(val)
+			actionsSeen = true
+		case "priority":
+			err = setUint16(&spec.prio, key, val)
+		case "idle_timeout":
+			err = setUint16(&spec.idleTO, key, val)
+		case "hard_timeout":
+			err = setUint16(&spec.hardTO, key, val)
+		case "in_port":
+			var v uint64
+			if v, err = strconv.ParseUint(val, 0, 32); err == nil {
+				spec.m.Key.InPort = uint32(v)
+				spec.m.Mask.InPort = ^uint32(0)
+			}
+		case "dl_type":
+			var v uint16
+			if err = setUint16(&v, key, val); err == nil {
+				spec.m = spec.m.WithEthType(v)
+			}
+		case "dl_vlan":
+			var v uint16
+			if err = setUint16(&v, key, val); err == nil {
+				spec.m = spec.m.WithVlan(v)
+			}
+		case "dl_src":
+			var mac pkt.MAC
+			if mac, err = parseMAC(val); err == nil {
+				spec.m.Key.EthSrc = mac
+				spec.m.Mask.EthSrc = pkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+			}
+		case "dl_dst":
+			var mac pkt.MAC
+			if mac, err = parseMAC(val); err == nil {
+				spec.m = spec.m.WithEthDst(mac)
+			}
+		case "nw_proto":
+			var v uint64
+			if v, err = strconv.ParseUint(val, 0, 8); err == nil {
+				spec.m = spec.m.WithIPProto(uint8(v))
+			}
+		case "nw_src":
+			var addr pkt.IP4
+			var plen int
+			if addr, plen, err = parseCIDR(val); err == nil {
+				spec.m = spec.m.WithIPSrc(addr, plen)
+			}
+		case "nw_dst":
+			var addr pkt.IP4
+			var plen int
+			if addr, plen, err = parseCIDR(val); err == nil {
+				spec.m = spec.m.WithIPDst(addr, plen)
+			}
+		case "tp_src":
+			var v uint16
+			if err = setUint16(&v, key, val); err == nil {
+				spec.m = spec.m.WithL4Src(v)
+			}
+		case "tp_dst":
+			var v uint16
+			if err = setUint16(&v, key, val); err == nil {
+				spec.m = spec.m.WithL4Dst(v)
+			}
+		default:
+			return spec, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return spec, err
+		}
+	}
+	if !actionsSeen {
+		return spec, fmt.Errorf("missing actions=")
+	}
+	return spec, nil
+}
+
+func setUint16(dst *uint16, key, val string) error {
+	v, err := strconv.ParseUint(val, 0, 16)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	*dst = uint16(v)
+	return nil
+}
+
+// parseMatchSpec parses a match-only description (for del-flows / dump).
+func parseMatchSpec(s string) (prio uint16, m flow.Match, err error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, flow.MatchAll(), nil
+	}
+	spec, err := parseFlowSpec(s + ",actions=drop")
+	return spec.prio, spec.m, err
+}
+
+// splitTopLevel splits on commas that are not part of an actions list tail.
+// Everything after "actions=" is one field.
+func splitTopLevel(s string) []string {
+	if idx := strings.Index(s, "actions="); idx >= 0 {
+		head := strings.Trim(s[:idx], ", ")
+		var parts []string
+		if head != "" {
+			parts = strings.Split(head, ",")
+		}
+		return append(parts, s[idx:])
+	}
+	return strings.Split(s, ",")
+}
+
+func parseActions(s string) (flow.Actions, error) {
+	var acts flow.Actions
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		switch {
+		case a == "":
+		case a == "drop":
+			acts = append(acts, flow.Drop())
+		case a == "controller" || a == "CONTROLLER":
+			acts = append(acts, flow.Controller())
+		case a == "dec_ttl":
+			acts = append(acts, flow.DecTTL())
+		case strings.HasPrefix(a, "output:"):
+			v, err := strconv.ParseUint(a[len("output:"):], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad output action %q", a)
+			}
+			acts = append(acts, flow.Output(uint32(v)))
+		case strings.HasPrefix(a, "mod_dl_src:"):
+			mac, err := parseMAC(a[len("mod_dl_src:"):])
+			if err != nil {
+				return nil, err
+			}
+			acts = append(acts, flow.SetEthSrc(mac))
+		case strings.HasPrefix(a, "mod_dl_dst:"):
+			mac, err := parseMAC(a[len("mod_dl_dst:"):])
+			if err != nil {
+				return nil, err
+			}
+			acts = append(acts, flow.SetEthDst(mac))
+		default:
+			return nil, fmt.Errorf("unknown action %q", a)
+		}
+	}
+	return acts, nil
+}
+
+func parseMAC(s string) (pkt.MAC, error) {
+	var m pkt.MAC
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("bad MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("bad MAC %q: %w", s, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+func parseCIDR(s string) (pkt.IP4, int, error) {
+	s = strings.TrimSpace(s)
+	plen := 32
+	if idx := strings.Index(s, "/"); idx >= 0 {
+		v, err := strconv.Atoi(s[idx+1:])
+		if err != nil || v < 0 || v > 32 {
+			return pkt.IP4{}, 0, fmt.Errorf("bad prefix length in %q", s)
+		}
+		plen = v
+		s = s[:idx]
+	}
+	var a pkt.IP4
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return a, 0, fmt.Errorf("bad IPv4 %q: %w", s, err)
+		}
+		a[i] = byte(v)
+	}
+	return a, plen, nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"testing"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/pkt"
+)
+
+func TestParseFlowSpecBasic(t *testing.T) {
+	spec, err := parseFlowSpec("in_port=1,actions=output:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.prio != 32768 {
+		t.Errorf("default priority = %d", spec.prio)
+	}
+	if !spec.m.Equal(flow.MatchInPort(1)) {
+		t.Errorf("match = %s", spec.m)
+	}
+	if !spec.acts.Equal(flow.Actions{flow.Output(2)}) {
+		t.Errorf("actions = %v", spec.acts)
+	}
+}
+
+func TestParseFlowSpecFull(t *testing.T) {
+	spec, err := parseFlowSpec(
+		"priority=100,idle_timeout=30,hard_timeout=60,send_flow_rem," +
+			"in_port=3,dl_type=0x0800,nw_proto=6,nw_src=10.0.0.0/8,nw_dst=192.168.1.1," +
+			"tp_src=1024,tp_dst=80,actions=dec_ttl,mod_dl_dst:02:00:00:00:00:09,output:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.prio != 100 || spec.idleTO != 30 || spec.hardTO != 60 || !spec.sendRem {
+		t.Fatalf("meta = %+v", spec)
+	}
+	want := flow.MatchInPort(3).
+		WithEthType(pkt.EtherTypeIPv4).
+		WithIPProto(pkt.ProtoTCP).
+		WithIPSrc(pkt.IP4{10, 0, 0, 0}, 8).
+		WithIPDst(pkt.IP4{192, 168, 1, 1}, 32).
+		WithL4Src(1024).WithL4Dst(80)
+	if !spec.m.Equal(want) {
+		t.Fatalf("match = %s, want %s", spec.m, want)
+	}
+	wantActs := flow.Actions{
+		flow.DecTTL(),
+		flow.SetEthDst(pkt.MAC{2, 0, 0, 0, 0, 9}),
+		flow.Output(7),
+	}
+	if !spec.acts.Equal(wantActs) {
+		t.Fatalf("actions = %v", spec.acts)
+	}
+}
+
+func TestParseFlowSpecVlanAndMACs(t *testing.T) {
+	spec, err := parseFlowSpec("dl_vlan=100,dl_src=aa:bb:cc:dd:ee:ff,dl_dst=11:22:33:44:55:66,actions=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.m.Key.VlanID != 100 {
+		t.Errorf("vlan = %d", spec.m.Key.VlanID)
+	}
+	if spec.m.Key.EthSrc != (pkt.MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}) {
+		t.Errorf("dl_src = %s", spec.m.Key.EthSrc)
+	}
+	if spec.m.Key.EthDst != (pkt.MAC{0x11, 0x22, 0x33, 0x44, 0x55, 0x66}) {
+		t.Errorf("dl_dst = %s", spec.m.Key.EthDst)
+	}
+}
+
+func TestParseFlowSpecErrors(t *testing.T) {
+	cases := []string{
+		"in_port=1",                             // no actions
+		"in_port=abc,actions=output:2",          // bad number
+		"bogus=1,actions=output:2",              // unknown field
+		"in_port=1,actions=fly:away",            // unknown action
+		"in_port=1,actions=output:notanum",      // bad output port
+		"dl_src=zz:00:00:00:00:00,actions=drop", // bad MAC
+		"nw_dst=10.0.0.0/99,actions=drop",       // bad prefix
+		"nw_dst=10.0.0,actions=drop",            // bad IP
+		"priority=70000,actions=drop",           // priority overflow
+		"in_port=,actions=drop",                 // empty value
+	}
+	for _, c := range cases {
+		if _, err := parseFlowSpec(c); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestParseFlowSpecControllerAndMultiAction(t *testing.T) {
+	spec, err := parseFlowSpec("actions=controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.acts.Equal(flow.Actions{flow.Controller()}) {
+		t.Fatalf("actions = %v", spec.acts)
+	}
+	spec, err = parseFlowSpec("actions=output:1,output:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.acts.OutputPorts()) != 2 {
+		t.Fatalf("multicast actions = %v", spec.acts)
+	}
+}
+
+func TestParseMatchSpec(t *testing.T) {
+	_, m, err := parseMatchSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(flow.MatchAll()) {
+		t.Fatal("empty spec should match all")
+	}
+	prio, m, err := parseMatchSpec("priority=5,in_port=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio != 5 || !m.Equal(flow.MatchInPort(2)) {
+		t.Fatalf("prio=%d match=%s", prio, m)
+	}
+	if _, _, err := parseMatchSpec("garbage"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	got := splitTopLevel("a=1,b=2,actions=output:1,output:2")
+	if len(got) != 3 || got[2] != "actions=output:1,output:2" {
+		t.Fatalf("split = %q", got)
+	}
+	got = splitTopLevel("actions=drop")
+	if len(got) != 1 {
+		t.Fatalf("split = %q", got)
+	}
+}
+
+func TestParseCIDRDefaults(t *testing.T) {
+	addr, plen, err := parseCIDR("10.1.2.3")
+	if err != nil || plen != 32 || addr != (pkt.IP4{10, 1, 2, 3}) {
+		t.Fatalf("addr=%v plen=%d err=%v", addr, plen, err)
+	}
+	addr, plen, err = parseCIDR("10.0.0.0/8")
+	if err != nil || plen != 8 || addr != (pkt.IP4{10, 0, 0, 0}) {
+		t.Fatalf("addr=%v plen=%d err=%v", addr, plen, err)
+	}
+}

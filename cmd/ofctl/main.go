@@ -1,0 +1,176 @@
+// Command ofctl is an ovs-ofctl-like OpenFlow 1.3 client for the nfvnode
+// switch (or any OF 1.3 switch speaking this subset).
+//
+// Usage:
+//
+//	ofctl [-addr host:port] add-flow  'in_port=1,actions=output:2'
+//	ofctl [-addr host:port] del-flows ['in_port=1']
+//	ofctl [-addr host:port] dump-flows
+//	ofctl [-addr host:port] dump-ports
+//	ofctl [-addr host:port] packet-out <in_port> <output_port> <hex-frame>
+//	ofctl [-addr host:port] ping
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6653", "switch OpenFlow address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ofctl [-addr host:port] <command> [args]")
+		os.Exit(2)
+	}
+
+	c, err := openflow.Dial(*addr, 3*time.Second)
+	if err != nil {
+		log.Fatalf("connect %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "add-flow":
+		requireArgs(args, 2)
+		spec, err := parseFlowSpec(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var flags uint16
+		if spec.sendRem {
+			flags = flow.SendFlowRemoved
+		}
+		send(c, openflow.FlowMod{
+			Command: openflow.FlowCmdAdd, Priority: spec.prio,
+			Match: spec.m, Actions: spec.acts, OutPort: openflow.PortAny,
+			IdleTO: spec.idleTO, HardTO: spec.hardTO, Flags: flags,
+		})
+		barrier(c)
+		fmt.Printf("added: priority=%d,%s actions=%s\n", spec.prio, spec.m, spec.acts)
+
+	case "del-flows":
+		spec := ""
+		if len(args) > 1 {
+			spec = args[1]
+		}
+		_, m, err := parseMatchSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		send(c, openflow.FlowMod{
+			Command: openflow.FlowCmdDelete, Match: m, OutPort: openflow.PortAny,
+		})
+		barrier(c)
+		fmt.Println("deleted")
+
+	case "dump-flows":
+		send(c, openflow.FlowStatsRequest{OutPort: openflow.PortAny, Match: flow.MatchAll()})
+		m := recv(c)
+		reply, ok := m.(openflow.FlowStatsReply)
+		if !ok {
+			log.Fatalf("unexpected reply %T", m)
+		}
+		for _, fs := range reply.Stats {
+			fmt.Printf(" cookie=0x%x, n_packets=%d, n_bytes=%d, priority=%d,%s actions=%s\n",
+				fs.Cookie, fs.PacketCount, fs.ByteCount, fs.Priority, fs.Match, fs.Actions)
+		}
+
+	case "dump-ports":
+		send(c, openflow.PortStatsRequest{PortNo: openflow.PortAny})
+		m := recv(c)
+		reply, ok := m.(openflow.PortStatsReply)
+		if !ok {
+			log.Fatalf("unexpected reply %T", m)
+		}
+		for _, ps := range reply.Stats {
+			fmt.Printf("  port %2d: rx pkts=%d bytes=%d drop=%d  tx pkts=%d bytes=%d drop=%d\n",
+				ps.PortNo, ps.RxPackets, ps.RxBytes, ps.RxDropped,
+				ps.TxPackets, ps.TxBytes, ps.TxDropped)
+		}
+
+	case "packet-out":
+		requireArgs(args, 4)
+		inPort, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outPort, err := strconv.ParseUint(args[2], 10, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := hex.DecodeString(args[3])
+		if err != nil {
+			log.Fatalf("bad hex frame: %v", err)
+		}
+		send(c, openflow.PacketOut{
+			InPort:  uint32(inPort),
+			Actions: flow.Actions{flow.Output(uint32(outPort))},
+			Data:    data,
+		})
+		barrier(c)
+		fmt.Println("sent")
+
+	case "ping":
+		start := time.Now()
+		send(c, openflow.EchoRequest{Data: []byte("ofctl")})
+		if _, ok := recv(c).(openflow.EchoReply); !ok {
+			log.Fatal("no echo reply")
+		}
+		fmt.Printf("echo rtt %v\n", time.Since(start))
+
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("%s: missing arguments", args[0])
+	}
+}
+
+func send(c *openflow.Conn, m openflow.Msg) {
+	if _, err := c.Send(m); err != nil {
+		log.Fatalf("send: %v", err)
+	}
+}
+
+func recv(c *openflow.Conn) openflow.Msg {
+	for {
+		m, _, err := c.Recv()
+		if err != nil {
+			log.Fatalf("recv: %v", err)
+		}
+		// Skip asynchronous packet-ins while waiting for our reply.
+		if _, ok := m.(openflow.PacketIn); ok {
+			continue
+		}
+		return m
+	}
+}
+
+func barrier(c *openflow.Conn) {
+	xid, err := c.Send(openflow.BarrierRequest{})
+	if err != nil {
+		log.Fatalf("barrier: %v", err)
+	}
+	for {
+		m, gotXid, err := c.Recv()
+		if err != nil {
+			log.Fatalf("barrier: %v", err)
+		}
+		if _, ok := m.(openflow.BarrierReply); ok && gotXid == xid {
+			return
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: boot a highway node, deploy a 3-VM forwarder chain with
+// bidirectional 64B traffic, watch the bypasses come up, and compare the
+// throughput against the vanilla baseline — the paper's headline result in
+// thirty lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ovshighway"
+)
+
+func measure(mode highway.Mode) float64 {
+	node, err := highway.Start(highway.Config{Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+
+	chain, err := node.DeployBidirChain(3, highway.ChainOptions{Flows: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer chain.Stop()
+
+	if mode == highway.ModeHighway {
+		if !node.WaitBypasses(chain.ExpectedBypasses()) {
+			log.Fatalf("bypasses not established (%d live)", node.BypassCount())
+		}
+		fmt.Printf("  %d direct VM-to-VM channels established\n", node.BypassCount())
+	}
+	time.Sleep(200 * time.Millisecond) // warm up
+	return chain.MeasureMpps(500 * time.Millisecond)
+}
+
+func main() {
+	fmt.Println("chain: end0 ⇄ vnf1 ⇄ vnf2 ⇄ vnf3 ⇄ end1 (bidirectional 64B)")
+
+	fmt.Println("vanilla OvS-DPDK (every hop through the vSwitch):")
+	vanilla := measure(highway.ModeVanilla)
+	fmt.Printf("  throughput: %.3f Mpps\n", vanilla)
+
+	fmt.Println("transparent highway (hops bypass the vSwitch):")
+	fast := measure(highway.ModeHighway)
+	fmt.Printf("  throughput: %.3f Mpps\n", fast)
+
+	fmt.Printf("speedup: %.2fx — same VMs, same rules, zero VNF changes\n", fast/vanilla)
+}

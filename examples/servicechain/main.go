@@ -1,0 +1,71 @@
+// Servicechain deploys the service graph from the paper's introduction
+// (Figure 1): traffic crosses a firewall and a network monitor before
+// reaching its destination. The firewall blocks a destination port, the
+// monitor accounts per-flow — and because every hop is a point-to-point
+// link, the whole chain runs over direct VM-to-VM channels while both VNFs
+// remain completely unaware.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ovshighway"
+	"ovshighway/internal/graph"
+	"ovshighway/internal/orchestrator"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vnf"
+)
+
+func main() {
+	node, err := highway.Start(highway.Config{Mode: highway.ModeHighway})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+
+	spec := highway.DefaultTrafficSpec()
+	g := &highway.Graph{
+		VNFs: []graph.VNF{
+			{Name: "src", Kind: graph.KindSource,
+				Args: orchestrator.SourceSpecArgs{Spec: spec, Flows: 8}},
+			{Name: "firewall", Kind: graph.KindFirewall,
+				Args: []vnf.FirewallRule{
+					// Block UDP to :2003 — one of the 8 generated flows.
+					{Proto: pkt.ProtoUDP, DstPort: 2000, SrcPrefix: pkt.IP4{10, 9, 0, 0}, SrcPrefixLen: 16},
+				}},
+			{Name: "monitor", Kind: graph.KindMonitor},
+			{Name: "dst", Kind: graph.KindSink},
+		},
+		Edges: []graph.Edge{
+			{A: graph.VNFPort("src", 0), B: graph.VNFPort("firewall", 0), Bidirectional: true},
+			{A: graph.VNFPort("firewall", 1), B: graph.VNFPort("monitor", 0), Bidirectional: true},
+			{A: graph.VNFPort("monitor", 1), B: graph.VNFPort("dst", 0), Bidirectional: true},
+		},
+	}
+
+	d, err := node.Deploy(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Stop()
+
+	// 3 bidirectional hops → 6 directed bypasses.
+	if !node.WaitBypasses(6) {
+		log.Fatalf("bypasses: %d of 6", node.BypassCount())
+	}
+	fmt.Println("service chain src → firewall → monitor → dst riding 6 direct channels")
+
+	time.Sleep(time.Second)
+
+	sink := d.Internal().Sink("dst")
+	fmt.Printf("delivered to destination: %d packets\n", sink.Received.Load())
+
+	// The monitor VNF saw every packet despite the vSwitch moving none.
+	fmt.Println("\nOpenFlow view (per-flow stats include bypass traffic):")
+	for _, fs := range node.FlowStats() {
+		fmt.Printf("  priority=%d,%s actions=%s  n_packets=%d\n",
+			fs.Priority, fs.Match, fs.Actions, fs.Packets)
+	}
+}

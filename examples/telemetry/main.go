@@ -1,0 +1,108 @@
+// Telemetry demonstrates the paper's statistics transparency: an external
+// OpenFlow controller polls port and flow counters over TCP while all bulk
+// traffic rides bypass channels the vSwitch never touches. The counters
+// keep advancing — the switch reads them from the shared-memory blocks the
+// in-VM PMDs maintain — and a packet-out still reaches a port through its
+// normal channel even mid-bypass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ovshighway"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+	"ovshighway/internal/pkt"
+)
+
+func main() {
+	node, err := highway.Start(highway.Config{
+		Mode:         highway.ModeHighway,
+		OpenFlowAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+
+	chain, err := node.DeployBidirChain(2, highway.ChainOptions{Flows: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer chain.Stop()
+	if !node.WaitBypasses(chain.ExpectedBypasses()) {
+		log.Fatal("bypasses not established")
+	}
+	fmt.Printf("%d bypasses live; the vSwitch forwards no bulk traffic\n\n", node.BypassCount())
+
+	ctl, err := openflow.Dial(node.OpenFlowAddr(), 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+
+	dumpPorts := func() map[uint32]uint64 {
+		if _, err := ctl.Send(openflow.PortStatsRequest{PortNo: openflow.PortAny}); err != nil {
+			log.Fatal(err)
+		}
+		for {
+			m, _, err := ctl.Recv()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reply, ok := m.(openflow.PortStatsReply); ok {
+				out := make(map[uint32]uint64)
+				for _, s := range reply.Stats {
+					out[s.PortNo] = s.RxPackets
+				}
+				return out
+			}
+		}
+	}
+
+	before := dumpPorts()
+	time.Sleep(time.Second)
+	after := dumpPorts()
+
+	fmt.Println("per-port rx counters as the controller sees them (1s apart):")
+	for port, rx0 := range before {
+		rx1 := after[port]
+		fmt.Printf("  port %2d: %12d → %12d  (+%d/s)\n", port, rx0, rx1, rx1-rx0)
+	}
+
+	// Flow stats are merged the same way.
+	if _, err := ctl.Send(openflow.FlowStatsRequest{OutPort: openflow.PortAny, Match: flow.MatchAll()}); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		m, _, err := ctl.Recv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, ok := m.(openflow.FlowStatsReply)
+		if !ok {
+			continue
+		}
+		fmt.Println("\nflow counters (all accumulated by PMDs in shared memory):")
+		for _, fs := range reply.Stats {
+			fmt.Printf("  %s actions=%s  n_packets=%d\n", fs.Match, fs.Actions, fs.PacketCount)
+		}
+		break
+	}
+
+	// Packet-out delivery still works mid-bypass: the PMD keeps polling its
+	// normal channel.
+	frame := make([]byte, 128)
+	n, _ := pkt.BuildUDP(frame, highway.DefaultTrafficSpec())
+	po := openflow.PacketOut{
+		InPort:  openflow.PortController,
+		Actions: flow.Actions{flow.Output(1)},
+		Data:    frame[:n],
+	}
+	if _, err := ctl.Send(po); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npacket-out injected to port 1 via its normal channel — delivered alongside bypass traffic")
+}

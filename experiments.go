@@ -1,0 +1,249 @@
+package highway
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ExperimentConfig tunes the measurement harness. Zero values take defaults
+// (200 ms warm-up, 500 ms window, 4 flows).
+type ExperimentConfig struct {
+	Warmup time.Duration
+	Window time.Duration
+	Flows  int
+	// NumPMDs configures the vSwitch forwarding threads (default 1, as a
+	// single shared PMD core is what makes the vanilla baseline decay).
+	NumPMDs int
+	// EMCDisabled turns the exact-match cache off (ablation A1).
+	EMCDisabled bool
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.Warmup == 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 500 * time.Millisecond
+	}
+	if c.Flows == 0 {
+		c.Flows = 4
+	}
+}
+
+// ThroughputRow is one point of Figure 3.
+type ThroughputRow struct {
+	VMs  int
+	Mode Mode
+	Mpps float64
+}
+
+// RunFig3aPoint measures one memory-only chain point: vms is the paper's
+// x-axis (total VMs including the source/sink endpoints, so vms-2
+// forwarders), mode selects the datapath.
+func RunFig3aPoint(vms int, mode Mode, cfg ExperimentConfig) (ThroughputRow, error) {
+	cfg.fill()
+	if vms < 2 {
+		return ThroughputRow{}, fmt.Errorf("fig3a: need >= 2 VMs, got %d", vms)
+	}
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	defer node.Stop()
+	chain, err := node.DeployBidirChain(vms-2, ChainOptions{Flows: cfg.Flows})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	defer chain.Stop()
+	if mode == ModeHighway && !node.WaitBypasses(chain.ExpectedBypasses()) {
+		return ThroughputRow{}, fmt.Errorf("fig3a: bypasses not established (%d live)", node.BypassCount())
+	}
+	time.Sleep(cfg.Warmup)
+	mpps := chain.MeasureMpps(cfg.Window)
+	return ThroughputRow{VMs: vms, Mode: mode, Mpps: mpps}, nil
+}
+
+// RunFig3a sweeps chain lengths for both modes, reproducing Figure 3(a).
+func RunFig3a(vmCounts []int, cfg ExperimentConfig) ([]ThroughputRow, error) {
+	var rows []ThroughputRow
+	for _, vms := range vmCounts {
+		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
+			r, err := RunFig3aPoint(vms, mode, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig3bPoint measures one NIC-attached chain point: vms forwarder VMs
+// between two line-rate-limited 10G NICs.
+func RunFig3bPoint(vms int, mode Mode, cfg ExperimentConfig) (ThroughputRow, error) {
+	cfg.fill()
+	if vms < 1 {
+		return ThroughputRow{}, fmt.Errorf("fig3b: need >= 1 VM, got %d", vms)
+	}
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	defer node.Stop()
+	chain, err := node.DeployNICChain(vms, ChainOptions{Flows: cfg.Flows})
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	defer chain.Stop()
+	if mode == ModeHighway && !node.WaitBypasses(chain.ExpectedBypasses()) {
+		return ThroughputRow{}, fmt.Errorf("fig3b: bypasses not established (%d live)", node.BypassCount())
+	}
+	time.Sleep(cfg.Warmup)
+	mpps := chain.MeasureMpps(cfg.Window)
+	return ThroughputRow{VMs: vms, Mode: mode, Mpps: mpps}, nil
+}
+
+// RunFig3b sweeps chain lengths for both modes, reproducing Figure 3(b).
+func RunFig3b(vmCounts []int, cfg ExperimentConfig) ([]ThroughputRow, error) {
+	var rows []ThroughputRow
+	for _, vms := range vmCounts {
+		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
+			r, err := RunFig3bPoint(vms, mode, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// LatencyRow is one point of the latency experiment (E3).
+type LatencyRow struct {
+	VMs     int
+	Mode    Mode
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	Samples uint64
+}
+
+// RunLatencyPoint measures one-way latency through a memory-only chain of
+// vms total VMs under bidirectional load.
+func RunLatencyPoint(vms int, mode Mode, cfg ExperimentConfig) (LatencyRow, error) {
+	cfg.fill()
+	if vms < 2 {
+		return LatencyRow{}, fmt.Errorf("latency: need >= 2 VMs, got %d", vms)
+	}
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	if err != nil {
+		return LatencyRow{}, err
+	}
+	defer node.Stop()
+	chain, err := node.DeployBidirChain(vms-2, ChainOptions{Flows: cfg.Flows, Timestamp: true})
+	if err != nil {
+		return LatencyRow{}, err
+	}
+	defer chain.Stop()
+	if mode == ModeHighway && !node.WaitBypasses(chain.ExpectedBypasses()) {
+		return LatencyRow{}, fmt.Errorf("latency: bypasses not established")
+	}
+	time.Sleep(cfg.Warmup)
+	chain.ResetWindow()
+	time.Sleep(cfg.Window)
+	return LatencyRow{
+		VMs:     vms,
+		Mode:    mode,
+		Mean:    chain.LatencyMean(),
+		P50:     chain.LatencyQuantile(0.50),
+		P99:     chain.LatencyQuantile(0.99),
+		Samples: chain.LatencySamples(),
+	}, nil
+}
+
+// RunLatency sweeps chain lengths for both modes (experiment E3; the paper
+// reports ~80% improvement at 8 VMs).
+func RunLatency(vmCounts []int, cfg ExperimentConfig) ([]LatencyRow, error) {
+	var rows []LatencyRow
+	for _, vms := range vmCounts {
+		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
+			r, err := RunLatencyPoint(vms, mode, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// SetupRow summarizes the bypass establishment latency experiment (E4).
+type SetupRow struct {
+	Samples int
+	Min     time.Duration
+	Mean    time.Duration
+	Max     time.Duration
+	// HotplugDelay/ConfigDelay echo the emulated control-plane latencies.
+	HotplugDelay time.Duration
+	ConfigDelay  time.Duration
+}
+
+// RunSetupTime measures the flow-mod→bypass-active latency (experiment E4)
+// over `links` directed links, with the given emulated QEMU/virtio delays.
+// With QEMU-realistic delays (tens of ms for hot-plug), the total lands in
+// the paper's ~100 ms regime; with zero delays it exposes the pure
+// control-plane software cost of this implementation.
+func RunSetupTime(links int, hotplug, config time.Duration) (SetupRow, error) {
+	if links < 2 {
+		links = 2
+	}
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+	)
+	node, err := Start(Config{
+		Mode:         ModeHighway,
+		HotplugDelay: hotplug,
+		ConfigDelay:  config,
+		OnBypassUp: func(_, _ uint32, d time.Duration) {
+			mu.Lock()
+			samples = append(samples, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return SetupRow{}, err
+	}
+	defer node.Stop()
+
+	// links/2 bidirectional hops ⇒ links directed bypasses.
+	chain, err := node.DeployBidirChain(links/2-1, ChainOptions{})
+	if err != nil {
+		return SetupRow{}, err
+	}
+	defer chain.Stop()
+	if !node.WaitBypasses(chain.ExpectedBypasses()) {
+		return SetupRow{}, fmt.Errorf("setup: bypasses not established")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	row := SetupRow{Samples: len(samples), HotplugDelay: hotplug, ConfigDelay: config}
+	if len(samples) == 0 {
+		return row, fmt.Errorf("setup: no samples observed")
+	}
+	row.Min = samples[0]
+	var sum time.Duration
+	for _, s := range samples {
+		if s < row.Min {
+			row.Min = s
+		}
+		if s > row.Max {
+			row.Max = s
+		}
+		sum += s
+	}
+	row.Mean = sum / time.Duration(len(samples))
+	return row, nil
+}

@@ -1,0 +1,8 @@
+package highway
+
+import "ovshighway/internal/flow"
+
+// Test helpers bridging to internal flow types.
+
+func matchInPort(p uint32) flow.Match { return flow.MatchInPort(p) }
+func outputTo(p uint32) flow.Actions  { return flow.Actions{flow.Output(p)} }

@@ -1,0 +1,207 @@
+// Package agent implements the modified compute agent: the external
+// component the vSwitch relies on for bypass plumbing, because OVS only
+// knows ports and rules while the agent knows which VM each port belongs to.
+//
+// The agent implements core.Plumber. Plug/Unplug model QEMU ivshmem device
+// hot-(un)plug; ConfigureTx/Rx and RemoveTx/Rx are sent to the in-VM PMD
+// over the per-VM virtio-serial channel using the ctrlproto wire format.
+// Configurable artificial delays reproduce the latency profile that makes
+// the paper's end-to-end setup time land around 100 ms.
+package agent
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ovshighway/internal/ctrlproto"
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/shm"
+	"ovshighway/internal/vm"
+)
+
+// Config parametrizes an Agent.
+type Config struct {
+	// HotplugDelay is added to every Plug/Unplug, emulating QEMU monitor
+	// round-trip plus guest PCI enumeration.
+	HotplugDelay time.Duration
+	// ConfigDelay is added to every PMD (re)configuration, emulating the
+	// virtio-serial round-trip into the guest.
+	ConfigDelay time.Duration
+}
+
+// managedVM couples a VM with the agent's end of its control channel.
+type managedVM struct {
+	vm *vm.VM
+
+	ctrlMu sync.Mutex // serializes request/response pairs on the channel
+	ctrl   io.ReadWriteCloser
+}
+
+// Agent is the compute agent for one NFV node.
+type Agent struct {
+	cfg Config
+	reg *shm.Registry
+
+	mu     sync.Mutex
+	vms    map[string]*managedVM
+	byPort map[uint32]*managedVM
+}
+
+// New creates an agent bound to the host shm registry.
+func New(reg *shm.Registry, cfg Config) *Agent {
+	return &Agent{
+		cfg:    cfg,
+		reg:    reg,
+		vms:    make(map[string]*managedVM),
+		byPort: make(map[uint32]*managedVM),
+	}
+}
+
+// CreateVM boots a VM context connected to the given dpdkr ports (port id →
+// guest PMD) and wires its virtio-serial control channel. It mirrors the
+// compute agent's normal duty of creating VMs attached to dpdkr ports that
+// "have only the normal channel".
+func (a *Agent) CreateVM(name string, pmds map[uint32]*dpdkr.PMD) (*vm.VM, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.vms[name]; dup {
+		return nil, fmt.Errorf("agent: vm %q exists", name)
+	}
+	for id := range pmds {
+		if _, dup := a.byPort[id]; dup {
+			return nil, fmt.Errorf("agent: port %d already owned", id)
+		}
+	}
+	v := vm.New(name, a.reg)
+	for id, pmd := range pmds {
+		v.AddPMD(id, pmd)
+	}
+	hostEnd, guestEnd := newPipe()
+	go v.ServeCtrl(guestEnd)
+	m := &managedVM{vm: v, ctrl: hostEnd}
+	a.vms[name] = m
+	for id := range pmds {
+		a.byPort[id] = m
+	}
+	return v, nil
+}
+
+// DestroyVM tears a VM down: closes the control channel and unplugs devices.
+func (a *Agent) DestroyVM(name string) error {
+	a.mu.Lock()
+	m, ok := a.vms[name]
+	if ok {
+		delete(a.vms, name)
+		for id, owner := range a.byPort {
+			if owner == m {
+				delete(a.byPort, id)
+			}
+		}
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("agent: vm %q not found", name)
+	}
+	m.ctrl.Close()
+	m.vm.Shutdown()
+	return nil
+}
+
+// VM returns a managed VM by name (nil if absent).
+func (a *Agent) VM(name string) *vm.VM {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.vms[name]; ok {
+		return m.vm
+	}
+	return nil
+}
+
+// VMForPort resolves the VM owning a port (nil if none) — the mapping OVS
+// itself lacks, which is why the agent exists.
+func (a *Agent) VMForPort(port uint32) *vm.VM {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.byPort[port]; ok {
+		return m.vm
+	}
+	return nil
+}
+
+func (a *Agent) managed(port uint32) (*managedVM, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.byPort[port]
+	if !ok {
+		return nil, fmt.Errorf("agent: no VM owns port %d", port)
+	}
+	return m, nil
+}
+
+// --- core.Plumber implementation -------------------------------------------
+
+// Plug hot-plugs the named segment into the VM owning port.
+func (a *Agent) Plug(port uint32, segment string) error {
+	m, err := a.managed(port)
+	if err != nil {
+		return err
+	}
+	sleep(a.cfg.HotplugDelay)
+	return m.vm.PlugDevice(segment)
+}
+
+// Unplug removes the segment from the owning VM's device table.
+func (a *Agent) Unplug(port uint32, segment string) error {
+	m, err := a.managed(port)
+	if err != nil {
+		return err
+	}
+	sleep(a.cfg.HotplugDelay)
+	return m.vm.UnplugDevice(segment)
+}
+
+func (a *Agent) configure(port uint32, msg ctrlproto.Msg) error {
+	m, err := a.managed(port)
+	if err != nil {
+		return err
+	}
+	sleep(a.cfg.ConfigDelay)
+	m.ctrlMu.Lock()
+	defer m.ctrlMu.Unlock()
+	return ctrlproto.Call(m.ctrl, msg)
+}
+
+// ConfigureTx points the PMD's transmit side at the plugged segment.
+func (a *Agent) ConfigureTx(port uint32, segment string) error {
+	return a.configure(port, ctrlproto.ConfigureBypass{Port: port, TxRing: segment})
+}
+
+// ConfigureRx adds the plugged segment to the PMD's receive poll set.
+func (a *Agent) ConfigureRx(port uint32, segment string) error {
+	return a.configure(port, ctrlproto.ConfigureBypass{Port: port, RxRing: segment})
+}
+
+// RemoveTx reverts the PMD's transmit side to the normal channel.
+func (a *Agent) RemoveTx(port uint32) error {
+	return a.configure(port, ctrlproto.RemoveBypass{Port: port, Dirs: ctrlproto.DirTx})
+}
+
+// RemoveRx removes the bypass from the PMD's receive poll set.
+func (a *Agent) RemoveRx(port uint32) error {
+	return a.configure(port, ctrlproto.RemoveBypass{Port: port, Dirs: ctrlproto.DirRx})
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// newPipe creates the two ends of a virtio-serial channel. net.Pipe gives
+// synchronous in-memory streams, matching the device's rendezvous behaviour.
+func newPipe() (host, guest io.ReadWriteCloser) {
+	return net.Pipe()
+}

@@ -1,0 +1,146 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/shm"
+)
+
+func testAgent(t *testing.T, cfg Config) (*Agent, *shm.Registry, map[uint32]*dpdkr.PMD) {
+	t.Helper()
+	reg := shm.NewRegistry()
+	a := New(reg, cfg)
+	pmds := make(map[uint32]*dpdkr.PMD)
+	for _, id := range []uint32{1, 2} {
+		_, pmd, err := dpdkr.NewPort(id, "dpdkr", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmds[id] = pmd
+	}
+	return a, reg, pmds
+}
+
+func TestCreateDestroyVM(t *testing.T) {
+	a, _, pmds := testAgent(t, Config{})
+	v, err := a.CreateVM("vm1", pmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VM("vm1") != v || a.VMForPort(1) != v || a.VMForPort(2) != v {
+		t.Fatal("VM lookups broken")
+	}
+	if _, err := a.CreateVM("vm1", nil); err == nil {
+		t.Fatal("duplicate VM name accepted")
+	}
+	if _, err := a.CreateVM("vm2", pmds); err == nil {
+		t.Fatal("port double-ownership accepted")
+	}
+	if err := a.DestroyVM("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.VM("vm1") != nil || a.VMForPort(1) != nil {
+		t.Fatal("VM still visible after destroy")
+	}
+	if err := a.DestroyVM("vm1"); err == nil {
+		t.Fatal("double destroy accepted")
+	}
+}
+
+func TestPlumberFullCycle(t *testing.T) {
+	a, reg, pmds := testAgent(t, Config{})
+	if _, err := a.CreateVM("vm1", pmds); err != nil {
+		t.Fatal(err)
+	}
+	link, _ := dpdkr.NewLink("bypass-1-2", 1, 2, 64)
+	if _, err := reg.Create("bypass-1-2", link); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Plug(1, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Plug(2, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureRx(2, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureTx(1, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if pmds[1].TxBypassLink() != link || pmds[2].RxBypassLink() != link {
+		t.Fatal("PMDs not wired via virtio-serial path")
+	}
+
+	if err := a.RemoveTx(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RemoveRx(2); err != nil {
+		t.Fatal(err)
+	}
+	if pmds[1].TxBypassLink() != nil || pmds[2].RxBypassLink() != nil {
+		t.Fatal("PMDs still wired")
+	}
+	if err := a.Unplug(1, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unplug(2, "bypass-1-2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlumberUnknownPort(t *testing.T) {
+	a, _, _ := testAgent(t, Config{})
+	if err := a.Plug(9, "x"); err == nil {
+		t.Fatal("plug for orphan port accepted")
+	}
+	if err := a.ConfigureTx(9, "x"); err == nil {
+		t.Fatal("configure for orphan port accepted")
+	}
+}
+
+func TestConfiguredDelaysApply(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	a, reg, pmds := testAgent(t, Config{HotplugDelay: delay, ConfigDelay: delay})
+	if _, err := a.CreateVM("vm1", pmds); err != nil {
+		t.Fatal(err)
+	}
+	link, _ := dpdkr.NewLink("seg", 1, 2, 64)
+	reg.Create("seg", link)
+
+	start := time.Now()
+	if err := a.Plug(1, "seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureTx(1, "seg"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*delay {
+		t.Fatalf("elapsed %v, want >= %v (delays not applied)", el, 2*delay)
+	}
+}
+
+func TestDestroyVMClosesCtrlChannel(t *testing.T) {
+	a, reg, pmds := testAgent(t, Config{})
+	if _, err := a.CreateVM("vm1", pmds); err != nil {
+		t.Fatal(err)
+	}
+	link, _ := dpdkr.NewLink("seg", 1, 2, 64)
+	reg.Create("seg", link)
+	if err := a.Plug(1, "seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DestroyVM("vm1"); err != nil {
+		t.Fatal(err)
+	}
+	// Devices were unplugged at destroy: only the creator ref remains.
+	if got := link; got == nil {
+		t.Fatal("unreachable")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry segments = %d, want 1 (creator ref only)", reg.Len())
+	}
+}

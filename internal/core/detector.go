@@ -1,0 +1,139 @@
+// Package core implements the paper's primary contribution: the p-2-p link
+// detector that analyses OpenFlow steering rules at run time, and the bypass
+// lifecycle manager that — through the compute agent — plumbs direct
+// VM-to-VM channels when a point-to-point pattern appears and tears them
+// down when it disappears.
+package core
+
+import (
+	"ovshighway/internal/flow"
+)
+
+// Link is a directed p-2-p steering relationship derived from the flow
+// table: every packet entering on From is forwarded, by the rules alone, to
+// To and nowhere else.
+type Link struct {
+	From, To uint32
+	// Flow is the catch-all rule (match = in_port only, or fully wildcarded)
+	// that guarantees total coverage of From's traffic. Bypass statistics
+	// are attributed to it.
+	Flow *flow.Flow
+}
+
+// isCatchAllFor reports whether m covers every possible packet arriving on
+// port: either the match constrains nothing at all, or it constrains only
+// the ingress port and pins it to port.
+func isCatchAllFor(m flow.Match, port uint32) bool {
+	if m.MatchesOnlyInPort() {
+		return m.Key.InPort == port
+	}
+	var zero flow.Packed
+	return m.Mask.Pack() == zero
+}
+
+// ComputeLinks derives the set of directed p-2-p links implied by the given
+// rule set over the given candidate ports.
+//
+// The analysis is deliberately conservative (sound, not complete): port A is
+// linked to B only when
+//
+//  1. every flow that could admit packets from A (in_port = A or in_port
+//     wildcarded) has action list exactly [output:B], and
+//  2. at least one such flow is a catch-all for A, so coverage is total and
+//     no table-miss behaviour can diverge, and
+//  3. B != A (no hairpin), and
+//  4. B is itself a candidate port (both ends of a bypass must be dpdkr
+//     ports backed by VMs; a NIC cannot host the peer ring).
+//
+// Any rule set for which some packet from A could be dropped, punted,
+// rewritten, multicast, or steered elsewhere yields no link — exactly the
+// situations where the vSwitch's involvement is semantically required.
+// Priority shadowing is intentionally ignored: a shadowed divergent rule
+// disables the bypass even though it would never fire. That only costs
+// performance, never correctness, and matches the paper's per-flowmod
+// incremental analysis.
+func ComputeLinks(flows []*flow.Flow, ports []uint32) []Link {
+	candidate := make(map[uint32]bool, len(ports))
+	for _, p := range ports {
+		candidate[p] = true
+	}
+	var out []Link
+	for _, a := range ports {
+		var (
+			target    uint32
+			haveT     bool
+			catchAll  *flow.Flow
+			disqually bool
+		)
+		for _, f := range flows {
+			if !f.Match.AdmitsInPort(a) {
+				continue
+			}
+			dst, ok := f.Actions.SoleOutput()
+			if !ok {
+				disqually = true
+				break
+			}
+			if haveT && dst != target {
+				disqually = true
+				break
+			}
+			target, haveT = dst, true
+			if catchAll == nil && isCatchAllFor(f.Match, a) {
+				catchAll = f
+			}
+		}
+		if disqually || !haveT || catchAll == nil || target == a || !candidate[target] {
+			continue
+		}
+		out = append(out, Link{From: a, To: target, Flow: catchAll})
+	}
+	return out
+}
+
+// Detector watches a flow table and recomputes the link set on demand. It
+// implements flow.Listener; table mutations only set a dirty signal (the
+// callback runs under the table's mutation lock), and the manager's event
+// loop performs the actual rescan.
+type Detector struct {
+	table  *flow.Table
+	ports  func() []uint32
+	notify chan struct{}
+}
+
+// NewDetector attaches a detector to the table. ports lists the candidate
+// dpdkr ports (NIC ports cannot host a VM-to-VM bypass and must not be
+// included).
+func NewDetector(table *flow.Table, ports func() []uint32) *Detector {
+	d := &Detector{
+		table:  table,
+		ports:  ports,
+		notify: make(chan struct{}, 1),
+	}
+	table.AddListener(d)
+	return d
+}
+
+// FlowAdded implements flow.Listener.
+func (d *Detector) FlowAdded(*flow.Flow) { d.poke() }
+
+// FlowRemoved implements flow.Listener.
+func (d *Detector) FlowRemoved(*flow.Flow) { d.poke() }
+
+// Poke requests a rescan (used when the candidate port set changes).
+func (d *Detector) Poke() { d.poke() }
+
+func (d *Detector) poke() {
+	select {
+	case d.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Notify returns the dirty-signal channel consumed by the manager loop.
+func (d *Detector) Notify() <-chan struct{} { return d.notify }
+
+// Scan recomputes the current link set from the live table.
+func (d *Detector) Scan() []Link {
+	return ComputeLinks(d.table.Snapshot(), d.ports())
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/pkt"
+)
+
+func mkFlows(t *testing.T, specs ...struct {
+	prio uint16
+	m    flow.Match
+	as   flow.Actions
+}) (*flow.Table, []*flow.Flow) {
+	t.Helper()
+	tb := flow.NewTable()
+	var out []*flow.Flow
+	for _, s := range specs {
+		out = append(out, tb.Add(s.prio, s.m, s.as, 0))
+	}
+	return tb, out
+}
+
+type spec = struct {
+	prio uint16
+	m    flow.Match
+	as   flow.Actions
+}
+
+func linkSet(links []Link) map[[2]uint32]bool {
+	out := make(map[[2]uint32]bool)
+	for _, l := range links {
+		out[[2]uint32{l.From, l.To}] = true
+	}
+	return out
+}
+
+func TestComputeLinksSimpleChain(t *testing.T) {
+	// The canonical paper scenario: bidirectional p-2-p wiring of a chain
+	// 1→2, 2→1 (VM ports for one hop).
+	_, flows := mkFlows(t,
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}},
+		spec{10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}},
+	)
+	links := ComputeLinks(flows, []uint32{1, 2})
+	set := linkSet(links)
+	if len(set) != 2 || !set[[2]uint32{1, 2}] || !set[[2]uint32{2, 1}] {
+		t.Fatalf("links = %v", links)
+	}
+	// The attributed flow must be the catch-all.
+	for _, l := range links {
+		if !l.Flow.Match.MatchesOnlyInPort() {
+			t.Errorf("link %d→%d attributed to non-catch-all %s", l.From, l.To, l.Flow)
+		}
+	}
+}
+
+func TestComputeLinksUnidirectional(t *testing.T) {
+	_, flows := mkFlows(t,
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}},
+	)
+	links := ComputeLinks(flows, []uint32{1, 2})
+	set := linkSet(links)
+	if len(set) != 1 || !set[[2]uint32{1, 2}] {
+		t.Fatalf("links = %v", links)
+	}
+}
+
+func TestComputeLinksNoCatchAllNoLink(t *testing.T) {
+	// Only a refined match: coverage is partial, table misses diverge.
+	_, flows := mkFlows(t,
+		spec{10, flow.MatchInPort(1).WithIPProto(pkt.ProtoUDP), flow.Actions{flow.Output(2)}},
+	)
+	if links := ComputeLinks(flows, []uint32{1, 2}); len(links) != 0 {
+		t.Fatalf("partial coverage produced links: %v", links)
+	}
+}
+
+func TestComputeLinksDivergentTargetNoLink(t *testing.T) {
+	// Web/non-web split from Figure 1: port 1 traffic splits to 2 and 3.
+	_, flows := mkFlows(t,
+		spec{100, flow.MatchInPort(1).WithIPProto(pkt.ProtoTCP).WithL4Dst(80), flow.Actions{flow.Output(2)}},
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}},
+	)
+	if links := ComputeLinks(flows, []uint32{1, 2, 3}); len(links) != 0 {
+		t.Fatalf("split steering produced links: %v", links)
+	}
+}
+
+func TestComputeLinksNonOutputActionsDisqualify(t *testing.T) {
+	for _, as := range []flow.Actions{
+		{flow.Controller()},
+		{flow.Drop()},
+		nil,
+		{flow.DecTTL(), flow.Output(2)},
+		{flow.Output(2), flow.Output(3)},
+		{flow.SetEthDst(pkt.MAC{1}), flow.Output(2)},
+	} {
+		_, flows := mkFlows(t, spec{10, flow.MatchInPort(1), as})
+		if links := ComputeLinks(flows, []uint32{1, 2, 3}); len(links) != 0 {
+			t.Errorf("actions %v produced links %v", as, links)
+		}
+	}
+}
+
+func TestComputeLinksHairpinExcluded(t *testing.T) {
+	_, flows := mkFlows(t,
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(1)}},
+	)
+	if links := ComputeLinks(flows, []uint32{1}); len(links) != 0 {
+		t.Fatalf("hairpin produced links: %v", links)
+	}
+}
+
+func TestComputeLinksWildcardInPort(t *testing.T) {
+	// A single match-all rule steering everything to port 9: every other
+	// candidate port gains a link to 9.
+	_, flows := mkFlows(t,
+		spec{1, flow.MatchAll(), flow.Actions{flow.Output(9)}},
+	)
+	links := ComputeLinks(flows, []uint32{1, 2, 9})
+	set := linkSet(links)
+	if len(set) != 2 || !set[[2]uint32{1, 9}] || !set[[2]uint32{2, 9}] {
+		t.Fatalf("links = %v", links)
+	}
+}
+
+func TestComputeLinksWildcardConflictsWithPerPort(t *testing.T) {
+	// A wildcard rule to 9 plus a per-port rule to 2: port 1 admits both
+	// targets, so no link for port 1; other ports still link to 9.
+	_, flows := mkFlows(t,
+		spec{1, flow.MatchAll(), flow.Actions{flow.Output(9)}},
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}},
+	)
+	links := ComputeLinks(flows, []uint32{1, 3, 9})
+	set := linkSet(links)
+	if set[[2]uint32{1, 9}] || set[[2]uint32{1, 2}] {
+		t.Fatalf("conflicted port 1 got a link: %v", links)
+	}
+	if !set[[2]uint32{3, 9}] {
+		t.Fatalf("port 3 lost its link: %v", links)
+	}
+}
+
+func TestComputeLinksRefinedSameTargetStillLinks(t *testing.T) {
+	// Redundant more-specific rule with the same output keeps the link.
+	_, flows := mkFlows(t,
+		spec{100, flow.MatchInPort(1).WithIPProto(pkt.ProtoUDP), flow.Actions{flow.Output(2)}},
+		spec{10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}},
+	)
+	links := ComputeLinks(flows, []uint32{1, 2})
+	if len(links) != 1 || links[0].From != 1 || links[0].To != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	if !links[0].Flow.Match.MatchesOnlyInPort() {
+		t.Fatal("link attributed to the refined rule, want catch-all")
+	}
+}
+
+func TestComputeLinksIgnoresNonCandidatePorts(t *testing.T) {
+	// Port 7 (say, a NIC) steers to 1, but 7 is not a candidate.
+	_, flows := mkFlows(t,
+		spec{10, flow.MatchInPort(7), flow.Actions{flow.Output(1)}},
+	)
+	if links := ComputeLinks(flows, []uint32{1, 2}); len(links) != 0 {
+		t.Fatalf("non-candidate port linked: %v", links)
+	}
+}
+
+// refWouldDiverge is the semantic soundness oracle: it samples packets from
+// port `from` and checks whether the classifier ever steers one anywhere
+// other than `to` (or fails to match). If the detector claims a link, no
+// divergence may exist.
+func refWouldDiverge(tb *flow.Table, from, to uint32, rng *rand.Rand) bool {
+	for trial := 0; trial < 200; trial++ {
+		k := flow.Key{
+			InPort:  from,
+			EthType: pkt.EtherTypeIPv4,
+			IPSrc:   rng.Uint32() % 16,
+			IPDst:   rng.Uint32() % 16,
+			IPProto: []uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)],
+			L4Src:   uint16(rng.Intn(4)),
+			L4Dst:   uint16(rng.Intn(4) + 80),
+		}
+		f := tb.Lookup(&k)
+		if f == nil {
+			return true // table miss: coverage hole
+		}
+		dst, ok := f.Actions.SoleOutput()
+		if !ok || dst != to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickDetectorSoundness: for random rule sets, every link the detector
+// reports must be semantically divergence-free under random packet sampling.
+func TestQuickDetectorSoundness(t *testing.T) {
+	ports := []uint32{1, 2, 3, 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := flow.NewTable()
+		n := rng.Intn(8) + 1
+		for i := 0; i < n; i++ {
+			var m flow.Match
+			switch rng.Intn(3) {
+			case 0:
+				m = flow.MatchAll()
+			case 1:
+				m = flow.MatchInPort(ports[rng.Intn(len(ports))])
+			default:
+				m = flow.MatchInPort(ports[rng.Intn(len(ports))]).
+					WithIPProto([]uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)])
+			}
+			var as flow.Actions
+			switch rng.Intn(4) {
+			case 0, 1:
+				as = flow.Actions{flow.Output(ports[rng.Intn(len(ports))])}
+			case 2:
+				as = flow.Actions{flow.Controller()}
+			default:
+				as = flow.Actions{flow.DecTTL(), flow.Output(ports[rng.Intn(len(ports))])}
+			}
+			tb.Add(uint16(rng.Intn(3)*10), m, as, 0)
+		}
+		links := ComputeLinks(tb.Snapshot(), ports)
+		for _, l := range links {
+			if refWouldDiverge(tb, l.From, l.To, rng) {
+				t.Logf("seed %d: unsound link %d→%d", seed, l.From, l.To)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsCatchAllFor(t *testing.T) {
+	cases := []struct {
+		m    flow.Match
+		port uint32
+		want bool
+	}{
+		{flow.MatchInPort(3), 3, true},
+		{flow.MatchInPort(3), 4, false},
+		{flow.MatchAll(), 9, true},
+		{flow.MatchInPort(3).WithIPProto(pkt.ProtoUDP), 3, false},
+		{flow.MatchAll().WithEthType(pkt.EtherTypeIPv4), 3, false},
+		{flow.MatchAll().WithVlan(5), 1, false},
+	}
+	for i, c := range cases {
+		if got := isCatchAllFor(c.m, c.port); got != c.want {
+			t.Errorf("case %d: isCatchAllFor(%s, %d) = %v, want %v", i, c.m, c.port, got, c.want)
+		}
+	}
+}
+
+func TestDetectorNotifyOnMutation(t *testing.T) {
+	tb := flow.NewTable()
+	d := NewDetector(tb, func() []uint32 { return []uint32{1, 2} })
+
+	select {
+	case <-d.Notify():
+		t.Fatal("spurious notification")
+	default:
+	}
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	select {
+	case <-d.Notify():
+	default:
+		t.Fatal("no notification after add")
+	}
+	links := d.Scan()
+	if len(links) != 1 {
+		t.Fatalf("scan = %v", links)
+	}
+	tb.DeleteStrict(10, flow.MatchInPort(1))
+	select {
+	case <-d.Notify():
+	default:
+		t.Fatal("no notification after delete")
+	}
+	if links := d.Scan(); len(links) != 0 {
+		t.Fatalf("scan after delete = %v", links)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/shm"
+	"ovshighway/internal/vswitch"
+)
+
+// Plumber is the interface to the (modified) compute agent: the external
+// component OVS must rely on because it knows which VM owns which port. Its
+// methods mirror the paper's two agent duties — (i) plug the bypass channel
+// into the VM as an ivshmem device, (ii) configure the PMD instance over the
+// virtio-serial control channel — plus their inverses.
+type Plumber interface {
+	// Plug makes the named shm segment reachable inside the VM owning port.
+	Plug(port uint32, segment string) error
+	// Unplug removes the segment from that VM's device table.
+	Unplug(port uint32, segment string) error
+	// ConfigureTx points the PMD's transmit side at the plugged segment.
+	ConfigureTx(port uint32, segment string) error
+	// ConfigureRx adds the plugged segment to the PMD's receive poll set.
+	ConfigureRx(port uint32, segment string) error
+	// RemoveTx reverts the PMD's transmit side to the normal channel.
+	RemoveTx(port uint32) error
+	// RemoveRx removes the bypass from the PMD's receive poll set.
+	RemoveRx(port uint32) error
+}
+
+// ManagerConfig parametrizes a Manager. Zero values take defaults.
+type ManagerConfig struct {
+	// RingSize is the bypass ring capacity. Default dpdkr.DefaultRingSize.
+	RingSize int
+	// DrainTimeout bounds the wait for in-flight bypass packets during
+	// teardown. Default 100ms.
+	DrainTimeout time.Duration
+	// OnEstablished, if set, observes every completed establishment with its
+	// end-to-end setup latency (flow-mod analysis to PMD switched). This is
+	// the instrumentation behind experiment E4.
+	OnEstablished func(from, to uint32, setup time.Duration)
+	// OnTornDown, if set, observes completed teardowns.
+	OnTornDown func(from, to uint32)
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+type pairKey struct{ from, to uint32 }
+
+type activeLink struct {
+	link *dpdkr.Link
+	seg  *shm.Segment
+	l    Link
+}
+
+// Manager consumes detector signals and drives bypass channels through
+// their lifecycle:
+//
+//	Idle → Plumbing → Active → Draining → Idle
+//
+// All transitions run on the manager goroutine, so flow-mod storms serialize
+// naturally and a pair can never be double-plumbed.
+type Manager struct {
+	sw       *vswitch.Switch
+	reg      *shm.Registry
+	plumber  Plumber
+	detector *Detector
+	cfg      ManagerConfig
+
+	mu     sync.Mutex
+	active map[pairKey]*activeLink
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewManager wires the manager. Call Run (usually in a goroutine) to start
+// processing.
+func NewManager(sw *vswitch.Switch, reg *shm.Registry, plumber Plumber, det *Detector, cfg ManagerConfig) *Manager {
+	if cfg.RingSize == 0 {
+		cfg.RingSize = dpdkr.DefaultRingSize
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Manager{
+		sw:       sw,
+		reg:      reg,
+		plumber:  plumber,
+		detector: det,
+		cfg:      cfg,
+		active:   make(map[pairKey]*activeLink),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Run processes detector notifications until Stop. It performs one initial
+// rescan so links implied by pre-existing rules are established.
+func (m *Manager) Run() {
+	defer close(m.done)
+	m.rescan()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.detector.Notify():
+			m.rescan()
+		}
+	}
+}
+
+// Stop halts the event loop and tears down every active bypass.
+func (m *Manager) Stop() {
+	select {
+	case <-m.stop:
+		return
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	m.mu.Lock()
+	keys := make([]pairKey, 0, len(m.active))
+	for k := range m.active {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	for _, k := range keys {
+		m.teardown(k)
+	}
+}
+
+// ActiveLinks returns the directed pairs currently bypassed (diagnostic).
+func (m *Manager) ActiveLinks() [][2]uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][2]uint32, 0, len(m.active))
+	for k := range m.active {
+		out = append(out, [2]uint32{k.from, k.to})
+	}
+	return out
+}
+
+// IsActive reports whether a directed bypass exists for from→to.
+func (m *Manager) IsActive(from, to uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.active[pairKey{from, to}]
+	return ok
+}
+
+// rescan diffs the detector's desired link set against the active set and
+// applies teardowns before establishments (a flow-mod that retargets A from
+// B to C must never leave both channels attached).
+func (m *Manager) rescan() {
+	desired := make(map[pairKey]Link)
+	for _, l := range m.detector.Scan() {
+		desired[pairKey{l.From, l.To}] = l
+	}
+
+	m.mu.Lock()
+	var drop []pairKey
+	for k, al := range m.active {
+		want, ok := desired[k]
+		if !ok || want.Flow != al.l.Flow {
+			// Gone, or the implementing rule was replaced (counters reset on
+			// replacement, so the link must be re-plumbed against the new
+			// flow object).
+			drop = append(drop, k)
+		}
+	}
+	var add []Link
+	for k, l := range desired {
+		if _, ok := m.active[k]; !ok {
+			add = append(add, l)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, k := range drop {
+		m.teardown(k)
+	}
+	// A dropped pair may be re-added with a new flow object.
+	m.mu.Lock()
+	add = add[:0]
+	for k, l := range desired {
+		if _, ok := m.active[k]; !ok {
+			add = append(add, l)
+		}
+	}
+	m.mu.Unlock()
+	for _, l := range add {
+		m.establish(l)
+	}
+}
+
+func (m *Manager) establish(l Link) {
+	start := time.Now()
+	k := pairKey{l.From, l.To}
+	name := fmt.Sprintf("bypass-%d-%d", l.From, l.To)
+
+	link, err := dpdkr.NewLink(name, l.From, l.To, m.cfg.RingSize)
+	if err != nil {
+		m.cfg.Logf("core: establish %s: %v", name, err)
+		return
+	}
+	seg, err := m.reg.Create(name, link)
+	if err != nil {
+		m.cfg.Logf("core: establish %s: %v", name, err)
+		return
+	}
+
+	rollback := func(steps ...func()) {
+		for i := len(steps) - 1; i >= 0; i-- {
+			steps[i]()
+		}
+		m.reg.Detach(seg)
+	}
+
+	// (i) plug the segment into both VMs, receiver first.
+	if err := m.plumber.Plug(l.To, name); err != nil {
+		m.cfg.Logf("core: plug rx %s: %v", name, err)
+		rollback()
+		return
+	}
+	if err := m.plumber.Plug(l.From, name); err != nil {
+		m.cfg.Logf("core: plug tx %s: %v", name, err)
+		rollback(func() { m.plumber.Unplug(l.To, name) })
+		return
+	}
+	// (ii) configure the PMDs: RX before TX so no packet enters the ring
+	// without a consumer attached.
+	if err := m.plumber.ConfigureRx(l.To, name); err != nil {
+		m.cfg.Logf("core: configure rx %s: %v", name, err)
+		rollback(
+			func() { m.plumber.Unplug(l.To, name) },
+			func() { m.plumber.Unplug(l.From, name) },
+		)
+		return
+	}
+	if err := m.plumber.ConfigureTx(l.From, name); err != nil {
+		m.cfg.Logf("core: configure tx %s: %v", name, err)
+		rollback(
+			func() { m.plumber.Unplug(l.To, name) },
+			func() { m.plumber.Unplug(l.From, name) },
+			func() { m.plumber.RemoveRx(l.To) },
+		)
+		return
+	}
+
+	m.sw.RegisterBypass(link, l.Flow)
+	m.mu.Lock()
+	m.active[k] = &activeLink{link: link, seg: seg, l: l}
+	m.mu.Unlock()
+
+	setup := time.Since(start)
+	m.cfg.Logf("core: bypass %d→%d active in %v", l.From, l.To, setup)
+	if m.cfg.OnEstablished != nil {
+		m.cfg.OnEstablished(l.From, l.To, setup)
+	}
+}
+
+func (m *Manager) teardown(k pairKey) {
+	m.mu.Lock()
+	al, ok := m.active[k]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.active, k)
+	m.mu.Unlock()
+
+	name := al.link.Name
+	// Stop the producer first: new traffic reverts to the normal channel.
+	if err := m.plumber.RemoveTx(k.from); err != nil {
+		m.cfg.Logf("core: remove tx %s: %v", name, err)
+	}
+	// Let the consumer drain in-flight packets.
+	deadline := time.Now().Add(m.cfg.DrainTimeout)
+	for al.link.Ring.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := m.plumber.RemoveRx(k.to); err != nil {
+		m.cfg.Logf("core: remove rx %s: %v", name, err)
+	}
+	// Fold the final counters into the switch's view, then release memory.
+	m.sw.UnregisterBypass(al.link)
+	if err := m.plumber.Unplug(k.from, name); err != nil {
+		m.cfg.Logf("core: unplug tx %s: %v", name, err)
+	}
+	if err := m.plumber.Unplug(k.to, name); err != nil {
+		m.cfg.Logf("core: unplug rx %s: %v", name, err)
+	}
+	if leaked := al.link.Drain(); leaked > 0 {
+		m.cfg.Logf("core: %s: %d packets freed at teardown", name, leaked)
+	}
+	m.reg.Detach(al.seg)
+	m.cfg.Logf("core: bypass %d→%d torn down", k.from, k.to)
+	if m.cfg.OnTornDown != nil {
+		m.cfg.OnTornDown(k.from, k.to)
+	}
+}

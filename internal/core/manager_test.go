@@ -1,0 +1,457 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/shm"
+	"ovshighway/internal/vswitch"
+)
+
+// miniPlumber is a minimal in-process agent: it resolves segments in the
+// registry and attaches/detaches the links to the right PMDs directly. The
+// full agent (internal/agent) does the same through VM device tables and the
+// virtio-serial protocol; this fake keeps core tests focused on lifecycle
+// logic.
+type miniPlumber struct {
+	reg  *shm.Registry
+	pmds map[uint32]*dpdkr.PMD
+
+	mu      sync.Mutex
+	plugged map[string]map[uint32]*shm.Segment // segment → port → ref
+	calls   []string
+	failOn  string // method name that should fail (failure injection)
+}
+
+func newMiniPlumber(reg *shm.Registry) *miniPlumber {
+	return &miniPlumber{
+		reg:     reg,
+		pmds:    make(map[uint32]*dpdkr.PMD),
+		plugged: make(map[string]map[uint32]*shm.Segment),
+	}
+}
+
+func (p *miniPlumber) record(op string, port uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = append(p.calls, fmt.Sprintf("%s:%d", op, port))
+	if p.failOn == op {
+		return errors.New("injected failure: " + op)
+	}
+	return nil
+}
+
+func (p *miniPlumber) link(seg string) (*dpdkr.Link, error) {
+	s, err := p.reg.Attach(seg)
+	if err != nil {
+		return nil, err
+	}
+	defer p.reg.Detach(s) // we only needed a peek; Plug holds the real ref
+	l, ok := s.Obj.(*dpdkr.Link)
+	if !ok {
+		return nil, errors.New("segment is not a bypass link")
+	}
+	return l, nil
+}
+
+func (p *miniPlumber) Plug(port uint32, segment string) error {
+	if err := p.record("plug", port); err != nil {
+		return err
+	}
+	s, err := p.reg.Attach(segment)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.plugged[segment] == nil {
+		p.plugged[segment] = make(map[uint32]*shm.Segment)
+	}
+	p.plugged[segment][port] = s
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *miniPlumber) Unplug(port uint32, segment string) error {
+	if err := p.record("unplug", port); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	s := p.plugged[segment][port]
+	delete(p.plugged[segment], port)
+	p.mu.Unlock()
+	if s != nil {
+		p.reg.Detach(s)
+	}
+	return nil
+}
+
+func (p *miniPlumber) ConfigureTx(port uint32, segment string) error {
+	if err := p.record("cfg-tx", port); err != nil {
+		return err
+	}
+	l, err := p.link(segment)
+	if err != nil {
+		return err
+	}
+	p.pmds[port].AttachTxBypass(l)
+	return nil
+}
+
+func (p *miniPlumber) ConfigureRx(port uint32, segment string) error {
+	if err := p.record("cfg-rx", port); err != nil {
+		return err
+	}
+	l, err := p.link(segment)
+	if err != nil {
+		return err
+	}
+	p.pmds[port].AttachRxBypass(l)
+	return nil
+}
+
+func (p *miniPlumber) RemoveTx(port uint32) error {
+	if err := p.record("rm-tx", port); err != nil {
+		return err
+	}
+	pmd := p.pmds[port]
+	pmd.DetachTxBypass()
+	pmd.QuiesceTx()
+	return nil
+}
+
+func (p *miniPlumber) RemoveRx(port uint32) error {
+	if err := p.record("rm-rx", port); err != nil {
+		return err
+	}
+	pmd := p.pmds[port]
+	pmd.DetachRxBypass()
+	pmd.QuiesceRx()
+	return nil
+}
+
+type managerEnv struct {
+	sw      *vswitch.Switch
+	reg     *shm.Registry
+	plumber *miniPlumber
+	det     *Detector
+	mgr     *Manager
+	pmds    map[uint32]*dpdkr.PMD
+	pool    *mempool.Pool
+
+	estMu sync.Mutex
+	est   []time.Duration
+}
+
+func newManagerEnv(t *testing.T, nPorts int) *managerEnv {
+	t.Helper()
+	env := &managerEnv{
+		sw:   vswitch.New(vswitch.Config{}),
+		reg:  shm.NewRegistry(),
+		pool: mempool.MustNew(mempool.Config{Capacity: 1024, BufSize: 256, Headroom: 32}),
+		pmds: make(map[uint32]*dpdkr.PMD),
+	}
+	env.plumber = newMiniPlumber(env.reg)
+	var portIDs []uint32
+	for i := 1; i <= nPorts; i++ {
+		id := uint32(i)
+		port, pmd, err := dpdkr.NewPort(id, "dpdkr", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.sw.AddPort(port); err != nil {
+			t.Fatal(err)
+		}
+		env.pmds[id] = pmd
+		env.plumber.pmds[id] = pmd
+		portIDs = append(portIDs, id)
+	}
+	env.det = NewDetector(env.sw.Table(), func() []uint32 { return portIDs })
+	env.mgr = NewManager(env.sw, env.reg, env.plumber, env.det, ManagerConfig{
+		RingSize:     256,
+		DrainTimeout: 50 * time.Millisecond,
+		OnEstablished: func(from, to uint32, d time.Duration) {
+			env.estMu.Lock()
+			env.est = append(env.est, d)
+			env.estMu.Unlock()
+		},
+	})
+	go env.mgr.Run()
+	t.Cleanup(env.mgr.Stop)
+	return env
+}
+
+func (e *managerEnv) waitActive(t *testing.T, from, to uint32, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.mgr.IsActive(from, to) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("bypass %d→%d active=%v never reached", from, to, want)
+}
+
+func TestManagerEstablishesOnP2PRule(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	// PMDs must actually be wired to the same link.
+	if env.pmds[1].TxBypassLink() == nil || env.pmds[2].RxBypassLink() == nil {
+		t.Fatal("PMDs not configured")
+	}
+	if env.pmds[1].TxBypassLink() != env.pmds[2].RxBypassLink() {
+		t.Fatal("PMDs wired to different links")
+	}
+	if env.sw.BypassLinkCount() != 1 {
+		t.Fatal("link not registered for stats")
+	}
+	if env.reg.Len() != 1 {
+		t.Fatalf("registry segments = %d", env.reg.Len())
+	}
+	env.estMu.Lock()
+	defer env.estMu.Unlock()
+	if len(env.est) != 1 || env.est[0] <= 0 {
+		t.Fatalf("setup latency not observed: %v", env.est)
+	}
+}
+
+func TestManagerTearsDownOnRuleDelete(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	env.sw.Table().DeleteStrict(10, flow.MatchInPort(1))
+	env.waitActive(t, 1, 2, false)
+
+	if env.pmds[1].TxBypassLink() != nil || env.pmds[2].RxBypassLink() != nil {
+		t.Fatal("PMDs still wired after teardown")
+	}
+	if env.sw.BypassLinkCount() != 0 {
+		t.Fatal("stats registration leaked")
+	}
+	if env.reg.Len() != 0 {
+		t.Fatalf("segment leaked: %v", env.reg.Names())
+	}
+}
+
+func TestManagerTearsDownWhenRuleRefined(t *testing.T) {
+	env := newManagerEnv(t, 3)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	// A higher-priority rule steering part of port 1's traffic elsewhere
+	// breaks the p-2-p property: the bypass must dissolve.
+	env.sw.Table().Add(100, flow.MatchInPort(1).WithL4Dst(80), flow.Actions{flow.Output(3)}, 0)
+	env.waitActive(t, 1, 2, false)
+	if env.pmds[1].TxBypassLink() != nil {
+		t.Fatal("TX bypass survives divergent rule")
+	}
+}
+
+func TestManagerRetargetsLink(t *testing.T) {
+	env := newManagerEnv(t, 3)
+	tb := env.sw.Table()
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	// Retarget port 1's traffic to port 3: old link must go, new must come.
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}, 0)
+	env.waitActive(t, 1, 2, false)
+	env.waitActive(t, 1, 3, true)
+	if env.reg.Len() != 1 {
+		t.Fatalf("segments = %v", env.reg.Names())
+	}
+	if env.pmds[2].RxBypassLink() != nil {
+		t.Fatal("old RX peer still attached")
+	}
+	if got := env.pmds[1].TxBypassLink(); got == nil || got.To != 3 {
+		t.Fatalf("TX link = %+v", got)
+	}
+}
+
+func TestManagerBidirectionalPair(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	tb := env.sw.Table()
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	tb.Add(10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}, 0)
+	env.waitActive(t, 1, 2, true)
+	env.waitActive(t, 2, 1, true)
+	if env.reg.Len() != 2 {
+		t.Fatalf("segments = %v", env.reg.Names())
+	}
+	// Both directions through distinct rings.
+	if env.pmds[1].TxBypassLink() == env.pmds[2].TxBypassLink() {
+		t.Fatal("directions share a ring")
+	}
+}
+
+func TestManagerEndToEndTrafficViaBypass(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	if err := env.sw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.sw.Stop)
+	f := env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	// Traffic sent by VM1 must reach VM2 without the vSwitch seeing it.
+	const n = 1000
+	out := make([]*mempool.Buf, 32)
+	sent, got := 0, 0
+	for got < n {
+		if sent < n {
+			if b, err := env.pool.Get(); err == nil {
+				b.SetBytes([]byte{1, 2, 3, 4})
+				if env.pmds[1].Tx([]*mempool.Buf{b}) == 1 {
+					sent++
+				} else {
+					b.Free()
+				}
+			}
+		}
+		k := env.pmds[2].Rx(out)
+		for i := 0; i < k; i++ {
+			out[i].Free()
+		}
+		got += k
+	}
+
+	// The switch's own counters must be zero (packets never crossed it)...
+	port1 := env.sw.Port(1).(*dpdkr.Port)
+	if port1.Counters.RxPackets.Load() != 0 {
+		t.Fatal("packets leaked through the normal channel")
+	}
+	// ...but exported stats must show them (transparency).
+	if v, _ := env.sw.PortStats(1); v.RxPackets != n {
+		t.Fatalf("merged port1 rx = %d, want %d", v.RxPackets, n)
+	}
+	if p, _ := env.sw.FlowCounters(f); p != n {
+		t.Fatalf("merged flow packets = %d, want %d", p, n)
+	}
+}
+
+func TestManagerDrainsInFlightOnTeardown(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.waitActive(t, 1, 2, true)
+
+	// Park packets in the bypass ring, then delete the rule. The consumer
+	// keeps polling during the drain window, so nothing may be lost.
+	const parked = 64
+	for i := 0; i < parked; i++ {
+		b, err := env.pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.SetBytes([]byte{9})
+		if env.pmds[1].Tx([]*mempool.Buf{b}) != 1 {
+			t.Fatal("tx failed")
+		}
+	}
+	done := make(chan int, 1)
+	go func() {
+		out := make([]*mempool.Buf, 16)
+		got := 0
+		deadline := time.Now().Add(2 * time.Second)
+		for got < parked && time.Now().Before(deadline) {
+			k := env.pmds[2].Rx(out)
+			for i := 0; i < k; i++ {
+				out[i].Free()
+			}
+			got += k
+		}
+		done <- got
+	}()
+	env.sw.Table().DeleteStrict(10, flow.MatchInPort(1))
+	env.waitActive(t, 1, 2, false)
+	if got := <-done; got != parked {
+		t.Fatalf("drained %d of %d parked packets", got, parked)
+	}
+}
+
+func TestManagerRollbackOnPlugFailure(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	env.plumber.failOn = "plug"
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+
+	time.Sleep(50 * time.Millisecond)
+	if env.mgr.IsActive(1, 2) {
+		t.Fatal("bypass active despite plug failure")
+	}
+	if env.reg.Len() != 0 {
+		t.Fatalf("segment leaked after rollback: %v", env.reg.Names())
+	}
+	if env.sw.BypassLinkCount() != 0 {
+		t.Fatal("stats registration leaked after rollback")
+	}
+}
+
+func TestManagerRollbackOnConfigureFailure(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	env.plumber.failOn = "cfg-tx"
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+
+	time.Sleep(50 * time.Millisecond)
+	if env.mgr.IsActive(1, 2) {
+		t.Fatal("bypass active despite configure failure")
+	}
+	if env.reg.Len() != 0 {
+		t.Fatalf("segment leaked: %v", env.reg.Names())
+	}
+	if env.pmds[2].RxBypassLink() != nil {
+		t.Fatal("RX left attached after TX configure failed")
+	}
+}
+
+func TestManagerStopTearsDownEverything(t *testing.T) {
+	env := newManagerEnv(t, 2)
+	tb := env.sw.Table()
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	tb.Add(10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}, 0)
+	env.waitActive(t, 1, 2, true)
+	env.waitActive(t, 2, 1, true)
+
+	env.mgr.Stop()
+	if env.reg.Len() != 0 {
+		t.Fatalf("segments after stop: %v", env.reg.Names())
+	}
+	if env.pmds[1].TxBypassLink() != nil || env.pmds[2].TxBypassLink() != nil {
+		t.Fatal("PMDs wired after stop")
+	}
+}
+
+func TestManagerFlowModStorm(t *testing.T) {
+	env := newManagerEnv(t, 4)
+	tb := env.sw.Table()
+	// Rapidly alternate targets; the manager must settle on the final state
+	// with no leaked segments or registrations.
+	for i := 0; i < 100; i++ {
+		dst := uint32(2 + i%3)
+		tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(dst)}, 0)
+	}
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}, 0)
+	env.waitActive(t, 1, 3, true)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if env.reg.Len() == 1 && env.sw.BypassLinkCount() == 1 &&
+			!env.mgr.IsActive(1, 2) && !env.mgr.IsActive(1, 4) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if env.reg.Len() != 1 {
+		t.Fatalf("segments = %v", env.reg.Names())
+	}
+	if got := env.pmds[1].TxBypassLink(); got == nil || got.To != 3 {
+		t.Fatalf("final TX link = %+v", got)
+	}
+}

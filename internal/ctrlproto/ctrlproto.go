@@ -1,0 +1,184 @@
+// Package ctrlproto is the framed binary control protocol the compute agent
+// speaks to the in-VM PMD over the virtio-serial channel. It carries the
+// bypass (re)configuration commands of the paper's step (ii): after plugging
+// the ivshmem device, the agent tells the PMD instance which rings to use.
+//
+// Wire format: every message is
+//
+//	type(1) | length(4, big endian, body only) | body
+//
+// Body fields are fixed-width integers and length-prefixed strings.
+package ctrlproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+var be = binary.BigEndian
+
+// Message type discriminators.
+const (
+	// TypeConfigureBypass tells the PMD serving Port to start using the
+	// named plugged devices as its bypass TX and/or RX rings. Empty names
+	// leave that direction unchanged.
+	TypeConfigureBypass uint8 = 1
+	// TypeRemoveBypass tells the PMD to stop using its bypass ring(s) and
+	// revert to the normal channel. Directions selected by flags.
+	TypeRemoveBypass uint8 = 2
+	// TypeAck acknowledges a command.
+	TypeAck uint8 = 3
+)
+
+// Direction flags for RemoveBypass.
+const (
+	DirTx uint8 = 1 << iota
+	DirRx
+)
+
+// maxBodyLen bounds accepted message bodies.
+const maxBodyLen = 4096
+
+// Msg is a decoded control message.
+type Msg interface {
+	msgType() uint8
+	encodeBody(b []byte) []byte
+}
+
+// ConfigureBypass instructs the PMD for Port to attach bypass rings.
+type ConfigureBypass struct {
+	Port   uint32
+	TxRing string // plugged device name for the TX direction ("" = none)
+	RxRing string // plugged device name for the RX direction ("" = none)
+}
+
+func (ConfigureBypass) msgType() uint8 { return TypeConfigureBypass }
+func (m ConfigureBypass) encodeBody(b []byte) []byte {
+	b = be.AppendUint32(b, m.Port)
+	b = appendString(b, m.TxRing)
+	return appendString(b, m.RxRing)
+}
+
+// RemoveBypass instructs the PMD for Port to drop bypass directions.
+type RemoveBypass struct {
+	Port uint32
+	Dirs uint8 // DirTx | DirRx
+}
+
+func (RemoveBypass) msgType() uint8 { return TypeRemoveBypass }
+func (m RemoveBypass) encodeBody(b []byte) []byte {
+	b = be.AppendUint32(b, m.Port)
+	return append(b, m.Dirs)
+}
+
+// Ack reports command completion.
+type Ack struct {
+	OK     bool
+	Detail string
+}
+
+func (Ack) msgType() uint8 { return TypeAck }
+func (m Ack) encodeBody(b []byte) []byte {
+	ok := uint8(0)
+	if m.OK {
+		ok = 1
+	}
+	b = append(b, ok)
+	return appendString(b, m.Detail)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = be.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("ctrlproto: truncated string length")
+	}
+	n := int(be.Uint16(b[0:2]))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("ctrlproto: truncated string body")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, m Msg) error {
+	body := m.encodeBody(nil)
+	hdr := make([]byte, 5, 5+len(body))
+	hdr[0] = m.msgType()
+	be.PutUint32(hdr[1:5], uint32(len(body)))
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// Read reads and decodes one message.
+func Read(r io.Reader) (Msg, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	blen := int(be.Uint32(hdr[1:5]))
+	if blen > maxBodyLen {
+		return nil, fmt.Errorf("ctrlproto: body %d exceeds limit", blen)
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	switch hdr[0] {
+	case TypeConfigureBypass:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("ctrlproto: short configure body")
+		}
+		m := ConfigureBypass{Port: be.Uint32(body[0:4])}
+		var err error
+		rest := body[4:]
+		if m.TxRing, rest, err = readString(rest); err != nil {
+			return nil, err
+		}
+		if m.RxRing, _, err = readString(rest); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeRemoveBypass:
+		if len(body) < 5 {
+			return nil, fmt.Errorf("ctrlproto: short remove body")
+		}
+		return RemoveBypass{Port: be.Uint32(body[0:4]), Dirs: body[4]}, nil
+	case TypeAck:
+		if len(body) < 1 {
+			return nil, fmt.Errorf("ctrlproto: short ack body")
+		}
+		m := Ack{OK: body[0] == 1}
+		var err error
+		if m.Detail, _, err = readString(body[1:]); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("ctrlproto: unknown type %d", hdr[0])
+	}
+}
+
+// Call writes a command and reads the Ack, returning an error when the Ack
+// is negative or the peer misbehaves.
+func Call(rw io.ReadWriter, m Msg) error {
+	if err := Write(rw, m); err != nil {
+		return err
+	}
+	reply, err := Read(rw)
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(Ack)
+	if !ok {
+		return fmt.Errorf("ctrlproto: reply %T, want Ack", reply)
+	}
+	if !ack.OK {
+		return fmt.Errorf("ctrlproto: command rejected: %s", ack.Detail)
+	}
+	return nil
+}

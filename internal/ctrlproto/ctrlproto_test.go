@@ -1,0 +1,153 @@
+package ctrlproto
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(%T): %v", m, err)
+	}
+	return got
+}
+
+func TestRoundTrips(t *testing.T) {
+	cases := []Msg{
+		ConfigureBypass{Port: 3, TxRing: "bypass-3-4", RxRing: "bypass-4-3"},
+		ConfigureBypass{Port: 1, TxRing: "only-tx"},
+		ConfigureBypass{Port: 9},
+		RemoveBypass{Port: 5, Dirs: DirTx | DirRx},
+		RemoveBypass{Port: 7, Dirs: DirRx},
+		Ack{OK: true},
+		Ack{OK: false, Detail: "no such port"},
+	}
+	for i, m := range cases {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("case %d: got %+v, want %+v", i, got, m)
+		}
+	}
+}
+
+func TestReadRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{TypeAck, 0xff, 0xff, 0xff, 0xff})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestReadRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{99, 0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	// Header promises 10 bytes, stream has 3.
+	r := bytes.NewReader([]byte{TypeAck, 0, 0, 0, 10, 1, 0, 0})
+	if _, err := Read(r); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Empty stream yields EOF.
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want EOF", err)
+	}
+}
+
+func TestCallOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		m, err := Read(server)
+		if err != nil {
+			done <- err
+			return
+		}
+		cfg, ok := m.(ConfigureBypass)
+		if !ok || cfg.Port != 2 {
+			done <- Write(server, Ack{OK: false, Detail: "bad command"})
+			return
+		}
+		done <- Write(server, Ack{OK: true})
+	}()
+
+	if err := Call(client, ConfigureBypass{Port: 2, TxRing: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallRejected(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		Read(server)
+		Write(server, Ack{OK: false, Detail: "nope"})
+	}()
+	err := Call(client, RemoveBypass{Port: 1, Dirs: DirTx})
+	if err == nil {
+		t.Fatal("negative ack not surfaced")
+	}
+}
+
+// Property: decode never panics on arbitrary framed input.
+func TestQuickReadTotal(t *testing.T) {
+	f := func(typ uint8, body []byte) bool {
+		if len(body) > maxBodyLen {
+			body = body[:maxBodyLen]
+		}
+		var buf bytes.Buffer
+		buf.WriteByte(typ)
+		var l [4]byte
+		be.PutUint32(l[:], uint32(len(body)))
+		buf.Write(l[:])
+		buf.Write(body)
+		_, _ = Read(&buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConfigureBypass round-trips for arbitrary names.
+func TestQuickConfigureRoundTrip(t *testing.T) {
+	f := func(port uint32, tx, rx string) bool {
+		if len(tx) > 1000 {
+			tx = tx[:1000]
+		}
+		if len(rx) > 1000 {
+			rx = rx[:1000]
+		}
+		m := ConfigureBypass{Port: port, TxRing: tx, RxRing: rx}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package dpdkr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ovshighway/internal/mempool"
+)
+
+// TestQuiesceWaitsOutInFlightRx verifies the grace-period protocol: after
+// DetachRxBypass + QuiesceRx return, no concurrently started Rx can still
+// be consuming the old ring, so draining it is single-consumer safe.
+func TestQuiesceWaitsOutInFlightRx(t *testing.T) {
+	pool := mempool.MustNew(mempool.Config{Capacity: 512, BufSize: 256, Headroom: 32})
+	portA, pmdA, _ := NewPort(1, "a", 256)
+	portB, pmdB, _ := NewPort(2, "b", 256)
+	link, _ := NewLink("l", 1, 2, 256)
+	pmdA.AttachTxBypass(link)
+	pmdB.AttachRxBypass(link)
+
+	var running atomic.Bool
+	var wg sync.WaitGroup
+	running.Store(true)
+
+	// Consumer loop (the VNF lcore).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]*mempool.Buf, 8)
+		for running.Load() {
+			n := pmdB.Rx(out)
+			for i := 0; i < n; i++ {
+				out[i].Free()
+			}
+		}
+	}()
+	// Producer keeps the ring busy.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for running.Load() {
+			if b, err := pool.Get(); err == nil {
+				b.SetBytes([]byte{1})
+				if pmdA.Tx([]*mempool.Buf{b}) == 0 {
+					b.Free()
+				}
+			}
+		}
+	}()
+
+	// Control plane: repeatedly detach+quiesce, drain (now safe), re-attach.
+	for i := 0; i < 200; i++ {
+		pmdA.DetachTxBypass()
+		pmdA.QuiesceTx()
+		pmdB.DetachRxBypass()
+		pmdB.QuiesceRx()
+		// After quiescence we may act as the ring's only consumer.
+		link.Drain()
+		pmdB.AttachRxBypass(link)
+		pmdA.AttachTxBypass(link)
+	}
+
+	running.Store(false)
+	wg.Wait()
+	pmdA.DetachTxBypass()
+	pmdB.DetachRxBypass()
+	link.Drain()
+	// While detached, the producer's Tx fell back to port A's normal
+	// channel; nobody consumed it in this test, so drain both ports too.
+	portA.Drain()
+	portB.Drain()
+	// Conservation proves no buffer was double-freed or lost in the races.
+	deadline := time.Now().Add(time.Second)
+	for pool.Avail() != pool.Cap() && time.Now().Before(deadline) {
+	}
+	if pool.Avail() != pool.Cap() {
+		t.Fatalf("population: %d of %d", pool.Avail(), pool.Cap())
+	}
+}
+
+// TestQuiesceIdleReturnsImmediately: quiescing a PMD with no datapath
+// activity must not block.
+func TestQuiesceIdleReturnsImmediately(t *testing.T) {
+	_, pmd, _ := NewPort(1, "a", 64)
+	done := make(chan struct{})
+	go func() {
+		pmd.QuiesceRx()
+		pmd.QuiesceTx()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("quiesce blocked on idle PMD")
+	}
+}

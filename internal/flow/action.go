@@ -1,0 +1,120 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"ovshighway/internal/pkt"
+)
+
+// ActionType discriminates Action values.
+type ActionType uint8
+
+// Action types supported by the datapath.
+const (
+	ActOutput     ActionType = iota + 1 // forward to Port
+	ActController                       // punt to the OpenFlow controller
+	ActDrop                             // explicit drop
+	ActSetEthSrc                        // rewrite source MAC
+	ActSetEthDst                        // rewrite destination MAC
+	ActDecTTL                           // decrement IPv4 TTL, drop at zero
+)
+
+// Action is one datapath action. The zero value is invalid.
+type Action struct {
+	Type ActionType
+	Port uint32  // ActOutput
+	MAC  pkt.MAC // ActSetEthSrc / ActSetEthDst
+}
+
+// Output returns an output-to-port action.
+func Output(port uint32) Action { return Action{Type: ActOutput, Port: port} }
+
+// Controller returns a punt-to-controller action.
+func Controller() Action { return Action{Type: ActController} }
+
+// Drop returns an explicit drop action.
+func Drop() Action { return Action{Type: ActDrop} }
+
+// SetEthSrc returns a source-MAC rewrite action.
+func SetEthSrc(m pkt.MAC) Action { return Action{Type: ActSetEthSrc, MAC: m} }
+
+// SetEthDst returns a destination-MAC rewrite action.
+func SetEthDst(m pkt.MAC) Action { return Action{Type: ActSetEthDst, MAC: m} }
+
+// DecTTL returns a TTL-decrement action.
+func DecTTL() Action { return Action{Type: ActDecTTL} }
+
+// String renders the action in ovs-ofctl style.
+func (a Action) String() string {
+	switch a.Type {
+	case ActOutput:
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActController:
+		return "CONTROLLER"
+	case ActDrop:
+		return "drop"
+	case ActSetEthSrc:
+		return "mod_dl_src:" + a.MAC.String()
+	case ActSetEthDst:
+		return "mod_dl_dst:" + a.MAC.String()
+	case ActDecTTL:
+		return "dec_ttl"
+	default:
+		return fmt.Sprintf("unknown(%d)", a.Type)
+	}
+}
+
+// Actions is an ordered action list.
+type Actions []Action
+
+// String renders the list in ovs-ofctl style ("drop" when empty).
+func (as Actions) String() string {
+	if len(as) == 0 {
+		return "drop"
+	}
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal reports element-wise equality.
+func (as Actions) Equal(other Actions) bool {
+	if len(as) != len(other) {
+		return false
+	}
+	for i := range as {
+		if as[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputPorts returns the set of ports the list outputs to.
+func (as Actions) OutputPorts() []uint32 {
+	var out []uint32
+	for _, a := range as {
+		if a.Type == ActOutput {
+			out = append(out, a.Port)
+		}
+	}
+	return out
+}
+
+// IsPureOutputTo reports whether the action list is exactly one output to
+// the given port — the action shape required for a p-2-p bypass.
+func (as Actions) IsPureOutputTo(port uint32) bool {
+	return len(as) == 1 && as[0].Type == ActOutput && as[0].Port == port
+}
+
+// SoleOutput returns the destination when the list is exactly one output
+// action, with ok reporting whether that is the case.
+func (as Actions) SoleOutput() (port uint32, ok bool) {
+	if len(as) == 1 && as[0].Type == ActOutput {
+		return as[0].Port, true
+	}
+	return 0, false
+}

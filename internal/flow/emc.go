@@ -1,0 +1,100 @@
+package flow
+
+// EMC is an exact-match cache: a direct-mapped, 2-way cache from full packet
+// keys to classification results, owned by a single PMD thread (no locking).
+// It is the first level of the OVS userspace datapath lookup hierarchy; on a
+// hit the masked classifier walk is skipped entirely.
+//
+// Entries are validated against the table version: any table mutation
+// invalidates the whole cache on the next lookup, which is how flow-mod
+// driven behaviour changes (including bypass teardown decisions) become
+// visible to the datapath promptly.
+type EMC struct {
+	mask    uint32
+	entries []emcEntry
+	version uint64
+
+	hits      uint64
+	misses    uint64
+	conflicts uint64
+}
+
+type emcEntry struct {
+	valid bool
+	key   Packed
+	flow  *Flow
+}
+
+const emcWays = 2
+
+// NewEMC builds a cache with the given number of entries (rounded up to a
+// power of two, minimum 2*ways).
+func NewEMC(entries int) *EMC {
+	n := emcWays * 2
+	for n < entries {
+		n <<= 1
+	}
+	return &EMC{
+		mask:    uint32(n/emcWays - 1),
+		entries: make([]emcEntry, n),
+	}
+}
+
+// Lookup returns the cached flow for the packed key, or nil on miss.
+// tableVersion must be the owning table's current version; a version change
+// flushes the cache.
+func (c *EMC) Lookup(kp Packed, hash uint32, tableVersion uint64) *Flow {
+	if c.version != tableVersion {
+		c.flush(tableVersion)
+		c.misses++
+		return nil
+	}
+	base := int(hash&c.mask) * emcWays
+	for w := 0; w < emcWays; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.key == kp {
+			c.hits++
+			return e.flow
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// Insert caches a classification result obtained at tableVersion. A nil flow
+// is never cached (misses in the classifier go to the slow path and may
+// install new state). If the cache holds entries from an older version they
+// are flushed first.
+func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, tableVersion uint64) {
+	if f == nil {
+		return
+	}
+	if c.version != tableVersion {
+		c.flush(tableVersion)
+	}
+	base := int(hash&c.mask) * emcWays
+	// Way 0 always receives the newest entry; the previous way-0 occupant
+	// shifts to way 1, evicting the set's oldest entry (insertion-order LRU).
+	if c.entries[base].valid && c.entries[base+1].valid {
+		c.conflicts++
+	}
+	c.entries[base+1] = c.entries[base]
+	c.entries[base] = emcEntry{valid: true, key: kp, flow: f}
+}
+
+func (c *EMC) flush(version uint64) {
+	for i := range c.entries {
+		c.entries[i] = emcEntry{}
+	}
+	c.version = version
+}
+
+// EMCStats are cumulative cache counters.
+type EMCStats struct {
+	Hits, Misses, Conflicts uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *EMC) Stats() EMCStats {
+	return EMCStats{Hits: c.hits, Misses: c.misses, Conflicts: c.conflicts}
+}

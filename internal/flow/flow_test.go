@@ -1,0 +1,497 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovshighway/internal/pkt"
+)
+
+func key(inPort uint32, src, dst uint32, proto uint8, l4src, l4dst uint16) Key {
+	return Key{
+		InPort: inPort, EthType: pkt.EtherTypeIPv4,
+		IPSrc: src, IPDst: dst, IPProto: proto,
+		L4Src: l4src, L4Dst: l4dst,
+	}
+}
+
+func TestMatchInPortCovers(t *testing.T) {
+	m := MatchInPort(3)
+	k1 := key(3, 1, 2, pkt.ProtoUDP, 10, 20)
+	k2 := key(4, 1, 2, pkt.ProtoUDP, 10, 20)
+	if !m.Covers(&k1) {
+		t.Error("in_port=3 should cover port-3 packet")
+	}
+	if m.Covers(&k2) {
+		t.Error("in_port=3 should not cover port-4 packet")
+	}
+	if !m.MatchesOnlyInPort() {
+		t.Error("MatchInPort should be in-port-only")
+	}
+}
+
+func TestMatchAllCoversEverything(t *testing.T) {
+	m := MatchAll()
+	k := key(9, 123, 456, pkt.ProtoTCP, 1, 2)
+	if !m.Covers(&k) {
+		t.Error("MatchAll must cover any key")
+	}
+	if m.MatchesOnlyInPort() {
+		t.Error("MatchAll does not pin in-port")
+	}
+	if !m.AdmitsInPort(77) {
+		t.Error("MatchAll admits every port")
+	}
+}
+
+func TestMatchBuildersRefine(t *testing.T) {
+	m := MatchInPort(1).WithIPProto(pkt.ProtoUDP).WithL4Dst(80)
+	if m.MatchesOnlyInPort() {
+		t.Error("refined match claims in-port-only")
+	}
+	hit := key(1, 5, 6, pkt.ProtoUDP, 1000, 80)
+	missProto := key(1, 5, 6, pkt.ProtoTCP, 1000, 80)
+	missPort := key(1, 5, 6, pkt.ProtoUDP, 1000, 81)
+	if !m.Covers(&hit) {
+		t.Error("should cover UDP to :80")
+	}
+	if m.Covers(&missProto) || m.Covers(&missPort) {
+		t.Error("covers packets it should not")
+	}
+	// WithIPProto implies EthType IPv4.
+	nonIP := Key{InPort: 1, EthType: pkt.EtherTypeARP}
+	if m.Covers(&nonIP) {
+		t.Error("IP match covers ARP packet")
+	}
+}
+
+func TestMatchIPPrefix(t *testing.T) {
+	m := MatchAll().WithIPDst(pkt.IP4{10, 1, 2, 3}, 16)
+	in := key(1, 0, pkt.IP4{10, 1, 200, 9}.Uint32(), 0, 0, 0)
+	out := key(1, 0, pkt.IP4{10, 2, 2, 3}.Uint32(), 0, 0, 0)
+	if !m.Covers(&in) {
+		t.Error("prefix /16 should cover 10.1.200.9")
+	}
+	if m.Covers(&out) {
+		t.Error("prefix /16 should not cover 10.2.2.3")
+	}
+}
+
+func TestPrefixMaskEdges(t *testing.T) {
+	if prefixMask(0) != 0 {
+		t.Error("/0 mask")
+	}
+	if prefixMask(32) != ^uint32(0) {
+		t.Error("/32 mask")
+	}
+	if prefixMask(24) != 0xffffff00 {
+		t.Errorf("/24 mask = %08x", prefixMask(24))
+	}
+	if prefixMask(-3) != 0 || prefixMask(99) != ^uint32(0) {
+		t.Error("out-of-range prefix lens not clamped")
+	}
+}
+
+func TestMatchEqual(t *testing.T) {
+	a := MatchInPort(2).WithL4Dst(80)
+	b := MatchInPort(2).WithL4Dst(80)
+	c := MatchInPort(2).WithL4Dst(81)
+	if !a.Equal(b) {
+		t.Error("identical matches not equal")
+	}
+	if a.Equal(c) {
+		t.Error("different matches equal")
+	}
+	// Different irrelevant (masked-out) key bits must not matter.
+	d := b
+	d.Key.IPSrc = 999 // not covered by mask
+	if !a.Equal(d) {
+		t.Error("masked-out bits affect equality")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := MatchInPort(7).WithIPProto(pkt.ProtoTCP).WithL4Dst(80)
+	s := m.String()
+	for _, want := range []string{"in_port=7", "nw_proto=6", "tp_dst=80", "dl_type=0x0800"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if MatchAll().String() != "any" {
+		t.Errorf("MatchAll().String() = %q", MatchAll().String())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestActionsHelpers(t *testing.T) {
+	as := Actions{Output(5)}
+	if !as.IsPureOutputTo(5) {
+		t.Error("pure output not recognized")
+	}
+	if as.IsPureOutputTo(6) {
+		t.Error("wrong port accepted")
+	}
+	if p, ok := as.SoleOutput(); !ok || p != 5 {
+		t.Error("SoleOutput failed")
+	}
+	multi := Actions{SetEthDst(pkt.MAC{1}), Output(5)}
+	if multi.IsPureOutputTo(5) {
+		t.Error("multi-action treated as pure output")
+	}
+	if _, ok := multi.SoleOutput(); ok {
+		t.Error("SoleOutput on multi-action list")
+	}
+	if got := multi.OutputPorts(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("OutputPorts = %v", got)
+	}
+	if Actions(nil).String() != "drop" {
+		t.Error("empty actions should render as drop")
+	}
+	if !as.Equal(Actions{Output(5)}) || as.Equal(multi) {
+		t.Error("Actions.Equal wrong")
+	}
+}
+
+func TestTableLookupPriority(t *testing.T) {
+	tb := NewTable()
+	lo := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	hi := tb.Add(100, MatchInPort(1).WithIPProto(pkt.ProtoTCP), Actions{Output(3)}, 0)
+
+	tcp := key(1, 1, 2, pkt.ProtoTCP, 10, 20)
+	udp := key(1, 1, 2, pkt.ProtoUDP, 10, 20)
+	if got := tb.Lookup(&tcp); got != hi {
+		t.Errorf("TCP lookup = %v, want high-priority flow", got)
+	}
+	if got := tb.Lookup(&udp); got != lo {
+		t.Errorf("UDP lookup = %v, want low-priority flow", got)
+	}
+	other := key(2, 1, 2, pkt.ProtoTCP, 10, 20)
+	if got := tb.Lookup(&other); got != nil {
+		t.Errorf("port-2 lookup = %v, want nil", got)
+	}
+}
+
+func TestTableAddReplacesSameMatch(t *testing.T) {
+	tb := NewTable()
+	tb.Add(10, MatchInPort(1), Actions{Output(2)}, 1)
+	f2 := tb.Add(10, MatchInPort(1), Actions{Output(3)}, 2)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replacement)", tb.Len())
+	}
+	k := key(1, 0, 0, 0, 0, 0)
+	if got := tb.Lookup(&k); got != f2 {
+		t.Error("lookup did not see replacement")
+	}
+	// Same match at a different priority is a distinct flow.
+	tb.Add(20, MatchInPort(1), Actions{Output(4)}, 3)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestTableDeleteStrict(t *testing.T) {
+	tb := NewTable()
+	tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	if !tb.DeleteStrict(10, MatchInPort(1)) {
+		t.Fatal("strict delete missed existing flow")
+	}
+	if tb.DeleteStrict(10, MatchInPort(1)) {
+		t.Fatal("strict delete hit twice")
+	}
+	k := key(1, 0, 0, 0, 0, 0)
+	if tb.Lookup(&k) != nil {
+		t.Fatal("deleted flow still matches")
+	}
+}
+
+func TestTableDeleteWhere(t *testing.T) {
+	tb := NewTable()
+	tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	tb.Add(10, MatchInPort(2), Actions{Output(1)}, 0)
+	tb.Add(10, MatchInPort(3), Actions{Output(4)}, 0)
+	n := tb.DeleteWhere(func(f *Flow) bool {
+		p, ok := f.Actions.SoleOutput()
+		return ok && p <= 2
+	})
+	if n != 2 {
+		t.Fatalf("DeleteWhere = %d, want 2", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+type recListener struct {
+	added, removed []*Flow
+}
+
+func (r *recListener) FlowAdded(f *Flow)   { r.added = append(r.added, f) }
+func (r *recListener) FlowRemoved(f *Flow) { r.removed = append(r.removed, f) }
+
+func TestTableListenerEvents(t *testing.T) {
+	tb := NewTable()
+	rec := &recListener{}
+	tb.AddListener(rec)
+
+	f1 := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	if len(rec.added) != 1 || rec.added[0] != f1 {
+		t.Fatal("add event missing")
+	}
+	// Replacement fires removed+added.
+	f2 := tb.Add(10, MatchInPort(1), Actions{Output(3)}, 0)
+	if len(rec.removed) != 1 || rec.removed[0] != f1 || len(rec.added) != 2 || rec.added[1] != f2 {
+		t.Fatalf("replacement events wrong: added=%d removed=%d", len(rec.added), len(rec.removed))
+	}
+	tb.DeleteStrict(10, MatchInPort(1))
+	if len(rec.removed) != 2 || rec.removed[1] != f2 {
+		t.Fatal("delete event missing")
+	}
+}
+
+func TestTableVersionBumps(t *testing.T) {
+	tb := NewTable()
+	v0 := tb.Version()
+	tb.Add(1, MatchAll(), Actions{Output(1)}, 0)
+	if tb.Version() == v0 {
+		t.Fatal("version did not change on add")
+	}
+	v1 := tb.Version()
+	tb.DeleteStrict(1, MatchAll())
+	if tb.Version() == v1 {
+		t.Fatal("version did not change on delete")
+	}
+	if tb.DeleteStrict(1, MatchAll()) {
+		t.Fatal("no-op delete returned true")
+	}
+}
+
+func TestSnapshotSortedByPriority(t *testing.T) {
+	tb := NewTable()
+	tb.Add(5, MatchInPort(1), Actions{Output(2)}, 0)
+	tb.Add(50, MatchInPort(2), Actions{Output(3)}, 0)
+	tb.Add(25, MatchInPort(3), Actions{Output(4)}, 0)
+	snap := tb.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Priority < snap[i].Priority {
+			t.Fatal("snapshot not sorted by descending priority")
+		}
+	}
+}
+
+// refLookup is the obviously-correct reference classifier: linear scan,
+// highest priority wins, earlier insert wins ties.
+func refLookup(flows []*Flow, k *Key) *Flow {
+	var best *Flow
+	for _, f := range flows {
+		if f.Match.Covers(k) && (best == nil || f.Priority > best.Priority) {
+			best = f
+		}
+	}
+	return best
+}
+
+// TestQuickClassifierAgainstReference generates random rule sets and random
+// packets and cross-checks the TSS classifier with a linear scan.
+func TestQuickClassifierAgainstReference(t *testing.T) {
+	gen := func(rng *rand.Rand) Match {
+		m := MatchAll()
+		if rng.Intn(2) == 0 {
+			m = MatchInPort(uint32(rng.Intn(4)))
+		}
+		if rng.Intn(3) == 0 {
+			m = m.WithIPProto([]uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)])
+		}
+		if rng.Intn(3) == 0 {
+			m = m.WithL4Dst(uint16(rng.Intn(3) + 80))
+		}
+		if rng.Intn(4) == 0 {
+			m = m.WithIPDst(pkt.IP4{10, byte(rng.Intn(3)), 0, 0}, 16)
+		}
+		return m
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		var flows []*Flow
+		n := rng.Intn(24) + 1
+		for i := 0; i < n; i++ {
+			m := gen(rng)
+			prio := uint16(rng.Intn(8) * 10)
+			fl := tb.Add(prio, m, Actions{Output(uint32(rng.Intn(8)))}, uint64(i))
+			// Mirror replacement semantics in the reference list.
+			for j, old := range flows {
+				if old.Priority == prio && old.Match.Equal(m) {
+					flows = append(flows[:j], flows[j+1:]...)
+					break
+				}
+			}
+			flows = append(flows, fl)
+		}
+		for trial := 0; trial < 50; trial++ {
+			k := key(uint32(rng.Intn(4)),
+				rng.Uint32(), pkt.IP4{10, byte(rng.Intn(3)), 1, 1}.Uint32(),
+				[]uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)],
+				uint16(rng.Intn(1000)), uint16(rng.Intn(3)+80))
+			got := tb.Lookup(&k)
+			want := refLookup(flows, &k)
+			// Both must agree on the winning priority (ties between equal
+			// priorities may legitimately differ in which flow wins).
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				return false
+			case got.Priority != want.Priority:
+				return false
+			case !got.Match.Covers(&k):
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMCHitMissFlush(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	c := NewEMC(1024)
+
+	k := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp := k.Pack()
+	h := kp.Hash()
+	v := tb.Version()
+
+	if got := c.Lookup(kp, h, v); got != nil {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(kp, h, fl, v)
+	if got := c.Lookup(kp, h, v); got != fl {
+		t.Fatal("warm cache miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Any table change invalidates.
+	tb.Add(20, MatchInPort(2), Actions{Output(1)}, 0)
+	if got := c.Lookup(kp, h, tb.Version()); got != nil {
+		t.Fatal("stale entry survived version bump")
+	}
+}
+
+func TestEMCNilNotCached(t *testing.T) {
+	c := NewEMC(64)
+	k := key(1, 0, 0, 0, 0, 0)
+	kp := k.Pack()
+	c.Insert(kp, kp.Hash(), nil, 0)
+	if got := c.Lookup(kp, kp.Hash(), 0); got != nil {
+		t.Fatal("nil flow was cached")
+	}
+}
+
+func TestEMCConflictEviction(t *testing.T) {
+	c := NewEMC(4) // tiny: 4 entries = 2 sets * 2 ways
+	tb := NewTable()
+	fl := tb.Add(1, MatchAll(), Actions{Output(1)}, 0)
+	v := tb.Version()
+
+	// Fill one set with three entries mapping to the same bucket.
+	var keys []Packed
+	h := uint32(0) // same hash → same set
+	for i := 0; i < 3; i++ {
+		k := key(uint32(i), 0, 0, 0, 0, 0)
+		kp := k.Pack()
+		keys = append(keys, kp)
+		c.Insert(kp, h, fl, v)
+	}
+	// Newest two must be present, oldest evicted.
+	if c.Lookup(keys[2], h, v) != fl || c.Lookup(keys[1], h, v) != fl {
+		t.Fatal("recent entries evicted")
+	}
+	if c.Lookup(keys[0], h, v) != nil {
+		t.Fatal("oldest entry survived 2-way eviction")
+	}
+	if c.Stats().Conflicts == 0 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+func TestExtractKeyFromParsedPacket(t *testing.T) {
+	buf := make([]byte, 256)
+	n, err := pkt.BuildUDP(buf, pkt.UDPSpec{
+		SrcMAC: pkt.MAC{1}, DstMAC: pkt.MAC{2},
+		SrcIP: pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p pkt.Parser
+	if err := p.Parse(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	k := ExtractKey(&p, 7)
+	if k.InPort != 7 || k.EthType != pkt.EtherTypeIPv4 ||
+		k.IPSrc != (pkt.IP4{10, 0, 0, 1}).Uint32() ||
+		k.IPProto != pkt.ProtoUDP || k.L4Src != 1000 || k.L4Dst != 2000 {
+		t.Fatalf("key = %+v", k)
+	}
+}
+
+func TestFlowStatsCounters(t *testing.T) {
+	tb := NewTable()
+	f := tb.Add(1, MatchAll(), Actions{Output(1)}, 0)
+	f.Packets.Add(10)
+	f.Bytes.Add(640)
+	p, b := f.Stats()
+	if p != 10 || b != 640 {
+		t.Fatalf("stats = %d/%d", p, b)
+	}
+}
+
+func BenchmarkTableLookupEMCMiss(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < 32; i++ {
+		tb.Add(uint16(i), MatchInPort(uint32(i)).WithL4Dst(uint16(80+i)), Actions{Output(uint32(i + 1))}, 0)
+	}
+	k := key(5, 1, 2, pkt.ProtoUDP, 99, 85)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb.Lookup(&k) == nil {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkEMCLookupHit(b *testing.B) {
+	tb := NewTable()
+	fl := tb.Add(1, MatchAll(), Actions{Output(1)}, 0)
+	c := NewEMC(8192)
+	k := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp := k.Pack()
+	h := kp.Hash()
+	v := tb.Version()
+	c.Insert(kp, h, fl, v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(kp, h, v) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package flow implements the OpenFlow-style flow abstraction used by the
+// vSwitch datapath: match keys with masks, actions, priority-ordered flow
+// tables, a tuple-space-search classifier, and a per-PMD exact-match cache.
+//
+// The structure mirrors the OVS userspace datapath lookup hierarchy the paper
+// relies on: EMC (exact, per-PMD) in front of a masked classifier (one hash
+// subtable per distinct mask), in front of the slow path. Reproducing that
+// hierarchy matters because the vanilla baseline's per-hop cost is exactly
+// this lookup plus the action execution.
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"ovshighway/internal/pkt"
+)
+
+// Key is the flat packet header key the classifier operates on, the analogue
+// of OVS's struct flow (reduced to the fields this system matches on).
+type Key struct {
+	InPort  uint32
+	EthSrc  pkt.MAC
+	EthDst  pkt.MAC
+	EthType uint16
+	VlanID  uint16 // 0 = untagged
+	IPSrc   uint32
+	IPDst   uint32
+	IPProto uint8
+	IPDSCP  uint8
+	L4Src   uint16
+	L4Dst   uint16
+}
+
+// packedKeySize is the size of the canonical packed representation.
+const packedKeySize = 36
+
+// Packed is the canonical fixed-size serialization of a Key. It is the hash
+// and equality unit for classifier subtables and the EMC.
+type Packed [packedKeySize]byte
+
+// Pack serializes the key into its canonical packed form.
+func (k *Key) Pack() Packed {
+	var p Packed
+	binary.BigEndian.PutUint32(p[0:4], k.InPort)
+	copy(p[4:10], k.EthSrc[:])
+	copy(p[10:16], k.EthDst[:])
+	binary.BigEndian.PutUint16(p[16:18], k.EthType)
+	binary.BigEndian.PutUint16(p[18:20], k.VlanID)
+	binary.BigEndian.PutUint32(p[20:24], k.IPSrc)
+	binary.BigEndian.PutUint32(p[24:28], k.IPDst)
+	p[28] = k.IPProto
+	p[29] = k.IPDSCP
+	binary.BigEndian.PutUint16(p[30:32], k.L4Src)
+	binary.BigEndian.PutUint16(p[32:34], k.L4Dst)
+	// p[34:36] reserved padding, always zero.
+	return p
+}
+
+// Mask selects which Key bits a flow matches on. A zero bit is wildcarded.
+// Masks use the same packed layout as keys.
+type Mask struct {
+	InPort  uint32
+	EthSrc  pkt.MAC
+	EthDst  pkt.MAC
+	EthType uint16
+	VlanID  uint16
+	IPSrc   uint32
+	IPDst   uint32
+	IPProto uint8
+	IPDSCP  uint8
+	L4Src   uint16
+	L4Dst   uint16
+}
+
+// Pack serializes the mask into packed form.
+func (m *Mask) Pack() Packed {
+	k := Key{
+		InPort: m.InPort, EthSrc: m.EthSrc, EthDst: m.EthDst,
+		EthType: m.EthType, VlanID: m.VlanID,
+		IPSrc: m.IPSrc, IPDst: m.IPDst,
+		IPProto: m.IPProto, IPDSCP: m.IPDSCP,
+		L4Src: m.L4Src, L4Dst: m.L4Dst,
+	}
+	return k.Pack()
+}
+
+// And returns p masked by m, byte-wise.
+func (p Packed) And(m Packed) Packed {
+	var out Packed
+	for i := range p {
+		out[i] = p[i] & m[i]
+	}
+	return out
+}
+
+// Hash returns an FNV-1a hash of the packed bytes.
+func (p Packed) Hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range p {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return h
+}
+
+// ExtractKey builds a classifier key from a parsed packet and its ingress
+// port. It allocates nothing.
+func ExtractKey(p *pkt.Parser, inPort uint32) Key {
+	k := Key{InPort: inPort}
+	if !p.Decoded.Has(pkt.LayerEthernet) {
+		return k
+	}
+	k.EthSrc = p.Eth.Src()
+	k.EthDst = p.Eth.Dst()
+	k.EthType = p.Eth.EtherType()
+	if p.Decoded.Has(pkt.LayerVLAN) {
+		k.VlanID = p.VLAN.VID()
+		k.EthType = p.VLAN.EtherType()
+	}
+	if p.Decoded.Has(pkt.LayerIPv4) {
+		k.IPSrc = p.IPv4.Src().Uint32()
+		k.IPDst = p.IPv4.Dst().Uint32()
+		k.IPProto = p.IPv4.Proto()
+		k.IPDSCP = p.IPv4.DSCP()
+	}
+	switch {
+	case p.Decoded.Has(pkt.LayerUDP):
+		k.L4Src = p.UDP.SrcPort()
+		k.L4Dst = p.UDP.DstPort()
+	case p.Decoded.Has(pkt.LayerTCP):
+		k.L4Src = p.TCP.SrcPort()
+		k.L4Dst = p.TCP.DstPort()
+	}
+	return k
+}
+
+// Match pairs a key with a mask: the OpenFlow match of a flow entry.
+type Match struct {
+	Key  Key
+	Mask Mask
+}
+
+// MatchAll is the fully wildcarded match.
+func MatchAll() Match { return Match{} }
+
+// MatchInPort matches only on the ingress port — the catch-all rule shape
+// the p-2-p detector looks for.
+func MatchInPort(port uint32) Match {
+	return Match{
+		Key:  Key{InPort: port},
+		Mask: Mask{InPort: ^uint32(0)},
+	}
+}
+
+// WithEthType returns a copy of m additionally matching the EtherType.
+func (m Match) WithEthType(t uint16) Match {
+	m.Key.EthType = t
+	m.Mask.EthType = 0xffff
+	return m
+}
+
+// WithIPProto returns a copy of m additionally matching the IP protocol.
+// It implies matching EtherType IPv4 if not already set.
+func (m Match) WithIPProto(proto uint8) Match {
+	if m.Mask.EthType == 0 {
+		m = m.WithEthType(pkt.EtherTypeIPv4)
+	}
+	m.Key.IPProto = proto
+	m.Mask.IPProto = 0xff
+	return m
+}
+
+// WithIPDst returns a copy of m additionally matching a destination prefix.
+func (m Match) WithIPDst(addr pkt.IP4, prefixLen int) Match {
+	if m.Mask.EthType == 0 {
+		m = m.WithEthType(pkt.EtherTypeIPv4)
+	}
+	mask := prefixMask(prefixLen)
+	m.Key.IPDst = addr.Uint32() & mask
+	m.Mask.IPDst = mask
+	return m
+}
+
+// WithIPSrc returns a copy of m additionally matching a source prefix.
+func (m Match) WithIPSrc(addr pkt.IP4, prefixLen int) Match {
+	if m.Mask.EthType == 0 {
+		m = m.WithEthType(pkt.EtherTypeIPv4)
+	}
+	mask := prefixMask(prefixLen)
+	m.Key.IPSrc = addr.Uint32() & mask
+	m.Mask.IPSrc = mask
+	return m
+}
+
+// WithL4Dst returns a copy of m additionally matching the destination port.
+func (m Match) WithL4Dst(port uint16) Match {
+	m.Key.L4Dst = port
+	m.Mask.L4Dst = 0xffff
+	return m
+}
+
+// WithL4Src returns a copy of m additionally matching the source port.
+func (m Match) WithL4Src(port uint16) Match {
+	m.Key.L4Src = port
+	m.Mask.L4Src = 0xffff
+	return m
+}
+
+// WithEthDst returns a copy of m additionally matching the destination MAC.
+func (m Match) WithEthDst(mac pkt.MAC) Match {
+	m.Key.EthDst = mac
+	m.Mask.EthDst = pkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	return m
+}
+
+// WithVlan returns a copy of m additionally matching the VLAN id.
+func (m Match) WithVlan(vid uint16) Match {
+	m.Key.VlanID = vid
+	m.Mask.VlanID = 0x0fff
+	return m
+}
+
+func prefixMask(prefixLen int) uint32 {
+	if prefixLen <= 0 {
+		return 0
+	}
+	if prefixLen >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - prefixLen)
+}
+
+// Covers reports whether k satisfies the match.
+func (m Match) Covers(k *Key) bool {
+	return m.Key.Pack().And(m.Mask.Pack()) == k.Pack().And(m.Mask.Pack())
+}
+
+// MatchesOnlyInPort reports whether the match constrains nothing beyond the
+// ingress port — i.e. it is a per-port catch-all. Used by the p-2-p detector.
+func (m Match) MatchesOnlyInPort() bool {
+	var zero Packed
+	mp := m.Mask.Pack()
+	// Clear the in-port bytes and require everything else wildcarded.
+	mp[0], mp[1], mp[2], mp[3] = 0, 0, 0, 0
+	return m.Mask.InPort == ^uint32(0) && mp == zero
+}
+
+// AdmitsInPort reports whether packets arriving on port could satisfy the
+// match's in-port constraint (exactly matching, or in-port wildcarded).
+func (m Match) AdmitsInPort(port uint32) bool {
+	return m.Key.InPort&m.Mask.InPort == port&m.Mask.InPort
+}
+
+// Equal reports whether two matches are identical (same key bits under the
+// same mask). OpenFlow flow-mod identity is (table, priority, match): this
+// provides the match component.
+func (m Match) Equal(o Match) bool {
+	return m.Mask.Pack() == o.Mask.Pack() &&
+		m.Key.Pack().And(m.Mask.Pack()) == o.Key.Pack().And(o.Mask.Pack())
+}
+
+// String renders the match in an ovs-ofctl-like syntax.
+func (m Match) String() string {
+	var parts []string
+	if m.Mask.InPort != 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.Key.InPort))
+	}
+	if m.Mask.EthSrc != (pkt.MAC{}) {
+		parts = append(parts, "dl_src="+m.Key.EthSrc.String())
+	}
+	if m.Mask.EthDst != (pkt.MAC{}) {
+		parts = append(parts, "dl_dst="+m.Key.EthDst.String())
+	}
+	if m.Mask.EthType != 0 {
+		parts = append(parts, fmt.Sprintf("dl_type=0x%04x", m.Key.EthType))
+	}
+	if m.Mask.VlanID != 0 {
+		parts = append(parts, fmt.Sprintf("dl_vlan=%d", m.Key.VlanID))
+	}
+	if m.Mask.IPSrc != 0 {
+		parts = append(parts, fmt.Sprintf("nw_src=%s/%d", pkt.IP4FromUint32(m.Key.IPSrc), popcount(m.Mask.IPSrc)))
+	}
+	if m.Mask.IPDst != 0 {
+		parts = append(parts, fmt.Sprintf("nw_dst=%s/%d", pkt.IP4FromUint32(m.Key.IPDst), popcount(m.Mask.IPDst)))
+	}
+	if m.Mask.IPProto != 0 {
+		parts = append(parts, fmt.Sprintf("nw_proto=%d", m.Key.IPProto))
+	}
+	if m.Mask.L4Src != 0 {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", m.Key.L4Src))
+	}
+	if m.Mask.L4Dst != 0 {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", m.Key.L4Dst))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for v != 0 {
+		n += int(v & 1)
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovshighway/internal/pkt"
+)
+
+// randKey draws a key from a small value domain so collisions and matches
+// actually happen under quick.Check.
+func randKey(rng *rand.Rand) Key {
+	return Key{
+		InPort:  uint32(rng.Intn(4)),
+		EthType: pkt.EtherTypeIPv4,
+		IPSrc:   rng.Uint32() % 8,
+		IPDst:   rng.Uint32() % 8,
+		IPProto: []uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)],
+		L4Src:   uint16(rng.Intn(4)),
+		L4Dst:   uint16(rng.Intn(4)),
+	}
+}
+
+func randMatch(rng *rand.Rand) Match {
+	m := MatchAll()
+	if rng.Intn(2) == 0 {
+		m = MatchInPort(uint32(rng.Intn(4)))
+	}
+	if rng.Intn(3) == 0 {
+		m = m.WithIPProto([]uint8{pkt.ProtoUDP, pkt.ProtoTCP}[rng.Intn(2)])
+	}
+	if rng.Intn(3) == 0 {
+		m = m.WithL4Dst(uint16(rng.Intn(4)))
+	}
+	if rng.Intn(4) == 0 {
+		m = m.WithIPSrc(pkt.IP4FromUint32(rng.Uint32()%8), 30+rng.Intn(3))
+	}
+	return m
+}
+
+// Property: packed masking is idempotent and commutes with itself.
+func TestQuickPackedMaskAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := randKey(rng)
+		m := randMatch(rng)
+		kp := k.Pack()
+		mp := m.Mask.Pack()
+		masked := kp.And(mp)
+		// idempotent
+		if masked.And(mp) != masked {
+			return false
+		}
+		// masking with the zero mask yields zero
+		var zero Packed
+		if kp.And(zero) != zero {
+			return false
+		}
+		// masking with an all-ones mask is identity on the packed bytes
+		var ones Packed
+		for i := range ones {
+			ones[i] = 0xff
+		}
+		return kp.And(ones) == kp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Covers(k) is exactly "k agrees with the match key on every
+// masked bit" — cross-check against a bit-level reference.
+func TestQuickCoversDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := randKey(rng)
+		m := randMatch(rng)
+		kp := k.Pack()
+		mp := m.Mask.Pack()
+		want := m.Key.Pack().And(mp) == kp.And(mp)
+		return m.Covers(&k) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Match.Equal is reflexive and symmetric, and invariant under
+// changes to masked-out key bits.
+func TestQuickMatchEqualRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatch(rng)
+		b := randMatch(rng)
+		if !a.Equal(a) || !b.Equal(b) {
+			return false
+		}
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		// Mutating a masked-out bit of a's key must not change equality.
+		c := a
+		if c.Mask.IPDst == 0 {
+			c.Key.IPDst = rng.Uint32()
+		}
+		return a.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a match refined by a builder covers a subset of what the
+// original covered (builders only pin additional bits).
+func TestQuickBuildersMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randMatch(rng)
+		refined := base.WithL4Src(uint16(rng.Intn(4)))
+		for trial := 0; trial < 40; trial++ {
+			k := randKey(rng)
+			if refined.Covers(&k) && !base.Covers(&k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EMC lookups always agree with the classifier they were filled
+// from, across random insert orders and table mutations.
+func TestQuickEMCCoherence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		emc := NewEMC(64) // tiny, to force evictions
+		n := rng.Intn(10) + 1
+		for i := 0; i < n; i++ {
+			tb.Add(uint16(rng.Intn(4)*10), randMatch(rng), Actions{Output(uint32(rng.Intn(4)))}, uint64(i))
+		}
+		for trial := 0; trial < 100; trial++ {
+			if rng.Intn(20) == 0 { // occasional mutation
+				tb.Add(uint16(rng.Intn(4)*10), randMatch(rng), Actions{Output(uint32(rng.Intn(4)))}, 99)
+			}
+			k := randKey(rng)
+			kp := k.Pack()
+			h := kp.Hash()
+			v := tb.Version()
+			cached := emc.Lookup(kp, h, v)
+			truth := tb.Lookup(&k)
+			if cached != nil && cached != truth {
+				return false // stale or wrong entry served
+			}
+			if cached == nil && truth != nil {
+				emc.Insert(kp, h, truth, v)
+				// Immediately re-reading must hit unless the version moved.
+				if tb.Version() == v && emc.Lookup(kp, h, v) != truth {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

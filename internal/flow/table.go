@@ -1,0 +1,327 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Expiry reasons, matching OpenFlow's OFPRR_* values.
+const (
+	ReasonIdleTimeout uint8 = 0
+	ReasonHardTimeout uint8 = 1
+)
+
+// SendFlowRemoved is the OFPFF_SEND_FLOW_REM flag bit: the controller wants
+// an OFPT_FLOW_REMOVED when this flow expires.
+const SendFlowRemoved uint16 = 1
+
+// Flow is one flow-table entry. Stats counters are updated lock-free by the
+// datapath; everything else is immutable after insertion (modifications
+// replace the entry).
+type Flow struct {
+	Priority uint16
+	Match    Match
+	Actions  Actions
+	Cookie   uint64
+
+	// IdleTO/HardTO are OpenFlow timeouts in seconds (0 = permanent).
+	IdleTO uint16
+	HardTO uint16
+	// Flags carries OpenFlow flow-mod flags (SendFlowRemoved).
+	Flags uint16
+
+	// Packets/Bytes are hit counters maintained by the datapath. Bypass
+	// traffic is accounted separately (see the stats package) and merged at
+	// stats-export time, exactly as the paper's PMD/shared-memory split.
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+
+	created int64        // UnixNano at insertion
+	lastHit atomic.Int64 // UnixNano of the most recent datapath hit
+}
+
+// Touch records a datapath hit for idle-timeout accounting. The PMD calls
+// it once per batch with an amortized timestamp; flows without an idle
+// timeout skip the store.
+func (f *Flow) Touch(nowNano int64) {
+	if f.IdleTO > 0 {
+		f.lastHit.Store(nowNano)
+	}
+}
+
+// Expired reports whether the flow has timed out at now and why.
+func (f *Flow) Expired(now time.Time) (bool, uint8) {
+	n := now.UnixNano()
+	if f.HardTO > 0 && n-f.created >= int64(f.HardTO)*int64(time.Second) {
+		return true, ReasonHardTimeout
+	}
+	if f.IdleTO > 0 && n-f.lastHit.Load() >= int64(f.IdleTO)*int64(time.Second) {
+		return true, ReasonIdleTimeout
+	}
+	return false, 0
+}
+
+// Age returns how long the flow has existed.
+func (f *Flow) Age() time.Duration {
+	return time.Duration(time.Now().UnixNano() - f.created)
+}
+
+// Stats returns a snapshot of the flow counters.
+func (f *Flow) Stats() (packets, bytes uint64) {
+	return f.Packets.Load(), f.Bytes.Load()
+}
+
+func (f *Flow) String() string {
+	return fmt.Sprintf("priority=%d,%s actions=%s", f.Priority, f.Match, f.Actions)
+}
+
+// subtable groups flows sharing one mask: the unit of tuple space search.
+type subtable struct {
+	mask    Packed
+	maxPrio uint16
+	// entries maps masked packed keys to flows sorted by descending priority.
+	entries map[Packed][]*Flow
+}
+
+// classifier is an immutable lookup snapshot. Tables rebuild it on every
+// mutation and swap it atomically, giving PMD threads wait-free lookups
+// (the RCU idiom OVS uses, in Go clothing).
+type classifier struct {
+	// subtables sorted by descending maxPrio allows early exit as soon as the
+	// best candidate outranks every remaining subtable.
+	subtables []*subtable
+	version   uint64
+}
+
+// Lookup returns the highest-priority flow covering k, or nil.
+func (c *classifier) Lookup(k *Key) *Flow {
+	kp := k.Pack()
+	var best *Flow
+	for _, st := range c.subtables {
+		if best != nil && best.Priority >= st.maxPrio {
+			break
+		}
+		masked := kp.And(st.mask)
+		for _, f := range st.entries[masked] {
+			if best == nil || f.Priority > best.Priority {
+				best = f
+			}
+			break // entries are sorted by descending priority
+		}
+	}
+	return best
+}
+
+// Table is a priority flow table with copy-on-write lookup snapshots.
+// Mutations (Add/Delete/Modify) are serialized by a mutex and O(n); lookups
+// are wait-free against the latest snapshot. Listeners observe every
+// mutation — this is the hook point for the p-2-p link detector, which in
+// the paper inspects each flowmod received by the vSwitch.
+type Table struct {
+	mu        sync.Mutex
+	flows     []*Flow
+	version   atomic.Uint64
+	snap      atomic.Pointer[classifier]
+	listeners []Listener
+}
+
+// Listener observes table mutations. Callbacks run synchronously under the
+// table mutation lock: implementations must be fast and must not mutate the
+// table reentrantly.
+type Listener interface {
+	FlowAdded(f *Flow)
+	FlowRemoved(f *Flow)
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{}
+	t.snap.Store(&classifier{})
+	return t
+}
+
+// AddListener registers a mutation listener.
+func (t *Table) AddListener(l Listener) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listeners = append(t.listeners, l)
+}
+
+// Version returns the current table version; it increments on every
+// mutation. The EMC uses it for invalidation.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// Add inserts a permanent flow. Per OpenFlow semantics, an existing flow
+// with the same priority and match is replaced (its counters are lost, as
+// with OFPFF_RESET_COUNTS). Returns the inserted flow.
+func (t *Table) Add(priority uint16, m Match, actions Actions, cookie uint64) *Flow {
+	return t.AddWithTimeouts(priority, m, actions, cookie, 0, 0, 0)
+}
+
+// AddWithTimeouts inserts a flow with OpenFlow idle/hard timeouts (seconds,
+// 0 = never) and flow-mod flags.
+func (t *Table) AddWithTimeouts(priority uint16, m Match, actions Actions, cookie uint64, idleTO, hardTO, flags uint16) *Flow {
+	now := time.Now().UnixNano()
+	f := &Flow{
+		Priority: priority,
+		Match:    m,
+		Actions:  append(Actions(nil), actions...),
+		Cookie:   cookie,
+		IdleTO:   idleTO,
+		HardTO:   hardTO,
+		Flags:    flags,
+		created:  now,
+	}
+	f.lastHit.Store(now)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, old := range t.flows {
+		if old.Priority == priority && old.Match.Equal(m) {
+			t.flows[i] = f
+			t.rebuildLocked()
+			for _, l := range t.listeners {
+				l.FlowRemoved(old)
+				l.FlowAdded(f)
+			}
+			return f
+		}
+	}
+	t.flows = append(t.flows, f)
+	t.rebuildLocked()
+	for _, l := range t.listeners {
+		l.FlowAdded(f)
+	}
+	return f
+}
+
+// DeleteStrict removes the flow with exactly this priority and match,
+// reporting whether one was removed.
+func (t *Table) DeleteStrict(priority uint16, m Match) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, f := range t.flows {
+		if f.Priority == priority && f.Match.Equal(m) {
+			t.flows = append(t.flows[:i], t.flows[i+1:]...)
+			t.rebuildLocked()
+			for _, l := range t.listeners {
+				l.FlowRemoved(f)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteWhere removes all flows for which pred returns true and reports how
+// many were removed. Non-strict OpenFlow deletes map onto this.
+func (t *Table) DeleteWhere(pred func(*Flow) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var kept []*Flow
+	var removed []*Flow
+	for _, f := range t.flows {
+		if pred(f) {
+			removed = append(removed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if len(removed) == 0 {
+		return 0
+	}
+	t.flows = kept
+	t.rebuildLocked()
+	for _, f := range removed {
+		for _, l := range t.listeners {
+			l.FlowRemoved(f)
+		}
+	}
+	return len(removed)
+}
+
+// Snapshot returns a copy of the flow list, sorted by descending priority.
+// Callers may read flow fields but must not mutate them.
+func (t *Table) Snapshot() []*Flow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]*Flow(nil), t.flows...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// Len returns the number of flows.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// Lookup classifies k against the current snapshot. Wait-free.
+func (t *Table) Lookup(k *Key) *Flow {
+	return t.snap.Load().Lookup(k)
+}
+
+// Expired is one flow removed by Expire, with its OpenFlow reason code.
+type Expired struct {
+	Flow   *Flow
+	Reason uint8
+}
+
+// Expire removes every flow whose idle or hard timeout has elapsed at now,
+// firing the usual removal listeners (so the p-2-p detector reacts to
+// expiries exactly as to explicit deletes), and returns them with reasons.
+func (t *Table) Expire(now time.Time) []Expired {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var expired []Expired
+	var kept []*Flow
+	for _, f := range t.flows {
+		if dead, reason := f.Expired(now); dead {
+			expired = append(expired, Expired{Flow: f, Reason: reason})
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	if len(expired) == 0 {
+		return nil
+	}
+	t.flows = kept
+	t.rebuildLocked()
+	for _, e := range expired {
+		for _, l := range t.listeners {
+			l.FlowRemoved(e.Flow)
+		}
+	}
+	return expired
+}
+
+// rebuildLocked regenerates the classifier snapshot. Caller holds t.mu.
+func (t *Table) rebuildLocked() {
+	v := t.version.Add(1)
+	bymask := make(map[Packed]*subtable)
+	for _, f := range t.flows {
+		mp := f.Match.Mask.Pack()
+		st, ok := bymask[mp]
+		if !ok {
+			st = &subtable{mask: mp, entries: make(map[Packed][]*Flow)}
+			bymask[mp] = st
+		}
+		if f.Priority > st.maxPrio {
+			st.maxPrio = f.Priority
+		}
+		masked := f.Match.Key.Pack().And(mp)
+		st.entries[masked] = append(st.entries[masked], f)
+	}
+	c := &classifier{version: v}
+	for _, st := range bymask {
+		for _, flows := range st.entries {
+			sort.SliceStable(flows, func(i, j int) bool { return flows[i].Priority > flows[j].Priority })
+		}
+		c.subtables = append(c.subtables, st)
+	}
+	sort.Slice(c.subtables, func(i, j int) bool { return c.subtables[i].maxPrio > c.subtables[j].maxPrio })
+	t.snap.Store(c)
+}

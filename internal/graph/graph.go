@@ -1,0 +1,179 @@
+// Package graph models NFV service graphs (Figure 1(a) of the paper):
+// VNF nodes with numbered ports, connected by logical links among
+// themselves and to external endpoints (NICs). The orchestrator lowers a
+// graph onto a node as VMs, dpdkr ports and OpenFlow steering rules.
+package graph
+
+import "fmt"
+
+// Kind discriminates VNF node types the orchestrator can instantiate.
+type Kind string
+
+// Supported VNF kinds.
+const (
+	KindForward  Kind = "forward"  // two ports, moves packets between them
+	KindFirewall Kind = "firewall" // two ports, filters while forwarding
+	KindMonitor  Kind = "monitor"  // two ports, accounts while forwarding
+	KindSource   Kind = "source"   // one port, generates traffic
+	KindSink     Kind = "sink"     // one port, terminates traffic
+	KindSrcSink  Kind = "srcsink"  // one port, generates AND terminates (bidirectional endpoint)
+)
+
+// PortCount returns the number of dpdkr ports a kind requires, or 0 for an
+// unknown kind.
+func (k Kind) PortCount() int {
+	switch k {
+	case KindSource, KindSink, KindSrcSink:
+		return 1
+	case KindForward, KindFirewall, KindMonitor:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// VNF is one service-graph node.
+type VNF struct {
+	Name string
+	Kind Kind
+	// Args carries kind-specific configuration (e.g. []vnf.FirewallRule for
+	// firewalls, a pkt.UDPSpec for sources). Interpreted by the
+	// orchestrator's factories.
+	Args any
+}
+
+// EndpointKind discriminates edge endpoints.
+type EndpointKind int
+
+// Endpoint kinds.
+const (
+	EpVNF EndpointKind = iota
+	EpNIC
+)
+
+// Endpoint is one side of an edge: a (VNF, port) pair or a named NIC.
+type Endpoint struct {
+	Kind EndpointKind
+	Name string // VNF name or NIC name
+	Port int    // VNF-local port index (ignored for NICs)
+}
+
+// VNFPort addresses port idx of the named VNF.
+func VNFPort(name string, idx int) Endpoint {
+	return Endpoint{Kind: EpVNF, Name: name, Port: idx}
+}
+
+// NIC addresses a named external NIC.
+func NIC(name string) Endpoint {
+	return Endpoint{Kind: EpNIC, Name: name}
+}
+
+// Edge is a logical link. Bidirectional edges lower to two steering rules.
+type Edge struct {
+	A, B          Endpoint
+	Bidirectional bool
+}
+
+// Graph is a service graph.
+type Graph struct {
+	VNFs  []VNF
+	Edges []Edge
+}
+
+// Validate checks structural sanity: unique VNF names, endpoints that
+// exist, port indexes in range, and no VNF port used by two edges (each
+// dpdkr port carries exactly one logical attachment).
+func (g *Graph) Validate() error {
+	byName := make(map[string]VNF, len(g.VNFs))
+	for _, v := range g.VNFs {
+		if v.Name == "" {
+			return fmt.Errorf("graph: VNF with empty name")
+		}
+		if _, dup := byName[v.Name]; dup {
+			return fmt.Errorf("graph: duplicate VNF %q", v.Name)
+		}
+		if v.Kind.PortCount() == 0 {
+			return fmt.Errorf("graph: VNF %q has unknown kind %q", v.Name, v.Kind)
+		}
+		byName[v.Name] = v
+	}
+	used := make(map[Endpoint]bool)
+	for i, e := range g.Edges {
+		for _, ep := range []Endpoint{e.A, e.B} {
+			switch ep.Kind {
+			case EpVNF:
+				v, ok := byName[ep.Name]
+				if !ok {
+					return fmt.Errorf("graph: edge %d references unknown VNF %q", i, ep.Name)
+				}
+				if ep.Port < 0 || ep.Port >= v.Kind.PortCount() {
+					return fmt.Errorf("graph: edge %d: VNF %q has no port %d", i, ep.Name, ep.Port)
+				}
+				if used[ep] {
+					return fmt.Errorf("graph: edge %d: VNF port %s/%d already linked", i, ep.Name, ep.Port)
+				}
+				used[ep] = true
+			case EpNIC:
+				if ep.Name == "" {
+					return fmt.Errorf("graph: edge %d: NIC endpoint without name", i)
+				}
+			default:
+				return fmt.Errorf("graph: edge %d: bad endpoint kind %d", i, ep.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Chain builds the paper's benchmark graph: a source/NIC, n forwarder VMs,
+// and a sink/NIC, linked bidirectionally in a line. If nicIn/nicOut are
+// empty, a source and sink VNF are used instead (memory-only, Figure 3(a));
+// otherwise traffic enters and leaves via the named NICs (Figure 3(b)).
+func Chain(n int, nicIn, nicOut string) *Graph {
+	g := &Graph{}
+	var first, last Endpoint
+	if nicIn == "" {
+		g.VNFs = append(g.VNFs, VNF{Name: "src", Kind: KindSource})
+		first = VNFPort("src", 0)
+	} else {
+		first = NIC(nicIn)
+	}
+	if nicOut == "" {
+		g.VNFs = append(g.VNFs, VNF{Name: "dst", Kind: KindSink})
+		last = VNFPort("dst", 0)
+	} else {
+		last = NIC(nicOut)
+	}
+	prev := first
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("vnf%d", i+1)
+		g.VNFs = append(g.VNFs, VNF{Name: name, Kind: KindForward})
+		g.Edges = append(g.Edges, Edge{A: prev, B: VNFPort(name, 0), Bidirectional: true})
+		prev = VNFPort(name, 1)
+	}
+	g.Edges = append(g.Edges, Edge{A: prev, B: last, Bidirectional: true})
+	return g
+}
+
+// BidirChain builds the paper's bidirectional benchmark chain: both ends are
+// combined source/sink endpoints (named "end0" and "end1") injecting 64B
+// traffic toward each other through n forwarder VMs. This is the exact
+// workload of Figure 3(a): "the first and the last VM of the chain act as
+// traffic source/sink" with "bidirectional 64B traffic".
+func BidirChain(n int) *Graph {
+	g := &Graph{
+		VNFs: []VNF{
+			{Name: "end0", Kind: KindSrcSink},
+			{Name: "end1", Kind: KindSrcSink},
+		},
+	}
+	prev := VNFPort("end0", 0)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("vnf%d", i+1)
+		g.VNFs = append(g.VNFs, VNF{Name: name, Kind: KindForward})
+		g.Edges = append(g.Edges, Edge{A: prev, B: VNFPort(name, 0), Bidirectional: true})
+		prev = VNFPort(name, 1)
+	}
+	g.Edges = append(g.Edges, Edge{A: prev, B: VNFPort("end1", 0), Bidirectional: true})
+	return g
+}

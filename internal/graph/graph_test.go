@@ -1,0 +1,73 @@
+package graph
+
+import "testing"
+
+func TestValidateAcceptsChain(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		g := Chain(n, "", "")
+		if err := g.Validate(); err != nil {
+			t.Fatalf("chain %d: %v", n, err)
+		}
+		// n forwarders + src + dst
+		if len(g.VNFs) != n+2 {
+			t.Fatalf("chain %d: %d VNFs", n, len(g.VNFs))
+		}
+		if len(g.Edges) != n+1 {
+			t.Fatalf("chain %d: %d edges", n, len(g.Edges))
+		}
+	}
+}
+
+func TestChainWithNICs(t *testing.T) {
+	g := Chain(3, "eth0", "eth1")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VNFs) != 3 {
+		t.Fatalf("VNFs = %d, want 3 (no src/dst)", len(g.VNFs))
+	}
+	if g.Edges[0].A.Kind != EpNIC || g.Edges[0].A.Name != "eth0" {
+		t.Fatalf("first edge = %+v", g.Edges[0])
+	}
+	last := g.Edges[len(g.Edges)-1]
+	if last.B.Kind != EpNIC || last.B.Name != "eth1" {
+		t.Fatalf("last edge = %+v", last)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Graph
+	}{
+		{"empty VNF name", Graph{VNFs: []VNF{{Name: "", Kind: KindForward}}}},
+		{"duplicate VNF", Graph{VNFs: []VNF{
+			{Name: "a", Kind: KindForward}, {Name: "a", Kind: KindForward}}}},
+		{"unknown kind", Graph{VNFs: []VNF{{Name: "a", Kind: Kind("bogus")}}}},
+		{"edge to unknown VNF", Graph{Edges: []Edge{{A: VNFPort("ghost", 0), B: VNFPort("ghost", 1)}}}},
+		{"port out of range", Graph{
+			VNFs:  []VNF{{Name: "a", Kind: KindSource}},
+			Edges: []Edge{{A: VNFPort("a", 1), B: VNFPort("a", 0)}}}},
+		{"port reuse", Graph{
+			VNFs: []VNF{{Name: "a", Kind: KindForward}, {Name: "b", Kind: KindForward}, {Name: "c", Kind: KindForward}},
+			Edges: []Edge{
+				{A: VNFPort("a", 0), B: VNFPort("b", 0)},
+				{A: VNFPort("a", 0), B: VNFPort("c", 0)},
+			}}},
+		{"nameless NIC", Graph{Edges: []Edge{{A: NIC(""), B: NIC("x")}}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestKindPortCount(t *testing.T) {
+	if KindSource.PortCount() != 1 || KindSink.PortCount() != 1 {
+		t.Error("source/sink must have one port")
+	}
+	if KindForward.PortCount() != 2 || KindFirewall.PortCount() != 2 || KindMonitor.PortCount() != 2 {
+		t.Error("middle VNFs must have two ports")
+	}
+}

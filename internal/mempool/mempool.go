@@ -1,0 +1,238 @@
+// Package mempool provides preallocated packet-buffer pools, the stand-in for
+// DPDK's hugepage-backed mbuf mempools. All buffers are carved out of one
+// arena at construction time; allocation and free on the fast path are ring
+// operations and never touch the Go allocator.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ovshighway/internal/ring"
+)
+
+// Default buffer geometry, mirroring typical DPDK mbuf configuration: room
+// for a full 1500-byte frame plus headroom for header prepends.
+const (
+	DefaultBufSize  = 2048
+	DefaultHeadroom = 128
+)
+
+// Buf is a packet buffer (mbuf equivalent). Data occupies Data[Off:Off+Len]
+// within the fixed backing slice; Off leaves headroom so encapsulation
+// headers can be prepended without copying the payload.
+type Buf struct {
+	Data []byte // fixed backing storage, len == pool buffer size
+	Off  int    // start of packet data
+	Len  int    // length of packet data
+
+	// Port is the ingress port id stamped by the receiving PMD; it feeds
+	// the in_port match field of the flow pipeline.
+	Port uint32
+	// TS is an optional nanosecond timestamp used by latency probes.
+	TS int64
+	// Hash caches the 5-tuple hash computed by the first classifier lookup.
+	Hash uint32
+	// HashValid reports whether Hash has been computed for current contents.
+	HashValid bool
+
+	pool *Pool
+	// refcnt supports multicast actions (one buffer output to N ports).
+	refcnt atomic.Int32
+}
+
+// Bytes returns the packet contents as a sub-slice of the backing storage.
+func (b *Buf) Bytes() []byte { return b.Data[b.Off : b.Off+b.Len] }
+
+// SetBytes copies p into the buffer at the default headroom offset.
+// It fails if p exceeds the buffer capacity beyond the headroom.
+func (b *Buf) SetBytes(p []byte) error {
+	if len(p) > len(b.Data)-b.pool.headroom {
+		return fmt.Errorf("mempool: payload %d exceeds buffer room %d", len(p), len(b.Data)-b.pool.headroom)
+	}
+	b.Off = b.pool.headroom
+	b.Len = copy(b.Data[b.Off:], p)
+	b.HashValid = false
+	return nil
+}
+
+// Prepend grows the packet head by n bytes into the headroom and returns the
+// new head slice, or an error if insufficient headroom remains.
+func (b *Buf) Prepend(n int) ([]byte, error) {
+	if n > b.Off {
+		return nil, fmt.Errorf("mempool: prepend %d exceeds headroom %d", n, b.Off)
+	}
+	b.Off -= n
+	b.Len += n
+	b.HashValid = false
+	return b.Data[b.Off : b.Off+n], nil
+}
+
+// Adj trims n bytes from the packet head (e.g. decapsulation).
+func (b *Buf) Adj(n int) error {
+	if n > b.Len {
+		return fmt.Errorf("mempool: adj %d exceeds length %d", n, b.Len)
+	}
+	b.Off += n
+	b.Len -= n
+	b.HashValid = false
+	return nil
+}
+
+// Clone increments the reference count and returns b, so the same payload
+// can be enqueued to multiple destinations. Each destination must Free it.
+func (b *Buf) Clone() *Buf {
+	b.refcnt.Add(1)
+	return b
+}
+
+// Refcnt returns the current reference count (1 for a freshly allocated buf).
+func (b *Buf) Refcnt() int { return int(b.refcnt.Load()) }
+
+// Free returns the buffer to its pool once all references are dropped.
+// Freeing a buffer more times than it was referenced panics: that is a
+// use-after-free style bug we want loud.
+func (b *Buf) Free() {
+	n := b.refcnt.Add(-1)
+	switch {
+	case n > 0:
+		return
+	case n < 0:
+		panic("mempool: double free")
+	}
+	b.pool.put(b)
+}
+
+// Pool is a fixed-population buffer pool.
+type Pool struct {
+	free     *ring.MPMC[*Buf]
+	bufSize  int
+	headroom int
+	capacity int
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+	fails  atomic.Uint64
+}
+
+// ErrExhausted is returned by Get when no buffers are available.
+var ErrExhausted = errors.New("mempool: exhausted")
+
+// Config parametrizes New. Zero fields take defaults.
+type Config struct {
+	Capacity int // number of buffers; rounded up to a power of two
+	BufSize  int // backing size of each buffer
+	Headroom int // initial data offset
+}
+
+// New builds a pool with cfg.Capacity preallocated buffers.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("mempool: capacity must be positive")
+	}
+	if cfg.BufSize == 0 {
+		cfg.BufSize = DefaultBufSize
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = DefaultHeadroom
+	}
+	if cfg.Headroom >= cfg.BufSize {
+		return nil, fmt.Errorf("mempool: headroom %d >= buffer size %d", cfg.Headroom, cfg.BufSize)
+	}
+	ringCap := 2
+	for ringCap < cfg.Capacity+1 {
+		ringCap <<= 1
+	}
+	p := &Pool{
+		free:     ring.MustMPMC[*Buf](ringCap),
+		bufSize:  cfg.BufSize,
+		headroom: cfg.Headroom,
+		capacity: cfg.Capacity,
+	}
+	// One arena allocation for all payload storage: this is the hugepage
+	// region equivalent, and it keeps buffers dense in memory.
+	arena := make([]byte, cfg.Capacity*cfg.BufSize)
+	bufs := make([]Buf, cfg.Capacity)
+	for i := range bufs {
+		bufs[i].Data = arena[i*cfg.BufSize : (i+1)*cfg.BufSize]
+		bufs[i].pool = p
+		if !p.free.TryEnqueue(&bufs[i]) {
+			return nil, errors.New("mempool: internal: freelist overflow")
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Pool {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Cap returns the total buffer population.
+func (p *Pool) Cap() int { return p.capacity }
+
+// Avail returns the instantaneous number of free buffers.
+func (p *Pool) Avail() int { return p.free.Len() }
+
+// Headroom returns the configured data offset for fresh buffers.
+func (p *Pool) Headroom() int { return p.headroom }
+
+// Get allocates one buffer with refcount 1, or ErrExhausted.
+func (p *Pool) Get() (*Buf, error) {
+	b, ok := p.free.TryDequeue()
+	if !ok {
+		p.fails.Add(1)
+		return nil, ErrExhausted
+	}
+	p.allocs.Add(1)
+	b.Off = p.headroom
+	b.Len = 0
+	b.Port = 0
+	b.TS = 0
+	b.Hash = 0
+	b.HashValid = false
+	b.refcnt.Store(1)
+	return b, nil
+}
+
+// GetBatch fills out with up to len(out) fresh buffers, returning the count.
+func (p *Pool) GetBatch(out []*Buf) int {
+	n := 0
+	for i := range out {
+		b, err := p.Get()
+		if err != nil {
+			break
+		}
+		out[i] = b
+		n++
+	}
+	return n
+}
+
+func (p *Pool) put(b *Buf) {
+	p.frees.Add(1)
+	// The freelist ring is sized above the buffer population, so it can never
+	// be durably full. TryEnqueue can still fail transiently: an MPMC
+	// consumer preempted between claiming a slot and releasing it holds that
+	// slot hostage, and a producer that wraps around to it sees "full".
+	// Spin until the stalled consumer finishes.
+	for !p.free.TryEnqueue(b) {
+		runtime.Gosched()
+	}
+}
+
+// Stats reports cumulative allocation counters.
+type Stats struct {
+	Allocs, Frees, Fails uint64
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{Allocs: p.allocs.Load(), Frees: p.frees.Load(), Fails: p.fails.Load()}
+}

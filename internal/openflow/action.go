@@ -1,0 +1,111 @@
+package openflow
+
+import (
+	"fmt"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/pkt"
+)
+
+// EncodeActions serializes an action list in OFP 1.3 wire format.
+// flow.Drop has no wire representation (an empty list means drop) and
+// flow.Controller becomes output:CONTROLLER.
+func EncodeActions(as flow.Actions) []byte {
+	var b []byte
+	for _, a := range as {
+		switch a.Type {
+		case flow.ActOutput, flow.ActController:
+			port := a.Port
+			if a.Type == flow.ActController {
+				port = PortController
+			}
+			// ofp_action_output: type(2) len(2)=16 port(4) max_len(2) pad(6)
+			b = be.AppendUint16(b, actOutput)
+			b = be.AppendUint16(b, 16)
+			b = be.AppendUint32(b, port)
+			b = be.AppendUint16(b, 0xffff) // OFPCML_NO_BUFFER
+			b = append(b, 0, 0, 0, 0, 0, 0)
+		case flow.ActDecTTL:
+			// ofp_action_header: type(2) len(2)=8 pad(4)
+			b = be.AppendUint16(b, actDecTTL)
+			b = be.AppendUint16(b, 8)
+			b = append(b, 0, 0, 0, 0)
+		case flow.ActSetEthSrc, flow.ActSetEthDst:
+			// ofp_action_set_field: type(2) len(2) oxm, padded to 8.
+			field := oxmEthSrc
+			if a.Type == flow.ActSetEthDst {
+				field = oxmEthDst
+			}
+			oxm := appendOXM(nil, field, a.MAC[:], nil)
+			alen := (4 + len(oxm) + 7) &^ 7
+			b = be.AppendUint16(b, actSetField)
+			b = be.AppendUint16(b, uint16(alen))
+			b = append(b, oxm...)
+			for pad := alen - 4 - len(oxm); pad > 0; pad-- {
+				b = append(b, 0)
+			}
+		case flow.ActDrop:
+			// Drop is the absence of actions; skip.
+		}
+	}
+	return b
+}
+
+// DecodeActions parses an OFP 1.3 action list occupying all of b.
+func DecodeActions(b []byte) (flow.Actions, error) {
+	var as flow.Actions
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("openflow: truncated action header")
+		}
+		typ := be.Uint16(b[0:2])
+		alen := int(be.Uint16(b[2:4]))
+		if alen < 8 || alen%8 != 0 || alen > len(b) {
+			return nil, fmt.Errorf("openflow: bad action length %d", alen)
+		}
+		body := b[4:alen]
+		switch typ {
+		case actOutput:
+			if len(body) < 6 {
+				return nil, fmt.Errorf("openflow: short output action")
+			}
+			port := be.Uint32(body[0:4])
+			if port == PortController {
+				as = append(as, flow.Controller())
+			} else {
+				as = append(as, flow.Output(port))
+			}
+		case actDecTTL:
+			as = append(as, flow.DecTTL())
+		case actSetField:
+			if len(body) < 4 {
+				return nil, fmt.Errorf("openflow: short set-field action")
+			}
+			field := body[2] >> 1
+			plen := int(body[3])
+			if len(body) < 4+plen {
+				return nil, fmt.Errorf("openflow: truncated set-field OXM")
+			}
+			val := body[4 : 4+plen]
+			switch field {
+			case oxmEthSrc, oxmEthDst:
+				if plen != 6 {
+					return nil, fmt.Errorf("openflow: set-field MAC length %d", plen)
+				}
+				var m pkt.MAC
+				copy(m[:], val)
+				if field == oxmEthSrc {
+					as = append(as, flow.SetEthSrc(m))
+				} else {
+					as = append(as, flow.SetEthDst(m))
+				}
+			default:
+				return nil, fmt.Errorf("openflow: unsupported set-field %d", field)
+			}
+		default:
+			return nil, fmt.Errorf("openflow: unsupported action type %d", typ)
+		}
+		b = b[alen:]
+	}
+	return as, nil
+}

@@ -1,0 +1,101 @@
+package openflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxMsgLen bounds accepted message sizes (the length field is 16-bit, so
+// this is the protocol maximum; it also caps memory per read).
+const maxMsgLen = 1 << 16
+
+// Conn frames OpenFlow messages over a byte stream. Reads and writes are
+// each internally serialized, so one reader goroutine and any number of
+// writer goroutines may share a Conn.
+type Conn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+	xid atomic.Uint32
+}
+
+// NewConn wraps a stream (typically a *net.TCPConn).
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{rwc: rwc, br: bufio.NewReaderSize(rwc, 4096)}
+}
+
+// NextXid returns a fresh transaction id.
+func (c *Conn) NextXid() uint32 { return c.xid.Add(1) }
+
+// Send encodes and writes m with a fresh xid, returning the xid used.
+func (c *Conn) Send(m Msg) (uint32, error) {
+	xid := c.NextXid()
+	return xid, c.SendXid(m, xid)
+}
+
+// SendXid encodes and writes m with the given xid (used for replies).
+func (c *Conn) SendXid(m Msg, xid uint32) error {
+	b := Encode(m, xid)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.rwc.Write(b)
+	return err
+}
+
+// Recv reads and decodes the next message.
+func (c *Conn) Recv() (Msg, uint32, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	length := int(be.Uint16(hdr[2:4]))
+	if length < HeaderLen || length > maxMsgLen {
+		return nil, 0, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	frame := make([]byte, length)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(c.br, frame[HeaderLen:]); err != nil {
+		return nil, 0, err
+	}
+	return Decode(frame)
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rwc.Close() }
+
+// Handshake performs the version negotiation from the initiator side:
+// send HELLO, expect HELLO.
+func (c *Conn) Handshake() error {
+	if _, err := c.Send(Hello{}); err != nil {
+		return err
+	}
+	m, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if _, ok := m.(Hello); !ok {
+		return fmt.Errorf("openflow: handshake: got %T, want Hello", m)
+	}
+	return nil
+}
+
+// Dial connects to an OpenFlow switch at addr (TCP) and completes the
+// handshake.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(nc)
+	if err := c.Handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,99 @@
+// Package openflow implements the subset of the OpenFlow 1.3 wire protocol
+// this system speaks on its controller channel: handshake, echo, flow-mods,
+// packet-in/out, barriers and port/flow multipart statistics, with OXM TLV
+// match encoding.
+//
+// The codec converts between wire messages and the internal flow package
+// types (flow.Match, flow.Actions), so the vSwitch front-end and the p-2-p
+// link detector operate on decoded flow-mods exactly the way the paper's
+// modified OVS analyses "each flowmod received by the vSwitch".
+package openflow
+
+// Version is the only protocol version supported (OpenFlow 1.3).
+const Version = 0x04
+
+// HeaderLen is the fixed size of the OpenFlow message header.
+const HeaderLen = 8
+
+// Message types (OFPT_*).
+const (
+	TypeHello            uint8 = 0
+	TypeError            uint8 = 1
+	TypeEchoRequest      uint8 = 2
+	TypeEchoReply        uint8 = 3
+	TypeFeaturesRequest  uint8 = 5
+	TypeFeaturesReply    uint8 = 6
+	TypePacketIn         uint8 = 10
+	TypePacketOut        uint8 = 13
+	TypeFlowMod          uint8 = 14
+	TypeMultipartRequest uint8 = 18
+	TypeMultipartReply   uint8 = 19
+	TypeBarrierRequest   uint8 = 20
+	TypeBarrierReply     uint8 = 21
+)
+
+// Flow-mod commands (OFPFC_*).
+const (
+	FlowCmdAdd uint8 = iota
+	FlowCmdModify
+	FlowCmdModifyStrict
+	FlowCmdDelete
+	FlowCmdDeleteStrict
+)
+
+// Reserved port numbers (OFPP_*).
+const (
+	PortAny        uint32 = 0xffffffff
+	PortController uint32 = 0xfffffffd
+)
+
+// Multipart types (OFPMP_*).
+const (
+	MultipartFlow      uint16 = 1
+	MultipartPortStats uint16 = 4
+)
+
+// Packet-in reasons (OFPR_*).
+const (
+	PacketInNoMatch uint8 = 0
+	PacketInAction  uint8 = 1
+)
+
+// Error types/codes used by this implementation (OFPET_* / OFPBRC_*).
+const (
+	ErrTypeBadRequest uint16 = 1
+	ErrCodeBadType    uint16 = 1
+	ErrCodeBadLen     uint16 = 2
+)
+
+// OXM class and field ids (OFPXMC_OPENFLOW_BASIC / OXM_OF_*).
+const (
+	oxmClassBasic uint16 = 0x8000
+
+	oxmInPort  uint8 = 0
+	oxmEthDst  uint8 = 3
+	oxmEthSrc  uint8 = 4
+	oxmEthType uint8 = 5
+	oxmVlanVID uint8 = 6
+	oxmIPDSCP  uint8 = 8
+	oxmIPProto uint8 = 10
+	oxmIPv4Src uint8 = 11
+	oxmIPv4Dst uint8 = 12
+	oxmTCPSrc  uint8 = 13
+	oxmTCPDst  uint8 = 14
+	oxmUDPSrc  uint8 = 15
+	oxmUDPDst  uint8 = 16
+)
+
+// Action types (OFPAT_*).
+const (
+	actOutput   uint16 = 0
+	actDecTTL   uint16 = 24
+	actSetField uint16 = 25
+)
+
+// instrApplyActions is the only instruction type supported (OFPIT_APPLY_ACTIONS).
+const instrApplyActions uint16 = 4
+
+// vlanPresent is the OFPVID_PRESENT bit OpenFlow sets in VLAN_VID values.
+const vlanPresent uint16 = 0x1000

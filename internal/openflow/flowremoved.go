@@ -1,0 +1,70 @@
+package openflow
+
+import (
+	"fmt"
+
+	"ovshighway/internal/flow"
+)
+
+// TypeFlowRemoved is OFPT_FLOW_REMOVED.
+const TypeFlowRemoved uint8 = 11
+
+// Flow-removed reasons (OFPRR_*).
+const (
+	RemovedIdleTimeout uint8 = 0
+	RemovedHardTimeout uint8 = 1
+	RemovedDelete      uint8 = 2
+)
+
+// FlowRemoved is OFPT_FLOW_REMOVED: the switch notifies the controller that
+// a flow expired or was deleted (when the flow-mod requested it via
+// OFPFF_SEND_FLOW_REM).
+type FlowRemoved struct {
+	Cookie      uint64
+	Priority    uint16
+	Reason      uint8
+	TableID     uint8
+	DurationSec uint32
+	IdleTO      uint16
+	HardTO      uint16
+	PacketCount uint64
+	ByteCount   uint64
+	Match       flow.Match
+}
+
+// MsgType implements Msg.
+func (FlowRemoved) MsgType() uint8 { return TypeFlowRemoved }
+func (m FlowRemoved) encodeBody(b []byte) []byte {
+	b = be.AppendUint64(b, m.Cookie)
+	b = be.AppendUint16(b, m.Priority)
+	b = append(b, m.Reason, m.TableID)
+	b = be.AppendUint32(b, m.DurationSec)
+	b = be.AppendUint32(b, 0) // duration_nsec
+	b = be.AppendUint16(b, m.IdleTO)
+	b = be.AppendUint16(b, m.HardTO)
+	b = be.AppendUint64(b, m.PacketCount)
+	b = be.AppendUint64(b, m.ByteCount)
+	return append(b, EncodeMatch(m.Match)...)
+}
+
+func decodeFlowRemoved(body []byte) (FlowRemoved, error) {
+	var m FlowRemoved
+	if len(body) < 40 {
+		return m, fmt.Errorf("openflow: flow_removed body %d bytes", len(body))
+	}
+	m.Cookie = be.Uint64(body[0:8])
+	m.Priority = be.Uint16(body[8:10])
+	m.Reason = body[10]
+	m.TableID = body[11]
+	m.DurationSec = be.Uint32(body[12:16])
+	m.IdleTO = be.Uint16(body[20:22])
+	m.HardTO = be.Uint16(body[22:24])
+	m.PacketCount = be.Uint64(body[24:32])
+	m.ByteCount = be.Uint64(body[32:40])
+	match, _, err := DecodeMatch(body[40:])
+	if err != nil {
+		return m, err
+	}
+	m.Match = match
+	return m, nil
+}

@@ -1,0 +1,275 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/pkt"
+)
+
+var be = binary.BigEndian
+
+// appendOXM appends one OXM TLV. value and mask must have equal length;
+// mask nil means no mask.
+func appendOXM(b []byte, field uint8, value, mask []byte) []byte {
+	hasMask := uint8(0)
+	payloadLen := len(value)
+	if mask != nil {
+		hasMask = 1
+		payloadLen *= 2
+	}
+	b = be.AppendUint16(b, oxmClassBasic)
+	b = append(b, field<<1|hasMask, uint8(payloadLen))
+	b = append(b, value...)
+	if mask != nil {
+		b = append(b, mask...)
+	}
+	return b
+}
+
+func u16bytes(v uint16) []byte { var b [2]byte; be.PutUint16(b[:], v); return b[:] }
+func u32bytes(v uint32) []byte { var b [4]byte; be.PutUint32(b[:], v); return b[:] }
+
+// fullMask reports whether every byte of m is 0xff.
+func fullMask(m []byte) bool {
+	for _, b := range m {
+		if b != 0xff {
+			return false
+		}
+	}
+	return true
+}
+
+// zeroMask reports whether every byte of m is zero.
+func zeroMask(m []byte) bool {
+	for _, b := range m {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeMatch serializes m as an OFP 1.3 OXM match structure, padded to a
+// multiple of 8 bytes as the spec requires.
+func EncodeMatch(m flow.Match) []byte {
+	var oxms []byte
+	if m.Mask.InPort != 0 {
+		oxms = appendOXM(oxms, oxmInPort, u32bytes(m.Key.InPort), nil)
+	}
+	if m.Mask.EthSrc != (pkt.MAC{}) {
+		if fullMask(m.Mask.EthSrc[:]) {
+			oxms = appendOXM(oxms, oxmEthSrc, m.Key.EthSrc[:], nil)
+		} else {
+			oxms = appendOXM(oxms, oxmEthSrc, m.Key.EthSrc[:], m.Mask.EthSrc[:])
+		}
+	}
+	if m.Mask.EthDst != (pkt.MAC{}) {
+		if fullMask(m.Mask.EthDst[:]) {
+			oxms = appendOXM(oxms, oxmEthDst, m.Key.EthDst[:], nil)
+		} else {
+			oxms = appendOXM(oxms, oxmEthDst, m.Key.EthDst[:], m.Mask.EthDst[:])
+		}
+	}
+	if m.Mask.EthType != 0 {
+		oxms = appendOXM(oxms, oxmEthType, u16bytes(m.Key.EthType), nil)
+	}
+	if m.Mask.VlanID != 0 {
+		oxms = appendOXM(oxms, oxmVlanVID, u16bytes(m.Key.VlanID|vlanPresent), nil)
+	}
+	if m.Mask.IPDSCP != 0 {
+		oxms = appendOXM(oxms, oxmIPDSCP, []byte{m.Key.IPDSCP}, nil)
+	}
+	if m.Mask.IPProto != 0 {
+		oxms = appendOXM(oxms, oxmIPProto, []byte{m.Key.IPProto}, nil)
+	}
+	if m.Mask.IPSrc != 0 {
+		if m.Mask.IPSrc == ^uint32(0) {
+			oxms = appendOXM(oxms, oxmIPv4Src, u32bytes(m.Key.IPSrc), nil)
+		} else {
+			oxms = appendOXM(oxms, oxmIPv4Src, u32bytes(m.Key.IPSrc), u32bytes(m.Mask.IPSrc))
+		}
+	}
+	if m.Mask.IPDst != 0 {
+		if m.Mask.IPDst == ^uint32(0) {
+			oxms = appendOXM(oxms, oxmIPv4Dst, u32bytes(m.Key.IPDst), nil)
+		} else {
+			oxms = appendOXM(oxms, oxmIPv4Dst, u32bytes(m.Key.IPDst), u32bytes(m.Mask.IPDst))
+		}
+	}
+	// L4 port OXMs are protocol-specific; pick by the matched IP protocol.
+	srcField, dstField := oxmTCPSrc, oxmTCPDst
+	if m.Key.IPProto == pkt.ProtoUDP {
+		srcField, dstField = oxmUDPSrc, oxmUDPDst
+	}
+	if m.Mask.L4Src != 0 {
+		oxms = appendOXM(oxms, srcField, u16bytes(m.Key.L4Src), nil)
+	}
+	if m.Mask.L4Dst != 0 {
+		oxms = appendOXM(oxms, dstField, u16bytes(m.Key.L4Dst), nil)
+	}
+
+	// ofp_match: type=1 (OXM), length covers type+length+oxms (not padding).
+	length := 4 + len(oxms)
+	out := make([]byte, 0, (length+7)&^7)
+	out = be.AppendUint16(out, 1)
+	out = be.AppendUint16(out, uint16(length))
+	out = append(out, oxms...)
+	for len(out)%8 != 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// DecodeMatch parses an OXM match structure from b, returning the match and
+// the number of bytes consumed (including padding).
+func DecodeMatch(b []byte) (flow.Match, int, error) {
+	var m flow.Match
+	if len(b) < 4 {
+		return m, 0, fmt.Errorf("openflow: match: %d bytes", len(b))
+	}
+	if mt := be.Uint16(b[0:2]); mt != 1 {
+		return m, 0, fmt.Errorf("openflow: match type %d, want OXM(1)", mt)
+	}
+	length := int(be.Uint16(b[2:4]))
+	if length < 4 || length > len(b) {
+		return m, 0, fmt.Errorf("openflow: match length %d out of range", length)
+	}
+	oxms := b[4:length]
+	for len(oxms) > 0 {
+		if len(oxms) < 4 {
+			return m, 0, fmt.Errorf("openflow: truncated OXM header")
+		}
+		class := be.Uint16(oxms[0:2])
+		field := oxms[2] >> 1
+		hasMask := oxms[2]&1 == 1
+		plen := int(oxms[3])
+		if len(oxms) < 4+plen {
+			return m, 0, fmt.Errorf("openflow: truncated OXM payload")
+		}
+		payload := oxms[4 : 4+plen]
+		if class != oxmClassBasic {
+			return m, 0, fmt.Errorf("openflow: unsupported OXM class %#x", class)
+		}
+		vlen := plen
+		var value, mask []byte
+		if hasMask {
+			vlen = plen / 2
+			value, mask = payload[:vlen], payload[vlen:]
+		} else {
+			value = payload
+		}
+		if err := applyOXM(&m, field, value, mask); err != nil {
+			return m, 0, err
+		}
+		oxms = oxms[4+plen:]
+	}
+	consumed := (length + 7) &^ 7
+	if consumed > len(b) {
+		return m, 0, fmt.Errorf("openflow: match padding exceeds buffer")
+	}
+	return m, consumed, nil
+}
+
+func applyOXM(m *flow.Match, field uint8, value, mask []byte) error {
+	need := func(n int) error {
+		if len(value) != n {
+			return fmt.Errorf("openflow: OXM field %d: %d-byte value, want %d", field, len(value), n)
+		}
+		if mask != nil && len(mask) != n {
+			return fmt.Errorf("openflow: OXM field %d: %d-byte mask, want %d", field, len(mask), n)
+		}
+		return nil
+	}
+	switch field {
+	case oxmInPort:
+		if err := need(4); err != nil {
+			return err
+		}
+		if mask != nil {
+			return fmt.Errorf("openflow: in_port must not be masked")
+		}
+		m.Key.InPort = be.Uint32(value)
+		m.Mask.InPort = ^uint32(0)
+	case oxmEthSrc:
+		if err := need(6); err != nil {
+			return err
+		}
+		copy(m.Key.EthSrc[:], value)
+		if mask != nil {
+			copy(m.Mask.EthSrc[:], mask)
+		} else {
+			m.Mask.EthSrc = pkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+		}
+	case oxmEthDst:
+		if err := need(6); err != nil {
+			return err
+		}
+		copy(m.Key.EthDst[:], value)
+		if mask != nil {
+			copy(m.Mask.EthDst[:], mask)
+		} else {
+			m.Mask.EthDst = pkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+		}
+	case oxmEthType:
+		if err := need(2); err != nil {
+			return err
+		}
+		m.Key.EthType = be.Uint16(value)
+		m.Mask.EthType = 0xffff
+	case oxmVlanVID:
+		if err := need(2); err != nil {
+			return err
+		}
+		m.Key.VlanID = be.Uint16(value) &^ vlanPresent
+		m.Mask.VlanID = 0x0fff
+	case oxmIPDSCP:
+		if err := need(1); err != nil {
+			return err
+		}
+		m.Key.IPDSCP = value[0]
+		m.Mask.IPDSCP = 0x3f
+	case oxmIPProto:
+		if err := need(1); err != nil {
+			return err
+		}
+		m.Key.IPProto = value[0]
+		m.Mask.IPProto = 0xff
+	case oxmIPv4Src:
+		if err := need(4); err != nil {
+			return err
+		}
+		m.Key.IPSrc = be.Uint32(value)
+		if mask != nil {
+			m.Mask.IPSrc = be.Uint32(mask)
+		} else {
+			m.Mask.IPSrc = ^uint32(0)
+		}
+	case oxmIPv4Dst:
+		if err := need(4); err != nil {
+			return err
+		}
+		m.Key.IPDst = be.Uint32(value)
+		if mask != nil {
+			m.Mask.IPDst = be.Uint32(mask)
+		} else {
+			m.Mask.IPDst = ^uint32(0)
+		}
+	case oxmTCPSrc, oxmUDPSrc:
+		if err := need(2); err != nil {
+			return err
+		}
+		m.Key.L4Src = be.Uint16(value)
+		m.Mask.L4Src = 0xffff
+	case oxmTCPDst, oxmUDPDst:
+		if err := need(2); err != nil {
+			return err
+		}
+		m.Key.L4Dst = be.Uint16(value)
+		m.Mask.L4Dst = 0xffff
+	default:
+		return fmt.Errorf("openflow: unsupported OXM field %d", field)
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+package openflow
+
+import (
+	"fmt"
+
+	"ovshighway/internal/flow"
+)
+
+// Msg is one decoded OpenFlow message. Xid carries the transaction id from
+// the header.
+type Msg interface {
+	// MsgType returns the OFPT_* discriminator.
+	MsgType() uint8
+	// encodeBody appends the body (everything after the 8-byte header).
+	encodeBody(b []byte) []byte
+}
+
+// Hello is OFPT_HELLO.
+type Hello struct{}
+
+// MsgType implements Msg.
+func (Hello) MsgType() uint8             { return TypeHello }
+func (Hello) encodeBody(b []byte) []byte { return b }
+
+// EchoRequest is OFPT_ECHO_REQUEST; Data is echoed back verbatim.
+type EchoRequest struct{ Data []byte }
+
+// MsgType implements Msg.
+func (EchoRequest) MsgType() uint8               { return TypeEchoRequest }
+func (m EchoRequest) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+
+// EchoReply is OFPT_ECHO_REPLY.
+type EchoReply struct{ Data []byte }
+
+// MsgType implements Msg.
+func (EchoReply) MsgType() uint8               { return TypeEchoReply }
+func (m EchoReply) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+
+// Error is OFPT_ERROR.
+type Error struct {
+	Type, Code uint16
+	Data       []byte
+}
+
+// MsgType implements Msg.
+func (Error) MsgType() uint8 { return TypeError }
+func (m Error) encodeBody(b []byte) []byte {
+	b = be.AppendUint16(b, m.Type)
+	b = be.AppendUint16(b, m.Code)
+	return append(b, m.Data...)
+}
+
+// Error implements the error interface so protocol errors can be returned.
+func (m Error) Error() string {
+	return fmt.Sprintf("openflow: error type=%d code=%d", m.Type, m.Code)
+}
+
+// FeaturesRequest is OFPT_FEATURES_REQUEST.
+type FeaturesRequest struct{}
+
+// MsgType implements Msg.
+func (FeaturesRequest) MsgType() uint8             { return TypeFeaturesRequest }
+func (FeaturesRequest) encodeBody(b []byte) []byte { return b }
+
+// FeaturesReply is OFPT_FEATURES_REPLY.
+type FeaturesReply struct {
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	AuxiliaryID  uint8
+	Capabilities uint32
+}
+
+// MsgType implements Msg.
+func (FeaturesReply) MsgType() uint8 { return TypeFeaturesReply }
+func (m FeaturesReply) encodeBody(b []byte) []byte {
+	b = be.AppendUint64(b, m.DatapathID)
+	b = be.AppendUint32(b, m.NBuffers)
+	b = append(b, m.NTables, m.AuxiliaryID, 0, 0)
+	b = be.AppendUint32(b, m.Capabilities)
+	return be.AppendUint32(b, 0)
+}
+
+// BarrierRequest is OFPT_BARRIER_REQUEST.
+type BarrierRequest struct{}
+
+// MsgType implements Msg.
+func (BarrierRequest) MsgType() uint8             { return TypeBarrierRequest }
+func (BarrierRequest) encodeBody(b []byte) []byte { return b }
+
+// BarrierReply is OFPT_BARRIER_REPLY.
+type BarrierReply struct{}
+
+// MsgType implements Msg.
+func (BarrierReply) MsgType() uint8             { return TypeBarrierReply }
+func (BarrierReply) encodeBody(b []byte) []byte { return b }
+
+// FlowMod is OFPT_FLOW_MOD, the message whose run-time analysis drives the
+// paper's p-2-p link detector.
+type FlowMod struct {
+	Cookie     uint64
+	CookieMask uint64
+	TableID    uint8
+	Command    uint8
+	IdleTO     uint16
+	HardTO     uint16
+	Priority   uint16
+	OutPort    uint32 // filter for delete commands
+	Flags      uint16
+	Match      flow.Match
+	Actions    flow.Actions
+}
+
+// MsgType implements Msg.
+func (FlowMod) MsgType() uint8 { return TypeFlowMod }
+func (m FlowMod) encodeBody(b []byte) []byte {
+	b = be.AppendUint64(b, m.Cookie)
+	b = be.AppendUint64(b, m.CookieMask)
+	b = append(b, m.TableID, m.Command)
+	b = be.AppendUint16(b, m.IdleTO)
+	b = be.AppendUint16(b, m.HardTO)
+	b = be.AppendUint16(b, m.Priority)
+	b = be.AppendUint32(b, 0xffffffff) // buffer_id: NO_BUFFER
+	b = be.AppendUint32(b, m.OutPort)
+	b = be.AppendUint32(b, PortAny) // out_group
+	b = be.AppendUint16(b, m.Flags)
+	b = append(b, 0, 0)
+	b = append(b, EncodeMatch(m.Match)...)
+	acts := EncodeActions(m.Actions)
+	// Single apply-actions instruction.
+	b = be.AppendUint16(b, instrApplyActions)
+	b = be.AppendUint16(b, uint16(8+len(acts)))
+	b = be.AppendUint32(b, 0)
+	return append(b, acts...)
+}
+
+func decodeFlowMod(body []byte) (FlowMod, error) {
+	var m FlowMod
+	if len(body) < 40 {
+		return m, fmt.Errorf("openflow: flow_mod body %d bytes", len(body))
+	}
+	m.Cookie = be.Uint64(body[0:8])
+	m.CookieMask = be.Uint64(body[8:16])
+	m.TableID = body[16]
+	m.Command = body[17]
+	m.IdleTO = be.Uint16(body[18:20])
+	m.HardTO = be.Uint16(body[20:22])
+	m.Priority = be.Uint16(body[22:24])
+	m.OutPort = be.Uint32(body[28:32])
+	m.Flags = be.Uint16(body[36:38])
+	rest := body[40:]
+	match, n, err := DecodeMatch(rest)
+	if err != nil {
+		return m, err
+	}
+	m.Match = match
+	rest = rest[n:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return m, fmt.Errorf("openflow: truncated instruction")
+		}
+		itype := be.Uint16(rest[0:2])
+		ilen := int(be.Uint16(rest[2:4]))
+		if ilen < 8 || ilen > len(rest) {
+			return m, fmt.Errorf("openflow: bad instruction length %d", ilen)
+		}
+		if itype == instrApplyActions {
+			acts, err := DecodeActions(rest[8:ilen])
+			if err != nil {
+				return m, err
+			}
+			m.Actions = acts
+		}
+		rest = rest[ilen:]
+	}
+	return m, nil
+}
+
+// PacketIn is OFPT_PACKET_IN: a packet punted to the controller.
+type PacketIn struct {
+	Reason  uint8
+	TableID uint8
+	Cookie  uint64
+	Match   flow.Match // carries in_port
+	Data    []byte
+}
+
+// MsgType implements Msg.
+func (PacketIn) MsgType() uint8 { return TypePacketIn }
+func (m PacketIn) encodeBody(b []byte) []byte {
+	b = be.AppendUint32(b, 0xffffffff) // buffer_id: NO_BUFFER
+	b = be.AppendUint16(b, uint16(len(m.Data)))
+	b = append(b, m.Reason, m.TableID)
+	b = be.AppendUint64(b, m.Cookie)
+	b = append(b, EncodeMatch(m.Match)...)
+	b = append(b, 0, 0) // pad
+	return append(b, m.Data...)
+}
+
+func decodePacketIn(body []byte) (PacketIn, error) {
+	var m PacketIn
+	if len(body) < 16 {
+		return m, fmt.Errorf("openflow: packet_in body %d bytes", len(body))
+	}
+	m.Reason = body[6]
+	m.TableID = body[7]
+	m.Cookie = be.Uint64(body[8:16])
+	rest := body[16:]
+	match, n, err := DecodeMatch(rest)
+	if err != nil {
+		return m, err
+	}
+	m.Match = match
+	rest = rest[n:]
+	if len(rest) < 2 {
+		return m, fmt.Errorf("openflow: packet_in missing pad")
+	}
+	m.Data = rest[2:]
+	return m, nil
+}
+
+// PacketOut is OFPT_PACKET_OUT: a controller-injected packet. This is the
+// message that must keep working through the *normal* channel even while a
+// port's traffic rides the bypass.
+type PacketOut struct {
+	InPort  uint32
+	Actions flow.Actions
+	Data    []byte
+}
+
+// MsgType implements Msg.
+func (PacketOut) MsgType() uint8 { return TypePacketOut }
+func (m PacketOut) encodeBody(b []byte) []byte {
+	acts := EncodeActions(m.Actions)
+	b = be.AppendUint32(b, 0xffffffff) // buffer_id: NO_BUFFER
+	b = be.AppendUint32(b, m.InPort)
+	b = be.AppendUint16(b, uint16(len(acts)))
+	b = append(b, 0, 0, 0, 0, 0, 0)
+	b = append(b, acts...)
+	return append(b, m.Data...)
+}
+
+func decodePacketOut(body []byte) (PacketOut, error) {
+	var m PacketOut
+	if len(body) < 16 {
+		return m, fmt.Errorf("openflow: packet_out body %d bytes", len(body))
+	}
+	m.InPort = be.Uint32(body[4:8])
+	alen := int(be.Uint16(body[8:10]))
+	if 16+alen > len(body) {
+		return m, fmt.Errorf("openflow: packet_out actions overflow")
+	}
+	acts, err := DecodeActions(body[16 : 16+alen])
+	if err != nil {
+		return m, err
+	}
+	m.Actions = acts
+	m.Data = body[16+alen:]
+	return m, nil
+}
+
+// Encode serializes any message with the given transaction id.
+func Encode(m Msg, xid uint32) []byte {
+	b := make([]byte, HeaderLen, HeaderLen+64)
+	b = m.encodeBody(b)
+	b[0] = Version
+	b[1] = m.MsgType()
+	be.PutUint16(b[2:4], uint16(len(b)))
+	be.PutUint32(b[4:8], xid)
+	return b
+}
+
+// Decode parses one complete framed message (header + body).
+func Decode(b []byte) (Msg, uint32, error) {
+	if len(b) < HeaderLen {
+		return nil, 0, fmt.Errorf("openflow: short message: %d bytes", len(b))
+	}
+	if b[0] != Version {
+		return nil, 0, fmt.Errorf("openflow: version %#x, want %#x", b[0], Version)
+	}
+	length := int(be.Uint16(b[2:4]))
+	if length != len(b) {
+		return nil, 0, fmt.Errorf("openflow: length field %d != frame %d", length, len(b))
+	}
+	xid := be.Uint32(b[4:8])
+	body := b[HeaderLen:]
+	var (
+		m   Msg
+		err error
+	)
+	switch b[1] {
+	case TypeHello:
+		m = Hello{}
+	case TypeEchoRequest:
+		m = EchoRequest{Data: body}
+	case TypeEchoReply:
+		m = EchoReply{Data: body}
+	case TypeError:
+		if len(body) < 4 {
+			return nil, 0, fmt.Errorf("openflow: short error body")
+		}
+		m = Error{Type: be.Uint16(body[0:2]), Code: be.Uint16(body[2:4]), Data: body[4:]}
+	case TypeFeaturesRequest:
+		m = FeaturesRequest{}
+	case TypeFeaturesReply:
+		if len(body) < 24 {
+			return nil, 0, fmt.Errorf("openflow: short features body")
+		}
+		m = FeaturesReply{
+			DatapathID:   be.Uint64(body[0:8]),
+			NBuffers:     be.Uint32(body[8:12]),
+			NTables:      body[12],
+			AuxiliaryID:  body[13],
+			Capabilities: be.Uint32(body[16:20]),
+		}
+	case TypeBarrierRequest:
+		m = BarrierRequest{}
+	case TypeBarrierReply:
+		m = BarrierReply{}
+	case TypeFlowMod:
+		m, err = decodeFlowMod(body)
+	case TypeFlowRemoved:
+		m, err = decodeFlowRemoved(body)
+	case TypePacketIn:
+		m, err = decodePacketIn(body)
+	case TypePacketOut:
+		m, err = decodePacketOut(body)
+	case TypeMultipartRequest:
+		m, err = decodeMultipartRequest(body)
+	case TypeMultipartReply:
+		m, err = decodeMultipartReply(body)
+	default:
+		return nil, xid, Error{Type: ErrTypeBadRequest, Code: ErrCodeBadType}
+	}
+	if err != nil {
+		return nil, xid, err
+	}
+	return m, xid, nil
+}

@@ -1,0 +1,242 @@
+package openflow
+
+import (
+	"fmt"
+
+	"ovshighway/internal/flow"
+)
+
+// PortStatsRequest asks for counters of one port (or PortAny for all).
+type PortStatsRequest struct {
+	PortNo uint32
+}
+
+// MsgType implements Msg.
+func (PortStatsRequest) MsgType() uint8 { return TypeMultipartRequest }
+func (m PortStatsRequest) encodeBody(b []byte) []byte {
+	b = be.AppendUint16(b, MultipartPortStats)
+	b = be.AppendUint16(b, 0)
+	b = be.AppendUint32(b, 0)
+	b = be.AppendUint32(b, m.PortNo)
+	return be.AppendUint32(b, 0)
+}
+
+// PortStats is one port's counters, as in ofp_port_stats (the fields this
+// datapath maintains; the remaining spec fields encode as zero).
+type PortStats struct {
+	PortNo    uint32
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+// PortStatsReply carries counters for the requested ports.
+//
+// For ports participating in a p-2-p bypass, the datapath merges the
+// PMD-maintained shared-memory counters into these values before encoding,
+// keeping the controller's view identical to a vanilla switch.
+type PortStatsReply struct {
+	Stats []PortStats
+}
+
+// MsgType implements Msg.
+func (PortStatsReply) MsgType() uint8 { return TypeMultipartReply }
+func (m PortStatsReply) encodeBody(b []byte) []byte {
+	b = be.AppendUint16(b, MultipartPortStats)
+	b = be.AppendUint16(b, 0)
+	b = be.AppendUint32(b, 0)
+	for _, s := range m.Stats {
+		b = be.AppendUint32(b, s.PortNo)
+		b = be.AppendUint32(b, 0) // pad
+		b = be.AppendUint64(b, s.RxPackets)
+		b = be.AppendUint64(b, s.TxPackets)
+		b = be.AppendUint64(b, s.RxBytes)
+		b = be.AppendUint64(b, s.TxBytes)
+		b = be.AppendUint64(b, s.RxDropped)
+		b = be.AppendUint64(b, s.TxDropped)
+		// rx_errors .. duration_nsec: 6 uint64 + 2 uint32 of zeros.
+		for i := 0; i < 6; i++ {
+			b = be.AppendUint64(b, 0)
+		}
+		b = be.AppendUint32(b, 0)
+		b = be.AppendUint32(b, 0)
+	}
+	return b
+}
+
+// portStatsEntryLen is the wire size of one ofp_port_stats entry.
+const portStatsEntryLen = 112
+
+// FlowStatsRequest asks for the flows matching a filter.
+type FlowStatsRequest struct {
+	TableID    uint8
+	OutPort    uint32
+	Cookie     uint64
+	CookieMask uint64
+	Match      flow.Match
+}
+
+// MsgType implements Msg.
+func (FlowStatsRequest) MsgType() uint8 { return TypeMultipartRequest }
+func (m FlowStatsRequest) encodeBody(b []byte) []byte {
+	b = be.AppendUint16(b, MultipartFlow)
+	b = be.AppendUint16(b, 0)
+	b = be.AppendUint32(b, 0)
+	b = append(b, m.TableID, 0, 0, 0)
+	b = be.AppendUint32(b, m.OutPort)
+	b = be.AppendUint32(b, PortAny) // out_group
+	b = be.AppendUint32(b, 0)       // pad
+	b = be.AppendUint64(b, m.Cookie)
+	b = be.AppendUint64(b, m.CookieMask)
+	return append(b, EncodeMatch(m.Match)...)
+}
+
+// FlowStats is one flow entry's description and counters.
+type FlowStats struct {
+	TableID     uint8
+	Priority    uint16
+	Cookie      uint64
+	PacketCount uint64
+	ByteCount   uint64
+	Match       flow.Match
+	Actions     flow.Actions
+}
+
+// FlowStatsReply carries the matching flow entries. As with port stats,
+// bypass counters are merged in by the datapath before encoding.
+type FlowStatsReply struct {
+	Stats []FlowStats
+}
+
+// MsgType implements Msg.
+func (FlowStatsReply) MsgType() uint8 { return TypeMultipartReply }
+func (m FlowStatsReply) encodeBody(b []byte) []byte {
+	b = be.AppendUint16(b, MultipartFlow)
+	b = be.AppendUint16(b, 0)
+	b = be.AppendUint32(b, 0)
+	for _, s := range m.Stats {
+		match := EncodeMatch(s.Match)
+		acts := EncodeActions(s.Actions)
+		length := 48 + len(match) + 8 + len(acts)
+		b = be.AppendUint16(b, uint16(length))
+		b = append(b, s.TableID, 0)
+		b = be.AppendUint32(b, 0) // duration_sec
+		b = be.AppendUint32(b, 0) // duration_nsec
+		b = be.AppendUint16(b, s.Priority)
+		b = be.AppendUint16(b, 0) // idle_timeout
+		b = be.AppendUint16(b, 0) // hard_timeout
+		b = be.AppendUint16(b, 0) // flags
+		b = be.AppendUint32(b, 0) // pad
+		b = be.AppendUint64(b, s.Cookie)
+		b = be.AppendUint64(b, s.PacketCount)
+		b = be.AppendUint64(b, s.ByteCount)
+		b = append(b, match...)
+		b = be.AppendUint16(b, instrApplyActions)
+		b = be.AppendUint16(b, uint16(8+len(acts)))
+		b = be.AppendUint32(b, 0)
+		b = append(b, acts...)
+	}
+	return b
+}
+
+func decodeMultipartRequest(body []byte) (Msg, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("openflow: short multipart request")
+	}
+	mpType := be.Uint16(body[0:2])
+	rest := body[8:]
+	switch mpType {
+	case MultipartPortStats:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("openflow: short port stats request")
+		}
+		return PortStatsRequest{PortNo: be.Uint32(rest[0:4])}, nil
+	case MultipartFlow:
+		if len(rest) < 32 {
+			return nil, fmt.Errorf("openflow: short flow stats request")
+		}
+		req := FlowStatsRequest{
+			TableID:    rest[0],
+			OutPort:    be.Uint32(rest[4:8]),
+			Cookie:     be.Uint64(rest[16:24]),
+			CookieMask: be.Uint64(rest[24:32]),
+		}
+		match, _, err := DecodeMatch(rest[32:])
+		if err != nil {
+			return nil, err
+		}
+		req.Match = match
+		return req, nil
+	default:
+		return nil, fmt.Errorf("openflow: unsupported multipart type %d", mpType)
+	}
+}
+
+func decodeMultipartReply(body []byte) (Msg, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("openflow: short multipart reply")
+	}
+	mpType := be.Uint16(body[0:2])
+	rest := body[8:]
+	switch mpType {
+	case MultipartPortStats:
+		var reply PortStatsReply
+		for len(rest) > 0 {
+			if len(rest) < portStatsEntryLen {
+				return nil, fmt.Errorf("openflow: truncated port stats entry")
+			}
+			e := rest[:portStatsEntryLen]
+			reply.Stats = append(reply.Stats, PortStats{
+				PortNo:    be.Uint32(e[0:4]),
+				RxPackets: be.Uint64(e[8:16]),
+				TxPackets: be.Uint64(e[16:24]),
+				RxBytes:   be.Uint64(e[24:32]),
+				TxBytes:   be.Uint64(e[32:40]),
+				RxDropped: be.Uint64(e[40:48]),
+				TxDropped: be.Uint64(e[48:56]),
+			})
+			rest = rest[portStatsEntryLen:]
+		}
+		return reply, nil
+	case MultipartFlow:
+		var reply FlowStatsReply
+		for len(rest) > 0 {
+			if len(rest) < 48 {
+				return nil, fmt.Errorf("openflow: truncated flow stats entry")
+			}
+			length := int(be.Uint16(rest[0:2]))
+			if length < 48 || length > len(rest) {
+				return nil, fmt.Errorf("openflow: bad flow stats entry length %d", length)
+			}
+			e := rest[:length]
+			fs := FlowStats{
+				TableID:     e[2],
+				Priority:    be.Uint16(e[12:14]),
+				Cookie:      be.Uint64(e[24:32]),
+				PacketCount: be.Uint64(e[32:40]),
+				ByteCount:   be.Uint64(e[40:48]),
+			}
+			match, n, err := DecodeMatch(e[48:])
+			if err != nil {
+				return nil, err
+			}
+			fs.Match = match
+			instr := e[48+n:]
+			if len(instr) >= 8 && be.Uint16(instr[0:2]) == instrApplyActions {
+				acts, err := DecodeActions(instr[8:])
+				if err != nil {
+					return nil, err
+				}
+				fs.Actions = acts
+			}
+			reply.Stats = append(reply.Stats, fs)
+			rest = rest[length:]
+		}
+		return reply, nil
+	default:
+		return nil, fmt.Errorf("openflow: unsupported multipart type %d", mpType)
+	}
+}

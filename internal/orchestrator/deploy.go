@@ -1,0 +1,226 @@
+package orchestrator
+
+import (
+	"fmt"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/graph"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vnf"
+)
+
+// Deployment is a service graph instantiated on a node.
+type Deployment struct {
+	node *Node
+
+	apps     []*vnf.App
+	sources  []*vnf.Source
+	sinks    map[string]*vnf.Sink
+	srcsinks map[string]*vnf.SrcSink
+	vms      map[string][]uint32 // VM name → port ids
+
+	// PortOf maps (VNF name, local port) to switch port ids.
+	portOf map[graph.Endpoint]uint32
+
+	flowPrio uint16
+}
+
+// SourceSpecArgs configures a source VNF through graph.VNF.Args.
+type SourceSpecArgs struct {
+	Spec  pkt.UDPSpec
+	Flows int
+}
+
+// SrcSinkArgs configures a bidirectional endpoint VNF through graph.VNF.Args.
+type SrcSinkArgs struct {
+	Spec      pkt.UDPSpec
+	Flows     int
+	Timestamp bool
+}
+
+// Deploy lowers g onto the node: one VM per VNF with its dpdkr ports, the
+// VNF applications started inside, and one steering rule per directed edge
+// (in_port=A → output:B). In highway mode the detector then turns each
+// point-to-point pair into a bypass automatically — deployment code is
+// identical in both modes, which is the transparency argument end to end.
+func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		node:     n,
+		sinks:    make(map[string]*vnf.Sink),
+		srcsinks: make(map[string]*vnf.SrcSink),
+		vms:      make(map[string][]uint32),
+		portOf:   make(map[graph.Endpoint]uint32),
+		flowPrio: 10,
+	}
+
+	// Instantiate VNFs.
+	for _, v := range g.VNFs {
+		ids, pmds, err := n.CreateVM(v.Name, v.Kind.PortCount())
+		if err != nil {
+			d.Stop()
+			return nil, fmt.Errorf("deploy %s: %w", v.Name, err)
+		}
+		d.vms[v.Name] = ids
+		for i, id := range ids {
+			d.portOf[graph.VNFPort(v.Name, i)] = id
+		}
+		if err := d.startVNF(v, pmds); err != nil {
+			d.Stop()
+			return nil, fmt.Errorf("deploy %s: %w", v.Name, err)
+		}
+	}
+
+	// Program steering rules.
+	for _, e := range g.Edges {
+		a, err := d.resolve(e.A)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		b, err := d.resolve(e.B)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		n.Switch.Table().Add(d.flowPrio, flow.MatchInPort(a), flow.Actions{flow.Output(b)}, 0)
+		if e.Bidirectional {
+			n.Switch.Table().Add(d.flowPrio, flow.MatchInPort(b), flow.Actions{flow.Output(a)}, 0)
+		}
+	}
+	return d, nil
+}
+
+func (d *Deployment) resolve(ep graph.Endpoint) (uint32, error) {
+	switch ep.Kind {
+	case graph.EpVNF:
+		id, ok := d.portOf[graph.Endpoint{Kind: graph.EpVNF, Name: ep.Name, Port: ep.Port}]
+		if !ok {
+			return 0, fmt.Errorf("deploy: unresolved endpoint %s/%d", ep.Name, ep.Port)
+		}
+		return id, nil
+	case graph.EpNIC:
+		id, ok := d.node.NICPort(ep.Name)
+		if !ok {
+			return 0, fmt.Errorf("deploy: unknown NIC %q", ep.Name)
+		}
+		return id, nil
+	default:
+		return 0, fmt.Errorf("deploy: bad endpoint kind %d", ep.Kind)
+	}
+}
+
+func (d *Deployment) startVNF(v graph.VNF, pmds []*dpdkr.PMD) error {
+	switch v.Kind {
+	case graph.KindForward:
+		app, err := vnf.NewForwarder(v.Name, pmds[0], pmds[1], d.node.Pool)
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+	case graph.KindFirewall:
+		rules, _ := v.Args.([]vnf.FirewallRule)
+		app, _, err := vnf.NewFirewall(v.Name, pmds[0], pmds[1], d.node.Pool, rules)
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+	case graph.KindMonitor:
+		app, _, err := vnf.NewMonitor(v.Name, pmds[0], pmds[1], d.node.Pool, 0)
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+	case graph.KindSource:
+		args, _ := v.Args.(SourceSpecArgs)
+		if args.Spec.FrameLen == 0 {
+			args.Spec = DefaultTrafficSpec()
+		}
+		if args.Flows == 0 {
+			args.Flows = 1
+		}
+		src, err := vnf.NewSource(v.Name, pmds[0], d.node.Pool, args.Spec, args.Flows)
+		if err != nil {
+			return err
+		}
+		d.sources = append(d.sources, src)
+	case graph.KindSink:
+		sink, err := vnf.NewSink(v.Name, pmds[0], d.node.Pool)
+		if err != nil {
+			return err
+		}
+		d.sinks[v.Name] = sink
+	case graph.KindSrcSink:
+		args, _ := v.Args.(SrcSinkArgs)
+		if args.Spec.FrameLen == 0 {
+			args.Spec = DefaultTrafficSpec()
+		}
+		if args.Flows == 0 {
+			args.Flows = 1
+		}
+		ss, err := vnf.NewSrcSink(vnf.SrcSinkConfig{
+			Name: v.Name, PMD: pmds[0], Pool: d.node.Pool,
+			Spec: args.Spec, Flows: args.Flows, Timestamp: args.Timestamp,
+		})
+		if err != nil {
+			return err
+		}
+		d.srcsinks[v.Name] = ss
+	default:
+		return fmt.Errorf("unknown VNF kind %q", v.Kind)
+	}
+	return nil
+}
+
+// DefaultTrafficSpec is the canonical 64-byte bidirectional UDP workload of
+// the paper's evaluation.
+func DefaultTrafficSpec() pkt.UDPSpec {
+	return pkt.UDPSpec{
+		SrcMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x01},
+		DstMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x02},
+		SrcIP:  pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000,
+		FrameLen: pkt.MinFrame,
+	}
+}
+
+// Sink returns a named sink VNF (nil if absent).
+func (d *Deployment) Sink(name string) *vnf.Sink { return d.sinks[name] }
+
+// SrcSink returns a named bidirectional endpoint VNF (nil if absent).
+func (d *Deployment) SrcSink(name string) *vnf.SrcSink { return d.srcsinks[name] }
+
+// Apps returns the started middle-VNF applications.
+func (d *Deployment) Apps() []*vnf.App { return d.apps }
+
+// Stop halts all VNFs and destroys their VMs (ports removed from the
+// switch). The steering rules are deleted first so the bypass manager tears
+// links down before the PMD owners disappear.
+func (d *Deployment) Stop() {
+	d.node.Switch.Table().DeleteWhere(func(*flow.Flow) bool { return true })
+	if d.node.Manager != nil {
+		// Wait for the manager to process the deletions before VMs go away.
+		waitCond(func() bool { return d.node.Switch.BypassLinkCount() == 0 })
+	}
+	for _, s := range d.sources {
+		s.Stop()
+	}
+	for _, s := range d.srcsinks {
+		s.Stop()
+	}
+	for _, app := range d.apps {
+		app.Stop()
+	}
+	for _, s := range d.sinks {
+		s.Stop()
+	}
+	for name, ids := range d.vms {
+		_ = d.node.DestroyVM(name, ids)
+	}
+}

@@ -1,0 +1,161 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vnf"
+)
+
+// JSON schema for service graphs, consumed by cmd/nfvnode -graph:
+//
+//	{
+//	  "vnfs": [
+//	    {"name": "src",  "kind": "source", "flows": 4},
+//	    {"name": "fw",   "kind": "firewall",
+//	     "rules": [{"proto": 17, "dst_port": 53, "src_prefix": "10.0.0.0/8"}]},
+//	    {"name": "mon",  "kind": "monitor"},
+//	    {"name": "dst",  "kind": "sink"}
+//	  ],
+//	  "edges": [
+//	    {"a": "src:0", "b": "fw:0",  "bidir": true},
+//	    {"a": "fw:1",  "b": "mon:0", "bidir": true},
+//	    {"a": "mon:1", "b": "dst:0", "bidir": true}
+//	  ]
+//	}
+//
+// Endpoints are "vnfname:port" or "nic:name".
+type jsonGraph struct {
+	VNFs  []jsonVNF  `json:"vnfs"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonVNF struct {
+	Name  string       `json:"name"`
+	Kind  string       `json:"kind"`
+	Flows int          `json:"flows,omitempty"`
+	Rules []jsonFWRule `json:"rules,omitempty"`
+	// Timestamp enables latency stamping on source/srcsink kinds.
+	Timestamp bool `json:"timestamp,omitempty"`
+}
+
+type jsonFWRule struct {
+	Proto     uint8  `json:"proto,omitempty"`
+	DstPort   uint16 `json:"dst_port,omitempty"`
+	SrcPrefix string `json:"src_prefix,omitempty"`
+	DstPrefix string `json:"dst_prefix,omitempty"`
+}
+
+type jsonEdge struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Bidir bool   `json:"bidir,omitempty"`
+}
+
+// ParseGraphJSON decodes and validates a JSON service-graph description.
+func ParseGraphJSON(data []byte) (*graph.Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("graph json: %w", err)
+	}
+	g := &graph.Graph{}
+	for _, v := range jg.VNFs {
+		gv := graph.VNF{Name: v.Name, Kind: graph.Kind(v.Kind)}
+		switch gv.Kind {
+		case graph.KindFirewall:
+			rules, err := parseFWRules(v.Rules)
+			if err != nil {
+				return nil, fmt.Errorf("vnf %s: %w", v.Name, err)
+			}
+			gv.Args = rules
+		case graph.KindSource:
+			gv.Args = SourceSpecArgs{Spec: DefaultTrafficSpec(), Flows: v.Flows}
+		case graph.KindSrcSink:
+			gv.Args = SrcSinkArgs{Spec: DefaultTrafficSpec(), Flows: v.Flows, Timestamp: v.Timestamp}
+		}
+		g.VNFs = append(g.VNFs, gv)
+	}
+	for i, e := range jg.Edges {
+		a, err := parseEndpoint(e.A)
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+		b, err := parseEndpoint(e.B)
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+		g.Edges = append(g.Edges, graph.Edge{A: a, B: b, Bidirectional: e.Bidir})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseEndpoint(s string) (graph.Endpoint, error) {
+	idx := strings.LastIndex(s, ":")
+	if idx < 0 {
+		return graph.Endpoint{}, fmt.Errorf("endpoint %q: want \"vnf:port\" or \"nic:name\"", s)
+	}
+	head, tail := s[:idx], s[idx+1:]
+	if head == "nic" {
+		return graph.NIC(tail), nil
+	}
+	port, err := strconv.Atoi(tail)
+	if err != nil {
+		return graph.Endpoint{}, fmt.Errorf("endpoint %q: bad port: %w", s, err)
+	}
+	return graph.VNFPort(head, port), nil
+}
+
+func parseFWRules(in []jsonFWRule) ([]vnf.FirewallRule, error) {
+	var out []vnf.FirewallRule
+	for _, r := range in {
+		rule := vnf.FirewallRule{Proto: r.Proto, DstPort: r.DstPort}
+		if r.SrcPrefix != "" {
+			addr, plen, err := parsePrefix(r.SrcPrefix)
+			if err != nil {
+				return nil, err
+			}
+			rule.SrcPrefix, rule.SrcPrefixLen = addr, plen
+		}
+		if r.DstPrefix != "" {
+			addr, plen, err := parsePrefix(r.DstPrefix)
+			if err != nil {
+				return nil, err
+			}
+			rule.DstPrefix, rule.DstPrefixLen = addr, plen
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}
+
+func parsePrefix(s string) (pkt.IP4, int, error) {
+	var a pkt.IP4
+	plen := 32
+	if idx := strings.Index(s, "/"); idx >= 0 {
+		v, err := strconv.Atoi(s[idx+1:])
+		if err != nil || v < 0 || v > 32 {
+			return a, 0, fmt.Errorf("bad prefix %q", s)
+		}
+		plen = v
+		s = s[:idx]
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return a, 0, fmt.Errorf("bad IPv4 %q: %w", s, err)
+		}
+		a[i] = byte(v)
+	}
+	return a, plen, nil
+}

@@ -1,0 +1,108 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/vnf"
+)
+
+const sampleGraph = `{
+  "vnfs": [
+    {"name": "src", "kind": "source", "flows": 4},
+    {"name": "fw",  "kind": "firewall",
+     "rules": [{"proto": 17, "dst_port": 53, "src_prefix": "10.0.0.0/8"}]},
+    {"name": "mon", "kind": "monitor"},
+    {"name": "dst", "kind": "sink"}
+  ],
+  "edges": [
+    {"a": "src:0", "b": "fw:0",  "bidir": true},
+    {"a": "fw:1",  "b": "mon:0", "bidir": true},
+    {"a": "mon:1", "b": "dst:0", "bidir": true}
+  ]
+}`
+
+func TestParseGraphJSON(t *testing.T) {
+	g, err := ParseGraphJSON([]byte(sampleGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VNFs) != 4 || len(g.Edges) != 3 {
+		t.Fatalf("vnfs=%d edges=%d", len(g.VNFs), len(g.Edges))
+	}
+	if g.VNFs[0].Kind != graph.KindSource {
+		t.Fatalf("vnf0 kind = %q", g.VNFs[0].Kind)
+	}
+	args, ok := g.VNFs[0].Args.(SourceSpecArgs)
+	if !ok || args.Flows != 4 {
+		t.Fatalf("source args = %+v", g.VNFs[0].Args)
+	}
+	rules, ok := g.VNFs[1].Args.([]vnf.FirewallRule)
+	if !ok || len(rules) != 1 {
+		t.Fatalf("firewall args = %+v", g.VNFs[1].Args)
+	}
+	if rules[0].Proto != 17 || rules[0].DstPort != 53 || rules[0].SrcPrefixLen != 8 {
+		t.Fatalf("rule = %+v", rules[0])
+	}
+	if !g.Edges[0].Bidirectional || g.Edges[0].A.Name != "src" || g.Edges[0].B.Port != 0 {
+		t.Fatalf("edge0 = %+v", g.Edges[0])
+	}
+}
+
+func TestParseGraphJSONNICEndpoints(t *testing.T) {
+	g, err := ParseGraphJSON([]byte(`{
+	  "vnfs": [{"name": "f1", "kind": "forward"}],
+	  "edges": [
+	    {"a": "nic:eth0", "b": "f1:0", "bidir": true},
+	    {"a": "f1:1", "b": "nic:eth1", "bidir": true}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges[0].A.Kind != graph.EpNIC || g.Edges[0].A.Name != "eth0" {
+		t.Fatalf("nic endpoint = %+v", g.Edges[0].A)
+	}
+}
+
+func TestParseGraphJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"vnfs": [{"name": "x", "kind": "bogus"}]}`,
+		`{"vnfs": [{"name": "a", "kind": "sink"}], "edges": [{"a": "a", "b": "a:0"}]}`,       // endpoint without port
+		`{"vnfs": [{"name": "a", "kind": "sink"}], "edges": [{"a": "a:x", "b": "a:0"}]}`,     // bad port
+		`{"vnfs": [{"name": "a", "kind": "sink"}], "edges": [{"a": "ghost:0", "b": "a:0"}]}`, // unknown vnf
+		`{"vnfs": [{"name": "fw", "kind": "firewall", "rules": [{"src_prefix": "10.0.0.0/99"}]},
+		           {"name": "a", "kind": "sink"}]}`, // bad prefix
+	}
+	for _, c := range cases {
+		if _, err := ParseGraphJSON([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestDeployGraphFromJSON(t *testing.T) {
+	n := newNode(t, ModeHighway)
+	g, err := ParseGraphJSON([]byte(sampleGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.Deploy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if !n.WaitBypassCount(6) {
+		t.Fatalf("bypasses = %d", n.Switch.BypassLinkCount())
+	}
+	sink := d.Sink("dst")
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Received.Load() < 1000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sink.Received.Load() < 1000 {
+		t.Fatalf("sink received %d", sink.Received.Load())
+	}
+}

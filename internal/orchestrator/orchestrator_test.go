@@ -1,0 +1,256 @@
+package orchestrator
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/nic"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vnf"
+)
+
+func newNode(t *testing.T, mode Mode) *Node {
+	t.Helper()
+	n, err := NewNode(NodeConfig{
+		Mode:     mode,
+		PoolSize: 4096,
+		RingSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func TestDeployChainVanillaTrafficFlows(t *testing.T) {
+	n := newNode(t, ModeVanilla)
+	d, err := n.Deploy(graph.Chain(2, "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	sink := d.Sink("dst")
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Received.Load() < 10000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sink.Received.Load(); got < 10000 {
+		t.Fatalf("sink received only %d packets", got)
+	}
+	if n.Switch.BypassLinkCount() != 0 {
+		t.Fatal("vanilla mode created bypasses")
+	}
+}
+
+func TestDeployChainHighwayEstablishesBypasses(t *testing.T) {
+	n := newNode(t, ModeHighway)
+	d, err := n.Deploy(graph.Chain(3, "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	// Chain of 3 VNFs + src + dst: 4 bidirectional hops = 8 directed links.
+	if !n.WaitBypassCount(8) {
+		t.Fatalf("bypass links = %d, want 8", n.Switch.BypassLinkCount())
+	}
+
+	sink := d.Sink("dst")
+	sink.ResetWindow()
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Received.Load() < 10000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sink.Received.Load(); got < 10000 {
+		t.Fatalf("sink received only %d packets via highway", got)
+	}
+
+	// With every hop bypassed, the switch's own PMDs should have moved
+	// almost nothing after establishment.
+	var crossed uint64
+	for _, p := range n.Switch.Ports() {
+		crossed += p.PortCounters().RxPackets.Load()
+	}
+	if crossed > 100000 {
+		t.Fatalf("switch still moving bulk traffic: %d packets", crossed)
+	}
+}
+
+func TestHighwayFasterThanVanilla(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison in -short mode")
+	}
+	measure := func(mode Mode) float64 {
+		n := newNode(t, mode)
+		defer n.Stop()
+		d, err := n.Deploy(graph.Chain(3, "", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+		if mode == ModeHighway && !n.WaitBypassCount(8) {
+			t.Fatal("bypasses not established")
+		}
+		sink := d.Sink("dst")
+		time.Sleep(200 * time.Millisecond) // warm-up
+		sink.ResetWindow()
+		time.Sleep(500 * time.Millisecond)
+		return sink.RatePps()
+	}
+	vanilla := measure(ModeVanilla)
+	highway := measure(ModeHighway)
+	t.Logf("chain=3 vanilla=%.0f pps highway=%.0f pps (%.1fx)", vanilla, highway, highway/vanilla)
+	if highway <= vanilla {
+		t.Fatalf("highway (%.0f pps) not faster than vanilla (%.0f pps)", highway, vanilla)
+	}
+}
+
+func TestDeployWithNICs(t *testing.T) {
+	n := newNode(t, ModeHighway)
+	nicIn, err := n.AddNIC("eth0", nic.Config{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nicOut, err := n.AddNIC("eth1", nic.Config{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := n.Deploy(graph.Chain(2, "eth0", "eth1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	// NIC↔VM hops cannot bypass; only the VM↔VM hop can (2 directed links).
+	if !n.WaitBypassCount(2) {
+		t.Fatalf("bypass links = %d, want 2", n.Switch.BypassLinkCount())
+	}
+
+	gen, err := nic.NewGenerator(nicIn, n.Pool, DefaultTrafficSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Stop()
+	sink := nic.NewWireSink(nicOut)
+	defer sink.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Received.Load() < 5000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sink.Received.Load(); got < 5000 {
+		t.Fatalf("wire sink received %d", got)
+	}
+}
+
+func TestDeployFirewallMonitorGraph(t *testing.T) {
+	// The introduction's service graph: firewall → monitor → sink, with the
+	// firewall blocking one destination port.
+	n := newNode(t, ModeHighway)
+	g := &graph.Graph{
+		VNFs: []graph.VNF{
+			{Name: "src", Kind: graph.KindSource, Args: SourceSpecArgs{Spec: DefaultTrafficSpec(), Flows: 4}},
+			{Name: "fw", Kind: graph.KindFirewall, Args: []vnf.FirewallRule{
+				{Proto: pkt.ProtoUDP, DstPort: 9999}, // nothing matches: pass-through
+			}},
+			{Name: "mon", Kind: graph.KindMonitor},
+			{Name: "dst", Kind: graph.KindSink},
+		},
+		Edges: []graph.Edge{
+			{A: graph.VNFPort("src", 0), B: graph.VNFPort("fw", 0), Bidirectional: true},
+			{A: graph.VNFPort("fw", 1), B: graph.VNFPort("mon", 0), Bidirectional: true},
+			{A: graph.VNFPort("mon", 1), B: graph.VNFPort("dst", 0), Bidirectional: true},
+		},
+	}
+	d, err := n.Deploy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	if !n.WaitBypassCount(6) {
+		t.Fatalf("bypass links = %d, want 6", n.Switch.BypassLinkCount())
+	}
+	sink := d.Sink("dst")
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Received.Load() < 5000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sink.Received.Load(); got < 5000 {
+		t.Fatalf("sink received %d", got)
+	}
+}
+
+func TestDeployInvalidGraphFails(t *testing.T) {
+	n := newNode(t, ModeVanilla)
+	bad := &graph.Graph{VNFs: []graph.VNF{{Name: "", Kind: graph.KindForward}}}
+	if _, err := n.Deploy(bad); err == nil {
+		t.Fatal("invalid graph deployed")
+	}
+}
+
+func TestDeploymentStopCleansUp(t *testing.T) {
+	n := newNode(t, ModeHighway)
+	d, err := n.Deploy(graph.Chain(2, "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.WaitBypassCount(6) {
+		t.Fatalf("links = %d", n.Switch.BypassLinkCount())
+	}
+	d.Stop()
+	if got := n.Switch.BypassLinkCount(); got != 0 {
+		t.Fatalf("bypass links after stop = %d", got)
+	}
+	if got := n.Registry.Len(); got != 0 {
+		t.Fatalf("segments after stop = %d", got)
+	}
+	if got := len(n.Switch.Ports()); got != 0 {
+		t.Fatalf("ports after stop = %d", got)
+	}
+	if got := n.Switch.Table().Len(); got != 0 {
+		t.Fatalf("flows after stop = %d", got)
+	}
+}
+
+func TestBypassSetupLatencyObserved(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		setups []time.Duration
+	)
+	n, err := NewNode(NodeConfig{
+		Mode: ModeHighway,
+		OnBypassUp: func(from, to uint32, d time.Duration) {
+			mu.Lock()
+			setups = append(setups, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	d, err := n.Deploy(graph.Chain(1, "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if !n.WaitBypassCount(4) {
+		t.Fatal("bypasses not established")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(setups) != 4 {
+		t.Fatalf("observed %d setups, want 4", len(setups))
+	}
+	for _, s := range setups {
+		if s <= 0 || s > time.Second {
+			t.Fatalf("implausible setup duration %v", s)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package orchestrator
+
+import "time"
+
+// waitCond polls cond up to a bounded deadline; used for control-plane
+// convergence (bypass establishment/teardown is asynchronous by design).
+func waitCond(cond func() bool) bool {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return cond()
+}
+
+// WaitBypassCount blocks until the switch reports exactly n live bypass
+// links (or times out), returning whether the condition was met. Benchmarks
+// use it to ensure the highway is fully established before measuring.
+func (n *Node) WaitBypassCount(want int) bool {
+	return waitCond(func() bool { return n.Switch.BypassLinkCount() == want })
+}

@@ -1,0 +1,153 @@
+package pkt
+
+import "fmt"
+
+// UDPSpec describes a UDP/IPv4 frame to synthesize. It is the workload
+// vocabulary of the benchmark harness: the paper's 64-byte bidirectional
+// traffic is UDPSpec with FrameLen=MinFrame.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IP4
+	SrcPort, DstPort uint16
+	TTL              uint8 // default 64
+	Payload          []byte
+	FrameLen         int // pad frame (with zero bytes) up to this length; 0 = no padding
+}
+
+// BuildUDP serializes the spec into dst and returns the frame length.
+// dst must be large enough; the frame is Ethernet+IPv4+UDP+payload, padded
+// to FrameLen if set. Checksums (IPv4 header and UDP) are filled in.
+func BuildUDP(dst []byte, s UDPSpec) (int, error) {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ipLen := IPv4MinLen + UDPLen + len(s.Payload)
+	frameLen := EthernetLen + ipLen
+	if s.FrameLen > frameLen {
+		frameLen = s.FrameLen
+	}
+	if len(dst) < frameLen {
+		return 0, fmt.Errorf("pkt: BuildUDP: dst %d < frame %d", len(dst), frameLen)
+	}
+	for i := EthernetLen + ipLen; i < frameLen; i++ {
+		dst[i] = 0
+	}
+
+	copy(dst[0:6], s.DstMAC[:])
+	copy(dst[6:12], s.SrcMAC[:])
+	be.PutUint16(dst[12:14], EtherTypeIPv4)
+
+	ip := dst[EthernetLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0
+	be.PutUint16(ip[2:4], uint16(ipLen))
+	be.PutUint16(ip[4:6], 0) // identification
+	be.PutUint16(ip[6:8], 0x4000)
+	ip[8] = ttl
+	ip[9] = ProtoUDP
+	be.PutUint16(ip[10:12], 0)
+	copy(ip[12:16], s.SrcIP[:])
+	copy(ip[16:20], s.DstIP[:])
+	be.PutUint16(ip[10:12], Checksum(ip[:IPv4MinLen]))
+
+	udp := ip[IPv4MinLen:]
+	be.PutUint16(udp[0:2], s.SrcPort)
+	be.PutUint16(udp[2:4], s.DstPort)
+	be.PutUint16(udp[4:6], uint16(UDPLen+len(s.Payload)))
+	be.PutUint16(udp[6:8], 0)
+	copy(udp[UDPLen:], s.Payload)
+	seg := udp[:UDPLen+len(s.Payload)]
+	be.PutUint16(udp[6:8], L4Checksum(s.SrcIP, s.DstIP, ProtoUDP, seg))
+
+	return frameLen, nil
+}
+
+// TCPSpec describes a TCP/IPv4 frame (no options) to synthesize.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IP4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8
+	Payload          []byte
+}
+
+// BuildTCP serializes the spec into dst and returns the frame length.
+func BuildTCP(dst []byte, s TCPSpec) (int, error) {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	win := s.Window
+	if win == 0 {
+		win = 65535
+	}
+	ipLen := IPv4MinLen + TCPMinLen + len(s.Payload)
+	frameLen := EthernetLen + ipLen
+	if len(dst) < frameLen {
+		return 0, fmt.Errorf("pkt: BuildTCP: dst %d < frame %d", len(dst), frameLen)
+	}
+
+	copy(dst[0:6], s.DstMAC[:])
+	copy(dst[6:12], s.SrcMAC[:])
+	be.PutUint16(dst[12:14], EtherTypeIPv4)
+
+	ip := dst[EthernetLen:]
+	ip[0] = 0x45
+	ip[1] = 0
+	be.PutUint16(ip[2:4], uint16(ipLen))
+	be.PutUint16(ip[4:6], 0)
+	be.PutUint16(ip[6:8], 0x4000)
+	ip[8] = ttl
+	ip[9] = ProtoTCP
+	be.PutUint16(ip[10:12], 0)
+	copy(ip[12:16], s.SrcIP[:])
+	copy(ip[16:20], s.DstIP[:])
+	be.PutUint16(ip[10:12], Checksum(ip[:IPv4MinLen]))
+
+	tcp := ip[IPv4MinLen:]
+	be.PutUint16(tcp[0:2], s.SrcPort)
+	be.PutUint16(tcp[2:4], s.DstPort)
+	be.PutUint32(tcp[4:8], s.Seq)
+	be.PutUint32(tcp[8:12], s.Ack)
+	tcp[12] = 5 << 4 // data offset 5 words
+	tcp[13] = s.Flags & 0x3f
+	be.PutUint16(tcp[14:16], win)
+	be.PutUint16(tcp[16:18], 0)
+	be.PutUint16(tcp[18:20], 0) // urgent pointer
+	copy(tcp[TCPMinLen:], s.Payload)
+	seg := tcp[:TCPMinLen+len(s.Payload)]
+	be.PutUint16(tcp[16:18], L4Checksum(s.SrcIP, s.DstIP, ProtoTCP, seg))
+
+	return frameLen, nil
+}
+
+// BuildARP serializes an Ethernet/IPv4 ARP message into dst.
+func BuildARP(dst []byte, op uint16, senderMAC MAC, senderIP IP4, targetMAC MAC, targetIP IP4) (int, error) {
+	frameLen := EthernetLen + ARPLen
+	if len(dst) < frameLen {
+		return 0, fmt.Errorf("pkt: BuildARP: dst %d < frame %d", len(dst), frameLen)
+	}
+	ethDst := targetMAC
+	if op == ARPRequest {
+		ethDst = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	}
+	copy(dst[0:6], ethDst[:])
+	copy(dst[6:12], senderMAC[:])
+	be.PutUint16(dst[12:14], EtherTypeARP)
+
+	a := dst[EthernetLen:]
+	be.PutUint16(a[0:2], 1)             // hardware: ethernet
+	be.PutUint16(a[2:4], EtherTypeIPv4) // protocol: ipv4
+	a[4] = 6
+	a[5] = 4
+	be.PutUint16(a[6:8], op)
+	copy(a[8:14], senderMAC[:])
+	copy(a[14:18], senderIP[:])
+	copy(a[18:24], targetMAC[:])
+	copy(a[24:28], targetIP[:])
+	return frameLen, nil
+}

@@ -1,0 +1,41 @@
+package pkt
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	return finish(sum(b, 0))
+}
+
+func sum(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+func finish(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// L4Checksum computes the transport checksum for an IPv4 packet: the
+// pseudo-header (src, dst, proto, length) followed by the transport segment.
+// The checksum field inside seg must be zeroed by the caller first.
+func L4Checksum(src, dst IP4, proto uint8, seg []byte) uint16 {
+	acc := sum(src[:], 0)
+	acc = sum(dst[:], acc)
+	acc += uint32(proto)
+	acc += uint32(len(seg))
+	acc = sum(seg, acc)
+	c := finish(acc)
+	// UDP transmits an all-zero checksum as 0xffff (0 means "no checksum").
+	if proto == ProtoUDP && c == 0 {
+		c = 0xffff
+	}
+	return c
+}

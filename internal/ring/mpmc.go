@@ -1,0 +1,132 @@
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// slot is one cell of an MPMC ring. seq coordinates producers and consumers:
+// a slot is writable for turn t when seq == t, and readable when seq == t+1.
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPMC is a bounded multi-producer multi-consumer lock-free ring
+// (Dmitry Vyukov's bounded queue). Any number of goroutines may enqueue and
+// dequeue concurrently. Construct with NewMPMC.
+type MPMC[T any] struct {
+	mask  uint64
+	slots []slot[T]
+
+	_    pad
+	head atomic.Uint64 // next ticket to consume
+	_    pad
+	tail atomic.Uint64 // next ticket to produce
+	_    pad
+}
+
+// NewMPMC returns an MPMC ring with the given capacity, which must be a
+// power of two and at least 2.
+func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("ring: capacity %d is not a power of two >= 2", capacity)
+	}
+	m := &MPMC[T]{
+		mask:  uint64(capacity - 1),
+		slots: make([]slot[T], capacity),
+	}
+	for i := range m.slots {
+		m.slots[i].seq.Store(uint64(i))
+	}
+	return m, nil
+}
+
+// MustMPMC is NewMPMC that panics on an invalid capacity.
+func MustMPMC[T any](capacity int) *MPMC[T] {
+	m, err := NewMPMC[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cap returns the ring capacity.
+func (m *MPMC[T]) Cap() int { return len(m.slots) }
+
+// Len returns an instantaneous element count; only exact at quiescence.
+func (m *MPMC[T]) Len() int {
+	n := int64(m.tail.Load()) - int64(m.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// TryEnqueue appends one element, returning false if the ring is full.
+func (m *MPMC[T]) TryEnqueue(v T) bool {
+	for {
+		tail := m.tail.Load()
+		s := &m.slots[tail&m.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == tail:
+			if m.tail.CompareAndSwap(tail, tail+1) {
+				s.val = v
+				s.seq.Store(tail + 1)
+				return true
+			}
+		case seq < tail:
+			return false // slot still holds an unconsumed value: full
+		}
+		// seq > tail: another producer raced ahead; retry with fresh tail.
+	}
+}
+
+// TryDequeue removes one element, reporting whether one was available.
+func (m *MPMC[T]) TryDequeue() (T, bool) {
+	var zero T
+	for {
+		head := m.head.Load()
+		s := &m.slots[head&m.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == head+1:
+			if m.head.CompareAndSwap(head, head+1) {
+				v := s.val
+				s.val = zero
+				s.seq.Store(head + uint64(len(m.slots)))
+				return v, true
+			}
+		case seq <= head:
+			return zero, false // slot not yet produced: empty
+		}
+		// seq > head+1: another consumer raced ahead; retry.
+	}
+}
+
+// Enqueue appends up to len(vs) elements and returns how many were queued.
+func (m *MPMC[T]) Enqueue(vs []T) int {
+	n := 0
+	for _, v := range vs {
+		if !m.TryEnqueue(v) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Dequeue removes up to len(out) elements into out and returns the count.
+func (m *MPMC[T]) Dequeue(out []T) int {
+	n := 0
+	for i := range out {
+		v, ok := m.TryDequeue()
+		if !ok {
+			break
+		}
+		out[i] = v
+		n++
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package ring
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMPMCRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{-4, 0, 1, 5, 12} {
+		if _, err := NewMPMC[int](c); err == nil {
+			t.Errorf("capacity %d: want error, got nil", c)
+		}
+	}
+	m, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cap() != 8 {
+		t.Errorf("Cap() = %d, want 8", m.Cap())
+	}
+}
+
+func TestMustMPMCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMPMC(0) did not panic")
+		}
+	}()
+	MustMPMC[int](0)
+}
+
+func TestMPMCFIFOSingleThreaded(t *testing.T) {
+	m := MustMPMC[int](8)
+	for i := 0; i < 8; i++ {
+		if !m.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if m.TryEnqueue(8) {
+		t.Fatal("enqueue succeeded on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := m.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := m.TryDequeue(); ok {
+		t.Fatal("dequeue succeeded on empty ring")
+	}
+}
+
+func TestMPMCWraparound(t *testing.T) {
+	m := MustMPMC[int](4)
+	for i := 0; i < 1000; i++ {
+		if !m.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		v, ok := m.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestMPMCBatchOps(t *testing.T) {
+	m := MustMPMC[int](8)
+	n := m.Enqueue([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if n != 8 {
+		t.Fatalf("Enqueue = %d, want 8", n)
+	}
+	out := make([]int, 16)
+	n = m.Dequeue(out)
+	if n != 8 {
+		t.Fatalf("Dequeue = %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != i+1 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+}
+
+// TestMPMCConcurrentNoLossNoDup pushes a known multiset through the ring from
+// several producers to several consumers and verifies every element arrives
+// exactly once.
+func TestMPMCConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 50000
+	)
+	m := MustMPMC[int](256)
+	var wg sync.WaitGroup
+	results := make(chan []int, consumers)
+	var remaining sync.WaitGroup
+
+	remaining.Add(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer remaining.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !m.TryEnqueue(v) {
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		remaining.Wait()
+		close(done)
+	}()
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []int
+			for {
+				v, ok := m.TryDequeue()
+				if ok {
+					got = append(got, v)
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain whatever is left.
+					if v, ok := m.TryDequeue(); ok {
+						got = append(got, v)
+						continue
+					}
+					results <- got
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	var all []int
+	for g := range results {
+		all = append(all, g...)
+	}
+	if len(all) != producers*perProd {
+		t.Fatalf("received %d elements, want %d", len(all), producers*perProd)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("all[%d] = %d (lost or duplicated element)", i, v)
+		}
+	}
+}
+
+// TestMPMCPerProducerOrder checks that elements from a single producer are
+// consumed in that producer's order (FIFO per producer) when one consumer
+// drains the ring.
+func TestMPMCPerProducerOrder(t *testing.T) {
+	const perProd = 20000
+	m := MustMPMC[[2]int](128)
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for !m.TryEnqueue([2]int{p, i}) {
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait() }()
+
+	lastSeen := map[int]int{0: -1, 1: -1, 2: -1}
+	for count := 0; count < 3*perProd; {
+		v, ok := m.TryDequeue()
+		if !ok {
+			continue
+		}
+		p, i := v[0], v[1]
+		if i != lastSeen[p]+1 {
+			t.Fatalf("producer %d: saw %d after %d", p, i, lastSeen[p])
+		}
+		lastSeen[p] = i
+		count++
+	}
+	wg.Wait()
+}
+
+func TestMPMCQuickModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := MustMPMC[int](8)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				ok := m.TryEnqueue(next)
+				if ok != (len(model) < 8) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := m.TryDequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMPMCSingle(b *testing.B) {
+	m := MustMPMC[int](1024)
+	for i := 0; i < b.N; i++ {
+		m.TryEnqueue(i)
+		m.TryDequeue()
+	}
+}
+
+func BenchmarkMPMCContended(b *testing.B) {
+	m := MustMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !m.TryEnqueue(1) {
+				m.TryDequeue()
+			} else {
+				m.TryDequeue()
+			}
+		}
+	})
+}

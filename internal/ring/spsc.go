@@ -1,0 +1,142 @@
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed CPU cache-line size, used to pad producer and
+// consumer indexes apart so they do not false-share.
+const cacheLine = 64
+
+type pad [cacheLine]byte
+
+// SPSC is a bounded single-producer single-consumer lock-free ring.
+//
+// Exactly one goroutine may call producer methods (Enqueue, TryEnqueue) and
+// exactly one goroutine may call consumer methods (Dequeue, TryDequeue) at a
+// time. The zero value is not usable; construct with NewSPSC.
+type SPSC[T any] struct {
+	mask uint64
+	buf  []T
+
+	_    pad
+	head atomic.Uint64 // next slot to consume
+	_    pad
+	tail atomic.Uint64 // next slot to produce
+	_    pad
+
+	// cachedHead is a producer-local snapshot of head, refreshed only when
+	// the ring appears full; it keeps the producer off the consumer's cache
+	// line most of the time. cachedTail is the consumer-side mirror.
+	cachedHead uint64
+	_          pad
+	cachedTail uint64
+	_          pad
+}
+
+// NewSPSC returns an SPSC ring with the given capacity, which must be a
+// power of two and at least 2.
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("ring: capacity %d is not a power of two >= 2", capacity)
+	}
+	return &SPSC[T]{
+		mask: uint64(capacity - 1),
+		buf:  make([]T, capacity),
+	}, nil
+}
+
+// MustSPSC is NewSPSC that panics on an invalid capacity. Intended for
+// initialization paths where the capacity is a compile-time constant.
+func MustSPSC[T any](capacity int) *SPSC[T] {
+	r, err := NewSPSC[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of elements currently queued. It is an instantaneous
+// snapshot and only exact when producer and consumer are quiescent.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Free returns the number of free slots, with the same snapshot caveat as Len.
+func (r *SPSC[T]) Free() int { return r.Cap() - r.Len() }
+
+// TryEnqueue appends one element, returning false if the ring is full.
+func (r *SPSC[T]) TryEnqueue(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Enqueue appends up to len(vs) elements and returns how many were queued.
+// It queues a prefix of vs; partial enqueue happens only when the ring fills.
+func (r *SPSC[T]) Enqueue(vs []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.cachedHead)
+	if free < uint64(len(vs)) {
+		r.cachedHead = r.head.Load()
+		free = uint64(len(r.buf)) - (tail - r.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = vs[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// TryDequeue removes one element, reporting whether one was available.
+func (r *SPSC[T]) TryDequeue() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head >= r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head >= r.cachedTail {
+			return zero, false
+		}
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero // drop reference for GC
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Dequeue removes up to len(out) elements into out and returns the count.
+func (r *SPSC[T]) Dequeue(out []T) int {
+	var zero T
+	head := r.head.Load()
+	avail := r.cachedTail - head
+	if avail < uint64(len(out)) {
+		r.cachedTail = r.tail.Load()
+		avail = r.cachedTail - head
+	}
+	n := uint64(len(out))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		out[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + n)
+	return int(n)
+}

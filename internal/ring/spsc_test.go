@@ -1,0 +1,312 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSPSCRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{-1, 0, 1, 3, 6, 100} {
+		if _, err := NewSPSC[int](c); err == nil {
+			t.Errorf("capacity %d: want error, got nil", c)
+		}
+	}
+	for _, c := range []int{2, 4, 64, 4096} {
+		r, err := NewSPSC[int](c)
+		if err != nil {
+			t.Fatalf("capacity %d: unexpected error %v", c, err)
+		}
+		if r.Cap() != c {
+			t.Errorf("Cap() = %d, want %d", r.Cap(), c)
+		}
+	}
+}
+
+func TestMustSPSCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSPSC(3) did not panic")
+		}
+	}()
+	MustSPSC[int](3)
+}
+
+func TestSPSCFIFOOrder(t *testing.T) {
+	r := MustSPSC[int](8)
+	for i := 0; i < 5; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed on non-full ring", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("TryDequeue() = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("TryDequeue succeeded on empty ring")
+	}
+}
+
+func TestSPSCFullRejects(t *testing.T) {
+	r := MustSPSC[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed before full", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("TryEnqueue succeeded on full ring")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len() = %d, want 4", got)
+	}
+	if got := r.Free(); got != 0 {
+		t.Fatalf("Free() = %d, want 0", got)
+	}
+}
+
+func TestSPSCWraparound(t *testing.T) {
+	r := MustSPSC[int](4)
+	next := 0
+	// Push/pop more than 10x capacity so indices wrap repeatedly.
+	for round := 0; round < 50; round++ {
+		n := round%4 + 1
+		for i := 0; i < n; i++ {
+			if !r.TryEnqueue(next + i) {
+				t.Fatalf("round %d: enqueue failed", round)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, ok := r.TryDequeue()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: got %d,%v want %d,true", round, v, ok, next+i)
+			}
+		}
+		next += n
+	}
+}
+
+func TestSPSCBatchEnqueueDequeue(t *testing.T) {
+	r := MustSPSC[int](8)
+	in := []int{1, 2, 3, 4, 5}
+	if n := r.Enqueue(in); n != 5 {
+		t.Fatalf("Enqueue = %d, want 5", n)
+	}
+	out := make([]int, 3)
+	if n := r.Dequeue(out); n != 3 {
+		t.Fatalf("Dequeue = %d, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if n := r.Dequeue(out); n != 2 {
+		t.Fatalf("second Dequeue = %d, want 2", n)
+	}
+}
+
+func TestSPSCBatchPartialEnqueue(t *testing.T) {
+	r := MustSPSC[int](4)
+	in := []int{10, 20, 30, 40, 50, 60}
+	if n := r.Enqueue(in); n != 4 {
+		t.Fatalf("Enqueue on cap-4 ring = %d, want 4", n)
+	}
+	out := make([]int, 8)
+	if n := r.Dequeue(out); n != 4 {
+		t.Fatalf("Dequeue = %d, want 4", n)
+	}
+	for i, want := range []int{10, 20, 30, 40} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestSPSCBatchEmptySlices(t *testing.T) {
+	r := MustSPSC[int](4)
+	if n := r.Enqueue(nil); n != 0 {
+		t.Errorf("Enqueue(nil) = %d, want 0", n)
+	}
+	if n := r.Dequeue(nil); n != 0 {
+		t.Errorf("Dequeue(nil) = %d, want 0", n)
+	}
+}
+
+func TestSPSCPointerSlotsCleared(t *testing.T) {
+	r := MustSPSC[*int](4)
+	v := new(int)
+	r.TryEnqueue(v)
+	got, ok := r.TryDequeue()
+	if !ok || got != v {
+		t.Fatal("round-trip failed")
+	}
+	// The vacated slot must not retain the pointer (GC hygiene).
+	if r.buf[0] != nil {
+		t.Fatal("dequeued slot still holds pointer")
+	}
+}
+
+// TestSPSCConcurrentTransfer moves a large sequence through the ring with a
+// distinct producer and consumer goroutine, checking order and completeness.
+func TestSPSCConcurrentTransfer(t *testing.T) {
+	const total = 200000
+	r := MustSPSC[int](128)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 32)
+		for i := 0; i < total; {
+			n := 0
+			for n < len(buf) && i+n < total {
+				buf[n] = i + n
+				n++
+			}
+			sent := 0
+			for sent < n {
+				sent += r.Enqueue(buf[sent:n])
+			}
+			i += n
+		}
+	}()
+	out := make([]int, 32)
+	want := 0
+	for want < total {
+		n := r.Dequeue(out)
+		for i := 0; i < n; i++ {
+			if out[i] != want {
+				t.Fatalf("got %d, want %d", out[i], want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("ring not empty after transfer")
+	}
+}
+
+// TestSPSCConcurrentSingleOps is the single-element variant of the transfer
+// test, exercising TryEnqueue/TryDequeue cached-index refresh paths.
+func TestSPSCConcurrentSingleOps(t *testing.T) {
+	const total = 100000
+	r := MustSPSC[uint64](16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < total; {
+			if r.TryEnqueue(i) {
+				i++
+			}
+		}
+	}()
+	for want := uint64(0); want < total; {
+		if v, ok := r.TryDequeue(); ok {
+			if v != want {
+				t.Fatalf("got %d, want %d", v, want)
+			}
+			want++
+		}
+	}
+	<-done
+}
+
+// TestSPSCQuickModel checks the ring against a simple slice-backed queue
+// model over random operation sequences.
+func TestSPSCQuickModel(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		r := MustSPSC[int](16)
+		var model []int
+		rng := rand.New(rand.NewSource(seed))
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // single enqueue
+				ok := r.TryEnqueue(next)
+				if ok != (len(model) < 16) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // single dequeue
+				v, ok := r.TryDequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // batch enqueue
+				k := rng.Intn(8) + 1
+				batch := make([]int, k)
+				for i := range batch {
+					batch[i] = next + i
+				}
+				n := r.Enqueue(batch)
+				wantN := 16 - len(model)
+				if wantN > k {
+					wantN = k
+				}
+				if n != wantN {
+					return false
+				}
+				model = append(model, batch[:n]...)
+				next += n
+			case 3: // batch dequeue
+				k := rng.Intn(8) + 1
+				out := make([]int, k)
+				n := r.Dequeue(out)
+				wantN := len(model)
+				if wantN > k {
+					wantN = k
+				}
+				if n != wantN {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if out[i] != model[i] {
+						return false
+					}
+				}
+				model = model[n:]
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSPSCSingle(b *testing.B) {
+	r := MustSPSC[int](1024)
+	for i := 0; i < b.N; i++ {
+		r.TryEnqueue(i)
+		r.TryDequeue()
+	}
+}
+
+func BenchmarkSPSCBatch32(b *testing.B) {
+	r := MustSPSC[int](1024)
+	in := make([]int, 32)
+	out := make([]int, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(in)
+		r.Dequeue(out)
+	}
+	b.SetBytes(32)
+}

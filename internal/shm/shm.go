@@ -1,0 +1,116 @@
+// Package shm is the host shared-memory object registry, the stand-in for
+// the hugepage segments that QEMU exposes to VMs as ivshmem devices.
+//
+// A VM context can only reach a segment after the compute agent explicitly
+// plugs it (see internal/vm and internal/agent). Preserving this indirection
+// matters for fidelity: it is *why* the paper needs an external component —
+// OVS knows ports, not VMs, so someone else must map the bypass memory into
+// the right QEMU processes.
+package shm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Segment is one named, ref-counted shared object. Obj is the payload (for
+// bypass channels: a *dpdkr.BypassHalf pair plus a stats block).
+type Segment struct {
+	Name string
+	Obj  any
+
+	mu   sync.Mutex
+	refs int
+	dead bool
+}
+
+// Registry tracks all live segments on the host.
+type Registry struct {
+	mu   sync.Mutex
+	segs map[string]*Segment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{segs: make(map[string]*Segment)}
+}
+
+// Create registers a new segment holding obj with one reference (the
+// creator's). It fails if the name is taken.
+func (r *Registry) Create(name string, obj any) (*Segment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.segs[name]; ok {
+		return nil, fmt.Errorf("shm: segment %q exists", name)
+	}
+	s := &Segment{Name: name, Obj: obj, refs: 1}
+	r.segs[name] = s
+	return s, nil
+}
+
+// Attach takes an additional reference on a named segment (QEMU mapping the
+// region into a guest).
+func (r *Registry) Attach(name string) (*Segment, error) {
+	r.mu.Lock()
+	s, ok := r.segs[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("shm: segment %q not found", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return nil, fmt.Errorf("shm: segment %q is being destroyed", name)
+	}
+	s.refs++
+	return s, nil
+}
+
+// Detach drops one reference. When the last reference goes the segment is
+// removed from the registry. Reports whether the segment was destroyed.
+func (r *Registry) Detach(s *Segment) bool {
+	s.mu.Lock()
+	s.refs--
+	if s.refs < 0 {
+		s.mu.Unlock()
+		panic("shm: detach without attach")
+	}
+	last := s.refs == 0
+	if last {
+		s.dead = true
+	}
+	s.mu.Unlock()
+	if last {
+		r.mu.Lock()
+		delete(r.segs, s.Name)
+		r.mu.Unlock()
+	}
+	return last
+}
+
+// Refs returns the current reference count (diagnostic).
+func (s *Segment) Refs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs
+}
+
+// Names returns the sorted names of live segments (diagnostic).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.segs))
+	for n := range r.segs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live segments.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.segs)
+}

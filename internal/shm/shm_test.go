@@ -1,0 +1,96 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCreateAttachDetachLifecycle(t *testing.T) {
+	r := NewRegistry()
+	s, err := r.Create("bypass-1-2", "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Refs() != 1 || r.Len() != 1 {
+		t.Fatalf("refs=%d len=%d", s.Refs(), r.Len())
+	}
+	if _, err := r.Create("bypass-1-2", nil); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+
+	a, err := r.Attach("bypass-1-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != s || s.Refs() != 2 {
+		t.Fatalf("attach: refs=%d", s.Refs())
+	}
+	if destroyed := r.Detach(s); destroyed {
+		t.Fatal("destroyed while references remain")
+	}
+	if destroyed := r.Detach(s); !destroyed {
+		t.Fatal("not destroyed at last detach")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("registry len = %d after destroy", r.Len())
+	}
+	if _, err := r.Attach("bypass-1-2"); err == nil {
+		t.Fatal("attach to destroyed segment succeeded")
+	}
+}
+
+func TestAttachUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Attach("nope"); err == nil {
+		t.Fatal("attach to unknown segment succeeded")
+	}
+}
+
+func TestDetachWithoutAttachPanics(t *testing.T) {
+	r := NewRegistry()
+	s, _ := r.Create("x", nil)
+	r.Detach(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-detach did not panic")
+		}
+	}()
+	r.Detach(s)
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Create("b", nil)
+	r.Create("a", nil)
+	got := r.Names()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestConcurrentAttachDetach(t *testing.T) {
+	r := NewRegistry()
+	s, _ := r.Create("seg", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a, err := r.Attach("seg")
+				if err != nil {
+					return // segment died under us: acceptable ordering
+				}
+				r.Detach(a)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1 (creator)", s.Refs())
+	}
+	r.Detach(s)
+	if r.Len() != 0 {
+		t.Fatal("segment leaked")
+	}
+}

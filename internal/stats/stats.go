@@ -1,0 +1,63 @@
+// Package stats provides atomic counter blocks shared between the in-VM PMD
+// and the vSwitch.
+//
+// In the paper, packets crossing a bypass channel never touch the vSwitch, so
+// OVS cannot count them; instead the PMD increments counters in a shared
+// memory region and OVS reads that region when exporting OpenFlow statistics.
+// Block is that region's equivalent: written lock-free by one PMD, read at
+// any time by the stats exporter.
+package stats
+
+import "sync/atomic"
+
+// Block is one direction's bypass counters (one per directed p-2-p link).
+type Block struct {
+	TxPackets atomic.Uint64
+	TxBytes   atomic.Uint64
+	RxPackets atomic.Uint64
+	RxBytes   atomic.Uint64
+	// TxDrops counts packets the PMD had to drop because the bypass ring was
+	// full (the peer VM is not draining fast enough).
+	TxDrops atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of a Block.
+type Snapshot struct {
+	TxPackets, TxBytes uint64
+	RxPackets, RxBytes uint64
+	TxDrops            uint64
+}
+
+// Read returns a snapshot of the counters.
+func (b *Block) Read() Snapshot {
+	return Snapshot{
+		TxPackets: b.TxPackets.Load(),
+		TxBytes:   b.TxBytes.Load(),
+		RxPackets: b.RxPackets.Load(),
+		RxBytes:   b.RxBytes.Load(),
+		TxDrops:   b.TxDrops.Load(),
+	}
+}
+
+// AccountTx records packets sent through the bypass.
+func (b *Block) AccountTx(packets, bytes uint64) {
+	b.TxPackets.Add(packets)
+	b.TxBytes.Add(bytes)
+}
+
+// AccountRx records packets received from the bypass.
+func (b *Block) AccountRx(packets, bytes uint64) {
+	b.RxPackets.Add(packets)
+	b.RxBytes.Add(bytes)
+}
+
+// PortCounters are the host-side per-port datapath counters the vSwitch
+// maintains for traffic it moves itself (the normal channel).
+type PortCounters struct {
+	RxPackets atomic.Uint64
+	RxBytes   atomic.Uint64
+	TxPackets atomic.Uint64
+	TxBytes   atomic.Uint64
+	RxDropped atomic.Uint64
+	TxDropped atomic.Uint64
+}

@@ -1,0 +1,218 @@
+// Package vm models the QEMU/KVM virtual machine contexts the VNFs run in.
+//
+// A VM is an isolation boundary: its guest code (the PMD and the VNF app)
+// can only reach shared-memory segments that have been explicitly plugged
+// into its device table — the ivshmem hot-plug step of the paper. The VM
+// also terminates the guest end of the virtio-serial control channel on
+// which the compute agent reconfigures PMD instances.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ovshighway/internal/ctrlproto"
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/shm"
+)
+
+// VM is one virtual machine context.
+type VM struct {
+	Name string
+
+	reg *shm.Registry
+
+	mu      sync.Mutex
+	devices map[string]*device    // plugged ivshmem devices by name
+	pmds    map[uint32]*dpdkr.PMD // guest PMD instances by host port id
+}
+
+// device is one plugged ivshmem region. refs counts plug operations: when a
+// VM hosts both ends of a bypass (two of its own ports linked through the
+// switch), the same segment is plugged once per end.
+type device struct {
+	seg  *shm.Segment
+	refs int
+}
+
+// New creates an empty VM attached to the host shm registry.
+func New(name string, reg *shm.Registry) *VM {
+	return &VM{
+		Name:    name,
+		reg:     reg,
+		devices: make(map[string]*device),
+		pmds:    make(map[uint32]*dpdkr.PMD),
+	}
+}
+
+// AddPMD installs the guest driver for a dpdkr port (done at VM creation,
+// when the compute agent connects the VM to its ports).
+func (v *VM) AddPMD(port uint32, pmd *dpdkr.PMD) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.pmds[port] = pmd
+}
+
+// PMD returns the guest driver for a port (nil if absent). VNF applications
+// obtain their port handles through this.
+func (v *VM) PMD(port uint32) *dpdkr.PMD {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.pmds[port]
+}
+
+// Ports returns the ids of all ports with installed PMDs.
+func (v *VM) Ports() []uint32 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]uint32, 0, len(v.pmds))
+	for id := range v.pmds {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PlugDevice maps the named segment into the VM (QEMU ivshmem device_add).
+// Called by the compute agent, never by guest code. Re-plugging an
+// already-present device increments its reference count.
+func (v *VM) PlugDevice(segment string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d, ok := v.devices[segment]; ok {
+		if _, err := v.reg.Attach(segment); err != nil {
+			return fmt.Errorf("vm %s: plug %q: %w", v.Name, segment, err)
+		}
+		d.refs++
+		return nil
+	}
+	s, err := v.reg.Attach(segment)
+	if err != nil {
+		return fmt.Errorf("vm %s: plug %q: %w", v.Name, segment, err)
+	}
+	v.devices[segment] = &device{seg: s, refs: 1}
+	return nil
+}
+
+// UnplugDevice drops one plug reference, removing the device from the table
+// when the last reference goes.
+func (v *VM) UnplugDevice(segment string) error {
+	v.mu.Lock()
+	d, ok := v.devices[segment]
+	if ok {
+		d.refs--
+		if d.refs == 0 {
+			delete(v.devices, segment)
+		}
+	}
+	v.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("vm %s: device %q not plugged", v.Name, segment)
+	}
+	v.reg.Detach(d.seg)
+	return nil
+}
+
+// DeviceNames lists plugged devices (diagnostic).
+func (v *VM) DeviceNames() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.devices))
+	for n := range v.devices {
+		out = append(out, n)
+	}
+	return out
+}
+
+// lookupLink resolves a plugged device to its bypass link. This is the
+// isolation check: a segment that exists on the host but was never plugged
+// into this VM is unreachable.
+func (v *VM) lookupLink(segment string) (*dpdkr.Link, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, ok := v.devices[segment]
+	if !ok {
+		return nil, fmt.Errorf("vm %s: no device %q", v.Name, segment)
+	}
+	l, ok := d.seg.Obj.(*dpdkr.Link)
+	if !ok {
+		return nil, fmt.Errorf("vm %s: device %q is not a bypass link", v.Name, segment)
+	}
+	return l, nil
+}
+
+// ServeCtrl runs the guest end of the virtio-serial control channel until
+// the stream errors (agent closed it) — normally run in its own goroutine.
+// It applies ConfigureBypass/RemoveBypass commands to the addressed PMD and
+// acknowledges each one.
+func (v *VM) ServeCtrl(conn io.ReadWriter) {
+	for {
+		m, err := ctrlproto.Read(conn)
+		if err != nil {
+			return
+		}
+		ack := v.apply(m)
+		if err := ctrlproto.Write(conn, ack); err != nil {
+			return
+		}
+	}
+}
+
+func (v *VM) apply(m ctrlproto.Msg) ctrlproto.Ack {
+	switch cmd := m.(type) {
+	case ctrlproto.ConfigureBypass:
+		pmd := v.PMD(cmd.Port)
+		if pmd == nil {
+			return ctrlproto.Ack{Detail: fmt.Sprintf("no PMD for port %d", cmd.Port)}
+		}
+		if cmd.TxRing != "" {
+			l, err := v.lookupLink(cmd.TxRing)
+			if err != nil {
+				return ctrlproto.Ack{Detail: err.Error()}
+			}
+			pmd.AttachTxBypass(l)
+		}
+		if cmd.RxRing != "" {
+			l, err := v.lookupLink(cmd.RxRing)
+			if err != nil {
+				return ctrlproto.Ack{Detail: err.Error()}
+			}
+			pmd.AttachRxBypass(l)
+		}
+		return ctrlproto.Ack{OK: true}
+	case ctrlproto.RemoveBypass:
+		pmd := v.PMD(cmd.Port)
+		if pmd == nil {
+			return ctrlproto.Ack{Detail: fmt.Sprintf("no PMD for port %d", cmd.Port)}
+		}
+		// Detach then wait for the lcore's grace period before acking: once
+		// the agent sees the Ack, no datapath code can still be touching the
+		// old bypass ring (the manager may drain and free it immediately).
+		if cmd.Dirs&ctrlproto.DirTx != 0 {
+			pmd.DetachTxBypass()
+			pmd.QuiesceTx()
+		}
+		if cmd.Dirs&ctrlproto.DirRx != 0 {
+			pmd.DetachRxBypass()
+			pmd.QuiesceRx()
+		}
+		return ctrlproto.Ack{OK: true}
+	default:
+		return ctrlproto.Ack{Detail: fmt.Sprintf("unsupported command %T", m)}
+	}
+}
+
+// Shutdown unplugs every device reference (VM destruction).
+func (v *VM) Shutdown() {
+	v.mu.Lock()
+	refs := make(map[string]int, len(v.devices))
+	for n, d := range v.devices {
+		refs[n] = d.refs
+	}
+	v.mu.Unlock()
+	for n, k := range refs {
+		for i := 0; i < k; i++ {
+			_ = v.UnplugDevice(n)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package vm
+
+import (
+	"net"
+	"testing"
+
+	"ovshighway/internal/ctrlproto"
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/shm"
+)
+
+func testVM(t *testing.T) (*VM, *shm.Registry, *dpdkr.PMD) {
+	t.Helper()
+	reg := shm.NewRegistry()
+	v := New("vm1", reg)
+	_, pmd, err := dpdkr.NewPort(1, "dpdkr1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.AddPMD(1, pmd)
+	return v, reg, pmd
+}
+
+func TestPlugUnplugDevice(t *testing.T) {
+	v, reg, _ := testVM(t)
+	link, _ := dpdkr.NewLink("seg1", 1, 2, 64)
+	seg, _ := reg.Create("seg1", link)
+
+	if err := v.PlugDevice("seg1"); err != nil {
+		t.Fatal(err)
+	}
+	// Plugging again is refcounted (same-VM bypass ends share the segment).
+	if err := v.PlugDevice("seg1"); err != nil {
+		t.Fatalf("refcounted re-plug failed: %v", err)
+	}
+	if got := seg.Refs(); got != 3 {
+		t.Fatalf("refs = %d, want 3 (creator + 2 plugs)", got)
+	}
+	if err := v.UnplugDevice("seg1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.DeviceNames()) != 1 {
+		t.Fatal("device vanished while references remain")
+	}
+	if err := v.UnplugDevice("seg1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.UnplugDevice("seg1"); err == nil {
+		t.Fatal("unplug of absent device accepted")
+	}
+	if got := seg.Refs(); got != 1 {
+		t.Fatalf("refs = %d, want 1", got)
+	}
+}
+
+func TestPlugUnknownSegmentFails(t *testing.T) {
+	v, _, _ := testVM(t)
+	if err := v.PlugDevice("ghost"); err == nil {
+		t.Fatal("plugged nonexistent segment")
+	}
+}
+
+func TestCtrlConfigureRequiresPluggedDevice(t *testing.T) {
+	v, reg, pmd := testVM(t)
+	link, _ := dpdkr.NewLink("seg1", 1, 2, 64)
+	reg.Create("seg1", link)
+
+	host, guest := net.Pipe()
+	defer host.Close()
+	go v.ServeCtrl(guest)
+
+	// The segment exists on the host but is NOT plugged: the VM must refuse
+	// (isolation property — a VM cannot reach memory QEMU never mapped).
+	err := ctrlproto.Call(host, ctrlproto.ConfigureBypass{Port: 1, TxRing: "seg1"})
+	if err == nil {
+		t.Fatal("configured bypass with unplugged segment")
+	}
+	if pmd.TxBypassLink() != nil {
+		t.Fatal("PMD attached despite refusal")
+	}
+
+	// After plugging it works.
+	if err := v.PlugDevice("seg1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrlproto.Call(host, ctrlproto.ConfigureBypass{Port: 1, TxRing: "seg1"}); err != nil {
+		t.Fatal(err)
+	}
+	if pmd.TxBypassLink() != link {
+		t.Fatal("PMD not attached")
+	}
+
+	// Remove reverts.
+	if err := ctrlproto.Call(host, ctrlproto.RemoveBypass{Port: 1, Dirs: ctrlproto.DirTx}); err != nil {
+		t.Fatal(err)
+	}
+	if pmd.TxBypassLink() != nil {
+		t.Fatal("PMD still attached after remove")
+	}
+}
+
+func TestCtrlUnknownPortRejected(t *testing.T) {
+	v, _, _ := testVM(t)
+	host, guest := net.Pipe()
+	defer host.Close()
+	go v.ServeCtrl(guest)
+	if err := ctrlproto.Call(host, ctrlproto.ConfigureBypass{Port: 99, TxRing: "x"}); err == nil {
+		t.Fatal("configured PMD for unknown port")
+	}
+	if err := ctrlproto.Call(host, ctrlproto.RemoveBypass{Port: 99, Dirs: ctrlproto.DirTx}); err == nil {
+		t.Fatal("removed bypass for unknown port")
+	}
+}
+
+func TestShutdownUnplugsAll(t *testing.T) {
+	v, reg, _ := testVM(t)
+	for _, name := range []string{"a", "b"} {
+		link, _ := dpdkr.NewLink(name, 1, 2, 64)
+		reg.Create(name, link)
+		if err := v.PlugDevice(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Shutdown()
+	if got := len(v.DeviceNames()); got != 0 {
+		t.Fatalf("devices after shutdown = %d", got)
+	}
+}
+
+func TestPortsListing(t *testing.T) {
+	v, _, _ := testVM(t)
+	if got := v.Ports(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Ports = %v", got)
+	}
+	if v.PMD(1) == nil || v.PMD(2) != nil {
+		t.Fatal("PMD lookup wrong")
+	}
+}

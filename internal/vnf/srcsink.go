@@ -1,0 +1,153 @@
+package vnf
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/stats"
+)
+
+// SrcSink is a combined traffic endpoint: it generates frames on its single
+// port and terminates whatever arrives, which is exactly the role of the
+// first and last VM in the paper's bidirectional chain experiments. With
+// Timestamp enabled it stamps each generated frame's buffer and feeds the
+// one-way latency of received stamped frames into a histogram (experiment
+// E3).
+type SrcSink struct {
+	Name string
+
+	pmd  *dpdkr.PMD
+	pool *mempool.Pool
+
+	Sent     atomic.Uint64
+	Received atomic.Uint64
+	RxBytes  atomic.Uint64
+	Lat      stats.LatencyHist
+
+	timestamp bool
+	start     atomic.Int64 // window start, UnixNano
+
+	stop atomic.Bool
+	done chan struct{}
+}
+
+// SrcSinkConfig parametrizes NewSrcSink.
+type SrcSinkConfig struct {
+	Name      string
+	PMD       *dpdkr.PMD
+	Pool      *mempool.Pool
+	Spec      pkt.UDPSpec
+	Flows     int  // distinct UDP source ports to cycle (default 1)
+	Timestamp bool // stamp generated frames and record one-way latency
+	Batch     int  // default 32
+}
+
+// NewSrcSink starts a bidirectional endpoint.
+func NewSrcSink(cfg SrcSinkConfig) (*SrcSink, error) {
+	if cfg.Flows < 1 {
+		cfg.Flows = 1
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 32
+	}
+	if cfg.Spec.FrameLen == 0 {
+		cfg.Spec.FrameLen = pkt.MinFrame
+	}
+	templates := make([][]byte, cfg.Flows)
+	for i := range templates {
+		sp := cfg.Spec
+		sp.SrcPort = cfg.Spec.SrcPort + uint16(i)
+		buf := make([]byte, 2048)
+		n, err := pkt.BuildUDP(buf, sp)
+		if err != nil {
+			return nil, err
+		}
+		templates[i] = buf[:n]
+	}
+	s := &SrcSink{
+		Name:      cfg.Name,
+		pmd:       cfg.PMD,
+		pool:      cfg.Pool,
+		timestamp: cfg.Timestamp,
+		done:      make(chan struct{}),
+	}
+	s.start.Store(time.Now().UnixNano())
+	go s.run(templates, cfg.Batch)
+	return s, nil
+}
+
+func (s *SrcSink) run(templates [][]byte, batchSize int) {
+	defer close(s.done)
+	txBatch := make([]*mempool.Buf, batchSize)
+	rxBatch := make([]*mempool.Buf, batchSize)
+	next := 0
+	for !s.stop.Load() {
+		// Generate.
+		n := s.pool.GetBatch(txBatch)
+		if n > 0 {
+			var now int64
+			if s.timestamp {
+				now = time.Now().UnixNano()
+			}
+			for i := 0; i < n; i++ {
+				txBatch[i].SetBytes(templates[next])
+				txBatch[i].TS = now
+				next++
+				if next == len(templates) {
+					next = 0
+				}
+			}
+			sent := s.pmd.Tx(txBatch[:n])
+			for _, b := range txBatch[sent:n] {
+				b.Free()
+			}
+			s.Sent.Add(uint64(sent))
+		}
+		// Terminate.
+		k := s.pmd.Rx(rxBatch)
+		if k > 0 {
+			var now int64
+			if s.timestamp {
+				now = time.Now().UnixNano()
+			}
+			var bytes uint64
+			for i := 0; i < k; i++ {
+				b := rxBatch[i]
+				bytes += uint64(b.Len)
+				if s.timestamp && b.TS != 0 {
+					s.Lat.Observe(time.Duration(now - b.TS))
+				}
+				b.Free()
+			}
+			s.Received.Add(uint64(k))
+			s.RxBytes.Add(bytes)
+		}
+	}
+}
+
+// Stop halts the endpoint.
+func (s *SrcSink) Stop() {
+	if s.stop.CompareAndSwap(false, true) {
+		<-s.done
+	}
+}
+
+// ResetWindow zeroes the receive counters, latency histogram and rate clock.
+func (s *SrcSink) ResetWindow() {
+	s.Received.Store(0)
+	s.RxBytes.Store(0)
+	s.Lat.Reset()
+	s.start.Store(time.Now().UnixNano())
+}
+
+// RatePps returns the receive rate since the window start.
+func (s *SrcSink) RatePps() float64 {
+	el := time.Since(time.Unix(0, s.start.Load())).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Received.Load()) / el
+}

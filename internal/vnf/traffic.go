@@ -1,0 +1,147 @@
+package vnf
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+)
+
+// Source is a traffic-generating VNF: the first VM of a memory-only chain
+// (experiment E1), synthesizing minimum-size frames as fast as the chain
+// absorbs them.
+type Source struct {
+	app  *App
+	Sent atomic.Uint64
+}
+
+// NewSource builds a one-port generator app. flows is the number of distinct
+// UDP source ports to cycle through (≥1), exercising the EMC with a small
+// flow set as the paper's pktgen does.
+func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpec, flows int) (*Source, error) {
+	if flows < 1 {
+		flows = 1
+	}
+	s := &Source{}
+	// Pre-build the frame templates once; the hot loop only copies.
+	if spec.FrameLen == 0 {
+		spec.FrameLen = pkt.MinFrame
+	}
+	templates := make([][]byte, flows)
+	for i := range templates {
+		sp := spec
+		sp.SrcPort = spec.SrcPort + uint16(i)
+		buf := make([]byte, 2048)
+		n, err := pkt.BuildUDP(buf, sp)
+		if err != nil {
+			return nil, err
+		}
+		templates[i] = buf[:n]
+	}
+	next := 0
+	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		// A source has no input; it only drains stray receives.
+		ctx.Drop(bufs)
+	}
+	app, err := New(Config{Name: name, PMDs: []*dpdkr.PMD{port}, Pool: pool, Handler: handler})
+	if err != nil {
+		return nil, err
+	}
+	s.app = app
+	// Replace the run loop: generators push rather than poll.
+	go func() {
+		defer close(app.done)
+		batch := make([]*mempool.Buf, app.batch)
+		for !app.stop.Load() {
+			n := pool.GetBatch(batch)
+			if n == 0 {
+				// Pool exhausted: chain is saturated; yield and retry.
+				drain(port)
+				continue
+			}
+			for i := 0; i < n; i++ {
+				batch[i].SetBytes(templates[next])
+				next++
+				if next == len(templates) {
+					next = 0
+				}
+			}
+			sent := port.Tx(batch[:n])
+			for _, b := range batch[sent:n] {
+				b.Free()
+			}
+			s.Sent.Add(uint64(sent))
+			if sent == 0 {
+				drain(port)
+			}
+		}
+	}()
+	return s, nil
+}
+
+// drain consumes and discards anything arriving at a generator port (e.g.
+// reverse-direction traffic in a misconfigured graph) so rings cannot jam.
+func drain(pmd *dpdkr.PMD) {
+	var scratch [8]*mempool.Buf
+	n := pmd.Rx(scratch[:])
+	for i := 0; i < n; i++ {
+		scratch[i].Free()
+	}
+}
+
+// Stop halts the generator.
+func (s *Source) Stop() {
+	s.app.stop.Store(true)
+	<-s.app.done
+}
+
+// Sink is a traffic-terminating VNF: the last VM of a memory-only chain.
+// It counts and frees everything it receives, and computes receive rate.
+type Sink struct {
+	app      *App
+	Received atomic.Uint64
+	Bytes    atomic.Uint64
+	start    time.Time
+}
+
+// NewSink builds a one-port sink app.
+func NewSink(name string, port *dpdkr.PMD, pool *mempool.Pool) (*Sink, error) {
+	s := &Sink{start: time.Now()}
+	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		var bytes uint64
+		for _, b := range bufs {
+			bytes += uint64(b.Len)
+		}
+		s.Received.Add(uint64(len(bufs)))
+		s.Bytes.Add(bytes)
+		ctx.Drop(bufs)
+	}
+	app, err := New(Config{Name: name, PMDs: []*dpdkr.PMD{port}, Pool: pool, Handler: handler})
+	if err != nil {
+		return nil, err
+	}
+	s.app = app
+	app.Start()
+	return s, nil
+}
+
+// Stop halts the sink.
+func (s *Sink) Stop() { s.app.Stop() }
+
+// ResetWindow zeroes the counters and restarts the measurement clock.
+func (s *Sink) ResetWindow() {
+	s.Received.Store(0)
+	s.Bytes.Store(0)
+	s.start = time.Now()
+}
+
+// RatePps returns packets per second since the window start.
+func (s *Sink) RatePps() float64 {
+	el := time.Since(s.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Received.Load()) / el
+}

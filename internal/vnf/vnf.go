@@ -1,0 +1,155 @@
+// Package vnf provides the DPDK-application framework the guest network
+// functions are built on, plus the stock VNFs used in the paper's
+// experiments and examples: a port-to-port forwarder, a firewall, a traffic
+// monitor, and source/sink generators.
+//
+// An App is the equivalent of a single-core DPDK app: one goroutine polling
+// its ports in a run-to-completion loop. Thanks to the PMD's transparency,
+// exactly the same App binary-logic runs whether its traffic crosses the
+// vSwitch or a direct bypass channel — the paper's headline property.
+package vnf
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/mempool"
+)
+
+// Handler processes one received burst. bufs are owned by the handler: every
+// buffer must be either transmitted via ctx.Tx or freed.
+type Handler func(ctx *Ctx, inPort int, bufs []*mempool.Buf)
+
+// Ctx is the per-App view handlers operate through.
+type Ctx struct {
+	app *App
+}
+
+// Tx transmits bufs on the app's out-th port, freeing whatever the ring
+// rejects and counting it as a drop.
+func (c *Ctx) Tx(out int, bufs []*mempool.Buf) {
+	pmd := c.app.pmds[out]
+	n := pmd.Tx(bufs)
+	for _, b := range bufs[n:] {
+		b.Free()
+	}
+	c.app.TxPackets.Add(uint64(n))
+	c.app.TxDrops.Add(uint64(len(bufs) - n))
+}
+
+// Drop frees all bufs, counting them as intentional drops.
+func (c *Ctx) Drop(bufs []*mempool.Buf) {
+	for _, b := range bufs {
+		b.Free()
+	}
+	c.app.Dropped.Add(uint64(len(bufs)))
+}
+
+// Pool returns the app's buffer pool (for handlers that synthesize packets).
+func (c *Ctx) Pool() *mempool.Pool { return c.app.pool }
+
+// App is one VNF instance: a set of dpdkr ports driven by a single lcore
+// goroutine.
+type App struct {
+	Name string
+
+	pmds    []*dpdkr.PMD
+	pool    *mempool.Pool
+	batch   int
+	handler Handler
+
+	RxPackets atomic.Uint64
+	TxPackets atomic.Uint64
+	TxDrops   atomic.Uint64
+	Dropped   atomic.Uint64
+
+	stop atomic.Bool
+	done chan struct{}
+}
+
+// Config parametrizes an App.
+type Config struct {
+	Name    string
+	PMDs    []*dpdkr.PMD // the app's ports, in app-local order
+	Pool    *mempool.Pool
+	Batch   int // default 32
+	Handler Handler
+}
+
+// New builds a stopped App.
+func New(cfg Config) (*App, error) {
+	if len(cfg.PMDs) == 0 {
+		return nil, fmt.Errorf("vnf %s: no ports", cfg.Name)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("vnf %s: no handler", cfg.Name)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 32
+	}
+	return &App{
+		Name:    cfg.Name,
+		pmds:    cfg.PMDs,
+		pool:    cfg.Pool,
+		batch:   cfg.Batch,
+		handler: cfg.Handler,
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the lcore goroutine.
+func (a *App) Start() {
+	go a.run()
+}
+
+// Stop halts the loop and waits for it to exit.
+func (a *App) Stop() {
+	if a.stop.CompareAndSwap(false, true) {
+		<-a.done
+	}
+}
+
+func (a *App) run() {
+	defer close(a.done)
+	ctx := &Ctx{app: a}
+	batch := make([]*mempool.Buf, a.batch)
+	for !a.stop.Load() {
+		work := false
+		for i, pmd := range a.pmds {
+			n := pmd.Rx(batch)
+			if n == 0 {
+				continue
+			}
+			work = true
+			a.RxPackets.Add(uint64(n))
+			a.handler(ctx, i, batch[:n])
+		}
+		if !work {
+			runtime.Gosched()
+		}
+	}
+}
+
+// --- stock VNFs -------------------------------------------------------------
+
+// ForwardHandler returns the paper's benchmark VNF behaviour: packets
+// received on port i are transmitted on the "other" port (0↔1). Apps built
+// with it must have exactly two ports.
+func ForwardHandler() Handler {
+	return func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		ctx.Tx(1-inPort, bufs)
+	}
+}
+
+// NewForwarder builds the chain-element VNF used throughout the evaluation:
+// a single-core app that moves packets between its two ports.
+func NewForwarder(name string, in, out *dpdkr.PMD, pool *mempool.Pool) (*App, error) {
+	return New(Config{
+		Name:    name,
+		PMDs:    []*dpdkr.PMD{in, out},
+		Pool:    pool,
+		Handler: ForwardHandler(),
+	})
+}

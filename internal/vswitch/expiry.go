@@ -1,0 +1,62 @@
+package vswitch
+
+import (
+	"time"
+
+	"ovshighway/internal/flow"
+)
+
+// FlowRemovedEvent reports an expired flow toward the controller channel
+// (OFPT_FLOW_REMOVED). Counters include merged bypass traffic.
+type FlowRemovedEvent struct {
+	Priority    uint16
+	Cookie      uint64
+	Reason      uint8
+	IdleTO      uint16
+	HardTO      uint16
+	DurationSec uint32
+	Packets     uint64
+	Bytes       uint64
+	Match       flow.Match
+}
+
+// FlowRemovals returns the expiry notification channel (only flows whose
+// flow-mod set OFPFF_SEND_FLOW_REM appear here).
+func (s *Switch) FlowRemovals() <-chan FlowRemovedEvent { return s.flowRemovals }
+
+// sweeper periodically expires timed-out flows. Expiry goes through the
+// table's listener path, so the p-2-p detector dissolves bypasses of
+// expired steering rules exactly as it does for explicit deletes.
+func (s *Switch) sweeper(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			for _, e := range s.table.Expire(now) {
+				if e.Flow.Flags&flow.SendFlowRemoved == 0 {
+					continue
+				}
+				pkts, bytes := s.FlowCounters(e.Flow)
+				ev := FlowRemovedEvent{
+					Priority:    e.Flow.Priority,
+					Cookie:      e.Flow.Cookie,
+					Reason:      e.Reason,
+					IdleTO:      e.Flow.IdleTO,
+					HardTO:      e.Flow.HardTO,
+					DurationSec: uint32(e.Flow.Age() / time.Second),
+					Packets:     pkts,
+					Bytes:       bytes,
+					Match:       e.Flow.Match,
+				}
+				select {
+				case s.flowRemovals <- ev:
+				default: // controller slow or absent: drop the notification
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package vswitch
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+)
+
+func TestFlowExpiredPredicate(t *testing.T) {
+	tb := flow.NewTable()
+	f := tb.AddWithTimeouts(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0, 1, 0, 0)
+	now := time.Now()
+	if dead, _ := f.Expired(now); dead {
+		t.Fatal("fresh idle flow expired immediately")
+	}
+	if dead, reason := f.Expired(now.Add(2 * time.Second)); !dead || reason != flow.ReasonIdleTimeout {
+		t.Fatalf("idle expiry = %v/%d", dead, reason)
+	}
+	// A touch extends the idle deadline.
+	f.Touch(now.Add(3 * time.Second).UnixNano())
+	if dead, _ := f.Expired(now.Add(3500 * time.Millisecond)); dead {
+		t.Fatal("touched flow expired")
+	}
+
+	h := tb.AddWithTimeouts(10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}, 0, 0, 2, 0)
+	if dead, _ := h.Expired(now.Add(time.Second)); dead {
+		t.Fatal("hard flow expired early")
+	}
+	h.Touch(now.Add(10 * time.Second).UnixNano()) // touches never save a hard timeout
+	if dead, reason := h.Expired(now.Add(3 * time.Second)); !dead || reason != flow.ReasonHardTimeout {
+		t.Fatalf("hard expiry = %v/%d", dead, reason)
+	}
+
+	p := tb.Add(10, flow.MatchInPort(3), flow.Actions{flow.Output(1)}, 0)
+	if dead, _ := p.Expired(now.Add(1000 * time.Hour)); dead {
+		t.Fatal("permanent flow expired")
+	}
+}
+
+type expRecListener struct {
+	added, removed []*flow.Flow
+}
+
+func (r *expRecListener) FlowAdded(f *flow.Flow)   { r.added = append(r.added, f) }
+func (r *expRecListener) FlowRemoved(f *flow.Flow) { r.removed = append(r.removed, f) }
+
+func TestTableExpireRemovesAndNotifies(t *testing.T) {
+	tb := flow.NewTable()
+	rec := &expRecListener{}
+	tb.AddListener(rec)
+	tb.AddWithTimeouts(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 7, 1, 0, 0)
+	tb.Add(10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}, 8)
+
+	if got := tb.Expire(time.Now()); got != nil {
+		t.Fatalf("premature expiry: %v", got)
+	}
+	expired := tb.Expire(time.Now().Add(5 * time.Second))
+	if len(expired) != 1 || expired[0].Flow.Cookie != 7 || expired[0].Reason != flow.ReasonIdleTimeout {
+		t.Fatalf("expired = %+v", expired)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("table len = %d", tb.Len())
+	}
+	if len(rec.removed) != 1 || rec.removed[0].Cookie != 7 {
+		t.Fatal("listener not fired on expiry")
+	}
+	k := flow.Key{InPort: 1}
+	if tb.Lookup(&k) != nil {
+		t.Fatal("expired flow still matches")
+	}
+}
+
+func TestSweeperExpiresIdleFlowUnderNoTraffic(t *testing.T) {
+	env := newEnv(t, Config{SweepInterval: 20 * time.Millisecond}, 2)
+	env.sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10,
+		Match: flow.MatchInPort(1), Actions: flow.Actions{flow.Output(2)},
+		IdleTO: 1,
+	})
+	if env.sw.Table().Len() != 1 {
+		t.Fatal("flow not installed")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for env.sw.Table().Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if env.sw.Table().Len() != 0 {
+		t.Fatal("idle flow not swept")
+	}
+}
+
+func TestTrafficKeepsIdleFlowAlive(t *testing.T) {
+	env := newEnv(t, Config{SweepInterval: 20 * time.Millisecond}, 2)
+	env.sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10,
+		Match: flow.MatchInPort(1), Actions: flow.Actions{flow.Output(2)},
+		IdleTO: 1,
+	})
+	// Keep packets flowing for >1 idle period.
+	stop := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(stop) {
+		env.sendUDP(t, 1, defaultSpec)
+		if b := env.recvOne(2, 100*time.Millisecond); b != nil {
+			b.Free()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if env.sw.Table().Len() != 1 {
+		t.Fatal("active flow was idle-expired")
+	}
+}
+
+func TestFlowRemovedDeliveredToController(t *testing.T) {
+	env := newEnv(t, Config{SweepInterval: 20 * time.Millisecond}, 2)
+	c := startOFServer(t, env)
+
+	fm := openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10, Cookie: 0xabc,
+		Match: flow.MatchInPort(1), Actions: flow.Actions{flow.Output(2)},
+		IdleTO: 1, Flags: flow.SendFlowRemoved,
+	}
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	barrier(t, c)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		type result struct {
+			m   openflow.Msg
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, _, err := c.Recv()
+			ch <- result{m, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			fr, ok := r.m.(openflow.FlowRemoved)
+			if !ok {
+				continue
+			}
+			if fr.Cookie != 0xabc || fr.Reason != openflow.RemovedIdleTimeout || fr.IdleTO != 1 {
+				t.Fatalf("flow-removed = %+v", fr)
+			}
+			if fr.Match.Key.InPort != 1 {
+				t.Fatalf("flow-removed match = %s", fr.Match)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no flow-removed received")
+		}
+	}
+}
+
+func TestFlowRemovedNotSentWithoutFlag(t *testing.T) {
+	env := newEnv(t, Config{SweepInterval: 20 * time.Millisecond}, 2)
+	env.sw.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10,
+		Match: flow.MatchInPort(1), Actions: flow.Actions{flow.Output(2)},
+		IdleTO: 1, // no SendFlowRemoved flag
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for env.sw.Table().Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case ev := <-env.sw.FlowRemovals():
+		t.Fatalf("unsolicited flow-removed %+v", ev)
+	default:
+	}
+}
+
+func TestFlowRemovedWireRoundTrip(t *testing.T) {
+	m := openflow.FlowRemoved{
+		Cookie: 9, Priority: 10, Reason: openflow.RemovedHardTimeout,
+		DurationSec: 5, IdleTO: 1, HardTO: 2,
+		PacketCount: 100, ByteCount: 6400,
+		Match: flow.MatchInPort(3),
+	}
+	b := openflow.Encode(m, 42)
+	got, xid, err := openflow.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xid != 42 {
+		t.Fatalf("xid = %d", xid)
+	}
+	fr := got.(openflow.FlowRemoved)
+	if fr.Cookie != 9 || fr.Reason != openflow.RemovedHardTimeout ||
+		fr.PacketCount != 100 || fr.ByteCount != 6400 || !fr.Match.Equal(m.Match) {
+		t.Fatalf("round trip = %+v", fr)
+	}
+}

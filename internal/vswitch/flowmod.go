@@ -1,0 +1,72 @@
+package vswitch
+
+import (
+	"fmt"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+)
+
+// matchSubsumes reports whether outer's constraints are a subset of inner's:
+// every field outer pins is pinned identically by inner. This is OpenFlow's
+// non-strict matching rule (a delete with match M removes all flows at least
+// as specific as M).
+func matchSubsumes(outer, inner flow.Match) bool {
+	om := outer.Mask.Pack()
+	im := inner.Mask.Pack()
+	ok := outer.Key.Pack().And(om)
+	ik := inner.Key.Pack().And(om)
+	for i := range om {
+		if om[i]&^im[i] != 0 {
+			return false // outer constrains a bit inner wildcards
+		}
+		if ok[i] != ik[i] {
+			return false // constrained bits disagree
+		}
+	}
+	return true
+}
+
+// outputsTo reports whether the action list outputs to port (PortAny matches
+// everything, per the OpenFlow delete filter semantics).
+func outputsTo(as flow.Actions, port uint32) bool {
+	if port == openflow.PortAny {
+		return true
+	}
+	for _, p := range as.OutputPorts() {
+		if p == port {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyFlowMod applies a decoded OpenFlow flow-mod to the table. This is the
+// single ingestion point for steering changes — the table listeners (and
+// thus the p-2-p detector) observe every effect synchronously.
+func (s *Switch) ApplyFlowMod(fm openflow.FlowMod) error {
+	switch fm.Command {
+	case openflow.FlowCmdAdd, openflow.FlowCmdModifyStrict:
+		s.table.AddWithTimeouts(fm.Priority, fm.Match, fm.Actions, fm.Cookie, fm.IdleTO, fm.HardTO, fm.Flags)
+		return nil
+	case openflow.FlowCmdModify:
+		// Non-strict modify: replace the actions of every subsumed flow.
+		// Implemented as re-adds so listeners see remove+add pairs.
+		for _, f := range s.table.Snapshot() {
+			if matchSubsumes(fm.Match, f.Match) {
+				s.table.Add(f.Priority, f.Match, fm.Actions, f.Cookie)
+			}
+		}
+		return nil
+	case openflow.FlowCmdDeleteStrict:
+		s.table.DeleteStrict(fm.Priority, fm.Match)
+		return nil
+	case openflow.FlowCmdDelete:
+		s.table.DeleteWhere(func(f *flow.Flow) bool {
+			return matchSubsumes(fm.Match, f.Match) && outputsTo(f.Actions, fm.OutPort)
+		})
+		return nil
+	default:
+		return fmt.Errorf("vswitch: unsupported flow-mod command %d", fm.Command)
+	}
+}

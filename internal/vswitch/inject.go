@@ -1,0 +1,97 @@
+package vswitch
+
+import (
+	"errors"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+)
+
+// SetInjectionPool provides the buffer pool used for controller packet-out
+// injection. Must be set before InjectPacketOut is used.
+func (s *Switch) SetInjectionPool(p *mempool.Pool) {
+	s.injectMu.Lock()
+	s.injectPool = p
+	s.injectMu.Unlock()
+}
+
+// InjectPacketOut executes a controller packet-out: the frame is copied into
+// a datapath buffer and the action list is executed immediately on the
+// control thread. Packets output to a dpdkr port travel the NORMAL channel —
+// which is exactly why the modified PMD keeps polling it while a bypass is
+// active.
+func (s *Switch) InjectPacketOut(inPort uint32, actions flow.Actions, data []byte) error {
+	s.injectMu.Lock()
+	pool := s.injectPool
+	s.injectMu.Unlock()
+	if pool == nil {
+		return errors.New("vswitch: no injection pool configured")
+	}
+	b, err := pool.Get()
+	if err != nil {
+		return err
+	}
+	if err := b.SetBytes(data); err != nil {
+		b.Free()
+		return err
+	}
+	b.Port = inPort
+
+	var parser pkt.Parser
+	_ = parser.Parse(b.Bytes())
+	snap := s.portsSnap.Load()
+	moved := false
+	for _, a := range actions {
+		switch a.Type {
+		case flow.ActOutput:
+			out := b
+			if moved {
+				out = b.Clone()
+			}
+			if e, ok := snap.byID[a.Port]; ok {
+				e.send([]*mempool.Buf{out}, true)
+			} else {
+				out.Free()
+			}
+			moved = true
+		case flow.ActController:
+			ev := PacketInEvent{
+				InPort: inPort,
+				Reason: 1, // OFPR_ACTION
+				Data:   append([]byte(nil), b.Bytes()...),
+			}
+			select {
+			case s.packetIns <- ev:
+			default:
+			}
+		case flow.ActSetEthSrc:
+			if !moved && parser.Decoded.Has(pkt.LayerEthernet) {
+				parser.Eth.SetSrc(a.MAC)
+			}
+		case flow.ActSetEthDst:
+			if !moved && parser.Decoded.Has(pkt.LayerEthernet) {
+				parser.Eth.SetDst(a.MAC)
+			}
+		case flow.ActDecTTL:
+			if !moved && parser.Decoded.Has(pkt.LayerIPv4) {
+				ttl := parser.IPv4.TTL()
+				if ttl <= 1 {
+					b.Free()
+					return nil
+				}
+				parser.IPv4.SetTTL(ttl - 1)
+				parser.IPv4.UpdateChecksum()
+			}
+		case flow.ActDrop:
+			if !moved {
+				b.Free()
+			}
+			return nil
+		}
+	}
+	if !moved {
+		b.Free()
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package vswitch
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+)
+
+// OFServer is the switch's OpenFlow controller channel: it accepts TCP
+// connections, answers the standard request/reply messages, applies
+// flow-mods to the datapath table, and forwards packet-in events. External
+// controllers cannot tell this switch has been modified: the p-2-p machinery
+// is invisible at this interface (the paper's transparency requirement
+// toward the controller).
+type OFServer struct {
+	sw *Switch
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[*openflow.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewOFServer wraps sw with an OpenFlow front-end listening on ln.
+func NewOFServer(sw *Switch, ln net.Listener) *OFServer {
+	return &OFServer{
+		sw:    sw,
+		ln:    ln,
+		conns: make(map[*openflow.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Addr returns the listener address.
+func (srv *OFServer) Addr() net.Addr { return srv.ln.Addr() }
+
+// Serve runs the accept loop (blocking) and the packet-in pump.
+func (srv *OFServer) Serve() error {
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		srv.pumpPacketIns()
+	}()
+	for {
+		nc, err := srv.ln.Accept()
+		if err != nil {
+			select {
+			case <-srv.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			srv.handle(nc)
+		}()
+	}
+}
+
+// Close stops the server and all controller connections.
+func (srv *OFServer) Close() {
+	select {
+	case <-srv.done:
+		return
+	default:
+		close(srv.done)
+	}
+	srv.ln.Close()
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	srv.wg.Wait()
+}
+
+func (srv *OFServer) pumpPacketIns() {
+	for {
+		var msg openflow.Msg
+		select {
+		case <-srv.done:
+			return
+		case ev := <-srv.sw.PacketIns():
+			msg = openflow.PacketIn{
+				Reason: ev.Reason,
+				Match:  flow.MatchInPort(ev.InPort),
+				Data:   ev.Data,
+			}
+		case ev := <-srv.sw.FlowRemovals():
+			msg = openflow.FlowRemoved{
+				Cookie:      ev.Cookie,
+				Priority:    ev.Priority,
+				Reason:      ev.Reason,
+				DurationSec: ev.DurationSec,
+				IdleTO:      ev.IdleTO,
+				HardTO:      ev.HardTO,
+				PacketCount: ev.Packets,
+				ByteCount:   ev.Bytes,
+				Match:       ev.Match,
+			}
+		}
+		srv.mu.Lock()
+		for c := range srv.conns {
+			if _, err := c.Send(msg); err != nil {
+				// The reader goroutine will reap the connection.
+				continue
+			}
+		}
+		srv.mu.Unlock()
+	}
+}
+
+func (srv *OFServer) handle(nc net.Conn) {
+	c := openflow.NewConn(nc)
+	defer c.Close()
+
+	// Passive handshake: expect the controller's HELLO, answer with ours.
+	m, _, err := c.Recv()
+	if err != nil {
+		return
+	}
+	if _, ok := m.(openflow.Hello); !ok {
+		return
+	}
+	if _, err := c.Send(openflow.Hello{}); err != nil {
+		return
+	}
+
+	srv.mu.Lock()
+	srv.conns[c] = struct{}{}
+	srv.mu.Unlock()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, c)
+		srv.mu.Unlock()
+	}()
+
+	for {
+		m, xid, err := c.Recv()
+		if err != nil {
+			var ofErr openflow.Error
+			if errors.As(err, &ofErr) {
+				// Unsupported but well-framed message: report and continue.
+				_ = c.SendXid(ofErr, xid)
+				continue
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("ofserver: connection error: %v", err)
+			}
+			return
+		}
+		if err := srv.dispatch(c, m, xid); err != nil {
+			log.Printf("ofserver: dispatch: %v", err)
+			return
+		}
+	}
+}
+
+func (srv *OFServer) dispatch(c *openflow.Conn, m openflow.Msg, xid uint32) error {
+	switch msg := m.(type) {
+	case openflow.EchoRequest:
+		return c.SendXid(openflow.EchoReply{Data: msg.Data}, xid)
+	case openflow.FeaturesRequest:
+		return c.SendXid(openflow.FeaturesReply{
+			DatapathID: srv.sw.DatapathID(),
+			NBuffers:   0,
+			NTables:    1,
+		}, xid)
+	case openflow.BarrierRequest:
+		// All processing in this implementation is synchronous, so the
+		// barrier is satisfied by ordering alone.
+		return c.SendXid(openflow.BarrierReply{}, xid)
+	case openflow.FlowMod:
+		if err := srv.sw.ApplyFlowMod(msg); err != nil {
+			return c.SendXid(openflow.Error{
+				Type: openflow.ErrTypeBadRequest,
+				Code: openflow.ErrCodeBadType,
+			}, xid)
+		}
+		return nil
+	case openflow.PacketOut:
+		if err := srv.sw.InjectPacketOut(msg.InPort, msg.Actions, msg.Data); err != nil {
+			return c.SendXid(openflow.Error{
+				Type: openflow.ErrTypeBadRequest,
+				Code: openflow.ErrCodeBadLen,
+			}, xid)
+		}
+		return nil
+	case openflow.PortStatsRequest:
+		var reply openflow.PortStatsReply
+		if msg.PortNo == openflow.PortAny {
+			for _, v := range srv.sw.AllPortStats() {
+				reply.Stats = append(reply.Stats, portStatsWire(v))
+			}
+		} else if v, ok := srv.sw.PortStats(msg.PortNo); ok {
+			reply.Stats = append(reply.Stats, portStatsWire(v))
+		}
+		return c.SendXid(reply, xid)
+	case openflow.FlowStatsRequest:
+		var reply openflow.FlowStatsReply
+		for _, v := range srv.sw.FlowStats() {
+			if !matchSubsumes(msg.Match, v.Match) || !outputsTo(v.Actions, msg.OutPort) {
+				continue
+			}
+			reply.Stats = append(reply.Stats, openflow.FlowStats{
+				Priority:    v.Priority,
+				Cookie:      v.Cookie,
+				PacketCount: v.Packets,
+				ByteCount:   v.Bytes,
+				Match:       v.Match,
+				Actions:     v.Actions,
+			})
+		}
+		return c.SendXid(reply, xid)
+	case openflow.Hello:
+		return nil // redundant hello: ignore
+	default:
+		return c.SendXid(openflow.Error{
+			Type: openflow.ErrTypeBadRequest,
+			Code: openflow.ErrCodeBadType,
+		}, xid)
+	}
+}
+
+func portStatsWire(v PortStatsView) openflow.PortStats {
+	return openflow.PortStats{
+		PortNo:    v.PortNo,
+		RxPackets: v.RxPackets,
+		TxPackets: v.TxPackets,
+		RxBytes:   v.RxBytes,
+		TxBytes:   v.TxBytes,
+		RxDropped: v.RxDropped,
+		TxDropped: v.TxDropped,
+	}
+}

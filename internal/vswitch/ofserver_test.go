@@ -1,0 +1,260 @@
+package vswitch
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+	"ovshighway/internal/pkt"
+)
+
+// startOFServer launches an OF server for the env's switch and returns a
+// connected controller-side Conn.
+func startOFServer(t *testing.T, env *testEnv) *openflow.Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewOFServer(env.sw, ln)
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+
+	c, err := openflow.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// barrier round-trips a barrier request, guaranteeing all prior messages on
+// the connection were processed.
+func barrier(t *testing.T, c *openflow.Conn) {
+	t.Helper()
+	xid, err := c.Send(openflow.BarrierRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		m, gotXid, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(openflow.BarrierReply); ok && gotXid == xid {
+			return
+		}
+	}
+}
+
+func TestOFServerHandshakeAndEcho(t *testing.T) {
+	env := newEnv(t, Config{DatapathID: 0xfeed}, 1)
+	c := startOFServer(t, env)
+
+	xid, err := c.Send(openflow.EchoRequest{Data: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, gotXid, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := m.(openflow.EchoReply)
+	if !ok || gotXid != xid || string(er.Data) != "hi" {
+		t.Fatalf("echo reply = %T %+v xid=%d", m, m, gotXid)
+	}
+
+	if _, err := c.Send(openflow.FeaturesRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := m.(openflow.FeaturesReply)
+	if !ok || fr.DatapathID != 0xfeed {
+		t.Fatalf("features = %+v", m)
+	}
+}
+
+func TestOFServerFlowModDrivesDatapath(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	c := startOFServer(t, env)
+
+	fm := openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10, Cookie: 5,
+		Match:   flow.MatchInPort(1),
+		Actions: flow.Actions{flow.Output(2)},
+	}
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	barrier(t, c)
+
+	env.sendUDP(t, 1, defaultSpec)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("flow-mod over TCP did not program the datapath")
+	}
+	b.Free()
+
+	// Delete it and confirm traffic stops.
+	fm.Command = openflow.FlowCmdDeleteStrict
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	barrier(t, c)
+	env.sendUDP(t, 1, defaultSpec)
+	if b := env.recvOne(2, 100*time.Millisecond); b != nil {
+		b.Free()
+		t.Fatal("traffic after delete")
+	}
+}
+
+func TestOFServerNonStrictDelete(t *testing.T) {
+	env := newEnv(t, Config{}, 3)
+	c := startOFServer(t, env)
+	tb := env.sw.Table()
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	tb.Add(10, flow.MatchInPort(1).WithIPProto(pkt.ProtoUDP), flow.Actions{flow.Output(3)}, 0)
+	tb.Add(10, flow.MatchInPort(2), flow.Actions{flow.Output(1)}, 0)
+
+	// Non-strict delete of everything admitting in_port=1.
+	fm := openflow.FlowMod{
+		Command: openflow.FlowCmdDelete,
+		OutPort: openflow.PortAny,
+		Match:   flow.MatchInPort(1),
+	}
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	barrier(t, c)
+	if got := tb.Len(); got != 1 {
+		t.Fatalf("table len = %d, want 1", got)
+	}
+}
+
+func TestOFServerDeleteWithOutPortFilter(t *testing.T) {
+	env := newEnv(t, Config{}, 3)
+	c := startOFServer(t, env)
+	tb := env.sw.Table()
+	tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	tb.Add(20, flow.MatchInPort(1).WithIPProto(pkt.ProtoUDP), flow.Actions{flow.Output(3)}, 0)
+
+	fm := openflow.FlowMod{
+		Command: openflow.FlowCmdDelete,
+		OutPort: 3,
+		Match:   flow.MatchAll(),
+	}
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	barrier(t, c)
+	flows := tb.Snapshot()
+	if len(flows) != 1 {
+		t.Fatalf("table len = %d, want 1", len(flows))
+	}
+	if p, _ := flows[0].Actions.SoleOutput(); p != 2 {
+		t.Fatalf("wrong flow survived: %s", flows[0])
+	}
+}
+
+func TestOFServerStatsRequests(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	c := startOFServer(t, env)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 99)
+
+	env.sendUDP(t, 1, defaultSpec)
+	if b := env.recvOne(2, time.Second); b != nil {
+		b.Free()
+	}
+
+	if _, err := c.Send(openflow.PortStatsRequest{PortNo: openflow.PortAny}); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.(openflow.PortStatsReply)
+	if len(ps.Stats) != 2 {
+		t.Fatalf("port stats entries = %d", len(ps.Stats))
+	}
+	var p1, p2 openflow.PortStats
+	for _, s := range ps.Stats {
+		switch s.PortNo {
+		case 1:
+			p1 = s
+		case 2:
+			p2 = s
+		}
+	}
+	if p1.RxPackets != 1 || p2.TxPackets != 1 {
+		t.Fatalf("stats: p1=%+v p2=%+v", p1, p2)
+	}
+
+	if _, err := c.Send(openflow.FlowStatsRequest{OutPort: openflow.PortAny}); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := m.(openflow.FlowStatsReply)
+	if len(fs.Stats) != 1 || fs.Stats[0].Cookie != 99 || fs.Stats[0].PacketCount != 1 {
+		t.Fatalf("flow stats = %+v", fs.Stats)
+	}
+}
+
+func TestOFServerPacketOutAndPacketIn(t *testing.T) {
+	env := newEnv(t, Config{TableMissToController: true}, 2)
+	c := startOFServer(t, env)
+
+	// Packet-out to port 2 must reach the guest PMD via the normal channel.
+	frame := make([]byte, 128)
+	n, _ := pkt.BuildUDP(frame, defaultSpec)
+	po := openflow.PacketOut{
+		InPort:  openflow.PortController,
+		Actions: flow.Actions{flow.Output(2)},
+		Data:    frame[:n],
+	}
+	if _, err := c.Send(po); err != nil {
+		t.Fatal(err)
+	}
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet-out not delivered")
+	}
+	b.Free()
+
+	// A table miss must surface as packet-in on the controller connection.
+	env.sendUDP(t, 1, defaultSpec)
+	deadline := time.After(2 * time.Second)
+	for {
+		type result struct {
+			m   openflow.Msg
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, _, err := c.Recv()
+			ch <- result{m, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if pi, ok := r.m.(openflow.PacketIn); ok {
+				if pi.Match.Key.InPort != 1 {
+					t.Fatalf("packet-in port = %d", pi.Match.Key.InPort)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no packet-in received")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package vswitch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+)
+
+// pmdThread is one forwarding thread. It owns the ports whose id hashes to
+// its index, a private parser and EMC (no cross-thread sharing on the fast
+// path), and per-destination TX accumulators flushed once per input batch.
+type pmdThread struct {
+	s    *Switch
+	idx  int
+	stop atomic.Bool
+	// iters counts loop iterations; each iteration re-loads the port
+	// snapshot, so control code can wait out an in-flight iteration after
+	// swapping the snapshot (see Switch.WaitDatapathQuiescence).
+	iters atomic.Uint64
+
+	emc    *flow.EMC
+	parser pkt.Parser
+
+	rxBatch []*mempool.Buf
+
+	// txAcc accumulates output per destination port id within one batch;
+	// txTouched lists the ids with pending traffic (deterministic flush).
+	txAcc     map[uint32][]*mempool.Buf
+	txTouched []uint32
+}
+
+func newPMDThread(s *Switch, idx int) *pmdThread {
+	return &pmdThread{
+		s:       s,
+		idx:     idx,
+		emc:     flow.NewEMC(s.cfg.EMCEntries),
+		rxBatch: make([]*mempool.Buf, s.cfg.BatchSize),
+		txAcc:   make(map[uint32][]*mempool.Buf),
+	}
+}
+
+func (p *pmdThread) emcStats() flow.EMCStats { return p.emc.Stats() }
+
+// owns reports whether this PMD polls the given port.
+func (p *pmdThread) owns(id uint32) bool {
+	return int(id)%p.s.cfg.NumPMDs == p.idx
+}
+
+func (p *pmdThread) run() {
+	for !p.stop.Load() {
+		p.iters.Add(1)
+		snap := p.s.portsSnap.Load()
+		work := false
+		for _, e := range snap.order {
+			if !p.owns(e.port.PortID()) {
+				continue
+			}
+			n := e.port.Recv(p.rxBatch)
+			if n == 0 {
+				continue
+			}
+			work = true
+			p.processBatch(e.port.PortID(), p.rxBatch[:n], snap)
+		}
+		if !work {
+			runtime.Gosched()
+		}
+	}
+}
+
+// processBatch classifies and executes one input burst, then flushes the
+// per-destination accumulators.
+func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portSet) {
+	table := p.s.table
+	version := table.Version()
+	multiPMD := p.s.cfg.NumPMDs > 1
+	nowNano := time.Now().UnixNano() // amortized idle-timeout timestamp
+
+	for _, b := range bufs {
+		b.Port = inPort
+		frame := b.Bytes()
+		if err := p.parser.Parse(frame); err != nil {
+			b.Free()
+			continue
+		}
+		key := flow.ExtractKey(&p.parser, inPort)
+		kp := key.Pack()
+		hash := kp.Hash()
+
+		var f *flow.Flow
+		if !p.s.cfg.EMCDisabled {
+			f = p.emc.Lookup(kp, hash, version)
+		}
+		if f == nil {
+			f = table.Lookup(&key)
+			p.s.Misses.Add(1)
+			if f != nil && !p.s.cfg.EMCDisabled {
+				p.emc.Insert(kp, hash, f, version)
+			}
+		}
+		if f == nil {
+			p.tableMiss(inPort, b)
+			continue
+		}
+		f.Packets.Add(1)
+		f.Bytes.Add(uint64(b.Len))
+		f.Touch(nowNano)
+		p.execute(b, f.Actions, snap)
+	}
+
+	// Flush accumulated outputs.
+	for _, id := range p.txTouched {
+		batch := p.txAcc[id]
+		if e, ok := snap.byID[id]; ok {
+			e.send(batch, multiPMD)
+		} else {
+			for _, b := range batch {
+				b.Free()
+			}
+		}
+		p.txAcc[id] = batch[:0]
+	}
+	p.txTouched = p.txTouched[:0]
+}
+
+func (p *pmdThread) tableMiss(inPort uint32, b *mempool.Buf) {
+	if p.s.cfg.TableMissToController {
+		p.punt(inPort, b, 0 /* OFPR_NO_MATCH */)
+	}
+	b.Free()
+}
+
+// punt copies the frame to the controller queue (best effort: a slow or
+// absent controller must not stall the datapath).
+func (p *pmdThread) punt(inPort uint32, b *mempool.Buf, reason uint8) {
+	ev := PacketInEvent{
+		InPort: inPort,
+		Reason: reason,
+		Data:   append([]byte(nil), b.Bytes()...),
+	}
+	select {
+	case p.s.packetIns <- ev:
+	default:
+	}
+}
+
+// execute runs the action list on b. Ownership: b is consumed (either moved
+// into a TX accumulator, or freed). Header-mutating actions only apply
+// before the first output: once the buffer has been handed to a destination
+// (clones share storage), mutating it would corrupt the copy already sent.
+// OpenFlow action lists emitted by this system always mutate before output.
+func (p *pmdThread) execute(b *mempool.Buf, actions flow.Actions, snap *portSet) {
+	moved := false
+	for _, a := range actions {
+		switch a.Type {
+		case flow.ActOutput:
+			out := b
+			if moved {
+				out = b.Clone()
+			}
+			p.accumulate(a.Port, out)
+			moved = true
+		case flow.ActController:
+			p.punt(b.Port, b, 1 /* OFPR_ACTION */)
+		case flow.ActDrop:
+			if !moved {
+				b.Free()
+			}
+			return
+		case flow.ActSetEthSrc:
+			if !moved && p.parser.Decoded.Has(pkt.LayerEthernet) {
+				p.parser.Eth.SetSrc(a.MAC)
+			}
+		case flow.ActSetEthDst:
+			if !moved && p.parser.Decoded.Has(pkt.LayerEthernet) {
+				p.parser.Eth.SetDst(a.MAC)
+			}
+		case flow.ActDecTTL:
+			if !moved && p.parser.Decoded.Has(pkt.LayerIPv4) {
+				ttl := p.parser.IPv4.TTL()
+				if ttl <= 1 {
+					b.Free()
+					return
+				}
+				p.parser.IPv4.SetTTL(ttl - 1)
+				p.parser.IPv4.UpdateChecksum()
+			}
+		}
+	}
+	if !moved {
+		b.Free()
+	}
+}
+
+func (p *pmdThread) accumulate(dst uint32, b *mempool.Buf) {
+	batch, ok := p.txAcc[dst]
+	if !ok || len(batch) == 0 {
+		if !ok {
+			p.txAcc[dst] = nil
+		}
+		p.txTouched = append(p.txTouched, dst)
+	}
+	p.txAcc[dst] = append(batch, b)
+}

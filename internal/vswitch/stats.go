@@ -1,0 +1,165 @@
+package vswitch
+
+import (
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+)
+
+// RegisterBypass associates an active bypass link with the flow whose
+// steering rule it implements. From registration on, the link's shared
+// counter block is merged into exported port and flow statistics — the
+// paper's stats-transparency mechanism ("when OvS needs to export
+// statistics, it just reads the proper values from that shared memory").
+func (s *Switch) RegisterBypass(l *dpdkr.Link, f *flow.Flow) {
+	s.bypassMu.Lock()
+	defer s.bypassMu.Unlock()
+	s.bypassLinks[l] = f
+}
+
+// UnregisterBypass removes a torn-down link from live merging and folds its
+// final counters into the permanent per-port and per-flow accumulators, so
+// statistics never regress after teardown.
+func (s *Switch) UnregisterBypass(l *dpdkr.Link) {
+	s.bypassMu.Lock()
+	defer s.bypassMu.Unlock()
+	f, ok := s.bypassLinks[l]
+	if !ok {
+		return
+	}
+	delete(s.bypassLinks, l)
+	snap := l.Stats.Read()
+	rx := s.foldedRx[l.From]
+	rx.TxPackets += snap.TxPackets
+	rx.TxBytes += snap.TxBytes
+	s.foldedRx[l.From] = rx
+	tx := s.foldedTx[l.To]
+	tx.RxPackets += snap.RxPackets
+	tx.RxBytes += snap.RxBytes
+	s.foldedTx[l.To] = tx
+	if f != nil {
+		f.Packets.Add(snap.TxPackets)
+		f.Bytes.Add(snap.TxBytes)
+	}
+}
+
+// BypassLinkCount reports the number of live registered links (diagnostic).
+func (s *Switch) BypassLinkCount() int {
+	s.bypassMu.Lock()
+	defer s.bypassMu.Unlock()
+	return len(s.bypassLinks)
+}
+
+// PortStatsView is the merged statistics view for one port, combining the
+// host-side normal-channel counters with live and folded bypass counters.
+type PortStatsView struct {
+	PortNo    uint32
+	RxPackets uint64
+	RxBytes   uint64
+	TxPackets uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+}
+
+// PortStats returns the merged counters for one port (false if unknown).
+//
+// Semantics match OpenFlow's switch-centric view: rx_* counts packets the
+// port delivered into the datapath (for a bypass, packets the VM's PMD sent
+// directly to the peer), tx_* counts packets delivered out of the datapath
+// to the VM.
+func (s *Switch) PortStats(id uint32) (PortStatsView, bool) {
+	e, ok := s.portsSnap.Load().byID[id]
+	if !ok {
+		return PortStatsView{}, false
+	}
+	c := e.port.PortCounters()
+	v := PortStatsView{
+		PortNo:    id,
+		RxPackets: c.RxPackets.Load(),
+		RxBytes:   c.RxBytes.Load(),
+		TxPackets: c.TxPackets.Load(),
+		TxBytes:   c.TxBytes.Load(),
+		RxDropped: c.RxDropped.Load(),
+		TxDropped: c.TxDropped.Load(),
+	}
+	s.bypassMu.Lock()
+	for l := range s.bypassLinks {
+		snap := l.Stats.Read()
+		if l.From == id {
+			v.RxPackets += snap.TxPackets
+			v.RxBytes += snap.TxBytes
+		}
+		if l.To == id {
+			v.TxPackets += snap.RxPackets
+			v.TxBytes += snap.RxBytes
+		}
+	}
+	if folded, ok := s.foldedRx[id]; ok {
+		v.RxPackets += folded.TxPackets
+		v.RxBytes += folded.TxBytes
+	}
+	if folded, ok := s.foldedTx[id]; ok {
+		v.TxPackets += folded.RxPackets
+		v.TxBytes += folded.RxBytes
+	}
+	s.bypassMu.Unlock()
+	return v, true
+}
+
+// AllPortStats returns merged counters for every port in id order.
+func (s *Switch) AllPortStats() []PortStatsView {
+	snap := s.portsSnap.Load()
+	out := make([]PortStatsView, 0, len(snap.order))
+	for _, e := range snap.order {
+		if v, ok := s.PortStats(e.port.PortID()); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FlowCounters returns a flow's counters with any live bypass contribution
+// merged in.
+func (s *Switch) FlowCounters(f *flow.Flow) (packets, bytes uint64) {
+	packets, bytes = f.Stats()
+	s.bypassMu.Lock()
+	for l, lf := range s.bypassLinks {
+		if lf == f {
+			snap := l.Stats.Read()
+			packets += snap.TxPackets
+			bytes += snap.TxBytes
+		}
+	}
+	s.bypassMu.Unlock()
+	return packets, bytes
+}
+
+// SnapshotFlowStats returns a stable copy of all flows with merged counters,
+// for the OpenFlow flow-stats reply.
+type FlowStatsView struct {
+	Priority uint16
+	Cookie   uint64
+	Packets  uint64
+	Bytes    uint64
+	Match    flow.Match
+	Actions  flow.Actions
+}
+
+// FlowStats returns merged stats for every flow, sorted by priority
+// descending (the table snapshot order).
+func (s *Switch) FlowStats() []FlowStatsView {
+	flows := s.table.Snapshot()
+	out := make([]FlowStatsView, 0, len(flows))
+	for _, f := range flows {
+		p, b := s.FlowCounters(f)
+		out = append(out, FlowStatsView{
+			Priority: f.Priority,
+			Cookie:   f.Cookie,
+			Packets:  p,
+			Bytes:    b,
+			Match:    f.Match,
+			Actions:  f.Actions,
+		})
+	}
+	return out
+}

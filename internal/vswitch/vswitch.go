@@ -1,0 +1,290 @@
+// Package vswitch implements the software switch the paper modifies: an
+// OVS-DPDK-style userspace datapath with poll-mode forwarding threads, an
+// exact-match cache in front of a tuple-space-search classifier, an OpenFlow
+// front-end, and hooks for the p-2-p bypass system (flow-table listeners for
+// the detector, bypass-aware statistics export).
+package vswitch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/stats"
+)
+
+// DataPort is any port the forwarding engine can poll and push. dpdkr ports
+// (VM-facing) and simulated NIC ports both implement it.
+type DataPort interface {
+	PortID() uint32
+	PortName() string
+	// Recv dequeues guest/wire arrivals; single consumer (the owning PMD).
+	Recv(out []*mempool.Buf) int
+	// Send enqueues toward the guest/wire, freeing overflow. The datapath
+	// serializes calls per port.
+	Send(bufs []*mempool.Buf) int
+	// PortCounters exposes the host-side counters for stats export.
+	PortCounters() *stats.PortCounters
+}
+
+// Config parametrizes a Switch. Zero values take defaults.
+type Config struct {
+	DatapathID uint64
+	// NumPMDs is the number of forwarding threads. The paper's baseline
+	// decays with chain length precisely because all vSwitch hops share
+	// these threads. Default 1.
+	NumPMDs int
+	// BatchSize is the per-poll burst size. Default 32.
+	BatchSize int
+	// EMCEntries sizes each PMD's exact-match cache. Default 8192.
+	// EMCDisabled turns the cache off (ablation A1).
+	EMCEntries  int
+	EMCDisabled bool
+	// PacketInQueue bounds the controller punt queue. Default 256.
+	PacketInQueue int
+	// TableMissToController punts unmatched packets instead of dropping.
+	TableMissToController bool
+	// SweepInterval is the flow-timeout expiry period. Default 500ms.
+	SweepInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.NumPMDs == 0 {
+		c.NumPMDs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.EMCEntries == 0 {
+		c.EMCEntries = 8192
+	}
+	if c.PacketInQueue == 0 {
+		c.PacketInQueue = 256
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 500 * time.Millisecond
+	}
+}
+
+// PacketInEvent is a packet punted to the controller channel.
+type PacketInEvent struct {
+	InPort uint32
+	Reason uint8
+	Data   []byte // owned copy
+}
+
+// portEntry pairs a port with its TX serialization lock. With several PMD
+// threads, two PMDs may route to the same destination port concurrently;
+// the lock preserves the single-producer contract of the underlying ring
+// (OVS-DPDK takes the same lock when tx queues are shared).
+type portEntry struct {
+	port DataPort
+	txMu sync.Mutex
+}
+
+func (e *portEntry) send(bufs []*mempool.Buf, locked bool) int {
+	if locked {
+		e.txMu.Lock()
+		defer e.txMu.Unlock()
+	}
+	return e.port.Send(bufs)
+}
+
+type portSet struct {
+	byID  map[uint32]*portEntry
+	order []*portEntry // ascending port id, deterministic polling order
+}
+
+// Switch is the forwarding engine plus its control surfaces.
+type Switch struct {
+	cfg   Config
+	table *flow.Table
+
+	// portsSnap is the copy-on-write port set read by PMD loops.
+	portsSnap atomic.Pointer[portSet]
+	portsMu   sync.Mutex // serializes port add/remove
+
+	packetIns    chan PacketInEvent
+	flowRemovals chan FlowRemovedEvent
+	sweepStop    chan struct{}
+
+	// bypass registrations for stats transparency.
+	bypassMu    sync.Mutex
+	bypassLinks map[*dpdkr.Link]*flow.Flow
+	// foldedRx/foldedTx accumulate counters of torn-down links per port so
+	// exported statistics never move backwards.
+	foldedRx map[uint32]stats.Snapshot
+	foldedTx map[uint32]stats.Snapshot
+
+	// injectPool backs controller packet-out injection.
+	injectMu   sync.Mutex
+	injectPool *mempool.Pool
+
+	pmds    []*pmdThread
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Misses counts slow-path classifications (diagnostic).
+	Misses atomic.Uint64
+}
+
+// New builds a stopped switch; call Start to launch the PMD threads.
+func New(cfg Config) *Switch {
+	cfg.fill()
+	s := &Switch{
+		cfg:          cfg,
+		table:        flow.NewTable(),
+		packetIns:    make(chan PacketInEvent, cfg.PacketInQueue),
+		flowRemovals: make(chan FlowRemovedEvent, cfg.PacketInQueue),
+		sweepStop:    make(chan struct{}),
+		bypassLinks:  make(map[*dpdkr.Link]*flow.Flow),
+		foldedRx:     make(map[uint32]stats.Snapshot),
+		foldedTx:     make(map[uint32]stats.Snapshot),
+	}
+	s.portsSnap.Store(&portSet{byID: map[uint32]*portEntry{}})
+	return s
+}
+
+// Table exposes the flow table (for the OpenFlow front-end and the
+// detector's listener registration).
+func (s *Switch) Table() *flow.Table { return s.table }
+
+// DatapathID returns the configured datapath id.
+func (s *Switch) DatapathID() uint64 { return s.cfg.DatapathID }
+
+// PacketIns returns the controller punt channel.
+func (s *Switch) PacketIns() <-chan PacketInEvent { return s.packetIns }
+
+// AddPort attaches a port to the datapath.
+func (s *Switch) AddPort(p DataPort) error {
+	s.portsMu.Lock()
+	defer s.portsMu.Unlock()
+	old := s.portsSnap.Load()
+	if _, dup := old.byID[p.PortID()]; dup {
+		return fmt.Errorf("vswitch: port id %d in use", p.PortID())
+	}
+	next := &portSet{byID: make(map[uint32]*portEntry, len(old.byID)+1)}
+	for id, e := range old.byID {
+		next.byID[id] = e
+		next.order = append(next.order, e)
+	}
+	e := &portEntry{port: p}
+	next.byID[p.PortID()] = e
+	next.order = append(next.order, e)
+	sort.Slice(next.order, func(i, j int) bool {
+		return next.order[i].port.PortID() < next.order[j].port.PortID()
+	})
+	s.portsSnap.Store(next)
+	return nil
+}
+
+// RemovePort detaches a port; buffers already handed to the port remain its
+// responsibility.
+func (s *Switch) RemovePort(id uint32) error {
+	s.portsMu.Lock()
+	defer s.portsMu.Unlock()
+	old := s.portsSnap.Load()
+	if _, ok := old.byID[id]; !ok {
+		return fmt.Errorf("vswitch: port id %d not found", id)
+	}
+	next := &portSet{byID: make(map[uint32]*portEntry, len(old.byID)-1)}
+	for pid, e := range old.byID {
+		if pid != id {
+			next.byID[pid] = e
+			next.order = append(next.order, e)
+		}
+	}
+	sort.Slice(next.order, func(i, j int) bool {
+		return next.order[i].port.PortID() < next.order[j].port.PortID()
+	})
+	s.portsSnap.Store(next)
+	return nil
+}
+
+// Port returns the port with the given id, or nil.
+func (s *Switch) Port(id uint32) DataPort {
+	if e, ok := s.portsSnap.Load().byID[id]; ok {
+		return e.port
+	}
+	return nil
+}
+
+// Ports returns the current ports in id order.
+func (s *Switch) Ports() []DataPort {
+	snap := s.portsSnap.Load()
+	out := make([]DataPort, len(snap.order))
+	for i, e := range snap.order {
+		out[i] = e.port
+	}
+	return out
+}
+
+// Start launches the PMD threads. It is an error to start twice.
+func (s *Switch) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("vswitch: already started")
+	}
+	for i := 0; i < s.cfg.NumPMDs; i++ {
+		p := newPMDThread(s, i)
+		s.pmds = append(s.pmds, p)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			p.run()
+		}()
+	}
+	s.wg.Add(1)
+	go s.sweeper(s.cfg.SweepInterval)
+	return nil
+}
+
+// Stop halts the PMD threads and waits for them. Safe to call once.
+func (s *Switch) Stop() {
+	if !s.started.Load() || !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, p := range s.pmds {
+		p.stop.Store(true)
+	}
+	close(s.sweepStop)
+	s.wg.Wait()
+}
+
+// WaitDatapathQuiescence blocks until every PMD thread has started a new
+// loop iteration (and therefore observed the latest port snapshot), or the
+// switch has stopped. Callers use it after RemovePort before reclaiming the
+// removed port's resources.
+func (s *Switch) WaitDatapathQuiescence() {
+	if !s.started.Load() || s.stopped.Load() {
+		return
+	}
+	before := make([]uint64, len(s.pmds))
+	for i, p := range s.pmds {
+		before[i] = p.iters.Load()
+	}
+	for i, p := range s.pmds {
+		for p.iters.Load() == before[i] && !p.stop.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// EMCStats aggregates the per-PMD cache counters (diagnostic, ablations).
+func (s *Switch) EMCStats() flow.EMCStats {
+	var out flow.EMCStats
+	for _, p := range s.pmds {
+		st := p.emcStats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Conflicts += st.Conflicts
+	}
+	return out
+}

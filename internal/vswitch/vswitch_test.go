@@ -1,0 +1,433 @@
+package vswitch
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+)
+
+// testEnv wires a switch with n dpdkr ports (ids 1..n) and returns the guest
+// PMDs.
+type testEnv struct {
+	sw   *Switch
+	pool *mempool.Pool
+	pmds map[uint32]*dpdkr.PMD
+}
+
+func newEnv(t testing.TB, cfg Config, nPorts int) *testEnv {
+	t.Helper()
+	env := &testEnv{
+		sw:   New(cfg),
+		pool: mempool.MustNew(mempool.Config{Capacity: 4096, BufSize: 2048, Headroom: 128}),
+		pmds: make(map[uint32]*dpdkr.PMD),
+	}
+	env.sw.SetInjectionPool(env.pool)
+	for i := 1; i <= nPorts; i++ {
+		id := uint32(i)
+		port, pmd, err := dpdkr.NewPort(id, "dpdkr", 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.sw.AddPort(port); err != nil {
+			t.Fatal(err)
+		}
+		env.pmds[id] = pmd
+	}
+	if err := env.sw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.sw.Stop)
+	return env
+}
+
+// sendUDP transmits one synthesized UDP frame from the guest on port id.
+func (e *testEnv) sendUDP(t testing.TB, id uint32, spec pkt.UDPSpec) {
+	t.Helper()
+	b, err := e.pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, err := pkt.BuildUDP(buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetBytes(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if e.pmds[id].Tx([]*mempool.Buf{b}) != 1 {
+		t.Fatal("guest tx failed")
+	}
+}
+
+// recvOne polls the guest PMD on port id until one packet arrives or the
+// deadline passes, returning nil on timeout.
+func (e *testEnv) recvOne(id uint32, d time.Duration) *mempool.Buf {
+	out := make([]*mempool.Buf, 1)
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if e.pmds[id].Rx(out) == 1 {
+			return out[0]
+		}
+	}
+	return nil
+}
+
+var defaultSpec = pkt.UDPSpec{
+	SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+	SrcIP: pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
+	SrcPort: 1000, DstPort: 2000, FrameLen: pkt.MinFrame,
+}
+
+func TestForwardingBasic(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	f := env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 7)
+
+	env.sendUDP(t, 1, defaultSpec)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet not forwarded")
+	}
+	b.Free()
+
+	p, bytes := env.sw.FlowCounters(f)
+	if p != 1 || bytes != pkt.MinFrame {
+		t.Fatalf("flow counters = %d/%d", p, bytes)
+	}
+	if v, _ := env.sw.PortStats(1); v.RxPackets != 1 {
+		t.Fatalf("port1 rx = %d", v.RxPackets)
+	}
+	if v, _ := env.sw.PortStats(2); v.TxPackets != 1 {
+		t.Fatalf("port2 tx = %d", v.TxPackets)
+	}
+}
+
+func TestTableMissDrops(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	env.sendUDP(t, 1, defaultSpec)
+	if b := env.recvOne(2, 100*time.Millisecond); b != nil {
+		b.Free()
+		t.Fatal("unmatched packet forwarded")
+	}
+	// The buffer must have been freed back to the pool.
+	deadline := time.Now().Add(time.Second)
+	for env.pool.Avail() != env.pool.Cap() && time.Now().Before(deadline) {
+	}
+	if env.pool.Avail() != env.pool.Cap() {
+		t.Fatal("dropped packet leaked")
+	}
+}
+
+func TestTableMissPuntsWhenConfigured(t *testing.T) {
+	env := newEnv(t, Config{TableMissToController: true}, 1)
+	env.sendUDP(t, 1, defaultSpec)
+	select {
+	case ev := <-env.sw.PacketIns():
+		if ev.InPort != 1 || len(ev.Data) != pkt.MinFrame {
+			t.Fatalf("packet-in %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no packet-in")
+	}
+}
+
+func TestControllerActionPunts(t *testing.T) {
+	env := newEnv(t, Config{}, 1)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Controller()}, 0)
+	env.sendUDP(t, 1, defaultSpec)
+	select {
+	case ev := <-env.sw.PacketIns():
+		if ev.Reason != 1 {
+			t.Fatalf("reason = %d, want OFPR_ACTION", ev.Reason)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no packet-in")
+	}
+}
+
+func TestActionsRewriteAndTTL(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	newDst := pkt.MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	env.sw.Table().Add(10, flow.MatchInPort(1),
+		flow.Actions{flow.SetEthDst(newDst), flow.DecTTL(), flow.Output(2)}, 0)
+
+	spec := defaultSpec
+	spec.TTL = 10
+	env.sendUDP(t, 1, spec)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet not forwarded")
+	}
+	defer b.Free()
+	var p pkt.Parser
+	if err := p.Parse(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.Dst() != newDst {
+		t.Fatalf("dst = %s", p.Eth.Dst())
+	}
+	if p.IPv4.TTL() != 9 {
+		t.Fatalf("ttl = %d, want 9", p.IPv4.TTL())
+	}
+	if !p.IPv4.VerifyChecksum() {
+		t.Fatal("checksum not updated")
+	}
+}
+
+func TestDecTTLExpiryDrops(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1),
+		flow.Actions{flow.DecTTL(), flow.Output(2)}, 0)
+	spec := defaultSpec
+	spec.TTL = 1
+	env.sendUDP(t, 1, spec)
+	if b := env.recvOne(2, 100*time.Millisecond); b != nil {
+		b.Free()
+		t.Fatal("expired packet forwarded")
+	}
+}
+
+func TestMulticastOutput(t *testing.T) {
+	env := newEnv(t, Config{}, 3)
+	env.sw.Table().Add(10, flow.MatchInPort(1),
+		flow.Actions{flow.Output(2), flow.Output(3)}, 0)
+	env.sendUDP(t, 1, defaultSpec)
+	b2 := env.recvOne(2, time.Second)
+	b3 := env.recvOne(3, time.Second)
+	if b2 == nil || b3 == nil {
+		t.Fatal("multicast incomplete")
+	}
+	if &b2.Data[0] != &b3.Data[0] {
+		t.Fatal("multicast copies should share storage (refcounted clone)")
+	}
+	b2.Free()
+	b3.Free()
+	deadline := time.Now().Add(time.Second)
+	for env.pool.Avail() != env.pool.Cap() && time.Now().Before(deadline) {
+	}
+	if env.pool.Avail() != env.pool.Cap() {
+		t.Fatal("refcount leak after multicast")
+	}
+}
+
+func TestFlowModChangeRedirectsTraffic(t *testing.T) {
+	env := newEnv(t, Config{}, 3)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	env.sendUDP(t, 1, defaultSpec)
+	if b := env.recvOne(2, time.Second); b == nil {
+		t.Fatal("initial path broken")
+	} else {
+		b.Free()
+	}
+	// Replace the rule: traffic must shift to port 3 (EMC invalidation).
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}, 0)
+	env.sendUDP(t, 1, defaultSpec)
+	if b := env.recvOne(3, time.Second); b == nil {
+		t.Fatal("redirect not effective (stale EMC?)")
+	} else {
+		b.Free()
+	}
+}
+
+func TestEMCHitRate(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	for i := 0; i < 100; i++ {
+		env.sendUDP(t, 1, defaultSpec)
+		if b := env.recvOne(2, time.Second); b != nil {
+			b.Free()
+		}
+	}
+	st := env.sw.EMCStats()
+	if st.Hits == 0 {
+		t.Fatalf("EMC never hit: %+v", st)
+	}
+	if got := env.sw.Misses.Load(); got >= 100 {
+		t.Fatalf("slow path used %d times for identical flow", got)
+	}
+}
+
+func TestEMCDisabledStillForwards(t *testing.T) {
+	env := newEnv(t, Config{EMCDisabled: true}, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	for i := 0; i < 10; i++ {
+		env.sendUDP(t, 1, defaultSpec)
+		b := env.recvOne(2, time.Second)
+		if b == nil {
+			t.Fatal("forwarding broken with EMC off")
+		}
+		b.Free()
+	}
+	if st := env.sw.EMCStats(); st.Hits != 0 {
+		t.Fatalf("EMC used while disabled: %+v", st)
+	}
+}
+
+func TestMultiPMDForwarding(t *testing.T) {
+	env := newEnv(t, Config{NumPMDs: 3}, 4)
+	// All ports forward into port 4 to force cross-PMD TX serialization.
+	for id := uint32(1); id <= 3; id++ {
+		env.sw.Table().Add(10, flow.MatchInPort(id), flow.Actions{flow.Output(4)}, 0)
+	}
+	const per = 200
+	for i := 0; i < per; i++ {
+		for id := uint32(1); id <= 3; id++ {
+			env.sendUDP(t, id, defaultSpec)
+		}
+	}
+	got := 0
+	out := make([]*mempool.Buf, 32)
+	deadline := time.Now().Add(3 * time.Second)
+	for got < 3*per && time.Now().Before(deadline) {
+		n := env.pmds[4].Rx(out)
+		for i := 0; i < n; i++ {
+			out[i].Free()
+		}
+		got += n
+	}
+	if got != 3*per {
+		t.Fatalf("received %d of %d", got, 3*per)
+	}
+}
+
+func TestPortAddRemove(t *testing.T) {
+	sw := New(Config{})
+	port, _, _ := dpdkr.NewPort(5, "x", 64)
+	if err := sw.AddPort(port); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(port); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	if sw.Port(5) == nil {
+		t.Fatal("port not visible")
+	}
+	if err := sw.RemovePort(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RemovePort(5); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if sw.Port(5) != nil {
+		t.Fatal("port visible after removal")
+	}
+}
+
+func TestInjectPacketOut(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	frame := make([]byte, 128)
+	n, _ := pkt.BuildUDP(frame, defaultSpec)
+	if err := env.sw.InjectPacketOut(0, flow.Actions{flow.Output(2)}, frame[:n]); err != nil {
+		t.Fatal(err)
+	}
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet-out not delivered")
+	}
+	b.Free()
+}
+
+func TestInjectPacketOutToController(t *testing.T) {
+	// A packet-out whose action list punts back to the controller (the
+	// learning-switch bootstrap pattern) must surface as a packet-in.
+	env := newEnv(t, Config{}, 1)
+	frame := make([]byte, 128)
+	n, _ := pkt.BuildUDP(frame, defaultSpec)
+	if err := env.sw.InjectPacketOut(1, flow.Actions{flow.Controller()}, frame[:n]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-env.sw.PacketIns():
+		if ev.InPort != 1 || len(ev.Data) != n {
+			t.Fatalf("packet-in %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no packet-in from controller action")
+	}
+	// The buffer must have been freed (no output moved it).
+	deadline := time.Now().Add(time.Second)
+	for env.pool.Avail() != env.pool.Cap() && time.Now().Before(deadline) {
+	}
+	if env.pool.Avail() != env.pool.Cap() {
+		t.Fatal("inject leaked the buffer")
+	}
+}
+
+func TestInjectWithoutPoolFails(t *testing.T) {
+	sw := New(Config{})
+	if err := sw.InjectPacketOut(0, flow.Actions{flow.Output(1)}, []byte{1}); err == nil {
+		t.Fatal("inject without pool succeeded")
+	}
+}
+
+func TestBypassStatsMerge(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	f := env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+
+	link, _ := dpdkr.NewLink("bypass-1-2", 1, 2, 64)
+	env.sw.RegisterBypass(link, f)
+	if env.sw.BypassLinkCount() != 1 {
+		t.Fatal("link not registered")
+	}
+
+	// Simulate PMD accounting: 50 packets, 3200 bytes crossed the bypass.
+	link.Stats.AccountTx(50, 3200)
+	link.Stats.AccountRx(48, 3072) // two still in flight in the ring
+
+	if v, _ := env.sw.PortStats(1); v.RxPackets != 50 || v.RxBytes != 3200 {
+		t.Fatalf("port1 merged rx = %d/%d", v.RxPackets, v.RxBytes)
+	}
+	if v, _ := env.sw.PortStats(2); v.TxPackets != 48 || v.TxBytes != 3072 {
+		t.Fatalf("port2 merged tx = %d/%d", v.TxPackets, v.TxBytes)
+	}
+	if p, by := env.sw.FlowCounters(f); p != 50 || by != 3200 {
+		t.Fatalf("flow merged = %d/%d", p, by)
+	}
+
+	// Teardown folds: stats must not regress.
+	env.sw.UnregisterBypass(link)
+	if env.sw.BypassLinkCount() != 0 {
+		t.Fatal("link still registered")
+	}
+	if v, _ := env.sw.PortStats(1); v.RxPackets != 50 {
+		t.Fatalf("port1 rx after fold = %d", v.RxPackets)
+	}
+	if p, _ := f.Stats(); p != 50 {
+		t.Fatalf("flow packets after fold = %d", p)
+	}
+	// Double unregister is harmless.
+	env.sw.UnregisterBypass(link)
+	if p, _ := f.Stats(); p != 50 {
+		t.Fatal("double unregister double-folded")
+	}
+}
+
+func TestMatchSubsumes(t *testing.T) {
+	all := flow.MatchAll()
+	p1 := flow.MatchInPort(1)
+	p1udp := flow.MatchInPort(1).WithIPProto(pkt.ProtoUDP)
+	p2 := flow.MatchInPort(2)
+
+	cases := []struct {
+		outer, inner flow.Match
+		want         bool
+	}{
+		{all, all, true},
+		{all, p1, true},
+		{all, p1udp, true},
+		{p1, all, false},
+		{p1, p1, true},
+		{p1, p1udp, true},
+		{p1, p2, false},
+		{p1udp, p1, false},
+	}
+	for i, c := range cases {
+		if got := matchSubsumes(c.outer, c.inner); got != c.want {
+			t.Errorf("case %d: subsumes(%s, %s) = %v, want %v", i, c.outer, c.inner, got, c.want)
+		}
+	}
+}

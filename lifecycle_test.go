@@ -1,0 +1,204 @@
+package highway
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/openflow"
+)
+
+// TestBypassDissolvesOnIdleExpiry checks the interplay between OpenFlow
+// flow timeouts and the bypass manager: when the steering rule implementing
+// a p-2-p link idle-expires, the detector must observe the removal and
+// dissolve the bypass — and traffic (if any resumed) would fall back to the
+// table-miss policy, not a stale fast path.
+func TestBypassDissolvesOnIdleExpiry(t *testing.T) {
+	node, err := Start(Config{Mode: ModeHighway, OpenFlowAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	// Two idle VMs (no traffic, so the idle timeout is guaranteed to fire).
+	ids1, _, err := node.Internal().CreateVM("vmA", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := node.Internal().CreateVM("vmB", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := openflow.Dial(node.OpenFlowAddr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fm := openflow.FlowMod{
+		Command: openflow.FlowCmdAdd, Priority: 10,
+		Match:   flow.MatchInPort(ids1[0]),
+		Actions: flow.Actions{flow.Output(ids2[0])},
+		IdleTO:  1,
+		Flags:   flow.SendFlowRemoved,
+	}
+	if _, err := c.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+	if !node.WaitBypasses(1) {
+		t.Fatal("bypass not established")
+	}
+
+	// Wait for the idle expiry to dissolve it (sweep interval 500ms + 1s
+	// timeout ⇒ comfortably under 5s).
+	deadline := time.Now().Add(5 * time.Second)
+	for node.BypassCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if node.BypassCount() != 0 {
+		t.Fatal("bypass survived rule expiry")
+	}
+	if node.Internal().Registry.Len() != 0 {
+		t.Fatal("shared segment leaked after expiry")
+	}
+
+	// The controller is told about the expiry.
+	frDeadline := time.After(3 * time.Second)
+	for {
+		type result struct {
+			m   openflow.Msg
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, _, err := c.Recv()
+			ch <- result{m, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if fr, ok := r.m.(openflow.FlowRemoved); ok {
+				if fr.Reason != openflow.RemovedIdleTimeout {
+					t.Fatalf("reason = %d", fr.Reason)
+				}
+				return
+			}
+		case <-frDeadline:
+			t.Fatal("no flow-removed notification")
+		}
+	}
+}
+
+// TestVMDeathDissolvesBypass injects the failure the paper's agent must
+// survive: a VM disappears while its port is one end of an active bypass.
+// The candidate-port change must dissolve the link without leaking segments
+// or wedging the manager, even though the plumber's calls toward the dead
+// VM fail.
+func TestVMDeathDissolvesBypass(t *testing.T) {
+	node, err := Start(Config{Mode: ModeHighway})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	ids1, _, err := node.Internal().CreateVM("vmA", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := node.Internal().CreateVM("vmB", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := node.Internal().Switch.Table()
+	tb.Add(10, flow.MatchInPort(ids1[0]), flow.Actions{flow.Output(ids2[0])}, 0)
+	tb.Add(10, flow.MatchInPort(ids2[0]), flow.Actions{flow.Output(ids1[0])}, 0)
+	if !node.WaitBypasses(2) {
+		t.Fatal("bypasses not established")
+	}
+
+	// Kill vmB. Its ports leave the candidate set; the manager must tear
+	// both directions down despite RemoveRx/Unplug failing toward vmB.
+	if err := node.Internal().DestroyVM("vmB", ids2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for node.BypassCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if node.BypassCount() != 0 {
+		t.Fatalf("bypasses after VM death: %d", node.BypassCount())
+	}
+	if node.Internal().Registry.Len() != 0 {
+		t.Fatalf("segments leaked: %d", node.Internal().Registry.Len())
+	}
+
+	// Clean up the dead VM's rules, as an orchestrator would. (Until then
+	// the detector rightly refuses to bypass port A: the stale rule toward
+	// the dead port makes A's steering ambiguous.)
+	tb.DeleteWhere(func(f *flow.Flow) bool {
+		if f.Match.AdmitsInPort(ids2[0]) && f.Match.Key.InPort == ids2[0] {
+			return true
+		}
+		out, ok := f.Actions.SoleOutput()
+		return ok && out == ids2[0]
+	})
+
+	// The manager must still be functional: a new pair forms a new bypass.
+	ids3, _, err := node.Internal().CreateVM("vmC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Add(10, flow.MatchInPort(ids3[0]), flow.Actions{flow.Output(ids1[0])}, 0)
+	tb.Add(10, flow.MatchInPort(ids1[0]), flow.Actions{flow.Output(ids3[0])}, 0)
+	if !node.WaitBypasses(2) {
+		t.Fatalf("manager wedged after failure: %d bypasses", node.BypassCount())
+	}
+}
+
+// TestRuleReplacementReplumbsBypass: replacing the implementing rule (same
+// match, new flow object) must re-register stats against the new flow
+// without losing already-accumulated counters.
+func TestRuleReplacementReplumbsBypass(t *testing.T) {
+	node, err := Start(Config{Mode: ModeHighway})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	chain, err := node.DeployBidirChain(1, ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Stop()
+	if !node.WaitBypasses(4) {
+		t.Fatal("bypasses not established")
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Port stats before replacement.
+	var before uint64
+	if v, ok := node.PortStats(1); ok {
+		before = v.RxPackets
+	}
+	if before == 0 {
+		t.Fatal("no traffic before replacement")
+	}
+
+	// Re-add the same rule (flow object replaced, counters reset per
+	// OpenFlow semantics, bypass re-plumbed).
+	tb := node.Internal().Switch.Table()
+	for _, f := range tb.Snapshot() {
+		if f.Match.Key.InPort == 1 {
+			tb.Add(f.Priority, f.Match, f.Actions, f.Cookie+1000)
+		}
+	}
+	if !node.WaitBypasses(4) {
+		t.Fatal("bypasses did not re-form after replacement")
+	}
+	time.Sleep(100 * time.Millisecond)
+	// Port counters must not have regressed (folded + live merge).
+	if v, ok := node.PortStats(1); !ok || v.RxPackets < before {
+		t.Fatalf("port stats regressed: %d < %d", v.RxPackets, before)
+	}
+}

@@ -1,0 +1,110 @@
+package highway
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/flow"
+)
+
+// TestRuleChurnSoak hammers the control plane while traffic flows: a chain
+// carries bidirectional load as rules are repeatedly refined (dissolving
+// bypasses) and restored (re-forming them). The chain must keep delivering
+// throughout, and the node must end with no leaked bypasses, segments, or
+// buffers.
+func TestRuleChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	node, err := Start(Config{Mode: ModeHighway, PoolSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	chain, err := node.DeployBidirChain(2, ChainOptions{Flows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node.WaitBypasses(chain.ExpectedBypasses()) {
+		t.Fatal("initial bypasses not established")
+	}
+
+	tb := node.Internal().Switch.Table()
+	refinement := flow.MatchInPort(1).WithL4Dst(9999)
+
+	end := chain.ends[0]
+	startCount := end.Received.Load()
+	for round := 0; round < 30; round++ {
+		// Refine: port 1's steering becomes ambiguous, bypass dissolves.
+		tb.Add(1000, refinement, flow.Actions{flow.Output(3)}, 0xc0ffee)
+		// Restore.
+		tb.DeleteStrict(1000, refinement)
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Traffic must have kept moving across the churn (individual rounds may
+	// legitimately pause one direction while the manager drains a link).
+	deadline := time.Now().Add(2 * time.Second)
+	for end.Received.Load() < startCount+10000 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := end.Received.Load(); got < startCount+10000 {
+		t.Fatalf("traffic stalled across churn: %d → %d", startCount, got)
+	}
+
+	// Converge back to the fully-bypassed steady state.
+	if !node.WaitBypasses(chain.ExpectedBypasses()) {
+		t.Fatalf("bypasses did not reconverge: %d live", node.BypassCount())
+	}
+	chain.Stop()
+	waitPoolFull(t, node)
+	if node.Internal().Registry.Len() != 0 {
+		t.Fatal("segments leaked after churn")
+	}
+}
+
+// TestManyFlowsClassifierPressure floods the table with hundreds of refined
+// non-p2p rules on top of the chain's steering rules: the detector must
+// keep every bypass down (steering is ambiguous) and datapath classification
+// must still be correct once the clutter is removed.
+func TestManyFlowsClassifierPressure(t *testing.T) {
+	node, err := Start(Config{Mode: ModeHighway, PoolSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	chain, err := node.DeployBidirChain(1, ChainOptions{Flows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Stop()
+	if !node.WaitBypasses(4) {
+		t.Fatal("bypasses not established")
+	}
+
+	tb := node.Internal().Switch.Table()
+	// 300 refined rules across all chain ports, each diverging.
+	for i := 0; i < 300; i++ {
+		m := flow.MatchInPort(uint32(1 + i%4)).WithL4Dst(uint16(10000 + i))
+		tb.Add(uint16(500+i%50), m, flow.Actions{flow.Controller()}, uint64(i))
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for node.BypassCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if node.BypassCount() != 0 {
+		t.Fatalf("bypasses live despite divergent rules: %d", node.BypassCount())
+	}
+
+	// Traffic still flows through the vSwitch path under the rule load.
+	mpps := chain.MeasureMpps(200 * time.Millisecond)
+	if mpps <= 0 {
+		t.Fatalf("no throughput under classifier pressure")
+	}
+
+	// Remove the clutter: bypasses return.
+	tb.DeleteWhere(func(f *flow.Flow) bool { return f.Priority >= 500 })
+	if !node.WaitBypasses(4) {
+		t.Fatalf("bypasses did not return: %d", node.BypassCount())
+	}
+}
