@@ -132,21 +132,17 @@ func (c *Chain) Stop() {
 		scratch := make([]*mempool.Buf, 32)
 		for {
 			k := dev.DrainToWire(scratch)
-			for i := 0; i < k; i++ {
-				scratch[i].Free()
-			}
 			if k == 0 {
 				break
 			}
+			mempool.FreeBatch(scratch[:k])
 		}
 		for {
 			k := dev.DrainFromWire(scratch)
-			for i := 0; i < k; i++ {
-				scratch[i].Free()
-			}
 			if k == 0 {
 				break
 			}
+			mempool.FreeBatch(scratch[:k])
 		}
 	}
 }

@@ -19,12 +19,18 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | latency | setup")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
 	)
 	flag.Parse()
+
+	switch *exp {
+	case "all", "fig3a", "fig3b", "latency", "setup", "check":
+	default:
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | latency | setup | check)", *exp)
+	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
 
@@ -41,6 +47,49 @@ func main() {
 	run("fig3b", func() error { return fig3b(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
+	// The strict pass/fail gate is opt-in only: a noisy host failing the
+	// gap-widening criterion must not kill the default table run.
+	if *exp == "check" {
+		if err := check(cfg); err != nil {
+			log.Fatalf("check: %v", err)
+		}
+	}
+}
+
+// check is the fast pass/fail regression gate for the paper's headline
+// claim: highway strictly beats vanilla, and the gap widens with chain
+// length. It measures two Figure 3(a) points instead of the full sweep.
+func check(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Check: highway ≫ vanilla, gap widening with chain length ===")
+	speedup := func(vms int) (float64, error) {
+		v, err := highway.RunFig3aPoint(vms, highway.ModeVanilla, cfg)
+		if err != nil {
+			return 0, err
+		}
+		h, err := highway.RunFig3aPoint(vms, highway.ModeHighway, cfg)
+		if err != nil {
+			return 0, err
+		}
+		s := h.Mpps / v.Mpps
+		fmt.Printf("%8d VMs: vanilla %.3f Mpps, highway %.3f Mpps (%.2fx)\n", vms, v.Mpps, h.Mpps, s)
+		if s <= 1 {
+			return s, fmt.Errorf("highway not faster than vanilla at %d VMs (%.2fx)", vms, s)
+		}
+		return s, nil
+	}
+	short, err := speedup(3)
+	if err != nil {
+		return err
+	}
+	long, err := speedup(8)
+	if err != nil {
+		return err
+	}
+	if long <= short {
+		return fmt.Errorf("gap did not widen with chain length (%.2fx at 3 VMs vs %.2fx at 8)", short, long)
+	}
+	fmt.Printf("PASS: gap widens %.2fx → %.2fx\n\n", short, long)
+	return nil
 }
 
 func fig3a(cfg highway.ExperimentConfig) error {

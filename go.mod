@@ -1,0 +1,3 @@
+module ovshighway
+
+go 1.24

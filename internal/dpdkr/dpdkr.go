@@ -102,17 +102,18 @@ func NewLink(name string, from, to uint32, ringSize int) (*Link, error) {
 	return &Link{Name: name, From: from, To: to, Ring: r, Stats: &stats.Block{}}, nil
 }
 
-// Drain empties the link's ring, freeing any in-flight buffers. Used at
-// teardown after both PMDs detached.
+// Drain empties the link's ring, freeing any in-flight buffers in batched
+// ring/pool operations. Used at teardown after both PMDs detached.
 func (l *Link) Drain() int {
+	var scratch [32]*mempool.Buf
 	n := 0
 	for {
-		b, ok := l.Ring.TryDequeue()
-		if !ok {
+		k := l.Ring.Dequeue(scratch[:])
+		if k == 0 {
 			return n
 		}
-		b.Free()
-		n++
+		mempool.FreeBatch(scratch[:k])
+		n += k
 	}
 }
 
@@ -188,22 +189,17 @@ func (p *Port) NormalBacklog() int { return p.toVM.Len() }
 // guest PMD must already be detached, since Drain acts as consumer on both
 // rings.
 func (p *Port) Drain() int {
+	var scratch [32]*mempool.Buf
 	n := 0
-	for {
-		b, ok := p.toVM.TryDequeue()
-		if !ok {
-			break
+	for _, r := range []*Ring{p.toVM, p.fromVM} {
+		for {
+			k := r.Dequeue(scratch[:])
+			if k == 0 {
+				break
+			}
+			mempool.FreeBatch(scratch[:k])
+			n += k
 		}
-		b.Free()
-		n++
-	}
-	for {
-		b, ok := p.fromVM.TryDequeue()
-		if !ok {
-			break
-		}
-		b.Free()
-		n++
 	}
 	return n
 }

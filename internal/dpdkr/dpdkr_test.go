@@ -291,6 +291,7 @@ func TestSwitchoverNoLossNoDup(t *testing.T) {
 		for i := 0; i < total; {
 			b, err := pool.Get()
 			if err != nil {
+				runtime.Gosched() // consumers must run to refill the pool
 				continue
 			}
 			seq := []byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}
@@ -302,6 +303,7 @@ func TestSwitchoverNoLossNoDup(t *testing.T) {
 				i++
 			} else {
 				b.Free()
+				runtime.Gosched()
 			}
 		}
 	}()
@@ -328,6 +330,9 @@ func TestSwitchoverNoLossNoDup(t *testing.T) {
 	batch := make([]*mempool.Buf, 32)
 	for count < total {
 		n := pmdB.Rx(batch)
+		if n == 0 {
+			runtime.Gosched()
+		}
 		for i := 0; i < n; i++ {
 			p := batch[i].Bytes()
 			seq := int(p[0])<<24 | int(p[1])<<16 | int(p[2])<<8 | int(p[3])

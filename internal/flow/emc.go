@@ -5,24 +5,30 @@ package flow
 // It is the first level of the OVS userspace datapath lookup hierarchy; on a
 // hit the masked classifier walk is skipped entirely.
 //
-// Entries are validated against the table version: any table mutation
-// invalidates the whole cache on the next lookup, which is how flow-mod
-// driven behaviour changes (including bypass teardown decisions) become
-// visible to the datapath promptly.
+// Entries carry per-entry generation tags: each entry remembers the table
+// version it was cached at and is served only while that version is current.
+// A table mutation therefore invalidates exactly the entries cached before
+// it — lazily, with no flush pass over the whole cache — while entries
+// re-validated after the mutation keep hitting. This is how flow-mod driven
+// behaviour changes (including bypass teardown decisions) become visible to
+// the datapath promptly without the old whole-cache-flush cost on every
+// mutation.
 type EMC struct {
 	mask    uint32
 	entries []emcEntry
-	version uint64
 
 	hits      uint64
 	misses    uint64
 	conflicts uint64
 }
 
+// emcEntry is one cache way. gen is the table version the classification was
+// obtained at; 0 means empty (table versions start at 1 — an empty table
+// classifies nothing, so nothing is ever cached at version 0).
 type emcEntry struct {
-	valid bool
-	key   Packed
-	flow  *Flow
+	gen  uint64
+	key  Packed
+	flow *Flow
 }
 
 const emcWays = 2
@@ -41,18 +47,13 @@ func NewEMC(entries int) *EMC {
 }
 
 // Lookup returns the cached flow for the packed key, or nil on miss.
-// tableVersion must be the owning table's current version; a version change
-// flushes the cache.
+// tableVersion must be the owning table's current version; entries tagged
+// with any other generation are stale and never served.
 func (c *EMC) Lookup(kp Packed, hash uint32, tableVersion uint64) *Flow {
-	if c.version != tableVersion {
-		c.flush(tableVersion)
-		c.misses++
-		return nil
-	}
 	base := int(hash&c.mask) * emcWays
 	for w := 0; w < emcWays; w++ {
 		e := &c.entries[base+w]
-		if e.valid && e.key == kp {
+		if e.gen == tableVersion && e.key == kp && e.flow != nil {
 			c.hits++
 			return e.flow
 		}
@@ -63,30 +64,34 @@ func (c *EMC) Lookup(kp Packed, hash uint32, tableVersion uint64) *Flow {
 
 // Insert caches a classification result obtained at tableVersion. A nil flow
 // is never cached (misses in the classifier go to the slow path and may
-// install new state). If the cache holds entries from an older version they
-// are flushed first.
+// install new state). Stale ways (older generations) are preferred victims;
+// among live ways the set behaves as insertion-order LRU.
 func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, tableVersion uint64) {
 	if f == nil {
 		return
 	}
-	if c.version != tableVersion {
-		c.flush(tableVersion)
-	}
 	base := int(hash&c.mask) * emcWays
-	// Way 0 always receives the newest entry; the previous way-0 occupant
-	// shifts to way 1, evicting the set's oldest entry (insertion-order LRU).
-	if c.entries[base].valid && c.entries[base+1].valid {
+	// Re-validation of a key already present in the set updates in place.
+	for w := 0; w < emcWays; w++ {
+		e := &c.entries[base+w]
+		if e.gen != 0 && e.key == kp {
+			e.gen = tableVersion
+			e.flow = f
+			return
+		}
+	}
+	// A stale way 0 can be overwritten without touching a possibly-live way 1.
+	if c.entries[base].gen != tableVersion {
+		c.entries[base] = emcEntry{gen: tableVersion, key: kp, flow: f}
+		return
+	}
+	// Way 0 receives the newest entry; the previous way-0 occupant shifts to
+	// way 1, evicting the set's oldest entry (insertion-order LRU).
+	if c.entries[base+1].gen == tableVersion {
 		c.conflicts++
 	}
 	c.entries[base+1] = c.entries[base]
-	c.entries[base] = emcEntry{valid: true, key: kp, flow: f}
-}
-
-func (c *EMC) flush(version uint64) {
-	for i := range c.entries {
-		c.entries[i] = emcEntry{}
-	}
-	c.version = version
+	c.entries[base] = emcEntry{gen: tableVersion, key: kp, flow: f}
 }
 
 // EMCStats are cumulative cache counters.

@@ -432,6 +432,129 @@ func TestEMCConflictEviction(t *testing.T) {
 	}
 }
 
+// TestEMCGenerationInvalidatesOnlyStaleEntries pins the per-entry
+// generation-tag semantics: a table mutation must stop stale entries from
+// hitting, but entries re-validated after the mutation keep hitting — the
+// mutation no longer wipes the whole cache.
+func TestEMCGenerationInvalidatesOnlyStaleEntries(t *testing.T) {
+	tb := NewTable()
+	fa := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	fb := tb.Add(10, MatchInPort(2), Actions{Output(1)}, 0)
+	c := NewEMC(1024)
+
+	ka := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kb := key(2, 11, 22, pkt.ProtoUDP, 3, 4)
+	kpa, kpb := ka.Pack(), kb.Pack()
+	v1 := tb.Version()
+	c.Insert(kpa, kpa.Hash(), fa, v1)
+	c.Insert(kpb, kpb.Hash(), fb, v1)
+
+	// Mutate the table: both cached entries are now stale.
+	tb.Add(30, MatchInPort(3), Actions{Output(1)}, 0)
+	v2 := tb.Version()
+	if v2 == v1 {
+		t.Fatal("mutation did not bump version")
+	}
+	if c.Lookup(kpa, kpa.Hash(), v2) != nil || c.Lookup(kpb, kpb.Hash(), v2) != nil {
+		t.Fatal("stale entry served after mutation")
+	}
+
+	// Re-validate only A at v2. B must stay invalid, A must hit — i.e. the
+	// re-validation did not depend on a whole-cache flush and did not
+	// resurrect B.
+	c.Insert(kpa, kpa.Hash(), fa, v2)
+	if c.Lookup(kpa, kpa.Hash(), v2) != fa {
+		t.Fatal("re-validated entry missed")
+	}
+	if c.Lookup(kpb, kpb.Hash(), v2) != nil {
+		t.Fatal("entry from the old generation resurrected")
+	}
+	// And another mutation invalidates A's v2 entry in turn.
+	tb.Add(40, MatchInPort(4), Actions{Output(1)}, 0)
+	if c.Lookup(kpa, kpa.Hash(), tb.Version()) != nil {
+		t.Fatal("v2 entry served at v3")
+	}
+}
+
+// TestEMCNeverServesRemovedFlow pins the safety property the PMD relies on:
+// once a flow is deleted (version bump), no lookup at the new version may
+// return it, so the datapath never executes actions of a removed flow.
+func TestEMCNeverServesRemovedFlow(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	c := NewEMC(64)
+
+	k := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp := k.Pack()
+	v1 := tb.Version()
+	c.Insert(kp, kp.Hash(), fl, v1)
+	if c.Lookup(kp, kp.Hash(), v1) != fl {
+		t.Fatal("warm cache missed")
+	}
+
+	if !tb.DeleteStrict(10, MatchInPort(1)) {
+		t.Fatal("delete failed")
+	}
+	if got := c.Lookup(kp, kp.Hash(), tb.Version()); got != nil {
+		t.Fatalf("EMC served removed flow %v", got)
+	}
+	// The PMD pattern after the miss: classifier lookup (nil — flow is gone),
+	// so nothing is re-cached and a later lookup still misses.
+	if tb.Lookup(&k) != nil {
+		t.Fatal("classifier still knows removed flow")
+	}
+	if c.Lookup(kp, kp.Hash(), tb.Version()) != nil {
+		t.Fatal("removed flow reappeared")
+	}
+}
+
+// TestEMCInsertPrefersStaleVictim checks that inserting into a set whose
+// way 0 is stale overwrites the stale way and leaves a live way 1 intact.
+func TestEMCInsertPrefersStaleVictim(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(1, MatchAll(), Actions{Output(1)}, 0)
+	c := NewEMC(4) // 2 sets × 2 ways
+	v1 := tb.Version()
+
+	h := uint32(0) // same set for all keys
+	key0 := key(10, 0, 0, 0, 0, 0)
+	key1 := key(11, 0, 0, 0, 0, 0)
+	k0, k1 := key0.Pack(), key1.Pack()
+	c.Insert(k0, h, fl, v1)
+
+	tb.Add(2, MatchInPort(9), Actions{Output(1)}, 0) // version gap v1 → v3
+	fl2 := tb.Add(3, MatchInPort(8), Actions{Output(1)}, 0)
+	v3 := tb.Version()
+
+	// k1 lands at v3; k0's entry (v1) is stale and must be the victim even
+	// though it sits in way 0.
+	c.Insert(k1, h, fl2, v3)
+	if c.Lookup(k1, h, v3) != fl2 {
+		t.Fatal("fresh entry missing")
+	}
+	// A second fresh insert shifts into the empty way — no conflict yet.
+	c.Insert(k0, h, fl2, v3)
+	if c.Lookup(k0, h, v3) != fl2 || c.Lookup(k1, h, v3) != fl2 {
+		t.Fatal("live entries lost")
+	}
+	if got := c.Stats().Conflicts; got != 0 {
+		t.Fatalf("conflicts = %d, want 0 (stale/empty ways were available)", got)
+	}
+	// A third insert finds both ways live at v3: now it must conflict-evict.
+	key2 := key(12, 0, 0, 0, 0, 0)
+	k2 := key2.Pack()
+	c.Insert(k2, h, fl2, v3)
+	if got := c.Stats().Conflicts; got != 1 {
+		t.Fatalf("conflicts = %d, want 1 (both ways were live)", got)
+	}
+	if c.Lookup(k2, h, v3) != fl2 || c.Lookup(k0, h, v3) != fl2 {
+		t.Fatal("newest entries must survive the conflict eviction")
+	}
+	if c.Lookup(k1, h, v3) != nil {
+		t.Fatal("oldest live entry must be the conflict victim")
+	}
+}
+
 func TestExtractKeyFromParsedPacket(t *testing.T) {
 	buf := make([]byte, 256)
 	n, err := pkt.BuildUDP(buf, pkt.UDPSpec{

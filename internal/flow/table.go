@@ -99,6 +99,12 @@ type classifier struct {
 // Lookup returns the highest-priority flow covering k, or nil.
 func (c *classifier) Lookup(k *Key) *Flow {
 	kp := k.Pack()
+	return c.LookupPacked(&kp)
+}
+
+// LookupPacked is Lookup on an already-packed key, saving the serialization
+// when the caller (the PMD fast path) has packed the key for EMC hashing.
+func (c *classifier) LookupPacked(kp *Packed) *Flow {
 	var best *Flow
 	for _, st := range c.subtables {
 		if best != nil && best.Priority >= st.maxPrio {
@@ -264,6 +270,13 @@ func (t *Table) Lookup(k *Key) *Flow {
 	return t.snap.Load().Lookup(k)
 }
 
+// LookupPacked classifies an already-packed key against the current
+// snapshot. Wait-free; the PMD miss path uses it to avoid re-packing the key
+// it already serialized for EMC hashing.
+func (t *Table) LookupPacked(kp *Packed) *Flow {
+	return t.snap.Load().LookupPacked(kp)
+}
+
 // Expired is one flow removed by Expire, with its OpenFlow reason code.
 type Expired struct {
 	Flow   *Flow
@@ -276,6 +289,17 @@ type Expired struct {
 func (t *Table) Expire(now time.Time) []Expired {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// First pass without allocating: the common sweep finds nothing to do.
+	dead := false
+	for _, f := range t.flows {
+		if d, _ := f.Expired(now); d {
+			dead = true
+			break
+		}
+	}
+	if !dead {
+		return nil
+	}
 	var expired []Expired
 	var kept []*Flow
 	for _, f := range t.flows {

@@ -183,6 +183,18 @@ func (p *Pool) Avail() int { return p.free.Len() }
 // Headroom returns the configured data offset for fresh buffers.
 func (p *Pool) Headroom() int { return p.headroom }
 
+// reset returns the buffer to its freshly-allocated state (refcount 1, no
+// metadata, data offset at the pool headroom).
+func (b *Buf) reset(headroom int) {
+	b.Off = headroom
+	b.Len = 0
+	b.Port = 0
+	b.TS = 0
+	b.Hash = 0
+	b.HashValid = false
+	b.refcnt.Store(1)
+}
+
 // Get allocates one buffer with refcount 1, or ErrExhausted.
 func (p *Pool) Get() (*Buf, error) {
 	b, ok := p.free.TryDequeue()
@@ -191,26 +203,20 @@ func (p *Pool) Get() (*Buf, error) {
 		return nil, ErrExhausted
 	}
 	p.allocs.Add(1)
-	b.Off = p.headroom
-	b.Len = 0
-	b.Port = 0
-	b.TS = 0
-	b.Hash = 0
-	b.HashValid = false
-	b.refcnt.Store(1)
+	b.reset(p.headroom)
 	return b, nil
 }
 
-// GetBatch fills out with up to len(out) fresh buffers, returning the count.
+// GetBatch fills out with up to len(out) fresh buffers in one batched ring
+// dequeue, returning the count.
 func (p *Pool) GetBatch(out []*Buf) int {
-	n := 0
-	for i := range out {
-		b, err := p.Get()
-		if err != nil {
-			break
-		}
-		out[i] = b
-		n++
+	n := p.free.Dequeue(out)
+	for _, b := range out[:n] {
+		b.reset(p.headroom)
+	}
+	p.allocs.Add(uint64(n))
+	if n < len(out) {
+		p.fails.Add(1)
 	}
 	return n
 }
@@ -224,6 +230,56 @@ func (p *Pool) put(b *Buf) {
 	// Spin until the stalled consumer finishes.
 	for !p.free.TryEnqueue(b) {
 		runtime.Gosched()
+	}
+}
+
+// putBatch returns a batch of zero-refcount buffers to the freelist with
+// batched ring enqueues (same transient-full caveat as put).
+func (p *Pool) putBatch(bufs []*Buf) {
+	p.frees.Add(uint64(len(bufs)))
+	sent := 0
+	for sent < len(bufs) {
+		n := p.free.Enqueue(bufs[sent:])
+		sent += n
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// FreeBatch drops one reference on every non-nil buffer and returns those
+// reaching zero to their pools in batched ring operations — the batch
+// analogue of calling Free in a loop on an RX burst. It compacts in place:
+// the contents of bufs are unspecified afterwards. Over-freeing panics
+// exactly as Free does.
+func FreeBatch(bufs []*Buf) {
+	var pool *Pool
+	k := 0
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		n := b.refcnt.Add(-1)
+		switch {
+		case n > 0:
+			continue
+		case n < 0:
+			panic("mempool: double free")
+		}
+		// Runs of same-pool buffers flush together; a pool change flushes the
+		// pending run first (multi-pool batches are rare but legal).
+		if b.pool != pool {
+			if k > 0 {
+				pool.putBatch(bufs[:k])
+				k = 0
+			}
+			pool = b.pool
+		}
+		bufs[k] = b // k never exceeds the read index, so this is safe
+		k++
+	}
+	if k > 0 {
+		pool.putBatch(bufs[:k])
 	}
 }
 

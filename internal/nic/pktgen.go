@@ -60,8 +60,8 @@ func NewGenerator(n *NIC, pool *mempool.Pool, spec pkt.UDPSpec, flows int) (*Gen
 				}
 			}
 			sent := n.InjectFromWire(batch[:k])
-			for _, b := range batch[sent:k] {
-				b.Free()
+			if sent < k {
+				mempool.FreeBatch(batch[sent:k])
 			}
 			g.Sent.Add(uint64(sent))
 			if sent == 0 {
@@ -108,8 +108,8 @@ func NewWireSink(n *NIC) *WireSink {
 			var bytes uint64
 			for i := 0; i < k; i++ {
 				bytes += uint64(batch[i].Len)
-				batch[i].Free()
 			}
+			mempool.FreeBatch(batch[:k])
 			s.Received.Add(uint64(k))
 			s.Bytes.Add(bytes)
 		}

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -90,8 +91,8 @@ func TestMPMCConcurrentNoLossNoDup(t *testing.T) {
 	const (
 		producers = 4
 		consumers = 4
-		perProd   = 50000
 	)
+	perProd := soakN(50000)
 	m := MustMPMC[int](256)
 	var wg sync.WaitGroup
 	results := make(chan []int, consumers)
@@ -106,6 +107,7 @@ func TestMPMCConcurrentNoLossNoDup(t *testing.T) {
 			for i := 0; i < perProd; i++ {
 				v := p*perProd + i
 				for !m.TryEnqueue(v) {
+					runtime.Gosched()
 				}
 			}
 		}(p)
@@ -138,6 +140,7 @@ func TestMPMCConcurrentNoLossNoDup(t *testing.T) {
 					results <- got
 					return
 				default:
+					runtime.Gosched()
 				}
 			}
 		}()
@@ -164,7 +167,7 @@ func TestMPMCConcurrentNoLossNoDup(t *testing.T) {
 // consumed in that producer's order (FIFO per producer) when one consumer
 // drains the ring.
 func TestMPMCPerProducerOrder(t *testing.T) {
-	const perProd = 20000
+	perProd := soakN(20000)
 	m := MustMPMC[[2]int](128)
 	var wg sync.WaitGroup
 	for p := 0; p < 3; p++ {
@@ -173,6 +176,7 @@ func TestMPMCPerProducerOrder(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perProd; i++ {
 				for !m.TryEnqueue([2]int{p, i}) {
+					runtime.Gosched()
 				}
 			}
 		}(p)
@@ -183,6 +187,7 @@ func TestMPMCPerProducerOrder(t *testing.T) {
 	for count := 0; count < 3*perProd; {
 		v, ok := m.TryDequeue()
 		if !ok {
+			runtime.Gosched()
 			continue
 		}
 		p, i := v[0], v[1]
@@ -228,7 +233,7 @@ func TestMPMCQuickModel(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickN(500)}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,10 +2,28 @@ package ring
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
 )
+
+// soakN scales a soak-test iteration count: the full run keeps the given
+// count, -short divides it by 100 so the suite finishes in seconds.
+func soakN(full int) int {
+	if testing.Short() {
+		return full / 100
+	}
+	return full
+}
+
+// quickN likewise scales a testing/quick MaxCount.
+func quickN(full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
 
 func TestNewSPSCRejectsBadCapacity(t *testing.T) {
 	for _, c := range []int{-1, 0, 1, 3, 6, 100} {
@@ -154,7 +172,7 @@ func TestSPSCPointerSlotsCleared(t *testing.T) {
 // TestSPSCConcurrentTransfer moves a large sequence through the ring with a
 // distinct producer and consumer goroutine, checking order and completeness.
 func TestSPSCConcurrentTransfer(t *testing.T) {
-	const total = 200000
+	total := soakN(200000)
 	r := MustSPSC[int](128)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -169,7 +187,11 @@ func TestSPSCConcurrentTransfer(t *testing.T) {
 			}
 			sent := 0
 			for sent < n {
-				sent += r.Enqueue(buf[sent:n])
+				k := r.Enqueue(buf[sent:n])
+				sent += k
+				if k == 0 {
+					runtime.Gosched() // consumer needs the core to drain
+				}
 			}
 			i += n
 		}
@@ -178,6 +200,9 @@ func TestSPSCConcurrentTransfer(t *testing.T) {
 	want := 0
 	for want < total {
 		n := r.Dequeue(out)
+		if n == 0 {
+			runtime.Gosched()
+		}
 		for i := 0; i < n; i++ {
 			if out[i] != want {
 				t.Fatalf("got %d, want %d", out[i], want)
@@ -194,7 +219,7 @@ func TestSPSCConcurrentTransfer(t *testing.T) {
 // TestSPSCConcurrentSingleOps is the single-element variant of the transfer
 // test, exercising TryEnqueue/TryDequeue cached-index refresh paths.
 func TestSPSCConcurrentSingleOps(t *testing.T) {
-	const total = 100000
+	total := uint64(soakN(100000))
 	r := MustSPSC[uint64](16)
 	done := make(chan struct{})
 	go func() {
@@ -202,6 +227,8 @@ func TestSPSCConcurrentSingleOps(t *testing.T) {
 		for i := uint64(0); i < total; {
 			if r.TryEnqueue(i) {
 				i++
+			} else {
+				runtime.Gosched()
 			}
 		}
 	}()
@@ -211,6 +238,8 @@ func TestSPSCConcurrentSingleOps(t *testing.T) {
 				t.Fatalf("got %d, want %d", v, want)
 			}
 			want++
+		} else {
+			runtime.Gosched()
 		}
 	}
 	<-done
@@ -286,7 +315,7 @@ func TestSPSCQuickModel(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickN(300)}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package vnf
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +86,12 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 	rxBatch := make([]*mempool.Buf, batchSize)
 	next := 0
 	for !s.stop.Load() {
+		// work tracks whether this pass moved any packet; an endpoint that is
+		// pool-starved or ring-blocked must yield instead of burning its
+		// scheduling quantum generating frames that tail-drop immediately
+		// (essential on few-core hosts, where a spinning source starves the
+		// very consumers that would relieve it).
+		work := false
 		// Generate.
 		n := s.pool.GetBatch(txBatch)
 		if n > 0 {
@@ -101,12 +108,16 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 				}
 			}
 			sent := s.pmd.Tx(txBatch[:n])
-			for _, b := range txBatch[sent:n] {
-				b.Free()
+			if sent < n {
+				mempool.FreeBatch(txBatch[sent:n])
 			}
 			s.Sent.Add(uint64(sent))
+			if sent > 0 {
+				work = true
+			}
 		}
-		// Terminate.
+		// Terminate: account first, then return the burst to the pool in one
+		// batched free.
 		k := s.pmd.Rx(rxBatch)
 		if k > 0 {
 			var now int64
@@ -120,10 +131,14 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 				if s.timestamp && b.TS != 0 {
 					s.Lat.Observe(time.Duration(now - b.TS))
 				}
-				b.Free()
 			}
+			mempool.FreeBatch(rxBatch[:k])
 			s.Received.Add(uint64(k))
 			s.RxBytes.Add(bytes)
+			work = true
+		}
+		if !work {
+			runtime.Gosched()
 		}
 	}
 }

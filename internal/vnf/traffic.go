@@ -1,6 +1,7 @@
 package vnf
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -57,8 +58,12 @@ func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpe
 		for !app.stop.Load() {
 			n := pool.GetBatch(batch)
 			if n == 0 {
-				// Pool exhausted: chain is saturated; yield and retry.
-				drain(port)
+				// Pool exhausted: the chain is saturated. Yield instead of
+				// spinning — on few-core hosts a spinning source starves the
+				// consumers whose frees would refill the pool.
+				if drain(port) == 0 {
+					runtime.Gosched()
+				}
 				continue
 			}
 			for i := 0; i < n; i++ {
@@ -69,12 +74,15 @@ func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpe
 				}
 			}
 			sent := port.Tx(batch[:n])
-			for _, b := range batch[sent:n] {
-				b.Free()
+			if sent < n {
+				mempool.FreeBatch(batch[sent:n])
 			}
 			s.Sent.Add(uint64(sent))
 			if sent == 0 {
-				drain(port)
+				// Ring full: back off until the downstream consumer runs.
+				if drain(port) == 0 {
+					runtime.Gosched()
+				}
 			}
 		}
 	}()
@@ -83,12 +91,13 @@ func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpe
 
 // drain consumes and discards anything arriving at a generator port (e.g.
 // reverse-direction traffic in a misconfigured graph) so rings cannot jam.
-func drain(pmd *dpdkr.PMD) {
+func drain(pmd *dpdkr.PMD) int {
 	var scratch [8]*mempool.Buf
 	n := pmd.Rx(scratch[:])
-	for i := 0; i < n; i++ {
-		scratch[i].Free()
+	if n > 0 {
+		mempool.FreeBatch(scratch[:n])
 	}
+	return n
 }
 
 // Stop halts the generator.

@@ -32,19 +32,19 @@ type Ctx struct {
 func (c *Ctx) Tx(out int, bufs []*mempool.Buf) {
 	pmd := c.app.pmds[out]
 	n := pmd.Tx(bufs)
-	for _, b := range bufs[n:] {
-		b.Free()
+	if n < len(bufs) {
+		mempool.FreeBatch(bufs[n:])
 	}
 	c.app.TxPackets.Add(uint64(n))
 	c.app.TxDrops.Add(uint64(len(bufs) - n))
 }
 
-// Drop frees all bufs, counting them as intentional drops.
+// Drop frees all bufs in one batched free, counting them as intentional
+// drops.
 func (c *Ctx) Drop(bufs []*mempool.Buf) {
-	for _, b := range bufs {
-		b.Free()
-	}
-	c.app.Dropped.Add(uint64(len(bufs)))
+	n := len(bufs)
+	mempool.FreeBatch(bufs)
+	c.app.Dropped.Add(uint64(n))
 }
 
 // Pool returns the app's buffer pool (for handlers that synthesize packets).

@@ -45,25 +45,29 @@ func (s *Switch) InjectPacketOut(inPort uint32, actions flow.Actions, data []byt
 	for _, a := range actions {
 		switch a.Type {
 		case flow.ActOutput:
+			e := snap.entry(a.Port)
+			if e == nil {
+				// Output to an unknown port is a no-op; the buffer stays
+				// live for later actions and is freed at the end if never
+				// moved.
+				continue
+			}
 			out := b
 			if moved {
 				out = b.Clone()
 			}
-			if e, ok := snap.byID[a.Port]; ok {
-				e.send([]*mempool.Buf{out}, true)
-			} else {
-				out.Free()
-			}
+			e.send([]*mempool.Buf{out}, true)
 			moved = true
 		case flow.ActController:
 			ev := PacketInEvent{
 				InPort: inPort,
 				Reason: 1, // OFPR_ACTION
-				Data:   append([]byte(nil), b.Bytes()...),
+				Data:   s.borrowPuntData(b.Bytes()),
 			}
 			select {
 			case s.packetIns <- ev:
 			default:
+				s.ReleasePacketIn(ev)
 			}
 		case flow.ActSetEthSrc:
 			if !moved && parser.Decoded.Has(pkt.LayerEthernet) {

@@ -85,6 +85,7 @@ func (srv *OFServer) Close() {
 func (srv *OFServer) pumpPacketIns() {
 	for {
 		var msg openflow.Msg
+		var release func()
 		select {
 		case <-srv.done:
 			return
@@ -94,6 +95,9 @@ func (srv *OFServer) pumpPacketIns() {
 				Match:  flow.MatchInPort(ev.InPort),
 				Data:   ev.Data,
 			}
+			// Send serializes synchronously, so the pooled payload can go
+			// back once every connection has been written.
+			release = func() { srv.sw.ReleasePacketIn(ev) }
 		case ev := <-srv.sw.FlowRemovals():
 			msg = openflow.FlowRemoved{
 				Cookie:      ev.Cookie,
@@ -115,6 +119,9 @@ func (srv *OFServer) pumpPacketIns() {
 			}
 		}
 		srv.mu.Unlock()
+		if release != nil {
+			release()
+		}
 	}
 }
 

@@ -10,9 +10,39 @@ import (
 	"ovshighway/internal/pkt"
 )
 
+// pktMeta is one packet's slot in the per-thread scratch array filled by the
+// parse phase of the batched pipeline. It carries everything the action
+// phase needs so the shared parser is never re-consulted per packet: the
+// packed key and its hash, the resolved flow, and the header views that
+// mutating actions write through. next chains packets of the same flow group
+// within the batch (-1 terminates).
+type pktMeta struct {
+	buf     *mempool.Buf
+	kp      flow.Packed
+	hash    uint32
+	f       *flow.Flow
+	decoded pkt.Layers
+	eth     pkt.Ethernet
+	ipv4    pkt.IPv4
+	next    int32
+}
+
+// flowGroup is one resolved flow within a batch plus the chain of packets
+// that hit it. Counters aggregate here and land on the flow with a single
+// atomic add per counter per batch, and the action list executes once per
+// group instead of once per packet.
+type flowGroup struct {
+	f           *flow.Flow
+	first, last int32
+	pkts        uint64
+	bytes       uint64
+}
+
 // pmdThread is one forwarding thread. It owns the ports whose id hashes to
 // its index, a private parser and EMC (no cross-thread sharing on the fast
-// path), and per-destination TX accumulators flushed once per input batch.
+// path), preallocated batch scratch (pktMeta/flowGroup arrays), and dense
+// per-destination TX accumulators flushed once per input batch. Steady-state
+// forwarding performs no heap allocation.
 type pmdThread struct {
 	s    *Switch
 	idx  int
@@ -26,20 +56,26 @@ type pmdThread struct {
 	parser pkt.Parser
 
 	rxBatch []*mempool.Buf
+	metas   []pktMeta
+	groups  []flowGroup
 
-	// txAcc accumulates output per destination port id within one batch;
-	// txTouched lists the ids with pending traffic (deterministic flush).
-	txAcc     map[uint32][]*mempool.Buf
-	txTouched []uint32
+	// txAcc accumulates output per destination port index within the current
+	// port snapshot (dense — no map operations on the hot path); txTouched
+	// lists the indexes with pending traffic in first-use order for a
+	// deterministic flush. Both retain their capacity across batches.
+	txAcc     [][]*mempool.Buf
+	txTouched []int
 }
 
 func newPMDThread(s *Switch, idx int) *pmdThread {
 	return &pmdThread{
-		s:       s,
-		idx:     idx,
-		emc:     flow.NewEMC(s.cfg.EMCEntries),
-		rxBatch: make([]*mempool.Buf, s.cfg.BatchSize),
-		txAcc:   make(map[uint32][]*mempool.Buf),
+		s:         s,
+		idx:       idx,
+		emc:       flow.NewEMC(s.cfg.EMCEntries),
+		rxBatch:   make([]*mempool.Buf, s.cfg.BatchSize),
+		metas:     make([]pktMeta, s.cfg.BatchSize),
+		groups:    make([]flowGroup, s.cfg.BatchSize),
+		txTouched: make([]int, 0, 8),
 	}
 }
 
@@ -72,59 +108,107 @@ func (p *pmdThread) run() {
 	}
 }
 
-// processBatch classifies and executes one input burst, then flushes the
-// per-destination accumulators.
+// processBatch runs one input burst through the two-phase pipeline:
+//
+//	phase 1 parses and classifies every packet into the scratch array
+//	(EMC first, masked classifier on miss — both on the already-packed key);
+//	phase 2 chains packets by resolved flow and executes each flow's action
+//	list once per group, then flushes the per-destination accumulators.
+//
+// Cross-flow packet order within a batch may change (groups flush in
+// first-seen order); per-flow order is preserved — the same reordering
+// window a flow-grouped hardware datapath has.
 func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portSet) {
+	if len(p.txAcc) < len(snap.order) {
+		p.txAcc = append(p.txAcc, make([][]*mempool.Buf, len(snap.order)-len(p.txAcc))...)
+	}
 	table := p.s.table
 	version := table.Version()
-	multiPMD := p.s.cfg.NumPMDs > 1
+	emcOn := !p.s.cfg.EMCDisabled
 	nowNano := time.Now().UnixNano() // amortized idle-timeout timestamp
 
+	// Phase 1: parse + classify into scratch.
+	n := int32(0)
+	var misses uint64
 	for _, b := range bufs {
 		b.Port = inPort
-		frame := b.Bytes()
-		if err := p.parser.Parse(frame); err != nil {
+		if err := p.parser.Parse(b.Bytes()); err != nil {
 			b.Free()
 			continue
 		}
 		key := flow.ExtractKey(&p.parser, inPort)
-		kp := key.Pack()
-		hash := kp.Hash()
-
+		m := &p.metas[n]
+		m.buf = b
+		m.kp = key.Pack()
+		m.hash = m.kp.Hash()
+		m.decoded = p.parser.Decoded
+		m.eth = p.parser.Eth
+		m.ipv4 = p.parser.IPv4
+		m.next = -1
 		var f *flow.Flow
-		if !p.s.cfg.EMCDisabled {
-			f = p.emc.Lookup(kp, hash, version)
+		if emcOn {
+			f = p.emc.Lookup(m.kp, m.hash, version)
 		}
 		if f == nil {
-			f = table.Lookup(&key)
-			p.s.Misses.Add(1)
-			if f != nil && !p.s.cfg.EMCDisabled {
-				p.emc.Insert(kp, hash, f, version)
+			f = table.LookupPacked(&m.kp)
+			misses++
+			if f != nil && emcOn {
+				p.emc.Insert(m.kp, m.hash, f, version)
 			}
 		}
-		if f == nil {
-			p.tableMiss(inPort, b)
+		m.f = f
+		n++
+	}
+	if misses > 0 {
+		p.s.Misses.Add(misses)
+	}
+
+	// Phase 2: group by flow. Bursts carry few distinct flows, so a linear
+	// scan over the open groups beats any allocation-bearing structure.
+	ng := 0
+	for i := int32(0); i < n; i++ {
+		m := &p.metas[i]
+		if m.f == nil {
+			p.tableMiss(inPort, m.buf)
+			m.buf = nil
 			continue
 		}
-		f.Packets.Add(1)
-		f.Bytes.Add(uint64(b.Len))
-		f.Touch(nowNano)
-		p.execute(b, f.Actions, snap)
+		gi := 0
+		for ; gi < ng; gi++ {
+			if p.groups[gi].f == m.f {
+				break
+			}
+		}
+		if gi == ng {
+			p.groups[ng] = flowGroup{f: m.f, first: i, last: i, pkts: 1, bytes: uint64(m.buf.Len)}
+			ng++
+			continue
+		}
+		g := &p.groups[gi]
+		p.metas[g.last].next = i
+		g.last = i
+		g.pkts++
+		g.bytes += uint64(m.buf.Len)
+	}
+
+	for gi := 0; gi < ng; gi++ {
+		g := &p.groups[gi]
+		g.f.Packets.Add(g.pkts)
+		g.f.Bytes.Add(g.bytes)
+		g.f.Touch(nowNano)
+		p.executeGroup(g, snap)
 	}
 
 	// Flush accumulated outputs.
-	for _, id := range p.txTouched {
-		batch := p.txAcc[id]
-		if e, ok := snap.byID[id]; ok {
-			e.send(batch, multiPMD)
-		} else {
-			for _, b := range batch {
-				b.Free()
-			}
+	if len(p.txTouched) > 0 {
+		multiPMD := p.s.cfg.NumPMDs > 1
+		for _, idx := range p.txTouched {
+			batch := p.txAcc[idx]
+			snap.order[idx].send(batch, multiPMD)
+			p.txAcc[idx] = batch[:0]
 		}
-		p.txAcc[id] = batch[:0]
+		p.txTouched = p.txTouched[:0]
 	}
-	p.txTouched = p.txTouched[:0]
 }
 
 func (p *pmdThread) tableMiss(inPort uint32, b *mempool.Buf) {
@@ -134,75 +218,115 @@ func (p *pmdThread) tableMiss(inPort uint32, b *mempool.Buf) {
 	b.Free()
 }
 
-// punt copies the frame to the controller queue (best effort: a slow or
-// absent controller must not stall the datapath).
+// punt copies the frame into a pooled payload and hands it to the controller
+// queue (best effort: a slow or absent controller must not stall the
+// datapath; on overflow the copy goes straight back to the pool).
 func (p *pmdThread) punt(inPort uint32, b *mempool.Buf, reason uint8) {
 	ev := PacketInEvent{
 		InPort: inPort,
 		Reason: reason,
-		Data:   append([]byte(nil), b.Bytes()...),
+		Data:   p.s.borrowPuntData(b.Bytes()),
 	}
 	select {
 	case p.s.packetIns <- ev:
 	default:
+		p.s.ReleasePacketIn(ev)
 	}
 }
 
-// execute runs the action list on b. Ownership: b is consumed (either moved
-// into a TX accumulator, or freed). Header-mutating actions only apply
-// before the first output: once the buffer has been handed to a destination
-// (clones share storage), mutating it would corrupt the copy already sent.
-// OpenFlow action lists emitted by this system always mutate before output.
-func (p *pmdThread) execute(b *mempool.Buf, actions flow.Actions, snap *portSet) {
+// executeGroup runs the group's action list once, applying each action to
+// every live packet in the group chain. Ownership: every chained buffer is
+// consumed (moved into a TX accumulator, or freed). Header-mutating actions
+// only apply before the first output: once a buffer has been handed to a
+// destination (clones share storage), mutating it would corrupt the copy
+// already sent. OpenFlow action lists emitted by this system always mutate
+// before output. A packet dropped mid-list (TTL expiry) marks its meta slot
+// nil and later actions skip it.
+func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 	moved := false
-	for _, a := range actions {
+	for _, a := range g.f.Actions {
 		switch a.Type {
 		case flow.ActOutput:
-			out := b
-			if moved {
-				out = b.Clone()
+			dstIdx, ok := snap.byID[a.Port]
+			if !ok {
+				// Unknown/removed destination: outputting nowhere is a
+				// no-op. The buffers stay live for any later action and are
+				// freed at the end if nothing moves them — freeing here
+				// would leave freed buffers chained for later actions.
+				continue
 			}
-			p.accumulate(a.Port, out)
+			for i := g.first; i >= 0; i = p.metas[i].next {
+				m := &p.metas[i]
+				if m.buf == nil {
+					continue
+				}
+				out := m.buf
+				if moved {
+					out = out.Clone()
+				}
+				if len(p.txAcc[dstIdx]) == 0 {
+					p.txTouched = append(p.txTouched, dstIdx)
+				}
+				p.txAcc[dstIdx] = append(p.txAcc[dstIdx], out)
+			}
 			moved = true
 		case flow.ActController:
-			p.punt(b.Port, b, 1 /* OFPR_ACTION */)
+			for i := g.first; i >= 0; i = p.metas[i].next {
+				if m := &p.metas[i]; m.buf != nil {
+					p.punt(m.buf.Port, m.buf, 1 /* OFPR_ACTION */)
+				}
+			}
 		case flow.ActDrop:
 			if !moved {
-				b.Free()
+				p.freeGroup(g)
 			}
 			return
 		case flow.ActSetEthSrc:
-			if !moved && p.parser.Decoded.Has(pkt.LayerEthernet) {
-				p.parser.Eth.SetSrc(a.MAC)
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					if m := &p.metas[i]; m.buf != nil && m.decoded.Has(pkt.LayerEthernet) {
+						m.eth.SetSrc(a.MAC)
+					}
+				}
 			}
 		case flow.ActSetEthDst:
-			if !moved && p.parser.Decoded.Has(pkt.LayerEthernet) {
-				p.parser.Eth.SetDst(a.MAC)
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					if m := &p.metas[i]; m.buf != nil && m.decoded.Has(pkt.LayerEthernet) {
+						m.eth.SetDst(a.MAC)
+					}
+				}
 			}
 		case flow.ActDecTTL:
-			if !moved && p.parser.Decoded.Has(pkt.LayerIPv4) {
-				ttl := p.parser.IPv4.TTL()
-				if ttl <= 1 {
-					b.Free()
-					return
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					m := &p.metas[i]
+					if m.buf == nil || !m.decoded.Has(pkt.LayerIPv4) {
+						continue
+					}
+					ttl := m.ipv4.TTL()
+					if ttl <= 1 {
+						m.buf.Free()
+						m.buf = nil
+						continue
+					}
+					m.ipv4.SetTTL(ttl - 1)
+					m.ipv4.UpdateChecksum()
 				}
-				p.parser.IPv4.SetTTL(ttl - 1)
-				p.parser.IPv4.UpdateChecksum()
 			}
 		}
 	}
 	if !moved {
-		b.Free()
+		p.freeGroup(g)
 	}
 }
 
-func (p *pmdThread) accumulate(dst uint32, b *mempool.Buf) {
-	batch, ok := p.txAcc[dst]
-	if !ok || len(batch) == 0 {
-		if !ok {
-			p.txAcc[dst] = nil
+// freeGroup frees every live buffer in the group chain.
+func (p *pmdThread) freeGroup(g *flowGroup) {
+	for i := g.first; i >= 0; i = p.metas[i].next {
+		if m := &p.metas[i]; m.buf != nil {
+			m.buf.Free()
+			m.buf = nil
 		}
-		p.txTouched = append(p.txTouched, dst)
 	}
-	p.txAcc[dst] = append(batch, b)
 }

@@ -68,8 +68,8 @@ type PortStatsView struct {
 // directly to the peer), tx_* counts packets delivered out of the datapath
 // to the VM.
 func (s *Switch) PortStats(id uint32) (PortStatsView, bool) {
-	e, ok := s.portsSnap.Load().byID[id]
-	if !ok {
+	e := s.portsSnap.Load().entry(id)
+	if e == nil {
 		return PortStatsView{}, false
 	}
 	c := e.port.PortCounters()

@@ -97,9 +97,33 @@ func (e *portEntry) send(bufs []*mempool.Buf, locked bool) int {
 	return e.port.Send(bufs)
 }
 
+// portSet is a copy-on-write snapshot of the attached ports. order is the
+// dense index domain the PMD TX accumulators use; byID maps a port id to its
+// index in order. Indexes are snapshot-local: a PMD resolves and flushes
+// within one snapshot, so they never cross snapshots.
 type portSet struct {
-	byID  map[uint32]*portEntry
+	byID  map[uint32]int
 	order []*portEntry // ascending port id, deterministic polling order
+}
+
+// buildPortSet sorts entries by port id and indexes them.
+func buildPortSet(entries []*portEntry) *portSet {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].port.PortID() < entries[j].port.PortID()
+	})
+	ps := &portSet{byID: make(map[uint32]int, len(entries)), order: entries}
+	for i, e := range entries {
+		ps.byID[e.port.PortID()] = i
+	}
+	return ps
+}
+
+// entry returns the port entry for id, or nil.
+func (ps *portSet) entry(id uint32) *portEntry {
+	if i, ok := ps.byID[id]; ok {
+		return ps.order[i]
+	}
+	return nil
 }
 
 // Switch is the forwarding engine plus its control surfaces.
@@ -127,6 +151,10 @@ type Switch struct {
 	injectMu   sync.Mutex
 	injectPool *mempool.Pool
 
+	// puntPool recycles packet-in payload copies: punts borrow a []byte here
+	// instead of allocating per packet, and ReleasePacketIn returns it.
+	puntPool sync.Pool
+
 	pmds    []*pmdThread
 	started atomic.Bool
 	stopped atomic.Bool
@@ -149,8 +177,29 @@ func New(cfg Config) *Switch {
 		foldedRx:     make(map[uint32]stats.Snapshot),
 		foldedTx:     make(map[uint32]stats.Snapshot),
 	}
-	s.portsSnap.Store(&portSet{byID: map[uint32]*portEntry{}})
+	s.portsSnap.Store(&portSet{byID: map[uint32]int{}})
 	return s
+}
+
+// borrowPuntData copies src into a pooled payload buffer.
+func (s *Switch) borrowPuntData(src []byte) []byte {
+	var data []byte
+	if v := s.puntPool.Get(); v != nil {
+		data = (*v.(*[]byte))[:0]
+	}
+	return append(data, src...)
+}
+
+// ReleasePacketIn returns a consumed packet-in's payload to the punt pool.
+// Calling it is optional — consumers that retain ev.Data simply never
+// release it and the copy is garbage collected — but after a release the
+// payload must no longer be read.
+func (s *Switch) ReleasePacketIn(ev PacketInEvent) {
+	if ev.Data == nil {
+		return
+	}
+	d := ev.Data[:0]
+	s.puntPool.Put(&d)
 }
 
 // Table exposes the flow table (for the OpenFlow front-end and the
@@ -171,18 +220,10 @@ func (s *Switch) AddPort(p DataPort) error {
 	if _, dup := old.byID[p.PortID()]; dup {
 		return fmt.Errorf("vswitch: port id %d in use", p.PortID())
 	}
-	next := &portSet{byID: make(map[uint32]*portEntry, len(old.byID)+1)}
-	for id, e := range old.byID {
-		next.byID[id] = e
-		next.order = append(next.order, e)
-	}
-	e := &portEntry{port: p}
-	next.byID[p.PortID()] = e
-	next.order = append(next.order, e)
-	sort.Slice(next.order, func(i, j int) bool {
-		return next.order[i].port.PortID() < next.order[j].port.PortID()
-	})
-	s.portsSnap.Store(next)
+	entries := make([]*portEntry, 0, len(old.order)+1)
+	entries = append(entries, old.order...)
+	entries = append(entries, &portEntry{port: p})
+	s.portsSnap.Store(buildPortSet(entries))
 	return nil
 }
 
@@ -195,23 +236,19 @@ func (s *Switch) RemovePort(id uint32) error {
 	if _, ok := old.byID[id]; !ok {
 		return fmt.Errorf("vswitch: port id %d not found", id)
 	}
-	next := &portSet{byID: make(map[uint32]*portEntry, len(old.byID)-1)}
-	for pid, e := range old.byID {
-		if pid != id {
-			next.byID[pid] = e
-			next.order = append(next.order, e)
+	entries := make([]*portEntry, 0, len(old.order)-1)
+	for _, e := range old.order {
+		if e.port.PortID() != id {
+			entries = append(entries, e)
 		}
 	}
-	sort.Slice(next.order, func(i, j int) bool {
-		return next.order[i].port.PortID() < next.order[j].port.PortID()
-	})
-	s.portsSnap.Store(next)
+	s.portsSnap.Store(buildPortSet(entries))
 	return nil
 }
 
 // Port returns the port with the given id, or nil.
 func (s *Switch) Port(id uint32) DataPort {
-	if e, ok := s.portsSnap.Load().byID[id]; ok {
+	if e := s.portsSnap.Load().entry(id); e != nil {
 		return e.port
 	}
 	return nil

@@ -214,6 +214,38 @@ func TestMulticastOutput(t *testing.T) {
 	}
 }
 
+// TestOutputToRemovedPortSkipsToNextOutput pins the dead-destination
+// semantics: an output action naming a port absent from the snapshot is a
+// no-op — the packet must still reach later outputs in the same action list
+// (and must not be freed while chained, which would be a use-after-free).
+func TestOutputToRemovedPortSkipsToNextOutput(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	// Output first to a never-attached port 9, then to the live port 2.
+	env.sw.Table().Add(10, flow.MatchInPort(1),
+		flow.Actions{flow.Output(9), flow.Output(2)}, 0)
+
+	env.sendUDP(t, 1, defaultSpec)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet lost after dead output")
+	}
+	if b.Refcnt() != 1 {
+		t.Fatalf("refcnt = %d, want 1 (dead output must not clone or free)", b.Refcnt())
+	}
+	b.Free()
+
+	// All-dead action list: the packet must be freed exactly once.
+	env.sw.Table().Add(20, flow.MatchInPort(1), flow.Actions{flow.Output(9)}, 0)
+	env.sendUDP(t, 1, defaultSpec)
+	deadline := time.Now().Add(time.Second)
+	for env.pool.Avail() != env.pool.Cap() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if env.pool.Avail() != env.pool.Cap() {
+		t.Fatalf("buffer leaked on all-dead output: %d/%d", env.pool.Avail(), env.pool.Cap())
+	}
+}
+
 func TestFlowModChangeRedirectsTraffic(t *testing.T) {
 	env := newEnv(t, Config{}, 3)
 	env.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
