@@ -30,13 +30,11 @@ type Chain struct {
 	nics []*nic.NIC
 }
 
-// DeployBidirChain deploys the paper's Figure 3(a) workload: n forwarder VMs
-// in a line with a combined source/sink VM at each end, bidirectional 64B
-// traffic. The number of VMs in the paper's x-axis sense is n+2.
-func (node *Node) DeployBidirChain(n int, opts ChainOptions) (*Chain, error) {
-	g := graph.BidirChain(n)
-	// Inject per-end traffic args (mirror the 5-tuple for the reverse
-	// direction so both ends generate sane, distinct flows).
+// applyBidirEndpointArgs injects per-end traffic args into a bidirectional
+// chain graph (mirror the 5-tuple for the reverse direction so both ends
+// generate sane, distinct flows). Shared by the single-node and the
+// cluster split-chain deployers.
+func applyBidirEndpointArgs(g *graph.Graph, opts ChainOptions) {
 	for i := range g.VNFs {
 		switch g.VNFs[i].Name {
 		case "end0":
@@ -53,6 +51,14 @@ func (node *Node) DeployBidirChain(n int, opts ChainOptions) (*Chain, error) {
 			}
 		}
 	}
+}
+
+// DeployBidirChain deploys the paper's Figure 3(a) workload: n forwarder VMs
+// in a line with a combined source/sink VM at each end, bidirectional 64B
+// traffic. The number of VMs in the paper's x-axis sense is n+2.
+func (node *Node) DeployBidirChain(n int, opts ChainOptions) (*Chain, error) {
+	g := graph.BidirChain(n)
+	applyBidirEndpointArgs(g, opts)
 	d, err := node.Deploy(g)
 	if err != nil {
 		return nil, err
@@ -120,7 +126,9 @@ func (c *Chain) Stop() {
 		s.Stop()
 	}
 	for _, dev := range c.nics {
-		_ = c.node.inner.Switch.RemovePort(dev.PortID())
+		// Through RemoveNIC (not bare RemovePort) so the name registration
+		// dies with the port and a later chain can reuse it.
+		_ = c.node.inner.RemoveNIC(dev.PortName())
 	}
 	// Wait out PMD iterations still holding the old port snapshot: draining
 	// a queue the datapath is also consuming would break the SPSC contract.

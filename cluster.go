@@ -1,0 +1,203 @@
+package highway
+
+import (
+	"fmt"
+	"time"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/orchestrator"
+	"ovshighway/internal/vnf"
+)
+
+// ClusterConfig parametrizes StartCluster. The embedded Config applies to
+// every node (OpenFlowAddr is per-node state and is ignored here).
+type ClusterConfig struct {
+	Config
+	// Nodes names the compute nodes, in placement order; the first is the
+	// default target for unplaced VNFs. Default: {"node0", "node1"}.
+	Nodes []string
+	// WireRatePps caps each direction of every inter-node wire NIC
+	// (0 = 10G line rate for 64B frames, negative = unlimited).
+	WireRatePps float64
+	// WireLatency adds per-direction propagation delay on the wires.
+	WireLatency time.Duration
+}
+
+// Cluster is a running set of NFV nodes connected by simulated wires.
+// Service graphs deployed on it are partitioned by per-VNF placement
+// (graph.VNF.Node); hops between co-located VNFs behave exactly as on a
+// single node — including, in highway mode, transparent bypass — while
+// hops that cross nodes ride NIC-to-NIC wires.
+type Cluster struct {
+	inner *orchestrator.Cluster
+	wcfg  orchestrator.WireConfig
+}
+
+// StartCluster boots cfg.Nodes NFV nodes, each with its own vSwitch,
+// agent, packet pool and (in highway mode) detector and bypass manager.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	names := cfg.Nodes
+	if len(names) == 0 {
+		names = []string{"node0", "node1"}
+	}
+	inner, err := orchestrator.NewCluster(names, cfg.Config.nodeConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		inner: inner,
+		wcfg: orchestrator.WireConfig{
+			RatePps: cfg.WireRatePps,
+			Latency: cfg.WireLatency,
+		},
+	}, nil
+}
+
+// Stop shuts every node down.
+func (c *Cluster) Stop() { c.inner.Stop() }
+
+// Mode returns the cluster's datapath mode.
+func (c *Cluster) Mode() Mode { return c.inner.Mode() }
+
+// NodeNames returns the node names in placement order.
+func (c *Cluster) NodeNames() []string { return c.inner.NodeNames() }
+
+// BypassCount reports the number of live bypass channels cluster-wide.
+func (c *Cluster) BypassCount() int { return c.inner.BypassLinkCount() }
+
+// NodeBypassCount reports the live bypass channels on one node.
+func (c *Cluster) NodeBypassCount(name string) int {
+	n := c.inner.Node(name)
+	if n == nil {
+		return 0
+	}
+	return n.Switch.BypassLinkCount()
+}
+
+// WaitBypasses blocks (bounded) until exactly want bypasses are live
+// across the cluster.
+func (c *Cluster) WaitBypasses(want int) bool { return c.inner.WaitBypassCount(want) }
+
+// Deploy partitions g by VNF placement and lowers each partition on its
+// node, wiring the boundaries.
+func (c *Cluster) Deploy(g *Graph) (*ClusterDeployment, error) {
+	cd, err := c.inner.Deploy(g, c.wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterDeployment{inner: cd}, nil
+}
+
+// Internal returns the underlying orchestrator cluster, for advanced
+// callers.
+func (c *Cluster) Internal() *orchestrator.Cluster { return c.inner }
+
+// ClusterDeployment is a service graph deployed across a cluster.
+type ClusterDeployment struct {
+	inner *orchestrator.ClusterDeployment
+}
+
+// Stop tears the deployment down on every node and dismantles the wires.
+func (d *ClusterDeployment) Stop() { d.inner.Stop() }
+
+// Internal returns the underlying cluster deployment.
+func (d *ClusterDeployment) Internal() *orchestrator.ClusterDeployment { return d.inner }
+
+// SplitChain is a bidirectional benchmark chain deployed across cluster
+// nodes, with the same measurement hooks as Chain.
+type SplitChain struct {
+	dep      *ClusterDeployment
+	n        int
+	segments []int
+	ends     []*vnf.SrcSink
+}
+
+// DeploySplitChain deploys the Figure 3(a) bidirectional chain of n
+// forwarder VMs with its VM sequence placed across the given nodes in
+// contiguous, evenly-sized segments (nil nodes = all cluster nodes in
+// order). It mirrors Node.DeployBidirChain: the paper's x-axis VM count is
+// n+2, and in highway mode every intra-node hop still becomes a bypass —
+// only the len(nodes)-1 wire hops stay on the NIC path.
+func (c *Cluster) DeploySplitChain(n int, nodes []string, opts ChainOptions) (*SplitChain, error) {
+	if len(nodes) == 0 {
+		nodes = c.NodeNames()
+	}
+	if len(nodes) > n+2 {
+		nodes = nodes[:n+2]
+	}
+	g := graph.SplitBidirChain(n, nodes)
+	applyBidirEndpointArgs(g, opts)
+	dep, err := c.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	sc := &SplitChain{dep: dep, n: n}
+	// Derive the segment sizes from the placement the graph actually got,
+	// so ExpectedBypasses can never drift from SplitBidirChain's layout.
+	counts := make(map[string]int, len(nodes))
+	for _, v := range g.VNFs {
+		counts[v.Node]++
+	}
+	for _, name := range nodes {
+		if k := counts[name]; k > 0 {
+			sc.segments = append(sc.segments, k)
+		}
+	}
+	for _, name := range []string{"end0", "end1"} {
+		ss := dep.inner.SrcSink(name)
+		if ss == nil {
+			dep.Stop()
+			return nil, fmt.Errorf("splitchain: endpoint %s missing after deploy", name)
+		}
+		sc.ends = append(sc.ends, ss)
+	}
+	return sc, nil
+}
+
+// Stop tears the chain down across all nodes.
+func (c *SplitChain) Stop() { c.dep.Stop() }
+
+// Length returns the number of forwarder VMs.
+func (c *SplitChain) Length() int { return c.n }
+
+// Segments returns the number of chain VMs placed on each node, in node
+// order.
+func (c *SplitChain) Segments() []int { return append([]int(nil), c.segments...) }
+
+// ResetWindow zeroes all measurement counters.
+func (c *SplitChain) ResetWindow() {
+	for _, e := range c.ends {
+		e.ResetWindow()
+	}
+}
+
+// RatePps returns the aggregate receive rate of both chain ends.
+func (c *SplitChain) RatePps() float64 {
+	var total float64
+	for _, e := range c.ends {
+		total += e.RatePps()
+	}
+	return total
+}
+
+// MeasureMpps runs a fresh measurement window and returns the aggregate
+// throughput in Mpps.
+func (c *SplitChain) MeasureMpps(window time.Duration) float64 {
+	c.ResetWindow()
+	time.Sleep(window)
+	return c.RatePps() / 1e6
+}
+
+// ExpectedBypasses returns the number of directed bypass links a highway
+// cluster should establish for this chain: every intra-node VM↔VM hop in
+// both directions. A segment of k VMs contributes k-1 hops; the wire hops
+// between segments cannot bypass.
+func (c *SplitChain) ExpectedBypasses() int {
+	hops := 0
+	for _, k := range c.segments {
+		if k > 1 {
+			hops += k - 1
+		}
+	}
+	return 2 * hops
+}

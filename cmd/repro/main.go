@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro                 # everything
-//	repro -exp fig3a      # one experiment: fig3a | fig3b | latency | setup
+//	repro -exp fig3a      # one experiment: fig3a | fig3b | multinode | latency | setup
 //	repro -window 1s      # longer measurement windows for stabler numbers
 package main
 
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -45,6 +45,7 @@ func main() {
 
 	run("fig3a", func() error { return fig3a(cfg) })
 	run("fig3b", func() error { return fig3b(cfg) })
+	run("multinode", func() error { return multinode(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
 	// The strict pass/fail gate is opt-in only: a noisy host failing the
@@ -125,6 +126,27 @@ func fig3b(cfg highway.ExperimentConfig) error {
 			return err
 		}
 		fmt.Printf("%8d %22.3f %22.3f %7.2fx\n", vms, v.Mpps, h.Mpps, h.Mpps/v.Mpps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func multinode(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Multi-node: bidirectional chains split across 2 nodes joined by a 10G wire ===")
+	fmt.Println("    (beyond the paper: intra-node hops still bypass; the wire hop cannot)")
+	fmt.Printf("%8s %9s %22s %22s %8s %9s\n",
+		"# VMs", "split", "vanilla cluster [Mpps]", "highway cluster [Mpps]", "speedup", "bypasses")
+	for vms := 3; vms <= 8; vms++ {
+		v, err := highway.RunMultiNodePoint(vms, highway.ModeVanilla, cfg)
+		if err != nil {
+			return err
+		}
+		h, err := highway.RunMultiNodePoint(vms, highway.ModeHighway, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %6d+%-2d %22.3f %22.3f %7.2fx %9d\n",
+			vms, h.Segments[0], h.Segments[1], v.Mpps, h.Mpps, h.Mpps/v.Mpps, h.Bypasses)
 	}
 	fmt.Println()
 	return nil

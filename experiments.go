@@ -119,6 +119,67 @@ func RunFig3b(vmCounts []int, cfg ExperimentConfig) ([]ThroughputRow, error) {
 	return rows, nil
 }
 
+// MultiNodeRow is one point of the 2-node split-chain experiment: a
+// Fig-3a-style bidirectional chain whose VM sequence is split contiguously
+// across two nodes joined by a simulated wire.
+type MultiNodeRow struct {
+	VMs      int // total chain VMs (both endpoints included), paper x-axis
+	Mode     Mode
+	Mpps     float64
+	Bypasses int   // live bypasses while measuring (0 in vanilla mode)
+	Segments []int // chain VMs per node
+}
+
+// RunMultiNodePoint measures one 2-node split-chain point: vms total VMs
+// (so vms-2 forwarders) split across nodes "node-a"/"node-b". Intra-node
+// hops can bypass in highway mode; the inter-node hop rides a NIC-to-NIC
+// wire at 10G line rate in either mode.
+func RunMultiNodePoint(vms int, mode Mode, cfg ExperimentConfig) (MultiNodeRow, error) {
+	cfg.fill()
+	if vms < 2 {
+		return MultiNodeRow{}, fmt.Errorf("multinode: need >= 2 VMs, got %d", vms)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Config: Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled},
+		Nodes:  []string{"node-a", "node-b"},
+	})
+	if err != nil {
+		return MultiNodeRow{}, err
+	}
+	defer cluster.Stop()
+	chain, err := cluster.DeploySplitChain(vms-2, nil, ChainOptions{Flows: cfg.Flows})
+	if err != nil {
+		return MultiNodeRow{}, err
+	}
+	defer chain.Stop()
+	if mode == ModeHighway && !cluster.WaitBypasses(chain.ExpectedBypasses()) {
+		return MultiNodeRow{}, fmt.Errorf("multinode: bypasses not established (%d live, want %d)",
+			cluster.BypassCount(), chain.ExpectedBypasses())
+	}
+	time.Sleep(cfg.Warmup)
+	mpps := chain.MeasureMpps(cfg.Window)
+	return MultiNodeRow{
+		VMs: vms, Mode: mode, Mpps: mpps,
+		Bypasses: cluster.BypassCount(),
+		Segments: chain.Segments(),
+	}, nil
+}
+
+// RunMultiNode sweeps split-chain lengths for both modes.
+func RunMultiNode(vmCounts []int, cfg ExperimentConfig) ([]MultiNodeRow, error) {
+	var rows []MultiNodeRow
+	for _, vms := range vmCounts {
+		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
+			r, err := RunMultiNodePoint(vms, mode, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
 // LatencyRow is one point of the latency experiment (E3).
 type LatencyRow struct {
 	VMs     int

@@ -77,10 +77,11 @@ type Node struct {
 	ofsrv *vswitch.OFServer
 }
 
-// Start boots a node: switch PMDs running, agent ready, and (in highway
-// mode) detector and bypass manager live.
-func Start(cfg Config) (*Node, error) {
-	inner, err := orchestrator.NewNode(orchestrator.NodeConfig{
+// nodeConfig lowers the public Config to the orchestrator's NodeConfig —
+// the single mapping Start and StartCluster both use, so node and cluster
+// deployments can never diverge on a config field.
+func (cfg Config) nodeConfig() orchestrator.NodeConfig {
+	return orchestrator.NodeConfig{
 		Mode: cfg.Mode,
 		Switch: vswitch.Config{
 			NumPMDs:     cfg.NumPMDs,
@@ -93,7 +94,13 @@ func Start(cfg Config) (*Node, error) {
 		RingSize:   cfg.RingSize,
 		PoolSize:   cfg.PoolSize,
 		OnBypassUp: cfg.OnBypassUp,
-	})
+	}
+}
+
+// Start boots a node: switch PMDs running, agent ready, and (in highway
+// mode) detector and bypass manager live.
+func Start(cfg Config) (*Node, error) {
+	inner, err := orchestrator.NewNode(cfg.nodeConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -618,3 +618,81 @@ func BenchmarkEMCLookupHit(b *testing.B) {
 		}
 	}
 }
+
+func TestAddBatchInsertsWithOneRebuild(t *testing.T) {
+	tb := NewTable()
+	v0 := tb.Version()
+	specs := make([]FlowSpec, 8)
+	for i := range specs {
+		specs[i] = FlowSpec{Priority: 10, Match: MatchInPort(uint32(i + 1)), Actions: Actions{Output(uint32(i + 2))}}
+	}
+	flows := tb.AddBatch(specs)
+	if len(flows) != len(specs) {
+		t.Fatalf("AddBatch returned %d flows, want %d", len(flows), len(specs))
+	}
+	if got := tb.Version() - v0; got != 1 {
+		t.Fatalf("AddBatch bumped the version %d times, want 1 rebuild", got)
+	}
+	if tb.Len() != len(specs) {
+		t.Fatalf("table has %d flows, want %d", tb.Len(), len(specs))
+	}
+	for i := range specs {
+		k := key(uint32(i+1), 1, 2, pkt.ProtoUDP, 10, 20)
+		if f := tb.Lookup(&k); f != flows[i] {
+			t.Fatalf("lookup in_port=%d returned %v, want batch flow %d", i+1, f, i)
+		}
+	}
+}
+
+func TestAddBatchReplaceSemantics(t *testing.T) {
+	tb := NewTable()
+	rec := &recListener{}
+	old := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	tb.AddListener(rec)
+
+	// Second spec replaces the pre-existing flow; the third replaces the
+	// first spec of this very batch (later spec wins, as sequential Adds).
+	flows := tb.AddBatch([]FlowSpec{
+		{Priority: 10, Match: MatchInPort(5), Actions: Actions{Output(6)}},
+		{Priority: 10, Match: MatchInPort(1), Actions: Actions{Output(3)}},
+		{Priority: 10, Match: MatchInPort(5), Actions: Actions{Output(7)}},
+	})
+	if tb.Len() != 2 {
+		t.Fatalf("table has %d flows, want 2", tb.Len())
+	}
+	k := key(1, 1, 2, pkt.ProtoUDP, 10, 20)
+	if f := tb.Lookup(&k); f != flows[1] {
+		t.Fatalf("in_port=1 lookup = %v, want replacement flow", f)
+	}
+	k5 := key(5, 1, 2, pkt.ProtoUDP, 10, 20)
+	if f := tb.Lookup(&k5); f != flows[2] {
+		t.Fatalf("in_port=5 lookup = %v, want last in-batch flow", f)
+	}
+	wantAdded := []*Flow{flows[0], flows[1], flows[2]}
+	wantRemoved := []*Flow{old, flows[0]}
+	if len(rec.added) != len(wantAdded) || len(rec.removed) != len(wantRemoved) {
+		t.Fatalf("listener saw %d added / %d removed, want %d / %d",
+			len(rec.added), len(rec.removed), len(wantAdded), len(wantRemoved))
+	}
+	for i := range wantAdded {
+		if rec.added[i] != wantAdded[i] {
+			t.Fatalf("added[%d] mismatch", i)
+		}
+	}
+	for i := range wantRemoved {
+		if rec.removed[i] != wantRemoved[i] {
+			t.Fatalf("removed[%d] mismatch", i)
+		}
+	}
+}
+
+func TestAddBatchEmpty(t *testing.T) {
+	tb := NewTable()
+	v0 := tb.Version()
+	if got := tb.AddBatch(nil); got != nil {
+		t.Fatalf("AddBatch(nil) = %v, want nil", got)
+	}
+	if tb.Version() != v0 {
+		t.Fatal("AddBatch(nil) must not rebuild")
+	}
+}

@@ -203,6 +203,73 @@ func (t *Table) AddWithTimeouts(priority uint16, m Match, actions Actions, cooki
 	return f
 }
 
+// FlowSpec describes one flow for batched insertion via AddBatch.
+type FlowSpec struct {
+	Priority uint16
+	Match    Match
+	Actions  Actions
+	Cookie   uint64
+	// IdleTO/HardTO are OpenFlow timeouts in seconds (0 = permanent).
+	IdleTO uint16
+	HardTO uint16
+	Flags  uint16
+}
+
+// AddBatch inserts all specs under one mutation lock with a single
+// classifier rebuild, and returns the inserted flows in spec order.
+// Installing n rules through Add rebuilds the snapshot n times (O(n²) work
+// across a deploy laying down a whole service graph); AddBatch is the bulk
+// path the steering-rule installers use. Replacement semantics match Add,
+// including between two specs of the same priority and match within one
+// batch (the later spec wins). Listeners observe the same removed/added
+// sequence they would under per-flow Add calls.
+func (t *Table) AddBatch(specs []FlowSpec) []*Flow {
+	if len(specs) == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	out := make([]*Flow, len(specs))
+	replaced := make([]*Flow, len(specs)) // nil where the spec was a fresh insert
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for si, sp := range specs {
+		f := &Flow{
+			Priority: sp.Priority,
+			Match:    sp.Match,
+			Actions:  append(Actions(nil), sp.Actions...),
+			Cookie:   sp.Cookie,
+			IdleTO:   sp.IdleTO,
+			HardTO:   sp.HardTO,
+			Flags:    sp.Flags,
+			created:  now,
+		}
+		f.lastHit.Store(now)
+		out[si] = f
+		found := false
+		for i, old := range t.flows {
+			if old.Priority == sp.Priority && old.Match.Equal(sp.Match) {
+				t.flows[i] = f
+				replaced[si] = old
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.flows = append(t.flows, f)
+		}
+	}
+	t.rebuildLocked()
+	for si, f := range out {
+		for _, l := range t.listeners {
+			if replaced[si] != nil {
+				l.FlowRemoved(replaced[si])
+			}
+			l.FlowAdded(f)
+		}
+	}
+	return out
+}
+
 // DeleteStrict removes the flow with exactly this priority and match,
 // reporting whether one was removed.
 func (t *Table) DeleteStrict(priority uint16, m Match) bool {

@@ -40,6 +40,11 @@ type VNF struct {
 	// firewalls, a pkt.UDPSpec for sources). Interpreted by the
 	// orchestrator's factories.
 	Args any
+	// Node names the compute node this VNF is placed on. Empty means the
+	// deployment's default node; single-node deployments ignore placement
+	// entirely. Cluster deployments partition the graph by this label (see
+	// Partition).
+	Node string
 }
 
 // EndpointKind discriminates edge endpoints.
@@ -123,6 +128,172 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CrossEdge is one graph edge that crosses a node boundary after
+// partitioning. The partitioner replaces it with two local NIC-terminated
+// edges (one per side) and records here which synthesized NICs must be
+// joined by a wire.
+type CrossEdge struct {
+	// Index is the position of the original edge in Graph.Edges.
+	Index int
+	// NodeA/NodeB are the nodes hosting the edge's A/B endpoints.
+	NodeA, NodeB string
+	// NICA/NICB are the synthesized NIC names on each side; the deployer
+	// attaches a NIC under each name and wires them together.
+	NICA, NICB string
+	// Bidirectional mirrors the original edge.
+	Bidirectional bool
+}
+
+// Partition is a service graph split across compute nodes: one local graph
+// per node (with NIC endpoints auto-inserted where edges cross a boundary)
+// plus the list of crossings to realize as wires.
+type Partition struct {
+	// Local maps node name → the node-local subgraph. Only nodes that host
+	// at least one VNF appear.
+	Local map[string]*Graph
+	// Cross lists the boundary crossings in Graph.Edges order.
+	Cross []CrossEdge
+}
+
+// nodeOf resolves an endpoint's node: a VNF endpoint lives where its VNF is
+// placed (default node when unlabeled); a NIC endpoint lives where the NIC
+// is registered per nicNode (default node when absent).
+func nodeOf(ep Endpoint, byName map[string]VNF, defaultNode string, nicNode map[string]string) string {
+	switch ep.Kind {
+	case EpVNF:
+		if n := byName[ep.Name].Node; n != "" {
+			return n
+		}
+	case EpNIC:
+		if n := nicNode[ep.Name]; n != "" {
+			return n
+		}
+	}
+	return defaultNode
+}
+
+// Partition splits g by VNF placement. VNFs with an empty Node land on
+// defaultNode; nicNode maps externally-registered NIC names to their nodes
+// (nil is fine when the graph has no NIC endpoints or they all live on the
+// default node). nicPrefix prepends every synthesized NIC name — deployers
+// that keep several partitions live on the same nodes pass a
+// deployment-unique prefix so the names never collide.
+//
+// Every edge whose endpoints resolve to the same node is copied into that
+// node's local graph unchanged. A VNF↔VNF edge crossing a boundary is
+// realizable: it is cut into A↔NIC(<prefix>xwN.a) on one side and
+// NIC(<prefix>xwN.b)↔B on the other, with the crossing recorded for wire
+// creation. An edge that crosses a boundary at a NIC endpoint is NOT
+// realizable — the physical NIC's wire side is owned by external traffic,
+// so there is no place to splice an inter-node hop — and Partition rejects
+// it.
+func (g *Graph) Partition(defaultNode string, nicNode map[string]string, nicPrefix string) (*Partition, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if defaultNode == "" {
+		return nil, fmt.Errorf("graph: partition needs a default node name")
+	}
+	byName := make(map[string]VNF, len(g.VNFs))
+	for _, v := range g.VNFs {
+		byName[v.Name] = v
+	}
+	p := &Partition{Local: make(map[string]*Graph)}
+	local := func(node string) *Graph {
+		lg, ok := p.Local[node]
+		if !ok {
+			lg = &Graph{}
+			p.Local[node] = lg
+		}
+		return lg
+	}
+	for _, v := range g.VNFs {
+		node := v.Node
+		if node == "" {
+			node = defaultNode
+		}
+		local(node).VNFs = append(local(node).VNFs, v)
+	}
+	for i, e := range g.Edges {
+		na := nodeOf(e.A, byName, defaultNode, nicNode)
+		nb := nodeOf(e.B, byName, defaultNode, nicNode)
+		if na == nb {
+			local(na).Edges = append(local(na).Edges, e)
+			continue
+		}
+		if e.A.Kind == EpNIC || e.B.Kind == EpNIC {
+			return nil, fmt.Errorf(
+				"graph: edge %d crosses nodes %s/%s at a NIC endpoint — not realizable; place the NIC's peer on the NIC's node",
+				i, na, nb)
+		}
+		ce := CrossEdge{
+			Index: i, NodeA: na, NodeB: nb,
+			NICA: fmt.Sprintf("%sxw%d.a", nicPrefix, i), NICB: fmt.Sprintf("%sxw%d.b", nicPrefix, i),
+			Bidirectional: e.Bidirectional,
+		}
+		p.Cross = append(p.Cross, ce)
+		local(na).Edges = append(local(na).Edges, Edge{
+			A: e.A, B: NIC(ce.NICA), Bidirectional: e.Bidirectional,
+		})
+		local(nb).Edges = append(local(nb).Edges, Edge{
+			A: NIC(ce.NICB), B: e.B, Bidirectional: e.Bidirectional,
+		})
+	}
+	return p, nil
+}
+
+// Nodes returns the set of node names a graph's placement references
+// (excluding the empty default label), in first-use order.
+func (g *Graph) Nodes() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range g.VNFs {
+		if v.Node != "" && !seen[v.Node] {
+			seen[v.Node] = true
+			out = append(out, v.Node)
+		}
+	}
+	return out
+}
+
+// SplitBidirChain builds the Figure 3(a) bidirectional chain of n forwarder
+// VMs and places its VM sequence (end0, vnf1..vnfn, end1) across the given
+// nodes in contiguous, evenly-sized segments — the natural split-chain
+// layout, where exactly len(nodes)-1 hops cross a node boundary. With fewer
+// VMs than nodes, only the first VMs-many nodes are used; with no nodes the
+// graph is identical to BidirChain.
+func SplitBidirChain(n int, nodes []string) *Graph {
+	g := BidirChain(n)
+	if len(nodes) == 0 {
+		return g
+	}
+	total := len(g.VNFs) // chain VMs: 2 endpoints + n forwarders
+	segs := len(nodes)
+	if segs > total {
+		segs = total
+	}
+	// BidirChain lists VNFs as end0, end1, vnf1..vnfn; placement follows the
+	// chain order end0, vnf1..vnfn, end1.
+	order := make([]*VNF, 0, total)
+	order = append(order, &g.VNFs[0])
+	for i := 2; i < total; i++ {
+		order = append(order, &g.VNFs[i])
+	}
+	order = append(order, &g.VNFs[1])
+	pos := 0
+	for s := 0; s < segs; s++ {
+		size := total / segs
+		if s < total%segs {
+			size++
+		}
+		for k := 0; k < size; k++ {
+			order[pos].Node = nodes[s]
+			pos++
+		}
+	}
+	return g
 }
 
 // Chain builds the paper's benchmark graph: a source/NIC, n forwarder VMs,

@@ -71,3 +71,120 @@ func TestKindPortCount(t *testing.T) {
 		t.Error("middle VNFs must have two ports")
 	}
 }
+
+func TestPartitionSingleNode(t *testing.T) {
+	g := BidirChain(2)
+	p, err := g.Partition("n0", nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cross) != 0 {
+		t.Fatalf("unplaced chain produced %d crossings", len(p.Cross))
+	}
+	lg, ok := p.Local["n0"]
+	if !ok || len(p.Local) != 1 {
+		t.Fatalf("expected one local graph on n0, got %v", p.Local)
+	}
+	if len(lg.VNFs) != len(g.VNFs) || len(lg.Edges) != len(g.Edges) {
+		t.Fatalf("local graph shrank: %d VNFs %d edges", len(lg.VNFs), len(lg.Edges))
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSplitsChainAcrossTwoNodes(t *testing.T) {
+	// end0, vnf1, vnf2, vnf3, end1 split 3+2: the vnf2↔vnf3 hop crosses.
+	g := SplitBidirChain(3, []string{"a", "b"})
+	p, err := g.Partition("a", nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cross) != 1 {
+		t.Fatalf("expected 1 crossing, got %d: %+v", len(p.Cross), p.Cross)
+	}
+	ce := p.Cross[0]
+	if ce.NodeA != "a" || ce.NodeB != "b" {
+		t.Fatalf("crossing nodes = %s/%s", ce.NodeA, ce.NodeB)
+	}
+	if !ce.Bidirectional {
+		t.Fatal("crossing lost bidirectionality")
+	}
+	la, lb := p.Local["a"], p.Local["b"]
+	if la == nil || lb == nil {
+		t.Fatalf("missing local graphs: %v", p.Local)
+	}
+	if len(la.VNFs) != 3 || len(lb.VNFs) != 2 {
+		t.Fatalf("segment sizes %d/%d, want 3/2", len(la.VNFs), len(lb.VNFs))
+	}
+	// Each side gained exactly one NIC-terminated edge in place of the cut.
+	nicEdges := func(lg *Graph) int {
+		n := 0
+		for _, e := range lg.Edges {
+			if e.A.Kind == EpNIC || e.B.Kind == EpNIC {
+				n++
+			}
+		}
+		return n
+	}
+	if nicEdges(la) != 1 || nicEdges(lb) != 1 {
+		t.Fatalf("NIC edge counts %d/%d, want 1/1", nicEdges(la), nicEdges(lb))
+	}
+	for _, lg := range p.Local {
+		if err := lg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPartitionRejectsCrossNodeNICEdge(t *testing.T) {
+	g := Chain(1, "eth0", "eth1")
+	for i := range g.VNFs {
+		if g.VNFs[i].Kind == KindForward {
+			g.VNFs[i].Node = "b"
+		}
+	}
+	// eth0/eth1 default to node a; the VM sits on node b ⇒ both NIC edges
+	// cross at a NIC endpoint.
+	if _, err := g.Partition("a", nil, ""); err == nil {
+		t.Fatal("cross-node NIC edge accepted")
+	}
+	// Pinning the NICs to the VM's node makes it realizable again.
+	if _, err := g.Partition("a", map[string]string{"eth0": "b", "eth1": "b"}, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionValidatesGraph(t *testing.T) {
+	g := &Graph{VNFs: []VNF{{Name: "", Kind: KindForward}}}
+	if _, err := g.Partition("a", nil, ""); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+	if _, err := BidirChain(1).Partition("", nil, ""); err == nil {
+		t.Fatal("empty default node accepted")
+	}
+}
+
+func TestSplitBidirChainPlacement(t *testing.T) {
+	// 6 forwarders + 2 ends = 8 VMs over 3 nodes ⇒ segments 3/3/2 in chain
+	// order end0,vnf1..vnf6,end1.
+	g := SplitBidirChain(6, []string{"x", "y", "z"})
+	want := map[string]string{
+		"end0": "x", "vnf1": "x", "vnf2": "x",
+		"vnf3": "y", "vnf4": "y", "vnf5": "y",
+		"vnf6": "z", "end1": "z",
+	}
+	for _, v := range g.VNFs {
+		if v.Node != want[v.Name] {
+			t.Fatalf("%s placed on %q, want %q", v.Name, v.Node, want[v.Name])
+		}
+	}
+	if got := g.Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	// More nodes than VMs: only the first VMs-many nodes used, one VM each.
+	g2 := SplitBidirChain(0, []string{"a", "b", "c", "d"})
+	if got := g2.Nodes(); len(got) != 2 {
+		t.Fatalf("2-VM chain across 4 nodes used %v", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"ovshighway/internal/ring"
 )
@@ -112,6 +113,12 @@ type Pool struct {
 	headroom int
 	capacity int
 
+	// arenaLo/arenaHi bound the pool's backing arena. Every buffer this pool
+	// allocated has its storage inside these bounds; the freelist uses them
+	// to reject foreign buffers (see Owns).
+	arenaLo uintptr
+	arenaHi uintptr
+
 	allocs atomic.Uint64
 	frees  atomic.Uint64
 	fails  atomic.Uint64
@@ -154,6 +161,8 @@ func New(cfg Config) (*Pool, error) {
 	// One arena allocation for all payload storage: this is the hugepage
 	// region equivalent, and it keeps buffers dense in memory.
 	arena := make([]byte, cfg.Capacity*cfg.BufSize)
+	p.arenaLo = uintptr(unsafe.Pointer(&arena[0]))
+	p.arenaHi = p.arenaLo + uintptr(len(arena))
 	bufs := make([]Buf, cfg.Capacity)
 	for i := range bufs {
 		bufs[i].Data = arena[i*cfg.BufSize : (i+1)*cfg.BufSize]
@@ -221,7 +230,29 @@ func (p *Pool) GetBatch(out []*Buf) int {
 	return n
 }
 
+// Owns reports whether b was allocated by this pool, by checking that its
+// backing storage lies inside the pool arena. With per-node pools connected
+// by wires, a buffer migrated across nodes without re-homing would otherwise
+// land on a foreign freelist and silently corrupt both populations.
+func (p *Pool) Owns(b *Buf) bool {
+	if b == nil || len(b.Data) == 0 {
+		return false
+	}
+	addr := uintptr(unsafe.Pointer(&b.Data[0]))
+	return addr >= p.arenaLo && addr < p.arenaHi
+}
+
+// guardOwnership panics when a buffer reaches a freelist that did not
+// allocate it — a use-after-migrate bug we want loud, exactly like double
+// frees.
+func (p *Pool) guardOwnership(b *Buf) {
+	if !p.Owns(b) {
+		panic("mempool: buffer returned to a pool that did not allocate it")
+	}
+}
+
 func (p *Pool) put(b *Buf) {
+	p.guardOwnership(b)
 	p.frees.Add(1)
 	// The freelist ring is sized above the buffer population, so it can never
 	// be durably full. TryEnqueue can still fail transiently: an MPMC
@@ -236,6 +267,9 @@ func (p *Pool) put(b *Buf) {
 // putBatch returns a batch of zero-refcount buffers to the freelist with
 // batched ring enqueues (same transient-full caveat as put).
 func (p *Pool) putBatch(bufs []*Buf) {
+	for _, b := range bufs {
+		p.guardOwnership(b)
+	}
 	p.frees.Add(uint64(len(bufs)))
 	sent := 0
 	for sent < len(bufs) {

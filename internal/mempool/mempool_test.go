@@ -243,3 +243,60 @@ func BenchmarkGetFree(b *testing.B) {
 		buf.Free()
 	}
 }
+
+func TestOwns(t *testing.T) {
+	a := MustNew(Config{Capacity: 4})
+	b := MustNew(Config{Capacity: 4})
+	ba, err := a.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Free()
+	if !a.Owns(ba) {
+		t.Error("pool must own its own buffer")
+	}
+	if b.Owns(ba) {
+		t.Error("foreign pool must not own the buffer")
+	}
+	if a.Owns(nil) {
+		t.Error("nil buffer owned")
+	}
+	if a.Owns(&Buf{}) {
+		t.Error("detached buffer owned")
+	}
+}
+
+// TestForeignFreePanics simulates the cross-node migration bug the guard
+// exists for: a buffer whose pool pointer was re-homed without copying the
+// payload into the destination arena must not reach the foreign freelist.
+func TestForeignFreePanics(t *testing.T) {
+	a := MustNew(Config{Capacity: 4})
+	b := MustNew(Config{Capacity: 4})
+	buf, err := a.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.pool = b // buggy migration: pointer moved, storage did not
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing a foreign buffer must panic")
+		}
+	}()
+	buf.Free()
+}
+
+func TestForeignFreeBatchPanics(t *testing.T) {
+	a := MustNew(Config{Capacity: 4})
+	b := MustNew(Config{Capacity: 4})
+	buf, err := a.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.pool = b
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch-freeing a foreign buffer must panic")
+		}
+	}()
+	FreeBatch([]*Buf{buf})
+}

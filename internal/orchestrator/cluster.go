@@ -1,0 +1,277 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/graph"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
+	"ovshighway/internal/vnf"
+	"ovshighway/internal/wire"
+)
+
+// WireConfig shapes the simulated cables a cluster creates between nodes.
+type WireConfig struct {
+	// RatePps caps each NIC direction (nic.Config semantics: 0 = 64B line
+	// rate, negative = unlimited). The wire itself stays unshaped — the NIC
+	// token buckets on both ends already pace the hop, and shaping twice
+	// would halve the budget.
+	RatePps float64
+	// Latency is the per-direction propagation delay (0 = none).
+	Latency time.Duration
+	// QueueSize is the NIC descriptor ring depth (default 1024).
+	QueueSize int
+}
+
+// Cluster is a set of NFV nodes joined by simulated wires. Every node runs
+// the same datapath mode and carries its own vSwitch, agent, packet pool
+// and — in highway mode — detector and bypass manager; nothing is shared
+// across nodes except the wires a deployment creates.
+type Cluster struct {
+	cfg   NodeConfig
+	order []string
+	nodes map[string]*Node
+	// deploySeq makes the synthesized wire-NIC names of concurrent
+	// deployments on the same nodes unique.
+	deploySeq atomic.Uint64
+}
+
+// NewCluster boots one node per name (first name is the default placement
+// target). All nodes share the config template but own independent
+// resources.
+func NewCluster(names []string, cfg NodeConfig) (*Cluster, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("orchestrator: cluster needs at least one node name")
+	}
+	c := &Cluster{cfg: cfg, nodes: make(map[string]*Node, len(names))}
+	for _, name := range names {
+		if name == "" {
+			c.Stop()
+			return nil, fmt.Errorf("orchestrator: empty node name")
+		}
+		if _, dup := c.nodes[name]; dup {
+			c.Stop()
+			return nil, fmt.Errorf("orchestrator: duplicate node name %q", name)
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("orchestrator: node %s: %w", name, err)
+		}
+		c.nodes[name] = n
+		c.order = append(c.order, name)
+	}
+	return c, nil
+}
+
+// Node returns the named node (nil if absent).
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// NodeNames returns the node names in creation order.
+func (c *Cluster) NodeNames() []string { return append([]string(nil), c.order...) }
+
+// DefaultNode returns the placement target for unlabeled VNFs.
+func (c *Cluster) DefaultNode() string { return c.order[0] }
+
+// Mode returns the cluster's datapath mode.
+func (c *Cluster) Mode() Mode { return c.cfg.Mode }
+
+// Stop shuts every node down.
+func (c *Cluster) Stop() {
+	for _, name := range c.order {
+		c.nodes[name].Stop()
+	}
+}
+
+// BypassLinkCount sums the live bypass channels across all nodes.
+func (c *Cluster) BypassLinkCount() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Switch.BypassLinkCount()
+	}
+	return total
+}
+
+// WaitBypassCount blocks (bounded) until exactly want bypasses are live
+// cluster-wide.
+func (c *Cluster) WaitBypassCount(want int) bool {
+	return waitCond(func() bool { return c.BypassLinkCount() == want })
+}
+
+// nicNodes maps every externally-registered NIC name to its home node, for
+// partitioning graphs with NIC endpoints.
+func (c *Cluster) nicNodes() map[string]string {
+	out := make(map[string]string)
+	for _, name := range c.order {
+		for _, nn := range c.nodes[name].NICNames() {
+			out[nn] = name
+		}
+	}
+	return out
+}
+
+// clusterWire is one realized crossing: the wire and its two NIC
+// attachments.
+type clusterWire struct {
+	w            *wire.Wire
+	nicA, nicB   *nic.NIC
+	nodeA, nodeB string
+	nameA, nameB string
+}
+
+// ClusterDeployment is a service graph deployed across a cluster: one local
+// deployment per participating node plus the wires realizing the
+// cross-node edges.
+type ClusterDeployment struct {
+	cluster *Cluster
+	deps    map[string]*Deployment
+	wires   []clusterWire
+}
+
+// Deploy partitions g by VNF placement (unlabeled VNFs land on the default
+// node), attaches a NIC pair and a wire for every boundary crossing, and
+// lowers each partition on its node. The per-node lowering is exactly the
+// single-node Deploy path, so in highway mode each node's detector
+// establishes bypasses for its intra-node hops while the wire hops stay on
+// the NIC path — the highway survives the split.
+func (c *Cluster) Deploy(g *graph.Graph, wcfg WireConfig) (*ClusterDeployment, error) {
+	prefix := fmt.Sprintf("d%d.", c.deploySeq.Add(1))
+	part, err := g.Partition(c.DefaultNode(), c.nicNodes(), prefix)
+	if err != nil {
+		return nil, err
+	}
+	for node := range part.Local {
+		if c.nodes[node] == nil {
+			return nil, fmt.Errorf("orchestrator: graph places VNFs on unknown node %q (cluster has %v)", node, c.order)
+		}
+	}
+	cd := &ClusterDeployment{cluster: c, deps: make(map[string]*Deployment)}
+
+	// Realize the crossings first: lowering resolves NIC endpoints by name,
+	// so the wire NICs must exist before the partitions deploy.
+	for _, ce := range part.Cross {
+		na, nb := c.nodes[ce.NodeA], c.nodes[ce.NodeB]
+		devA, err := na.AddNIC(ce.NICA, nic.Config{RatePps: wcfg.RatePps, QueueSize: wcfg.QueueSize})
+		if err != nil {
+			cd.Stop()
+			return nil, fmt.Errorf("orchestrator: wire NIC %s on %s: %w", ce.NICA, ce.NodeA, err)
+		}
+		devB, err := nb.AddNIC(ce.NICB, nic.Config{RatePps: wcfg.RatePps, QueueSize: wcfg.QueueSize})
+		if err != nil {
+			_ = na.RemoveNIC(ce.NICA)
+			cd.Stop()
+			return nil, fmt.Errorf("orchestrator: wire NIC %s on %s: %w", ce.NICB, ce.NodeB, err)
+		}
+		w, err := wire.New(wire.Config{
+			Name: fmt.Sprintf("wire-%s-%s-%d", ce.NodeA, ce.NodeB, ce.Index),
+			A:    wire.Endpoint{NIC: devA, Pool: na.Pool},
+			B:    wire.Endpoint{NIC: devB, Pool: nb.Pool},
+			AtoB: wire.Shaping{Latency: wcfg.Latency},
+			BtoA: wire.Shaping{Latency: wcfg.Latency},
+		})
+		if err != nil {
+			_ = na.RemoveNIC(ce.NICA)
+			_ = nb.RemoveNIC(ce.NICB)
+			cd.Stop()
+			return nil, err
+		}
+		cd.wires = append(cd.wires, clusterWire{
+			w: w, nicA: devA, nicB: devB,
+			nodeA: ce.NodeA, nodeB: ce.NodeB,
+			nameA: ce.NICA, nameB: ce.NICB,
+		})
+	}
+
+	// Lower each partition locally. The local graphs came out of Partition
+	// validated, and every synthesized NIC endpoint now resolves.
+	for _, node := range c.order {
+		lg, ok := part.Local[node]
+		if !ok {
+			continue
+		}
+		dep, err := c.nodes[node].lower(lg)
+		if err != nil {
+			cd.Stop()
+			return nil, fmt.Errorf("orchestrator: node %s: %w", node, err)
+		}
+		cd.deps[node] = dep
+	}
+	return cd, nil
+}
+
+// Deployment returns the named node's local deployment (nil if the node
+// hosts no VNFs).
+func (cd *ClusterDeployment) Deployment(node string) *Deployment { return cd.deps[node] }
+
+// SrcSink finds a named bidirectional endpoint VNF across all partitions.
+func (cd *ClusterDeployment) SrcSink(name string) *vnf.SrcSink {
+	for _, d := range cd.deps {
+		if ss := d.SrcSink(name); ss != nil {
+			return ss
+		}
+	}
+	return nil
+}
+
+// Wires returns the wires this deployment created.
+func (cd *ClusterDeployment) Wires() []*wire.Wire {
+	out := make([]*wire.Wire, len(cd.wires))
+	for i := range cd.wires {
+		out[i] = cd.wires[i].w
+	}
+	return out
+}
+
+// Stop tears the cluster deployment down in dependency order: local
+// deployments first (flows deleted, bypasses dissolved, VMs destroyed),
+// then the wires, and finally the wire NICs — whose queues are drained only
+// after both the pumps and the datapaths have detached.
+func (cd *ClusterDeployment) Stop() {
+	for _, node := range cd.cluster.order {
+		if d := cd.deps[node]; d != nil {
+			d.Stop()
+		}
+	}
+	cd.deps = map[string]*Deployment{}
+	for _, cw := range cd.wires {
+		cw.w.Stop()
+	}
+	for _, cw := range cd.wires {
+		_ = cd.cluster.nodes[cw.nodeA].RemoveNIC(cw.nameA)
+		_ = cd.cluster.nodes[cw.nodeB].RemoveNIC(cw.nameB)
+	}
+	// Wait out PMD iterations still holding the old port snapshots, then
+	// reclaim whatever is parked in the NIC queues (wire pumps and PMDs are
+	// both gone, so the drains see quiescent rings).
+	seen := make(map[string]bool)
+	for _, cw := range cd.wires {
+		for _, node := range []string{cw.nodeA, cw.nodeB} {
+			if !seen[node] {
+				seen[node] = true
+				cd.cluster.nodes[node].Switch.WaitDatapathQuiescence()
+			}
+		}
+	}
+	scratch := make([]*mempool.Buf, 32)
+	for _, cw := range cd.wires {
+		for _, dev := range []*nic.NIC{cw.nicA, cw.nicB} {
+			for {
+				k := dev.DrainToWire(scratch)
+				if k == 0 {
+					break
+				}
+				mempool.FreeBatch(scratch[:k])
+			}
+			for {
+				k := dev.DrainFromWire(scratch)
+				if k == 0 {
+					break
+				}
+				mempool.FreeBatch(scratch[:k])
+			}
+		}
+	}
+	cd.wires = nil
+}

@@ -1,0 +1,206 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/graph"
+)
+
+func newCluster(t *testing.T, mode Mode, names ...string) *Cluster {
+	t.Helper()
+	c, err := NewCluster(names, NodeConfig{
+		Mode:     mode,
+		PoolSize: 4096,
+		RingSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// waitRecv polls until the named srcsink endpoint has received want packets.
+func waitRecv(t *testing.T, cd *ClusterDeployment, name string, want uint64) {
+	t.Helper()
+	ss := cd.SrcSink(name)
+	if ss == nil {
+		t.Fatalf("endpoint %s not deployed", name)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ss.Received.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := ss.Received.Load(); got < want {
+		t.Fatalf("%s received only %d of %d packets", name, got, want)
+	}
+}
+
+func TestClusterSplitChainVanillaTrafficCrossesWire(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "node-a", "node-b")
+	// 3 VMs (end0, vnf1, end1) split 2+1: the vnf1↔end1 hop crosses.
+	g := graph.SplitBidirChain(1, []string{"node-a", "node-b"})
+	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+
+	if len(cd.Wires()) != 1 {
+		t.Fatalf("deployment created %d wires, want 1", len(cd.Wires()))
+	}
+	// Both directions must deliver across the node boundary.
+	waitRecv(t, cd, "end0", 2000)
+	waitRecv(t, cd, "end1", 2000)
+	ab, ba := cd.Wires()[0].Stats()
+	if ab.Carried == 0 || ba.Carried == 0 {
+		t.Fatalf("wire carried %d/%d frames, both directions must flow", ab.Carried, ba.Carried)
+	}
+	if c.BypassLinkCount() != 0 {
+		t.Fatal("vanilla cluster created bypasses")
+	}
+	// The partitions landed where placement said.
+	if cd.Deployment("node-a") == nil || cd.Deployment("node-b") == nil {
+		t.Fatal("missing per-node deployment")
+	}
+	if cd.Deployment("node-a").SrcSink("end0") == nil {
+		t.Fatal("end0 not on node-a")
+	}
+	if cd.Deployment("node-b").SrcSink("end1") == nil {
+		t.Fatal("end1 not on node-b")
+	}
+}
+
+func TestClusterSplitChainHighwayBypassesIntraNodeHops(t *testing.T) {
+	c := newCluster(t, ModeHighway, "node-a", "node-b")
+	// 5 VMs (end0, vnf1..vnf3, end1) split 3+2: intra-node hops are
+	// end0↔vnf1, vnf1↔vnf2 on node-a and vnf3↔end1 on node-b = 3 hops ⇒ 6
+	// directed bypasses. The vnf2↔vnf3 wire hop must stay on the NIC path.
+	g := graph.SplitBidirChain(3, []string{"node-a", "node-b"})
+	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+
+	if !c.WaitBypassCount(6) {
+		t.Fatalf("cluster bypasses = %d, want 6", c.BypassLinkCount())
+	}
+	// Per node: 2 hops on node-a, 1 hop on node-b.
+	if got := c.Node("node-a").Switch.BypassLinkCount(); got != 4 {
+		t.Fatalf("node-a bypasses = %d, want 4", got)
+	}
+	if got := c.Node("node-b").Switch.BypassLinkCount(); got != 2 {
+		t.Fatalf("node-b bypasses = %d, want 2", got)
+	}
+	waitRecv(t, cd, "end0", 2000)
+	waitRecv(t, cd, "end1", 2000)
+	ab, ba := cd.Wires()[0].Stats()
+	if ab.Carried == 0 || ba.Carried == 0 {
+		t.Fatalf("wire carried %d/%d frames, the inter-node hop cannot bypass", ab.Carried, ba.Carried)
+	}
+}
+
+func TestClusterDeploymentStopReclaimsEverything(t *testing.T) {
+	c := newCluster(t, ModeHighway, "a", "b")
+	g := graph.SplitBidirChain(2, []string{"a", "b"})
+	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRecv(t, cd, "end1", 1000)
+	cd.Stop()
+
+	for _, name := range c.NodeNames() {
+		n := c.Node(name)
+		if got := n.Switch.Table().Len(); got != 0 {
+			t.Fatalf("node %s still has %d flows", name, got)
+		}
+		if got := n.Switch.BypassLinkCount(); got != 0 {
+			t.Fatalf("node %s still has %d bypasses", name, got)
+		}
+		if len(n.Switch.Ports()) != 0 {
+			t.Fatalf("node %s still has ports %v", name, n.Switch.Ports())
+		}
+		// Every packet buffer must be home: VNFs, wires and NIC queues all
+		// drained.
+		if n.Pool.Avail() != n.Pool.Cap() {
+			t.Fatalf("node %s pool leaked: %d of %d free", name, n.Pool.Avail(), n.Pool.Cap())
+		}
+	}
+	// The cluster survives a second deployment on the same nodes.
+	cd2, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRecv(t, cd2, "end1", 1000)
+	cd2.Stop()
+}
+
+func TestClusterRejectsUnknownPlacement(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b")
+	g := graph.SplitBidirChain(1, []string{"a", "elsewhere"})
+	if _, err := c.Deploy(g, WireConfig{}); err == nil {
+		t.Fatal("placement on unknown node accepted")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, NodeConfig{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster([]string{"a", "a"}, NodeConfig{}); err == nil {
+		t.Fatal("duplicate node names accepted")
+	}
+	if _, err := NewCluster([]string{""}, NodeConfig{}); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+func TestClusterTwoConcurrentDeploymentsDoNotCollide(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b")
+	// Both graphs put their crossing at the same edge index, which would
+	// collide on the synthesized wire-NIC names without a per-deployment
+	// prefix. (VNF names must differ — VMs are keyed by name per node.)
+	g2 := graph.SplitBidirChain(1, []string{"a", "b"})
+	rename := func(name string) string { return "g2-" + name }
+	for i := range g2.VNFs {
+		g2.VNFs[i].Name = rename(g2.VNFs[i].Name)
+	}
+	for i := range g2.Edges {
+		g2.Edges[i].A.Name = rename(g2.Edges[i].A.Name)
+		g2.Edges[i].B.Name = rename(g2.Edges[i].B.Name)
+	}
+	cd1, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd2, err := c.Deploy(g2, WireConfig{RatePps: -1})
+	if err != nil {
+		t.Fatalf("second concurrent deployment: %v", err)
+	}
+	waitRecv(t, cd1, "end1", 1000)
+	waitRecv(t, cd2, "g2-end1", 1000)
+	// Tearing the first down must not touch the second's wire.
+	cd1.Stop()
+	ss := cd2.SrcSink("g2-end1")
+	base := ss.Received.Load()
+	deadline := time.Now().Add(5 * time.Second)
+	for ss.Received.Load() < base+1000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := ss.Received.Load(); got < base+1000 {
+		t.Fatalf("second deployment stalled after first's teardown (%d new packets)", got-base)
+	}
+	cd2.Stop()
+	for _, name := range c.NodeNames() {
+		n := c.Node(name)
+		if n.Pool.Avail() != n.Pool.Cap() {
+			t.Fatalf("node %s pool leaked: %d of %d free", name, n.Pool.Avail(), n.Pool.Cap())
+		}
+		if len(n.Switch.Ports()) != 0 {
+			t.Fatalf("node %s still has ports attached", name)
+		}
+	}
+}

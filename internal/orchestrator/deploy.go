@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
@@ -9,6 +10,14 @@ import (
 	"ovshighway/internal/pkt"
 	"ovshighway/internal/vnf"
 )
+
+// DeployCookieBase marks the OpenFlow cookie space deployments stamp on
+// their steering rules; the low bits carry a process-unique sequence so a
+// deployment tears down exactly its own rules (several deployments can
+// share one node's table, and controller-installed flows must survive).
+const DeployCookieBase = uint64(0xD0) << 56
+
+var deployCookieSeq atomic.Uint64
 
 // Deployment is a service graph instantiated on a node.
 type Deployment struct {
@@ -24,6 +33,7 @@ type Deployment struct {
 	portOf map[graph.Endpoint]uint32
 
 	flowPrio uint16
+	cookie   uint64
 }
 
 // SourceSpecArgs configures a source VNF through graph.VNF.Args.
@@ -44,10 +54,22 @@ type SrcSinkArgs struct {
 // (in_port=A → output:B). In highway mode the detector then turns each
 // point-to-point pair into a bypass automatically — deployment code is
 // identical in both modes, which is the transparency argument end to end.
+//
+// Deploy is validation plus lower: Cluster.Deploy validates and partitions
+// a placement-labeled graph first and then runs the same per-node lowering
+// on each partition.
 func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	return n.lower(g)
+}
+
+// lower is the per-node local lowering step: instantiate every VNF of the
+// (already validated, node-local) graph and install the steering rules for
+// its edges in one batched table mutation. NIC endpoints the edges name
+// must already be attached to this node.
+func (n *Node) lower(g *graph.Graph) (*Deployment, error) {
 	d := &Deployment{
 		node:     n,
 		sinks:    make(map[string]*vnf.Sink),
@@ -55,6 +77,7 @@ func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
 		vms:      make(map[string][]uint32),
 		portOf:   make(map[graph.Endpoint]uint32),
 		flowPrio: 10,
+		cookie:   DeployCookieBase | deployCookieSeq.Add(1),
 	}
 
 	// Instantiate VNFs.
@@ -74,7 +97,10 @@ func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
 		}
 	}
 
-	// Program steering rules.
+	// Program steering rules in one batched table mutation: a chain lays
+	// down O(edges) rules and per-rule Add would rebuild the classifier
+	// snapshot per rule.
+	specs := make([]flow.FlowSpec, 0, 2*len(g.Edges))
 	for _, e := range g.Edges {
 		a, err := d.resolve(e.A)
 		if err != nil {
@@ -86,11 +112,18 @@ func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
 			d.Stop()
 			return nil, err
 		}
-		n.Switch.Table().Add(d.flowPrio, flow.MatchInPort(a), flow.Actions{flow.Output(b)}, 0)
+		specs = append(specs, flow.FlowSpec{
+			Priority: d.flowPrio, Match: flow.MatchInPort(a), Actions: flow.Actions{flow.Output(b)},
+			Cookie: d.cookie,
+		})
 		if e.Bidirectional {
-			n.Switch.Table().Add(d.flowPrio, flow.MatchInPort(b), flow.Actions{flow.Output(a)}, 0)
+			specs = append(specs, flow.FlowSpec{
+				Priority: d.flowPrio, Match: flow.MatchInPort(b), Actions: flow.Actions{flow.Output(a)},
+				Cookie: d.cookie,
+			})
 		}
 	}
+	n.Switch.Table().AddBatch(specs)
 	return d, nil
 }
 
@@ -200,13 +233,44 @@ func (d *Deployment) SrcSink(name string) *vnf.SrcSink { return d.srcsinks[name]
 func (d *Deployment) Apps() []*vnf.App { return d.apps }
 
 // Stop halts all VNFs and destroys their VMs (ports removed from the
-// switch). The steering rules are deleted first so the bypass manager tears
-// links down before the PMD owners disappear.
+// switch). Steering rules die first — the deployment's own (by cookie)
+// plus any flow referencing the doomed ports, whoever installed it, so the
+// bypass manager tears links down before the PMD owners disappear.
+// Unrelated flows (other deployments, controller rules on other ports)
+// survive.
 func (d *Deployment) Stop() {
-	d.node.Switch.Table().DeleteWhere(func(*flow.Flow) bool { return true })
+	mine := make(map[uint32]bool)
+	for _, ids := range d.vms {
+		for _, id := range ids {
+			mine[id] = true
+		}
+	}
+	touchesMine := func(f *flow.Flow) bool {
+		if f.Match.Mask.InPort != 0 && mine[f.Match.Key.InPort] {
+			return true
+		}
+		for _, a := range f.Actions {
+			if a.Type == flow.ActOutput && mine[a.Port] {
+				return true
+			}
+		}
+		return false
+	}
+	d.node.Switch.Table().DeleteWhere(func(f *flow.Flow) bool {
+		return f.Cookie == d.cookie || touchesMine(f)
+	})
 	if d.node.Manager != nil {
 		// Wait for the manager to process the deletions before VMs go away.
-		waitCond(func() bool { return d.node.Switch.BypassLinkCount() == 0 })
+		// Only this deployment's bypasses dissolve; count the survivors via
+		// the ports being destroyed instead of expecting zero.
+		waitCond(func() bool {
+			for _, l := range d.node.Switch.BypassLinks() {
+				if mine[l.From] || mine[l.To] {
+					return false
+				}
+			}
+			return true
+		})
 	}
 	for _, s := range d.sources {
 		s.Stop()

@@ -137,6 +137,11 @@ func (n *Node) candidatePorts() []uint32 {
 func (n *Node) allocPortID() uint32 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.allocPortIDLocked()
+}
+
+// allocPortIDLocked is allocPortID for callers already holding n.mu.
+func (n *Node) allocPortIDLocked() uint32 {
 	id := n.nextPort
 	n.nextPort++
 	return id
@@ -224,22 +229,37 @@ func (n *Node) DestroyVM(name string, ids []uint32) error {
 // AddNIC attaches a simulated physical NIC to the switch under the given
 // graph-visible name.
 func (n *Node) AddNIC(name string, cfg nic.Config) (*nic.NIC, error) {
+	// Duplicate check, port-id allocation and name registration happen in
+	// one critical section: a check-then-act gap would let two concurrent
+	// AddNIC calls both pass and silently shadow one port behind the other
+	// — teardown of either NIC then detaches the wrong one.
+	n.mu.Lock()
+	if _, dup := n.nicByNm[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: NIC name %q already in use", name)
+	}
 	if cfg.ID == 0 {
-		cfg.ID = n.allocPortID()
+		cfg.ID = n.allocPortIDLocked()
+	}
+	n.nicByNm[name] = cfg.ID
+	n.mu.Unlock()
+	unregister := func() {
+		n.mu.Lock()
+		delete(n.nicByNm, name)
+		n.mu.Unlock()
 	}
 	if cfg.Name == "" {
 		cfg.Name = name
 	}
 	dev, err := nic.New(cfg)
 	if err != nil {
+		unregister()
 		return nil, err
 	}
 	if err := n.Switch.AddPort(dev); err != nil {
+		unregister()
 		return nil, err
 	}
-	n.mu.Lock()
-	n.nicByNm[name] = dev.PortID()
-	n.mu.Unlock()
 	return dev, nil
 }
 
@@ -249,4 +269,32 @@ func (n *Node) NICPort(name string) (uint32, bool) {
 	defer n.mu.Unlock()
 	id, ok := n.nicByNm[name]
 	return id, ok
+}
+
+// NICNames lists the NICs registered on this node (any order). The cluster
+// deployer uses it to resolve NIC graph endpoints to their home nodes.
+func (n *Node) NICNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nicByNm))
+	for name := range n.nicByNm {
+		out = append(out, name)
+	}
+	return out
+}
+
+// RemoveNIC detaches a previously-added NIC from the switch and forgets its
+// name. The caller is responsible for draining the device's queues once the
+// datapath has quiesced.
+func (n *Node) RemoveNIC(name string) error {
+	n.mu.Lock()
+	id, ok := n.nicByNm[name]
+	if ok {
+		delete(n.nicByNm, name)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orchestrator: unknown NIC %q", name)
+	}
+	return n.Switch.RemovePort(id)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ovshighway/internal/flow"
 	"ovshighway/internal/graph"
 	"ovshighway/internal/nic"
 	"ovshighway/internal/pkt"
@@ -252,5 +253,34 @@ func TestBypassSetupLatencyObserved(t *testing.T) {
 		if s <= 0 || s > time.Second {
 			t.Fatalf("implausible setup duration %v", s)
 		}
+	}
+}
+
+// TestStopRemovesControllerInstalledFlowsOnOwnPorts covers the teardown
+// invariant with cookie-scoped deletion: a controller that replaced one of
+// the deployment's steering rules under its own cookie must not keep the
+// bypass (or the flow) alive past Deployment.Stop — flows referencing the
+// doomed ports die with the deployment regardless of who installed them.
+func TestStopRemovesControllerInstalledFlowsOnOwnPorts(t *testing.T) {
+	n := newNode(t, ModeHighway)
+	d, err := n.Deploy(graph.Chain(2, "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.WaitBypassCount(6) {
+		t.Fatalf("bypasses = %d, want 6", n.Switch.BypassLinkCount())
+	}
+	// "Controller" replaces the src→vnf1 steering rule (ports 1→3) with an
+	// identical one under a foreign cookie; the bypass re-establishes.
+	n.Switch.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}, 0xBEEF)
+	if !n.WaitBypassCount(6) {
+		t.Fatalf("bypasses after controller replace = %d, want 6", n.Switch.BypassLinkCount())
+	}
+	d.Stop()
+	if got := n.Switch.BypassLinkCount(); got != 0 {
+		t.Fatalf("%d bypasses survived Stop", got)
+	}
+	if got := n.Switch.Table().Len(); got != 0 {
+		t.Fatalf("%d flows survived Stop (controller flow on destroyed ports must die)", got)
 	}
 }

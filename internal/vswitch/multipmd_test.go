@@ -1,0 +1,114 @@
+package vswitch
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+)
+
+// TestFourPMDChainForwarding drives a 4-hop steering chain through a switch
+// running four PMD threads: guests on the middle ports echo every received
+// packet back out, so each frame crosses the forwarding engine five times
+// and the hops land on different PMDs. It asserts end-to-end delivery,
+// the static per-PMD port ownership partition, and that EMCStats is the
+// exact aggregate of the per-PMD caches.
+func TestFourPMDChainForwarding(t *testing.T) {
+	const nPMD = 4
+	env := newEnv(t, Config{NumPMDs: nPMD}, 6)
+
+	// Steering chain 1 → 2 → 3 → 4 → 5 → 6, installed in one batch.
+	specs := make([]flow.FlowSpec, 0, 5)
+	for id := uint32(1); id <= 5; id++ {
+		specs = append(specs, flow.FlowSpec{
+			Priority: 10, Match: flow.MatchInPort(id), Actions: flow.Actions{flow.Output(id + 1)},
+		})
+	}
+	env.sw.Table().AddBatch(specs)
+
+	// Every port must be polled by exactly one PMD, and with ids 1..6 over
+	// 4 PMDs every PMD owns at least one port.
+	if len(env.sw.pmds) != nPMD {
+		t.Fatalf("switch started %d PMDs, want %d", len(env.sw.pmds), nPMD)
+	}
+	perPMD := make([]int, nPMD)
+	for id := uint32(1); id <= 6; id++ {
+		owners := 0
+		for i, p := range env.sw.pmds {
+			if p.owns(id) {
+				owners++
+				perPMD[i]++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("port %d owned by %d PMDs, want exactly 1", id, owners)
+		}
+	}
+	for i, n := range perPMD {
+		if n == 0 {
+			t.Fatalf("PMD %d owns no ports (distribution %v)", i, perPMD)
+		}
+	}
+
+	// Echo guests on the middle ports: whatever arrives goes back out the
+	// same dpdkr port, to be steered toward the next hop.
+	var stop atomic.Bool
+	defer stop.Store(true)
+	for id := uint32(2); id <= 5; id++ {
+		pmd := env.pmds[id]
+		go func() {
+			batch := make([]*mempool.Buf, 16)
+			for !stop.Load() {
+				n := pmd.Rx(batch)
+				if n == 0 {
+					time.Sleep(time.Microsecond)
+					continue
+				}
+				sent := pmd.Tx(batch[:n])
+				mempool.FreeBatch(batch[sent:n])
+			}
+		}()
+	}
+
+	const frames = 500
+	for i := 0; i < frames; i++ {
+		env.sendUDP(t, 1, defaultSpec)
+	}
+	got := 0
+	out := make([]*mempool.Buf, 32)
+	deadline := time.Now().Add(5 * time.Second)
+	for got < frames && time.Now().Before(deadline) {
+		n := env.pmds[6].Rx(out)
+		mempool.FreeBatch(out[:n])
+		got += n
+	}
+	if got != frames {
+		t.Fatalf("delivered %d of %d frames through the 4-PMD chain", got, frames)
+	}
+
+	// EMCStats must be the exact sum of the per-PMD caches, and the chain
+	// (one 5-tuple crossing the engine 5 times) must have produced hits on
+	// more than one PMD.
+	var want flow.EMCStats
+	pmdsWithHits := 0
+	for _, p := range env.sw.pmds {
+		st := p.emcStats()
+		want.Hits += st.Hits
+		want.Misses += st.Misses
+		want.Conflicts += st.Conflicts
+		if st.Hits > 0 {
+			pmdsWithHits++
+		}
+	}
+	if agg := env.sw.EMCStats(); agg != want {
+		t.Fatalf("EMCStats() = %+v, per-PMD sum = %+v", agg, want)
+	}
+	if want.Hits == 0 {
+		t.Fatal("no EMC hits across any PMD")
+	}
+	if pmdsWithHits < 2 {
+		t.Fatalf("EMC hits on %d PMDs, chain hops should spread over several", pmdsWithHits)
+	}
+}

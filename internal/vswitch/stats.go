@@ -49,6 +49,18 @@ func (s *Switch) BypassLinkCount() int {
 	return len(s.bypassLinks)
 }
 
+// BypassLinks returns the live registered links (diagnostic; teardown code
+// uses it to wait out the links touching a specific port set).
+func (s *Switch) BypassLinks() []*dpdkr.Link {
+	s.bypassMu.Lock()
+	defer s.bypassMu.Unlock()
+	out := make([]*dpdkr.Link, 0, len(s.bypassLinks))
+	for l := range s.bypassLinks {
+		out = append(out, l)
+	}
+	return out
+}
+
 // PortStatsView is the merged statistics view for one port, combining the
 // host-side normal-channel counters with live and folded bypass counters.
 type PortStatsView struct {

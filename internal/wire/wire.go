@@ -1,0 +1,319 @@
+// Package wire simulates the physical cable joining two NFV nodes' NICs.
+// Each direction is pumped by one goroutine that drains the transmitting
+// NIC's wire side (nic.DrainToWire), re-homes every frame into the receiving
+// node's mempool, optionally applies rate and propagation-latency shaping,
+// and injects the copies into the receiving NIC (nic.InjectFromWire).
+//
+// Re-homing is the load-bearing step: the two nodes own independent
+// fixed-population pools (independent hugepage regions on real hosts), so a
+// frame can never carry its buffer across the wire — the payload is copied
+// into a buffer allocated from the destination pool and the source buffer
+// returns to its own freelist. The mempool ownership guard turns any
+// violation of this rule into a panic instead of silent freelist corruption.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
+)
+
+// Endpoint is one side of a wire: the NIC it plugs into and the node-local
+// pool arriving frames are re-homed into.
+type Endpoint struct {
+	NIC  *nic.NIC
+	Pool *mempool.Pool
+}
+
+// Shaping configures one direction of the wire.
+type Shaping struct {
+	// RatePps caps the carried rate (0 = unshaped; the NICs on both ends
+	// already pace at their own line rate, so wires usually leave this 0).
+	RatePps float64
+	// Latency is the propagation delay added to every frame.
+	Latency time.Duration
+}
+
+// Config parametrizes New.
+type Config struct {
+	Name string
+	A, B Endpoint
+	// AtoB/BtoA shape the two directions independently.
+	AtoB, BtoA Shaping
+	// BatchSize is the per-iteration pump burst (default 32).
+	BatchSize int
+}
+
+// DirStats counts one direction's traffic.
+type DirStats struct {
+	// Carried frames were delivered into the receiving NIC.
+	Carried uint64
+	// Dropped frames were lost on the wire: receiving pool exhausted,
+	// receiving NIC ring full, or frame larger than the receiving buffers.
+	Dropped uint64
+}
+
+// Wire is a running bidirectional link.
+type Wire struct {
+	name string
+	ab   *pump
+	ba   *pump
+}
+
+// New connects the two endpoints and starts both direction pumps.
+func New(cfg Config) (*Wire, error) {
+	if cfg.A.NIC == nil || cfg.B.NIC == nil {
+		return nil, errors.New("wire: both endpoints need a NIC")
+	}
+	if cfg.A.Pool == nil || cfg.B.Pool == nil {
+		return nil, errors.New("wire: both endpoints need a pool")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	w := &Wire{
+		name: cfg.Name,
+		ab:   newPump(fmt.Sprintf("%s:a->b", cfg.Name), cfg.A, cfg.B, cfg.AtoB, cfg.BatchSize),
+		ba:   newPump(fmt.Sprintf("%s:b->a", cfg.Name), cfg.B, cfg.A, cfg.BtoA, cfg.BatchSize),
+	}
+	go w.ab.run()
+	go w.ba.run()
+	return w, nil
+}
+
+// Name returns the wire's name.
+func (w *Wire) Name() string { return w.name }
+
+// Stats returns per-direction counters (A→B, B→A).
+func (w *Wire) Stats() (ab, ba DirStats) { return w.ab.stats(), w.ba.stats() }
+
+// Stop halts both pumps and frees frames still in flight on the wire.
+// Frames parked inside the NIC queues stay put: they belong to whoever
+// tears the NICs down.
+func (w *Wire) Stop() {
+	w.ab.stopAndDrain()
+	w.ba.stopAndDrain()
+}
+
+// delayed is one re-homed frame waiting out its propagation delay.
+type delayed struct {
+	buf *mempool.Buf
+	due int64 // UnixNano
+}
+
+// pump moves one direction: src NIC wire-TX → re-home → shape → dst NIC
+// wire-RX. The goroutine is the single consumer of the src queue and the
+// single producer of the dst queue, honoring both SPSC contracts.
+type pump struct {
+	name    string
+	src     Endpoint
+	dst     Endpoint
+	shaping Shaping
+	bucket  tokenBucket
+
+	drained []*mempool.Buf // scratch: frames pulled off the src NIC
+	homed   []*mempool.Buf // scratch: fresh dst-pool buffers
+	inFly   []delayed      // FIFO delay line (head index avoids reslicing)
+	inHead  int
+
+	carried atomic.Uint64
+	dropped atomic.Uint64
+
+	stop atomic.Bool
+	done chan struct{}
+}
+
+func newPump(name string, src, dst Endpoint, sh Shaping, batch int) *pump {
+	p := &pump{
+		name:    name,
+		src:     src,
+		dst:     dst,
+		shaping: sh,
+		drained: make([]*mempool.Buf, batch),
+		homed:   make([]*mempool.Buf, batch),
+		done:    make(chan struct{}),
+	}
+	p.bucket.init(sh.RatePps)
+	return p
+}
+
+func (p *pump) stats() DirStats {
+	return DirStats{Carried: p.carried.Load(), Dropped: p.dropped.Load()}
+}
+
+func (p *pump) run() {
+	defer close(p.done)
+	for !p.stop.Load() {
+		moved := p.pull()
+		moved += p.deliver()
+		if moved == 0 {
+			// Idle (or waiting out a propagation delay): yield the core. A
+			// busy spin here would starve the single-core measurement hosts
+			// (see DESIGN.md "Cooperative backpressure").
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// pull drains a burst off the transmitting NIC and re-homes it into the
+// destination pool. Frames that cannot be re-homed (destination pool
+// exhausted, oversized payload) are dropped on the wire.
+func (p *pump) pull() int {
+	want := len(p.drained)
+	if allowed := p.bucket.take(want); allowed < want {
+		want = allowed
+	}
+	if want == 0 {
+		return 0
+	}
+	n := p.src.NIC.DrainToWire(p.drained[:want])
+	p.bucket.refund(want - n)
+	if n == 0 {
+		return 0
+	}
+	got := p.dst.Pool.GetBatch(p.homed[:n])
+	now := time.Now()
+	due := now.Add(p.shaping.Latency).UnixNano()
+	kept := 0
+	for i := 0; i < n; i++ {
+		srcBuf := p.drained[i]
+		if kept >= got {
+			continue // destination pool exhausted: wire drop
+		}
+		dstBuf := p.homed[kept]
+		if err := dstBuf.SetBytes(srcBuf.Bytes()); err != nil {
+			continue // frame exceeds destination buffer geometry: wire drop
+		}
+		dstBuf.TS = srcBuf.TS // latency probes survive the hop
+		p.inFly = append(p.inFly, delayed{buf: dstBuf, due: due})
+		kept++
+	}
+	// Unused destination buffers (re-home failures) go straight back…
+	if kept < got {
+		mempool.FreeBatch(p.homed[kept:got])
+	}
+	// …and every source buffer returns to the transmitting node's pool.
+	mempool.FreeBatch(p.drained[:n])
+	if d := n - kept; d > 0 {
+		p.dropped.Add(uint64(d))
+	}
+	return n
+}
+
+// deliver injects frames whose propagation delay has elapsed into the
+// receiving NIC. Frames the NIC ring rejects are dropped (a full physical
+// RX ring drops on the wire too).
+func (p *pump) deliver() int {
+	pending := len(p.inFly) - p.inHead
+	if pending == 0 {
+		return 0
+	}
+	ready := p.inHead
+	now := time.Now().UnixNano()
+	for ready < len(p.inFly) && p.inFly[ready].due <= now {
+		ready++
+	}
+	if ready == p.inHead {
+		return 0
+	}
+	moved := 0
+	for p.inHead < ready {
+		// Reuse the homed scratch as the injection window.
+		k := 0
+		for p.inHead < ready && k < len(p.homed) {
+			p.homed[k] = p.inFly[p.inHead].buf
+			k++
+			p.inHead++
+		}
+		sent := p.dst.NIC.InjectFromWire(p.homed[:k])
+		p.carried.Add(uint64(sent))
+		moved += k
+		if sent < k {
+			mempool.FreeBatch(p.homed[sent:k])
+			p.dropped.Add(uint64(k - sent))
+		}
+	}
+	if p.inHead == len(p.inFly) {
+		p.inFly = p.inFly[:0]
+		p.inHead = 0
+	} else if p.inHead >= 1024 {
+		// Under sustained latency-shaped traffic the line never fully
+		// drains, so compact the consumed head periodically or the slice
+		// grows for the wire's lifetime.
+		n := copy(p.inFly, p.inFly[p.inHead:])
+		p.inFly = p.inFly[:n]
+		p.inHead = 0
+	}
+	return moved
+}
+
+// stopAndDrain halts the pump goroutine and frees frames still on the delay
+// line (they were already re-homed, so they return to the destination pool).
+func (p *pump) stopAndDrain() {
+	if !p.stop.CompareAndSwap(false, true) {
+		return
+	}
+	<-p.done
+	for _, d := range p.inFly[p.inHead:] {
+		d.buf.Free()
+	}
+	p.inFly = nil
+	p.inHead = 0
+}
+
+// tokenBucket is a packet-granular rate limiter (rate 0 disables shaping).
+// Single-goroutine use: only the owning pump touches it.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (t *tokenBucket) init(rate float64) {
+	t.rate = rate
+	if rate <= 0 {
+		t.rate = 0
+		return
+	}
+	t.burst = rate / 1000 // 1 ms of line rate
+	if t.burst < 64 {
+		t.burst = 64
+	}
+	t.tokens = t.burst
+	t.last = time.Now()
+}
+
+func (t *tokenBucket) take(want int) int {
+	if t.rate == 0 {
+		return want
+	}
+	now := time.Now()
+	t.tokens += now.Sub(t.last).Seconds() * t.rate
+	t.last = now
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	grant := int(t.tokens)
+	if grant > want {
+		grant = want
+	}
+	if grant > 0 {
+		t.tokens -= float64(grant)
+	}
+	return grant
+}
+
+func (t *tokenBucket) refund(n int) {
+	if t.rate == 0 || n <= 0 {
+		return
+	}
+	t.tokens += float64(n)
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+}
