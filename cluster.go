@@ -16,21 +16,24 @@ type ClusterConfig struct {
 	// Nodes names the compute nodes, in placement order; the first is the
 	// default target for unplaced VNFs. Default: {"node0", "node1"}.
 	Nodes []string
-	// WireRatePps caps each direction of every inter-node wire NIC
-	// (0 = 10G line rate for 64B frames, negative = unlimited).
-	WireRatePps float64
-	// WireLatency adds per-direction propagation delay on the wires.
+	// TrunkRate caps each direction of every node-pair trunk, SHARED by all
+	// VLAN lanes riding it (0 = 10G line rate for 64B frames, negative =
+	// unlimited). This models the contended ToR uplink: k crossings between
+	// two nodes split one budget instead of getting k private wires.
+	TrunkRate float64
+	// WireLatency adds per-direction propagation delay on the trunks.
 	WireLatency time.Duration
 }
 
-// Cluster is a running set of NFV nodes connected by simulated wires.
-// Service graphs deployed on it are partitioned by per-VNF placement
-// (graph.VNF.Node); hops between co-located VNFs behave exactly as on a
-// single node — including, in highway mode, transparent bypass — while
-// hops that cross nodes ride NIC-to-NIC wires.
+// Cluster is a running set of NFV nodes connected by shared VLAN-steered
+// trunks (one per node pair). Service graphs deployed on it are partitioned
+// by per-VNF placement (graph.VNF.Node); hops between co-located VNFs
+// behave exactly as on a single node — including, in highway mode,
+// transparent bypass — while hops that cross nodes become VLAN lanes
+// contending for the pair's trunk.
 type Cluster struct {
 	inner *orchestrator.Cluster
-	wcfg  orchestrator.WireConfig
+	tcfg  orchestrator.TrunkConfig
 }
 
 // StartCluster boots cfg.Nodes NFV nodes, each with its own vSwitch,
@@ -46,8 +49,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	return &Cluster{
 		inner: inner,
-		wcfg: orchestrator.WireConfig{
-			RatePps: cfg.WireRatePps,
+		tcfg: orchestrator.TrunkConfig{
+			RatePps: cfg.TrunkRate,
 			Latency: cfg.WireLatency,
 		},
 	}, nil
@@ -79,13 +82,26 @@ func (c *Cluster) NodeBypassCount(name string) int {
 func (c *Cluster) WaitBypasses(want int) bool { return c.inner.WaitBypassCount(want) }
 
 // Deploy partitions g by VNF placement and lowers each partition on its
-// node, wiring the boundaries.
+// node, steering the boundary crossings over shared trunk lanes.
 func (c *Cluster) Deploy(g *Graph) (*ClusterDeployment, error) {
-	cd, err := c.inner.Deploy(g, c.wcfg)
+	cd, err := c.inner.Deploy(g, c.tcfg)
 	if err != nil {
 		return nil, err
 	}
 	return &ClusterDeployment{inner: cd}, nil
+}
+
+// DeployPlaced runs the crossing-minimizing placement optimizer
+// (graph.Place, a balanced Kernighan–Lin-style swap heuristic) over g
+// before deploying: unpinned VNFs are assigned nodes so the deployment pays
+// as few trunk lanes as possible. Returns the deployment and the crossing
+// count the optimizer settled on.
+func (c *Cluster) DeployPlaced(g *Graph) (*ClusterDeployment, int, error) {
+	cd, crossings, err := c.inner.DeployPlaced(g, c.tcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &ClusterDeployment{inner: cd}, crossings, nil
 }
 
 // Internal returns the underlying orchestrator cluster, for advanced
@@ -188,9 +204,47 @@ func (c *SplitChain) MeasureMpps(window time.Duration) float64 {
 	return c.RatePps() / 1e6
 }
 
+// LatencyQuantile returns the q-quantile of one-way latency across both
+// directions. Only meaningful for chains deployed with Timestamp: true;
+// timestamps survive the trunk hop (the pump copies them across pools).
+func (c *SplitChain) LatencyQuantile(q float64) time.Duration {
+	var worst time.Duration
+	for _, e := range c.ends {
+		if v := e.Lat.Quantile(q); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// LatencyMean returns the mean one-way latency across both directions.
+func (c *SplitChain) LatencyMean() time.Duration {
+	var sum time.Duration
+	var n int
+	for _, e := range c.ends {
+		if e.Lat.Count() > 0 {
+			sum += e.Lat.Mean()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// LatencySamples returns the number of recorded latency samples.
+func (c *SplitChain) LatencySamples() uint64 {
+	var total uint64
+	for _, e := range c.ends {
+		total += e.Lat.Count()
+	}
+	return total
+}
+
 // ExpectedBypasses returns the number of directed bypass links a highway
 // cluster should establish for this chain: every intra-node VM↔VM hop in
-// both directions. A segment of k VMs contributes k-1 hops; the wire hops
+// both directions. A segment of k VMs contributes k-1 hops; the trunk hops
 // between segments cannot bypass.
 func (c *SplitChain) ExpectedBypasses() int {
 	hops := 0

@@ -8,9 +8,9 @@ import (
 func startCluster(t *testing.T, mode Mode) *Cluster {
 	t.Helper()
 	c, err := StartCluster(ClusterConfig{
-		Config:      Config{Mode: mode},
-		Nodes:       []string{"node-a", "node-b"},
-		WireRatePps: -1,
+		Config:    Config{Mode: mode},
+		Nodes:     []string{"node-a", "node-b"},
+		TrunkRate: -1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -27,7 +27,7 @@ type flowSpec struct {
 // send_flow_rem, in_port, dl_type, dl_src, dl_dst, dl_vlan, nw_proto,
 // nw_src, nw_dst (with /len), tp_src, tp_dst.
 // Supported actions: output:N, drop, controller, dec_ttl, mod_dl_src:MAC,
-// mod_dl_dst:MAC.
+// mod_dl_dst:MAC, push_vlan:VID, strip_vlan, mod_vlan_vid:VID.
 func parseFlowSpec(s string) (flowSpec, error) {
 	spec := flowSpec{
 		prio: 32768, // OpenFlow default priority
@@ -170,6 +170,20 @@ func parseActions(s string) (flow.Actions, error) {
 			acts = append(acts, flow.Controller())
 		case a == "dec_ttl":
 			acts = append(acts, flow.DecTTL())
+		case a == "strip_vlan":
+			acts = append(acts, flow.PopVlan())
+		case strings.HasPrefix(a, "push_vlan:"):
+			vid, err := parseVid(a[len("push_vlan:"):])
+			if err != nil {
+				return nil, fmt.Errorf("bad push_vlan action %q: %w", a, err)
+			}
+			acts = append(acts, flow.PushVlan(vid))
+		case strings.HasPrefix(a, "mod_vlan_vid:"):
+			vid, err := parseVid(a[len("mod_vlan_vid:"):])
+			if err != nil {
+				return nil, fmt.Errorf("bad mod_vlan_vid action %q: %w", a, err)
+			}
+			acts = append(acts, flow.SetVlan(vid))
 		case strings.HasPrefix(a, "output:"):
 			v, err := strconv.ParseUint(a[len("output:"):], 10, 32)
 			if err != nil {
@@ -193,6 +207,18 @@ func parseActions(s string) (flow.Actions, error) {
 		}
 	}
 	return acts, nil
+}
+
+// parseVid parses a VLAN id, enforcing the 802.1Q range 1..4094.
+func parseVid(s string) (uint16, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 16)
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 || v > 4094 {
+		return 0, fmt.Errorf("vid %d out of range [1,4094]", v)
+	}
+	return uint16(v), nil
 }
 
 func parseMAC(s string) (pkt.MAC, error) {

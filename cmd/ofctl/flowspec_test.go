@@ -69,6 +69,36 @@ func TestParseFlowSpecVlanAndMACs(t *testing.T) {
 	}
 }
 
+func TestParseFlowSpecVlanActions(t *testing.T) {
+	// The sender side of a trunk lane: tag and hand to the trunk port.
+	spec, err := parseFlowSpec("in_port=3,actions=push_vlan:42,output:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.acts.Equal(flow.Actions{flow.PushVlan(42), flow.Output(9)}) {
+		t.Fatalf("actions = %v", spec.acts)
+	}
+	// The receiver side: match the lane, strip, deliver.
+	spec, err = parseFlowSpec("in_port=9,dl_vlan=42,actions=strip_vlan,output:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.m.Equal(flow.MatchInPort(9).WithVlan(42)) {
+		t.Fatalf("match = %s", spec.m)
+	}
+	if !spec.acts.Equal(flow.Actions{flow.PopVlan(), flow.Output(4)}) {
+		t.Fatalf("actions = %v", spec.acts)
+	}
+	// VID rewrite.
+	spec, err = parseFlowSpec("dl_vlan=5,actions=mod_vlan_vid:6,output:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.acts.Equal(flow.Actions{flow.SetVlan(6), flow.Output(1)}) {
+		t.Fatalf("actions = %v", spec.acts)
+	}
+}
+
 func TestParseFlowSpecErrors(t *testing.T) {
 	cases := []string{
 		"in_port=1",                             // no actions
@@ -81,6 +111,10 @@ func TestParseFlowSpecErrors(t *testing.T) {
 		"nw_dst=10.0.0,actions=drop",            // bad IP
 		"priority=70000,actions=drop",           // priority overflow
 		"in_port=,actions=drop",                 // empty value
+		"actions=push_vlan:0",                   // vid 0 unpushable
+		"actions=push_vlan:4095",                // vid out of range
+		"actions=push_vlan:xyz",                 // bad vid
+		"actions=mod_vlan_vid:4095",             // vid out of range
 	}
 	for _, c := range cases {
 		if _, err := parseFlowSpec(c); err == nil {

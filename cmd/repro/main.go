@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro                 # everything
-//	repro -exp fig3a      # one experiment: fig3a | fig3b | multinode | latency | setup
+//	repro -exp fig3a      # one: fig3a | fig3b | multinode | wlatency | latency | setup
 //	repro -window 1s      # longer measurement windows for stabler numbers
 package main
 
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "multinode", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "wlatency", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -46,6 +46,7 @@ func main() {
 	run("fig3a", func() error { return fig3a(cfg) })
 	run("fig3b", func() error { return fig3b(cfg) })
 	run("multinode", func() error { return multinode(cfg) })
+	run("wlatency", func() error { return wlatency(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
 	// The strict pass/fail gate is opt-in only: a noisy host failing the
@@ -131,8 +132,34 @@ func fig3b(cfg highway.ExperimentConfig) error {
 	return nil
 }
 
+func wlatency(cfg highway.ExperimentConfig) error {
+	const vms = 6
+	fmt.Println("=== Wire latency: 2-node split chain vs trunk propagation delay ===")
+	fmt.Printf("    (%d VMs, one trunk crossing; delay adds a mode-independent floor,\n", vms)
+	fmt.Println("     so the highway's latency edge shrinks while its throughput edge survives)")
+	fmt.Printf("%10s %12s %12s %12s %12s %10s %10s\n",
+		"wire delay", "vanilla p50", "highway p50", "vanilla p99", "highway p99",
+		"van Mpps", "hw Mpps")
+	for _, lat := range []time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond, time.Millisecond} {
+		v, err := highway.RunWireLatencyPoint(vms, lat, highway.ModeVanilla, cfg)
+		if err != nil {
+			return err
+		}
+		h, err := highway.RunWireLatencyPoint(vms, lat, highway.ModeHighway, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10v %12v %12v %12v %12v %10.3f %10.3f\n",
+			lat, v.P50.Round(time.Microsecond), h.P50.Round(time.Microsecond),
+			v.P99.Round(time.Microsecond), h.P99.Round(time.Microsecond),
+			v.Mpps, h.Mpps)
+	}
+	fmt.Println()
+	return nil
+}
+
 func multinode(cfg highway.ExperimentConfig) error {
-	fmt.Println("=== Multi-node: bidirectional chains split across 2 nodes joined by a 10G wire ===")
+	fmt.Println("=== Multi-node: bidirectional chains split across 2 nodes sharing a 10G trunk ===")
 	fmt.Println("    (beyond the paper: intra-node hops still bypass; the wire hop cannot)")
 	fmt.Printf("%8s %9s %22s %22s %8s %9s\n",
 		"# VMs", "split", "vanilla cluster [Mpps]", "highway cluster [Mpps]", "speedup", "bypasses")

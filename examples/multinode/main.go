@@ -1,8 +1,9 @@
-// Multinode: boot a 2-node cluster joined by a simulated 10G wire, split a
-// 3-forwarder bidirectional chain across the nodes, and compare highway
-// against vanilla. The chain's intra-node hops still become direct
-// VM-to-VM channels in highway mode; only the single wire hop stays on the
-// NIC path — the paper's mechanism composed with a real scale-out topology.
+// Multinode: boot a 2-node cluster joined by a shared VLAN-steered 10G
+// trunk, split a 3-forwarder bidirectional chain across the nodes, and
+// compare highway against vanilla. The chain's intra-node hops still become
+// direct VM-to-VM channels in highway mode; only the single trunk hop stays
+// on the NIC path — the paper's mechanism composed with a real scale-out
+// topology.
 package main
 
 import (
@@ -30,7 +31,7 @@ func measure(mode highway.Mode) float64 {
 	defer chain.Stop()
 
 	seg := chain.Segments()
-	fmt.Printf("  placement: %d VMs on node-a, %d on node-b (1 wire hop)\n", seg[0], seg[1])
+	fmt.Printf("  placement: %d VMs on node-a, %d on node-b (1 trunk lane)\n", seg[0], seg[1])
 	if mode == highway.ModeHighway {
 		if !cluster.WaitBypasses(chain.ExpectedBypasses()) {
 			log.Fatalf("bypasses not established (%d live, want %d)",
@@ -45,8 +46,8 @@ func measure(mode highway.Mode) float64 {
 }
 
 func main() {
-	fmt.Println("cluster: node-a ═(10G wire)═ node-b")
-	fmt.Println("chain:   end0 ⇄ vnf1 ⇄ vnf2 │ vnf3 ⇄ end1 (bidirectional 64B, │ = wire)")
+	fmt.Println("cluster: node-a ═(10G VLAN trunk)═ node-b")
+	fmt.Println("chain:   end0 ⇄ vnf1 ⇄ vnf2 │ vnf3 ⇄ end1 (bidirectional 64B, │ = trunk lane)")
 
 	fmt.Println("\nvanilla cluster (every hop through its node's vSwitch):")
 	vanilla := measure(highway.ModeVanilla)

@@ -121,7 +121,7 @@ func RunFig3b(vmCounts []int, cfg ExperimentConfig) ([]ThroughputRow, error) {
 
 // MultiNodeRow is one point of the 2-node split-chain experiment: a
 // Fig-3a-style bidirectional chain whose VM sequence is split contiguously
-// across two nodes joined by a simulated wire.
+// across two nodes joined by a shared VLAN-steered trunk.
 type MultiNodeRow struct {
 	VMs      int // total chain VMs (both endpoints included), paper x-axis
 	Mode     Mode
@@ -132,8 +132,9 @@ type MultiNodeRow struct {
 
 // RunMultiNodePoint measures one 2-node split-chain point: vms total VMs
 // (so vms-2 forwarders) split across nodes "node-a"/"node-b". Intra-node
-// hops can bypass in highway mode; the inter-node hop rides a NIC-to-NIC
-// wire at 10G line rate in either mode.
+// hops can bypass in highway mode; the inter-node hop rides a VLAN lane on
+// the nodes' shared 10G trunk in either mode — realistic shared-uplink
+// contention, not a private wire.
 func RunMultiNodePoint(vms int, mode Mode, cfg ExperimentConfig) (MultiNodeRow, error) {
 	cfg.fill()
 	if vms < 2 {
@@ -171,6 +172,77 @@ func RunMultiNode(vmCounts []int, cfg ExperimentConfig) ([]MultiNodeRow, error) 
 	for _, vms := range vmCounts {
 		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
 			r, err := RunMultiNodePoint(vms, mode, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// WireLatencyRow is one point of the cross-node propagation-delay sweep:
+// a 2-node split chain measured under a given per-direction trunk latency.
+type WireLatencyRow struct {
+	WireLatency time.Duration
+	VMs         int
+	Mode        Mode
+	Mpps        float64
+	P50, P99    time.Duration
+	Samples     uint64
+}
+
+// RunWireLatencyPoint measures one split-chain point under the given trunk
+// propagation delay (ClusterConfig.WireLatency): throughput and one-way
+// latency together, under bidirectional load. The chain crosses the trunk
+// once, so every end-to-end path pays the delay exactly once per direction.
+func RunWireLatencyPoint(vms int, wireLat time.Duration, mode Mode, cfg ExperimentConfig) (WireLatencyRow, error) {
+	cfg.fill()
+	if vms < 2 {
+		return WireLatencyRow{}, fmt.Errorf("wlatency: need >= 2 VMs, got %d", vms)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Config:      Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled},
+		Nodes:       []string{"node-a", "node-b"},
+		WireLatency: wireLat,
+	})
+	if err != nil {
+		return WireLatencyRow{}, err
+	}
+	defer cluster.Stop()
+	chain, err := cluster.DeploySplitChain(vms-2, nil, ChainOptions{Flows: cfg.Flows, Timestamp: true})
+	if err != nil {
+		return WireLatencyRow{}, err
+	}
+	defer chain.Stop()
+	if mode == ModeHighway && !cluster.WaitBypasses(chain.ExpectedBypasses()) {
+		return WireLatencyRow{}, fmt.Errorf("wlatency: bypasses not established (%d live, want %d)",
+			cluster.BypassCount(), chain.ExpectedBypasses())
+	}
+	time.Sleep(cfg.Warmup)
+	chain.ResetWindow()
+	time.Sleep(cfg.Window)
+	return WireLatencyRow{
+		WireLatency: wireLat,
+		VMs:         vms,
+		Mode:        mode,
+		Mpps:        chain.RatePps() / 1e6,
+		P50:         chain.LatencyQuantile(0.50),
+		P99:         chain.LatencyQuantile(0.99),
+		Samples:     chain.LatencySamples(),
+	}, nil
+}
+
+// RunWireLatency sweeps the trunk propagation delay over a fixed split
+// chain for both modes (ROADMAP's cross-node latency experiment). The
+// expectation: the wire delay adds a mode-independent floor, so the
+// highway's relative latency advantage shrinks as propagation dominates —
+// but its throughput advantage survives untouched.
+func RunWireLatency(vms int, latencies []time.Duration, cfg ExperimentConfig) ([]WireLatencyRow, error) {
+	var rows []WireLatencyRow
+	for _, lat := range latencies {
+		for _, mode := range []Mode{ModeVanilla, ModeHighway} {
+			r, err := RunWireLatencyPoint(vms, lat, mode, cfg)
 			if err != nil {
 				return rows, err
 			}

@@ -18,6 +18,9 @@ const (
 	ActSetEthSrc                        // rewrite source MAC
 	ActSetEthDst                        // rewrite destination MAC
 	ActDecTTL                           // decrement IPv4 TTL, drop at zero
+	ActPushVlan                         // push an 802.1Q tag carrying Vlan
+	ActPopVlan                          // strip the outermost 802.1Q tag
+	ActSetVlan                          // rewrite the vid of an existing tag
 )
 
 // Action is one datapath action. The zero value is invalid.
@@ -25,6 +28,7 @@ type Action struct {
 	Type ActionType
 	Port uint32  // ActOutput
 	MAC  pkt.MAC // ActSetEthSrc / ActSetEthDst
+	Vlan uint16  // ActPushVlan / ActSetVlan
 }
 
 // Output returns an output-to-port action.
@@ -45,6 +49,18 @@ func SetEthDst(m pkt.MAC) Action { return Action{Type: ActSetEthDst, MAC: m} }
 // DecTTL returns a TTL-decrement action.
 func DecTTL() Action { return Action{Type: ActDecTTL} }
 
+// PushVlan returns an action pushing an 802.1Q tag with the given VLAN id —
+// the sender-side half of trunk-lane steering.
+func PushVlan(vid uint16) Action { return Action{Type: ActPushVlan, Vlan: vid & 0x0fff} }
+
+// PopVlan returns an action stripping the outermost 802.1Q tag — the
+// receiver-side half of trunk-lane steering.
+func PopVlan() Action { return Action{Type: ActPopVlan} }
+
+// SetVlan returns an action rewriting the VLAN id of an already-tagged
+// frame (ovs-ofctl mod_vlan_vid).
+func SetVlan(vid uint16) Action { return Action{Type: ActSetVlan, Vlan: vid & 0x0fff} }
+
 // String renders the action in ovs-ofctl style.
 func (a Action) String() string {
 	switch a.Type {
@@ -60,6 +76,12 @@ func (a Action) String() string {
 		return "mod_dl_dst:" + a.MAC.String()
 	case ActDecTTL:
 		return "dec_ttl"
+	case ActPushVlan:
+		return fmt.Sprintf("push_vlan:%d", a.Vlan)
+	case ActPopVlan:
+		return "strip_vlan"
+	case ActSetVlan:
+		return fmt.Sprintf("mod_vlan_vid:%d", a.Vlan)
 	default:
 		return fmt.Sprintf("unknown(%d)", a.Type)
 	}

@@ -162,6 +162,32 @@ func TestActionsHelpers(t *testing.T) {
 	}
 }
 
+func TestVlanActions(t *testing.T) {
+	// Constructors mask to the 12-bit vid space.
+	if PushVlan(0xffff).Vlan != 0x0fff || SetVlan(0x1005).Vlan != 5 {
+		t.Error("vid not masked to 12 bits")
+	}
+	// The trunk-lane rule shapes must never look like p-2-p candidates.
+	push := Actions{PushVlan(7), Output(3)}
+	if push.IsPureOutputTo(3) {
+		t.Error("push+output treated as pure output — the detector would bypass a trunk hop")
+	}
+	pop := Actions{PopVlan(), Output(4)}
+	if pop.IsPureOutputTo(4) {
+		t.Error("pop+output treated as pure output")
+	}
+	// ovs-ofctl-style rendering.
+	if got := push.String(); got != "push_vlan:7,output:3" {
+		t.Errorf("push String = %q", got)
+	}
+	if got := (Actions{PopVlan()}).String(); got != "strip_vlan" {
+		t.Errorf("pop String = %q", got)
+	}
+	if got := (Actions{SetVlan(9)}).String(); got != "mod_vlan_vid:9" {
+		t.Errorf("set String = %q", got)
+	}
+}
+
 func TestTableLookupPriority(t *testing.T) {
 	tb := NewTable()
 	lo := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)

@@ -131,24 +131,24 @@ func (g *Graph) Validate() error {
 }
 
 // CrossEdge is one graph edge that crosses a node boundary after
-// partitioning. The partitioner replaces it with two local NIC-terminated
-// edges (one per side) and records here which synthesized NICs must be
-// joined by a wire.
+// partitioning. The edge is removed from both local graphs; the deployer
+// realizes it as a VLAN lane on the shared trunk joining the two nodes,
+// steering each side with vlan push/pop rules against the endpoints
+// recorded here.
 type CrossEdge struct {
 	// Index is the position of the original edge in Graph.Edges.
 	Index int
 	// NodeA/NodeB are the nodes hosting the edge's A/B endpoints.
 	NodeA, NodeB string
-	// NICA/NICB are the synthesized NIC names on each side; the deployer
-	// attaches a NIC under each name and wires them together.
-	NICA, NICB string
+	// A/B are the original (VNF) endpoints of the cut edge.
+	A, B Endpoint
 	// Bidirectional mirrors the original edge.
 	Bidirectional bool
 }
 
 // Partition is a service graph split across compute nodes: one local graph
-// per node (with NIC endpoints auto-inserted where edges cross a boundary)
-// plus the list of crossings to realize as wires.
+// per node (crossing edges removed) plus the list of crossings to realize
+// as trunk lanes.
 type Partition struct {
 	// Local maps node name → the node-local subgraph. Only nodes that host
 	// at least one VNF appear.
@@ -177,19 +177,17 @@ func nodeOf(ep Endpoint, byName map[string]VNF, defaultNode string, nicNode map[
 // Partition splits g by VNF placement. VNFs with an empty Node land on
 // defaultNode; nicNode maps externally-registered NIC names to their nodes
 // (nil is fine when the graph has no NIC endpoints or they all live on the
-// default node). nicPrefix prepends every synthesized NIC name — deployers
-// that keep several partitions live on the same nodes pass a
-// deployment-unique prefix so the names never collide.
+// default node).
 //
 // Every edge whose endpoints resolve to the same node is copied into that
 // node's local graph unchanged. A VNF↔VNF edge crossing a boundary is
-// realizable: it is cut into A↔NIC(<prefix>xwN.a) on one side and
-// NIC(<prefix>xwN.b)↔B on the other, with the crossing recorded for wire
-// creation. An edge that crosses a boundary at a NIC endpoint is NOT
+// realizable: it is removed from both local graphs and recorded as a
+// CrossEdge for the deployer to realize as a VLAN lane on the node pair's
+// shared trunk. An edge that crosses a boundary at a NIC endpoint is NOT
 // realizable — the physical NIC's wire side is owned by external traffic,
 // so there is no place to splice an inter-node hop — and Partition rejects
 // it.
-func (g *Graph) Partition(defaultNode string, nicNode map[string]string, nicPrefix string) (*Partition, error) {
+func (g *Graph) Partition(defaultNode string, nicNode map[string]string) (*Partition, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -228,20 +226,30 @@ func (g *Graph) Partition(defaultNode string, nicNode map[string]string, nicPref
 				"graph: edge %d crosses nodes %s/%s at a NIC endpoint — not realizable; place the NIC's peer on the NIC's node",
 				i, na, nb)
 		}
-		ce := CrossEdge{
+		p.Cross = append(p.Cross, CrossEdge{
 			Index: i, NodeA: na, NodeB: nb,
-			NICA: fmt.Sprintf("%sxw%d.a", nicPrefix, i), NICB: fmt.Sprintf("%sxw%d.b", nicPrefix, i),
+			A: e.A, B: e.B,
 			Bidirectional: e.Bidirectional,
-		}
-		p.Cross = append(p.Cross, ce)
-		local(na).Edges = append(local(na).Edges, Edge{
-			A: e.A, B: NIC(ce.NICA), Bidirectional: e.Bidirectional,
-		})
-		local(nb).Edges = append(local(nb).Edges, Edge{
-			A: NIC(ce.NICB), B: e.B, Bidirectional: e.Bidirectional,
 		})
 	}
 	return p, nil
+}
+
+// Crossings counts the edges whose endpoints resolve to different nodes
+// under the current placement — the cost function the Place optimizer
+// minimizes and deployers pay one trunk lane per unit of.
+func (g *Graph) Crossings(defaultNode string, nicNode map[string]string) int {
+	byName := make(map[string]VNF, len(g.VNFs))
+	for _, v := range g.VNFs {
+		byName[v.Name] = v
+	}
+	n := 0
+	for _, e := range g.Edges {
+		if nodeOf(e.A, byName, defaultNode, nicNode) != nodeOf(e.B, byName, defaultNode, nicNode) {
+			n++
+		}
+	}
+	return n
 }
 
 // Nodes returns the set of node names a graph's placement references

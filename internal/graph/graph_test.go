@@ -74,7 +74,7 @@ func TestKindPortCount(t *testing.T) {
 
 func TestPartitionSingleNode(t *testing.T) {
 	g := BidirChain(2)
-	p, err := g.Partition("n0", nil, "")
+	p, err := g.Partition("n0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestPartitionSingleNode(t *testing.T) {
 func TestPartitionSplitsChainAcrossTwoNodes(t *testing.T) {
 	// end0, vnf1, vnf2, vnf3, end1 split 3+2: the vnf2↔vnf3 hop crosses.
 	g := SplitBidirChain(3, []string{"a", "b"})
-	p, err := g.Partition("a", nil, "")
+	p, err := g.Partition("a", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +110,10 @@ func TestPartitionSplitsChainAcrossTwoNodes(t *testing.T) {
 	if !ce.Bidirectional {
 		t.Fatal("crossing lost bidirectionality")
 	}
+	// The cut edge's endpoints survive for the trunk-lane steering rules.
+	if ce.A != VNFPort("vnf2", 1) || ce.B != VNFPort("vnf3", 0) {
+		t.Fatalf("crossing endpoints = %+v/%+v", ce.A, ce.B)
+	}
 	la, lb := p.Local["a"], p.Local["b"]
 	if la == nil || lb == nil {
 		t.Fatalf("missing local graphs: %v", p.Local)
@@ -117,23 +121,18 @@ func TestPartitionSplitsChainAcrossTwoNodes(t *testing.T) {
 	if len(la.VNFs) != 3 || len(lb.VNFs) != 2 {
 		t.Fatalf("segment sizes %d/%d, want 3/2", len(la.VNFs), len(lb.VNFs))
 	}
-	// Each side gained exactly one NIC-terminated edge in place of the cut.
-	nicEdges := func(lg *Graph) int {
-		n := 0
-		for _, e := range lg.Edges {
-			if e.A.Kind == EpNIC || e.B.Kind == EpNIC {
-				n++
-			}
-		}
-		return n
-	}
-	if nicEdges(la) != 1 || nicEdges(lb) != 1 {
-		t.Fatalf("NIC edge counts %d/%d, want 1/1", nicEdges(la), nicEdges(lb))
+	// The crossing edge is removed from both sides (the trunk deployer
+	// steers it); the remaining local edges stay intact.
+	if len(la.Edges)+len(lb.Edges) != len(g.Edges)-1 {
+		t.Fatalf("local edges %d+%d, want %d", len(la.Edges), len(lb.Edges), len(g.Edges)-1)
 	}
 	for _, lg := range p.Local {
 		if err := lg.Validate(); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if got := g.Crossings("a", nil); got != 1 {
+		t.Fatalf("Crossings = %d, want 1", got)
 	}
 }
 
@@ -146,21 +145,21 @@ func TestPartitionRejectsCrossNodeNICEdge(t *testing.T) {
 	}
 	// eth0/eth1 default to node a; the VM sits on node b ⇒ both NIC edges
 	// cross at a NIC endpoint.
-	if _, err := g.Partition("a", nil, ""); err == nil {
+	if _, err := g.Partition("a", nil); err == nil {
 		t.Fatal("cross-node NIC edge accepted")
 	}
 	// Pinning the NICs to the VM's node makes it realizable again.
-	if _, err := g.Partition("a", map[string]string{"eth0": "b", "eth1": "b"}, ""); err != nil {
+	if _, err := g.Partition("a", map[string]string{"eth0": "b", "eth1": "b"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPartitionValidatesGraph(t *testing.T) {
 	g := &Graph{VNFs: []VNF{{Name: "", Kind: KindForward}}}
-	if _, err := g.Partition("a", nil, ""); err == nil {
+	if _, err := g.Partition("a", nil); err == nil {
 		t.Fatal("invalid graph accepted")
 	}
-	if _, err := BidirChain(1).Partition("", nil, ""); err == nil {
+	if _, err := BidirChain(1).Partition("", nil); err == nil {
 		t.Fatal("empty default node accepted")
 	}
 }

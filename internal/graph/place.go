@@ -1,0 +1,215 @@
+package graph
+
+import "fmt"
+
+// Place assigns a node to every VNF of the graph, minimizing the number of
+// cross-node edges (each crossing costs one trunk lane and rides the shared
+// uplink) while keeping the node loads balanced: node VNF counts differ by
+// at most one. It is a Kernighan–Lin-style heuristic: start from the naive
+// contiguous split in VNF order, then greedily apply balance-preserving
+// single moves and pairwise swaps until no move reduces the crossing count.
+//
+// VNFs whose Node is already set are pinned and never moved (their node
+// must appear in nodes). NIC endpoints act as pinned anchors on the node
+// nicNode maps them to; NICs absent from nicNode exert no pull. The final
+// placement is written into g.VNFs[i].Node and the resulting crossing count
+// returned.
+func (g *Graph) Place(nodes []string, nicNode map[string]string) (int, error) {
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("graph: place needs at least one node")
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	nodeIdx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		if n == "" {
+			return 0, fmt.Errorf("graph: place: empty node name")
+		}
+		if _, dup := nodeIdx[n]; dup {
+			return 0, fmt.Errorf("graph: place: duplicate node %q", n)
+		}
+		nodeIdx[n] = i
+	}
+
+	nv := len(g.VNFs)
+	assign := make([]int, nv)   // VNF index → node index
+	pinned := make([]bool, nv)  // placement fixed by the caller
+	byName := make(map[string]int, nv)
+	for i, v := range g.VNFs {
+		byName[v.Name] = i
+		if v.Node != "" {
+			ni, ok := nodeIdx[v.Node]
+			if !ok {
+				return 0, fmt.Errorf("graph: place: VNF %q pinned to unknown node %q", v.Name, v.Node)
+			}
+			assign[i] = ni
+			pinned[i] = true
+		}
+	}
+
+	// Adjacency: VNF↔VNF edges by index; NIC-anchored edges pull toward a
+	// fixed node. Parallel edges accumulate weight.
+	type anchor struct {
+		node   int
+		weight int
+	}
+	adj := make([][]int, nv) // neighbor VNF indexes, one entry per edge
+	anchors := make(map[int][]anchor)
+	for _, e := range g.Edges {
+		av, aIsVNF := byName[e.A.Name], e.A.Kind == EpVNF
+		bv, bIsVNF := byName[e.B.Name], e.B.Kind == EpVNF
+		switch {
+		case aIsVNF && bIsVNF:
+			adj[av] = append(adj[av], bv)
+			adj[bv] = append(adj[bv], av)
+		case aIsVNF && !bIsVNF:
+			if n, ok := nicNode[e.B.Name]; ok {
+				if ni, ok := nodeIdx[n]; ok {
+					anchors[av] = append(anchors[av], anchor{node: ni, weight: 1})
+				}
+			}
+		case bIsVNF && !aIsVNF:
+			if n, ok := nicNode[e.A.Name]; ok {
+				if ni, ok := nodeIdx[n]; ok {
+					anchors[bv] = append(anchors[bv], anchor{node: ni, weight: 1})
+				}
+			}
+		}
+	}
+
+	// Balanced initial assignment: distribute the unpinned VNFs in listed
+	// order over the nodes so total per-node counts stay within [floor,ceil]
+	// of nv/len(nodes) — the naive contiguous split Place must beat.
+	sizes := make([]int, len(nodes))
+	for i := range g.VNFs {
+		if pinned[i] {
+			sizes[assign[i]]++
+		}
+	}
+	ceil := (nv + len(nodes) - 1) / len(nodes)
+	target := 0
+	for i := range g.VNFs {
+		if pinned[i] {
+			continue
+		}
+		for target < len(nodes)-1 && sizes[target] >= ceil {
+			target++
+		}
+		assign[i] = target
+		sizes[target]++
+	}
+
+	// cost(i, node) = number of i's incident VNF edges whose peer is NOT on
+	// node, plus NIC anchors pulling elsewhere.
+	extCost := func(i, node int) int {
+		c := 0
+		for _, peer := range adj[i] {
+			if assign[peer] != node {
+				c++
+			}
+		}
+		for _, a := range anchors[i] {
+			if a.node != node {
+				c += a.weight
+			}
+		}
+		return c
+	}
+	floor := nv / len(nodes)
+
+	// swapGain evaluates the crossing reduction of exchanging i and j
+	// (positive = fewer crossings). The swap is applied temporarily so
+	// edges between i and j are counted consistently.
+	swapGain := func(i, j int) int {
+		ni, nj := assign[i], assign[j]
+		before := extCost(i, ni) + extCost(j, nj)
+		assign[i], assign[j] = nj, ni
+		after := extCost(i, nj) + extCost(j, ni)
+		assign[i], assign[j] = ni, nj
+		return before - after
+	}
+
+	// Improvement rounds: a greedy balance-preserving single-move sweep
+	// (handles uneven pinned loads), then one Kernighan–Lin swap pass —
+	// tentatively apply the best remaining swap even at zero or negative
+	// gain, lock the pair, and finally keep only the prefix of the swap
+	// sequence with the best cumulative gain. The tentative phase is what
+	// climbs out of the plateaus a strictly-greedy exchange gets stuck on.
+	locked := make([]bool, nv)
+	type swapStep struct{ i, j int }
+	for round := 0; round < nv+2; round++ {
+		improved := false
+		for i := 0; i < nv; i++ {
+			if pinned[i] {
+				continue
+			}
+			from := assign[i]
+			for to := range nodes {
+				if to == from || sizes[to] >= ceil || sizes[from] <= floor {
+					continue
+				}
+				// Self-edges (i adjacent to i) are impossible: ports are
+				// distinct endpoints, and Validate bans port reuse.
+				if extCost(i, from)-extCost(i, to) > 0 {
+					assign[i] = to
+					sizes[from]--
+					sizes[to]++
+					improved = true
+					from = to
+				}
+			}
+		}
+
+		for i := range locked {
+			locked[i] = false
+		}
+		var steps []swapStep
+		cum, bestCum, bestIdx := 0, 0, -1
+		for {
+			bi, bj, bg := -1, -1, 0
+			found := false
+			for i := 0; i < nv; i++ {
+				if pinned[i] || locked[i] {
+					continue
+				}
+				for j := i + 1; j < nv; j++ {
+					if pinned[j] || locked[j] || assign[i] == assign[j] {
+						continue
+					}
+					if g := swapGain(i, j); !found || g > bg {
+						bi, bj, bg = i, j, g
+						found = true
+					}
+				}
+			}
+			if !found {
+				break
+			}
+			assign[bi], assign[bj] = assign[bj], assign[bi]
+			locked[bi], locked[bj] = true, true
+			steps = append(steps, swapStep{bi, bj})
+			cum += bg
+			if cum > bestCum {
+				bestCum, bestIdx = cum, len(steps)-1
+			}
+		}
+		// Undo everything past the best prefix (all of it when no prefix
+		// had positive cumulative gain).
+		for k := len(steps) - 1; k > bestIdx; k-- {
+			s := steps[k]
+			assign[s.i], assign[s.j] = assign[s.j], assign[s.i]
+		}
+		if bestCum > 0 {
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+
+	for i := range g.VNFs {
+		g.VNFs[i].Node = nodes[assign[i]]
+	}
+	return g.Crossings(nodes[0], nicNode), nil
+}

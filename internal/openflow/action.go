@@ -9,9 +9,21 @@ import (
 
 // EncodeActions serializes an action list in OFP 1.3 wire format.
 // flow.Drop has no wire representation (an empty list means drop) and
-// flow.Controller becomes output:CONTROLLER.
+// flow.Controller becomes output:CONTROLLER. flow.ActPushVlan expands, as
+// the protocol requires, into OFPAT_PUSH_VLAN(0x8100) followed by a
+// set-field on VLAN_VID; flow.ActSetVlan is the bare set-field.
 func EncodeActions(as flow.Actions) []byte {
 	var b []byte
+	appendVidSetField := func(vid uint16) {
+		oxm := appendOXM(nil, oxmVlanVID, u16bytes(vid&0x0fff|vlanPresent), nil)
+		alen := (4 + len(oxm) + 7) &^ 7
+		b = be.AppendUint16(b, actSetField)
+		b = be.AppendUint16(b, uint16(alen))
+		b = append(b, oxm...)
+		for pad := alen - 4 - len(oxm); pad > 0; pad-- {
+			b = append(b, 0)
+		}
+	}
 	for _, a := range as {
 		switch a.Type {
 		case flow.ActOutput, flow.ActController:
@@ -30,6 +42,21 @@ func EncodeActions(as flow.Actions) []byte {
 			b = be.AppendUint16(b, actDecTTL)
 			b = be.AppendUint16(b, 8)
 			b = append(b, 0, 0, 0, 0)
+		case flow.ActPushVlan:
+			// ofp_action_push: type(2) len(2)=8 ethertype(2) pad(2), then the
+			// vid rides a mandatory VLAN_VID set-field.
+			b = be.AppendUint16(b, actPushVlan)
+			b = be.AppendUint16(b, 8)
+			b = be.AppendUint16(b, pkt.EtherTypeVLAN)
+			b = append(b, 0, 0)
+			appendVidSetField(a.Vlan)
+		case flow.ActPopVlan:
+			// ofp_action_header: type(2) len(2)=8 pad(4)
+			b = be.AppendUint16(b, actPopVlan)
+			b = be.AppendUint16(b, 8)
+			b = append(b, 0, 0, 0, 0)
+		case flow.ActSetVlan:
+			appendVidSetField(a.Vlan)
 		case flow.ActSetEthSrc, flow.ActSetEthDst:
 			// ofp_action_set_field: type(2) len(2) oxm, padded to 8.
 			field := oxmEthSrc
@@ -51,9 +78,12 @@ func EncodeActions(as flow.Actions) []byte {
 	return b
 }
 
-// DecodeActions parses an OFP 1.3 action list occupying all of b.
+// DecodeActions parses an OFP 1.3 action list occupying all of b. An
+// OFPAT_PUSH_VLAN followed by a VLAN_VID set-field folds into one
+// flow.PushVlan; a bare VLAN_VID set-field decodes to flow.SetVlan.
 func DecodeActions(b []byte) (flow.Actions, error) {
 	var as flow.Actions
+	pendingPush := false
 	for len(b) > 0 {
 		if len(b) < 4 {
 			return nil, fmt.Errorf("openflow: truncated action header")
@@ -62,6 +92,9 @@ func DecodeActions(b []byte) (flow.Actions, error) {
 		alen := int(be.Uint16(b[2:4]))
 		if alen < 8 || alen%8 != 0 || alen > len(b) {
 			return nil, fmt.Errorf("openflow: bad action length %d", alen)
+		}
+		if pendingPush && !(typ == actSetField) {
+			return nil, fmt.Errorf("openflow: push_vlan without vlan_vid set-field")
 		}
 		body := b[4:alen]
 		switch typ {
@@ -77,6 +110,16 @@ func DecodeActions(b []byte) (flow.Actions, error) {
 			}
 		case actDecTTL:
 			as = append(as, flow.DecTTL())
+		case actPushVlan:
+			if len(body) < 2 {
+				return nil, fmt.Errorf("openflow: short push-vlan action")
+			}
+			if et := be.Uint16(body[0:2]); et != pkt.EtherTypeVLAN {
+				return nil, fmt.Errorf("openflow: push-vlan ethertype 0x%04x unsupported", et)
+			}
+			pendingPush = true
+		case actPopVlan:
+			as = append(as, flow.PopVlan())
 		case actSetField:
 			if len(body) < 4 {
 				return nil, fmt.Errorf("openflow: short set-field action")
@@ -99,6 +142,17 @@ func DecodeActions(b []byte) (flow.Actions, error) {
 				} else {
 					as = append(as, flow.SetEthDst(m))
 				}
+			case oxmVlanVID:
+				if plen != 2 {
+					return nil, fmt.Errorf("openflow: set-field VLAN_VID length %d", plen)
+				}
+				vid := be.Uint16(val) &^ vlanPresent
+				if pendingPush {
+					as = append(as, flow.PushVlan(vid))
+					pendingPush = false
+				} else {
+					as = append(as, flow.SetVlan(vid))
+				}
 			default:
 				return nil, fmt.Errorf("openflow: unsupported set-field %d", field)
 			}
@@ -106,6 +160,9 @@ func DecodeActions(b []byte) (flow.Actions, error) {
 			return nil, fmt.Errorf("openflow: unsupported action type %d", typ)
 		}
 		b = b[alen:]
+	}
+	if pendingPush {
+		return nil, fmt.Errorf("openflow: push_vlan without vlan_vid set-field")
 	}
 	return as, nil
 }

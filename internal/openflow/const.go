@@ -88,6 +88,8 @@ const (
 // Action types (OFPAT_*).
 const (
 	actOutput   uint16 = 0
+	actPushVlan uint16 = 17
+	actPopVlan  uint16 = 18
 	actDecTTL   uint16 = 24
 	actSetField uint16 = 25
 )

@@ -118,6 +118,10 @@ func TestActionsRoundTrip(t *testing.T) {
 		{flow.Controller()},
 		{flow.DecTTL(), flow.Output(1)},
 		{flow.SetEthSrc(pkt.MAC{1, 2, 3, 4, 5, 6}), flow.SetEthDst(pkt.MAC{6, 5, 4, 3, 2, 1}), flow.Output(9)},
+		{flow.PushVlan(42), flow.Output(2)},
+		{flow.PopVlan(), flow.Output(7)},
+		{flow.SetVlan(100), flow.Output(1)},
+		{flow.PushVlan(7), flow.Output(2), flow.PopVlan(), flow.Output(3)},
 	}
 	for i, as := range cases {
 		enc := EncodeActions(as)
@@ -128,6 +132,23 @@ func TestActionsRoundTrip(t *testing.T) {
 		if !got.Equal(as) {
 			t.Errorf("case %d: got %v, want %v", i, got, as)
 		}
+	}
+}
+
+func TestDanglingPushVlanRejected(t *testing.T) {
+	// OFPAT_PUSH_VLAN with no following VLAN_VID set-field is malformed.
+	var enc []byte
+	enc = be.AppendUint16(enc, actPushVlan)
+	enc = be.AppendUint16(enc, 8)
+	enc = be.AppendUint16(enc, pkt.EtherTypeVLAN)
+	enc = append(enc, 0, 0)
+	if _, err := DecodeActions(enc); err == nil {
+		t.Fatal("dangling push_vlan accepted")
+	}
+	// …including when a different action interposes.
+	enc = append(enc, EncodeActions(flow.Actions{flow.Output(1)})...)
+	if _, err := DecodeActions(enc); err == nil {
+		t.Fatal("push_vlan split from its set-field accepted")
 	}
 }
 

@@ -2,40 +2,75 @@ package orchestrator
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sort"
+	"sync"
 	"time"
 
+	"ovshighway/internal/flow"
 	"ovshighway/internal/graph"
 	"ovshighway/internal/mempool"
 	"ovshighway/internal/nic"
+	"ovshighway/internal/trunk"
 	"ovshighway/internal/vnf"
-	"ovshighway/internal/wire"
 )
 
-// WireConfig shapes the simulated cables a cluster creates between nodes.
-type WireConfig struct {
-	// RatePps caps each NIC direction (nic.Config semantics: 0 = 64B line
-	// rate, negative = unlimited). The wire itself stays unshaped — the NIC
-	// token buckets on both ends already pace the hop, and shaping twice
-	// would halve the budget.
+// TrunkConfig shapes the shared trunks a cluster creates between node
+// pairs. Unlike the retired one-wire-per-crossing fabric, the rate budget
+// lives on the TRUNK and is contended by every lane: the trunk NICs
+// themselves are unshaped so the budget is not paid twice.
+type TrunkConfig struct {
+	// RatePps caps each trunk direction, shared across all lanes
+	// (0 = 10G line rate for 64B frames, negative = unlimited).
 	RatePps float64
 	// Latency is the per-direction propagation delay (0 = none).
 	Latency time.Duration
-	// QueueSize is the NIC descriptor ring depth (default 1024).
+	// QueueSize is the trunk NIC descriptor ring depth (default 1024).
 	QueueSize int
 }
 
-// Cluster is a set of NFV nodes joined by simulated wires. Every node runs
-// the same datapath mode and carries its own vSwitch, agent, packet pool
-// and — in highway mode — detector and bypass manager; nothing is shared
-// across nodes except the wires a deployment creates.
+// Cluster is a set of NFV nodes joined by shared VLAN-steered trunks.
+// Every node runs the same datapath mode and carries its own vSwitch,
+// agent, packet pool and — in highway mode — detector and bypass manager;
+// nothing is shared across nodes except the trunks, which are created
+// lazily per node pair and carry one VLAN lane per service-graph crossing.
 type Cluster struct {
 	cfg   NodeConfig
 	order []string
 	nodes map[string]*Node
-	// deploySeq makes the synthesized wire-NIC names of concurrent
-	// deployments on the same nodes unique.
-	deploySeq atomic.Uint64
+
+	// mu guards the trunk registry and its per-trunk VLAN id allocators.
+	mu     sync.Mutex
+	trunks map[pairKey]*clusterTrunk
+}
+
+// pairKey identifies an unordered node pair (lo < hi lexically).
+type pairKey struct{ lo, hi string }
+
+func makePair(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// clusterTrunk is one realized node-pair uplink: the trunk and its two NIC
+// attachments. Lane/vid state lives solely inside trunk.Trunk (AllocLane is
+// the one allocator). All fields are guarded by Cluster.mu.
+type clusterTrunk struct {
+	pair           pairKey
+	tr             *trunk.Trunk
+	cfg            TrunkConfig // the config the trunk was created with
+	nicLo, nicHi   *nic.NIC
+	nameLo, nameHi string
+	portLo, portHi uint32
+}
+
+// port returns the trunk NIC's switch port id on the given node.
+func (ct *clusterTrunk) port(node string) uint32 {
+	if node == ct.pair.lo {
+		return ct.portLo
+	}
+	return ct.portHi
 }
 
 // NewCluster boots one node per name (first name is the default placement
@@ -45,7 +80,11 @@ func NewCluster(names []string, cfg NodeConfig) (*Cluster, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("orchestrator: cluster needs at least one node name")
 	}
-	c := &Cluster{cfg: cfg, nodes: make(map[string]*Node, len(names))}
+	c := &Cluster{
+		cfg:    cfg,
+		nodes:  make(map[string]*Node, len(names)),
+		trunks: make(map[pairKey]*clusterTrunk),
+	}
 	for _, name := range names {
 		if name == "" {
 			c.Stop()
@@ -78,8 +117,19 @@ func (c *Cluster) DefaultNode() string { return c.order[0] }
 // Mode returns the cluster's datapath mode.
 func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 
-// Stop shuts every node down.
+// Stop shuts the cluster down: trunk pumps first (so no goroutine keeps
+// feeding the dying switches), then every node.
 func (c *Cluster) Stop() {
+	c.mu.Lock()
+	trunks := make([]*clusterTrunk, 0, len(c.trunks))
+	for _, ct := range c.trunks {
+		trunks = append(trunks, ct)
+	}
+	c.trunks = make(map[pairKey]*clusterTrunk)
+	c.mu.Unlock()
+	for _, ct := range trunks {
+		ct.tr.Stop()
+	}
 	for _, name := range c.order {
 		c.nodes[name].Stop()
 	}
@@ -100,6 +150,34 @@ func (c *Cluster) WaitBypassCount(want int) bool {
 	return waitCond(func() bool { return c.BypassLinkCount() == want })
 }
 
+// TrunkCount returns the number of live node-pair trunks.
+func (c *Cluster) TrunkCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.trunks)
+}
+
+// Trunks returns the live trunks, ordered by node pair.
+func (c *Cluster) Trunks() []*trunk.Trunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]pairKey, 0, len(c.trunks))
+	for k := range c.trunks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lo != keys[j].lo {
+			return keys[i].lo < keys[j].lo
+		}
+		return keys[i].hi < keys[j].hi
+	})
+	out := make([]*trunk.Trunk, len(keys))
+	for i, k := range keys {
+		out[i] = c.trunks[k].tr
+	}
+	return out
+}
+
 // nicNodes maps every externally-registered NIC name to its home node, for
 // partitioning graphs with NIC endpoints.
 func (c *Cluster) nicNodes() map[string]string {
@@ -112,33 +190,145 @@ func (c *Cluster) nicNodes() map[string]string {
 	return out
 }
 
-// clusterWire is one realized crossing: the wire and its two NIC
-// attachments.
-type clusterWire struct {
-	w            *wire.Wire
-	nicA, nicB   *nic.NIC
-	nodeA, nodeB string
-	nameA, nameB string
+// ensureTrunk returns the node pair's trunk, creating it (NICs on both
+// sides plus the pump pair) on first use. A trunk is shared infrastructure:
+// a deployment joining an existing trunk must ask for the same shaping, or
+// its lanes would silently ride a link configured by somebody else — that
+// mismatch is an error, not a silent drop. Caller holds c.mu.
+func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, error) {
+	if ct, ok := c.trunks[pair]; ok {
+		if ct.cfg != tcfg {
+			return nil, fmt.Errorf(
+				"orchestrator: trunk %s-%s already exists with config %+v; deployment asked for %+v",
+				pair.lo, pair.hi, ct.cfg, tcfg)
+		}
+		return ct, nil
+	}
+	rate := tcfg.RatePps
+	switch {
+	case rate == 0:
+		rate = nic.LineRate64B
+	case rate < 0:
+		rate = 0 // unshaped
+	}
+	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
+	nameLo := "trunk:" + pair.hi // the peer names the uplink, like eth-to-<peer>
+	nameHi := "trunk:" + pair.lo
+	// Trunk NICs are unshaped: the shared budget lives on the trunk itself.
+	devLo, err := nlo.AddNIC(nameLo, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.lo, err)
+	}
+	devHi, err := nhi.AddNIC(nameHi, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+	if err != nil {
+		_ = nlo.RemoveNIC(nameLo)
+		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
+	}
+	tr, err := trunk.New(trunk.Config{
+		Name:    fmt.Sprintf("trunk-%s-%s", pair.lo, pair.hi),
+		A:       trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
+		B:       trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
+		RatePps: rate,
+		Latency: tcfg.Latency,
+	})
+	if err != nil {
+		_ = nlo.RemoveNIC(nameLo)
+		_ = nhi.RemoveNIC(nameHi)
+		return nil, err
+	}
+	portLo, _ := nlo.NICPort(nameLo)
+	portHi, _ := nhi.NICPort(nameHi)
+	ct := &clusterTrunk{
+		pair: pair,
+		tr:   tr,
+		cfg:  tcfg,
+		nicLo: devLo, nicHi: devHi,
+		nameLo: nameLo, nameHi: nameHi,
+		portLo: portLo, portHi: portHi,
+	}
+	c.trunks[pair] = ct
+	return ct, nil
+}
+
+// releaseLane frees one lane and, when the trunk has no lanes left, tears
+// the whole trunk down: pumps stopped, NICs detached, queues drained.
+// Registry removal, pump stop and NIC detachment all happen inside the
+// critical section, so a concurrent Deploy on the same node pair either
+// still finds the trunk (and joins it) or finds the NIC names free — it
+// can never hit a half-dismantled trunk's name reservation.
+func (c *Cluster) releaseLane(pair pairKey, vid uint16) {
+	c.mu.Lock()
+	ct, ok := c.trunks[pair]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	_ = ct.tr.RemoveLane(vid)
+	if ct.tr.LaneCount() > 0 {
+		c.mu.Unlock()
+		return
+	}
+	// Last lane gone: dismantle. Stop the pumps (bounded: they exit within
+	// one idle iteration) and detach the NICs before unlocking.
+	delete(c.trunks, pair)
+	ct.tr.Stop()
+	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
+	_ = nlo.RemoveNIC(ct.nameLo)
+	_ = nhi.RemoveNIC(ct.nameHi)
+	c.mu.Unlock()
+
+	// Wait out PMD iterations still holding the old port snapshots, then
+	// reclaim whatever is parked in the NIC queues (pumps and PMDs are
+	// both gone, so the drains see quiescent rings).
+	nlo.Switch.WaitDatapathQuiescence()
+	nhi.Switch.WaitDatapathQuiescence()
+	scratch := make([]*mempool.Buf, 32)
+	for _, dev := range []*nic.NIC{ct.nicLo, ct.nicHi} {
+		for {
+			k := dev.DrainToWire(scratch)
+			if k == 0 {
+				break
+			}
+			mempool.FreeBatch(scratch[:k])
+		}
+		for {
+			k := dev.DrainFromWire(scratch)
+			if k == 0 {
+				break
+			}
+			mempool.FreeBatch(scratch[:k])
+		}
+	}
+}
+
+// clusterLane is one realized crossing: a VLAN lane on a node pair's trunk.
+type clusterLane struct {
+	pair pairKey
+	vid  uint16
 }
 
 // ClusterDeployment is a service graph deployed across a cluster: one local
-// deployment per participating node plus the wires realizing the
+// deployment per participating node plus the trunk lanes realizing the
 // cross-node edges.
 type ClusterDeployment struct {
 	cluster *Cluster
 	deps    map[string]*Deployment
-	wires   []clusterWire
+	lanes   []clusterLane
 }
 
 // Deploy partitions g by VNF placement (unlabeled VNFs land on the default
-// node), attaches a NIC pair and a wire for every boundary crossing, and
-// lowers each partition on its node. The per-node lowering is exactly the
-// single-node Deploy path, so in highway mode each node's detector
-// establishes bypasses for its intra-node hops while the wire hops stay on
-// the NIC path — the highway survives the split.
-func (c *Cluster) Deploy(g *graph.Graph, wcfg WireConfig) (*ClusterDeployment, error) {
-	prefix := fmt.Sprintf("d%d.", c.deploySeq.Add(1))
-	part, err := g.Partition(c.DefaultNode(), c.nicNodes(), prefix)
+// node), allocates a VLAN lane on the node pair's shared trunk for every
+// boundary crossing (creating the trunk on first use), and lowers each
+// partition on its node. Crossing edges lower to vlan steering: the sending
+// side pushes the lane's tag and outputs to the trunk NIC, the receiving
+// side matches (trunk port, vid), strips the tag and outputs to the target
+// VNF port. The per-node lowering is exactly the single-node Deploy path,
+// so in highway mode each node's detector establishes bypasses for its
+// intra-node hops while the trunk hops stay on the NIC path — the highway
+// survives the split, and all crossings of a node pair contend for one
+// shared uplink exactly like a ToR fabric.
+func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, error) {
+	part, err := g.Partition(c.DefaultNode(), c.nicNodes())
 	if err != nil {
 		return nil, err
 	}
@@ -149,43 +339,37 @@ func (c *Cluster) Deploy(g *graph.Graph, wcfg WireConfig) (*ClusterDeployment, e
 	}
 	cd := &ClusterDeployment{cluster: c, deps: make(map[string]*Deployment)}
 
-	// Realize the crossings first: lowering resolves NIC endpoints by name,
-	// so the wire NICs must exist before the partitions deploy.
+	// Realize the crossings first: one lane per crossing on the node pair's
+	// shared trunk, so the steering rules below have ports and vids to
+	// reference.
+	type laneSteer struct {
+		ce  graph.CrossEdge
+		ct  *clusterTrunk
+		vid uint16
+	}
+	steers := make([]laneSteer, 0, len(part.Cross))
+	c.mu.Lock()
 	for _, ce := range part.Cross {
-		na, nb := c.nodes[ce.NodeA], c.nodes[ce.NodeB]
-		devA, err := na.AddNIC(ce.NICA, nic.Config{RatePps: wcfg.RatePps, QueueSize: wcfg.QueueSize})
+		pair := makePair(ce.NodeA, ce.NodeB)
+		ct, err := c.ensureTrunk(pair, tcfg)
 		if err != nil {
-			cd.Stop()
-			return nil, fmt.Errorf("orchestrator: wire NIC %s on %s: %w", ce.NICA, ce.NodeA, err)
-		}
-		devB, err := nb.AddNIC(ce.NICB, nic.Config{RatePps: wcfg.RatePps, QueueSize: wcfg.QueueSize})
-		if err != nil {
-			_ = na.RemoveNIC(ce.NICA)
-			cd.Stop()
-			return nil, fmt.Errorf("orchestrator: wire NIC %s on %s: %w", ce.NICB, ce.NodeB, err)
-		}
-		w, err := wire.New(wire.Config{
-			Name: fmt.Sprintf("wire-%s-%s-%d", ce.NodeA, ce.NodeB, ce.Index),
-			A:    wire.Endpoint{NIC: devA, Pool: na.Pool},
-			B:    wire.Endpoint{NIC: devB, Pool: nb.Pool},
-			AtoB: wire.Shaping{Latency: wcfg.Latency},
-			BtoA: wire.Shaping{Latency: wcfg.Latency},
-		})
-		if err != nil {
-			_ = na.RemoveNIC(ce.NICA)
-			_ = nb.RemoveNIC(ce.NICB)
+			c.mu.Unlock()
 			cd.Stop()
 			return nil, err
 		}
-		cd.wires = append(cd.wires, clusterWire{
-			w: w, nicA: devA, nicB: devB,
-			nodeA: ce.NodeA, nodeB: ce.NodeB,
-			nameA: ce.NICA, nameB: ce.NICB,
-		})
+		vid, err := ct.tr.AllocLane()
+		if err != nil {
+			c.mu.Unlock()
+			cd.Stop()
+			return nil, err
+		}
+		cd.lanes = append(cd.lanes, clusterLane{pair: pair, vid: vid})
+		steers = append(steers, laneSteer{ce: ce, ct: ct, vid: vid})
 	}
+	c.mu.Unlock()
 
 	// Lower each partition locally. The local graphs came out of Partition
-	// validated, and every synthesized NIC endpoint now resolves.
+	// validated and hold no crossing edges — those are steered below.
 	for _, node := range c.order {
 		lg, ok := part.Local[node]
 		if !ok {
@@ -198,7 +382,65 @@ func (c *Cluster) Deploy(g *graph.Graph, wcfg WireConfig) (*ClusterDeployment, e
 		}
 		cd.deps[node] = dep
 	}
+
+	// Install the lane steering, batched per node and stamped with that
+	// node's deployment cookie so teardown reclaims exactly these rules.
+	specs := make(map[string][]flow.FlowSpec)
+	addSteer := func(fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, ct *clusterTrunk, vid uint16) error {
+		src, err := cd.deps[fromNode].resolve(fromEp)
+		if err != nil {
+			return err
+		}
+		dst, err := cd.deps[toNode].resolve(toEp)
+		if err != nil {
+			return err
+		}
+		specs[fromNode] = append(specs[fromNode], flow.FlowSpec{
+			Priority: cd.deps[fromNode].flowPrio,
+			Match:    flow.MatchInPort(src),
+			Actions:  flow.Actions{flow.PushVlan(vid), flow.Output(ct.port(fromNode))},
+			Cookie:   cd.deps[fromNode].cookie,
+		})
+		specs[toNode] = append(specs[toNode], flow.FlowSpec{
+			Priority: cd.deps[toNode].flowPrio,
+			Match:    flow.MatchInPort(ct.port(toNode)).WithVlan(vid),
+			Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
+			Cookie:   cd.deps[toNode].cookie,
+		})
+		return nil
+	}
+	for _, st := range steers {
+		if err := addSteer(st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, st.ct, st.vid); err != nil {
+			cd.Stop()
+			return nil, err
+		}
+		if st.ce.Bidirectional {
+			if err := addSteer(st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, st.ct, st.vid); err != nil {
+				cd.Stop()
+				return nil, err
+			}
+		}
+	}
+	for node, ss := range specs {
+		c.nodes[node].Switch.Table().AddBatch(ss)
+	}
 	return cd, nil
+}
+
+// DeployPlaced optimizes the graph's placement first — Graph.Place assigns
+// every unpinned VNF a node, minimizing trunk crossings under balance — and
+// then deploys the placed graph. The chosen crossing count is returned
+// alongside the deployment.
+func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, int, error) {
+	crossings, err := g.Place(c.order, c.nicNodes())
+	if err != nil {
+		return nil, 0, err
+	}
+	cd, err := c.Deploy(g, tcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cd, crossings, nil
 }
 
 // Deployment returns the named node's local deployment (nil if the node
@@ -215,19 +457,46 @@ func (cd *ClusterDeployment) SrcSink(name string) *vnf.SrcSink {
 	return nil
 }
 
-// Wires returns the wires this deployment created.
-func (cd *ClusterDeployment) Wires() []*wire.Wire {
-	out := make([]*wire.Wire, len(cd.wires))
-	for i := range cd.wires {
-		out[i] = cd.wires[i].w
+// Trunks returns the trunks this deployment's lanes ride, ordered by node
+// pair (shared trunks appear once even when several lanes use them).
+func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
+	cd.cluster.mu.Lock()
+	defer cd.cluster.mu.Unlock()
+	seen := make(map[pairKey]bool)
+	var out []*trunk.Trunk
+	for _, ln := range cd.lanes {
+		if seen[ln.pair] {
+			continue
+		}
+		seen[ln.pair] = true
+		if ct, ok := cd.cluster.trunks[ln.pair]; ok {
+			out = append(out, ct.tr)
+		}
+	}
+	return out
+}
+
+// Lanes returns the deployment's (node pair, vid) lane assignments in
+// crossing order.
+func (cd *ClusterDeployment) Lanes() []struct {
+	NodeA, NodeB string
+	VID          uint16
+} {
+	out := make([]struct {
+		NodeA, NodeB string
+		VID          uint16
+	}, len(cd.lanes))
+	for i, ln := range cd.lanes {
+		out[i].NodeA, out[i].NodeB, out[i].VID = ln.pair.lo, ln.pair.hi, ln.vid
 	}
 	return out
 }
 
 // Stop tears the cluster deployment down in dependency order: local
-// deployments first (flows deleted, bypasses dissolved, VMs destroyed),
-// then the wires, and finally the wire NICs — whose queues are drained only
-// after both the pumps and the datapaths have detached.
+// deployments first (steering and lane rules deleted by cookie, bypasses
+// dissolved, VMs destroyed), then the lanes — and with a trunk's last lane
+// the trunk itself, its pumps stopped, NICs detached and queues drained.
+// Lanes of co-resident deployments on the same trunks keep flowing.
 func (cd *ClusterDeployment) Stop() {
 	for _, node := range cd.cluster.order {
 		if d := cd.deps[node]; d != nil {
@@ -235,43 +504,8 @@ func (cd *ClusterDeployment) Stop() {
 		}
 	}
 	cd.deps = map[string]*Deployment{}
-	for _, cw := range cd.wires {
-		cw.w.Stop()
+	for _, ln := range cd.lanes {
+		cd.cluster.releaseLane(ln.pair, ln.vid)
 	}
-	for _, cw := range cd.wires {
-		_ = cd.cluster.nodes[cw.nodeA].RemoveNIC(cw.nameA)
-		_ = cd.cluster.nodes[cw.nodeB].RemoveNIC(cw.nameB)
-	}
-	// Wait out PMD iterations still holding the old port snapshots, then
-	// reclaim whatever is parked in the NIC queues (wire pumps and PMDs are
-	// both gone, so the drains see quiescent rings).
-	seen := make(map[string]bool)
-	for _, cw := range cd.wires {
-		for _, node := range []string{cw.nodeA, cw.nodeB} {
-			if !seen[node] {
-				seen[node] = true
-				cd.cluster.nodes[node].Switch.WaitDatapathQuiescence()
-			}
-		}
-	}
-	scratch := make([]*mempool.Buf, 32)
-	for _, cw := range cd.wires {
-		for _, dev := range []*nic.NIC{cw.nicA, cw.nicB} {
-			for {
-				k := dev.DrainToWire(scratch)
-				if k == 0 {
-					break
-				}
-				mempool.FreeBatch(scratch[:k])
-			}
-			for {
-				k := dev.DrainFromWire(scratch)
-				if k == 0 {
-					break
-				}
-				mempool.FreeBatch(scratch[:k])
-			}
-		}
-	}
-	cd.wires = nil
+	cd.lanes = nil
 }

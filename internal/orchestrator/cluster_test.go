@@ -37,25 +37,59 @@ func waitRecv(t *testing.T, cd *ClusterDeployment, name string, want uint64) {
 	}
 }
 
-func TestClusterSplitChainVanillaTrafficCrossesWire(t *testing.T) {
+// renamed returns a deep-enough copy of g with every VNF (and edge
+// endpoint) name prefixed, so two instances can share a cluster.
+func renamed(g *graph.Graph, prefix string) *graph.Graph {
+	out := &graph.Graph{
+		VNFs:  append([]graph.VNF(nil), g.VNFs...),
+		Edges: append([]graph.Edge(nil), g.Edges...),
+	}
+	for i := range out.VNFs {
+		out.VNFs[i].Name = prefix + out.VNFs[i].Name
+	}
+	for i := range out.Edges {
+		if out.Edges[i].A.Kind == graph.EpVNF {
+			out.Edges[i].A.Name = prefix + out.Edges[i].A.Name
+		}
+		if out.Edges[i].B.Kind == graph.EpVNF {
+			out.Edges[i].B.Name = prefix + out.Edges[i].B.Name
+		}
+	}
+	return out
+}
+
+func TestClusterSplitChainVanillaTrafficCrossesTrunk(t *testing.T) {
 	c := newCluster(t, ModeVanilla, "node-a", "node-b")
 	// 3 VMs (end0, vnf1, end1) split 2+1: the vnf1↔end1 hop crosses.
 	g := graph.SplitBidirChain(1, []string{"node-a", "node-b"})
-	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	cd, err := c.Deploy(g, TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cd.Stop()
 
-	if len(cd.Wires()) != 1 {
-		t.Fatalf("deployment created %d wires, want 1", len(cd.Wires()))
+	if len(cd.Trunks()) != 1 || c.TrunkCount() != 1 {
+		t.Fatalf("deployment rides %d trunks (cluster has %d), want 1", len(cd.Trunks()), c.TrunkCount())
+	}
+	tr := cd.Trunks()[0]
+	if tr.LaneCount() != 1 {
+		t.Fatalf("trunk carries %d lanes, want 1", tr.LaneCount())
 	}
 	// Both directions must deliver across the node boundary.
 	waitRecv(t, cd, "end0", 2000)
 	waitRecv(t, cd, "end1", 2000)
-	ab, ba := cd.Wires()[0].Stats()
+	ab, ba := tr.Stats()
 	if ab.Carried == 0 || ba.Carried == 0 {
-		t.Fatalf("wire carried %d/%d frames, both directions must flow", ab.Carried, ba.Carried)
+		t.Fatalf("trunk carried %d/%d frames, both directions must flow", ab.Carried, ba.Carried)
+	}
+	// The single lane accounts for the whole trunk.
+	vid := tr.Lanes()[0]
+	lab, lba, ok := tr.LaneStats(vid)
+	if !ok || lab.Carried != ab.Carried || lba.Carried != ba.Carried {
+		t.Fatalf("lane %d stats %+v/%+v do not match trunk %+v/%+v", vid, lab, lba, ab, ba)
+	}
+	if tr.Unrouted() != 0 {
+		t.Fatalf("trunk dropped %d unrouted frames", tr.Unrouted())
 	}
 	if c.BypassLinkCount() != 0 {
 		t.Fatal("vanilla cluster created bypasses")
@@ -76,9 +110,9 @@ func TestClusterSplitChainHighwayBypassesIntraNodeHops(t *testing.T) {
 	c := newCluster(t, ModeHighway, "node-a", "node-b")
 	// 5 VMs (end0, vnf1..vnf3, end1) split 3+2: intra-node hops are
 	// end0↔vnf1, vnf1↔vnf2 on node-a and vnf3↔end1 on node-b = 3 hops ⇒ 6
-	// directed bypasses. The vnf2↔vnf3 wire hop must stay on the NIC path.
+	// directed bypasses. The vnf2↔vnf3 trunk hop must stay on the NIC path.
 	g := graph.SplitBidirChain(3, []string{"node-a", "node-b"})
-	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	cd, err := c.Deploy(g, TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,22 +130,67 @@ func TestClusterSplitChainHighwayBypassesIntraNodeHops(t *testing.T) {
 	}
 	waitRecv(t, cd, "end0", 2000)
 	waitRecv(t, cd, "end1", 2000)
-	ab, ba := cd.Wires()[0].Stats()
+	ab, ba := cd.Trunks()[0].Stats()
 	if ab.Carried == 0 || ba.Carried == 0 {
-		t.Fatalf("wire carried %d/%d frames, the inter-node hop cannot bypass", ab.Carried, ba.Carried)
+		t.Fatalf("trunk carried %d/%d frames, the inter-node hop cannot bypass", ab.Carried, ba.Carried)
+	}
+}
+
+// TestClusterSharedTrunkMultipleLanes is the headline fabric property: a
+// deployment with k crossings between one node pair gets exactly one trunk
+// carrying k distinct VLAN lanes, all flowing concurrently.
+func TestClusterSharedTrunkMultipleLanes(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b")
+	// Two disjoint split chains in ONE graph: 2 crossings, same node pair.
+	g := graph.SplitBidirChain(1, []string{"a", "b"})
+	g2 := renamed(graph.SplitBidirChain(1, []string{"a", "b"}), "t2-")
+	g.VNFs = append(g.VNFs, g2.VNFs...)
+	g.Edges = append(g.Edges, g2.Edges...)
+
+	cd, err := c.Deploy(g, TrunkConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+
+	if c.TrunkCount() != 1 {
+		t.Fatalf("cluster created %d trunks, want exactly 1 per node pair", c.TrunkCount())
+	}
+	tr := cd.Trunks()[0]
+	if got := tr.LaneCount(); got != 2 {
+		t.Fatalf("trunk carries %d lanes, want 2 (one per crossing)", got)
+	}
+	lanes := cd.Lanes()
+	if len(lanes) != 2 || lanes[0].VID == lanes[1].VID {
+		t.Fatalf("lane vids not distinct: %+v", lanes)
+	}
+	// Both tenant chains flow across their own lane.
+	waitRecv(t, cd, "end1", 2000)
+	waitRecv(t, cd, "t2-end1", 2000)
+	for _, vid := range tr.Lanes() {
+		ab, ba, ok := tr.LaneStats(vid)
+		if !ok || ab.Carried == 0 || ba.Carried == 0 {
+			t.Fatalf("lane %d idle: %+v/%+v", vid, ab, ba)
+		}
+	}
+	if tr.Unrouted() != 0 {
+		t.Fatalf("trunk dropped %d unrouted frames", tr.Unrouted())
 	}
 }
 
 func TestClusterDeploymentStopReclaimsEverything(t *testing.T) {
 	c := newCluster(t, ModeHighway, "a", "b")
 	g := graph.SplitBidirChain(2, []string{"a", "b"})
-	cd, err := c.Deploy(g, WireConfig{RatePps: -1})
+	cd, err := c.Deploy(g, TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRecv(t, cd, "end1", 1000)
 	cd.Stop()
 
+	if c.TrunkCount() != 0 {
+		t.Fatalf("%d trunks survive their last lane", c.TrunkCount())
+	}
 	for _, name := range c.NodeNames() {
 		n := c.Node(name)
 		if got := n.Switch.Table().Len(); got != 0 {
@@ -123,14 +202,14 @@ func TestClusterDeploymentStopReclaimsEverything(t *testing.T) {
 		if len(n.Switch.Ports()) != 0 {
 			t.Fatalf("node %s still has ports %v", name, n.Switch.Ports())
 		}
-		// Every packet buffer must be home: VNFs, wires and NIC queues all
+		// Every packet buffer must be home: VNFs, trunks and NIC queues all
 		// drained.
 		if n.Pool.Avail() != n.Pool.Cap() {
 			t.Fatalf("node %s pool leaked: %d of %d free", name, n.Pool.Avail(), n.Pool.Cap())
 		}
 	}
 	// The cluster survives a second deployment on the same nodes.
-	cd2, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), WireConfig{RatePps: -1})
+	cd2, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,10 +217,35 @@ func TestClusterDeploymentStopReclaimsEverything(t *testing.T) {
 	cd2.Stop()
 }
 
+func TestClusterRejectsConflictingTrunkConfig(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b")
+	cd, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), TrunkConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+	// A trunk is shared infrastructure: joining it with different shaping
+	// must fail loudly instead of silently riding the existing config.
+	g2 := renamed(graph.SplitBidirChain(1, []string{"a", "b"}), "g2-")
+	if _, err := c.Deploy(g2, TrunkConfig{RatePps: 1000, Latency: time.Millisecond}); err == nil {
+		t.Fatal("conflicting trunk config accepted")
+	}
+	// The failed deployment must not have leaked a lane.
+	if tr := cd.Trunks()[0]; tr.LaneCount() != 1 {
+		t.Fatalf("failed deploy leaked lanes: %d", tr.LaneCount())
+	}
+	// Same config still joins fine.
+	cd2, err := c.Deploy(g2, TrunkConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd2.Stop()
+}
+
 func TestClusterRejectsUnknownPlacement(t *testing.T) {
 	c := newCluster(t, ModeVanilla, "a", "b")
 	g := graph.SplitBidirChain(1, []string{"a", "elsewhere"})
-	if _, err := c.Deploy(g, WireConfig{}); err == nil {
+	if _, err := c.Deploy(g, TrunkConfig{}); err == nil {
 		t.Fatal("placement on unknown node accepted")
 	}
 }
@@ -158,32 +262,34 @@ func TestNewClusterValidation(t *testing.T) {
 	}
 }
 
-func TestClusterTwoConcurrentDeploymentsDoNotCollide(t *testing.T) {
+// TestClusterCoResidentDeploymentsShareTrunk: two deployments land lanes on
+// the SAME trunk; tearing one down leaves the other's lane flowing and the
+// trunk alive until its last lane dies.
+func TestClusterCoResidentDeploymentsShareTrunk(t *testing.T) {
 	c := newCluster(t, ModeVanilla, "a", "b")
-	// Both graphs put their crossing at the same edge index, which would
-	// collide on the synthesized wire-NIC names without a per-deployment
-	// prefix. (VNF names must differ — VMs are keyed by name per node.)
-	g2 := graph.SplitBidirChain(1, []string{"a", "b"})
-	rename := func(name string) string { return "g2-" + name }
-	for i := range g2.VNFs {
-		g2.VNFs[i].Name = rename(g2.VNFs[i].Name)
-	}
-	for i := range g2.Edges {
-		g2.Edges[i].A.Name = rename(g2.Edges[i].A.Name)
-		g2.Edges[i].B.Name = rename(g2.Edges[i].B.Name)
-	}
-	cd1, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), WireConfig{RatePps: -1})
+	cd1, err := c.Deploy(graph.SplitBidirChain(1, []string{"a", "b"}), TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cd2, err := c.Deploy(g2, WireConfig{RatePps: -1})
+	cd2, err := c.Deploy(renamed(graph.SplitBidirChain(1, []string{"a", "b"}), "g2-"), TrunkConfig{RatePps: -1})
 	if err != nil {
 		t.Fatalf("second concurrent deployment: %v", err)
 	}
+	if c.TrunkCount() != 1 {
+		t.Fatalf("co-resident deployments created %d trunks, want 1 shared", c.TrunkCount())
+	}
+	tr := cd1.Trunks()[0]
+	if tr.LaneCount() != 2 {
+		t.Fatalf("shared trunk carries %d lanes, want 2", tr.LaneCount())
+	}
 	waitRecv(t, cd1, "end1", 1000)
 	waitRecv(t, cd2, "g2-end1", 1000)
-	// Tearing the first down must not touch the second's wire.
+	// Tearing the first down must not touch the second's lane.
 	cd1.Stop()
+	if c.TrunkCount() != 1 || tr.LaneCount() != 1 {
+		t.Fatalf("trunk state after partial teardown: %d trunks, %d lanes (want 1/1)",
+			c.TrunkCount(), tr.LaneCount())
+	}
 	ss := cd2.SrcSink("g2-end1")
 	base := ss.Received.Load()
 	deadline := time.Now().Add(5 * time.Second)
@@ -194,6 +300,9 @@ func TestClusterTwoConcurrentDeploymentsDoNotCollide(t *testing.T) {
 		t.Fatalf("second deployment stalled after first's teardown (%d new packets)", got-base)
 	}
 	cd2.Stop()
+	if c.TrunkCount() != 0 {
+		t.Fatalf("trunk survives its last lane")
+	}
 	for _, name := range c.NodeNames() {
 		n := c.Node(name)
 		if n.Pool.Avail() != n.Pool.Cap() {
@@ -203,4 +312,33 @@ func TestClusterTwoConcurrentDeploymentsDoNotCollide(t *testing.T) {
 			t.Fatalf("node %s still has ports attached", name)
 		}
 	}
+}
+
+// TestClusterDeployPlaced exercises the auto-placement path: two disjoint
+// tenant chains with interleaved VNF order fit one per node, so the
+// optimizer should deploy them with zero crossings — and zero trunks.
+func TestClusterDeployPlaced(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b")
+	g := graph.BidirChain(2)
+	g2 := renamed(graph.BidirChain(2), "t2-")
+	// Interleave so the contiguous baseline would cut both chains.
+	merged := &graph.Graph{}
+	for i := range g.VNFs {
+		merged.VNFs = append(merged.VNFs, g.VNFs[i], g2.VNFs[i])
+	}
+	merged.Edges = append(append([]graph.Edge(nil), g.Edges...), g2.Edges...)
+
+	cd, crossings, err := c.DeployPlaced(merged, TrunkConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+	if crossings != 0 {
+		t.Fatalf("optimizer settled on %d crossings, want 0", crossings)
+	}
+	if c.TrunkCount() != 0 {
+		t.Fatalf("crossing-free placement still created %d trunks", c.TrunkCount())
+	}
+	waitRecv(t, cd, "end1", 1000)
+	waitRecv(t, cd, "t2-end1", 1000)
 }

@@ -41,6 +41,9 @@ type jsonVNF struct {
 	Rules []jsonFWRule `json:"rules,omitempty"`
 	// Timestamp enables latency stamping on source/srcsink kinds.
 	Timestamp bool `json:"timestamp,omitempty"`
+	// Node pins the VNF to a compute node; clusters partition by it and
+	// the placement optimizer treats it as fixed. Empty = unplaced.
+	Node string `json:"node,omitempty"`
 }
 
 type jsonFWRule struct {
@@ -64,7 +67,7 @@ func ParseGraphJSON(data []byte) (*graph.Graph, error) {
 	}
 	g := &graph.Graph{}
 	for _, v := range jg.VNFs {
-		gv := graph.VNF{Name: v.Name, Kind: graph.Kind(v.Kind)}
+		gv := graph.VNF{Name: v.Name, Kind: graph.Kind(v.Kind), Node: v.Node}
 		switch gv.Kind {
 		case graph.KindFirewall:
 			rules, err := parseFWRules(v.Rules)
@@ -94,6 +97,51 @@ func ParseGraphJSON(data []byte) (*graph.Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// FormatGraphJSON serializes a service graph back into the JSON schema
+// ParseGraphJSON consumes, preserving kinds, per-VNF node placement,
+// kind-specific args and edge endpoints — parse(format(g)) round-trips.
+func FormatGraphJSON(g *graph.Graph) ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	jg := jsonGraph{}
+	for _, v := range g.VNFs {
+		jv := jsonVNF{Name: v.Name, Kind: string(v.Kind), Node: v.Node}
+		switch args := v.Args.(type) {
+		case []vnf.FirewallRule:
+			for _, r := range args {
+				jr := jsonFWRule{Proto: r.Proto, DstPort: r.DstPort}
+				if r.SrcPrefixLen > 0 {
+					jr.SrcPrefix = fmt.Sprintf("%s/%d", r.SrcPrefix, r.SrcPrefixLen)
+				}
+				if r.DstPrefixLen > 0 {
+					jr.DstPrefix = fmt.Sprintf("%s/%d", r.DstPrefix, r.DstPrefixLen)
+				}
+				jv.Rules = append(jv.Rules, jr)
+			}
+		case SourceSpecArgs:
+			jv.Flows = args.Flows
+		case SrcSinkArgs:
+			jv.Flows = args.Flows
+			jv.Timestamp = args.Timestamp
+		}
+		jg.VNFs = append(jg.VNFs, jv)
+	}
+	for _, e := range g.Edges {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			A: formatEndpoint(e.A), B: formatEndpoint(e.B), Bidir: e.Bidirectional,
+		})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+func formatEndpoint(ep graph.Endpoint) string {
+	if ep.Kind == graph.EpNIC {
+		return "nic:" + ep.Name
+	}
+	return fmt.Sprintf("%s:%d", ep.Name, ep.Port)
 }
 
 func parseEndpoint(s string) (graph.Endpoint, error) {

@@ -50,6 +50,91 @@ func TestParseGraphJSON(t *testing.T) {
 	}
 }
 
+func TestGraphJSONNodePlacementRoundTrip(t *testing.T) {
+	placed := `{
+	  "vnfs": [
+	    {"name": "end0", "kind": "srcsink", "flows": 2, "timestamp": true, "node": "node-a"},
+	    {"name": "fw",   "kind": "firewall", "node": "node-a",
+	     "rules": [{"proto": 17, "dst_port": 53, "src_prefix": "10.0.0.0/8"}]},
+	    {"name": "vnf1", "kind": "forward", "node": "node-b"},
+	    {"name": "end1", "kind": "srcsink", "node": "node-b"}
+	  ],
+	  "edges": [
+	    {"a": "end0:0", "b": "fw:0",   "bidir": true},
+	    {"a": "fw:1",   "b": "vnf1:0", "bidir": true},
+	    {"a": "vnf1:1", "b": "end1:0", "bidir": true}
+	  ]
+	}`
+	g, err := ParseGraphJSON([]byte(placed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := map[string]string{"end0": "node-a", "fw": "node-a", "vnf1": "node-b", "end1": "node-b"}
+	for _, v := range g.VNFs {
+		if v.Node != wantNodes[v.Name] {
+			t.Fatalf("%s parsed onto %q, want %q", v.Name, v.Node, wantNodes[v.Name])
+		}
+	}
+	// Serialize and re-parse: the placement (and everything else) survives.
+	data, err := FormatGraphJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraphJSON(data)
+	if err != nil {
+		t.Fatalf("re-parse of formatted graph: %v\n%s", err, data)
+	}
+	if len(g2.VNFs) != len(g.VNFs) || len(g2.Edges) != len(g.Edges) {
+		t.Fatalf("round-trip shrank the graph: %d VNFs %d edges", len(g2.VNFs), len(g2.Edges))
+	}
+	for i, v := range g2.VNFs {
+		if v.Node != g.VNFs[i].Node {
+			t.Fatalf("%s round-tripped onto %q, want %q", v.Name, v.Node, g.VNFs[i].Node)
+		}
+		if v.Kind != g.VNFs[i].Kind {
+			t.Fatalf("%s kind drifted: %q vs %q", v.Name, v.Kind, g.VNFs[i].Kind)
+		}
+	}
+	for i, e := range g2.Edges {
+		if e != g.Edges[i] {
+			t.Fatalf("edge %d drifted: %+v vs %+v", i, e, g.Edges[i])
+		}
+	}
+	// Kind-specific args survive too.
+	args, ok := g2.VNFs[0].Args.(SrcSinkArgs)
+	if !ok || args.Flows != 2 || !args.Timestamp {
+		t.Fatalf("srcsink args lost: %+v", g2.VNFs[0].Args)
+	}
+	rules, ok := g2.VNFs[1].Args.([]vnf.FirewallRule)
+	if !ok || len(rules) != 1 || rules[0].DstPort != 53 || rules[0].SrcPrefixLen != 8 {
+		t.Fatalf("firewall rules lost: %+v", g2.VNFs[1].Args)
+	}
+}
+
+func TestFormatGraphJSONNICEndpoints(t *testing.T) {
+	g, err := ParseGraphJSON([]byte(`{
+	  "vnfs": [{"name": "f1", "kind": "forward"}],
+	  "edges": [
+	    {"a": "nic:eth0", "b": "f1:0", "bidir": true},
+	    {"a": "f1:1", "b": "nic:eth1", "bidir": true}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := FormatGraphJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraphJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Edges[0].A != graph.NIC("eth0") || g2.Edges[1].B != graph.NIC("eth1") {
+		t.Fatalf("NIC endpoints drifted: %+v", g2.Edges)
+	}
+}
+
 func TestParseGraphJSONNICEndpoints(t *testing.T) {
 	g, err := ParseGraphJSON([]byte(`{
 	  "vnfs": [{"name": "f1", "kind": "forward"}],

@@ -9,36 +9,49 @@ type UDPSpec struct {
 	SrcMAC, DstMAC   MAC
 	SrcIP, DstIP     IP4
 	SrcPort, DstPort uint16
+	// VlanID, when non-zero, inserts an 802.1Q tag carrying this VLAN id
+	// between the MAC addresses and the IPv4 EtherType (trunk-lane traffic).
+	VlanID           uint16
 	TTL              uint8 // default 64
 	Payload          []byte
 	FrameLen         int // pad frame (with zero bytes) up to this length; 0 = no padding
 }
 
 // BuildUDP serializes the spec into dst and returns the frame length.
-// dst must be large enough; the frame is Ethernet+IPv4+UDP+payload, padded
-// to FrameLen if set. Checksums (IPv4 header and UDP) are filled in.
+// dst must be large enough; the frame is Ethernet[+802.1Q]+IPv4+UDP+payload,
+// padded to FrameLen if set. Checksums (IPv4 header and UDP) are filled in.
 func BuildUDP(dst []byte, s UDPSpec) (int, error) {
 	ttl := s.TTL
 	if ttl == 0 {
 		ttl = 64
 	}
+	l2Len := EthernetLen
+	if s.VlanID != 0 {
+		l2Len += VLANLen
+	}
 	ipLen := IPv4MinLen + UDPLen + len(s.Payload)
-	frameLen := EthernetLen + ipLen
+	frameLen := l2Len + ipLen
 	if s.FrameLen > frameLen {
 		frameLen = s.FrameLen
 	}
 	if len(dst) < frameLen {
 		return 0, fmt.Errorf("pkt: BuildUDP: dst %d < frame %d", len(dst), frameLen)
 	}
-	for i := EthernetLen + ipLen; i < frameLen; i++ {
+	for i := l2Len + ipLen; i < frameLen; i++ {
 		dst[i] = 0
 	}
 
 	copy(dst[0:6], s.DstMAC[:])
 	copy(dst[6:12], s.SrcMAC[:])
-	be.PutUint16(dst[12:14], EtherTypeIPv4)
+	if s.VlanID != 0 {
+		be.PutUint16(dst[12:14], EtherTypeVLAN)
+		be.PutUint16(dst[14:16], s.VlanID&0x0fff)
+		be.PutUint16(dst[16:18], EtherTypeIPv4)
+	} else {
+		be.PutUint16(dst[12:14], EtherTypeIPv4)
+	}
 
-	ip := dst[EthernetLen:]
+	ip := dst[l2Len:]
 	ip[0] = 0x45 // version 4, IHL 5
 	ip[1] = 0
 	be.PutUint16(ip[2:4], uint16(ipLen))
@@ -123,6 +136,49 @@ func BuildTCP(dst []byte, s TCPSpec) (int, error) {
 	be.PutUint16(tcp[16:18], L4Checksum(s.SrcIP, s.DstIP, ProtoTCP, seg))
 
 	return frameLen, nil
+}
+
+// PushVlan rewrites frame into the 802.1Q-tagged version of the packet that
+// starts at frame[VLANLen:] — the caller has already grown the head by
+// VLANLen bytes (mempool.Buf.Prepend on the datapath). The MAC addresses
+// move to the front and the tag (TPID 0x8100, the given vid and pcp) slots
+// in between; the original EtherType is already in place after the tag.
+// The rewrite is in place and allocation-free.
+func PushVlan(frame []byte, vid uint16, pcp uint8) error {
+	if len(frame) < VLANLen+EthernetLen {
+		return fmt.Errorf("pkt: PushVlan: frame %d bytes, need %d", len(frame), VLANLen+EthernetLen)
+	}
+	copy(frame[0:12], frame[VLANLen:VLANLen+12])
+	be.PutUint16(frame[12:14], EtherTypeVLAN)
+	be.PutUint16(frame[14:16], uint16(pcp&0x07)<<13|vid&0x0fff)
+	return nil
+}
+
+// PopVlan removes the outermost 802.1Q tag in place: the MAC addresses move
+// back by VLANLen bytes so the untagged packet starts at frame[VLANLen:],
+// and the stripped vid is returned. The caller must then trim VLANLen bytes
+// off the packet head (mempool.Buf.Adj on the datapath). Errors when the
+// frame is not tagged. Allocation-free on success.
+func PopVlan(frame []byte) (uint16, error) {
+	if len(frame) < EthernetLen+VLANLen {
+		return 0, fmt.Errorf("pkt: PopVlan: frame %d bytes, need %d", len(frame), EthernetLen+VLANLen)
+	}
+	if be.Uint16(frame[12:14]) != EtherTypeVLAN {
+		return 0, fmt.Errorf("pkt: PopVlan: frame not 802.1Q tagged (0x%04x)", be.Uint16(frame[12:14]))
+	}
+	vid := be.Uint16(frame[14:16]) & 0x0fff
+	copy(frame[VLANLen:VLANLen+12], frame[0:12])
+	return vid, nil
+}
+
+// FrameVlanID peeks the 802.1Q VLAN id of a frame without a full parse —
+// the per-frame demultiplex step of the trunk fabric. ok is false when the
+// frame is too short or not tagged.
+func FrameVlanID(frame []byte) (vid uint16, ok bool) {
+	if len(frame) < EthernetLen+VLANLen || be.Uint16(frame[12:14]) != EtherTypeVLAN {
+		return 0, false
+	}
+	return be.Uint16(frame[14:16]) & 0x0fff, true
 }
 
 // BuildARP serializes an Ethernet/IPv4 ARP message into dst.

@@ -201,6 +201,89 @@ func TestParseVLAN(t *testing.T) {
 	}
 }
 
+func TestBuildUDPWithVlanTag(t *testing.T) {
+	buf := make([]byte, 2048)
+	n, err := BuildUDP(buf, UDPSpec{
+		SrcMAC: macA, DstMAC: macB,
+		SrcIP: ipA, DstIP: ipB,
+		SrcPort: 1234, DstPort: 5678,
+		VlanID:   42,
+		FrameLen: MinFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := buf[:n]
+	if n < MinFrame {
+		t.Fatalf("frame %d bytes, want >= %d", n, MinFrame)
+	}
+	var p Parser
+	if err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Decoded.Has(LayerVLAN | LayerIPv4 | LayerUDP) {
+		t.Fatalf("Decoded = %b", p.Decoded)
+	}
+	if p.VLAN.VID() != 42 {
+		t.Errorf("VID = %d, want 42", p.VLAN.VID())
+	}
+	if p.UDP.DstPort() != 5678 {
+		t.Errorf("inner UDP dst port = %d", p.UDP.DstPort())
+	}
+	if vid, ok := FrameVlanID(frame); !ok || vid != 42 {
+		t.Errorf("FrameVlanID = %d,%v, want 42,true", vid, ok)
+	}
+	if _, ok := FrameVlanID(buildTestUDP(t, nil, MinFrame)); ok {
+		t.Error("FrameVlanID reported a tag on an untagged frame")
+	}
+}
+
+func TestPushPopVlanRoundTrip(t *testing.T) {
+	orig := buildTestUDP(t, []byte("payload"), 0)
+
+	// Push: grow the head by VLANLen, original frame at offset VLANLen.
+	grown := make([]byte, len(orig)+VLANLen)
+	copy(grown[VLANLen:], orig)
+	if err := PushVlan(grown, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	var p Parser
+	if err := p.Parse(grown); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Decoded.Has(LayerVLAN | LayerUDP) {
+		t.Fatalf("tagged frame Decoded = %b", p.Decoded)
+	}
+	if p.VLAN.VID() != 7 || p.VLAN.PCP() != 3 {
+		t.Fatalf("tag = vid %d pcp %d, want 7/3", p.VLAN.VID(), p.VLAN.PCP())
+	}
+	if p.Eth.Src() != macA || p.Eth.Dst() != macB {
+		t.Fatal("push displaced the MAC addresses")
+	}
+
+	// Pop: MACs move back; untagged packet starts at VLANLen.
+	vid, err := PopVlan(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vid != 7 {
+		t.Fatalf("PopVlan vid = %d, want 7", vid)
+	}
+	if !bytes.Equal(grown[VLANLen:], orig) {
+		t.Fatal("pop did not restore the original frame")
+	}
+}
+
+func TestPopVlanRejectsUntagged(t *testing.T) {
+	frame := buildTestUDP(t, nil, MinFrame)
+	if _, err := PopVlan(frame); err == nil {
+		t.Fatal("PopVlan accepted an untagged frame")
+	}
+	if err := PushVlan(make([]byte, 10), 1, 0); err == nil {
+		t.Fatal("PushVlan accepted a runt frame")
+	}
+}
+
 func TestParseTruncatedStopsCleanly(t *testing.T) {
 	frame := buildTestUDP(t, bytes.Repeat([]byte{9}, 32), 0)
 	var p Parser

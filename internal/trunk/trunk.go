@@ -1,0 +1,504 @@
+// Package trunk simulates the shared uplink joining two NFV nodes' NICs —
+// the ToR-style cable every inter-node service-graph crossing rides. Where
+// the old per-crossing wire model gave each crossing a private link, a Trunk
+// carries many VLAN-tagged lanes over ONE link per node pair: frames are
+// demultiplexed by their 802.1Q vid, all lanes contend for the trunk's
+// shared per-direction rate budget, and stats are kept per lane as well as
+// per direction.
+//
+// Each direction is pumped by one goroutine that drains the transmitting
+// NIC's wire side (nic.DrainToWire), classifies each frame's lane by its
+// VLAN id, re-homes accepted frames into the receiving node's mempool,
+// applies the shared rate budget and propagation latency, and injects the
+// copies into the receiving NIC (nic.InjectFromWire). Frames that carry no
+// tag or an unregistered vid are dropped on the trunk (a real trunk port
+// discards traffic for VLANs it is not configured to carry).
+//
+// Re-homing is the load-bearing step: the two nodes own independent
+// fixed-population pools (independent hugepage regions on real hosts), so a
+// frame can never carry its buffer across the link — the payload is copied
+// into a buffer allocated from the destination pool and the source buffer
+// returns to its own freelist. The mempool ownership guard turns any
+// violation of this rule into a panic instead of silent freelist corruption.
+package trunk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
+	"ovshighway/internal/pkt"
+)
+
+// Endpoint is one side of a trunk: the NIC it plugs into and the node-local
+// pool arriving frames are re-homed into.
+type Endpoint struct {
+	NIC  *nic.NIC
+	Pool *mempool.Pool
+}
+
+// Config parametrizes New.
+type Config struct {
+	Name string
+	A, B Endpoint
+	// RatePps caps each direction's carried rate, SHARED by every lane on
+	// the trunk (0 = unshaped). This is the contended uplink budget: two
+	// lanes saturating the trunk each converge to roughly half of it.
+	RatePps float64
+	// Latency is the propagation delay added to every frame, per direction.
+	Latency time.Duration
+	// BatchSize is the per-iteration pump burst (default 32).
+	BatchSize int
+}
+
+// DirStats counts one direction's traffic.
+type DirStats struct {
+	// Carried frames were delivered into the receiving NIC.
+	Carried uint64
+	// Dropped frames were lost on the trunk: receiving pool exhausted,
+	// receiving NIC ring full, or frame larger than the receiving buffers.
+	// Lane-less frames (no tag / unknown vid) count here too, and in
+	// Unrouted.
+	Dropped uint64
+}
+
+// dirCounters is the atomic backing of DirStats.
+type dirCounters struct {
+	carried atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func (c *dirCounters) stats() DirStats {
+	return DirStats{Carried: c.carried.Load(), Dropped: c.dropped.Load()}
+}
+
+// lane is one VLAN-steered flow sharing the trunk: a vid plus its
+// per-direction counters. ab/ba are in trunk orientation (A→B, B→A).
+type lane struct {
+	vid uint16
+	ab  dirCounters
+	ba  dirCounters
+}
+
+// Trunk is a running bidirectional shared link.
+type Trunk struct {
+	name string
+	ab   *pump
+	ba   *pump
+
+	// lanes is a copy-on-write vid→lane map: the two pump goroutines load
+	// it wait-free per frame; AddLane/RemoveLane swap whole maps under mu.
+	mu    sync.Mutex
+	lanes atomic.Pointer[map[uint16]*lane]
+}
+
+// New connects the two endpoints and starts both direction pumps. The trunk
+// carries no lanes until AddLane registers them.
+func New(cfg Config) (*Trunk, error) {
+	if cfg.A.NIC == nil || cfg.B.NIC == nil {
+		return nil, errors.New("trunk: both endpoints need a NIC")
+	}
+	if cfg.A.Pool == nil || cfg.B.Pool == nil {
+		return nil, errors.New("trunk: both endpoints need a pool")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	t := &Trunk{name: cfg.Name}
+	empty := map[uint16]*lane{}
+	t.lanes.Store(&empty)
+	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency}
+	t.ab = newPump(fmt.Sprintf("%s:a->b", cfg.Name), t, dirAB, cfg.A, cfg.B, sh, cfg.BatchSize)
+	t.ba = newPump(fmt.Sprintf("%s:b->a", cfg.Name), t, dirBA, cfg.B, cfg.A, sh, cfg.BatchSize)
+	go t.ab.run()
+	go t.ba.run()
+	return t, nil
+}
+
+// Name returns the trunk's name.
+func (t *Trunk) Name() string { return t.name }
+
+// AddLane registers a VLAN lane; frames tagged with vid start flowing.
+// Valid vids are 1..4094. Registering a live vid is an error.
+func (t *Trunk) AddLane(vid uint16) error {
+	if vid == 0 || vid > 4094 {
+		return fmt.Errorf("trunk %s: vid %d out of range [1,4094]", t.name, vid)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addLaneLocked(vid)
+}
+
+// AllocLane registers a lane on the lowest free vid and returns it — the
+// single atomic owner of vid allocation, so callers need no shadow set of
+// registered vids.
+func (t *Trunk) AllocLane() (uint16, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.lanes.Load()
+	for vid := uint16(1); vid <= 4094; vid++ {
+		if _, taken := cur[vid]; !taken {
+			return vid, t.addLaneLocked(vid)
+		}
+	}
+	return 0, fmt.Errorf("trunk %s: out of VLAN ids", t.name)
+}
+
+// addLaneLocked registers vid; caller holds t.mu.
+func (t *Trunk) addLaneLocked(vid uint16) error {
+	cur := *t.lanes.Load()
+	if _, dup := cur[vid]; dup {
+		return fmt.Errorf("trunk %s: lane %d already registered", t.name, vid)
+	}
+	next := make(map[uint16]*lane, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[vid] = &lane{vid: vid}
+	t.lanes.Store(&next)
+	return nil
+}
+
+// RemoveLane unregisters a lane. Frames already re-homed onto the delay
+// line still deliver; new arrivals for the vid drop as unrouted. Removing
+// an unknown vid is an error.
+func (t *Trunk) RemoveLane(vid uint16) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.lanes.Load()
+	if _, ok := cur[vid]; !ok {
+		return fmt.Errorf("trunk %s: lane %d not registered", t.name, vid)
+	}
+	next := make(map[uint16]*lane, len(cur)-1)
+	for k, v := range cur {
+		if k != vid {
+			next[k] = v
+		}
+	}
+	t.lanes.Store(&next)
+	return nil
+}
+
+// LaneCount returns the number of registered lanes.
+func (t *Trunk) LaneCount() int { return len(*t.lanes.Load()) }
+
+// Lanes returns the registered vids in ascending order.
+func (t *Trunk) Lanes() []uint16 {
+	cur := *t.lanes.Load()
+	out := make([]uint16, 0, len(cur))
+	for vid := range cur {
+		out = append(out, vid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LaneStats returns one lane's per-direction counters (A→B, B→A). ok is
+// false for unregistered vids.
+func (t *Trunk) LaneStats(vid uint16) (ab, ba DirStats, ok bool) {
+	ln := (*t.lanes.Load())[vid]
+	if ln == nil {
+		return DirStats{}, DirStats{}, false
+	}
+	return ln.ab.stats(), ln.ba.stats(), true
+}
+
+// Stats returns whole-trunk per-direction counters (A→B, B→A), including
+// unrouted drops.
+func (t *Trunk) Stats() (ab, ba DirStats) { return t.ab.stats(), t.ba.stats() }
+
+// Unrouted counts frames dropped because they carried no 802.1Q tag or an
+// unregistered vid, summed over both directions.
+func (t *Trunk) Unrouted() uint64 {
+	return t.ab.unrouted.Load() + t.ba.unrouted.Load()
+}
+
+// Stop halts both pumps and frees frames still in flight on the trunk.
+// Frames parked inside the NIC queues stay put: they belong to whoever
+// tears the NICs down.
+func (t *Trunk) Stop() {
+	t.ab.stopAndDrain()
+	t.ba.stopAndDrain()
+}
+
+// direction orients a pump relative to the trunk's A/B endpoints, selecting
+// which side of each lane's counters it owns.
+type direction int
+
+const (
+	dirAB direction = iota
+	dirBA
+)
+
+// shaping configures one direction of the trunk.
+type shaping struct {
+	RatePps float64
+	Latency time.Duration
+}
+
+// delayed is one re-homed frame waiting out its propagation delay. The lane
+// pointer is resolved at pull time so delivery attributes drops to the lane
+// even if it was removed meanwhile.
+type delayed struct {
+	buf  *mempool.Buf
+	lane *lane
+	due  int64 // UnixNano
+}
+
+// pump moves one direction: src NIC wire-TX → lane demux → re-home → shape
+// → dst NIC wire-RX. The goroutine is the single consumer of the src queue
+// and the single producer of the dst queue, honoring both SPSC contracts.
+type pump struct {
+	name    string
+	trunk   *Trunk
+	dir     direction
+	src     Endpoint
+	dst     Endpoint
+	shaping shaping
+	bucket  tokenBucket
+
+	drained []*mempool.Buf // scratch: frames pulled off the src NIC
+	homed   []*mempool.Buf // scratch: fresh dst-pool buffers
+	inFly   []delayed      // FIFO delay line (head index avoids reslicing)
+	inHead  int
+
+	carried  atomic.Uint64
+	dropped  atomic.Uint64
+	unrouted atomic.Uint64
+
+	stop atomic.Bool
+	done chan struct{}
+}
+
+func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping, batch int) *pump {
+	p := &pump{
+		name:    name,
+		trunk:   t,
+		dir:     dir,
+		src:     src,
+		dst:     dst,
+		shaping: sh,
+		drained: make([]*mempool.Buf, batch),
+		homed:   make([]*mempool.Buf, batch),
+		done:    make(chan struct{}),
+	}
+	p.bucket.init(sh.RatePps)
+	return p
+}
+
+func (p *pump) stats() DirStats {
+	return DirStats{Carried: p.carried.Load(), Dropped: p.dropped.Load()}
+}
+
+// laneDir returns the lane counter side this pump feeds.
+func (p *pump) laneDir(ln *lane) *dirCounters {
+	if p.dir == dirAB {
+		return &ln.ab
+	}
+	return &ln.ba
+}
+
+func (p *pump) run() {
+	defer close(p.done)
+	for !p.stop.Load() {
+		moved := p.pull()
+		moved += p.deliver()
+		if moved == 0 {
+			// Idle (or waiting out a propagation delay): yield the core. A
+			// busy spin here would starve the single-core measurement hosts
+			// (see DESIGN.md "Cooperative backpressure").
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// pull drains a burst off the transmitting NIC, demultiplexes each frame to
+// its lane by VLAN id, and re-homes accepted frames into the destination
+// pool. Lane-less frames (no tag, unregistered vid) and frames that cannot
+// be re-homed (destination pool exhausted, oversized payload) are dropped
+// on the trunk. The shared token bucket paces the aggregate, so every lane
+// contends for the same budget.
+func (p *pump) pull() int {
+	want := len(p.drained)
+	if allowed := p.bucket.take(want); allowed < want {
+		want = allowed
+	}
+	if want == 0 {
+		return 0
+	}
+	n := p.src.NIC.DrainToWire(p.drained[:want])
+	p.bucket.refund(want - n)
+	if n == 0 {
+		return 0
+	}
+	lanes := *p.trunk.lanes.Load()
+	got := p.dst.Pool.GetBatch(p.homed[:n])
+	now := time.Now()
+	due := now.Add(p.shaping.Latency).UnixNano()
+	kept := 0
+	var unrouted uint64
+	for i := 0; i < n; i++ {
+		srcBuf := p.drained[i]
+		vid, tagged := pkt.FrameVlanID(srcBuf.Bytes())
+		var ln *lane
+		if tagged {
+			ln = lanes[vid]
+		}
+		if ln == nil {
+			unrouted++
+			continue // no lane carries this frame: trunk drop
+		}
+		if kept >= got {
+			p.laneDir(ln).dropped.Add(1)
+			continue // destination pool exhausted: trunk drop
+		}
+		dstBuf := p.homed[kept]
+		if err := dstBuf.SetBytes(srcBuf.Bytes()); err != nil {
+			p.laneDir(ln).dropped.Add(1)
+			continue // frame exceeds destination buffer geometry: trunk drop
+		}
+		dstBuf.TS = srcBuf.TS // latency probes survive the hop
+		p.inFly = append(p.inFly, delayed{buf: dstBuf, lane: ln, due: due})
+		kept++
+	}
+	// Unused destination buffers (demux/re-home failures) go straight back…
+	if kept < got {
+		mempool.FreeBatch(p.homed[kept:got])
+	}
+	// …and every source buffer returns to the transmitting node's pool.
+	mempool.FreeBatch(p.drained[:n])
+	if unrouted > 0 {
+		p.unrouted.Add(unrouted)
+	}
+	if d := n - kept; d > 0 {
+		p.dropped.Add(uint64(d))
+	}
+	return n
+}
+
+// deliver injects frames whose propagation delay has elapsed into the
+// receiving NIC. Frames the NIC ring rejects are dropped (a full physical
+// RX ring drops on the wire too), attributed to their lane.
+func (p *pump) deliver() int {
+	pending := len(p.inFly) - p.inHead
+	if pending == 0 {
+		return 0
+	}
+	ready := p.inHead
+	now := time.Now().UnixNano()
+	for ready < len(p.inFly) && p.inFly[ready].due <= now {
+		ready++
+	}
+	if ready == p.inHead {
+		return 0
+	}
+	moved := 0
+	for p.inHead < ready {
+		// Reuse the homed scratch as the injection window, remembering the
+		// window's lanes for stats attribution.
+		k := 0
+		winStart := p.inHead
+		for p.inHead < ready && k < len(p.homed) {
+			p.homed[k] = p.inFly[p.inHead].buf
+			k++
+			p.inHead++
+		}
+		sent := p.dst.NIC.InjectFromWire(p.homed[:k])
+		p.carried.Add(uint64(sent))
+		for i := 0; i < sent; i++ {
+			p.laneDir(p.inFly[winStart+i].lane).carried.Add(1)
+		}
+		moved += k
+		if sent < k {
+			mempool.FreeBatch(p.homed[sent:k])
+			p.dropped.Add(uint64(k - sent))
+			for i := sent; i < k; i++ {
+				p.laneDir(p.inFly[winStart+i].lane).dropped.Add(1)
+			}
+		}
+	}
+	if p.inHead == len(p.inFly) {
+		p.inFly = p.inFly[:0]
+		p.inHead = 0
+	} else if p.inHead >= 1024 {
+		// Under sustained latency-shaped traffic the line never fully
+		// drains, so compact the consumed head periodically or the slice
+		// grows for the trunk's lifetime.
+		n := copy(p.inFly, p.inFly[p.inHead:])
+		p.inFly = p.inFly[:n]
+		p.inHead = 0
+	}
+	return moved
+}
+
+// stopAndDrain halts the pump goroutine and frees frames still on the delay
+// line (they were already re-homed, so they return to the destination pool).
+func (p *pump) stopAndDrain() {
+	if !p.stop.CompareAndSwap(false, true) {
+		return
+	}
+	<-p.done
+	for _, d := range p.inFly[p.inHead:] {
+		d.buf.Free()
+	}
+	p.inFly = nil
+	p.inHead = 0
+}
+
+// tokenBucket is a packet-granular rate limiter (rate 0 disables shaping).
+// Single-goroutine use: only the owning pump touches it.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (t *tokenBucket) init(rate float64) {
+	t.rate = rate
+	if rate <= 0 {
+		t.rate = 0
+		return
+	}
+	t.burst = rate / 1000 // 1 ms of line rate
+	if t.burst < 64 {
+		t.burst = 64
+	}
+	t.tokens = t.burst
+	t.last = time.Now()
+}
+
+func (t *tokenBucket) take(want int) int {
+	if t.rate == 0 {
+		return want
+	}
+	now := time.Now()
+	t.tokens += now.Sub(t.last).Seconds() * t.rate
+	t.last = now
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	grant := int(t.tokens)
+	if grant > want {
+		grant = want
+	}
+	if grant > 0 {
+		t.tokens -= float64(grant)
+	}
+	return grant
+}
+
+func (t *tokenBucket) refund(n int) {
+	if t.rate == 0 || n <= 0 {
+		return
+	}
+	t.tokens += float64(n)
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+}

@@ -1,4 +1,4 @@
-package wire
+package trunk
 
 import (
 	"bytes"
@@ -7,17 +7,18 @@ import (
 
 	"ovshighway/internal/mempool"
 	"ovshighway/internal/nic"
+	"ovshighway/internal/pkt"
 )
 
 // env is a two-node micro-testbed: one NIC and one pool per side, joined by
-// a wire. The test plays the role of both vSwitches (nic.Send/Recv).
+// a trunk. The test plays the role of both vSwitches (nic.Send/Recv).
 type env struct {
 	nicA, nicB   *nic.NIC
 	poolA, poolB *mempool.Pool
-	w            *Wire
+	tr           *Trunk
 }
 
-func newEnv(t *testing.T, cfg Config) *env {
+func newEnv(t *testing.T, cfg Config, vids ...uint16) *env {
 	t.Helper()
 	e := &env{
 		poolA: mempool.MustNew(mempool.Config{Capacity: 512}),
@@ -30,18 +31,39 @@ func newEnv(t *testing.T, cfg Config) *env {
 	if e.nicB, err = nic.New(nic.Config{ID: 2, Name: "ethB", RatePps: -1}); err != nil {
 		t.Fatal(err)
 	}
-	cfg.Name = "w0"
+	cfg.Name = "t0"
 	cfg.A = Endpoint{NIC: e.nicA, Pool: e.poolA}
 	cfg.B = Endpoint{NIC: e.nicB, Pool: e.poolB}
-	if e.w, err = New(cfg); err != nil {
+	if e.tr, err = New(cfg); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.w.Stop)
+	for _, vid := range vids {
+		if err := e.tr.AddLane(vid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(e.tr.Stop)
 	return e
 }
 
-// sendA pushes one payload out of node A's switch toward the wire.
-func (e *env) sendA(t *testing.T, payload []byte) {
+// taggedFrame synthesizes a minimal UDP frame tagged with vid.
+func taggedFrame(t testing.TB, vid uint16) []byte {
+	t.Helper()
+	buf := make([]byte, 256)
+	n, err := pkt.BuildUDP(buf, pkt.UDPSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000,
+		VlanID: vid, FrameLen: pkt.MinFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+// sendA pushes one payload out of node A's switch toward the trunk.
+func (e *env) sendA(t testing.TB, payload []byte) {
 	t.Helper()
 	b, err := e.poolA.Get()
 	if err != nil {
@@ -69,17 +91,17 @@ func (e *env) recvB(d time.Duration) *mempool.Buf {
 	return nil
 }
 
-func TestWireCarriesAndRehomes(t *testing.T) {
-	e := newEnv(t, Config{})
-	payload := []byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}
-	e.sendA(t, payload)
+func TestTrunkCarriesLaneAndRehomes(t *testing.T) {
+	e := newEnv(t, Config{}, 7)
+	frame := taggedFrame(t, 7)
+	e.sendA(t, frame)
 
 	got := e.recvB(2 * time.Second)
 	if got == nil {
-		t.Fatal("frame did not cross the wire")
+		t.Fatal("frame did not cross the trunk")
 	}
-	if !bytes.Equal(got.Bytes(), payload) {
-		t.Fatalf("payload corrupted across the wire: %x", got.Bytes())
+	if !bytes.Equal(got.Bytes(), frame) {
+		t.Fatalf("frame corrupted across the trunk: %x", got.Bytes())
 	}
 	// The load-bearing property: the delivered buffer belongs to node B's
 	// pool, and node A's buffer went home.
@@ -97,21 +119,86 @@ func TestWireCarriesAndRehomes(t *testing.T) {
 	if e.poolA.Avail() != e.poolA.Cap() {
 		t.Fatalf("sending pool leaked: %d of %d free", e.poolA.Avail(), e.poolA.Cap())
 	}
-	ab, _ := e.w.Stats()
-	if ab.Carried != 1 || ab.Dropped != 0 {
-		t.Fatalf("a->b stats = %+v, want 1 carried, 0 dropped", ab)
+	ab, _, ok := e.tr.LaneStats(7)
+	if !ok || ab.Carried != 1 || ab.Dropped != 0 {
+		t.Fatalf("lane 7 a->b stats = %+v (ok %v), want 1 carried", ab, ok)
+	}
+	tab, _ := e.tr.Stats()
+	if tab.Carried != 1 {
+		t.Fatalf("trunk a->b stats = %+v, want 1 carried", tab)
 	}
 }
 
-func TestWireBidirectional(t *testing.T) {
-	e := newEnv(t, Config{})
+func TestTrunkDropsUnroutedFrames(t *testing.T) {
+	e := newEnv(t, Config{}, 7)
+	e.sendA(t, taggedFrame(t, 99)) // unregistered vid
+	e.sendA(t, func() []byte {     // untagged
+		f := taggedFrame(t, 0)
+		return f
+	}())
+	deadline := time.Now().Add(2 * time.Second)
+	for e.tr.Unrouted() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.tr.Unrouted(); got != 2 {
+		t.Fatalf("unrouted = %d, want 2", got)
+	}
+	if got := e.recvB(50 * time.Millisecond); got != nil {
+		t.Fatal("unrouted frame was delivered")
+	}
+	// Both source buffers must be home again.
+	if e.poolA.Avail() != e.poolA.Cap() {
+		t.Fatalf("sending pool leaked: %d of %d free", e.poolA.Avail(), e.poolA.Cap())
+	}
+}
+
+func TestTrunkLaneLifecycle(t *testing.T) {
+	e := newEnv(t, Config{}, 10, 20)
+	if got := e.tr.LaneCount(); got != 2 {
+		t.Fatalf("LaneCount = %d, want 2", got)
+	}
+	if got := e.tr.Lanes(); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("Lanes = %v", got)
+	}
+	if err := e.tr.AddLane(10); err == nil {
+		t.Fatal("duplicate lane accepted")
+	}
+	if err := e.tr.AddLane(0); err == nil {
+		t.Fatal("vid 0 accepted")
+	}
+	if err := e.tr.AddLane(4095); err == nil {
+		t.Fatal("vid 4095 accepted")
+	}
+	if err := e.tr.RemoveLane(99); err == nil {
+		t.Fatal("removing unknown lane accepted")
+	}
+	if err := e.tr.RemoveLane(10); err != nil {
+		t.Fatal(err)
+	}
+	// Lane 10 is gone: its traffic drops as unrouted, lane 20 still flows.
+	e.sendA(t, taggedFrame(t, 10))
+	e.sendA(t, taggedFrame(t, 20))
+	got := e.recvB(2 * time.Second)
+	if got == nil {
+		t.Fatal("surviving lane stalled after co-resident lane removal")
+	}
+	if vid, ok := pkt.FrameVlanID(got.Bytes()); !ok || vid != 20 {
+		t.Fatalf("delivered vid = %d,%v, want 20", vid, ok)
+	}
+	got.Free()
+	if e.tr.Unrouted() != 1 {
+		t.Fatalf("unrouted = %d, want 1", e.tr.Unrouted())
+	}
+}
+
+func TestTrunkBidirectional(t *testing.T) {
+	e := newEnv(t, Config{}, 5)
 	// B → A direction: push from node B's switch, receive on node A's.
 	b, err := e.poolB.Get()
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := []byte{9, 9, 9, 9}
-	if err := b.SetBytes(payload); err != nil {
+	if err := b.SetBytes(taggedFrame(t, 5)); err != nil {
 		t.Fatal(err)
 	}
 	if e.nicB.Send([]*mempool.Buf{b}) != 1 {
@@ -125,6 +212,10 @@ func TestWireBidirectional(t *testing.T) {
 				t.Fatal("b->a frame not re-homed into pool A")
 			}
 			out[0].Free()
+			_, ba, _ := e.tr.LaneStats(5)
+			if ba.Carried != 1 {
+				t.Fatalf("lane 5 b->a stats = %+v, want 1 carried", ba)
+			}
 			return
 		}
 		time.Sleep(10 * time.Microsecond)
@@ -132,11 +223,11 @@ func TestWireBidirectional(t *testing.T) {
 	t.Fatal("b->a frame did not arrive")
 }
 
-func TestWireLatencyShaping(t *testing.T) {
+func TestTrunkLatencyShaping(t *testing.T) {
 	const lat = 50 * time.Millisecond
-	e := newEnv(t, Config{AtoB: Shaping{Latency: lat}})
+	e := newEnv(t, Config{Latency: lat}, 3)
 	start := time.Now()
-	e.sendA(t, []byte{1, 2, 3, 4})
+	e.sendA(t, taggedFrame(t, 3))
 	got := e.recvB(2 * time.Second)
 	if got == nil {
 		t.Fatal("frame did not arrive")
@@ -147,22 +238,32 @@ func TestWireLatencyShaping(t *testing.T) {
 	}
 }
 
-func TestWireRateShaping(t *testing.T) {
+// TestTrunkSharedRateContention is the headline shared-uplink property: two
+// lanes saturating one shaped trunk each converge to roughly half the
+// trunk's budget — the rate is a shared budget, not per-lane.
+func TestTrunkSharedRateContention(t *testing.T) {
 	if testing.Short() {
 		t.Skip("rate measurement needs a real-time window")
 	}
-	const rate = 2000.0
-	e := newEnv(t, Config{AtoB: Shaping{RatePps: rate}})
+	const rate = 4000.0
+	e := newEnv(t, Config{RatePps: rate}, 10, 20)
+	f10, f20 := taggedFrame(t, 10), taggedFrame(t, 20)
 	stop := make(chan struct{})
 	go func() {
-		for {
+		// One goroutine feeds both lanes (the NIC wire queue is SPSC),
+		// alternating so both offer far more than half the budget.
+		for i := 0; ; i++ {
 			select {
 			case <-stop:
 				return
 			default:
 			}
+			frame := f10
+			if i%2 == 1 {
+				frame = f20
+			}
 			if b, err := e.poolA.Get(); err == nil {
-				b.SetBytes([]byte{1, 2, 3, 4})
+				b.SetBytes(frame)
 				e.nicA.Send([]*mempool.Buf{b})
 			} else {
 				time.Sleep(10 * time.Microsecond)
@@ -170,29 +271,36 @@ func TestWireRateShaping(t *testing.T) {
 		}
 	}()
 	defer close(stop)
-	// Drain B continuously and count what the wire carried in the window.
+	// Drain B continuously for the window.
 	out := make([]*mempool.Buf, 32)
 	deadline := time.Now().Add(500 * time.Millisecond)
-	var got int
 	for time.Now().Before(deadline) {
 		n := e.nicB.Recv(out)
 		mempool.FreeBatch(out[:n])
-		got += n
 		if n == 0 {
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
-	// 500 ms at 2000 pps ⇒ ~1000 frames; allow generous scheduling slack
-	// but catch an unshaped wire (which would carry tens of thousands).
-	if got > 2500 {
-		t.Fatalf("carried %d frames in 500ms, shaping to %v pps not applied", got, rate)
+	ab10, _, _ := e.tr.LaneStats(10)
+	ab20, _, _ := e.tr.LaneStats(20)
+	total := ab10.Carried + ab20.Carried
+	// 500 ms at 4000 pps ⇒ ~2000 frames across both lanes. Catch an
+	// unshaped trunk (tens of thousands) and a starved lane.
+	if total > 5000 {
+		t.Fatalf("trunk carried %d frames in 500ms, shared shaping to %v pps not applied", total, rate)
 	}
-	if got == 0 {
-		t.Fatal("shaped wire carried nothing")
+	if ab10.Carried == 0 || ab20.Carried == 0 {
+		t.Fatalf("a lane starved under contention: %d/%d", ab10.Carried, ab20.Carried)
+	}
+	// Fair FIFO sharing: neither lane exceeds ~¾ of the carried total.
+	for vid, carried := range map[uint16]uint64{10: ab10.Carried, 20: ab20.Carried} {
+		if carried*4 > total*3 {
+			t.Fatalf("lane %d took %d of %d carried frames, want ~half each", vid, carried, total)
+		}
 	}
 }
 
-func TestWireDropsOnExhaustedDestination(t *testing.T) {
+func TestTrunkDropsOnExhaustedDestination(t *testing.T) {
 	e := &env{
 		poolA: mempool.MustNew(mempool.Config{Capacity: 256}),
 		// Destination pool too small for the burst in flight.
@@ -205,24 +313,28 @@ func TestWireDropsOnExhaustedDestination(t *testing.T) {
 	if e.nicB, err = nic.New(nic.Config{ID: 2, Name: "ethB", RatePps: -1}); err != nil {
 		t.Fatal(err)
 	}
-	e.w, err = New(Config{
-		Name: "w0",
+	e.tr, err = New(Config{
+		Name: "t0",
 		A:    Endpoint{NIC: e.nicA, Pool: e.poolA},
 		B:    Endpoint{NIC: e.nicB, Pool: e.poolB},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(e.w.Stop)
+	if err := e.tr.AddLane(7); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.tr.Stop)
 
 	// Flood without draining B: the 4-buffer destination pool exhausts.
 	const burst = 128
+	frame := taggedFrame(t, 7)
 	for i := 0; i < burst; i++ {
-		e.sendA(t, []byte{byte(i), 1, 2, 3})
+		e.sendA(t, frame)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		ab, _ := e.w.Stats()
+		ab, _ := e.tr.Stats()
 		if ab.Dropped > 0 && ab.Carried+ab.Dropped == burst {
 			// Source pool must be whole again: every frame either crossed
 			// (re-homed copy) or was dropped, and both paths free the
@@ -237,22 +349,23 @@ func TestWireDropsOnExhaustedDestination(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	ab, _ := e.w.Stats()
+	ab, _ := e.tr.Stats()
 	t.Fatalf("expected drops on exhausted destination pool, stats %+v", ab)
 }
 
-func TestWireStopFreesInFlight(t *testing.T) {
+func TestTrunkStopFreesInFlight(t *testing.T) {
 	const lat = time.Minute // frames park on the delay line forever
-	e := newEnv(t, Config{AtoB: Shaping{Latency: lat}})
+	e := newEnv(t, Config{Latency: lat}, 9)
+	frame := taggedFrame(t, 9)
 	for i := 0; i < 16; i++ {
-		e.sendA(t, []byte{1, 2, 3, 4})
+		e.sendA(t, frame)
 	}
 	// Wait until the pump re-homed them (pool B shrinks).
 	deadline := time.Now().Add(2 * time.Second)
 	for e.poolB.Avail() == e.poolB.Cap() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	e.w.Stop()
+	e.tr.Stop()
 	if e.poolB.Avail() != e.poolB.Cap() {
 		t.Fatalf("in-flight frames leaked from pool B: %d of %d free",
 			e.poolB.Avail(), e.poolB.Cap())
@@ -263,7 +376,7 @@ func TestWireStopFreesInFlight(t *testing.T) {
 	}
 }
 
-func TestWireValidation(t *testing.T) {
+func TestTrunkValidation(t *testing.T) {
 	pool := mempool.MustNew(mempool.Config{Capacity: 4})
 	dev, err := nic.New(nic.Config{ID: 1, Name: "eth", RatePps: -1})
 	if err != nil {

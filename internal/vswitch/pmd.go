@@ -27,6 +27,26 @@ type pktMeta struct {
 	next    int32
 }
 
+// refreshViews re-derives the cached header views after an action moved the
+// packet head (VLAN push/pop). The decode calls only wrap existing bytes —
+// no allocation on the success path — so VLAN actions stay inside the
+// zero-alloc budget of the batched pipeline.
+func (m *pktMeta) refreshViews() {
+	frame := m.buf.Bytes()
+	if eth, err := pkt.DecodeEthernet(frame); err == nil {
+		m.eth = eth
+	}
+	if m.decoded.Has(pkt.LayerIPv4) {
+		off := pkt.EthernetLen
+		if m.decoded.Has(pkt.LayerVLAN) {
+			off += pkt.VLANLen
+		}
+		if ip, err := pkt.DecodeIPv4(frame[off:]); err == nil {
+			m.ipv4 = ip
+		}
+	}
+}
+
 // flowGroup is one resolved flow within a batch plus the chain of packets
 // that hit it. Counters aggregate here and land on the flow with a single
 // atomic add per counter per batch, and the action list executes once per
@@ -294,6 +314,57 @@ func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 				for i := g.first; i >= 0; i = p.metas[i].next {
 					if m := &p.metas[i]; m.buf != nil && m.decoded.Has(pkt.LayerEthernet) {
 						m.eth.SetDst(a.MAC)
+					}
+				}
+			}
+		case flow.ActPushVlan:
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					m := &p.metas[i]
+					if m.buf == nil || !m.decoded.Has(pkt.LayerEthernet) {
+						continue
+					}
+					if _, err := m.buf.Prepend(pkt.VLANLen); err != nil {
+						// No headroom left (already deeply encapsulated): the
+						// frame cannot carry the tag, drop it.
+						m.buf.Free()
+						m.buf = nil
+						continue
+					}
+					if err := pkt.PushVlan(m.buf.Bytes(), a.Vlan, 0); err != nil {
+						m.buf.Free()
+						m.buf = nil
+						continue
+					}
+					m.decoded |= pkt.LayerVLAN
+					m.refreshViews()
+				}
+			}
+		case flow.ActPopVlan:
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					m := &p.metas[i]
+					if m.buf == nil || !m.decoded.Has(pkt.LayerVLAN) {
+						continue
+					}
+					if _, err := pkt.PopVlan(m.buf.Bytes()); err != nil {
+						continue
+					}
+					_ = m.buf.Adj(pkt.VLANLen)
+					m.decoded &^= pkt.LayerVLAN
+					m.refreshViews()
+				}
+			}
+		case flow.ActSetVlan:
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					m := &p.metas[i]
+					if m.buf == nil || !m.decoded.Has(pkt.LayerVLAN) {
+						continue
+					}
+					frame := m.buf.Bytes()
+					if vl, err := pkt.DecodeVLAN(frame[pkt.EthernetLen:]); err == nil {
+						vl.SetVID(a.Vlan)
 					}
 				}
 			}

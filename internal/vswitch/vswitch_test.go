@@ -178,6 +178,85 @@ func TestActionsRewriteAndTTL(t *testing.T) {
 	}
 }
 
+func TestVlanPushActionTagsFrames(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1),
+		flow.Actions{flow.PushVlan(42), flow.Output(2)}, 0)
+
+	env.sendUDP(t, 1, defaultSpec)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet not forwarded")
+	}
+	defer b.Free()
+	var p pkt.Parser
+	if err := p.Parse(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Decoded.Has(pkt.LayerVLAN | pkt.LayerUDP) {
+		t.Fatalf("forwarded frame layers = %b, want VLAN+UDP", p.Decoded)
+	}
+	if p.VLAN.VID() != 42 {
+		t.Fatalf("vid = %d, want 42", p.VLAN.VID())
+	}
+	if p.Eth.Src() != defaultSpec.SrcMAC || p.Eth.Dst() != defaultSpec.DstMAC {
+		t.Fatal("push displaced the MAC addresses")
+	}
+	if got := b.Len; got != pkt.MinFrame+pkt.VLANLen {
+		t.Fatalf("tagged frame length = %d, want %d", got, pkt.MinFrame+pkt.VLANLen)
+	}
+}
+
+func TestVlanMatchAndPopAction(t *testing.T) {
+	env := newEnv(t, Config{}, 3)
+	// Lane steering shape: tagged traffic entering port 1 demuxes by vid.
+	env.sw.Table().Add(10, flow.MatchInPort(1).WithVlan(7),
+		flow.Actions{flow.PopVlan(), flow.Output(2)}, 0)
+	env.sw.Table().Add(10, flow.MatchInPort(1).WithVlan(9),
+		flow.Actions{flow.PopVlan(), flow.Output(3)}, 0)
+
+	tagged := defaultSpec
+	tagged.VlanID = 7
+	env.sendUDP(t, 1, tagged)
+	tagged.VlanID = 9
+	env.sendUDP(t, 1, tagged)
+
+	for _, port := range []uint32{2, 3} {
+		b := env.recvOne(port, time.Second)
+		if b == nil {
+			t.Fatalf("lane to port %d did not deliver", port)
+		}
+		var p pkt.Parser
+		if err := p.Parse(b.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if p.Decoded.Has(pkt.LayerVLAN) {
+			t.Fatalf("port %d frame still tagged after pop", port)
+		}
+		if !p.Decoded.Has(pkt.LayerUDP) || p.UDP.DstPort() != defaultSpec.DstPort {
+			t.Fatalf("port %d inner packet corrupted by pop", port)
+		}
+		b.Free()
+	}
+}
+
+func TestVlanSetActionRewritesVid(t *testing.T) {
+	env := newEnv(t, Config{}, 2)
+	env.sw.Table().Add(10, flow.MatchInPort(1).WithVlan(5),
+		flow.Actions{flow.SetVlan(6), flow.Output(2)}, 0)
+	tagged := defaultSpec
+	tagged.VlanID = 5
+	env.sendUDP(t, 1, tagged)
+	b := env.recvOne(2, time.Second)
+	if b == nil {
+		t.Fatal("packet not forwarded")
+	}
+	defer b.Free()
+	if vid, ok := pkt.FrameVlanID(b.Bytes()); !ok || vid != 6 {
+		t.Fatalf("vid = %d,%v, want 6,true", vid, ok)
+	}
+}
+
 func TestDecTTLExpiryDrops(t *testing.T) {
 	env := newEnv(t, Config{}, 2)
 	env.sw.Table().Add(10, flow.MatchInPort(1),
