@@ -129,7 +129,9 @@ func BenchmarkSetupTime(b *testing.B) {
 
 // BenchmarkAblationEMC (A1): single-hop vanilla forwarding with the
 // exact-match cache on vs off, isolating the EMC's contribution to the
-// per-hop vSwitch cost the bypass removes.
+// per-hop vSwitch cost the bypass removes. The SMC tier is off in BOTH
+// arms, so emc=off measures the full classifier walk rather than the
+// second cache tier (its own axis is A5, BenchmarkAblationSMC).
 func BenchmarkAblationEMC(b *testing.B) {
 	for _, disabled := range []bool{false, true} {
 		name := "emc=on"
@@ -139,6 +141,7 @@ func BenchmarkAblationEMC(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			cfg := benchCfg
 			cfg.EMCDisabled = disabled
+			cfg.SMCDisabled = true
 			var total float64
 			for i := 0; i < b.N; i++ {
 				row, err := RunFig3aPoint(2, ModeVanilla, cfg)
@@ -231,6 +234,32 @@ func BenchmarkAblationPMDs(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSMC (A5): flow-scale throughput with the signature-match
+// cache on vs off, at a distinct-flow count past the EMC's reach (where the
+// SMC tier is the one doing the work) — the second-tier twin of A1.
+func BenchmarkAblationSMC(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "smc=on"
+		if disabled {
+			name = "smc=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCfg
+			cfg.SMCDisabled = disabled
+			var total float64
+			for i := 0; i < b.N; i++ {
+				row, err := RunFlowScalePoint(16384, 0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += row.Mpps
+			}
+			b.ReportMetric(total/float64(b.N), "Mpps")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
 // BenchmarkClassifierSubtables measures TSS lookup cost against the number
 // of distinct masks (subtables), the scaling dimension tuple-space search
 // trades for update speed.
@@ -262,24 +291,106 @@ func BenchmarkClassifierSubtables(b *testing.B) {
 	}
 }
 
-// BenchmarkEMCLookup pins the cost of the first-level lookup the PMD pays on
-// every steady-state packet: a hit in the exact-match cache, validated
-// against the table generation. Zero allocations.
+// BenchmarkEMCLookup pins the cost of the cache-tier lookups the PMD pays
+// on every steady-state packet: a hit in the exact-match cache (first
+// tier) and in the signature-match cache (second tier, probed on EMC
+// miss), both validated against the table's add/modify generation. Zero
+// allocations — CI gates every line.
 func BenchmarkEMCLookup(b *testing.B) {
-	emc := flow.NewEMC(8192)
 	tb := flow.NewTable()
 	f := tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
 	key := flow.Key{InPort: 1, EthType: 0x0800, IPProto: 17, L4Src: 5000, L4Dst: 9000}
 	kp := key.Pack()
 	hash := kp.Hash()
-	version := tb.Version()
-	emc.Insert(kp, hash, f, version)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if emc.Lookup(kp, hash, version) == nil {
-			b.Fatal("unexpected EMC miss")
+	gen := tb.Generation()
+	b.Run("emc", func(b *testing.B) {
+		emc := flow.NewEMC(8192)
+		emc.Insert(kp, hash, f, gen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if emc.Lookup(kp, hash, gen) == nil {
+				b.Fatal("unexpected EMC miss")
+			}
 		}
+	})
+	b.Run("smc", func(b *testing.B) {
+		smc := flow.NewSMC(32768)
+		smc.Insert(&kp, hash, f, gen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if smc.Lookup(&kp, hash, gen) == nil {
+				b.Fatal("unexpected SMC miss")
+			}
+		}
+	})
+}
+
+// BenchmarkLookupChurn is the death-mark invalidation headline: steady
+// traffic over a fixed key set while UNRELATED flows are deleted from the
+// table (idle-expiry / co-resident-teardown churn). Under the legacy
+// global-version scheme (every mutation bumps the generation the cache
+// validates against) each delete stampedes the whole EMC onto the
+// classifier and the hit rate collapses toward 0%. Under the death-mark
+// scheme (Table.Generation moves only on add/modify; deletes mark their
+// flow dead) the EMC keeps hitting through the churn. The emc-hit-%
+// metric is the comparison; acceptance wants >90% for death-mark.
+func BenchmarkLookupChurn(b *testing.B) {
+	const (
+		trafficKeys = 256
+		victims     = 4096
+		churnEvery  = 16 // one unrelated delete per 16 lookups
+	)
+	for _, scheme := range []string{"global-version", "death-mark"} {
+		b.Run(scheme, func(b *testing.B) {
+			tb := flow.NewTable()
+			tb.Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+			specs, matches := churnVictims(victims)
+			tb.AddBatch(specs)
+			gen := func() uint64 {
+				if scheme == "global-version" {
+					return tb.Version()
+				}
+				return tb.Generation()
+			}
+			kps := make([]flow.Packed, trafficKeys)
+			hashes := make([]uint32, trafficKeys)
+			for i := range kps {
+				k := flow.Key{InPort: 1, EthType: 0x0800, IPProto: 17, L4Src: uint16(i), L4Dst: 9000}
+				kps[i] = k.Pack()
+				hashes[i] = kps[i].Hash()
+			}
+			emc := flow.NewEMC(8192)
+			nextVictim := 0
+			var hits, lookups uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%churnEvery == churnEvery-1 {
+					if nextVictim == victims {
+						// Victims exhausted on a long run: restock outside
+						// the measured churn pattern (one add-generation
+						// bump per 4096 deletes — negligible either way).
+						b.StopTimer()
+						tb.AddBatch(specs)
+						nextVictim = 0
+						b.StartTimer()
+					}
+					tb.DeleteStrict(5, matches[nextVictim])
+					nextVictim++
+				}
+				j := i % trafficKeys
+				g := gen()
+				f := emc.Lookup(kps[j], hashes[j], g)
+				if f != nil {
+					hits++
+				} else if f = tb.LookupPacked(&kps[j]); f != nil {
+					emc.Insert(kps[j], hashes[j], f, g)
+				}
+				lookups++
+			}
+			b.ReportMetric(100*float64(hits)/float64(lookups), "emc-hit-%")
+		})
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pktgen -send 127.0.0.1:9000 -rate 100000 -duration 5s -size 64
+//	pktgen -send 127.0.0.1:9000 -flows 64 -churn 100   # rotate 5-tuples
 //	pktgen -recv :9000
 package main
 
@@ -27,12 +28,13 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "send duration")
 		size     = flag.Int("size", 64, "UDP payload size in bytes")
 		flows    = flag.Int("flows", 1, "distinct source ports to cycle")
+		churn    = flag.Int("churn", 0, "flows/sec whose 5-tuple rotates (0 = stable flows)")
 	)
 	flag.Parse()
 
 	switch {
 	case *sendAddr != "":
-		if err := send(*sendAddr, *rate, *duration, *size, *flows); err != nil {
+		if err := send(*sendAddr, *rate, *duration, *size, *flows, *churn); err != nil {
 			log.Fatal(err)
 		}
 	case *recvAddr != "":
@@ -45,7 +47,7 @@ func main() {
 	}
 }
 
-func send(addr string, rate int, duration time.Duration, size, flows int) error {
+func send(addr string, rate int, duration time.Duration, size, flows, churn int) error {
 	if flows < 1 {
 		flows = 1
 	}
@@ -59,19 +61,58 @@ func send(addr string, rate int, duration time.Duration, size, flows int) error 
 		if err != nil {
 			return err
 		}
-		defer c.Close()
 		conns[i] = c
 	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
 
 	payload := make([]byte, size)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
 
-	var sent uint64
+	var sent, churned uint64
 	start := time.Now()
 	deadline := start.Add(duration)
 	next := 0
+
+	// Churn rotates one flow's 5-tuple every 1/churn seconds by re-dialing
+	// its connection (the OS picks a fresh ephemeral source port) — the
+	// external-traffic twin of the flowscale experiment's churn axis: old
+	// flows go idle and expire, new ones keep arriving.
+	var churnEvery time.Duration
+	var nextChurn time.Time
+	churnIdx := 0
+	if churn > 0 {
+		churnEvery = time.Second / time.Duration(churn)
+		nextChurn = start.Add(churnEvery)
+	}
+	rotate := func(now time.Time) error {
+		if churn <= 0 || !now.After(nextChurn) {
+			return nil
+		}
+		// Cap the catch-up burst: after a long stall the backlog is dropped
+		// rather than executed as a re-dial storm that pauses sending.
+		const burstCap = 32
+		if behind := now.Sub(nextChurn) / churnEvery; behind > burstCap {
+			nextChurn = nextChurn.Add((behind - burstCap) * churnEvery)
+		}
+		for now.After(nextChurn) {
+			c, err := net.DialUDP("udp", nil, dst)
+			if err != nil {
+				return err
+			}
+			conns[churnIdx].Close()
+			conns[churnIdx] = c
+			churnIdx = (churnIdx + 1) % flows
+			churned++
+			nextChurn = nextChurn.Add(churnEvery)
+		}
+		return nil
+	}
 
 	// Pace in 1ms quanta to avoid a per-packet timer.
 	quantum := time.Millisecond
@@ -81,6 +122,9 @@ func send(addr string, rate int, duration time.Duration, size, flows int) error 
 	}
 	for time.Now().Before(deadline) {
 		qStart := time.Now()
+		if err := rotate(qStart); err != nil {
+			return err
+		}
 		for i := 0; i < perQuantum && time.Now().Before(deadline); i++ {
 			if _, err := conns[next].Write(payload); err != nil {
 				return err
@@ -95,8 +139,8 @@ func send(addr string, rate int, duration time.Duration, size, flows int) error 
 		}
 	}
 	el := time.Since(start).Seconds()
-	fmt.Printf("sent %d packets in %.2fs (%.0f pps, %.3f Mpps)\n",
-		sent, el, float64(sent)/el, float64(sent)/el/1e6)
+	fmt.Printf("sent %d packets in %.2fs (%.0f pps, %.3f Mpps), rotated %d flows\n",
+		sent, el, float64(sent)/el, float64(sent)/el/1e6, churned)
 	return nil
 }
 

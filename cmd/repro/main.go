@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | flowscale | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "multinode", "wlatency", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "wlatency", "flowscale", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | flowscale | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -47,6 +47,7 @@ func main() {
 	run("fig3b", func() error { return fig3b(cfg) })
 	run("multinode", func() error { return multinode(cfg) })
 	run("wlatency", func() error { return wlatency(cfg) })
+	run("flowscale", func() error { return flowscale(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
 	// The strict pass/fail gate is opt-in only: a noisy host failing the
@@ -90,7 +91,45 @@ func check(cfg highway.ExperimentConfig) error {
 	if long <= short {
 		return fmt.Errorf("gap did not widen with chain length (%.2fx at 3 VMs vs %.2fx at 8)", short, long)
 	}
-	fmt.Printf("PASS: gap widens %.2fx → %.2fx\n\n", short, long)
+	fmt.Printf("PASS: gap widens %.2fx → %.2fx\n", short, long)
+
+	// Datapath sanity on a churned flow-scale point: clean synthetic
+	// traffic must produce zero parse errors, and the EMC must survive
+	// unrelated delete churn (death-mark invalidation, not a cache flush).
+	row, err := highway.RunFlowScalePoint(1024, 500, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datapath: emc %.1f%% smc %.1f%% dedup %.1f%% classifier %.1f%%, parse errors %d\n",
+		row.EMCPct, row.SMCPct, row.DedupPct, row.ClsPct, row.ParseErrors)
+	if row.ParseErrors != 0 {
+		return fmt.Errorf("parse errors on clean traffic: %d", row.ParseErrors)
+	}
+	if row.EMCPct < 90 {
+		return fmt.Errorf("EMC hit rate %.1f%% under delete churn, want >90%% (death-mark invalidation broken?)", row.EMCPct)
+	}
+	fmt.Println("PASS: EMC >90% under unrelated delete churn, no parse errors")
+	fmt.Println()
+	return nil
+}
+
+func flowscale(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Flow scale: distinct 5-tuples × flow-table delete churn ===")
+	fmt.Println("    (tier shift as flows outgrow each cache: EMC → SMC → classifier;")
+	fmt.Println("     unrelated delete churn barely dents it — death-mark invalidation)")
+	fmt.Printf("%8s %10s %10s %8s %8s %8s %8s\n",
+		"flows", "churn/s", "Mpps", "emc%", "smc%", "dedup%", "cls%")
+	for _, churn := range []int{0, 1000} {
+		for _, flows := range []int{64, 1024, 4096, 16384, 65536} {
+			r, err := highway.RunFlowScalePoint(flows, churn, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %10d %10.3f %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				r.Flows, r.ChurnPerSec, r.Mpps, r.EMCPct, r.SMCPct, r.DedupPct, r.ClsPct)
+		}
+	}
+	fmt.Println()
 	return nil
 }
 

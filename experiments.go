@@ -2,8 +2,17 @@ package highway
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/orchestrator"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vswitch"
 )
 
 // ExperimentConfig tunes the measurement harness. Zero values take defaults
@@ -17,6 +26,8 @@ type ExperimentConfig struct {
 	NumPMDs int
 	// EMCDisabled turns the exact-match cache off (ablation A1).
 	EMCDisabled bool
+	// SMCDisabled turns the signature-match cache off (ablation A5).
+	SMCDisabled bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -46,7 +57,7 @@ func RunFig3aPoint(vms int, mode Mode, cfg ExperimentConfig) (ThroughputRow, err
 	if vms < 2 {
 		return ThroughputRow{}, fmt.Errorf("fig3a: need >= 2 VMs, got %d", vms)
 	}
-	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled, SMCDisabled: cfg.SMCDisabled})
 	if err != nil {
 		return ThroughputRow{}, err
 	}
@@ -86,7 +97,7 @@ func RunFig3bPoint(vms int, mode Mode, cfg ExperimentConfig) (ThroughputRow, err
 	if vms < 1 {
 		return ThroughputRow{}, fmt.Errorf("fig3b: need >= 1 VM, got %d", vms)
 	}
-	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled, SMCDisabled: cfg.SMCDisabled})
 	if err != nil {
 		return ThroughputRow{}, err
 	}
@@ -141,7 +152,7 @@ func RunMultiNodePoint(vms int, mode Mode, cfg ExperimentConfig) (MultiNodeRow, 
 		return MultiNodeRow{}, fmt.Errorf("multinode: need >= 2 VMs, got %d", vms)
 	}
 	cluster, err := StartCluster(ClusterConfig{
-		Config: Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled},
+		Config: Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled, SMCDisabled: cfg.SMCDisabled},
 		Nodes:  []string{"node-a", "node-b"},
 	})
 	if err != nil {
@@ -202,7 +213,7 @@ func RunWireLatencyPoint(vms int, wireLat time.Duration, mode Mode, cfg Experime
 		return WireLatencyRow{}, fmt.Errorf("wlatency: need >= 2 VMs, got %d", vms)
 	}
 	cluster, err := StartCluster(ClusterConfig{
-		Config:      Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled},
+		Config:      Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled, SMCDisabled: cfg.SMCDisabled},
 		Nodes:       []string{"node-a", "node-b"},
 		WireLatency: wireLat,
 	})
@@ -269,7 +280,7 @@ func RunLatencyPoint(vms int, mode Mode, cfg ExperimentConfig) (LatencyRow, erro
 	if vms < 2 {
 		return LatencyRow{}, fmt.Errorf("latency: need >= 2 VMs, got %d", vms)
 	}
-	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled})
+	node, err := Start(Config{Mode: mode, NumPMDs: cfg.NumPMDs, EMCDisabled: cfg.EMCDisabled, SMCDisabled: cfg.SMCDisabled})
 	if err != nil {
 		return LatencyRow{}, err
 	}
@@ -379,4 +390,245 @@ func RunSetupTime(links int, hotplug, config time.Duration) (SetupRow, error) {
 	}
 	row.Mean = sum / time.Duration(len(samples))
 	return row, nil
+}
+
+// FlowScaleRow is one point of the flow-scale experiment: steady traffic
+// over a given number of distinct 5-tuples, optionally under flow-table
+// delete churn, with the per-tier resolution breakdown of the lookup
+// hierarchy. Percentages are shares of all lookups over the run (EMC hit,
+// SMC hit, within-batch dedup, full classifier walk); they show the tier
+// shift as the distinct-flow count grows past each cache's reach.
+type FlowScaleRow struct {
+	Flows       int
+	ChurnPerSec int
+	Mpps        float64
+	EMCPct      float64
+	SMCPct      float64
+	DedupPct    float64
+	ClsPct      float64
+	ParseErrors uint64
+}
+
+// churnVictims builds n unrelated drop flows (an ingress port no traffic
+// ever uses) for delete-churn fixtures: the flowscale churner and
+// BenchmarkLookupChurn delete them one by one to model idle-expiry /
+// co-resident-teardown flow-table churn that must not disturb live
+// cache entries.
+func churnVictims(n int) ([]flow.FlowSpec, []flow.Match) {
+	specs := make([]flow.FlowSpec, n)
+	matches := make([]flow.Match, n)
+	for i := range specs {
+		m := flow.MatchInPort(999).WithL4Dst(uint16(i))
+		matches[i] = m
+		specs[i] = flow.FlowSpec{Priority: 5, Match: m, Actions: flow.Actions{flow.Drop()}}
+	}
+	return specs, matches
+}
+
+// RunFlowScalePoint measures one (distinct flows × churn) point on a bare
+// vSwitch: a generator cycles `flows` distinct UDP 5-tuples (one wildcard
+// rule forwards them all, so every 5-tuple is its own EMC/SMC entry but the
+// classifier holds one subtable row), while a churner deletes pre-installed
+// unrelated flows at churnPerSec — the idle-expiry/teardown churn that used
+// to stampede the whole EMC onto the classifier before death-mark
+// invalidation. Tier percentages cover the whole run (warm-up included):
+// per-PMD cache counters are thread-local and only read after the datapath
+// stops.
+func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleRow, error) {
+	cfg.fill()
+	if flows < 1 || flows > 1<<16 {
+		return FlowScaleRow{}, fmt.Errorf("flowscale: flows %d out of range [1,65536]", flows)
+	}
+	if churnPerSec < 0 {
+		return FlowScaleRow{}, fmt.Errorf("flowscale: negative churn rate %d", churnPerSec)
+	}
+	sw := vswitch.New(vswitch.Config{
+		NumPMDs:     cfg.NumPMDs,
+		EMCDisabled: cfg.EMCDisabled,
+		SMCDisabled: cfg.SMCDisabled,
+		// Sweep often: each sweep re-ranks the classifier by observed hits.
+		SweepInterval: 50 * time.Millisecond,
+	})
+	pool := mempool.MustNew(mempool.Config{Capacity: 4096})
+	portGen, pmdGen, err := dpdkr.NewPort(1, "gen", 1024)
+	if err != nil {
+		return FlowScaleRow{}, err
+	}
+	portSink, pmdSink, err := dpdkr.NewPort(2, "sink", 1024)
+	if err != nil {
+		return FlowScaleRow{}, err
+	}
+	if err := sw.AddPort(portGen); err != nil {
+		return FlowScaleRow{}, err
+	}
+	if err := sw.AddPort(portSink); err != nil {
+		return FlowScaleRow{}, err
+	}
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+
+	// Churn victims: a bounded pool of unrelated flows, deleted at the
+	// requested rate and re-installed in one batch each time the pool runs
+	// dry, so the delete pressure is sustained for arbitrary windows (each
+	// restock costs one add-generation bump per `victims` deletes —
+	// negligible next to the churn it feeds).
+	// The pool is deliberately small: a delete costs O(table size) (match
+	// scan + snapshot rebuild), so an oversized victim pool would measure
+	// delete CPU cost on the shared core instead of cache invalidation.
+	var specs []flow.FlowSpec
+	var victims []flow.Match
+	if churnPerSec > 0 {
+		specs, victims = churnVictims(512)
+		sw.Table().AddBatch(specs)
+	}
+	if err := sw.Start(); err != nil {
+		return FlowScaleRow{}, err
+	}
+
+	raw := make([]byte, 256)
+	frameLen, err := pkt.BuildUDP(raw, orchestrator.DefaultTrafficSpec())
+	if err != nil {
+		sw.Stop()
+		return FlowScaleRow{}, err
+	}
+	// The UDP source port is the flow axis; it sits right after the
+	// Ethernet + minimal IPv4 headers in the untagged template frame. The
+	// rewrite below does not refresh the UDP checksum, so clear it in the
+	// template once (0 = "no checksum" in UDP) and every generated frame
+	// stays well-formed.
+	const srcPortOff = pkt.EthernetLen + pkt.IPv4MinLen
+	raw[srcPortOff+6] = 0
+	raw[srcPortOff+7] = 0
+
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		delivered atomic.Uint64
+	)
+	// Sink: drain the far port and return buffers to the pool.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]*mempool.Buf, 64)
+		for !stop.Load() {
+			n := pmdSink.Rx(out)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			delivered.Add(uint64(n))
+			mempool.FreeBatch(out[:n])
+		}
+	}()
+	// Generator: blast batches, rotating the 5-tuple through `flows`
+	// distinct source ports.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bufs := make([]*mempool.Buf, 32)
+		seq := 0
+		for !stop.Load() {
+			got := pool.GetBatch(bufs)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < got; i++ {
+				b := bufs[i]
+				b.SetBytes(raw[:frameLen])
+				fp := uint16(seq % flows)
+				fb := b.Bytes()
+				fb[srcPortOff] = byte(fp >> 8)
+				fb[srcPortOff+1] = byte(fp)
+				seq++
+			}
+			sent := pmdGen.Tx(bufs[:got])
+			if sent < got {
+				mempool.FreeBatch(bufs[sent:got])
+				runtime.Gosched()
+			}
+		}
+	}()
+	// Churner: delete pre-installed unrelated flows at churnPerSec, paced
+	// in 1 ms quanta (a per-delete sleep undershoots badly once the
+	// interval drops below the scheduler's sleep granularity), restocking
+	// the victim pool when it runs dry.
+	if churnPerSec > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Catch-up bursts are capped: after a long deschedule (normal
+			// on the 1-core hosts) the backlog is dropped rather than
+			// executed as a rebuild storm that would stall the datapath for
+			// tens of ms. The achieved rate therefore saturates around
+			// 32k/s; the sweep's rates sit far below that.
+			const quantum = time.Millisecond
+			const burstCap = 32
+			start := time.Now()
+			done := 0
+			next := 0
+			for !stop.Load() {
+				due := int(time.Since(start).Seconds() * float64(churnPerSec))
+				if due-done > burstCap {
+					done = due - burstCap
+				}
+				for ; done < due && !stop.Load(); done++ {
+					if next == len(victims) {
+						sw.Table().AddBatch(specs)
+						next = 0
+					}
+					sw.Table().DeleteStrict(5, victims[next])
+					next++
+				}
+				time.Sleep(quantum)
+			}
+		}()
+	}
+
+	time.Sleep(cfg.Warmup)
+	base := delivered.Load()
+	t0 := time.Now()
+	time.Sleep(cfg.Window)
+	got := delivered.Load() - base
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	sw.Stop()
+
+	st := sw.DatapathStats()
+	lookups := st.EMC.Hits + st.SMC.Hits + st.DedupHits + st.ClassifierHits + st.ClassifierMisses
+	pct := func(v uint64) float64 {
+		if lookups == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(lookups)
+	}
+	return FlowScaleRow{
+		Flows:       flows,
+		ChurnPerSec: churnPerSec,
+		Mpps:        float64(got) / elapsed.Seconds() / 1e6,
+		EMCPct:      pct(st.EMC.Hits),
+		SMCPct:      pct(st.SMC.Hits),
+		DedupPct:    pct(st.DedupHits),
+		ClsPct:      pct(st.ClassifierHits + st.ClassifierMisses),
+		ParseErrors: st.ParseErrors,
+	}, nil
+}
+
+// RunFlowScale sweeps distinct-flow counts crossed with churn rates — the
+// experiment that exposes the tiered lookup hierarchy: EMC absorbs small
+// flow counts, the SMC tier takes over past the EMC's reach, and the
+// classifier catches the tail; delete churn barely dents the curve thanks
+// to death-mark invalidation.
+func RunFlowScale(flowCounts, churnRates []int, cfg ExperimentConfig) ([]FlowScaleRow, error) {
+	var rows []FlowScaleRow
+	for _, churn := range churnRates {
+		for _, flows := range flowCounts {
+			r, err := RunFlowScalePoint(flows, churn, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
 }

@@ -53,8 +53,11 @@ type Config struct {
 	// NumPMDs is the number of vSwitch forwarding threads (default 1; the
 	// paper's baseline contends on these).
 	NumPMDs int
-	// EMCDisabled turns off the vSwitch exact-match cache (ablation).
+	// EMCDisabled turns off the vSwitch exact-match cache (ablation A1).
 	EMCDisabled bool
+	// SMCDisabled turns off the vSwitch signature-match cache, the second
+	// lookup tier between the EMC and the classifier (ablation A5).
+	SMCDisabled bool
 	// RingSize is the dpdkr/bypass ring capacity (default 1024).
 	RingSize int
 	// PoolSize is the packet-buffer population (default 8192).
@@ -86,6 +89,7 @@ func (cfg Config) nodeConfig() orchestrator.NodeConfig {
 		Switch: vswitch.Config{
 			NumPMDs:     cfg.NumPMDs,
 			EMCDisabled: cfg.EMCDisabled,
+			SMCDisabled: cfg.SMCDisabled,
 		},
 		Agent: agent.Config{
 			HotplugDelay: cfg.HotplugDelay,

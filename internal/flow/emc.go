@@ -3,16 +3,25 @@ package flow
 // EMC is an exact-match cache: a direct-mapped, 2-way cache from full packet
 // keys to classification results, owned by a single PMD thread (no locking).
 // It is the first level of the OVS userspace datapath lookup hierarchy; on a
-// hit the masked classifier walk is skipped entirely.
+// hit the SMC probe and the masked classifier walk are both skipped.
 //
-// Entries carry per-entry generation tags: each entry remembers the table
-// version it was cached at and is served only while that version is current.
-// A table mutation therefore invalidates exactly the entries cached before
-// it — lazily, with no flush pass over the whole cache — while entries
-// re-validated after the mutation keep hitting. This is how flow-mod driven
-// behaviour changes (including bypass teardown decisions) become visible to
-// the datapath promptly without the old whole-cache-flush cost on every
-// mutation.
+// Invalidation is two-pronged:
+//
+//   - Entries carry per-entry generation tags. The caller passes the table's
+//     add/modify generation (Table.Generation): each entry remembers the
+//     generation it was cached at and is served only while that generation
+//     is current, so an insertion or modification — which can shadow a
+//     cached result with a different winner — invalidates entries cached
+//     before it, lazily, with no flush pass over the cache.
+//   - Removals (deletes, expiries, replacements) death-mark the removed
+//     Flow instead of bumping the generation. A hit candidate whose flow is
+//     dead is scrubbed and treated as a miss. Deletes — the dominant churn
+//     source in a busy flow table — therefore invalidate exactly the
+//     entries pointing at the removed flow; the rest of the cache keeps
+//     hitting. (The pre-death-mark behaviour, every mutation stampeding the
+//     whole cache onto the classifier, is recoverable by passing
+//     Table.Version as the generation — BenchmarkLookupChurn compares the
+//     two schemes.)
 type EMC struct {
 	mask    uint32
 	entries []emcEntry
@@ -22,9 +31,9 @@ type EMC struct {
 	conflicts uint64
 }
 
-// emcEntry is one cache way. gen is the table version the classification was
-// obtained at; 0 means empty (table versions start at 1 — an empty table
-// classifies nothing, so nothing is ever cached at version 0).
+// emcEntry is one cache way. gen is the add/modify generation the
+// classification was obtained at; 0 means empty (generations start at 1 —
+// an empty table classifies nothing, so nothing is ever cached at 0).
 type emcEntry struct {
 	gen  uint64
 	key  Packed
@@ -47,26 +56,34 @@ func NewEMC(entries int) *EMC {
 }
 
 // Lookup returns the cached flow for the packed key, or nil on miss.
-// tableVersion must be the owning table's current version; entries tagged
-// with any other generation are stale and never served.
-func (c *EMC) Lookup(kp Packed, hash uint32, tableVersion uint64) *Flow {
+// gen must be the owning table's current add/modify generation; entries
+// tagged with any other generation, or whose flow has been death-marked,
+// are stale and never served.
+func (c *EMC) Lookup(kp Packed, hash uint32, gen uint64) *Flow {
 	base := int(hash&c.mask) * emcWays
 	for w := 0; w < emcWays; w++ {
 		e := &c.entries[base+w]
-		if e.gen == tableVersion && e.key == kp && e.flow != nil {
-			c.hits++
-			return e.flow
+		if e.gen == gen && e.key == kp {
+			if f := e.flow; f != nil && !f.Dead() {
+				c.hits++
+				return f
+			}
+			// The cached flow was removed: scrub the way so it becomes a
+			// preferred insertion victim.
+			e.gen = 0
+			e.flow = nil
 		}
 	}
 	c.misses++
 	return nil
 }
 
-// Insert caches a classification result obtained at tableVersion. A nil flow
-// is never cached (misses in the classifier go to the slow path and may
-// install new state). Stale ways (older generations) are preferred victims;
-// among live ways the set behaves as insertion-order LRU.
-func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, tableVersion uint64) {
+// Insert caches a classification result obtained at gen. A nil flow is
+// never cached (misses in the classifier go to the slow path and may
+// install new state). Stale ways (older generations, dead flows) are
+// preferred victims; among live ways the set behaves as insertion-order
+// LRU.
+func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, gen uint64) {
 	if f == nil {
 		return
 	}
@@ -75,23 +92,24 @@ func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, tableVersion uint64) {
 	for w := 0; w < emcWays; w++ {
 		e := &c.entries[base+w]
 		if e.gen != 0 && e.key == kp {
-			e.gen = tableVersion
+			e.gen = gen
 			e.flow = f
 			return
 		}
 	}
-	// A stale way 0 can be overwritten without touching a possibly-live way 1.
-	if c.entries[base].gen != tableVersion {
-		c.entries[base] = emcEntry{gen: tableVersion, key: kp, flow: f}
+	// A stale or dead way 0 can be overwritten without touching a
+	// possibly-live way 1.
+	if e := &c.entries[base]; e.gen != gen || e.flow == nil || e.flow.Dead() {
+		*e = emcEntry{gen: gen, key: kp, flow: f}
 		return
 	}
 	// Way 0 receives the newest entry; the previous way-0 occupant shifts to
 	// way 1, evicting the set's oldest entry (insertion-order LRU).
-	if c.entries[base+1].gen == tableVersion {
+	if e1 := &c.entries[base+1]; e1.gen == gen && e1.flow != nil && !e1.flow.Dead() {
 		c.conflicts++
 	}
 	c.entries[base+1] = c.entries[base]
-	c.entries[base] = emcEntry{gen: tableVersion, key: kp, flow: f}
+	c.entries[base] = emcEntry{gen: gen, key: kp, flow: f}
 }
 
 // EMCStats are cumulative cache counters.

@@ -95,6 +95,19 @@ func (p Packed) And(m Packed) Packed {
 	return out
 }
 
+// MaskedEqual reports whether p&mask == want byte-wise, without
+// materializing the masked copy. It is the SMC's verification primitive:
+// flows cache their packed mask and masked key at insertion, so checking
+// whether a flow covers a packet key is one pass over 36 bytes.
+func (p *Packed) MaskedEqual(mask, want *Packed) bool {
+	for i := range p {
+		if p[i]&mask[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Hash returns an FNV-1a hash of the packed bytes.
 func (p Packed) Hash() uint32 {
 	const (
@@ -106,6 +119,24 @@ func (p Packed) Hash() uint32 {
 		h ^= uint32(b)
 		h *= prime32
 	}
+	return h
+}
+
+// Hash2 returns a second hash of the packed bytes, independent of Hash:
+// FNV-1a over a different offset basis with a murmur-style finalizer. The
+// SMC stores it alongside the primary hash's signature, so an entry must
+// agree on ~48 independent hash bits before its mask-cover verification —
+// pushing undetectable signature collisions below any realistic flow count.
+func (p *Packed) Hash2() uint32 {
+	const prime32 = 16777619
+	h := uint32(0x9747b28c)
+	for _, b := range p {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
 	return h
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ovshighway/internal/pkt"
 )
@@ -127,6 +128,82 @@ func TestQuickBuildersMonotone(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full tiered lookup (EMC → SMC → classifier, with
+// death-mark and generation invalidation) always agrees with a linear-scan
+// reference over the live flow list, across random add/delete/expire/rerank
+// churn. "Agrees" is OpenFlow-modulo-ties: both sides must find a covering
+// flow of the same (maximal) priority or both must miss, and a cache may
+// never serve a dead flow. This is the oracle for the whole hierarchy: any
+// invalidation bug (a stale cache serving a removed or shadowed flow) or
+// ranking bug (rerank breaking the early exit) shows up as a disagreement.
+func TestQuickTieredLookupOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		emc := NewEMC(64) // tiny, to force evictions
+		smc := NewSMC(64)
+		for trial := 0; trial < 250; trial++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				// Add; sometimes with an idle timeout so expiry has victims.
+				var idle uint16
+				if rng.Intn(2) == 0 {
+					idle = 1
+				}
+				tb.AddWithTimeouts(uint16(rng.Intn(4)*10), randMatch(rng),
+					Actions{Output(uint32(rng.Intn(4)))}, 0, idle, 0, 0)
+			case 3:
+				// Delete a random live flow.
+				if fs := tb.Snapshot(); len(fs) > 0 {
+					v := fs[rng.Intn(len(fs))]
+					tb.DeleteStrict(v.Priority, v.Match)
+				}
+			case 4:
+				// Expire every idle-timeout flow (2s later than now ≫ 1s).
+				tb.Expire(time.Now().Add(2 * time.Second))
+			case 5:
+				tb.Rerank()
+			}
+
+			k := randKey(rng)
+			kp := k.Pack()
+			h := kp.Hash()
+			g := tb.Generation()
+
+			// Tiered lookup, exactly as the PMD walks it.
+			got := emc.Lookup(kp, h, g)
+			if got == nil {
+				got = smc.Lookup(&kp, h, g)
+			}
+			if got == nil {
+				got = tb.LookupPacked(&kp)
+				if got != nil {
+					emc.Insert(kp, h, got, g)
+					smc.Insert(&kp, h, got, g)
+				}
+			}
+
+			// Reference: linear scan over the live flow list.
+			want := refLookup(tb.Snapshot(), &k)
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				return false
+			case got.Dead():
+				return false // a cache served a removed flow
+			case !got.Match.Covers(&k):
+				return false
+			case got.Priority != want.Priority:
+				return false // stale/shadowed result (or rerank broke early exit)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,150 @@
+package flow
+
+// SMC is the signature-match cache: the middle tier of the lookup
+// hierarchy, slotted between the exact-match cache and the tuple-space
+// classifier, modeled on OVS-DPDK's SMC. Where an EMC entry stores the full
+// 36-byte packed key, an SMC entry stores only hash material — a 16-bit
+// signature of the primary key hash plus an independent 32-bit secondary
+// hash — so the same memory holds several times more entries and the cache
+// keeps absorbing lookups long after the distinct-flow count has blown past
+// the EMC's reach. Per-PMD and single-threaded, like the EMC.
+//
+// A candidate entry is served only after three checks:
+//
+//  1. generation — the entry was cached at the table's current add/modify
+//     generation (the same shadowing rule the EMC uses: a newly inserted
+//     rule could outrank the cached one);
+//  2. liveness — the cached flow has not been death-marked by a delete,
+//     expiry, or replacement;
+//  3. coverage — the cached flow's match covers the looked-up key, verified
+//     against the packed mask material cached on the flow (no Pack calls).
+//
+// Coverage makes a signature collision between keys that resolve to
+// different rules detectable in practice: the colliding key fails the
+// cached rule's mask check, is counted in FalsePositives, and falls through
+// to the classifier. The residual wrong-answer window — another key
+// agreeing on ~48 independent hash bits AND covered by the cached rule
+// while a higher-priority rule covers only it — is ~2^-48 per colliding
+// pair; like OVS's SMC, the tier trades that vanishing probability for
+// reach.
+type SMC struct {
+	mask    uint32
+	entries []smcEntry
+	victim  uint32 // round-robin victim cursor for full live buckets
+
+	hits     uint64
+	misses   uint64
+	falsePos uint64
+}
+
+// smcEntry is one cache way: no key, just hash material and the result.
+type smcEntry struct {
+	gen  uint64
+	flow *Flow
+	alt  uint32 // secondary hash (Packed.Hash2)
+	sig  uint16 // primary-hash signature (high bits, never 0)
+}
+
+const smcWays = 4
+
+// NewSMC builds a cache with the given number of entries (rounded up to a
+// power of two, minimum 2*ways).
+func NewSMC(entries int) *SMC {
+	n := smcWays * 2
+	for n < entries {
+		n <<= 1
+	}
+	return &SMC{
+		mask:    uint32(n/smcWays - 1),
+		entries: make([]smcEntry, n),
+	}
+}
+
+// smcSig derives the in-bucket signature from the primary hash. 0 is
+// remapped so a zeroed (empty) way can never match.
+func smcSig(hash uint32) uint16 {
+	s := uint16(hash >> 16)
+	if s == 0 {
+		s = 0xffff
+	}
+	return s
+}
+
+// Lookup returns the cached flow covering the packed key, or nil on miss.
+// gen must be the owning table's current add/modify generation.
+func (c *SMC) Lookup(kp *Packed, hash uint32, gen uint64) *Flow {
+	base := int(hash&c.mask) * smcWays
+	sig := smcSig(hash)
+	var alt uint32
+	altDone := false
+	for w := 0; w < smcWays; w++ {
+		e := &c.entries[base+w]
+		if e.sig != sig || e.gen != gen || e.flow == nil {
+			continue
+		}
+		if !altDone {
+			alt = kp.Hash2() // computed lazily: most probes fail on sig/gen
+			altDone = true
+		}
+		if e.alt != alt {
+			// Primary-signature collision caught by the secondary hash: a
+			// detected false positive of the 16-bit signature.
+			c.falsePos++
+			continue
+		}
+		f := e.flow
+		if f.Dead() {
+			e.flow = nil // scrub: the way becomes a preferred victim
+			continue
+		}
+		if !f.CoversPacked(kp) {
+			c.falsePos++
+			continue
+		}
+		c.hits++
+		return f
+	}
+	c.misses++
+	return nil
+}
+
+// Insert caches a classification result obtained at gen. A nil flow is
+// never cached. Victim preference: the way holding the same hash material
+// (re-validation updates in place), then an empty/stale/dead way, then
+// round-robin among live ways.
+func (c *SMC) Insert(kp *Packed, hash uint32, f *Flow, gen uint64) {
+	if f == nil {
+		return
+	}
+	base := int(hash&c.mask) * smcWays
+	sig := smcSig(hash)
+	alt := kp.Hash2()
+	vic := -1
+	for w := 0; w < smcWays; w++ {
+		e := &c.entries[base+w]
+		if e.sig == sig && e.alt == alt && e.flow != nil {
+			vic = w // same key material: update in place
+			break
+		}
+		if vic < 0 && (e.flow == nil || e.gen != gen || e.flow.Dead()) {
+			vic = w
+		}
+	}
+	if vic < 0 {
+		vic = int(c.victim % smcWays)
+		c.victim++
+	}
+	c.entries[base+vic] = smcEntry{gen: gen, flow: f, alt: alt, sig: sig}
+}
+
+// SMCStats are cumulative cache counters. FalsePositives count signature
+// matches whose flow did not cover the key: detected collisions, served as
+// misses.
+type SMCStats struct {
+	Hits, Misses, FalsePositives uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SMC) Stats() SMCStats {
+	return SMCStats{Hits: c.hits, Misses: c.misses, FalsePositives: c.falsePos}
+}

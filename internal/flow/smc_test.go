@@ -1,0 +1,265 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/pkt"
+)
+
+func TestSMCHitMissAndGeneration(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	c := NewSMC(256)
+
+	k := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp := k.Pack()
+	h := kp.Hash()
+	g := tb.Generation()
+
+	if got := c.Lookup(&kp, h, g); got != nil {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(&kp, h, fl, g)
+	if got := c.Lookup(&kp, h, g); got != fl {
+		t.Fatal("warm cache miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// An insertion (which could shadow the cached result) moves the
+	// generation and invalidates.
+	tb.Add(20, MatchInPort(2), Actions{Output(1)}, 0)
+	if got := c.Lookup(&kp, h, tb.Generation()); got != nil {
+		t.Fatal("stale entry served after add-generation bump")
+	}
+	// Re-validation at the new generation hits again.
+	c.Insert(&kp, h, fl, tb.Generation())
+	if got := c.Lookup(&kp, h, tb.Generation()); got != fl {
+		t.Fatal("re-validated entry missed")
+	}
+}
+
+func TestSMCNeverServesDeadFlow(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	other := tb.Add(10, MatchInPort(2), Actions{Output(1)}, 0)
+	c := NewSMC(256)
+
+	k1 := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	k2 := key(2, 11, 22, pkt.ProtoUDP, 3, 4)
+	kp1, kp2 := k1.Pack(), k2.Pack()
+	g := tb.Generation()
+	c.Insert(&kp1, kp1.Hash(), fl, g)
+	c.Insert(&kp2, kp2.Hash(), other, g)
+
+	// Deleting fl does NOT move the add/modify generation…
+	if !tb.DeleteStrict(10, MatchInPort(1)) {
+		t.Fatal("delete failed")
+	}
+	if tb.Generation() != g {
+		t.Fatal("delete moved the add/modify generation")
+	}
+	// …yet its cached entry must never be served again (death mark)…
+	if got := c.Lookup(&kp1, kp1.Hash(), tb.Generation()); got != nil {
+		t.Fatalf("SMC served removed flow %v", got)
+	}
+	// …while the unrelated entry keeps hitting: the delete invalidated
+	// exactly one entry, not the cache.
+	if got := c.Lookup(&kp2, kp2.Hash(), tb.Generation()); got != other {
+		t.Fatal("unrelated entry lost to an unrelated delete")
+	}
+}
+
+// TestSMCSignatureCollisionRejected pins the false-positive handling: a
+// probe whose primary signature collides with a cached entry but whose key
+// differs must be rejected (secondary hash / coverage verification), never
+// served, and counted in FalsePositives.
+func TestSMCSignatureCollisionRejected(t *testing.T) {
+	tb := NewTable()
+	// The flow matches in_port=1 only.
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	c := NewSMC(8) // tiny: adversarial probes share the bucket set
+	g := tb.Generation()
+
+	k1 := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp1 := k1.Pack()
+	c.Insert(&kp1, kp1.Hash(), fl, g)
+
+	// Probe with a DIFFERENT key forging k1's primary hash (adversarial
+	// signature collision): in_port=9 is not even covered by the flow.
+	k2 := key(9, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp2 := k2.Pack()
+	if got := c.Lookup(&kp2, kp1.Hash(), g); got != nil {
+		t.Fatalf("SMC served a colliding foreign key: %v", got)
+	}
+	if st := c.Stats(); st.FalsePositives == 0 {
+		t.Fatalf("detected collision not counted: %+v", st)
+	}
+	// The true key still hits.
+	if got := c.Lookup(&kp1, kp1.Hash(), g); got != fl {
+		t.Fatal("true key rejected")
+	}
+}
+
+// TestEMCDeathMarkInvalidatesOnlyRemovedFlow is the EMC twin of the SMC
+// death-mark test, pinning the delete-churn story end to end: unrelated
+// deletes leave the cache hot, and the removed flow's entry dies instantly.
+func TestEMCDeathMarkInvalidatesOnlyRemovedFlow(t *testing.T) {
+	tb := NewTable()
+	fa := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	fb := tb.Add(10, MatchInPort(2), Actions{Output(1)}, 0)
+	victim := tb.Add(5, MatchInPort(9), Actions{Output(3)}, 0)
+	_ = victim
+	c := NewEMC(1024)
+
+	ka := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kb := key(2, 11, 22, pkt.ProtoUDP, 3, 4)
+	kpa, kpb := ka.Pack(), kb.Pack()
+	g := tb.Generation()
+	c.Insert(kpa, kpa.Hash(), fa, g)
+	c.Insert(kpb, kpb.Hash(), fb, g)
+
+	// Delete an UNRELATED flow: generation must not move, both entries must
+	// keep hitting — this is what the old global-version scheme got wrong.
+	if !tb.DeleteStrict(5, MatchInPort(9)) {
+		t.Fatal("unrelated delete failed")
+	}
+	if tb.Generation() != g {
+		t.Fatal("delete moved the add/modify generation")
+	}
+	if c.Lookup(kpa, kpa.Hash(), tb.Generation()) != fa ||
+		c.Lookup(kpb, kpb.Hash(), tb.Generation()) != fb {
+		t.Fatal("unrelated delete invalidated live EMC entries")
+	}
+
+	// Delete a CACHED flow: its entry dies immediately, the sibling lives.
+	if !tb.DeleteStrict(10, MatchInPort(1)) {
+		t.Fatal("delete failed")
+	}
+	if got := c.Lookup(kpa, kpa.Hash(), tb.Generation()); got != nil {
+		t.Fatalf("EMC served removed flow %v", got)
+	}
+	if c.Lookup(kpb, kpb.Hash(), tb.Generation()) != fb {
+		t.Fatal("sibling entry lost")
+	}
+
+	// Expiry death-marks exactly like an explicit delete.
+	exp := tb.AddWithTimeouts(10, MatchInPort(3), Actions{Output(1)}, 0, 1, 0, 0)
+	kc := key(3, 11, 22, pkt.ProtoUDP, 5, 6)
+	kpc := kc.Pack()
+	g2 := tb.Generation()
+	c.Insert(kpc, kpc.Hash(), exp, g2)
+	if c.Lookup(kpc, kpc.Hash(), g2) != exp {
+		t.Fatal("entry not cached")
+	}
+	if n := len(tb.Expire(time.Now().Add(2 * time.Second))); n != 1 {
+		t.Fatalf("expired %d flows, want 1", n)
+	}
+	if tb.Generation() != g2 {
+		t.Fatal("expiry moved the add/modify generation")
+	}
+	if got := c.Lookup(kpc, kpc.Hash(), tb.Generation()); got != nil {
+		t.Fatalf("EMC served expired flow %v", got)
+	}
+}
+
+// TestReplacementDeathMarksOldFlow: modifying a flow (same priority+match)
+// must both bump the generation AND death-mark the replaced entry, so
+// neither validity path can serve the old actions.
+func TestReplacementDeathMarksOldFlow(t *testing.T) {
+	tb := NewTable()
+	old := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	g := tb.Generation()
+	c := NewEMC(64)
+	k := key(1, 11, 22, pkt.ProtoUDP, 1, 2)
+	kp := k.Pack()
+	c.Insert(kp, kp.Hash(), old, g)
+
+	repl := tb.Add(10, MatchInPort(1), Actions{Output(3)}, 0)
+	if tb.Generation() == g {
+		t.Fatal("replacement did not bump the generation")
+	}
+	if !old.Dead() {
+		t.Fatal("replaced flow not death-marked")
+	}
+	if repl.Dead() {
+		t.Fatal("replacement flow born dead")
+	}
+	if got := c.Lookup(kp, kp.Hash(), tb.Generation()); got != nil {
+		t.Fatalf("EMC served replaced flow %v", got)
+	}
+}
+
+// TestClassifierRerankOrdersByHits drives lookups into one of two
+// equal-priority subtables, re-ranks, and checks both that the hot subtable
+// moved to the front and that lookups stay correct (priority guard).
+func TestClassifierRerankOrdersByHits(t *testing.T) {
+	tb := NewTable()
+	// Two subtables at the same maxPrio (different masks), plus one
+	// higher-priority subtable that must stay in front regardless of hits.
+	tb.Add(50, MatchInPort(1).WithL4Dst(80), Actions{Output(9)}, 0)
+	tb.Add(10, MatchInPort(2), Actions{Output(2)}, 0)                // mask A
+	tb.Add(10, MatchInPort(3).WithIPProto(17), Actions{Output(3)}, 0) // mask B
+
+	// Hammer mask B's flow.
+	kb := key(3, 11, 22, pkt.ProtoUDP, 1, 2)
+	for i := 0; i < 64; i++ {
+		if tb.Lookup(&kb) == nil {
+			t.Fatal("lookup lost")
+		}
+	}
+	tb.Rerank()
+
+	snap := tb.snap.Load()
+	if len(snap.subtables) != 3 {
+		t.Fatalf("subtables = %d, want 3", len(snap.subtables))
+	}
+	// Priority guard: descending maxPrio must survive ranking.
+	for i := 1; i < len(snap.subtables); i++ {
+		if snap.subtables[i-1].maxPrio < snap.subtables[i].maxPrio {
+			t.Fatal("rerank broke the descending maxPrio invariant")
+		}
+	}
+	if snap.subtables[0].maxPrio != 50 {
+		t.Fatal("high-priority subtable displaced from the front")
+	}
+	// Within the equal-priority run, the hammered mask leads.
+	hot := snap.subtables[1]
+	if hot.hits.Load() < 64 {
+		t.Fatalf("hot subtable not ranked first within its priority run (hits=%d)", hot.hits.Load())
+	}
+
+	// Rerank must not move the generation or the version (not a mutation).
+	g, v := tb.Generation(), tb.Version()
+	tb.Rerank()
+	if tb.Generation() != g || tb.Version() != v {
+		t.Fatal("rerank counted as a mutation")
+	}
+	// And lookups still resolve by priority, not rank.
+	khi := key(1, 11, 22, pkt.ProtoUDP, 1, 80)
+	if f := tb.Lookup(&khi); f == nil || f.Priority != 50 {
+		t.Fatalf("priority winner lost after rerank: %v", f)
+	}
+}
+
+// TestRerankPersistsAcrossRebuild: hit counters are keyed by mask on the
+// table, so an unrelated mutation (rebuild) must not reset the ranking.
+func TestRerankPersistsAcrossRebuild(t *testing.T) {
+	tb := NewTable()
+	tb.Add(10, MatchInPort(2), Actions{Output(2)}, 0)
+	tb.Add(10, MatchInPort(3).WithIPProto(17), Actions{Output(3)}, 0)
+	kb := key(3, 11, 22, pkt.ProtoUDP, 1, 2)
+	for i := 0; i < 64; i++ {
+		tb.Lookup(&kb)
+	}
+	// Unrelated mutation rebuilds the snapshot.
+	tb.Add(10, MatchInPort(4), Actions{Output(4)}, 0)
+	tb.Rerank()
+	first := tb.snap.Load().subtables[0]
+	if first.hits.Load() < 64 {
+		t.Fatalf("hit-ranked subtable lost its counter across a rebuild (hits=%d)", first.hits.Load())
+	}
+}

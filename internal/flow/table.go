@@ -41,6 +41,33 @@ type Flow struct {
 
 	created int64        // UnixNano at insertion
 	lastHit atomic.Int64 // UnixNano of the most recent datapath hit
+
+	// dead is the death mark: set exactly once, when the flow leaves its
+	// table (delete, expiry, or replacement). The EMC/SMC check it on every
+	// candidate hit, so a removal invalidates precisely the cached entries
+	// pointing at this flow — without bumping the add/modify generation and
+	// stampeding the rest of the cache onto the classifier.
+	dead atomic.Bool
+
+	// pmask/pkeyMasked cache Match.Mask.Pack() and the masked match key,
+	// computed once at insertion, so CoversPacked runs without Pack calls on
+	// the SMC verification path.
+	pmask      Packed
+	pkeyMasked Packed
+}
+
+// Dead reports whether the flow has been removed from its table. Cached
+// lookup tiers must never serve a dead flow.
+func (f *Flow) Dead() bool { return f.dead.Load() }
+
+// markDead sets the death mark; called under the table mutation lock by
+// every removal path.
+func (f *Flow) markDead() { f.dead.Store(true) }
+
+// CoversPacked reports whether the packed key satisfies the flow's match,
+// using the mask material cached at insertion (no allocation, no Pack).
+func (f *Flow) CoversPacked(kp *Packed) bool {
+	return kp.MaskedEqual(&f.pmask, &f.pkeyMasked)
 }
 
 // Touch records a datapath hit for idle-timeout accounting. The PMD calls
@@ -84,6 +111,10 @@ type subtable struct {
 	maxPrio uint16
 	// entries maps masked packed keys to flows sorted by descending priority.
 	entries map[Packed][]*Flow
+	// hits counts lookups this subtable won. The counter outlives snapshot
+	// rebuilds (it is owned by the Table, keyed by mask) and feeds the
+	// periodic hit ranking. Atomic: several PMDs walk one snapshot.
+	hits *atomic.Uint64
 }
 
 // classifier is an immutable lookup snapshot. Tables rebuild it on every
@@ -91,7 +122,9 @@ type subtable struct {
 // (the RCU idiom OVS uses, in Go clothing).
 type classifier struct {
 	// subtables sorted by descending maxPrio allows early exit as soon as the
-	// best candidate outranks every remaining subtable.
+	// best candidate outranks every remaining subtable; within an equal
+	// maxPrio run they are ranked by observed hits (hottest first), which
+	// Rerank refreshes periodically without touching the early-exit bound.
 	subtables []*subtable
 	version   uint64
 }
@@ -106,6 +139,7 @@ func (c *classifier) Lookup(k *Key) *Flow {
 // when the caller (the PMD fast path) has packed the key for EMC hashing.
 func (c *classifier) LookupPacked(kp *Packed) *Flow {
 	var best *Flow
+	var bestSt *subtable
 	for _, st := range c.subtables {
 		if best != nil && best.Priority >= st.maxPrio {
 			break
@@ -114,9 +148,13 @@ func (c *classifier) LookupPacked(kp *Packed) *Flow {
 		for _, f := range st.entries[masked] {
 			if best == nil || f.Priority > best.Priority {
 				best = f
+				bestSt = st
 			}
 			break // entries are sorted by descending priority
 		}
+	}
+	if best != nil {
+		bestSt.hits.Add(1)
 	}
 	return best
 }
@@ -130,8 +168,12 @@ type Table struct {
 	mu        sync.Mutex
 	flows     []*Flow
 	version   atomic.Uint64
+	gen       atomic.Uint64
 	snap      atomic.Pointer[classifier]
 	listeners []Listener
+	// stHits owns the per-mask hit counters the classifier subtables point
+	// at, so hit ranking survives snapshot rebuilds. Guarded by mu.
+	stHits map[Packed]*atomic.Uint64
 }
 
 // Listener observes table mutations. Callbacks run synchronously under the
@@ -144,7 +186,7 @@ type Listener interface {
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	t := &Table{}
+	t := &Table{stHits: make(map[Packed]*atomic.Uint64)}
 	t.snap.Store(&classifier{})
 	return t
 }
@@ -157,8 +199,19 @@ func (t *Table) AddListener(l Listener) {
 }
 
 // Version returns the current table version; it increments on every
-// mutation. The EMC uses it for invalidation.
+// mutation (including deletes and expiries). Diagnostics and the legacy
+// whole-cache invalidation scheme key off it.
 func (t *Table) Version() uint64 { return t.version.Load() }
+
+// Generation returns the add/modify generation: it increments only on
+// insertions and modifications — the mutations that can *shadow* a cached
+// classification with a different, possibly higher-priority result. The
+// EMC/SMC validate entries against it. Removals (deletes, expiries) do NOT
+// bump it; they death-mark the removed flows instead, so a delete
+// invalidates exactly the cached entries pointing at the removed flow and
+// the rest of the cache keeps hitting. Generations start at 1: nothing can
+// be cached from an empty table, so 0 doubles as the caches' empty tag.
+func (t *Table) Generation() uint64 { return t.gen.Load() }
 
 // Add inserts a permanent flow. Per OpenFlow semantics, an existing flow
 // with the same priority and match is replaced (its counters are lost, as
@@ -170,24 +223,22 @@ func (t *Table) Add(priority uint16, m Match, actions Actions, cookie uint64) *F
 // AddWithTimeouts inserts a flow with OpenFlow idle/hard timeouts (seconds,
 // 0 = never) and flow-mod flags.
 func (t *Table) AddWithTimeouts(priority uint16, m Match, actions Actions, cookie uint64, idleTO, hardTO, flags uint16) *Flow {
-	now := time.Now().UnixNano()
-	f := &Flow{
-		Priority: priority,
-		Match:    m,
-		Actions:  append(Actions(nil), actions...),
-		Cookie:   cookie,
-		IdleTO:   idleTO,
-		HardTO:   hardTO,
-		Flags:    flags,
-		created:  now,
-	}
-	f.lastHit.Store(now)
+	f := newFlow(FlowSpec{
+		Priority: priority, Match: m, Actions: actions, Cookie: cookie,
+		IdleTO: idleTO, HardTO: hardTO, Flags: flags,
+	}, time.Now().UnixNano())
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i, old := range t.flows {
 		if old.Priority == priority && old.Match.Equal(m) {
 			t.flows[i] = f
+			old.markDead()
 			t.rebuildLocked()
+			// Gen bumps AFTER the snapshot swap: a concurrent PMD that sees
+			// the new gen is then guaranteed to classify against the new
+			// snapshot (the reverse misordering — old gen, new snapshot —
+			// only tags fresh results stale, which is merely conservative).
+			t.gen.Add(1)
 			for _, l := range t.listeners {
 				l.FlowRemoved(old)
 				l.FlowAdded(f)
@@ -197,9 +248,29 @@ func (t *Table) AddWithTimeouts(priority uint16, m Match, actions Actions, cooki
 	}
 	t.flows = append(t.flows, f)
 	t.rebuildLocked()
+	t.gen.Add(1)
 	for _, l := range t.listeners {
 		l.FlowAdded(f)
 	}
+	return f
+}
+
+// newFlow builds a flow entry from a spec, caching the packed match
+// material the SMC verification path reads.
+func newFlow(sp FlowSpec, now int64) *Flow {
+	f := &Flow{
+		Priority: sp.Priority,
+		Match:    sp.Match,
+		Actions:  append(Actions(nil), sp.Actions...),
+		Cookie:   sp.Cookie,
+		IdleTO:   sp.IdleTO,
+		HardTO:   sp.HardTO,
+		Flags:    sp.Flags,
+		created:  now,
+	}
+	f.pmask = sp.Match.Mask.Pack()
+	f.pkeyMasked = sp.Match.Key.Pack().And(f.pmask)
+	f.lastHit.Store(now)
 	return f
 }
 
@@ -233,22 +304,13 @@ func (t *Table) AddBatch(specs []FlowSpec) []*Flow {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for si, sp := range specs {
-		f := &Flow{
-			Priority: sp.Priority,
-			Match:    sp.Match,
-			Actions:  append(Actions(nil), sp.Actions...),
-			Cookie:   sp.Cookie,
-			IdleTO:   sp.IdleTO,
-			HardTO:   sp.HardTO,
-			Flags:    sp.Flags,
-			created:  now,
-		}
-		f.lastHit.Store(now)
+		f := newFlow(sp, now)
 		out[si] = f
 		found := false
 		for i, old := range t.flows {
 			if old.Priority == sp.Priority && old.Match.Equal(sp.Match) {
 				t.flows[i] = f
+				old.markDead()
 				replaced[si] = old
 				found = true
 				break
@@ -259,6 +321,7 @@ func (t *Table) AddBatch(specs []FlowSpec) []*Flow {
 		}
 	}
 	t.rebuildLocked()
+	t.gen.Add(1) // after the snapshot swap — see AddWithTimeouts
 	for si, f := range out {
 		for _, l := range t.listeners {
 			if replaced[si] != nil {
@@ -278,6 +341,7 @@ func (t *Table) DeleteStrict(priority uint16, m Match) bool {
 	for i, f := range t.flows {
 		if f.Priority == priority && f.Match.Equal(m) {
 			t.flows = append(t.flows[:i], t.flows[i+1:]...)
+			f.markDead()
 			t.rebuildLocked()
 			for _, l := range t.listeners {
 				l.FlowRemoved(f)
@@ -306,6 +370,9 @@ func (t *Table) DeleteWhere(pred func(*Flow) bool) int {
 		return 0
 	}
 	t.flows = kept
+	for _, f := range removed {
+		f.markDead()
+	}
 	t.rebuildLocked()
 	for _, f := range removed {
 		for _, l := range t.listeners {
@@ -380,6 +447,9 @@ func (t *Table) Expire(now time.Time) []Expired {
 		return nil
 	}
 	t.flows = kept
+	for _, e := range expired {
+		e.Flow.markDead()
+	}
 	t.rebuildLocked()
 	for _, e := range expired {
 		for _, l := range t.listeners {
@@ -389,22 +459,65 @@ func (t *Table) Expire(now time.Time) []Expired {
 	return expired
 }
 
+// Rerank re-sorts the current classifier snapshot's subtables by observed
+// hit counts and swaps a fresh snapshot in. The sort is priority-guarded —
+// descending maxPrio remains the primary key, hits only order subtables
+// *within* an equal-maxPrio run — so the walk's early exit stays correct.
+// Rerank is not a mutation: neither the version nor the add/modify
+// generation moves, listeners do not fire, and cached EMC/SMC entries stay
+// valid. The vSwitch expiry sweeper calls it periodically so the hottest
+// mask migrates to the front of the tuple-space walk.
+func (t *Table) Rerank() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.snap.Load()
+	if len(cur.subtables) < 2 {
+		return
+	}
+	next := &classifier{version: cur.version}
+	next.subtables = append([]*subtable(nil), cur.subtables...)
+	sortSubtables(next.subtables)
+	t.snap.Store(next)
+}
+
+// sortSubtables orders a subtable slice for lookup: descending maxPrio
+// (the early-exit invariant), then descending observed hits.
+func sortSubtables(sts []*subtable) {
+	sort.SliceStable(sts, func(i, j int) bool {
+		if sts[i].maxPrio != sts[j].maxPrio {
+			return sts[i].maxPrio > sts[j].maxPrio
+		}
+		return sts[i].hits.Load() > sts[j].hits.Load()
+	})
+}
+
 // rebuildLocked regenerates the classifier snapshot. Caller holds t.mu.
 func (t *Table) rebuildLocked() {
 	v := t.version.Add(1)
 	bymask := make(map[Packed]*subtable)
 	for _, f := range t.flows {
-		mp := f.Match.Mask.Pack()
+		mp := f.pmask
 		st, ok := bymask[mp]
 		if !ok {
-			st = &subtable{mask: mp, entries: make(map[Packed][]*Flow)}
+			hc := t.stHits[mp]
+			if hc == nil {
+				hc = new(atomic.Uint64)
+				t.stHits[mp] = hc
+			}
+			st = &subtable{mask: mp, entries: make(map[Packed][]*Flow), hits: hc}
 			bymask[mp] = st
 		}
 		if f.Priority > st.maxPrio {
 			st.maxPrio = f.Priority
 		}
-		masked := f.Match.Key.Pack().And(mp)
-		st.entries[masked] = append(st.entries[masked], f)
+		st.entries[f.pkeyMasked] = append(st.entries[f.pkeyMasked], f)
+	}
+	// Hit counters of vanished masks die with their subtable: a returning
+	// mask starts cold rather than inheriting a stale rank.
+	for mp := range t.stHits {
+		if _, ok := bymask[mp]; !ok {
+			delete(t.stHits, mp)
+		}
 	}
 	c := &classifier{version: v}
 	for _, st := range bymask {
@@ -413,6 +526,6 @@ func (t *Table) rebuildLocked() {
 		}
 		c.subtables = append(c.subtables, st)
 	}
-	sort.Slice(c.subtables, func(i, j int) bool { return c.subtables[i].maxPrio > c.subtables[j].maxPrio })
+	sortSubtables(c.subtables)
 	t.snap.Store(c)
 }

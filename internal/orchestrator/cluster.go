@@ -41,6 +41,9 @@ type Cluster struct {
 	// mu guards the trunk registry and its per-trunk VLAN id allocators.
 	mu     sync.Mutex
 	trunks map[pairKey]*clusterTrunk
+	// poller drives every trunk of this cluster from one shared goroutine
+	// (created lazily with the first trunk). Guarded by mu.
+	poller *trunk.Poller
 }
 
 // pairKey identifies an unordered node pair (lo < hi lexically).
@@ -126,9 +129,14 @@ func (c *Cluster) Stop() {
 		trunks = append(trunks, ct)
 	}
 	c.trunks = make(map[pairKey]*clusterTrunk)
+	poller := c.poller
+	c.poller = nil
 	c.mu.Unlock()
 	for _, ct := range trunks {
 		ct.tr.Stop()
+	}
+	if poller != nil {
+		poller.Stop()
 	}
 	for _, name := range c.order {
 		c.nodes[name].Stop()
@@ -224,12 +232,16 @@ func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, er
 		_ = nlo.RemoveNIC(nameLo)
 		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
 	}
+	if c.poller == nil {
+		c.poller = trunk.NewPoller()
+	}
 	tr, err := trunk.New(trunk.Config{
 		Name:    fmt.Sprintf("trunk-%s-%s", pair.lo, pair.hi),
 		A:       trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
 		B:       trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
 		RatePps: rate,
 		Latency: tcfg.Latency,
+		Poller:  c.poller,
 	})
 	if err != nil {
 		_ = nlo.RemoveNIC(nameLo)
@@ -268,10 +280,19 @@ func (c *Cluster) releaseLane(pair pairKey, vid uint16) {
 		c.mu.Unlock()
 		return
 	}
-	// Last lane gone: dismantle. Stop the pumps (bounded: they exit within
-	// one idle iteration) and detach the NICs before unlocking.
+	// Last lane gone: dismantle. Stop the pumps (bounded: the poller
+	// detaches them within two iterations) and detach the NICs before
+	// unlocking.
 	delete(c.trunks, pair)
 	ct.tr.Stop()
+	if len(c.trunks) == 0 && c.poller != nil {
+		// Symmetric with the lazy create in ensureTrunk: the last trunk
+		// takes the shared poller goroutine with it, so a trunk-less
+		// cluster is back to zero idle wakeups (a later Deploy recreates
+		// it).
+		c.poller.Stop()
+		c.poller = nil
+	}
 	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
 	_ = nlo.RemoveNIC(ct.nameLo)
 	_ = nhi.RemoveNIC(ct.nameHi)

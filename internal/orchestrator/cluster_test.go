@@ -191,6 +191,15 @@ func TestClusterDeploymentStopReclaimsEverything(t *testing.T) {
 	if c.TrunkCount() != 0 {
 		t.Fatalf("%d trunks survive their last lane", c.TrunkCount())
 	}
+	// The shared trunk poller dies with the last trunk: a trunk-less
+	// cluster must be back to zero idle wakeups (and a later Deploy below
+	// lazily recreates it).
+	c.mu.Lock()
+	pollerAlive := c.poller != nil
+	c.mu.Unlock()
+	if pollerAlive {
+		t.Fatal("trunk poller survives the last trunk")
+	}
 	for _, name := range c.NodeNames() {
 		n := c.Node(name)
 		if got := n.Switch.Table().Len(); got != 0 {

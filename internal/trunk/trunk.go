@@ -6,13 +6,16 @@
 // shared per-direction rate budget, and stats are kept per lane as well as
 // per direction.
 //
-// Each direction is pumped by one goroutine that drains the transmitting
-// NIC's wire side (nic.DrainToWire), classifies each frame's lane by its
-// VLAN id, re-homes accepted frames into the receiving node's mempool,
-// applies the shared rate budget and propagation latency, and injects the
-// copies into the receiving NIC (nic.InjectFromWire). Frames that carry no
-// tag or an unregistered vid are dropped on the trunk (a real trunk port
-// discards traffic for VLANs it is not configured to carry).
+// Each direction is a pump stepped by a Poller — one goroutine
+// round-robining over every pump attached to it (a cluster shares ONE
+// poller across all of its trunks, so an idle fabric costs one sleeper, not
+// a goroutine per direction). A pump step drains the transmitting NIC's
+// wire side (nic.DrainToWire), classifies each frame's lane by its VLAN id,
+// re-homes accepted frames into the receiving node's mempool, applies the
+// shared rate budget and propagation latency, and injects the copies into
+// the receiving NIC (nic.InjectFromWire). Frames that carry no tag or an
+// unregistered vid are dropped on the trunk (a real trunk port discards
+// traffic for VLANs it is not configured to carry).
 //
 // Re-homing is the load-bearing step: the two nodes own independent
 // fixed-population pools (independent hugepage regions on real hosts), so a
@@ -25,6 +28,7 @@ package trunk
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -54,6 +58,101 @@ type Config struct {
 	Latency time.Duration
 	// BatchSize is the per-iteration pump burst (default 32).
 	BatchSize int
+	// Poller, when non-nil, drives this trunk's two directions from a
+	// shared polling goroutine (a cluster runs ONE poller for all of its
+	// trunks). Nil gives the trunk a private poller, stopped with it.
+	Poller *Poller
+}
+
+// Poller drives trunk pumps: a single goroutine round-robins over every
+// direction of every attached trunk, replacing the old
+// goroutine-per-direction pump model. On hosts with many node pairs this
+// collapses 2·pairs idle pollers into one, and an idle fabric costs one
+// 1 µs sleeper instead of a herd.
+type Poller struct {
+	mu    sync.Mutex // serializes attach/detach
+	pumps atomic.Pointer[[]*pump]
+	iters atomic.Uint64
+	stop  atomic.Bool
+	done  chan struct{}
+}
+
+// NewPoller starts an empty poller. Stop it after the last trunk using it
+// has been stopped.
+func NewPoller() *Poller {
+	po := &Poller{done: make(chan struct{})}
+	empty := []*pump{}
+	po.pumps.Store(&empty)
+	go po.run()
+	return po
+}
+
+func (po *Poller) run() {
+	defer close(po.done)
+	for !po.stop.Load() {
+		po.iters.Add(1)
+		moved := 0
+		for _, p := range *po.pumps.Load() {
+			moved += p.pull()
+			moved += p.deliver()
+		}
+		if moved == 0 {
+			// The whole fabric is idle (or waiting out propagation delays):
+			// yield the core. A busy spin here would starve the single-core
+			// measurement hosts (see DESIGN.md "Cooperative backpressure").
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// attach registers pumps; the poller starts stepping them on its next
+// iteration.
+func (po *Poller) attach(ps ...*pump) {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	cur := *po.pumps.Load()
+	next := make([]*pump, 0, len(cur)+len(ps))
+	next = append(append(next, cur...), ps...)
+	po.pumps.Store(&next)
+}
+
+// detach removes pumps and returns only after the polling goroutine can no
+// longer be mid-step on them, so the caller may reclaim their in-flight
+// buffers.
+func (po *Poller) detach(ps ...*pump) {
+	drop := make(map[*pump]bool, len(ps))
+	for _, p := range ps {
+		drop[p] = true
+	}
+	po.mu.Lock()
+	cur := *po.pumps.Load()
+	next := make([]*pump, 0, len(cur))
+	for _, p := range cur {
+		if !drop[p] {
+			next = append(next, p)
+		}
+	}
+	po.pumps.Store(&next)
+	po.mu.Unlock()
+	// Two iteration boundaries: the iteration that may have loaded the old
+	// slice finishes, then a fresh one starts from the new slice.
+	c := po.iters.Load()
+	for po.iters.Load() < c+2 {
+		select {
+		case <-po.done:
+			return // poller already stopped: nothing is stepping anything
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stop halts the polling goroutine and waits for it. Idempotent.
+func (po *Poller) Stop() {
+	if !po.stop.CompareAndSwap(false, true) {
+		return
+	}
+	<-po.done
 }
 
 // DirStats counts one direction's traffic.
@@ -91,14 +190,19 @@ type Trunk struct {
 	ab   *pump
 	ba   *pump
 
-	// lanes is a copy-on-write vid→lane map: the two pump goroutines load
+	poller      *Poller
+	ownedPoller bool
+	stopped     atomic.Bool
+
+	// lanes is a copy-on-write vid→lane map: the polling goroutine loads
 	// it wait-free per frame; AddLane/RemoveLane swap whole maps under mu.
 	mu    sync.Mutex
 	lanes atomic.Pointer[map[uint16]*lane]
 }
 
-// New connects the two endpoints and starts both direction pumps. The trunk
-// carries no lanes until AddLane registers them.
+// New connects the two endpoints and attaches both direction pumps to the
+// configured (or a private) poller. The trunk carries no lanes until
+// AddLane registers them.
 func New(cfg Config) (*Trunk, error) {
 	if cfg.A.NIC == nil || cfg.B.NIC == nil {
 		return nil, errors.New("trunk: both endpoints need a NIC")
@@ -109,14 +213,17 @@ func New(cfg Config) (*Trunk, error) {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 32
 	}
-	t := &Trunk{name: cfg.Name}
+	t := &Trunk{name: cfg.Name, poller: cfg.Poller}
+	if t.poller == nil {
+		t.poller = NewPoller()
+		t.ownedPoller = true
+	}
 	empty := map[uint16]*lane{}
 	t.lanes.Store(&empty)
 	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency}
 	t.ab = newPump(fmt.Sprintf("%s:a->b", cfg.Name), t, dirAB, cfg.A, cfg.B, sh, cfg.BatchSize)
 	t.ba = newPump(fmt.Sprintf("%s:b->a", cfg.Name), t, dirBA, cfg.B, cfg.A, sh, cfg.BatchSize)
-	go t.ab.run()
-	go t.ba.run()
+	t.poller.attach(t.ab, t.ba)
 	return t, nil
 }
 
@@ -218,12 +325,19 @@ func (t *Trunk) Unrouted() uint64 {
 	return t.ab.unrouted.Load() + t.ba.unrouted.Load()
 }
 
-// Stop halts both pumps and frees frames still in flight on the trunk.
-// Frames parked inside the NIC queues stay put: they belong to whoever
-// tears the NICs down.
+// Stop detaches both pumps from the poller and frees frames still in
+// flight on the trunk. Frames parked inside the NIC queues stay put: they
+// belong to whoever tears the NICs down. Idempotent.
 func (t *Trunk) Stop() {
-	t.ab.stopAndDrain()
-	t.ba.stopAndDrain()
+	if !t.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	t.poller.detach(t.ab, t.ba)
+	t.ab.drain()
+	t.ba.drain()
+	if t.ownedPoller {
+		t.poller.Stop()
+	}
 }
 
 // direction orients a pump relative to the trunk's A/B endpoints, selecting
@@ -251,8 +365,10 @@ type delayed struct {
 }
 
 // pump moves one direction: src NIC wire-TX → lane demux → re-home → shape
-// → dst NIC wire-RX. The goroutine is the single consumer of the src queue
-// and the single producer of the dst queue, honoring both SPSC contracts.
+// → dst NIC wire-RX. The owning poller's goroutine is the single consumer
+// of the src queue and the single producer of the dst queue, honoring both
+// SPSC contracts; every pump field is touched only by that goroutine while
+// the pump is attached.
 type pump struct {
 	name    string
 	trunk   *Trunk
@@ -270,9 +386,6 @@ type pump struct {
 	carried  atomic.Uint64
 	dropped  atomic.Uint64
 	unrouted atomic.Uint64
-
-	stop atomic.Bool
-	done chan struct{}
 }
 
 func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping, batch int) *pump {
@@ -285,7 +398,6 @@ func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping
 		shaping: sh,
 		drained: make([]*mempool.Buf, batch),
 		homed:   make([]*mempool.Buf, batch),
-		done:    make(chan struct{}),
 	}
 	p.bucket.init(sh.RatePps)
 	return p
@@ -301,20 +413,6 @@ func (p *pump) laneDir(ln *lane) *dirCounters {
 		return &ln.ab
 	}
 	return &ln.ba
-}
-
-func (p *pump) run() {
-	defer close(p.done)
-	for !p.stop.Load() {
-		moved := p.pull()
-		moved += p.deliver()
-		if moved == 0 {
-			// Idle (or waiting out a propagation delay): yield the core. A
-			// busy spin here would starve the single-core measurement hosts
-			// (see DESIGN.md "Cooperative backpressure").
-			time.Sleep(time.Microsecond)
-		}
-	}
 }
 
 // pull drains a burst off the transmitting NIC, demultiplexes each frame to
@@ -436,13 +534,10 @@ func (p *pump) deliver() int {
 	return moved
 }
 
-// stopAndDrain halts the pump goroutine and frees frames still on the delay
-// line (they were already re-homed, so they return to the destination pool).
-func (p *pump) stopAndDrain() {
-	if !p.stop.CompareAndSwap(false, true) {
-		return
-	}
-	<-p.done
+// drain frees frames still on the delay line (they were already re-homed,
+// so they return to the destination pool). Only call after the pump has
+// been detached from its poller.
+func (p *pump) drain() {
 	for _, d := range p.inFly[p.inHead:] {
 		d.buf.Free()
 	}

@@ -24,9 +24,10 @@ type FlowRemovedEvent struct {
 // flow-mod set OFPFF_SEND_FLOW_REM appear here).
 func (s *Switch) FlowRemovals() <-chan FlowRemovedEvent { return s.flowRemovals }
 
-// sweeper periodically expires timed-out flows. Expiry goes through the
-// table's listener path, so the p-2-p detector dissolves bypasses of
-// expired steering rules exactly as it does for explicit deletes.
+// sweeper periodically expires timed-out flows and re-ranks the classifier
+// subtables by observed hits. Expiry goes through the table's listener
+// path, so the p-2-p detector dissolves bypasses of expired steering rules
+// exactly as it does for explicit deletes.
 func (s *Switch) sweeper(interval time.Duration) {
 	defer s.wg.Done()
 	t := time.NewTicker(interval)
@@ -36,6 +37,7 @@ func (s *Switch) sweeper(interval time.Duration) {
 		case <-s.sweepStop:
 			return
 		case now := <-t.C:
+			s.table.Rerank()
 			for _, e := range s.table.Expire(now) {
 				if e.Flow.Flags&flow.SendFlowRemoved == 0 {
 					continue

@@ -59,10 +59,10 @@ type flowGroup struct {
 }
 
 // pmdThread is one forwarding thread. It owns the ports whose id hashes to
-// its index, a private parser and EMC (no cross-thread sharing on the fast
-// path), preallocated batch scratch (pktMeta/flowGroup arrays), and dense
-// per-destination TX accumulators flushed once per input batch. Steady-state
-// forwarding performs no heap allocation.
+// its index, a private parser, EMC and SMC (no cross-thread sharing on the
+// fast path), preallocated batch scratch (pktMeta/flowGroup arrays), and
+// dense per-destination TX accumulators flushed once per input batch.
+// Steady-state forwarding performs no heap allocation.
 type pmdThread struct {
 	s    *Switch
 	idx  int
@@ -73,11 +73,16 @@ type pmdThread struct {
 	iters atomic.Uint64
 
 	emc    *flow.EMC
+	smc    *flow.SMC
 	parser pkt.Parser
 
 	rxBatch []*mempool.Buf
 	metas   []pktMeta
 	groups  []flowGroup
+	// missIdx lists the meta indexes of this batch's cache misses, so a
+	// burst of identical missed keys walks the tuple space once (the rest
+	// resolve by comparing packed keys against earlier misses).
+	missIdx []int32
 
 	// txAcc accumulates output per destination port index within the current
 	// port snapshot (dense — no map operations on the hot path); txTouched
@@ -88,15 +93,23 @@ type pmdThread struct {
 }
 
 func newPMDThread(s *Switch, idx int) *pmdThread {
-	return &pmdThread{
+	p := &pmdThread{
 		s:         s,
 		idx:       idx,
 		emc:       flow.NewEMC(s.cfg.EMCEntries),
 		rxBatch:   make([]*mempool.Buf, s.cfg.BatchSize),
 		metas:     make([]pktMeta, s.cfg.BatchSize),
 		groups:    make([]flowGroup, s.cfg.BatchSize),
+		missIdx:   make([]int32, 0, s.cfg.BatchSize),
 		txTouched: make([]int, 0, 8),
 	}
+	if !s.cfg.SMCDisabled {
+		// Only allocated when in use: the SMC's entry array (~768 KB at the
+		// default 32768 entries) would otherwise weigh on exactly the
+		// configurations meant to measure the switch without the tier.
+		p.smc = flow.NewSMC(s.cfg.SMCEntries)
+	}
+	return p
 }
 
 func (p *pmdThread) emcStats() flow.EMCStats { return p.emc.Stats() }
@@ -131,7 +144,8 @@ func (p *pmdThread) run() {
 // processBatch runs one input burst through the two-phase pipeline:
 //
 //	phase 1 parses and classifies every packet into the scratch array
-//	(EMC first, masked classifier on miss — both on the already-packed key);
+//	(EMC, then SMC, then within-batch miss dedup, then the masked
+//	classifier — all on the already-packed key);
 //	phase 2 chains packets by resolved flow and executes each flow's action
 //	list once per group, then flushes the per-destination accumulators.
 //
@@ -143,17 +157,20 @@ func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portS
 		p.txAcc = append(p.txAcc, make([][]*mempool.Buf, len(snap.order)-len(p.txAcc))...)
 	}
 	table := p.s.table
-	version := table.Version()
+	gen := table.Generation()
 	emcOn := !p.s.cfg.EMCDisabled
+	smcOn := !p.s.cfg.SMCDisabled
 	nowNano := time.Now().UnixNano() // amortized idle-timeout timestamp
 
 	// Phase 1: parse + classify into scratch.
 	n := int32(0)
-	var misses uint64
+	p.missIdx = p.missIdx[:0]
+	var misses, tableMisses, dedups, parseErrs uint64
 	for _, b := range bufs {
 		b.Port = inPort
 		if err := p.parser.Parse(b.Bytes()); err != nil {
 			b.Free()
+			parseErrs++
 			continue
 		}
 		key := flow.ExtractKey(&p.parser, inPort)
@@ -166,21 +183,61 @@ func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portS
 		m.ipv4 = p.parser.IPv4
 		m.next = -1
 		var f *flow.Flow
+		resolved := false
 		if emcOn {
-			f = p.emc.Lookup(m.kp, m.hash, version)
+			if f = p.emc.Lookup(m.kp, m.hash, gen); f != nil {
+				resolved = true
+			}
 		}
-		if f == nil {
+		if !resolved && smcOn {
+			// SMC hits do not promote into the EMC (as in OVS-DPDK): when
+			// the flow count has outgrown the EMC, promotion would just
+			// churn its sets without raising the hit rate.
+			if f = p.smc.Lookup(&m.kp, m.hash, gen); f != nil {
+				resolved = true
+			}
+		}
+		if !resolved {
+			// Within-batch dedup: a burst of identical missed keys walks
+			// the tuple space once. A memoized nil (table miss) counts too.
+			for _, j := range p.missIdx {
+				if p.metas[j].kp == m.kp {
+					f = p.metas[j].f
+					resolved = true
+					dedups++
+					break
+				}
+			}
+		}
+		if !resolved {
 			f = table.LookupPacked(&m.kp)
 			misses++
-			if f != nil && emcOn {
-				p.emc.Insert(m.kp, m.hash, f, version)
+			if f != nil {
+				if emcOn {
+					p.emc.Insert(m.kp, m.hash, f, gen)
+				}
+				if smcOn {
+					p.smc.Insert(&m.kp, m.hash, f, gen)
+				}
+			} else {
+				tableMisses++
 			}
+			p.missIdx = append(p.missIdx, n)
 		}
 		m.f = f
 		n++
 	}
 	if misses > 0 {
 		p.s.Misses.Add(misses)
+	}
+	if tableMisses > 0 {
+		p.s.TableMisses.Add(tableMisses)
+	}
+	if dedups > 0 {
+		p.s.DedupHits.Add(dedups)
+	}
+	if parseErrs > 0 {
+		p.s.ParseErrors.Add(parseErrs)
 	}
 
 	// Phase 2: group by flow. Bursts carry few distinct flows, so a linear

@@ -47,6 +47,12 @@ type Config struct {
 	// EMCDisabled turns the cache off (ablation A1).
 	EMCEntries  int
 	EMCDisabled bool
+	// SMCEntries sizes each PMD's signature-match cache — the second lookup
+	// tier, which keeps absorbing lookups after the distinct-flow count
+	// outgrows the EMC. Default 32768. SMCDisabled turns it off (ablation
+	// A5).
+	SMCEntries  int
+	SMCDisabled bool
 	// PacketInQueue bounds the controller punt queue. Default 256.
 	PacketInQueue int
 	// TableMissToController punts unmatched packets instead of dropping.
@@ -64,6 +70,9 @@ func (c *Config) fill() {
 	}
 	if c.EMCEntries == 0 {
 		c.EMCEntries = 8192
+	}
+	if c.SMCEntries == 0 {
+		c.SMCEntries = 32768
 	}
 	if c.PacketInQueue == 0 {
 		c.PacketInQueue = 256
@@ -160,8 +169,17 @@ type Switch struct {
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
-	// Misses counts slow-path classifications (diagnostic).
+	// Misses counts slow-path classifications: full tuple-space walks after
+	// EMC, SMC, and within-batch dedup all missed (diagnostic).
 	Misses atomic.Uint64
+	// TableMisses counts packets that matched no flow at all.
+	TableMisses atomic.Uint64
+	// DedupHits counts within-batch duplicate misses resolved from an
+	// earlier packet of the same batch instead of a second classifier walk.
+	DedupHits atomic.Uint64
+	// ParseErrors counts frames the parser rejected; they are dropped
+	// before classification.
+	ParseErrors atomic.Uint64
 }
 
 // New builds a stopped switch; call Start to launch the PMD threads.
@@ -324,4 +342,55 @@ func (s *Switch) EMCStats() flow.EMCStats {
 		out.Conflicts += st.Conflicts
 	}
 	return out
+}
+
+// SMCStats aggregates the per-PMD signature-cache counters (diagnostic,
+// ablation A5). All zeros when the tier is disabled (no caches exist).
+func (s *Switch) SMCStats() flow.SMCStats {
+	var out flow.SMCStats
+	for _, p := range s.pmds {
+		if p.smc == nil {
+			continue
+		}
+		st := p.smc.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.FalsePositives += st.FalsePositives
+	}
+	return out
+}
+
+// DatapathStats is the per-tier resolution breakdown of every parsed
+// packet: which level of the lookup hierarchy answered. ClassifierHits are
+// full tuple-space walks that found a flow; ClassifierMisses matched
+// nothing (dropped or punted). DedupHits were resolved from an identical
+// key earlier in the same batch, whichever tier that key came from.
+type DatapathStats struct {
+	EMC              flow.EMCStats
+	SMC              flow.SMCStats
+	ClassifierHits   uint64
+	ClassifierMisses uint64
+	DedupHits        uint64
+	ParseErrors      uint64
+}
+
+// DatapathStats returns the aggregated lookup-tier counters. Read it while
+// the datapath is quiet (per-PMD cache counters are thread-local).
+func (s *Switch) DatapathStats() DatapathStats {
+	// TableMisses is loaded BEFORE Misses: each PMD batch adds Misses first,
+	// so this order keeps tableMisses ≤ misses on a live datapath and the
+	// subtraction can never wrap. The clamp covers torn multi-batch reads.
+	tableMisses := s.TableMisses.Load()
+	misses := s.Misses.Load()
+	if tableMisses > misses {
+		tableMisses = misses
+	}
+	return DatapathStats{
+		EMC:              s.EMCStats(),
+		SMC:              s.SMCStats(),
+		ClassifierHits:   misses - tableMisses,
+		ClassifierMisses: tableMisses,
+		DedupHits:        s.DedupHits.Load(),
+		ParseErrors:      s.ParseErrors.Load(),
+	}
 }
