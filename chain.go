@@ -17,6 +17,11 @@ type ChainOptions struct {
 	Flows int
 	// Timestamp stamps generated frames for one-way latency measurement.
 	Timestamp bool
+	// LanePCP stamps every edge of the chain with this 802.1Q priority
+	// (0..7). Only edges that cross a node boundary are affected: their
+	// trunk lanes are scheduled in the corresponding DRR class
+	// (ClusterConfig.Fabric.PCPWeights). Intra-node hops ignore it.
+	LanePCP uint8
 }
 
 // Chain is a deployed benchmark chain with measurement hooks.
@@ -35,6 +40,11 @@ type Chain struct {
 // generate sane, distinct flows). Shared by the single-node and the
 // cluster split-chain deployers.
 func applyBidirEndpointArgs(g *graph.Graph, opts ChainOptions) {
+	if opts.LanePCP != 0 {
+		for i := range g.Edges {
+			g.Edges[i].PCP = opts.LanePCP & 0x07
+		}
+	}
 	for i := range g.VNFs {
 		switch g.VNFs[i].Name {
 		case "end0":

@@ -9,6 +9,34 @@ import (
 	"ovshighway/internal/vnf"
 )
 
+// FabricMode selects the cluster's switched-core topology.
+type FabricMode = orchestrator.FabricMode
+
+// Fabric modes.
+const (
+	// FabricMesh joins every communicating node pair directly (default).
+	FabricMesh = orchestrator.FabricMesh
+	// FabricSpine relays leaf–leaf lanes through a designated spine node.
+	FabricSpine = orchestrator.FabricSpine
+)
+
+// FabricConfig shapes the switched core joining the cluster's nodes.
+type FabricConfig struct {
+	// Mode selects mesh (direct adjacencies) or leaf–spine (lanes between
+	// leaves relay through the spine's vSwitch).
+	Mode FabricMode
+	// Spine names the relay node in spine mode (default: the first node).
+	Spine string
+	// ECMPWidth is the number of parallel trunks per adjacency (default 1).
+	// Flows are pinned to one trunk of the bundle by their (lane, Hash2)
+	// hash and re-pin live onto survivors when a trunk dies.
+	ECMPWidth int
+	// PCPWeights are the per-802.1Q-priority deficit-round-robin weights
+	// every trunk schedules its shared rate budget by (0 = weight 1). A
+	// crossing edge's graph.Edge.PCP selects its class.
+	PCPWeights [8]float64
+}
+
 // ClusterConfig parametrizes StartCluster. The embedded Config applies to
 // every node (OpenFlowAddr is per-node state and is ignored here).
 type ClusterConfig struct {
@@ -19,10 +47,14 @@ type ClusterConfig struct {
 	// TrunkRate caps each direction of every node-pair trunk, SHARED by all
 	// VLAN lanes riding it (0 = 10G line rate for 64B frames, negative =
 	// unlimited). This models the contended ToR uplink: k crossings between
-	// two nodes split one budget instead of getting k private wires.
+	// two nodes split one budget instead of getting k private wires. With
+	// Fabric.ECMPWidth > 1 the cap is per parallel trunk.
 	TrunkRate float64
 	// WireLatency adds per-direction propagation delay on the trunks.
 	WireLatency time.Duration
+	// Fabric selects the switched-core topology, ECMP bundle width and lane
+	// QoS weights.
+	Fabric FabricConfig
 }
 
 // Cluster is a running set of NFV nodes connected by shared VLAN-steered
@@ -50,8 +82,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return &Cluster{
 		inner: inner,
 		tcfg: orchestrator.TrunkConfig{
-			RatePps: cfg.TrunkRate,
-			Latency: cfg.WireLatency,
+			RatePps:    cfg.TrunkRate,
+			Latency:    cfg.WireLatency,
+			Mode:       cfg.Fabric.Mode,
+			Spine:      cfg.Fabric.Spine,
+			ECMPWidth:  cfg.Fabric.ECMPWidth,
+			PCPWeights: cfg.Fabric.PCPWeights,
 		},
 	}, nil
 }

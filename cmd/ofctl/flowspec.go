@@ -27,7 +27,10 @@ type flowSpec struct {
 // send_flow_rem, in_port, dl_type, dl_src, dl_dst, dl_vlan, nw_proto,
 // nw_src, nw_dst (with /len), tp_src, tp_dst.
 // Supported actions: output:N, drop, controller, dec_ttl, mod_dl_src:MAC,
-// mod_dl_dst:MAC, push_vlan:VID, strip_vlan, mod_vlan_vid:VID.
+// mod_dl_dst:MAC, push_vlan:VID, strip_vlan, mod_vlan_vid:VID,
+// mod_vlan_pcp:PCP. (output_ecmp is datapath-internal — OpenFlow models
+// multi-path output as select groups, which this wire subset does not
+// speak — so it is deliberately not parseable here.)
 func parseFlowSpec(s string) (flowSpec, error) {
 	spec := flowSpec{
 		prio: 32768, // OpenFlow default priority
@@ -184,6 +187,12 @@ func parseActions(s string) (flow.Actions, error) {
 				return nil, fmt.Errorf("bad mod_vlan_vid action %q: %w", a, err)
 			}
 			acts = append(acts, flow.SetVlan(vid))
+		case strings.HasPrefix(a, "mod_vlan_pcp:"):
+			v, err := strconv.ParseUint(strings.TrimSpace(a[len("mod_vlan_pcp:"):]), 0, 8)
+			if err != nil || v > 7 {
+				return nil, fmt.Errorf("bad mod_vlan_pcp action %q: pcp must be 0..7", a)
+			}
+			acts = append(acts, flow.SetVlanPcp(uint8(v)))
 		case strings.HasPrefix(a, "output:"):
 			v, err := strconv.ParseUint(a[len("output:"):], 10, 32)
 			if err != nil {

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | flowscale | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "multinode", "wlatency", "flowscale", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "wlatency", "fabric", "flowscale", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | flowscale | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -47,6 +47,7 @@ func main() {
 	run("fig3b", func() error { return fig3b(cfg) })
 	run("multinode", func() error { return multinode(cfg) })
 	run("wlatency", func() error { return wlatency(cfg) })
+	run("fabric", func() error { return fabric(cfg) })
 	run("flowscale", func() error { return flowscale(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
@@ -113,6 +114,64 @@ func check(cfg highway.ExperimentConfig) error {
 	return nil
 }
 
+func fabric(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Switched-core fabric: ECMP multi-trunk lanes, spine relay, PCP lane QoS ===")
+
+	// Arm 1: cross-node throughput vs ECMP bundle width at the SAME
+	// per-trunk rate. The 3-node chain crosses two rate-limited adjacencies;
+	// wider bundles carry more because flows hash-spread across the paths.
+	const perTrunkRate = 100_000.0
+	const vms = 6
+	fmt.Printf("--- uplink-bound 3-node chain (%d VMs, %.0f kpps per trunk per direction) ---\n",
+		vms, perTrunkRate/1e3)
+	fmt.Printf("%8s %10s   %s\n", "fabric", "Mpps", "per-path carried/dropped (both directions)")
+	for _, width := range []int{1, 2, 4} {
+		r, err := highway.RunFabricThroughputPoint(vms, width, perTrunkRate, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %10.3f   ", r.Topology, r.Mpps)
+		for i, p := range r.Paths {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%s:%d/%d", p.Name, p.Carried, p.Dropped)
+		}
+		fmt.Println()
+	}
+
+	// Arm 2: mesh vs spine latency. The leaf–leaf lane relays through the
+	// spine's vSwitch, paying the propagation delay and a forwarding hop
+	// twice. The delay is chosen large enough to clear the ~16 ms queueing
+	// floor a loaded 1-core host adds (the histogram is log₂-bucketed, so
+	// the 2× hop count must cross a bucket boundary to be visible).
+	const wireLat = 50 * time.Millisecond
+	fmt.Printf("--- leaf–leaf chain, mesh vs spine relay (4 VMs, %v wire delay per hop) ---\n", wireLat)
+	fmt.Printf("%8s %10s %12s %12s %8s\n", "fabric", "Mpps", "p50", "p99", "paths")
+	for _, mode := range []highway.FabricMode{highway.FabricMesh, highway.FabricSpine} {
+		r, err := highway.RunFabricLatencyPoint(4, mode, wireLat, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %10.3f %12v %12v %8d\n",
+			r.Topology, r.Mpps, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), len(r.Paths))
+	}
+
+	// Arm 3: PCP-weighted lane QoS. Two chains saturate one shared trunk
+	// from classes weighted 2:1; goodput must split accordingly.
+	fmt.Println("--- lane QoS: two saturating chains, PCP 6 weight 2 vs PCP 0 weight 1 ---")
+	q, err := highway.RunFabricQoS(perTrunkRate, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %10s %16s %16s\n", "class", "Mpps", "trunk carried", "trunk dropped")
+	fmt.Printf("%8s %10.3f %16d %16d\n", "pcp6 w2", q.HiMpps, q.HiCarried, q.HiDropped)
+	fmt.Printf("%8s %10.3f %16d %16d\n", "pcp0 w1", q.LoMpps, q.LoCarried, q.LoDropped)
+	fmt.Printf("goodput ratio %.2f:1 (want ≈2:1)\n", q.Ratio)
+	fmt.Println()
+	return nil
+}
+
 func flowscale(cfg highway.ExperimentConfig) error {
 	fmt.Println("=== Flow scale: distinct 5-tuples × flow-table delete churn ===")
 	fmt.Println("    (tier shift as flows outgrow each cache: EMC → SMC → classifier;")
@@ -128,6 +187,32 @@ func flowscale(cfg highway.ExperimentConfig) error {
 			fmt.Printf("%8d %10d %10.3f %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
 				r.Flows, r.ChurnPerSec, r.Mpps, r.EMCPct, r.SMCPct, r.DedupPct, r.ClsPct)
 		}
+	}
+
+	// Skewed traffic: persistent elephants plus an endless stream of
+	// one-shot mice (fresh ephemeral ports, never seen twice). With
+	// unconditional insertion every mouse claims an EMC slot it will never
+	// use again, evicting a live elephant to do so; the OVS
+	// emc-insert-inv-prob policy (1-in-N insertion) suppresses exactly
+	// those evictions — watch the conflicts column collapse while
+	// throughput rises. (SMC off and a small EMC put the pressure where the
+	// policy acts.)
+	fmt.Println("    Zipf-skewed traffic (s=1.25): 256 persistent elephants, the cold")
+	fmt.Println("    half of the ranks replaced by one-shot mice; 1k-entry EMC, SMC off")
+	fmt.Println("    — emc-insert-inv-prob sweep:")
+	fmt.Printf("%8s %10s %8s %8s %14s\n", "invprob", "Mpps", "emc%", "cls%", "live evictions")
+	for _, inv := range []int{1, 50} {
+		zcfg := cfg
+		zcfg.ZipfSkew = 1.25
+		zcfg.EMCInsertInvProb = inv
+		zcfg.EMCEntries = 1024
+		zcfg.SMCDisabled = true
+		r, err := highway.RunFlowScalePoint(512, 0, zcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %10.3f %7.1f%% %7.1f%% %14d\n",
+			inv, r.Mpps, r.EMCPct, r.ClsPct, r.EMCConflicts)
 	}
 	fmt.Println()
 	return nil

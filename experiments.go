@@ -2,6 +2,7 @@ package highway
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,9 +10,11 @@ import (
 
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
+	"ovshighway/internal/graph"
 	"ovshighway/internal/mempool"
 	"ovshighway/internal/orchestrator"
 	"ovshighway/internal/pkt"
+	"ovshighway/internal/trunk"
 	"ovshighway/internal/vswitch"
 )
 
@@ -26,8 +29,22 @@ type ExperimentConfig struct {
 	NumPMDs int
 	// EMCDisabled turns the exact-match cache off (ablation A1).
 	EMCDisabled bool
+	// EMCEntries overrides the per-PMD exact-match cache size (0 = the
+	// vswitch default, 8192). The probabilistic-insertion win only shows
+	// when the cache is small relative to the active flow count.
+	EMCEntries int
 	// SMCDisabled turns the signature-match cache off (ablation A5).
 	SMCDisabled bool
+	// EMCInsertInvProb is the vswitch emc-insert-inv-prob knob: 1 = insert
+	// every classifier resolution into the EMC (default), N = one in N —
+	// the OVS policy that keeps elephants from being churned out by mice
+	// under heavy-tailed traffic.
+	EMCInsertInvProb int
+	// ZipfSkew, when > 1, switches the flowscale generator from uniform
+	// cycling to a Zipf(s) draw over the flow ids: a few elephant flows
+	// carry most packets over a long mouse tail — the regime where sparse
+	// EMC insertion wins.
+	ZipfSkew float64
 }
 
 func (c *ExperimentConfig) fill() {
@@ -407,6 +424,10 @@ type FlowScaleRow struct {
 	DedupPct    float64
 	ClsPct      float64
 	ParseErrors uint64
+	// EMCConflicts counts LIVE cache entries evicted by insertions over the
+	// window — the "elephant churned out by a mouse" events the
+	// emc-insert-inv-prob policy exists to suppress.
+	EMCConflicts uint64
 }
 
 // churnVictims builds n unrelated drop flows (an ingress port no traffic
@@ -431,9 +452,9 @@ func churnVictims(n int) ([]flow.FlowSpec, []flow.Match) {
 // classifier holds one subtable row), while a churner deletes pre-installed
 // unrelated flows at churnPerSec — the idle-expiry/teardown churn that used
 // to stampede the whole EMC onto the classifier before death-mark
-// invalidation. Tier percentages cover the whole run (warm-up included):
-// per-PMD cache counters are thread-local and only read after the datapath
-// stops.
+// invalidation. Tier percentages are windowed (DatapathStats snapshot-and-
+// diff around the measurement window), so they report steady state rather
+// than blurring in the warm-up's cold-cache misses.
 func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleRow, error) {
 	cfg.fill()
 	if flows < 1 || flows > 1<<16 {
@@ -443,9 +464,11 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 		return FlowScaleRow{}, fmt.Errorf("flowscale: negative churn rate %d", churnPerSec)
 	}
 	sw := vswitch.New(vswitch.Config{
-		NumPMDs:     cfg.NumPMDs,
-		EMCDisabled: cfg.EMCDisabled,
-		SMCDisabled: cfg.SMCDisabled,
+		NumPMDs:          cfg.NumPMDs,
+		EMCDisabled:      cfg.EMCDisabled,
+		EMCEntries:       cfg.EMCEntries,
+		SMCDisabled:      cfg.SMCDisabled,
+		EMCInsertInvProb: cfg.EMCInsertInvProb,
 		// Sweep often: each sweep re-ranks the classifier by observed hits.
 		SweepInterval: 50 * time.Millisecond,
 	})
@@ -520,12 +543,22 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 		}
 	}()
 	// Generator: blast batches, rotating the 5-tuple through `flows`
-	// distinct source ports.
+	// distinct source ports. Uniform mode cycles the set; Zipf mode draws
+	// heavy-tailed traffic where rank 0 is the biggest elephant and the
+	// cold half of the ranks is replaced by ONE-SHOT mice — fresh ephemeral
+	// ports that never repeat, like short-lived connections. One-shot mice
+	// are what make unconditional EMC insertion hurt: each claims a cache
+	// slot it will never use again, evicting an elephant to do so.
+	var zipf *rand.Zipf
+	if cfg.ZipfSkew > 1 && flows > 1 {
+		zipf = rand.NewZipf(rand.New(rand.NewSource(42)), cfg.ZipfSkew, 1, uint64(flows-1))
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		bufs := make([]*mempool.Buf, 32)
 		seq := 0
+		mouse := flows // one-shot mice cycle the port space above the elephants
 		for !stop.Load() {
 			got := pool.GetBatch(bufs)
 			if got == 0 {
@@ -535,11 +568,33 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 			for i := 0; i < got; i++ {
 				b := bufs[i]
 				b.SetBytes(raw[:frameLen])
-				fp := uint16(seq % flows)
+				var fp uint16
+				if zipf != nil {
+					r := int(zipf.Uint64())
+					// No mouse space is left when the elephants already fill
+					// the 16-bit port axis: fall back to the plain Zipf draw
+					// (uint16(flows) would otherwise alias rank 0).
+					if r < (flows+1)/2 || flows >= 1<<16 {
+						fp = uint16(r) // persistent elephant
+					} else {
+						// One-shot mouse from the port space above the
+						// elephants. The space cycles (65536-flows ports), so
+						// "one-shot" holds as long as a full cycle outlives
+						// the EMC residence of anything a mouse displaced —
+						// true for the demo configs, which keep flows ≤ 4096.
+						fp = uint16(mouse)
+						mouse++
+						if mouse > 0xffff {
+							mouse = flows
+						}
+					}
+				} else {
+					fp = uint16(seq % flows)
+					seq++
+				}
 				fb := b.Bytes()
 				fb[srcPortOff] = byte(fp >> 8)
 				fb[srcPortOff+1] = byte(fp)
-				seq++
 			}
 			sent := pmdGen.Tx(bufs[:got])
 			if sent < got {
@@ -585,16 +640,20 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 	}
 
 	time.Sleep(cfg.Warmup)
+	// Windowed tier stats: snapshot-and-diff around the measurement window
+	// (cache counters are per-PMD atomics, safe to read live), so the
+	// reported split is steady state — warm-up misses and cold caches do
+	// not blur it.
+	pre := sw.DatapathStats()
 	base := delivered.Load()
 	t0 := time.Now()
 	time.Sleep(cfg.Window)
 	got := delivered.Load() - base
 	elapsed := time.Since(t0)
+	st := sw.DatapathStats().Delta(pre)
 	stop.Store(true)
 	wg.Wait()
 	sw.Stop()
-
-	st := sw.DatapathStats()
 	lookups := st.EMC.Hits + st.SMC.Hits + st.DedupHits + st.ClassifierHits + st.ClassifierMisses
 	pct := func(v uint64) float64 {
 		if lookups == 0 {
@@ -603,14 +662,15 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 		return 100 * float64(v) / float64(lookups)
 	}
 	return FlowScaleRow{
-		Flows:       flows,
-		ChurnPerSec: churnPerSec,
-		Mpps:        float64(got) / elapsed.Seconds() / 1e6,
-		EMCPct:      pct(st.EMC.Hits),
-		SMCPct:      pct(st.SMC.Hits),
-		DedupPct:    pct(st.DedupHits),
-		ClsPct:      pct(st.ClassifierHits + st.ClassifierMisses),
-		ParseErrors: st.ParseErrors,
+		Flows:        flows,
+		ChurnPerSec:  churnPerSec,
+		Mpps:         float64(got) / elapsed.Seconds() / 1e6,
+		EMCPct:       pct(st.EMC.Hits),
+		SMCPct:       pct(st.SMC.Hits),
+		DedupPct:     pct(st.DedupHits),
+		ClsPct:       pct(st.ClassifierHits + st.ClassifierMisses),
+		ParseErrors:  st.ParseErrors,
+		EMCConflicts: st.EMC.Conflicts,
 	}, nil
 }
 
@@ -631,4 +691,229 @@ func RunFlowScale(flowCounts, churnRates []int, cfg ExperimentConfig) ([]FlowSca
 		}
 	}
 	return rows, nil
+}
+
+// FabricPathRow is one parallel trunk's contribution to a fabric
+// experiment point: carried/dropped frames over the measurement window,
+// both directions summed.
+type FabricPathRow struct {
+	Name             string
+	Carried, Dropped uint64
+}
+
+// FabricRow is one point of the switched-core fabric experiment.
+type FabricRow struct {
+	Topology string // "mesh", "spine", "ecmp×2", ...
+	VMs      int
+	Mpps     float64
+	P50, P99 time.Duration
+	Paths    []FabricPathRow
+}
+
+// pathWindow snapshots per-trunk carried/dropped counters so a measurement
+// window can be expressed as deltas rather than since-boot blur.
+type pathWindow struct {
+	trunks  []*trunk.Trunk
+	carried []uint64
+	dropped []uint64
+}
+
+func newPathWindow(trunks []*trunk.Trunk) *pathWindow {
+	w := &pathWindow{trunks: trunks, carried: make([]uint64, len(trunks)), dropped: make([]uint64, len(trunks))}
+	for i, tr := range trunks {
+		ab, ba := tr.Stats()
+		w.carried[i] = ab.Carried + ba.Carried
+		w.dropped[i] = ab.Dropped + ba.Dropped
+	}
+	return w
+}
+
+func (w *pathWindow) rows() []FabricPathRow {
+	out := make([]FabricPathRow, len(w.trunks))
+	for i, tr := range w.trunks {
+		ab, ba := tr.Stats()
+		out[i] = FabricPathRow{
+			Name:    tr.Name(),
+			Carried: ab.Carried + ba.Carried - w.carried[i],
+			Dropped: ab.Dropped + ba.Dropped - w.dropped[i],
+		}
+	}
+	return out
+}
+
+// RunFabricThroughputPoint measures one cross-node throughput point on a
+// 3-node chain (node-a → node-b → node-c, two crossings) whose trunks are
+// rate-limited to perTrunkRate per direction — the uplink, not the
+// datapath, is the bottleneck. ECMP width multiplies the parallel trunks
+// per adjacency at the SAME per-trunk rate, so a wider bundle must carry
+// measurably more once flows spread across the paths.
+func RunFabricThroughputPoint(vms, ecmpWidth int, perTrunkRate float64, cfg ExperimentConfig) (FabricRow, error) {
+	cfg.fill()
+	if vms < 3 {
+		return FabricRow{}, fmt.Errorf("fabric: need >= 3 VMs for a 3-node chain, got %d", vms)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Config:    Config{Mode: ModeVanilla, NumPMDs: cfg.NumPMDs},
+		Nodes:     []string{"node-a", "node-b", "node-c"},
+		TrunkRate: perTrunkRate,
+		Fabric:    FabricConfig{Mode: FabricMesh, ECMPWidth: ecmpWidth},
+	})
+	if err != nil {
+		return FabricRow{}, err
+	}
+	defer cluster.Stop()
+	chain, err := cluster.DeploySplitChain(vms-2, nil, ChainOptions{Flows: 32})
+	if err != nil {
+		return FabricRow{}, err
+	}
+	defer chain.Stop()
+	time.Sleep(cfg.Warmup)
+	win := newPathWindow(cluster.inner.Trunks())
+	mpps := chain.MeasureMpps(cfg.Window)
+	name := "ecmp×1"
+	if ecmpWidth > 1 {
+		name = fmt.Sprintf("ecmp×%d", ecmpWidth)
+	}
+	return FabricRow{Topology: name, VMs: vms, Mpps: mpps, Paths: win.rows()}, nil
+}
+
+// RunFabricLatencyPoint measures one split-chain latency point with the
+// chain's two segments on two leaves, in mesh (direct trunk) or spine
+// (relay through a third node's vSwitch) topology, under the given trunk
+// propagation delay. The spine path pays the delay — and the relay hop —
+// twice, which is the extra-hop penalty of a switched core.
+func RunFabricLatencyPoint(vms int, mode FabricMode, wireLat time.Duration, cfg ExperimentConfig) (FabricRow, error) {
+	cfg.fill()
+	if vms < 2 {
+		return FabricRow{}, fmt.Errorf("fabric: need >= 2 VMs, got %d", vms)
+	}
+	cluster, err := StartCluster(ClusterConfig{
+		Config:      Config{Mode: ModeVanilla, NumPMDs: cfg.NumPMDs},
+		Nodes:       []string{"spine", "leaf-a", "leaf-b"},
+		TrunkRate:   -1,
+		WireLatency: wireLat,
+		Fabric:      FabricConfig{Mode: mode, Spine: "spine"},
+	})
+	if err != nil {
+		return FabricRow{}, err
+	}
+	defer cluster.Stop()
+	chain, err := cluster.DeploySplitChain(vms-2, []string{"leaf-a", "leaf-b"}, ChainOptions{Flows: cfg.Flows, Timestamp: true})
+	if err != nil {
+		return FabricRow{}, err
+	}
+	defer chain.Stop()
+	time.Sleep(cfg.Warmup)
+	win := newPathWindow(cluster.inner.Trunks())
+	chain.ResetWindow()
+	time.Sleep(cfg.Window)
+	return FabricRow{
+		Topology: mode.String(),
+		VMs:      vms,
+		Mpps:     chain.RatePps() / 1e6,
+		P50:      chain.LatencyQuantile(0.50),
+		P99:      chain.LatencyQuantile(0.99),
+		Paths:    win.rows(),
+	}, nil
+}
+
+// FabricQoSRow summarizes the lane-QoS arm: two co-resident split chains
+// saturate one shared trunk from different 802.1Q priority classes under a
+// 2:1 DRR weighting.
+type FabricQoSRow struct {
+	HiMpps, LoMpps float64
+	Ratio          float64
+	// HiCarried/LoCarried and drops are the trunk's per-PCP window deltas.
+	HiCarried, HiDropped uint64
+	LoCarried, LoDropped uint64
+}
+
+// prefixGraph name-prefixes a graph's VNFs (and their edge endpoints) so
+// two chain instances can share one cluster.
+func prefixGraph(g *graph.Graph, prefix string) {
+	for i := range g.VNFs {
+		g.VNFs[i].Name = prefix + g.VNFs[i].Name
+	}
+	for i := range g.Edges {
+		if g.Edges[i].A.Kind == graph.EpVNF {
+			g.Edges[i].A.Name = prefix + g.Edges[i].A.Name
+		}
+		if g.Edges[i].B.Kind == graph.EpVNF {
+			g.Edges[i].B.Name = prefix + g.Edges[i].B.Name
+		}
+	}
+}
+
+// RunFabricQoS deploys two 3-VM split chains over one shared 2-node trunk,
+// one riding PCP 6 (weight 2), the other PCP 0 (weight 1), both saturating
+// the shared perTrunkRate budget, and reports their goodput split. The
+// trunk scheduler unit test (TestTrunkPCPWeightedScheduler) asserts the
+// same ≈2:1 property in isolation; this is the end-to-end view with real
+// chains, steering rules and the mod_vlan_pcp stamp in the datapath.
+func RunFabricQoS(perTrunkRate float64, cfg ExperimentConfig) (FabricQoSRow, error) {
+	cfg.fill()
+	var weights [8]float64
+	weights[0] = 1
+	weights[6] = 2
+	cluster, err := StartCluster(ClusterConfig{
+		Config:    Config{Mode: ModeVanilla, NumPMDs: cfg.NumPMDs},
+		Nodes:     []string{"node-a", "node-b"},
+		TrunkRate: perTrunkRate,
+		Fabric:    FabricConfig{PCPWeights: weights},
+	})
+	if err != nil {
+		return FabricQoSRow{}, err
+	}
+	defer cluster.Stop()
+
+	deployChain := func(prefix string, pcp uint8) (*ClusterDeployment, error) {
+		g := graph.SplitBidirChain(1, []string{"node-a", "node-b"})
+		applyBidirEndpointArgs(g, ChainOptions{Flows: 8, LanePCP: pcp})
+		prefixGraph(g, prefix)
+		return cluster.Deploy(g)
+	}
+	hi, err := deployChain("hi-", 6)
+	if err != nil {
+		return FabricQoSRow{}, err
+	}
+	defer hi.Stop()
+	lo, err := deployChain("lo-", 0)
+	if err != nil {
+		return FabricQoSRow{}, err
+	}
+	defer lo.Stop()
+
+	time.Sleep(cfg.Warmup)
+	trunks := cluster.inner.PairTrunks("node-a", "node-b")
+	if len(trunks) != 1 {
+		return FabricQoSRow{}, fmt.Errorf("fabric qos: expected one shared trunk, have %d", len(trunks))
+	}
+	preAB, preBA := trunks[0].PCPStats()
+	recv := func(cd *ClusterDeployment, names ...string) uint64 {
+		var total uint64
+		for _, n := range names {
+			if ss := cd.Internal().SrcSink(n); ss != nil {
+				total += ss.Received.Load()
+			}
+		}
+		return total
+	}
+	hiBase := recv(hi, "hi-end0", "hi-end1")
+	loBase := recv(lo, "lo-end0", "lo-end1")
+	t0 := time.Now()
+	time.Sleep(cfg.Window)
+	elapsed := time.Since(t0).Seconds()
+	row := FabricQoSRow{
+		HiMpps: float64(recv(hi, "hi-end0", "hi-end1")-hiBase) / elapsed / 1e6,
+		LoMpps: float64(recv(lo, "lo-end0", "lo-end1")-loBase) / elapsed / 1e6,
+	}
+	if row.LoMpps > 0 {
+		row.Ratio = row.HiMpps / row.LoMpps
+	}
+	postAB, postBA := trunks[0].PCPStats()
+	row.HiCarried = postAB[6].Carried + postBA[6].Carried - preAB[6].Carried - preBA[6].Carried
+	row.HiDropped = postAB[6].Dropped + postBA[6].Dropped - preAB[6].Dropped - preBA[6].Dropped
+	row.LoCarried = postAB[0].Carried + postBA[0].Carried - preAB[0].Carried - preBA[0].Carried
+	row.LoDropped = postAB[0].Dropped + postBA[0].Dropped - preAB[0].Dropped - preBA[0].Dropped
+	return row, nil
 }

@@ -21,7 +21,14 @@ const (
 	ActPushVlan                         // push an 802.1Q tag carrying Vlan
 	ActPopVlan                          // strip the outermost 802.1Q tag
 	ActSetVlan                          // rewrite the vid of an existing tag
+	ActSetVlanPcp                       // rewrite the PCP bits of an existing tag
+	ActOutputECMP                       // hash-spread output over Ports[:NPorts]
 )
+
+// MaxECMPPorts bounds the number of parallel destinations one ECMP action
+// can spread over. A fixed-size array keeps Action comparable (Actions.Equal
+// relies on ==) and the datapath allocation-free.
+const MaxECMPPorts = 8
 
 // Action is one datapath action. The zero value is invalid.
 type Action struct {
@@ -29,6 +36,12 @@ type Action struct {
 	Port uint32  // ActOutput
 	MAC  pkt.MAC // ActSetEthSrc / ActSetEthDst
 	Vlan uint16  // ActPushVlan / ActSetVlan
+	PCP  uint8   // ActSetVlanPcp
+	// Ports[:NPorts] are the parallel destinations of an ActOutputECMP: each
+	// packet is pinned to one of them by its flow hash (lane + Hash2), so a
+	// flow never straddles paths while distinct flows spread.
+	Ports  [MaxECMPPorts]uint32
+	NPorts uint8
 }
 
 // Output returns an output-to-port action.
@@ -61,6 +74,28 @@ func PopVlan() Action { return Action{Type: ActPopVlan} }
 // frame (ovs-ofctl mod_vlan_vid).
 func SetVlan(vid uint16) Action { return Action{Type: ActSetVlan, Vlan: vid & 0x0fff} }
 
+// SetVlanPcp returns an action rewriting the 802.1Q priority code point of
+// an already-tagged frame (ovs-ofctl mod_vlan_pcp) — how a lane's crossing
+// priority is stamped onto trunk traffic for the DRR scheduler.
+func SetVlanPcp(pcp uint8) Action { return Action{Type: ActSetVlanPcp, PCP: pcp & 0x07} }
+
+// OutputECMP returns an action spreading output over up to MaxECMPPorts
+// parallel destinations by per-packet flow hash — the multi-trunk uplink
+// fan-out of the fabric's ECMP mode. Ports beyond MaxECMPPorts are dropped;
+// a single-port list degenerates to plain output semantics (but is still
+// never treated as a p-2-p bypass candidate).
+func OutputECMP(ports ...uint32) Action {
+	a := Action{Type: ActOutputECMP}
+	for _, p := range ports {
+		if int(a.NPorts) == MaxECMPPorts {
+			break
+		}
+		a.Ports[a.NPorts] = p
+		a.NPorts++
+	}
+	return a
+}
+
 // String renders the action in ovs-ofctl style.
 func (a Action) String() string {
 	switch a.Type {
@@ -82,6 +117,15 @@ func (a Action) String() string {
 		return "strip_vlan"
 	case ActSetVlan:
 		return fmt.Sprintf("mod_vlan_vid:%d", a.Vlan)
+	case ActSetVlanPcp:
+		return fmt.Sprintf("mod_vlan_pcp:%d", a.PCP)
+	case ActOutputECMP:
+		var sb strings.Builder
+		sb.WriteString("output_ecmp")
+		for i := uint8(0); i < a.NPorts; i++ {
+			fmt.Fprintf(&sb, ":%d", a.Ports[i])
+		}
+		return sb.String()
 	default:
 		return fmt.Sprintf("unknown(%d)", a.Type)
 	}
@@ -115,12 +159,16 @@ func (as Actions) Equal(other Actions) bool {
 	return true
 }
 
-// OutputPorts returns the set of ports the list outputs to.
+// OutputPorts returns the set of ports the list outputs to, including every
+// parallel destination of ECMP actions.
 func (as Actions) OutputPorts() []uint32 {
 	var out []uint32
 	for _, a := range as {
-		if a.Type == ActOutput {
+		switch a.Type {
+		case ActOutput:
 			out = append(out, a.Port)
+		case ActOutputECMP:
+			out = append(out, a.Ports[:a.NPorts]...)
 		}
 	}
 	return out

@@ -1,5 +1,7 @@
 package flow
 
+import "sync/atomic"
+
 // EMC is an exact-match cache: a direct-mapped, 2-way cache from full packet
 // keys to classification results, owned by a single PMD thread (no locking).
 // It is the first level of the OVS userspace datapath lookup hierarchy; on a
@@ -26,9 +28,12 @@ type EMC struct {
 	mask    uint32
 	entries []emcEntry
 
-	hits      uint64
-	misses    uint64
-	conflicts uint64
+	// Counters are atomics so control-plane code can snapshot them while
+	// the owning PMD keeps forwarding (windowed DatapathStats deltas); the
+	// PMD thread is still the only writer.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	conflicts atomic.Uint64
 }
 
 // emcEntry is one cache way. gen is the add/modify generation the
@@ -65,7 +70,7 @@ func (c *EMC) Lookup(kp Packed, hash uint32, gen uint64) *Flow {
 		e := &c.entries[base+w]
 		if e.gen == gen && e.key == kp {
 			if f := e.flow; f != nil && !f.Dead() {
-				c.hits++
+				c.hits.Add(1)
 				return f
 			}
 			// The cached flow was removed: scrub the way so it becomes a
@@ -74,7 +79,7 @@ func (c *EMC) Lookup(kp Packed, hash uint32, gen uint64) *Flow {
 			e.flow = nil
 		}
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil
 }
 
@@ -83,9 +88,14 @@ func (c *EMC) Lookup(kp Packed, hash uint32, gen uint64) *Flow {
 // install new state). Stale ways (older generations, dead flows) are
 // preferred victims; among live ways the set behaves as insertion-order
 // LRU.
-func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, gen uint64) {
+//
+// When the insertion replaces a LIVE entry, that victim (key + flow) is
+// returned with evicted=true: the caller demotes it into the SMC
+// (OVS-style), so the second tier warms with exactly the flows the first
+// tier can no longer hold — without waiting for their next classifier walk.
+func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, gen uint64) (victimKey Packed, victim *Flow, evicted bool) {
 	if f == nil {
-		return
+		return Packed{}, nil, false
 	}
 	base := int(hash&c.mask) * emcWays
 	// Re-validation of a key already present in the set updates in place.
@@ -94,22 +104,24 @@ func (c *EMC) Insert(kp Packed, hash uint32, f *Flow, gen uint64) {
 		if e.gen != 0 && e.key == kp {
 			e.gen = gen
 			e.flow = f
-			return
+			return Packed{}, nil, false
 		}
 	}
 	// A stale or dead way 0 can be overwritten without touching a
 	// possibly-live way 1.
 	if e := &c.entries[base]; e.gen != gen || e.flow == nil || e.flow.Dead() {
 		*e = emcEntry{gen: gen, key: kp, flow: f}
-		return
+		return Packed{}, nil, false
 	}
 	// Way 0 receives the newest entry; the previous way-0 occupant shifts to
 	// way 1, evicting the set's oldest entry (insertion-order LRU).
 	if e1 := &c.entries[base+1]; e1.gen == gen && e1.flow != nil && !e1.flow.Dead() {
-		c.conflicts++
+		c.conflicts.Add(1)
+		victimKey, victim, evicted = e1.key, e1.flow, true
 	}
 	c.entries[base+1] = c.entries[base]
 	c.entries[base] = emcEntry{gen: gen, key: kp, flow: f}
+	return victimKey, victim, evicted
 }
 
 // EMCStats are cumulative cache counters.
@@ -117,7 +129,13 @@ type EMCStats struct {
 	Hits, Misses, Conflicts uint64
 }
 
-// Stats returns a snapshot of the cache counters.
+// Delta returns the counter movement since an earlier snapshot.
+func (s EMCStats) Delta(prev EMCStats) EMCStats {
+	return EMCStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses, Conflicts: s.Conflicts - prev.Conflicts}
+}
+
+// Stats returns a snapshot of the cache counters. Safe to call while the
+// owning PMD is forwarding.
 func (c *EMC) Stats() EMCStats {
-	return EMCStats{Hits: c.hits, Misses: c.misses, Conflicts: c.conflicts}
+	return EMCStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Conflicts: c.conflicts.Load()}
 }

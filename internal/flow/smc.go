@@ -1,5 +1,7 @@
 package flow
 
+import "sync/atomic"
+
 // SMC is the signature-match cache: the middle tier of the lookup
 // hierarchy, slotted between the exact-match cache and the tuple-space
 // classifier, modeled on OVS-DPDK's SMC. Where an EMC entry stores the full
@@ -32,9 +34,12 @@ type SMC struct {
 	entries []smcEntry
 	victim  uint32 // round-robin victim cursor for full live buckets
 
-	hits     uint64
-	misses   uint64
-	falsePos uint64
+	// Counters are atomics so control-plane code can snapshot them while
+	// the owning PMD keeps forwarding (windowed DatapathStats deltas); the
+	// PMD thread is still the only writer.
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	falsePos atomic.Uint64
 }
 
 // smcEntry is one cache way: no key, just hash material and the result.
@@ -89,7 +94,7 @@ func (c *SMC) Lookup(kp *Packed, hash uint32, gen uint64) *Flow {
 		if e.alt != alt {
 			// Primary-signature collision caught by the secondary hash: a
 			// detected false positive of the 16-bit signature.
-			c.falsePos++
+			c.falsePos.Add(1)
 			continue
 		}
 		f := e.flow
@@ -98,13 +103,13 @@ func (c *SMC) Lookup(kp *Packed, hash uint32, gen uint64) *Flow {
 			continue
 		}
 		if !f.CoversPacked(kp) {
-			c.falsePos++
+			c.falsePos.Add(1)
 			continue
 		}
-		c.hits++
+		c.hits.Add(1)
 		return f
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil
 }
 
@@ -144,7 +149,17 @@ type SMCStats struct {
 	Hits, Misses, FalsePositives uint64
 }
 
-// Stats returns a snapshot of the cache counters.
+// Delta returns the counter movement since an earlier snapshot.
+func (s SMCStats) Delta(prev SMCStats) SMCStats {
+	return SMCStats{
+		Hits:           s.Hits - prev.Hits,
+		Misses:         s.Misses - prev.Misses,
+		FalsePositives: s.FalsePositives - prev.FalsePositives,
+	}
+}
+
+// Stats returns a snapshot of the cache counters. Safe to call while the
+// owning PMD is forwarding.
 func (c *SMC) Stats() SMCStats {
-	return SMCStats{Hits: c.hits, Misses: c.misses, FalsePositives: c.falsePos}
+	return SMCStats{Hits: c.hits.Load(), Misses: c.misses.Load(), FalsePositives: c.falsePos.Load()}
 }

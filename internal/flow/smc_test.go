@@ -201,7 +201,7 @@ func TestClassifierRerankOrdersByHits(t *testing.T) {
 	// Two subtables at the same maxPrio (different masks), plus one
 	// higher-priority subtable that must stay in front regardless of hits.
 	tb.Add(50, MatchInPort(1).WithL4Dst(80), Actions{Output(9)}, 0)
-	tb.Add(10, MatchInPort(2), Actions{Output(2)}, 0)                // mask A
+	tb.Add(10, MatchInPort(2), Actions{Output(2)}, 0)                 // mask A
 	tb.Add(10, MatchInPort(3).WithIPProto(17), Actions{Output(3)}, 0) // mask B
 
 	// Hammer mask B's flow.
@@ -261,5 +261,65 @@ func TestRerankPersistsAcrossRebuild(t *testing.T) {
 	first := tb.snap.Load().subtables[0]
 	if first.hits.Load() < 64 {
 		t.Fatalf("hit-ranked subtable lost its counter across a rebuild (hits=%d)", first.hits.Load())
+	}
+}
+
+// TestEMCEvictionDemotesVictimToSMC: replacing a LIVE EMC entry returns the
+// victim, and inserting it into the SMC (as the PMD does) lets the evicted
+// flow keep resolving in the second tier without a classifier walk —
+// asserted via the SMC hit counter.
+func TestEMCEvictionDemotesVictimToSMC(t *testing.T) {
+	tb := NewTable()
+	fl := tb.Add(10, MatchInPort(1), Actions{Output(2)}, 0)
+	gen := tb.Generation()
+
+	emc := NewEMC(1) // minimum size: 4 entries, 2 two-way sets
+	smc := NewSMC(64)
+
+	// Collect three distinct keys landing in the same EMC set.
+	var keys []Packed
+	var hashes []uint32
+	want := uint32(0)
+	for port := uint16(1); len(keys) < 3 && port < 10000; port++ {
+		k := Key{InPort: 1, EthType: 0x0800, IPProto: 17, L4Src: port, L4Dst: 9000}
+		kp := k.Pack()
+		h := kp.Hash()
+		set := h & 1
+		if len(keys) == 0 {
+			want = set
+		}
+		if set == want {
+			keys = append(keys, kp)
+			hashes = append(hashes, h)
+		}
+	}
+	if len(keys) < 3 {
+		t.Fatal("could not find three keys sharing an EMC set")
+	}
+
+	if _, _, ev := emc.Insert(keys[0], hashes[0], fl, gen); ev {
+		t.Fatal("insertion into an empty set reported an eviction")
+	}
+	if _, _, ev := emc.Insert(keys[1], hashes[1], fl, gen); ev {
+		t.Fatal("insertion into a half-empty set reported an eviction")
+	}
+	vk, vf, ev := emc.Insert(keys[2], hashes[2], fl, gen)
+	if !ev || vf != fl || vk != keys[0] {
+		t.Fatalf("third insertion: evicted=%v victim=%v key match=%v, want eviction of the oldest entry",
+			ev, vf, vk == keys[0])
+	}
+
+	// The PMD wiring: the victim demotes into the SMC at the same gen.
+	smc.Insert(&vk, vk.Hash(), vf, gen)
+
+	// The evicted key now misses the EMC but hits the SMC.
+	if emc.Lookup(keys[0], hashes[0], gen) != nil {
+		t.Fatal("evicted key still hits the EMC")
+	}
+	if got := smc.Lookup(&keys[0], hashes[0], gen); got != fl {
+		t.Fatalf("demoted victim not served by the SMC (got %v)", got)
+	}
+	if st := smc.Stats(); st.Hits != 1 {
+		t.Fatalf("SMC hits = %d, want 1 (the demoted victim)", st.Hits)
 	}
 }

@@ -77,6 +77,11 @@ func NIC(name string) Endpoint {
 type Edge struct {
 	A, B          Endpoint
 	Bidirectional bool
+	// PCP is the 802.1Q priority (0..7) this link's traffic is stamped with
+	// when the edge crosses a node boundary: the sending side's push_vlan
+	// steering adds a mod_vlan_pcp, and the trunk's DRR scheduler weighs the
+	// class accordingly. Intra-node edges ignore it.
+	PCP uint8
 }
 
 // Graph is a service graph.
@@ -144,6 +149,9 @@ type CrossEdge struct {
 	A, B Endpoint
 	// Bidirectional mirrors the original edge.
 	Bidirectional bool
+	// PCP mirrors the original edge's crossing priority; the deployer stamps
+	// it onto the lane's frames for the trunk scheduler.
+	PCP uint8
 }
 
 // Partition is a service graph split across compute nodes: one local graph
@@ -230,6 +238,7 @@ func (g *Graph) Partition(defaultNode string, nicNode map[string]string) (*Parti
 			Index: i, NodeA: na, NodeB: nb,
 			A: e.A, B: e.B,
 			Bidirectional: e.Bidirectional,
+			PCP:           e.PCP,
 		})
 	}
 	return p, nil

@@ -1,6 +1,27 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// PlaceOptions tunes the placement optimizer beyond plain crossing
+// minimization.
+type PlaceOptions struct {
+	// Dist returns the fabric distance between two DISTINCT nodes (indexes
+	// into the nodes slice passed to PlaceWith): the hop cost a crossing
+	// between them pays. In a leaf–spine fabric a leaf–leaf crossing relays
+	// through the spine (cost 2) while a leaf–spine crossing is direct
+	// (cost 1); in a mesh every crossing costs 1. Nil means uniform cost 1,
+	// which degenerates to crossing-count minimization.
+	Dist func(a, b int) int
+	// NodeLoad is measured per-node background load in VNF-equivalents
+	// (indexed like nodes; nil or short = zero). The balance constraint
+	// counts it: a node already busy — e.g. per the vswitch port counters of
+	// deployments it hosts — receives correspondingly fewer new VNFs, which
+	// is what models heterogeneous chains sharing a cluster.
+	NodeLoad []float64
+}
 
 // Place assigns a node to every VNF of the graph, minimizing the number of
 // cross-node edges (each crossing costs one trunk lane and rides the shared
@@ -15,6 +36,14 @@ import "fmt"
 // placement is written into g.VNFs[i].Node and the resulting crossing count
 // returned.
 func (g *Graph) Place(nodes []string, nicNode map[string]string) (int, error) {
+	return g.PlaceWith(nodes, nicNode, PlaceOptions{})
+}
+
+// PlaceWith is Place with fabric-distance-aware edge costs and
+// load-weighted balance (see PlaceOptions). The returned count is still the
+// number of crossings (lanes a deployer pays), not the weighted hop cost
+// the optimizer minimized.
+func (g *Graph) PlaceWith(nodes []string, nicNode map[string]string, opts PlaceOptions) (int, error) {
 	if len(nodes) == 0 {
 		return 0, fmt.Errorf("graph: place needs at least one node")
 	}
@@ -33,8 +62,8 @@ func (g *Graph) Place(nodes []string, nicNode map[string]string) (int, error) {
 	}
 
 	nv := len(g.VNFs)
-	assign := make([]int, nv)   // VNF index → node index
-	pinned := make([]bool, nv)  // placement fixed by the caller
+	assign := make([]int, nv)  // VNF index → node index
+	pinned := make([]bool, nv) // placement fixed by the caller
 	byName := make(map[string]int, nv)
 	for i, v := range g.VNFs {
 		byName[v.Name] = i
@@ -78,16 +107,35 @@ func (g *Graph) Place(nodes []string, nicNode map[string]string) (int, error) {
 		}
 	}
 
+	// Fabric distance: 0 on-node, opts.Dist (or 1) across nodes.
+	dist := func(a, b int) int {
+		if a == b {
+			return 0
+		}
+		if opts.Dist != nil {
+			return opts.Dist(a, b)
+		}
+		return 1
+	}
+
 	// Balanced initial assignment: distribute the unpinned VNFs in listed
-	// order over the nodes so total per-node counts stay within [floor,ceil]
-	// of nv/len(nodes) — the naive contiguous split Place must beat.
-	sizes := make([]int, len(nodes))
+	// order over the nodes so total per-node loads (existing background load
+	// plus one per VNF) stay within [floor,ceil] of the per-node average —
+	// the naive contiguous split Place must beat.
+	sizes := make([]float64, len(nodes))
+	total := float64(nv)
+	for n := range nodes {
+		if n < len(opts.NodeLoad) && opts.NodeLoad[n] > 0 {
+			sizes[n] = opts.NodeLoad[n]
+			total += opts.NodeLoad[n]
+		}
+	}
 	for i := range g.VNFs {
 		if pinned[i] {
 			sizes[assign[i]]++
 		}
 	}
-	ceil := (nv + len(nodes) - 1) / len(nodes)
+	ceil := math.Ceil(total / float64(len(nodes)))
 	target := 0
 	for i := range g.VNFs {
 		if pinned[i] {
@@ -100,23 +148,19 @@ func (g *Graph) Place(nodes []string, nicNode map[string]string) (int, error) {
 		sizes[target]++
 	}
 
-	// cost(i, node) = number of i's incident VNF edges whose peer is NOT on
-	// node, plus NIC anchors pulling elsewhere.
+	// cost(i, node) = total fabric distance of i's incident VNF edges to
+	// their peers' nodes, plus NIC anchors pulling from their own distances.
 	extCost := func(i, node int) int {
 		c := 0
 		for _, peer := range adj[i] {
-			if assign[peer] != node {
-				c++
-			}
+			c += dist(node, assign[peer])
 		}
 		for _, a := range anchors[i] {
-			if a.node != node {
-				c += a.weight
-			}
+			c += a.weight * dist(node, a.node)
 		}
 		return c
 	}
-	floor := nv / len(nodes)
+	floor := math.Floor(total / float64(len(nodes)))
 
 	// swapGain evaluates the crossing reduction of exchanging i and j
 	// (positive = fewer crossings). The swap is applied temporarily so

@@ -156,3 +156,65 @@ func TestPlaceSingleNodeAndValidation(t *testing.T) {
 		t.Fatal("pin to unknown node accepted")
 	}
 }
+
+// TestPlaceWithFabricDistance: in a leaf–spine fabric (node 0 = spine),
+// leaf–leaf crossings cost 2 hops while leaf–spine crossings cost 1. With a
+// chain pinned to the two leaves at its ends, every placement of the free
+// middle VNF pays the same crossing COUNT (2 lanes) — only the
+// distance-aware cost tells the spine (1+1 hops) apart from a leaf
+// (1 + 2 hops via the far leaf), so the optimizer must park it on the spine.
+func TestPlaceWithFabricDistance(t *testing.T) {
+	spineDist := func(a, b int) int {
+		if a == 0 || b == 0 {
+			return 1 // spine adjacency
+		}
+		return 2 // leaf–leaf relays through the spine
+	}
+	g := &Graph{
+		VNFs: []VNF{
+			{Name: "end0", Kind: KindSrcSink, Node: "leaf1"},
+			{Name: "end1", Kind: KindSrcSink, Node: "leaf2"},
+			{Name: "mid", Kind: KindForward},
+		},
+		Edges: []Edge{
+			{A: VNFPort("end0", 0), B: VNFPort("mid", 0), Bidirectional: true},
+			{A: VNFPort("mid", 1), B: VNFPort("end1", 0), Bidirectional: true},
+		},
+	}
+	nodes := []string{"spine", "leaf1", "leaf2"}
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{Dist: spineDist}); err != nil {
+		t.Fatal(err)
+	}
+	// Both crossings are unavoidable (2 lanes); the distance-aware optimizer
+	// must park the forwarder on the spine (total 2 hops), never on a leaf
+	// (1 + 2 = 3 hops via the far leaf).
+	var mid string
+	for _, v := range g.VNFs {
+		if v.Name == "mid" {
+			mid = v.Node
+		}
+	}
+	if mid != "spine" {
+		t.Fatalf("distance-aware placement parked mid on %q, want spine", mid)
+	}
+}
+
+// TestPlaceWithNodeLoad: background load on a node (in VNF-equivalents)
+// shrinks its share of new VNFs — the load-weighted balance that models
+// heterogeneous co-resident chains.
+func TestPlaceWithNodeLoad(t *testing.T) {
+	g := parallelChains(2, 4) // 8 VNFs over 2 nodes: 4+4 unloaded
+	nodes := []string{"a", "b"}
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{NodeLoad: []float64{4, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, v := range g.VNFs {
+		counts[v.Node]++
+	}
+	// total load 8 VNFs + 4 background = 12, 6 per node ⇒ loaded node a gets
+	// only 2 of the 8 new VNFs.
+	if counts["a"] != 2 || counts["b"] != 6 {
+		t.Fatalf("load-weighted balance placed %v, want a:2 b:6", counts)
+	}
+}

@@ -14,8 +14,11 @@ import (
 // set-field on VLAN_VID; flow.ActSetVlan is the bare set-field.
 func EncodeActions(as flow.Actions) []byte {
 	var b []byte
-	appendVidSetField := func(vid uint16) {
-		oxm := appendOXM(nil, oxmVlanVID, u16bytes(vid&0x0fff|vlanPresent), nil)
+	// appendSetField frames one ofp_action_set_field: type(2) len(2) OXM,
+	// padded to a multiple of 8 — shared by every set-field arm below so
+	// the wire framing cannot diverge between fields.
+	appendSetField := func(field uint8, val []byte) {
+		oxm := appendOXM(nil, field, val, nil)
 		alen := (4 + len(oxm) + 7) &^ 7
 		b = be.AppendUint16(b, actSetField)
 		b = be.AppendUint16(b, uint16(alen))
@@ -23,6 +26,9 @@ func EncodeActions(as flow.Actions) []byte {
 		for pad := alen - 4 - len(oxm); pad > 0; pad-- {
 			b = append(b, 0)
 		}
+	}
+	appendVidSetField := func(vid uint16) {
+		appendSetField(oxmVlanVID, u16bytes(vid&0x0fff|vlanPresent))
 	}
 	for _, a := range as {
 		switch a.Type {
@@ -57,22 +63,21 @@ func EncodeActions(as flow.Actions) []byte {
 			b = append(b, 0, 0, 0, 0)
 		case flow.ActSetVlan:
 			appendVidSetField(a.Vlan)
+		case flow.ActSetVlanPcp:
+			appendSetField(oxmVlanPCP, []byte{a.PCP & 0x07})
 		case flow.ActSetEthSrc, flow.ActSetEthDst:
-			// ofp_action_set_field: type(2) len(2) oxm, padded to 8.
 			field := oxmEthSrc
 			if a.Type == flow.ActSetEthDst {
 				field = oxmEthDst
 			}
-			oxm := appendOXM(nil, field, a.MAC[:], nil)
-			alen := (4 + len(oxm) + 7) &^ 7
-			b = be.AppendUint16(b, actSetField)
-			b = be.AppendUint16(b, uint16(alen))
-			b = append(b, oxm...)
-			for pad := alen - 4 - len(oxm); pad > 0; pad-- {
-				b = append(b, 0)
-			}
+			appendSetField(field, a.MAC[:])
 		case flow.ActDrop:
 			// Drop is the absence of actions; skip.
+		case flow.ActOutputECMP:
+			// Not representable in this wire subset: OpenFlow models
+			// multi-path output as select groups, which we do not speak.
+			// ECMP rules are fabric-internal (installed by the orchestrator
+			// directly); a controller dump simply omits the action.
 		}
 	}
 	return b
@@ -153,6 +158,11 @@ func DecodeActions(b []byte) (flow.Actions, error) {
 				} else {
 					as = append(as, flow.SetVlan(vid))
 				}
+			case oxmVlanPCP:
+				if plen != 1 {
+					return nil, fmt.Errorf("openflow: set-field VLAN_PCP length %d", plen)
+				}
+				as = append(as, flow.SetVlanPcp(val[0]))
 			default:
 				return nil, fmt.Errorf("openflow: unsupported set-field %d", field)
 			}

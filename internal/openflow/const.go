@@ -75,6 +75,7 @@ const (
 	oxmEthSrc  uint8 = 4
 	oxmEthType uint8 = 5
 	oxmVlanVID uint8 = 6
+	oxmVlanPCP uint8 = 7
 	oxmIPDSCP  uint8 = 8
 	oxmIPProto uint8 = 10
 	oxmIPv4Src uint8 = 11

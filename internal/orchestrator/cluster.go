@@ -14,36 +14,97 @@ import (
 	"ovshighway/internal/vnf"
 )
 
-// TrunkConfig shapes the shared trunks a cluster creates between node
-// pairs. Unlike the retired one-wire-per-crossing fabric, the rate budget
-// lives on the TRUNK and is contended by every lane: the trunk NICs
-// themselves are unshaped so the budget is not paid twice.
+// FabricMode selects how inter-node crossings are routed through the
+// cluster's switched core.
+type FabricMode int
+
+// Fabric modes.
+const (
+	// FabricMesh connects every communicating node pair directly — the
+	// ToR-cable-per-pair model. With ECMPWidth > 1 each adjacency is a
+	// bundle of parallel trunks with per-flow path pinning.
+	FabricMesh FabricMode = iota
+	// FabricSpine relays leaf–leaf crossings through a designated spine
+	// node: leaves only ever uplink to the spine (leaf–spine adjacencies,
+	// optionally ECMP bundles), and the spine's vSwitch forwards tagged
+	// lanes between its trunk ports. Crossings that touch the spine itself
+	// stay single-hop.
+	FabricSpine
+)
+
+func (m FabricMode) String() string {
+	if m == FabricSpine {
+		return "spine"
+	}
+	return "mesh"
+}
+
+// TrunkConfig shapes the shared trunk fabric a cluster creates between
+// nodes. Unlike the retired one-wire-per-crossing fabric, the rate budget
+// lives on each TRUNK and is contended by every lane riding it: the trunk
+// NICs themselves are unshaped so the budget is not paid twice.
 type TrunkConfig struct {
 	// RatePps caps each trunk direction, shared across all lanes
-	// (0 = 10G line rate for 64B frames, negative = unlimited).
+	// (0 = 10G line rate for 64B frames, negative = unlimited). With
+	// ECMPWidth > 1 the cap applies PER PARALLEL TRUNK, so a wider bundle
+	// carries proportionally more.
 	RatePps float64
 	// Latency is the per-direction propagation delay (0 = none).
 	Latency time.Duration
 	// QueueSize is the trunk NIC descriptor ring depth (default 1024).
 	QueueSize int
+	// Mode selects the core topology (mesh or leaf–spine).
+	Mode FabricMode
+	// Spine names the relay node in FabricSpine mode (default: the
+	// cluster's first node).
+	Spine string
+	// ECMPWidth is the number of parallel trunks per adjacency (default 1,
+	// max flow.MaxECMPPorts). Each flow is pinned to one trunk of the
+	// bundle by its (lane, Hash2) hash; surviving trunks absorb the flows
+	// of a torn-down one.
+	ECMPWidth int
+	// PCPWeights are the per-802.1Q-priority DRR weights every trunk of
+	// the fabric schedules its shared budget by (0 = weight 1).
+	PCPWeights [8]float64
 }
 
-// Cluster is a set of NFV nodes joined by shared VLAN-steered trunks.
-// Every node runs the same datapath mode and carries its own vSwitch,
-// agent, packet pool and — in highway mode — detector and bypass manager;
-// nothing is shared across nodes except the trunks, which are created
-// lazily per node pair and carry one VLAN lane per service-graph crossing.
+// width returns the effective ECMP bundle width.
+func (tc TrunkConfig) width() int {
+	w := tc.ECMPWidth
+	if w < 1 {
+		w = 1
+	}
+	if w > flow.MaxECMPPorts {
+		w = flow.MaxECMPPorts
+	}
+	return w
+}
+
+// Cluster is a set of NFV nodes joined by a switched-core fabric of shared
+// VLAN-steered trunks. Every node runs the same datapath mode and carries
+// its own vSwitch, agent, packet pool and — in highway mode — detector and
+// bypass manager; nothing is shared across nodes except the trunk fabric,
+// which is created lazily per adjacency and carries one VLAN lane per
+// service-graph crossing (relayed through the spine in spine mode).
 type Cluster struct {
 	cfg   NodeConfig
 	order []string
 	nodes map[string]*Node
 
-	// mu guards the trunk registry and its per-trunk VLAN id allocators.
+	// mu guards the trunk registry and the cluster-wide VLAN id allocator.
 	mu     sync.Mutex
 	trunks map[pairKey]*clusterTrunk
+	// vids is the cluster-wide VLAN id allocator: one vid identifies a lane
+	// on EVERY trunk of its path (all parallel trunks of every hop), so
+	// allocation must be global, not per trunk.
+	vids map[uint16]bool
 	// poller drives every trunk of this cluster from one shared goroutine
 	// (created lazily with the first trunk). Guarded by mu.
 	poller *trunk.Poller
+	// loadRx remembers each node's total port RX count at the previous
+	// NodeLoads call, so load is apportioned by recent movement rather
+	// than since-boot totals. Guarded by mu.
+	loadRx []float64
 }
 
 // pairKey identifies an unordered node pair (lo < hi lexically).
@@ -56,24 +117,44 @@ func makePair(a, b string) pairKey {
 	return pairKey{lo: a, hi: b}
 }
 
-// clusterTrunk is one realized node-pair uplink: the trunk and its two NIC
-// attachments. Lane/vid state lives solely inside trunk.Trunk (AllocLane is
-// the one allocator). All fields are guarded by Cluster.mu.
-type clusterTrunk struct {
-	pair           pairKey
+// trunkLink is one physical parallel trunk of an adjacency: the trunk and
+// its two NIC attachments. All fields are guarded by Cluster.mu.
+type trunkLink struct {
 	tr             *trunk.Trunk
-	cfg            TrunkConfig // the config the trunk was created with
 	nicLo, nicHi   *nic.NIC
 	nameLo, nameHi string
 	portLo, portHi uint32
 }
 
-// port returns the trunk NIC's switch port id on the given node.
-func (ct *clusterTrunk) port(node string) uint32 {
-	if node == ct.pair.lo {
-		return ct.portLo
+// port returns the link's switch port id on the given node of the pair.
+func (tl *trunkLink) port(pair pairKey, node string) uint32 {
+	if node == pair.lo {
+		return tl.portLo
 	}
-	return ct.portHi
+	return tl.portHi
+}
+
+// clusterTrunk is one realized adjacency: an ECMP bundle of parallel trunk
+// links between a node pair plus the set of lanes riding it. Guarded by
+// Cluster.mu.
+type clusterTrunk struct {
+	pair  pairKey
+	cfg   TrunkConfig // the config the adjacency was created with
+	links []*trunkLink
+	// lanes is the set of vids riding this adjacency. Membership, not a
+	// refcount: vids are cluster-globally unique per crossing and a path
+	// never visits the same pair twice.
+	lanes map[uint16]bool
+}
+
+// ports returns the bundle's switch port ids on the given node, in link
+// order — the ECMP fan-out of steering rules installed on that node.
+func (ct *clusterTrunk) ports(node string) []uint32 {
+	out := make([]uint32, len(ct.links))
+	for i, tl := range ct.links {
+		out[i] = tl.port(ct.pair, node)
+	}
+	return out
 }
 
 // NewCluster boots one node per name (first name is the default placement
@@ -87,6 +168,7 @@ func NewCluster(names []string, cfg NodeConfig) (*Cluster, error) {
 		cfg:    cfg,
 		nodes:  make(map[string]*Node, len(names)),
 		trunks: make(map[pairKey]*clusterTrunk),
+		vids:   make(map[uint16]bool),
 	}
 	for _, name := range names {
 		if name == "" {
@@ -124,16 +206,17 @@ func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 // feeding the dying switches), then every node.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
-	trunks := make([]*clusterTrunk, 0, len(c.trunks))
+	var links []*trunkLink
 	for _, ct := range c.trunks {
-		trunks = append(trunks, ct)
+		links = append(links, ct.links...)
 	}
 	c.trunks = make(map[pairKey]*clusterTrunk)
+	c.vids = make(map[uint16]bool)
 	poller := c.poller
 	c.poller = nil
 	c.mu.Unlock()
-	for _, ct := range trunks {
-		ct.tr.Stop()
+	for _, tl := range links {
+		tl.tr.Stop()
 	}
 	if poller != nil {
 		poller.Stop()
@@ -158,17 +241,17 @@ func (c *Cluster) WaitBypassCount(want int) bool {
 	return waitCond(func() bool { return c.BypassLinkCount() == want })
 }
 
-// TrunkCount returns the number of live node-pair trunks.
+// TrunkCount returns the number of live adjacencies (node pairs joined by a
+// trunk bundle; a bundle of k parallel trunks counts once).
 func (c *Cluster) TrunkCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.trunks)
 }
 
-// Trunks returns the live trunks, ordered by node pair.
-func (c *Cluster) Trunks() []*trunk.Trunk {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// sortedPairs returns the live adjacency keys in pair order. Caller holds
+// c.mu.
+func (c *Cluster) sortedPairs() []pairKey {
 	keys := make([]pairKey, 0, len(c.trunks))
 	for k := range c.trunks {
 		keys = append(keys, k)
@@ -179,11 +262,66 @@ func (c *Cluster) Trunks() []*trunk.Trunk {
 		}
 		return keys[i].hi < keys[j].hi
 	})
-	out := make([]*trunk.Trunk, len(keys))
-	for i, k := range keys {
-		out[i] = c.trunks[k].tr
+	return keys
+}
+
+// Trunks returns the live trunks, ordered by node pair then bundle index.
+func (c *Cluster) Trunks() []*trunk.Trunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*trunk.Trunk
+	for _, k := range c.sortedPairs() {
+		for _, tl := range c.trunks[k].links {
+			out = append(out, tl.tr)
+		}
 	}
 	return out
+}
+
+// PairTrunks returns the parallel trunks of one adjacency in bundle order
+// (nil when the pair has none) — the per-path observability surface of the
+// fabric experiment.
+func (c *Cluster) PairTrunks(a, b string) []*trunk.Trunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ct, ok := c.trunks[makePair(a, b)]
+	if !ok {
+		return nil
+	}
+	out := make([]*trunk.Trunk, len(ct.links))
+	for i, tl := range ct.links {
+		out[i] = tl.tr
+	}
+	return out
+}
+
+// FailTrunk tears down one parallel trunk of an adjacency (bundle index
+// idx) while its lanes keep flowing over the surviving links: the
+// datapath's ECMP output falls forward past the dead port, re-pinning the
+// failed path's flows — live rebalance without a rule rewrite. Failing the
+// last link of an adjacency is refused (that is teardown, not rebalance).
+func (c *Cluster) FailTrunk(a, b string, idx int) error {
+	pair := makePair(a, b)
+	c.mu.Lock()
+	ct, ok := c.trunks[pair]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: no trunk between %s and %s", a, b)
+	}
+	if idx < 0 || idx >= len(ct.links) {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: trunk %s-%s has no bundle index %d", pair.lo, pair.hi, idx)
+	}
+	if len(ct.links) == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: refusing to fail the last trunk of %s-%s", pair.lo, pair.hi)
+	}
+	tl := ct.links[idx]
+	ct.links = append(ct.links[:idx:idx], ct.links[idx+1:]...)
+	c.dismantleLinkLocked(pair, tl)
+	c.mu.Unlock()
+	c.drainDeadLink(pair, tl)
+	return nil
 }
 
 // nicNodes maps every externally-registered NIC name to its home node, for
@@ -198,11 +336,49 @@ func (c *Cluster) nicNodes() map[string]string {
 	return out
 }
 
-// ensureTrunk returns the node pair's trunk, creating it (NICs on both
-// sides plus the pump pair) on first use. A trunk is shared infrastructure:
-// a deployment joining an existing trunk must ask for the same shaping, or
-// its lanes would silently ride a link configured by somebody else — that
-// mismatch is an error, not a silent drop. Caller holds c.mu.
+// spineNode resolves the relay node for spine-mode routing.
+func (c *Cluster) spineNode(tcfg TrunkConfig) (string, error) {
+	if tcfg.Mode != FabricSpine {
+		return "", nil
+	}
+	spine := tcfg.Spine
+	if spine == "" {
+		spine = c.order[0]
+	}
+	if c.nodes[spine] == nil {
+		return "", fmt.Errorf("orchestrator: spine node %q not in cluster %v", spine, c.order)
+	}
+	return spine, nil
+}
+
+// path returns the adjacency sequence a crossing between two distinct
+// nodes rides: direct in mesh mode (or when either end IS the spine), and
+// src→spine→dst otherwise.
+func (c *Cluster) path(a, b, spine string, tcfg TrunkConfig) []pairKey {
+	if tcfg.Mode != FabricSpine || a == spine || b == spine {
+		return []pairKey{makePair(a, b)}
+	}
+	return []pairKey{makePair(a, spine), makePair(spine, b)}
+}
+
+// allocVidLocked hands out the lowest free cluster-wide VLAN id. Caller
+// holds c.mu.
+func (c *Cluster) allocVidLocked() (uint16, error) {
+	for vid := uint16(1); vid <= 4094; vid++ {
+		if !c.vids[vid] {
+			c.vids[vid] = true
+			return vid, nil
+		}
+	}
+	return 0, fmt.Errorf("orchestrator: out of cluster VLAN ids")
+}
+
+// ensureTrunk returns the node pair's adjacency, creating its ECMP bundle
+// (NICs on both sides plus the pump pairs) on first use. An adjacency is
+// shared infrastructure: a deployment joining an existing one must ask for
+// the same shaping and fabric shape, or its lanes would silently ride a
+// link configured by somebody else — that mismatch is an error, not a
+// silent drop. Caller holds c.mu.
 func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, error) {
 	if ct, ok := c.trunks[pair]; ok {
 		if ct.cfg != tcfg {
@@ -220,91 +396,97 @@ func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, er
 		rate = 0 // unshaped
 	}
 	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
-	nameLo := "trunk:" + pair.hi // the peer names the uplink, like eth-to-<peer>
-	nameHi := "trunk:" + pair.lo
-	// Trunk NICs are unshaped: the shared budget lives on the trunk itself.
-	devLo, err := nlo.AddNIC(nameLo, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
-	if err != nil {
-		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.lo, err)
-	}
-	devHi, err := nhi.AddNIC(nameHi, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
-	if err != nil {
-		_ = nlo.RemoveNIC(nameLo)
-		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
-	}
 	if c.poller == nil {
 		c.poller = trunk.NewPoller()
 	}
-	tr, err := trunk.New(trunk.Config{
-		Name:    fmt.Sprintf("trunk-%s-%s", pair.lo, pair.hi),
-		A:       trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
-		B:       trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
-		RatePps: rate,
-		Latency: tcfg.Latency,
-		Poller:  c.poller,
-	})
-	if err != nil {
-		_ = nlo.RemoveNIC(nameLo)
-		_ = nhi.RemoveNIC(nameHi)
-		return nil, err
+	ct := &clusterTrunk{pair: pair, cfg: tcfg, lanes: make(map[uint16]bool)}
+	undo := func() {
+		for _, tl := range ct.links {
+			tl.tr.Stop()
+			_ = nlo.RemoveNIC(tl.nameLo)
+			_ = nhi.RemoveNIC(tl.nameHi)
+		}
+		if len(c.trunks) == 0 && c.poller != nil {
+			c.poller.Stop()
+			c.poller = nil
+		}
 	}
-	portLo, _ := nlo.NICPort(nameLo)
-	portHi, _ := nhi.NICPort(nameHi)
-	ct := &clusterTrunk{
-		pair: pair,
-		tr:   tr,
-		cfg:  tcfg,
-		nicLo: devLo, nicHi: devHi,
-		nameLo: nameLo, nameHi: nameHi,
-		portLo: portLo, portHi: portHi,
+	for i := 0; i < tcfg.width(); i++ {
+		// The peer names the uplink, like eth-to-<peer>; parallel bundle
+		// members are distinguished by index.
+		nameLo := fmt.Sprintf("trunk:%s#%d", pair.hi, i)
+		nameHi := fmt.Sprintf("trunk:%s#%d", pair.lo, i)
+		// Trunk NICs are unshaped: the shared budget lives on the trunk itself.
+		devLo, err := nlo.AddNIC(nameLo, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.lo, err)
+		}
+		devHi, err := nhi.AddNIC(nameHi, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+		if err != nil {
+			_ = nlo.RemoveNIC(nameLo)
+			undo()
+			return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
+		}
+		tr, err := trunk.New(trunk.Config{
+			Name:       fmt.Sprintf("trunk-%s-%s#%d", pair.lo, pair.hi, i),
+			A:          trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
+			B:          trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
+			RatePps:    rate,
+			Latency:    tcfg.Latency,
+			PCPWeights: tcfg.PCPWeights,
+			Poller:     c.poller,
+		})
+		if err != nil {
+			_ = nlo.RemoveNIC(nameLo)
+			_ = nhi.RemoveNIC(nameHi)
+			undo()
+			return nil, err
+		}
+		portLo, _ := nlo.NICPort(nameLo)
+		portHi, _ := nhi.NICPort(nameHi)
+		ct.links = append(ct.links, &trunkLink{
+			tr:    tr,
+			nicLo: devLo, nicHi: devHi,
+			nameLo: nameLo, nameHi: nameHi,
+			portLo: portLo, portHi: portHi,
+		})
 	}
 	c.trunks[pair] = ct
 	return ct, nil
 }
 
-// releaseLane frees one lane and, when the trunk has no lanes left, tears
-// the whole trunk down: pumps stopped, NICs detached, queues drained.
-// Registry removal, pump stop and NIC detachment all happen inside the
-// critical section, so a concurrent Deploy on the same node pair either
-// still finds the trunk (and joins it) or finds the NIC names free — it
-// can never hit a half-dismantled trunk's name reservation.
-func (c *Cluster) releaseLane(pair pairKey, vid uint16) {
-	c.mu.Lock()
-	ct, ok := c.trunks[pair]
-	if !ok {
-		c.mu.Unlock()
-		return
+// addLaneLocked registers vid on every parallel trunk of the adjacency.
+// Caller holds c.mu.
+func (ct *clusterTrunk) addLaneLocked(vid uint16) error {
+	for i, tl := range ct.links {
+		if err := tl.tr.AddLane(vid); err != nil {
+			for _, prev := range ct.links[:i] {
+				_ = prev.tr.RemoveLane(vid)
+			}
+			return err
+		}
 	}
-	_ = ct.tr.RemoveLane(vid)
-	if ct.tr.LaneCount() > 0 {
-		c.mu.Unlock()
-		return
-	}
-	// Last lane gone: dismantle. Stop the pumps (bounded: the poller
-	// detaches them within two iterations) and detach the NICs before
-	// unlocking.
-	delete(c.trunks, pair)
-	ct.tr.Stop()
-	if len(c.trunks) == 0 && c.poller != nil {
-		// Symmetric with the lazy create in ensureTrunk: the last trunk
-		// takes the shared poller goroutine with it, so a trunk-less
-		// cluster is back to zero idle wakeups (a later Deploy recreates
-		// it).
-		c.poller.Stop()
-		c.poller = nil
-	}
-	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
-	_ = nlo.RemoveNIC(ct.nameLo)
-	_ = nhi.RemoveNIC(ct.nameHi)
-	c.mu.Unlock()
+	ct.lanes[vid] = true
+	return nil
+}
 
-	// Wait out PMD iterations still holding the old port snapshots, then
-	// reclaim whatever is parked in the NIC queues (pumps and PMDs are
-	// both gone, so the drains see quiescent rings).
-	nlo.Switch.WaitDatapathQuiescence()
-	nhi.Switch.WaitDatapathQuiescence()
+// dismantleLinkLocked stops one link's pumps and detaches its NICs. Caller
+// holds c.mu; call drainDeadLink after unlocking to reclaim queued buffers.
+func (c *Cluster) dismantleLinkLocked(pair pairKey, tl *trunkLink) {
+	tl.tr.Stop()
+	_ = c.nodes[pair.lo].RemoveNIC(tl.nameLo)
+	_ = c.nodes[pair.hi].RemoveNIC(tl.nameHi)
+}
+
+// drainDeadLink waits out PMD iterations still holding the old port
+// snapshots, then reclaims whatever is parked in the dead link's NIC queues
+// (pumps and PMDs are both gone, so the drains see quiescent rings).
+func (c *Cluster) drainDeadLink(pair pairKey, tl *trunkLink) {
+	c.nodes[pair.lo].Switch.WaitDatapathQuiescence()
+	c.nodes[pair.hi].Switch.WaitDatapathQuiescence()
 	scratch := make([]*mempool.Buf, 32)
-	for _, dev := range []*nic.NIC{ct.nicLo, ct.nicHi} {
+	for _, dev := range []*nic.NIC{tl.nicLo, tl.nicHi} {
 		for {
 			k := dev.DrainToWire(scratch)
 			if k == 0 {
@@ -322,32 +504,131 @@ func (c *Cluster) releaseLane(pair pairKey, vid uint16) {
 	}
 }
 
-// clusterLane is one realized crossing: a VLAN lane on a node pair's trunk.
+// releaseLane frees one lane hop on an adjacency and, when the adjacency
+// has no lanes left, tears the whole bundle down: pumps stopped, NICs
+// detached, queues drained. Registry removal, pump stop and NIC detachment
+// all happen inside the critical section, so a concurrent Deploy on the
+// same node pair either still finds the adjacency (and joins it) or finds
+// the NIC names free — it can never hit a half-dismantled bundle's name
+// reservation.
+func (c *Cluster) releaseLane(pair pairKey, vid uint16) {
+	c.mu.Lock()
+	ct, ok := c.trunks[pair]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(ct.lanes, vid)
+	for _, tl := range ct.links {
+		_ = tl.tr.RemoveLane(vid)
+	}
+	if len(ct.lanes) > 0 {
+		c.mu.Unlock()
+		return
+	}
+	// Last lane gone: dismantle the bundle. Stop the pumps (bounded: the
+	// poller detaches them within two iterations) and detach the NICs
+	// before unlocking.
+	delete(c.trunks, pair)
+	for _, tl := range ct.links {
+		c.dismantleLinkLocked(pair, tl)
+	}
+	if len(c.trunks) == 0 && c.poller != nil {
+		// Symmetric with the lazy create in ensureTrunk: the last trunk
+		// takes the shared poller goroutine with it, so a trunk-less
+		// cluster is back to zero idle wakeups (a later Deploy recreates
+		// it).
+		c.poller.Stop()
+		c.poller = nil
+	}
+	c.mu.Unlock()
+
+	for _, tl := range ct.links {
+		c.drainDeadLink(pair, tl)
+	}
+}
+
+// releaseVid returns a lane's cluster-wide VLAN id to the allocator.
+func (c *Cluster) releaseVid(vid uint16) {
+	c.mu.Lock()
+	delete(c.vids, vid)
+	c.mu.Unlock()
+}
+
+// clusterLane is one realized crossing: a VLAN lane riding every trunk of
+// every adjacency on its path (one hop in mesh mode, two through the
+// spine).
 type clusterLane struct {
-	pair pairKey
-	vid  uint16
+	pairs []pairKey
+	vid   uint16
 }
 
 // ClusterDeployment is a service graph deployed across a cluster: one local
 // deployment per participating node plus the trunk lanes realizing the
-// cross-node edges.
+// cross-node edges (and, in spine mode, the relay rules on the spine).
 type ClusterDeployment struct {
 	cluster *Cluster
 	deps    map[string]*Deployment
 	lanes   []clusterLane
+	// steerCookie stamps relay rules installed on nodes that host none of
+	// the deployment's VNFs (the spine), so teardown can find exactly them.
+	steerCookie uint64
+	// relayNodes lists the nodes carrying steerCookie-stamped rules.
+	relayNodes map[string]bool
+}
+
+// hopSnapshot is an adjacency's bundle ports captured under Cluster.mu, so
+// the unlocked steering-install phase of Deploy never reads ct.links while
+// a concurrent FailTrunk mutates it.
+type hopSnapshot struct {
+	pair             pairKey
+	portsLo, portsHi []uint32
+}
+
+// snapshotHop captures the bundle's ports on both nodes. Caller holds
+// Cluster.mu.
+func snapshotHop(ct *clusterTrunk) hopSnapshot {
+	return hopSnapshot{
+		pair:    ct.pair,
+		portsLo: ct.ports(ct.pair.lo),
+		portsHi: ct.ports(ct.pair.hi),
+	}
+}
+
+// ports returns the snapshot's switch port ids on the given node.
+func (h hopSnapshot) ports(node string) []uint32 {
+	if node == h.pair.lo {
+		return h.portsLo
+	}
+	return h.portsHi
+}
+
+// outputTo returns the action steering a frame into an adjacency's bundle
+// on the given node: plain output for a single trunk, hash-pinned ECMP
+// spread for a bundle.
+func outputTo(h hopSnapshot, node string) flow.Action {
+	ports := h.ports(node)
+	if len(ports) == 1 {
+		return flow.Output(ports[0])
+	}
+	return flow.OutputECMP(ports...)
 }
 
 // Deploy partitions g by VNF placement (unlabeled VNFs land on the default
-// node), allocates a VLAN lane on the node pair's shared trunk for every
-// boundary crossing (creating the trunk on first use), and lowers each
-// partition on its node. Crossing edges lower to vlan steering: the sending
-// side pushes the lane's tag and outputs to the trunk NIC, the receiving
-// side matches (trunk port, vid), strips the tag and outputs to the target
-// VNF port. The per-node lowering is exactly the single-node Deploy path,
-// so in highway mode each node's detector establishes bypasses for its
-// intra-node hops while the trunk hops stay on the NIC path — the highway
-// survives the split, and all crossings of a node pair contend for one
-// shared uplink exactly like a ToR fabric.
+// node), allocates a cluster-wide VLAN lane for every boundary crossing and
+// registers it on every trunk of the crossing's fabric path (creating
+// adjacencies on first use), and lowers each partition on its node.
+// Crossing edges lower to vlan steering: the sending side pushes the lane's
+// tag (stamping the edge's PCP priority for the trunk scheduler when set)
+// and outputs into the adjacency bundle — hash-pinned ECMP when the bundle
+// is wider than one trunk; in spine mode the spine's vSwitch relays the
+// tagged lane between its trunk ports; the receiving side matches (trunk
+// port, vid), strips the tag and outputs to the target VNF port. The
+// per-node lowering is exactly the single-node Deploy path, so in highway
+// mode each node's detector establishes bypasses for its intra-node hops
+// while the trunk hops stay on the NIC path — the highway survives the
+// split, and all crossings of an adjacency contend for its shared uplink
+// exactly like a ToR fabric.
 func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, error) {
 	part, err := g.Partition(c.DefaultNode(), c.nicNodes())
 	if err != nil {
@@ -358,34 +639,57 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 			return nil, fmt.Errorf("orchestrator: graph places VNFs on unknown node %q (cluster has %v)", node, c.order)
 		}
 	}
-	cd := &ClusterDeployment{cluster: c, deps: make(map[string]*Deployment)}
+	spine, err := c.spineNode(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClusterDeployment{
+		cluster:     c,
+		deps:        make(map[string]*Deployment),
+		steerCookie: DeployCookieBase | deployCookieSeq.Add(1),
+		relayNodes:  make(map[string]bool),
+	}
 
-	// Realize the crossings first: one lane per crossing on the node pair's
-	// shared trunk, so the steering rules below have ports and vids to
-	// reference.
+	// Realize the crossings first: one cluster-wide vid per crossing,
+	// registered on every trunk of its path, so the steering rules below
+	// have ports and vids to reference.
 	type laneSteer struct {
-		ce  graph.CrossEdge
-		ct  *clusterTrunk
-		vid uint16
+		ce   graph.CrossEdge
+		hops []hopSnapshot // adjacency bundle ports per path segment, A→B order
+		vid  uint16
 	}
 	steers := make([]laneSteer, 0, len(part.Cross))
 	c.mu.Lock()
 	for _, ce := range part.Cross {
-		pair := makePair(ce.NodeA, ce.NodeB)
-		ct, err := c.ensureTrunk(pair, tcfg)
+		vid, err := c.allocVidLocked()
 		if err != nil {
 			c.mu.Unlock()
 			cd.Stop()
 			return nil, err
 		}
-		vid, err := ct.tr.AllocLane()
-		if err != nil {
-			c.mu.Unlock()
-			cd.Stop()
-			return nil, err
+		st := laneSteer{ce: ce, vid: vid}
+		var lanePairs []pairKey
+		for _, pair := range c.path(ce.NodeA, ce.NodeB, spine, tcfg) {
+			ct, err := c.ensureTrunk(pair, tcfg)
+			if err == nil {
+				err = ct.addLaneLocked(vid)
+			}
+			if err != nil {
+				// The partially-registered lane is recorded before Stop so
+				// teardown removes its hops FIRST and only then returns the
+				// vid to the allocator (releaseVid) — freeing it here, while
+				// earlier hops still carry it, would let a concurrent Deploy
+				// be handed a vid that is live on other trunks.
+				c.mu.Unlock()
+				cd.lanes = append(cd.lanes, clusterLane{pairs: lanePairs, vid: vid})
+				cd.Stop()
+				return nil, err
+			}
+			st.hops = append(st.hops, snapshotHop(ct))
+			lanePairs = append(lanePairs, pair)
 		}
-		cd.lanes = append(cd.lanes, clusterLane{pair: pair, vid: vid})
-		steers = append(steers, laneSteer{ce: ce, ct: ct, vid: vid})
+		cd.lanes = append(cd.lanes, clusterLane{pairs: lanePairs, vid: vid})
+		steers = append(steers, st)
 	}
 	c.mu.Unlock()
 
@@ -404,10 +708,12 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 		cd.deps[node] = dep
 	}
 
-	// Install the lane steering, batched per node and stamped with that
-	// node's deployment cookie so teardown reclaims exactly these rules.
+	// Install the lane steering, batched per node. Endpoint-node rules are
+	// stamped with that node's deployment cookie (teardown reclaims them
+	// with the deployment); relay rules on pass-through nodes carry the
+	// deployment's steer cookie instead.
 	specs := make(map[string][]flow.FlowSpec)
-	addSteer := func(fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, ct *clusterTrunk, vid uint16) error {
+	addSteer := func(st laneSteer, fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, hops []hopSnapshot) error {
 		src, err := cd.deps[fromNode].resolve(fromEp)
 		if err != nil {
 			return err
@@ -416,27 +722,64 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 		if err != nil {
 			return err
 		}
+		// Sender: tag, stamp the crossing priority, fan into the first hop.
+		acts := flow.Actions{flow.PushVlan(st.vid)}
+		if st.ce.PCP != 0 {
+			acts = append(acts, flow.SetVlanPcp(st.ce.PCP))
+		}
+		acts = append(acts, outputTo(hops[0], fromNode))
 		specs[fromNode] = append(specs[fromNode], flow.FlowSpec{
 			Priority: cd.deps[fromNode].flowPrio,
 			Match:    flow.MatchInPort(src),
-			Actions:  flow.Actions{flow.PushVlan(vid), flow.Output(ct.port(fromNode))},
+			Actions:  acts,
 			Cookie:   cd.deps[fromNode].cookie,
 		})
-		specs[toNode] = append(specs[toNode], flow.FlowSpec{
-			Priority: cd.deps[toNode].flowPrio,
-			Match:    flow.MatchInPort(ct.port(toNode)).WithVlan(vid),
-			Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
-			Cookie:   cd.deps[toNode].cookie,
-		})
+		// Relays: on each intermediate node, forward the tagged lane from
+		// every inbound trunk port of one hop into the next hop's bundle.
+		relay := fromNode
+		for h := 0; h+1 < len(hops); h++ {
+			next := hops[h].pair.lo
+			if next == relay {
+				next = hops[h].pair.hi
+			}
+			prio := uint16(10)
+			if d := cd.deps[next]; d != nil {
+				prio = d.flowPrio
+			}
+			for _, inPort := range hops[h].ports(next) {
+				specs[next] = append(specs[next], flow.FlowSpec{
+					Priority: prio,
+					Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
+					Actions:  flow.Actions{outputTo(hops[h+1], next)},
+					Cookie:   cd.steerCookie,
+				})
+			}
+			cd.relayNodes[next] = true
+			relay = next
+		}
+		// Receiver: match every inbound trunk port of the last hop, strip
+		// the tag, deliver.
+		for _, inPort := range hops[len(hops)-1].ports(toNode) {
+			specs[toNode] = append(specs[toNode], flow.FlowSpec{
+				Priority: cd.deps[toNode].flowPrio,
+				Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
+				Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
+				Cookie:   cd.deps[toNode].cookie,
+			})
+		}
 		return nil
 	}
 	for _, st := range steers {
-		if err := addSteer(st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, st.ct, st.vid); err != nil {
+		if err := addSteer(st, st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, st.hops); err != nil {
 			cd.Stop()
 			return nil, err
 		}
 		if st.ce.Bidirectional {
-			if err := addSteer(st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, st.ct, st.vid); err != nil {
+			rev := make([]hopSnapshot, len(st.hops))
+			for i, h := range st.hops {
+				rev[len(rev)-1-i] = h
+			}
+			if err := addSteer(st, st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, rev); err != nil {
 				cd.Stop()
 				return nil, err
 			}
@@ -448,12 +791,74 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 	return cd, nil
 }
 
-// DeployPlaced optimizes the graph's placement first — Graph.Place assigns
-// every unpinned VNF a node, minimizing trunk crossings under balance — and
-// then deploys the placed graph. The chosen crossing count is returned
-// alongside the deployment.
+// NodeLoads estimates each node's background load in VNF-equivalents for
+// placement: the cluster's already-deployed VNF mass (VM port pairs)
+// apportioned by each node's measured datapath traffic — the MOVEMENT of
+// its vswitch port RX counters since the previous NodeLoads call, not the
+// since-boot totals, so a chain that was busy an hour ago but idles now
+// stops skewing placement (the same snapshot-and-diff idiom as
+// DatapathStats.Delta). A node carrying most of the recent packets counts
+// as hosting most of the load, which is what distinguishes a busy short
+// chain from an idle long one. With no traffic observed in the interval
+// (including the first call), the VM count alone is the load.
+func (c *Cluster) NodeLoads() []float64 {
+	loads := make([]float64, len(c.order))
+	var totalVNFs, totalDelta float64
+	rx := make([]float64, len(c.order))
+	delta := make([]float64, len(c.order))
+	for i, name := range c.order {
+		n := c.nodes[name]
+		loads[i] = float64(n.VMPortCount()) / 2
+		totalVNFs += loads[i]
+		for _, ps := range n.Switch.AllPortStats() {
+			rx[i] += float64(ps.RxPackets)
+		}
+	}
+	c.mu.Lock()
+	first := c.loadRx == nil
+	for i := range rx {
+		if !first && rx[i] >= c.loadRx[i] {
+			delta[i] = rx[i] - c.loadRx[i]
+		}
+		totalDelta += delta[i]
+	}
+	c.loadRx = rx
+	c.mu.Unlock()
+	if totalDelta == 0 || totalVNFs == 0 {
+		return loads
+	}
+	for i := range loads {
+		loads[i] = totalVNFs * delta[i] / totalDelta
+	}
+	return loads
+}
+
+// DeployPlaced optimizes the graph's placement first — Graph.PlaceWith
+// assigns every unpinned VNF a node, minimizing fabric hop cost (leaf–leaf
+// crossings through a spine cost 2) under load-weighted balance (NodeLoads)
+// — and then deploys the placed graph. The chosen crossing count is
+// returned alongside the deployment.
 func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, int, error) {
-	crossings, err := g.Place(c.order, c.nicNodes())
+	spine, err := c.spineNode(tcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	opts := graph.PlaceOptions{NodeLoad: c.NodeLoads()}
+	if tcfg.Mode == FabricSpine {
+		spineIdx := 0
+		for i, name := range c.order {
+			if name == spine {
+				spineIdx = i
+			}
+		}
+		opts.Dist = func(a, b int) int {
+			if a == spineIdx || b == spineIdx {
+				return 1
+			}
+			return 2
+		}
+	}
+	crossings, err := g.PlaceWith(c.order, c.nicNodes(), opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -479,46 +884,63 @@ func (cd *ClusterDeployment) SrcSink(name string) *vnf.SrcSink {
 }
 
 // Trunks returns the trunks this deployment's lanes ride, ordered by node
-// pair (shared trunks appear once even when several lanes use them).
+// pair then bundle index (shared adjacencies appear once even when several
+// lanes use them).
 func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
 	cd.cluster.mu.Lock()
 	defer cd.cluster.mu.Unlock()
 	seen := make(map[pairKey]bool)
 	var out []*trunk.Trunk
 	for _, ln := range cd.lanes {
-		if seen[ln.pair] {
-			continue
-		}
-		seen[ln.pair] = true
-		if ct, ok := cd.cluster.trunks[ln.pair]; ok {
-			out = append(out, ct.tr)
+		for _, pair := range ln.pairs {
+			if seen[pair] {
+				continue
+			}
+			seen[pair] = true
+			if ct, ok := cd.cluster.trunks[pair]; ok {
+				for _, tl := range ct.links {
+					out = append(out, tl.tr)
+				}
+			}
 		}
 	}
 	return out
 }
 
 // Lanes returns the deployment's (node pair, vid) lane assignments in
-// crossing order.
+// crossing order; a spine-relayed lane appears once per hop.
 func (cd *ClusterDeployment) Lanes() []struct {
 	NodeA, NodeB string
 	VID          uint16
 } {
-	out := make([]struct {
+	var out []struct {
 		NodeA, NodeB string
 		VID          uint16
-	}, len(cd.lanes))
-	for i, ln := range cd.lanes {
-		out[i].NodeA, out[i].NodeB, out[i].VID = ln.pair.lo, ln.pair.hi, ln.vid
+	}
+	for _, ln := range cd.lanes {
+		for _, pair := range ln.pairs {
+			out = append(out, struct {
+				NodeA, NodeB string
+				VID          uint16
+			}{NodeA: pair.lo, NodeB: pair.hi, VID: ln.vid})
+		}
 	}
 	return out
 }
 
-// Stop tears the cluster deployment down in dependency order: local
-// deployments first (steering and lane rules deleted by cookie, bypasses
-// dissolved, VMs destroyed), then the lanes — and with a trunk's last lane
-// the trunk itself, its pumps stopped, NICs detached and queues drained.
-// Lanes of co-resident deployments on the same trunks keep flowing.
+// Stop tears the cluster deployment down in dependency order: relay rules
+// on pass-through nodes (found by steer cookie), then local deployments
+// (steering and lane rules deleted by cookie, bypasses dissolved, VMs
+// destroyed), then the lanes — and with an adjacency's last lane the whole
+// bundle, its pumps stopped, NICs detached and queues drained. Lanes of
+// co-resident deployments on the same trunks keep flowing.
 func (cd *ClusterDeployment) Stop() {
+	for node := range cd.relayNodes {
+		cd.cluster.nodes[node].Switch.Table().DeleteWhere(func(f *flow.Flow) bool {
+			return f.Cookie == cd.steerCookie
+		})
+	}
+	cd.relayNodes = map[string]bool{}
 	for _, node := range cd.cluster.order {
 		if d := cd.deps[node]; d != nil {
 			d.Stop()
@@ -526,7 +948,10 @@ func (cd *ClusterDeployment) Stop() {
 	}
 	cd.deps = map[string]*Deployment{}
 	for _, ln := range cd.lanes {
-		cd.cluster.releaseLane(ln.pair, ln.vid)
+		for _, pair := range ln.pairs {
+			cd.cluster.releaseLane(pair, ln.vid)
+		}
+		cd.cluster.releaseVid(ln.vid)
 	}
 	cd.lanes = nil
 }

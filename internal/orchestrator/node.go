@@ -128,6 +128,14 @@ func (n *Node) Stop() {
 // Mode returns the node's datapath mode.
 func (n *Node) Mode() Mode { return n.cfg.Mode }
 
+// VMPortCount reports the number of live VM-facing dpdkr ports — two per
+// typical VNF — which NodeLoads converts into VNF-equivalents.
+func (n *Node) VMPortCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.vmPorts)
+}
+
 func (n *Node) candidatePorts() []uint32 {
 	n.mu.Lock()
 	defer n.mu.Unlock()

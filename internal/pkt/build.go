@@ -11,10 +11,14 @@ type UDPSpec struct {
 	SrcPort, DstPort uint16
 	// VlanID, when non-zero, inserts an 802.1Q tag carrying this VLAN id
 	// between the MAC addresses and the IPv4 EtherType (trunk-lane traffic).
-	VlanID           uint16
-	TTL              uint8 // default 64
-	Payload          []byte
-	FrameLen         int // pad frame (with zero bytes) up to this length; 0 = no padding
+	VlanID uint16
+	// VlanPCP is the 3-bit 802.1Q priority code point stamped into the tag
+	// (only meaningful with a non-zero VlanID). The trunk's DRR scheduler
+	// classes frames by this field.
+	VlanPCP  uint8
+	TTL      uint8 // default 64
+	Payload  []byte
+	FrameLen int // pad frame (with zero bytes) up to this length; 0 = no padding
 }
 
 // BuildUDP serializes the spec into dst and returns the frame length.
@@ -45,7 +49,7 @@ func BuildUDP(dst []byte, s UDPSpec) (int, error) {
 	copy(dst[6:12], s.SrcMAC[:])
 	if s.VlanID != 0 {
 		be.PutUint16(dst[12:14], EtherTypeVLAN)
-		be.PutUint16(dst[14:16], s.VlanID&0x0fff)
+		be.PutUint16(dst[14:16], uint16(s.VlanPCP&0x07)<<13|s.VlanID&0x0fff)
 		be.PutUint16(dst[16:18], EtherTypeIPv4)
 	} else {
 		be.PutUint16(dst[12:14], EtherTypeIPv4)
@@ -179,6 +183,16 @@ func FrameVlanID(frame []byte) (vid uint16, ok bool) {
 		return 0, false
 	}
 	return be.Uint16(frame[14:16]) & 0x0fff, true
+}
+
+// FrameVlanPCP peeks the 802.1Q priority code point of a frame without a
+// full parse — the per-frame class demultiplex step of the trunk's DRR
+// scheduler. ok is false when the frame is too short or not tagged.
+func FrameVlanPCP(frame []byte) (pcp uint8, ok bool) {
+	if len(frame) < EthernetLen+VLANLen || be.Uint16(frame[12:14]) != EtherTypeVLAN {
+		return 0, false
+	}
+	return frame[14] >> 5, true
 }
 
 // BuildARP serializes an Ethernet/IPv4 ARP message into dst.

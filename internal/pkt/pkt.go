@@ -152,6 +152,11 @@ func (h VLAN) SetVID(vid uint16) {
 	be.PutUint16(h.raw[0:2], v)
 }
 
+// SetPCP stores the 3-bit priority code point, preserving DEI and VID.
+func (h VLAN) SetPCP(pcp uint8) {
+	h.raw[0] = h.raw[0]&0x1f | (pcp&0x07)<<5
+}
+
 // SetEtherType stores the encapsulated EtherType.
 func (h VLAN) SetEtherType(t uint16) { be.PutUint16(h.raw[2:4], t) }
 

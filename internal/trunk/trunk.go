@@ -3,8 +3,9 @@
 // the old per-crossing wire model gave each crossing a private link, a Trunk
 // carries many VLAN-tagged lanes over ONE link per node pair: frames are
 // demultiplexed by their 802.1Q vid, all lanes contend for the trunk's
-// shared per-direction rate budget, and stats are kept per lane as well as
-// per direction.
+// shared per-direction rate budget under a PCP-weighted deficit-round-robin
+// scheduler (DCB-style per-priority queues, Config.PCPWeights), and stats
+// are kept per lane, per PCP class and per direction.
 //
 // Each direction is a pump stepped by a Poller — one goroutine
 // round-robining over every pump attached to it (a cluster shares ONE
@@ -56,6 +57,13 @@ type Config struct {
 	RatePps float64
 	// Latency is the propagation delay added to every frame, per direction.
 	Latency time.Duration
+	// PCPWeights assigns a deficit-round-robin weight to each 802.1Q
+	// priority code point class. Under contention for the shared RatePps
+	// budget, class i receives bandwidth proportional to its weight — the
+	// DCB-style per-priority scheduling of a real ToR uplink. A zero weight
+	// means the default weight 1 (an all-zero array is plain fair sharing),
+	// so existing FIFO-era configs keep their contention behaviour.
+	PCPWeights [8]float64
 	// BatchSize is the per-iteration pump burst (default 32).
 	BatchSize int
 	// Poller, when non-nil, drives this trunk's two directions from a
@@ -220,7 +228,7 @@ func New(cfg Config) (*Trunk, error) {
 	}
 	empty := map[uint16]*lane{}
 	t.lanes.Store(&empty)
-	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency}
+	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency, Weights: cfg.PCPWeights}
 	t.ab = newPump(fmt.Sprintf("%s:a->b", cfg.Name), t, dirAB, cfg.A, cfg.B, sh, cfg.BatchSize)
 	t.ba = newPump(fmt.Sprintf("%s:b->a", cfg.Name), t, dirBA, cfg.B, cfg.A, sh, cfg.BatchSize)
 	t.poller.attach(t.ab, t.ba)
@@ -319,6 +327,16 @@ func (t *Trunk) LaneStats(vid uint16) (ab, ba DirStats, ok bool) {
 // unrouted drops.
 func (t *Trunk) Stats() (ab, ba DirStats) { return t.ab.stats(), t.ba.stats() }
 
+// PCPStats returns per-direction counters split by 802.1Q priority class —
+// the observable of the DRR scheduler (index = PCP).
+func (t *Trunk) PCPStats() (ab, ba [8]DirStats) {
+	for c := 0; c < 8; c++ {
+		ab[c] = DirStats{Carried: t.ab.pcpCarried[c].Load(), Dropped: t.ab.pcpDropped[c].Load()}
+		ba[c] = DirStats{Carried: t.ba.pcpCarried[c].Load(), Dropped: t.ba.pcpDropped[c].Load()}
+	}
+	return ab, ba
+}
+
 // Unrouted counts frames dropped because they carried no 802.1Q tag or an
 // unregistered vid, summed over both directions.
 func (t *Trunk) Unrouted() uint64 {
@@ -353,22 +371,40 @@ const (
 type shaping struct {
 	RatePps float64
 	Latency time.Duration
+	Weights [8]float64
 }
 
 // delayed is one re-homed frame waiting out its propagation delay. The lane
 // pointer is resolved at pull time so delivery attributes drops to the lane
-// even if it was removed meanwhile.
+// even if it was removed meanwhile; pcp is the frame's 802.1Q priority
+// class, resolved once for scheduler classing and per-class stats.
 type delayed struct {
 	buf  *mempool.Buf
 	lane *lane
 	due  int64 // UnixNano
+	pcp  uint8
 }
 
-// pump moves one direction: src NIC wire-TX → lane demux → re-home → shape
-// → dst NIC wire-RX. The owning poller's goroutine is the single consumer
-// of the src queue and the single producer of the dst queue, honoring both
-// SPSC contracts; every pump field is touched only by that goroutine while
-// the pump is attached.
+// classQueue is one PCP class's staging FIFO between lane demux and the DRR
+// grant (head index avoids reslicing, same idiom as the delay line).
+type classQueue struct {
+	q    []delayed
+	head int
+}
+
+func (c *classQueue) pending() int { return len(c.q) - c.head }
+
+// stagingCap bounds each PCP class's staging queue. Overflow drops on the
+// trunk exactly like a full hardware per-priority egress queue; the bound
+// also caps how much of the destination pool the scheduler can park.
+const stagingCap = 256
+
+// pump moves one direction: src NIC wire-TX → lane demux → re-home →
+// per-PCP staging → deficit-round-robin grant under the shared rate budget
+// → propagation delay line → dst NIC wire-RX. The owning poller's goroutine
+// is the single consumer of the src queue and the single producer of the
+// dst queue, honoring both SPSC contracts; every pump field is touched only
+// by that goroutine while the pump is attached.
 type pump struct {
 	name    string
 	trunk   *Trunk
@@ -383,9 +419,25 @@ type pump struct {
 	inFly   []delayed      // FIFO delay line (head index avoids reslicing)
 	inHead  int
 
+	// classes stage re-homed frames per PCP; quantum/deficit/cursor drive
+	// the DRR pass distributing the shared token budget across them. The
+	// cursor and in-service flag persist across passes: the shaped budget
+	// arrives in sub-quantum trickles, and a scheduler that restarted its
+	// scan at class 0 on every grant would hand the whole trickle to the
+	// lowest backlogged class regardless of weight.
+	classes   [8]classQueue
+	quantum   [8]int
+	deficit   [8]int
+	cursor    int
+	inService [8]bool
+
 	carried  atomic.Uint64
 	dropped  atomic.Uint64
 	unrouted atomic.Uint64
+	// pcpCarried/pcpDropped split the direction's counters by PCP class for
+	// the lane-QoS experiment tables.
+	pcpCarried [8]atomic.Uint64
+	pcpDropped [8]atomic.Uint64
 }
 
 func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping, batch int) *pump {
@@ -398,6 +450,28 @@ func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping
 		shaping: sh,
 		drained: make([]*mempool.Buf, batch),
 		homed:   make([]*mempool.Buf, batch),
+	}
+	// Packet-granular quanta: normalize so the smallest positive weight maps
+	// to one packet per service turn (zero = default weight 1 — an
+	// unconfigured class is not starved), preserving the configured ratios
+	// up to rounding.
+	minW := 0.0
+	var w [8]float64
+	for c := range w {
+		w[c] = sh.Weights[c]
+		if w[c] <= 0 {
+			w[c] = 1
+		}
+		if minW == 0 || w[c] < minW {
+			minW = w[c]
+		}
+	}
+	for c := range p.quantum {
+		q := int(w[c]/minW + 0.5)
+		if q < 1 {
+			q = 1
+		}
+		p.quantum[c] = q
 	}
 	p.bucket.init(sh.RatePps)
 	return p
@@ -416,67 +490,154 @@ func (p *pump) laneDir(ln *lane) *dirCounters {
 }
 
 // pull drains a burst off the transmitting NIC, demultiplexes each frame to
-// its lane by VLAN id, and re-homes accepted frames into the destination
-// pool. Lane-less frames (no tag, unregistered vid) and frames that cannot
-// be re-homed (destination pool exhausted, oversized payload) are dropped
-// on the trunk. The shared token bucket paces the aggregate, so every lane
-// contends for the same budget.
+// its lane by VLAN id and its PCP class, re-homes accepted frames into the
+// destination pool and stages them per class, then runs the DRR grant pass.
+// Lane-less frames (no tag, unregistered vid), frames that cannot be
+// re-homed (destination pool exhausted, oversized payload) and frames
+// overflowing their class's staging queue are dropped on the trunk.
 func (p *pump) pull() int {
-	want := len(p.drained)
-	if allowed := p.bucket.take(want); allowed < want {
-		want = allowed
+	n := p.src.NIC.DrainToWire(p.drained)
+	moved := 0
+	if n > 0 {
+		lanes := *p.trunk.lanes.Load()
+		got := p.dst.Pool.GetBatch(p.homed[:n])
+		kept := 0
+		var unrouted uint64
+		for i := 0; i < n; i++ {
+			srcBuf := p.drained[i]
+			vid, tagged := pkt.FrameVlanID(srcBuf.Bytes())
+			var ln *lane
+			if tagged {
+				ln = lanes[vid]
+			}
+			if ln == nil {
+				unrouted++
+				continue // no lane carries this frame: trunk drop
+			}
+			pcp, _ := pkt.FrameVlanPCP(srcBuf.Bytes())
+			if kept >= got {
+				p.laneDir(ln).dropped.Add(1)
+				p.pcpDropped[pcp].Add(1)
+				continue // destination pool exhausted: trunk drop
+			}
+			cq := &p.classes[pcp]
+			if cq.pending() >= stagingCap {
+				p.laneDir(ln).dropped.Add(1)
+				p.pcpDropped[pcp].Add(1)
+				continue // class egress queue full: trunk drop
+			}
+			dstBuf := p.homed[kept]
+			if err := dstBuf.SetBytes(srcBuf.Bytes()); err != nil {
+				p.laneDir(ln).dropped.Add(1)
+				p.pcpDropped[pcp].Add(1)
+				continue // frame exceeds destination buffer geometry: trunk drop
+			}
+			dstBuf.TS = srcBuf.TS // latency probes survive the hop
+			cq.q = append(cq.q, delayed{buf: dstBuf, lane: ln, pcp: pcp})
+			kept++
+		}
+		// Unused destination buffers (demux/re-home failures) go straight back…
+		if kept < got {
+			mempool.FreeBatch(p.homed[kept:got])
+		}
+		// …and every source buffer returns to the transmitting node's pool.
+		mempool.FreeBatch(p.drained[:n])
+		if unrouted > 0 {
+			p.unrouted.Add(unrouted)
+		}
+		if d := n - kept; d > 0 {
+			p.dropped.Add(uint64(d))
+		}
+		moved = n
 	}
-	if want == 0 {
+	moved += p.schedule()
+	return moved
+}
+
+// schedule runs one deficit-round-robin pass: the shared token bucket
+// grants an aggregate budget, and each PCP class with staged frames earns
+// deficit proportional to its weight per round, moving that many frames
+// onto the propagation delay line. Under contention the carried rates of
+// two saturating classes converge to the ratio of their weights; with no
+// shaping (rate 0) every staged frame moves immediately and weights are
+// moot — QoS only bites when the uplink is the bottleneck.
+func (p *pump) schedule() int {
+	pending := 0
+	for c := range p.classes {
+		pending += p.classes[c].pending()
+	}
+	if pending == 0 {
 		return 0
 	}
-	n := p.src.NIC.DrainToWire(p.drained[:want])
-	p.bucket.refund(want - n)
-	if n == 0 {
+	tokens := p.bucket.take(pending)
+	if tokens == 0 {
 		return 0
 	}
-	lanes := *p.trunk.lanes.Load()
-	got := p.dst.Pool.GetBatch(p.homed[:n])
-	now := time.Now()
-	due := now.Add(p.shaping.Latency).UnixNano()
-	kept := 0
-	var unrouted uint64
-	for i := 0; i < n; i++ {
-		srcBuf := p.drained[i]
-		vid, tagged := pkt.FrameVlanID(srcBuf.Bytes())
-		var ln *lane
-		if tagged {
-			ln = lanes[vid]
+	granted := 0
+	due := time.Now().Add(p.shaping.Latency).UnixNano()
+	for tokens > 0 {
+		// Advance the cursor to the next backlogged class; an emptied class
+		// forfeits its deficit (classic DRR).
+		probes := 0
+		for probes < 8 && p.classes[p.cursor].pending() == 0 {
+			p.deficit[p.cursor] = 0
+			p.inService[p.cursor] = false
+			p.cursor = (p.cursor + 1) % 8
+			probes++
 		}
-		if ln == nil {
-			unrouted++
-			continue // no lane carries this frame: trunk drop
+		if probes == 8 {
+			break // nothing left to grant
 		}
-		if kept >= got {
-			p.laneDir(ln).dropped.Add(1)
-			continue // destination pool exhausted: trunk drop
+		c := p.cursor
+		cq := &p.classes[c]
+		if !p.inService[c] {
+			// The class earns its quantum once per service turn, even when
+			// the budget then arrives one token at a time across many passes.
+			p.deficit[c] += p.quantum[c]
+			p.inService[c] = true
 		}
-		dstBuf := p.homed[kept]
-		if err := dstBuf.SetBytes(srcBuf.Bytes()); err != nil {
-			p.laneDir(ln).dropped.Add(1)
-			continue // frame exceeds destination buffer geometry: trunk drop
+		serve := p.deficit[c]
+		if avail := cq.pending(); serve > avail {
+			serve = avail
 		}
-		dstBuf.TS = srcBuf.TS // latency probes survive the hop
-		p.inFly = append(p.inFly, delayed{buf: dstBuf, lane: ln, due: due})
-		kept++
+		if serve > tokens {
+			serve = tokens
+		}
+		for i := 0; i < serve; i++ {
+			p.inFly = append(p.inFly, cq.q[cq.head])
+			cq.q[cq.head].buf = nil
+			cq.head++
+		}
+		p.deficit[c] -= serve
+		tokens -= serve
+		granted += serve
+		switch {
+		case cq.pending() == 0:
+			cq.q = cq.q[:0]
+			cq.head = 0
+			p.deficit[c] = 0
+			p.inService[c] = false
+			p.cursor = (c + 1) % 8
+		case p.deficit[c] < 1:
+			p.inService[c] = false
+			p.cursor = (c + 1) % 8
+		default:
+			// Tokens ran out mid-quantum: stay in service at this class so
+			// the next grant resumes here.
+		}
+		if cq.head >= stagingCap {
+			n := copy(cq.q, cq.q[cq.head:])
+			cq.q = cq.q[:n]
+			cq.head = 0
+		}
 	}
-	// Unused destination buffers (demux/re-home failures) go straight back…
-	if kept < got {
-		mempool.FreeBatch(p.homed[kept:got])
+	p.bucket.refund(tokens)
+	// Stamp the grant batch's due time: frames scheduled in this pass share
+	// one propagation deadline (they left the port back-to-back).
+	for i := len(p.inFly) - granted; i < len(p.inFly); i++ {
+		p.inFly[i].due = due
 	}
-	// …and every source buffer returns to the transmitting node's pool.
-	mempool.FreeBatch(p.drained[:n])
-	if unrouted > 0 {
-		p.unrouted.Add(unrouted)
-	}
-	if d := n - kept; d > 0 {
-		p.dropped.Add(uint64(d))
-	}
-	return n
+	return granted
 }
 
 // deliver injects frames whose propagation delay has elapsed into the
@@ -509,14 +670,18 @@ func (p *pump) deliver() int {
 		sent := p.dst.NIC.InjectFromWire(p.homed[:k])
 		p.carried.Add(uint64(sent))
 		for i := 0; i < sent; i++ {
-			p.laneDir(p.inFly[winStart+i].lane).carried.Add(1)
+			d := &p.inFly[winStart+i]
+			p.laneDir(d.lane).carried.Add(1)
+			p.pcpCarried[d.pcp].Add(1)
 		}
 		moved += k
 		if sent < k {
 			mempool.FreeBatch(p.homed[sent:k])
 			p.dropped.Add(uint64(k - sent))
 			for i := sent; i < k; i++ {
-				p.laneDir(p.inFly[winStart+i].lane).dropped.Add(1)
+				d := &p.inFly[winStart+i]
+				p.laneDir(d.lane).dropped.Add(1)
+				p.pcpDropped[d.pcp].Add(1)
 			}
 		}
 	}
@@ -534,15 +699,23 @@ func (p *pump) deliver() int {
 	return moved
 }
 
-// drain frees frames still on the delay line (they were already re-homed,
-// so they return to the destination pool). Only call after the pump has
-// been detached from its poller.
+// drain frees frames still on the delay line or staged in a class queue
+// (they were already re-homed, so they return to the destination pool).
+// Only call after the pump has been detached from its poller.
 func (p *pump) drain() {
 	for _, d := range p.inFly[p.inHead:] {
 		d.buf.Free()
 	}
 	p.inFly = nil
 	p.inHead = 0
+	for c := range p.classes {
+		cq := &p.classes[c]
+		for _, d := range cq.q[cq.head:] {
+			d.buf.Free()
+		}
+		cq.q = nil
+		cq.head = 0
+	}
 }
 
 // tokenBucket is a packet-granular rate limiter (rate 0 disables shaping).

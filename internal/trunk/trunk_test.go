@@ -46,15 +46,21 @@ func newEnv(t *testing.T, cfg Config, vids ...uint16) *env {
 	return e
 }
 
-// taggedFrame synthesizes a minimal UDP frame tagged with vid.
+// taggedFrame synthesizes a minimal UDP frame tagged with vid (PCP 0).
 func taggedFrame(t testing.TB, vid uint16) []byte {
+	return pcpFrame(t, vid, 0)
+}
+
+// pcpFrame synthesizes a minimal UDP frame tagged with vid and the given
+// 802.1Q priority code point.
+func pcpFrame(t testing.TB, vid uint16, pcp uint8) []byte {
 	t.Helper()
 	buf := make([]byte, 256)
 	n, err := pkt.BuildUDP(buf, pkt.UDPSpec{
 		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
 		SrcIP: pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
 		SrcPort: 1000, DstPort: 2000,
-		VlanID: vid, FrameLen: pkt.MinFrame,
+		VlanID: vid, VlanPCP: pcp, FrameLen: pkt.MinFrame,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -297,6 +303,74 @@ func TestTrunkSharedRateContention(t *testing.T) {
 		if carried*4 > total*3 {
 			t.Fatalf("lane %d took %d of %d carried frames, want ~half each", vid, carried, total)
 		}
+	}
+}
+
+// TestTrunkPCPWeightedScheduler is the lane-QoS headline: two lanes
+// saturating one shaped trunk from different PCP classes with a 2:1 weight
+// configuration converge to a ≈2:1 goodput split — the deficit-round-robin
+// scheduler distributes the shared budget by weight, not FIFO arrival.
+func TestTrunkPCPWeightedScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate measurement needs a real-time window")
+	}
+	const rate = 4000.0
+	var weights [8]float64
+	weights[0] = 1 // lane 20 rides PCP 0
+	weights[6] = 2 // lane 10 rides PCP 6 at twice the weight
+	e := newEnv(t, Config{RatePps: rate, PCPWeights: weights}, 10, 20)
+	fHi, fLo := pcpFrame(t, 10, 6), pcpFrame(t, 20, 0)
+	stop := make(chan struct{})
+	go func() {
+		// One goroutine feeds both lanes alternately (the NIC wire queue is
+		// SPSC), each offering far more than its weighted share.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			frame := fHi
+			if i%2 == 1 {
+				frame = fLo
+			}
+			if b, err := e.poolA.Get(); err == nil {
+				b.SetBytes(frame)
+				e.nicA.Send([]*mempool.Buf{b})
+			} else {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}()
+	defer close(stop)
+	out := make([]*mempool.Buf, 32)
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		n := e.nicB.Recv(out)
+		mempool.FreeBatch(out[:n])
+		if n == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	hi, _, _ := e.tr.LaneStats(10)
+	lo, _, _ := e.tr.LaneStats(20)
+	total := hi.Carried + lo.Carried
+	if total > 5000 {
+		t.Fatalf("trunk carried %d frames in 500ms, shared shaping to %v pps not applied", total, rate)
+	}
+	if hi.Carried == 0 || lo.Carried == 0 {
+		t.Fatalf("a class starved under 2:1 weighting: %d/%d", hi.Carried, lo.Carried)
+	}
+	ratio := float64(hi.Carried) / float64(lo.Carried)
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("2:1 PCP weighting delivered %.2f:1 goodput (%d vs %d carried), want ≈2:1",
+			ratio, hi.Carried, lo.Carried)
+	}
+	// The per-class counters attribute the split to the right PCP queues.
+	abPCP, _ := e.tr.PCPStats()
+	if abPCP[6].Carried != hi.Carried || abPCP[0].Carried != lo.Carried {
+		t.Fatalf("PCP stats %+v/%+v disagree with lane stats %d/%d",
+			abPCP[6], abPCP[0], hi.Carried, lo.Carried)
 	}
 }
 

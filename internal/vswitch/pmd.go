@@ -75,6 +75,8 @@ type pmdThread struct {
 	emc    *flow.EMC
 	smc    *flow.SMC
 	parser pkt.Parser
+	// rng drives probabilistic EMC insertion (xorshift32; never zero).
+	rng uint32
 
 	rxBatch []*mempool.Buf
 	metas   []pktMeta
@@ -96,6 +98,7 @@ func newPMDThread(s *Switch, idx int) *pmdThread {
 	p := &pmdThread{
 		s:         s,
 		idx:       idx,
+		rng:       0x9e3779b9 + uint32(idx),
 		emc:       flow.NewEMC(s.cfg.EMCEntries),
 		rxBatch:   make([]*mempool.Buf, s.cfg.BatchSize),
 		metas:     make([]pktMeta, s.cfg.BatchSize),
@@ -113,6 +116,22 @@ func newPMDThread(s *Switch, idx int) *pmdThread {
 }
 
 func (p *pmdThread) emcStats() flow.EMCStats { return p.emc.Stats() }
+
+// emcInsertOK applies the emc-insert-inv-prob policy: with inverse
+// probability N, only one in N classifier resolutions claims an EMC slot
+// (xorshift32, allocation-free). N=1 short-circuits to always.
+func (p *pmdThread) emcInsertOK() bool {
+	inv := p.s.cfg.EMCInsertInvProb
+	if inv <= 1 {
+		return true
+	}
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	p.rng = x
+	return x%uint32(inv) == 0
+}
 
 // owns reports whether this PMD polls the given port.
 func (p *pmdThread) owns(id uint32) bool {
@@ -213,8 +232,14 @@ func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portS
 			f = table.LookupPacked(&m.kp)
 			misses++
 			if f != nil {
-				if emcOn {
-					p.emc.Insert(m.kp, m.hash, f, gen)
+				if emcOn && p.emcInsertOK() {
+					// SMC-aware eviction: a LIVE entry this insertion
+					// displaces demotes into the second tier (OVS-style), so
+					// the flows the EMC can no longer hold keep resolving
+					// without another classifier walk.
+					if vk, vf, ev := p.emc.Insert(m.kp, m.hash, f, gen); ev && smcOn {
+						p.smc.Insert(&vk, vk.Hash(), vf, gen)
+					}
 				}
 				if smcOn {
 					p.smc.Insert(&m.kp, m.hash, f, gen)
@@ -347,6 +372,60 @@ func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 				p.txAcc[dstIdx] = append(p.txAcc[dstIdx], out)
 			}
 			moved = true
+		case flow.ActOutputECMP:
+			if a.NPorts == 0 {
+				continue
+			}
+			// Resolve the bundle's ports against the snapshot once per
+			// action (-1 = gone), not once per packet.
+			var ecmpIdx [flow.MaxECMPPorts]int
+			n := uint32(a.NPorts)
+			for j := uint32(0); j < n; j++ {
+				ecmpIdx[j] = -1
+				if idx, ok := snap.byID[a.Ports[j]]; ok {
+					ecmpIdx[j] = idx
+				}
+			}
+			// Per-packet path pinning: the packet's secondary key hash (mixed
+			// with its VLAN lane, present after an earlier push in this same
+			// action list) selects one of the parallel destinations, so one
+			// flow always rides one path while distinct flows spread. A
+			// selected port missing from the snapshot (a torn-down trunk)
+			// falls forward to the next live one — live rebalance without a
+			// rule rewrite, and surviving pins never move.
+			sent := false
+			for i := g.first; i >= 0; i = p.metas[i].next {
+				m := &p.metas[i]
+				if m.buf == nil {
+					continue
+				}
+				pick := m.kp.Hash2()
+				if vid, tagged := pkt.FrameVlanID(m.buf.Bytes()); tagged {
+					pick ^= uint32(vid) * 0x9e3779b9
+				}
+				dstIdx := -1
+				for j := uint32(0); j < n; j++ {
+					if idx := ecmpIdx[(pick+j)%n]; idx >= 0 {
+						dstIdx = idx
+						break
+					}
+				}
+				if dstIdx < 0 {
+					continue // every parallel path is down: behave like ActOutput to nowhere
+				}
+				out := m.buf
+				if moved {
+					out = out.Clone()
+				}
+				if len(p.txAcc[dstIdx]) == 0 {
+					p.txTouched = append(p.txTouched, dstIdx)
+				}
+				p.txAcc[dstIdx] = append(p.txAcc[dstIdx], out)
+				sent = true
+			}
+			if sent {
+				moved = true
+			}
 		case flow.ActController:
 			for i := g.first; i >= 0; i = p.metas[i].next {
 				if m := &p.metas[i]; m.buf != nil {
@@ -422,6 +501,19 @@ func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 					frame := m.buf.Bytes()
 					if vl, err := pkt.DecodeVLAN(frame[pkt.EthernetLen:]); err == nil {
 						vl.SetVID(a.Vlan)
+					}
+				}
+			}
+		case flow.ActSetVlanPcp:
+			if !moved {
+				for i := g.first; i >= 0; i = p.metas[i].next {
+					m := &p.metas[i]
+					if m.buf == nil || !m.decoded.Has(pkt.LayerVLAN) {
+						continue
+					}
+					frame := m.buf.Bytes()
+					if vl, err := pkt.DecodeVLAN(frame[pkt.EthernetLen:]); err == nil {
+						vl.SetPCP(a.PCP)
 					}
 				}
 			}

@@ -53,6 +53,13 @@ type Config struct {
 	// A5).
 	SMCEntries  int
 	SMCDisabled bool
+	// EMCInsertInvProb is the inverse probability of inserting a
+	// classifier-resolved flow into the EMC (OVS's emc-insert-inv-prob):
+	// 1 = always (default), N = 1-in-N. With heavy-tailed traffic a sparse
+	// insertion policy keeps elephant flows from being churned out of the
+	// small first tier by one-packet mice — the mice rarely win a slot,
+	// the elephants reinsert within a few packets.
+	EMCInsertInvProb int
 	// PacketInQueue bounds the controller punt queue. Default 256.
 	PacketInQueue int
 	// TableMissToController punts unmatched packets instead of dropping.
@@ -76,6 +83,9 @@ func (c *Config) fill() {
 	}
 	if c.PacketInQueue == 0 {
 		c.PacketInQueue = 256
+	}
+	if c.EMCInsertInvProb == 0 {
+		c.EMCInsertInvProb = 1
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = 500 * time.Millisecond
@@ -374,8 +384,23 @@ type DatapathStats struct {
 	ParseErrors      uint64
 }
 
-// DatapathStats returns the aggregated lookup-tier counters. Read it while
-// the datapath is quiet (per-PMD cache counters are thread-local).
+// Delta returns the counter movement since an earlier snapshot — the
+// windowed view experiments use to report steady state instead of
+// since-boot blur (warm-up included).
+func (s DatapathStats) Delta(prev DatapathStats) DatapathStats {
+	return DatapathStats{
+		EMC:              s.EMC.Delta(prev.EMC),
+		SMC:              s.SMC.Delta(prev.SMC),
+		ClassifierHits:   s.ClassifierHits - prev.ClassifierHits,
+		ClassifierMisses: s.ClassifierMisses - prev.ClassifierMisses,
+		DedupHits:        s.DedupHits - prev.DedupHits,
+		ParseErrors:      s.ParseErrors - prev.ParseErrors,
+	}
+}
+
+// DatapathStats returns the aggregated lookup-tier counters. Safe to call
+// while the datapath is forwarding (cache counters are per-PMD atomics), so
+// callers can snapshot-and-diff a measurement window via Delta.
 func (s *Switch) DatapathStats() DatapathStats {
 	// TableMisses is loaded BEFORE Misses: each PMD batch adds Misses first,
 	// so this order keeps tableMisses ≤ misses on a live datapath and the
