@@ -22,6 +22,11 @@ type ChainOptions struct {
 	// trunk lanes are scheduled in the corresponding DRR class
 	// (ClusterConfig.Fabric.PCPWeights). Intra-node hops ignore it.
 	LanePCP uint8
+	// RatePps paces each end's generator to this rate instead of
+	// saturating (0 = unpaced). A paced chain has an exact conservation
+	// ledger — every generated packet is eventually received — which the
+	// migration experiments use to prove zero loss.
+	RatePps float64
 }
 
 // Chain is a deployed benchmark chain with measurement hooks.
@@ -50,6 +55,7 @@ func applyBidirEndpointArgs(g *graph.Graph, opts ChainOptions) {
 		case "end0":
 			g.VNFs[i].Args = orchestrator.SrcSinkArgs{
 				Spec: orchestrator.DefaultTrafficSpec(), Flows: opts.Flows, Timestamp: opts.Timestamp,
+				RatePps: opts.RatePps,
 			}
 		case "end1":
 			spec := orchestrator.DefaultTrafficSpec()
@@ -58,6 +64,7 @@ func applyBidirEndpointArgs(g *graph.Graph, opts ChainOptions) {
 			spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
 			g.VNFs[i].Args = orchestrator.SrcSinkArgs{
 				Spec: spec, Flows: opts.Flows, Timestamp: opts.Timestamp,
+				RatePps: opts.RatePps,
 			}
 		}
 	}

@@ -144,6 +144,48 @@ func (c *Cluster) DeployPlaced(g *Graph) (*ClusterDeployment, int, error) {
 // callers.
 func (c *Cluster) Internal() *orchestrator.Cluster { return c.inner }
 
+// Reconciler is the cluster's background convergence loop; see
+// StartReconciler.
+type Reconciler = orchestrator.Reconciler
+
+// ReconcilerStats is a point-in-time read of a reconciler's counters.
+type ReconcilerStats = orchestrator.ReconcilerStats
+
+// ErrUnknownAdjacency reports fault injection aimed at a node pair (or
+// bundle slot) the fabric does not carry; match with errors.Is.
+var ErrUnknownAdjacency = orchestrator.ErrUnknownAdjacency
+
+// FailTrunk kills one parallel trunk of a node-pair adjacency (bundle slot
+// idx). Lanes keep flowing over the surviving slots via ECMP fall-forward;
+// the reconciler rebuilds the dead slot. Idempotent per slot; failing the
+// last live slot is refused.
+func (c *Cluster) FailTrunk(a, b string, idx int) error { return c.inner.FailTrunk(a, b, idx) }
+
+// FailNode simulates a node blip: every trunk touching the node dies and
+// its vSwitch restarts with an empty flow table. VMs, ports and pools
+// survive. Recovery is the reconciler's job.
+func (c *Cluster) FailNode(name string) error { return c.inner.FailNode(name) }
+
+// RestartVSwitch bounces one node's vSwitch, wiping its flow table,
+// per-PMD caches and bypasses — the vswitchd-crash fault.
+func (c *Cluster) RestartVSwitch(name string) error { return c.inner.RestartVSwitch(name) }
+
+// WipeRules deletes every deployment-installed steering rule on a node
+// (the fat-fingered `ovs-ofctl del-flows` fault). Returns the number of
+// rules destroyed.
+func (c *Cluster) WipeRules(name string) (int, error) { return c.inner.WipeDeploymentRules(name) }
+
+// ReconcileOnce runs one synchronous convergence pass over every live
+// deployment, repairing rule drift, dead trunks and missing lanes.
+// Returns the number of repairs; zero means the cluster matched its spec.
+func (c *Cluster) ReconcileOnce() (int, error) { return c.inner.ReconcileOnce() }
+
+// StartReconciler launches the background convergence loop (interval <= 0
+// defaults to 10ms). Stop it before stopping the cluster.
+func (c *Cluster) StartReconciler(interval time.Duration) *Reconciler {
+	return c.inner.StartReconciler(interval)
+}
+
 // ClusterDeployment is a service graph deployed across a cluster.
 type ClusterDeployment struct {
 	inner *orchestrator.ClusterDeployment
@@ -154,6 +196,15 @@ func (d *ClusterDeployment) Stop() { d.inner.Stop() }
 
 // Internal returns the underlying cluster deployment.
 func (d *ClusterDeployment) Internal() *orchestrator.ClusterDeployment { return d.inner }
+
+// Reconcile runs one convergence pass over just this deployment.
+func (d *ClusterDeployment) Reconcile() (int, error) { return d.inner.Reconcile() }
+
+// Migrate live-moves a middle VNF to another node using make-before-break
+// double-steering: the replica and its whole forwarding path are plumbed
+// dark, the feed rules flip atomically, and the old path drains to
+// delivery before anything is torn down — targeting zero packets lost.
+func (d *ClusterDeployment) Migrate(vnf, node string) error { return d.inner.Migrate(vnf, node) }
 
 // SplitChain is a bidirectional benchmark chain deployed across cluster
 // nodes, with the same measurement hooks as Chain.
@@ -208,6 +259,60 @@ func (c *Cluster) DeploySplitChain(n int, nodes []string, opts ChainOptions) (*S
 
 // Stop tears the chain down across all nodes.
 func (c *SplitChain) Stop() { c.dep.Stop() }
+
+// Deployment exposes the chain's underlying cluster deployment, for
+// reconcile and migration calls against a benchmark chain.
+func (c *SplitChain) Deployment() *ClusterDeployment { return c.dep }
+
+// Pause stops (or resumes) packet generation at both chain ends. Reception
+// keeps running, so a paused chain drains: in-flight packets land and the
+// conservation ledger settles.
+func (c *SplitChain) Pause(p bool) {
+	for _, e := range c.ends {
+		e.SetPaused(p)
+	}
+}
+
+// InFlight returns generated-minus-received summed over both ends — the
+// number of packets currently somewhere inside the cluster. On a paced
+// chain this is an exact ledger; after Pause+Settle a nonzero delta across
+// an operation means packets were lost.
+func (c *SplitChain) InFlight() int64 {
+	var total int64
+	for _, e := range c.ends {
+		total += e.InFlight()
+	}
+	return total
+}
+
+// Settle pauses nothing but waits (bounded by timeout) for the chain's
+// sent/received ledger to stop moving — a sustained run of identical
+// observations, not just two, since a packet parked behind a stalled
+// thread moves no counter for a while — then returns InFlight. Call after
+// Pause(true) to let residual in-flight packets land.
+func (c *SplitChain) Settle(timeout time.Duration) int64 {
+	ledger := func() uint64 {
+		var v uint64
+		for _, e := range c.ends {
+			v += e.Sent.Load() + e.Received.Load()
+		}
+		return v
+	}
+	deadline := time.Now().Add(timeout)
+	prev := ledger()
+	stable := 0
+	for time.Now().Before(deadline) && stable < 8 {
+		time.Sleep(5 * time.Millisecond)
+		cur := ledger()
+		if cur == prev {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+	}
+	return c.InFlight()
+}
 
 // Length returns the number of forwarder VMs.
 func (c *SplitChain) Length() int { return c.n }

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | heal | migrate | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "multinode", "wlatency", "fabric", "flowscale", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "wlatency", "fabric", "flowscale", "heal", "migrate", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | heal | migrate | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -49,6 +49,8 @@ func main() {
 	run("wlatency", func() error { return wlatency(cfg) })
 	run("fabric", func() error { return fabric(cfg) })
 	run("flowscale", func() error { return flowscale(cfg) })
+	run("heal", func() error { return heal(cfg) })
+	run("migrate", func() error { return migrate(cfg) })
 	run("latency", func() error { return latency(cfg) })
 	run("setup", func() error { return setup() })
 	// The strict pass/fail gate is opt-in only: a noisy host failing the
@@ -214,6 +216,44 @@ func flowscale(cfg highway.ExperimentConfig) error {
 		fmt.Printf("%8d %10.3f %7.1f%% %7.1f%% %14d\n",
 			inv, r.Mpps, r.EMCPct, r.ClsPct, r.EMCConflicts)
 	}
+	fmt.Println()
+	return nil
+}
+
+func heal(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Self-healing: fault injection vs the declarative reconciler ===")
+	fmt.Println("    (3-node highway cluster, ECMP×2 fabric, live split chain; after each")
+	fmt.Println("     fault the reconciler alone restores full throughput — no redeploy)")
+	rows, err := highway.RunHeal(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%18s %8s %9s %12s %12s %14s\n",
+		"fault", "passes", "repairs", "converge", "base Mpps", "recovered Mpps")
+	for _, r := range rows {
+		fmt.Printf("%18s %8d %9d %12v %12.3f %14.3f\n",
+			r.Fault, r.Passes, r.Repairs, r.Converge.Round(time.Microsecond),
+			r.BaseMpps, r.RecoveredMpps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func migrate(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== Live VNF migration: make-before-break double-steering, zero loss ===")
+	fmt.Println("    (paced split chain; the VNF moves to a third node mid-stream and the")
+	fmt.Println("     sent-minus-received ledger across the cutover must not change)")
+	r, err := highway.RunMigrate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s → %s  cutover %v  packets lost %d  %.3f → %.3f Mpps  bypasses %d\n",
+		r.VNF, r.From, r.To, r.Cutover.Round(time.Microsecond), r.Lost,
+		r.BaseMpps, r.AfterMpps, r.BypassesAfter)
+	if r.Lost != 0 {
+		return fmt.Errorf("migration lost %d packets", r.Lost)
+	}
+	fmt.Println("PASS: zero packets lost across the cutover")
 	fmt.Println()
 	return nil
 }

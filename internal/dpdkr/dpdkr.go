@@ -184,6 +184,12 @@ func (p *Port) Send(bufs []*mempool.Buf) int {
 // (diagnostic; used in tests).
 func (p *Port) NormalBacklog() int { return p.toVM.Len() }
 
+// ReturnBacklog reports the number of packets the guest has transmitted
+// that the forwarding engine has not yet picked up. A migration drain must
+// see BOTH directions empty: frames parked here would be freed — lost — by
+// Drain when the VM is destroyed.
+func (p *Port) ReturnBacklog() int { return p.fromVM.Len() }
+
 // Drain frees every packet parked in the port's normal-channel rings,
 // returning the count. Teardown-only: both the forwarding engine and the
 // guest PMD must already be detached, since Drain acts as consumer on both

@@ -141,6 +141,11 @@ func (n *NIC) DrainToWire(out []*mempool.Buf) int {
 	return n.txQ.Dequeue(out)
 }
 
+// QueueBacklog reports the frames parked in the NIC's descriptor rings,
+// both directions — an emptiness probe for drains that must not tear the
+// device down while it still holds packets.
+func (n *NIC) QueueBacklog() int { return n.rxQ.Len() + n.txQ.Len() }
+
 // DrainFromWire removes frames still parked on the wire-ingress queue
 // without pacing or counting — a teardown helper, only valid once the
 // switch-side consumer has detached.

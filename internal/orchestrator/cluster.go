@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -105,6 +106,10 @@ type Cluster struct {
 	// NodeLoads call, so load is apportioned by recent movement rather
 	// than since-boot totals. Guarded by mu.
 	loadRx []float64
+	// deployments registers every live ClusterDeployment so the cluster's
+	// reconciler can walk them — the desired state the fabric converges
+	// toward. Guarded by mu.
+	deployments map[*ClusterDeployment]bool
 }
 
 // pairKey identifies an unordered node pair (lo < hi lexically).
@@ -124,6 +129,11 @@ type trunkLink struct {
 	nicLo, nicHi   *nic.NIC
 	nameLo, nameHi string
 	portLo, portHi uint32
+	// failed marks an injected link death. The link keeps its bundle slot
+	// (so FailTrunk indices stay stable and repeatable) but contributes no
+	// ports to steering and no capacity; the reconciler rebuilds the slot
+	// in place.
+	failed bool
 }
 
 // port returns the link's switch port id on the given node of the pair.
@@ -147,14 +157,30 @@ type clusterTrunk struct {
 	lanes map[uint16]bool
 }
 
-// ports returns the bundle's switch port ids on the given node, in link
-// order — the ECMP fan-out of steering rules installed on that node.
+// ports returns the LIVE bundle's switch port ids on the given node, in
+// link order — the ECMP fan-out of steering rules installed on that node.
+// Failed links are skipped: they hold their slot for repair but must not
+// attract traffic.
 func (ct *clusterTrunk) ports(node string) []uint32 {
-	out := make([]uint32, len(ct.links))
-	for i, tl := range ct.links {
-		out[i] = tl.port(ct.pair, node)
+	out := make([]uint32, 0, len(ct.links))
+	for _, tl := range ct.links {
+		if tl.failed {
+			continue
+		}
+		out = append(out, tl.port(ct.pair, node))
 	}
 	return out
+}
+
+// live counts the bundle's non-failed links.
+func (ct *clusterTrunk) live() int {
+	n := 0
+	for _, tl := range ct.links {
+		if !tl.failed {
+			n++
+		}
+	}
+	return n
 }
 
 // NewCluster boots one node per name (first name is the default placement
@@ -165,10 +191,11 @@ func NewCluster(names []string, cfg NodeConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("orchestrator: cluster needs at least one node name")
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		nodes:  make(map[string]*Node, len(names)),
-		trunks: make(map[pairKey]*clusterTrunk),
-		vids:   make(map[uint16]bool),
+		cfg:         cfg,
+		nodes:       make(map[string]*Node, len(names)),
+		trunks:      make(map[pairKey]*clusterTrunk),
+		vids:        make(map[uint16]bool),
+		deployments: make(map[*ClusterDeployment]bool),
 	}
 	for _, name := range names {
 		if name == "" {
@@ -212,6 +239,7 @@ func (c *Cluster) Stop() {
 	}
 	c.trunks = make(map[pairKey]*clusterTrunk)
 	c.vids = make(map[uint16]bool)
+	c.deployments = make(map[*ClusterDeployment]bool)
 	poller := c.poller
 	c.poller = nil
 	c.mu.Unlock()
@@ -272,6 +300,9 @@ func (c *Cluster) Trunks() []*trunk.Trunk {
 	var out []*trunk.Trunk
 	for _, k := range c.sortedPairs() {
 		for _, tl := range c.trunks[k].links {
+			if tl.failed {
+				continue
+			}
 			out = append(out, tl.tr)
 		}
 	}
@@ -288,40 +319,116 @@ func (c *Cluster) PairTrunks(a, b string) []*trunk.Trunk {
 	if !ok {
 		return nil
 	}
-	out := make([]*trunk.Trunk, len(ct.links))
-	for i, tl := range ct.links {
-		out[i] = tl.tr
+	out := make([]*trunk.Trunk, 0, len(ct.links))
+	for _, tl := range ct.links {
+		if tl.failed {
+			continue
+		}
+		out = append(out, tl.tr)
 	}
 	return out
 }
 
-// FailTrunk tears down one parallel trunk of an adjacency (bundle index
-// idx) while its lanes keep flowing over the surviving links: the
-// datapath's ECMP output falls forward past the dead port, re-pinning the
-// failed path's flows — live rebalance without a rule rewrite. Failing the
-// last link of an adjacency is refused (that is teardown, not rebalance).
+// ErrUnknownAdjacency reports a fault-injection call naming a node pair (or
+// bundle slot) the fabric does not carry. Callers match it with errors.Is.
+var ErrUnknownAdjacency = errors.New("orchestrator: unknown trunk adjacency")
+
+// FailTrunk kills one parallel trunk of an adjacency (bundle index idx)
+// while its lanes keep flowing over the surviving links: the datapath's
+// ECMP output falls forward past the dead port, re-pinning the failed
+// path's flows — live rebalance without a rule rewrite. The dead link keeps
+// its bundle slot marked failed, so indices stay stable, a repeat call on
+// an already-dead slot is a no-op, and the reconciler can rebuild the slot
+// in place. Failing the last LIVE link of an adjacency is refused (that is
+// teardown, not rebalance — use FailNode for total-loss scenarios).
 func (c *Cluster) FailTrunk(a, b string, idx int) error {
 	pair := makePair(a, b)
 	c.mu.Lock()
 	ct, ok := c.trunks[pair]
 	if !ok {
 		c.mu.Unlock()
-		return fmt.Errorf("orchestrator: no trunk between %s and %s", a, b)
+		return fmt.Errorf("%w: no trunk between %s and %s", ErrUnknownAdjacency, a, b)
 	}
 	if idx < 0 || idx >= len(ct.links) {
 		c.mu.Unlock()
-		return fmt.Errorf("orchestrator: trunk %s-%s has no bundle index %d", pair.lo, pair.hi, idx)
-	}
-	if len(ct.links) == 1 {
-		c.mu.Unlock()
-		return fmt.Errorf("orchestrator: refusing to fail the last trunk of %s-%s", pair.lo, pair.hi)
+		return fmt.Errorf("%w: trunk %s-%s has no bundle index %d", ErrUnknownAdjacency, pair.lo, pair.hi, idx)
 	}
 	tl := ct.links[idx]
-	ct.links = append(ct.links[:idx:idx], ct.links[idx+1:]...)
+	if tl.failed {
+		c.mu.Unlock()
+		return nil // idempotent: the slot is already dead
+	}
+	if ct.live() == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("orchestrator: refusing to fail the last live trunk of %s-%s", pair.lo, pair.hi)
+	}
+	tl.failed = true
 	c.dismantleLinkLocked(pair, tl)
 	c.mu.Unlock()
 	c.drainDeadLink(pair, tl)
 	return nil
+}
+
+// FailNode simulates a node blip: every trunk link touching the node dies
+// (both directions — the peer sees its uplink vanish too) and the node's
+// vSwitch restarts, losing its entire flow table and per-PMD caches. VMs,
+// ports and pools survive, as they would across a vswitchd crash on a real
+// host. Nothing is repaired here: recovery is the reconciler's job.
+func (c *Cluster) FailNode(node string) error {
+	if c.nodes[node] == nil {
+		return fmt.Errorf("orchestrator: unknown node %q", node)
+	}
+	type dead struct {
+		pair pairKey
+		tl   *trunkLink
+	}
+	var killed []dead
+	c.mu.Lock()
+	for pair, ct := range c.trunks {
+		if pair.lo != node && pair.hi != node {
+			continue
+		}
+		for _, tl := range ct.links {
+			if tl.failed {
+				continue
+			}
+			tl.failed = true
+			c.dismantleLinkLocked(pair, tl)
+			killed = append(killed, dead{pair: pair, tl: tl})
+		}
+	}
+	c.mu.Unlock()
+	for _, d := range killed {
+		c.drainDeadLink(d.pair, d.tl)
+	}
+	return c.RestartVSwitch(node)
+}
+
+// WipeDeploymentRules deletes every deployment-installed steering rule on
+// the node (any flow carrying a deployment cookie), simulating an operator
+// fat-fingering `ovs-ofctl del-flows` — controller-installed flows
+// survive. Returns the number of rules destroyed; the reconciler is
+// expected to put them all back.
+func (c *Cluster) WipeDeploymentRules(node string) (int, error) {
+	n := c.nodes[node]
+	if n == nil {
+		return 0, fmt.Errorf("orchestrator: unknown node %q", node)
+	}
+	return n.Switch.Table().DeleteWhere(func(f *flow.Flow) bool {
+		return f.Cookie>>56 == DeployCookieBase>>56
+	}), nil
+}
+
+// RestartVSwitch bounces the node's vSwitch: PMD threads stop, the flow
+// table is wiped (taking EMC/SMC caches and all bypasses with it), and a
+// fresh datapath relaunches empty. This is the vswitchd-crash fault the
+// reconciler must heal by re-installing the deployment's rules.
+func (c *Cluster) RestartVSwitch(node string) error {
+	n := c.nodes[node]
+	if n == nil {
+		return fmt.Errorf("orchestrator: unknown node %q", node)
+	}
+	return n.Switch.Restart()
 }
 
 // nicNodes maps every externally-registered NIC name to its home node, for
@@ -388,13 +495,6 @@ func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, er
 		}
 		return ct, nil
 	}
-	rate := tcfg.RatePps
-	switch {
-	case rate == 0:
-		rate = nic.LineRate64B
-	case rate < 0:
-		rate = 0 // unshaped
-	}
 	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
 	if c.poller == nil {
 		c.poller = trunk.NewPoller()
@@ -412,48 +512,99 @@ func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, er
 		}
 	}
 	for i := 0; i < tcfg.width(); i++ {
-		// The peer names the uplink, like eth-to-<peer>; parallel bundle
-		// members are distinguished by index.
-		nameLo := fmt.Sprintf("trunk:%s#%d", pair.hi, i)
-		nameHi := fmt.Sprintf("trunk:%s#%d", pair.lo, i)
-		// Trunk NICs are unshaped: the shared budget lives on the trunk itself.
-		devLo, err := nlo.AddNIC(nameLo, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+		tl, err := c.newTrunkLinkLocked(pair, i, tcfg)
 		if err != nil {
-			undo()
-			return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.lo, err)
-		}
-		devHi, err := nhi.AddNIC(nameHi, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
-		if err != nil {
-			_ = nlo.RemoveNIC(nameLo)
-			undo()
-			return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
-		}
-		tr, err := trunk.New(trunk.Config{
-			Name:       fmt.Sprintf("trunk-%s-%s#%d", pair.lo, pair.hi, i),
-			A:          trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
-			B:          trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
-			RatePps:    rate,
-			Latency:    tcfg.Latency,
-			PCPWeights: tcfg.PCPWeights,
-			Poller:     c.poller,
-		})
-		if err != nil {
-			_ = nlo.RemoveNIC(nameLo)
-			_ = nhi.RemoveNIC(nameHi)
 			undo()
 			return nil, err
 		}
-		portLo, _ := nlo.NICPort(nameLo)
-		portHi, _ := nhi.NICPort(nameHi)
-		ct.links = append(ct.links, &trunkLink{
-			tr:    tr,
-			nicLo: devLo, nicHi: devHi,
-			nameLo: nameLo, nameHi: nameHi,
-			portLo: portLo, portHi: portHi,
-		})
+		ct.links = append(ct.links, tl)
 	}
 	c.trunks[pair] = ct
 	return ct, nil
+}
+
+// trunkRate maps the config's rate knob to the trunk's effective budget.
+func trunkRate(tcfg TrunkConfig) float64 {
+	switch {
+	case tcfg.RatePps == 0:
+		return nic.LineRate64B
+	case tcfg.RatePps < 0:
+		return 0 // unshaped
+	}
+	return tcfg.RatePps
+}
+
+// newTrunkLinkLocked creates bundle slot i of an adjacency: NICs on both
+// sides plus the trunk joining them. Shared by first-use creation
+// (ensureTrunk) and in-place repair of a failed slot (repairTrunkLocked) —
+// a repaired link reuses the slot's NIC names, so the fabric looks
+// identical before and after the fault. Caller holds c.mu.
+func (c *Cluster) newTrunkLinkLocked(pair pairKey, i int, tcfg TrunkConfig) (*trunkLink, error) {
+	nlo, nhi := c.nodes[pair.lo], c.nodes[pair.hi]
+	// The peer names the uplink, like eth-to-<peer>; parallel bundle
+	// members are distinguished by index.
+	nameLo := fmt.Sprintf("trunk:%s#%d", pair.hi, i)
+	nameHi := fmt.Sprintf("trunk:%s#%d", pair.lo, i)
+	// Trunk NICs are unshaped: the shared budget lives on the trunk itself.
+	devLo, err := nlo.AddNIC(nameLo, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.lo, err)
+	}
+	devHi, err := nhi.AddNIC(nameHi, nic.Config{RatePps: -1, QueueSize: tcfg.QueueSize})
+	if err != nil {
+		_ = nlo.RemoveNIC(nameLo)
+		return nil, fmt.Errorf("orchestrator: trunk NIC on %s: %w", pair.hi, err)
+	}
+	tr, err := trunk.New(trunk.Config{
+		Name:       fmt.Sprintf("trunk-%s-%s#%d", pair.lo, pair.hi, i),
+		A:          trunk.Endpoint{NIC: devLo, Pool: nlo.Pool},
+		B:          trunk.Endpoint{NIC: devHi, Pool: nhi.Pool},
+		RatePps:    trunkRate(tcfg),
+		Latency:    tcfg.Latency,
+		PCPWeights: tcfg.PCPWeights,
+		Poller:     c.poller,
+	})
+	if err != nil {
+		_ = nlo.RemoveNIC(nameLo)
+		_ = nhi.RemoveNIC(nameHi)
+		return nil, err
+	}
+	portLo, _ := nlo.NICPort(nameLo)
+	portHi, _ := nhi.NICPort(nameHi)
+	return &trunkLink{
+		tr:    tr,
+		nicLo: devLo, nicHi: devHi,
+		nameLo: nameLo, nameHi: nameHi,
+		portLo: portLo, portHi: portHi,
+	}, nil
+}
+
+// repairTrunkLocked rebuilds every failed slot of an adjacency in place:
+// fresh NICs under the slot's original names, a fresh trunk, and every lane
+// the adjacency carries re-registered on it. Returns the number of slots
+// rebuilt. Caller holds c.mu.
+func (c *Cluster) repairTrunkLocked(ct *clusterTrunk) (int, error) {
+	repaired := 0
+	for i, tl := range ct.links {
+		if !tl.failed {
+			continue
+		}
+		fresh, err := c.newTrunkLinkLocked(ct.pair, i, ct.cfg)
+		if err != nil {
+			return repaired, fmt.Errorf("orchestrator: repair trunk %s-%s#%d: %w", ct.pair.lo, ct.pair.hi, i, err)
+		}
+		for vid := range ct.lanes {
+			if err := fresh.tr.AddLane(vid); err != nil {
+				fresh.tr.Stop()
+				_ = c.nodes[ct.pair.lo].RemoveNIC(fresh.nameLo)
+				_ = c.nodes[ct.pair.hi].RemoveNIC(fresh.nameHi)
+				return repaired, err
+			}
+		}
+		ct.links[i] = fresh
+		repaired++
+	}
+	return repaired, nil
 }
 
 // addLaneLocked registers vid on every parallel trunk of the adjacency.
@@ -555,21 +706,37 @@ func (c *Cluster) releaseVid(vid uint16) {
 	c.mu.Unlock()
 }
 
-// clusterLane is one realized crossing: a VLAN lane riding every trunk of
-// every adjacency on its path (one hop in mesh mode, two through the
-// spine).
-type clusterLane struct {
-	pairs []pairKey
+// laneSteer is one realized crossing's steering intent: the crossing, its
+// cluster-wide VLAN id and the adjacency path it rides (one hop in mesh
+// mode, two through the spine). Hop port snapshots are deliberately NOT
+// stored: they are recaptured under Cluster.mu every time rules are
+// (re)derived, so a repaired bundle's fresh ports flow into the next
+// reconcile pass automatically.
+type laneSteer struct {
+	ce    graph.CrossEdge
 	vid   uint16
+	pairs []pairKey
 }
 
 // ClusterDeployment is a service graph deployed across a cluster: one local
 // deployment per participating node plus the trunk lanes realizing the
-// cross-node edges (and, in spine mode, the relay rules on the spine).
+// cross-node edges (and, in spine mode, the relay rules on the spine). It
+// retains its DESIRED state — the graph, fabric config and lane
+// assignments — so the reconciler can re-derive what every node's flow
+// table and the trunk registry should hold and repair drift.
 type ClusterDeployment struct {
 	cluster *Cluster
-	deps    map[string]*Deployment
-	lanes   []clusterLane
+	// mu serializes control-plane operations on this deployment: reconcile
+	// passes, live migration and teardown.
+	mu      sync.Mutex
+	stopped bool
+
+	graph *graph.Graph
+	tcfg  TrunkConfig
+	spine string
+
+	deps   map[string]*Deployment
+	steers []laneSteer
 	// steerCookie stamps relay rules installed on nodes that host none of
 	// the deployment's VNFs (the spine), so teardown can find exactly them.
 	steerCookie uint64
@@ -645,6 +812,9 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 	}
 	cd := &ClusterDeployment{
 		cluster:     c,
+		graph:       g,
+		tcfg:        tcfg,
+		spine:       spine,
 		deps:        make(map[string]*Deployment),
 		steerCookie: DeployCookieBase | deployCookieSeq.Add(1),
 		relayNodes:  make(map[string]bool),
@@ -653,12 +823,6 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 	// Realize the crossings first: one cluster-wide vid per crossing,
 	// registered on every trunk of its path, so the steering rules below
 	// have ports and vids to reference.
-	type laneSteer struct {
-		ce   graph.CrossEdge
-		hops []hopSnapshot // adjacency bundle ports per path segment, A→B order
-		vid  uint16
-	}
-	steers := make([]laneSteer, 0, len(part.Cross))
 	c.mu.Lock()
 	for _, ce := range part.Cross {
 		vid, err := c.allocVidLocked()
@@ -668,7 +832,6 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 			return nil, err
 		}
 		st := laneSteer{ce: ce, vid: vid}
-		var lanePairs []pairKey
 		for _, pair := range c.path(ce.NodeA, ce.NodeB, spine, tcfg) {
 			ct, err := c.ensureTrunk(pair, tcfg)
 			if err == nil {
@@ -681,15 +844,13 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 				// earlier hops still carry it, would let a concurrent Deploy
 				// be handed a vid that is live on other trunks.
 				c.mu.Unlock()
-				cd.lanes = append(cd.lanes, clusterLane{pairs: lanePairs, vid: vid})
+				cd.steers = append(cd.steers, st)
 				cd.Stop()
 				return nil, err
 			}
-			st.hops = append(st.hops, snapshotHop(ct))
-			lanePairs = append(lanePairs, pair)
+			st.pairs = append(st.pairs, pair)
 		}
-		cd.lanes = append(cd.lanes, clusterLane{pairs: lanePairs, vid: vid})
-		steers = append(steers, st)
+		cd.steers = append(cd.steers, st)
 	}
 	c.mu.Unlock()
 
@@ -708,87 +869,130 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 		cd.deps[node] = dep
 	}
 
-	// Install the lane steering, batched per node. Endpoint-node rules are
-	// stamped with that node's deployment cookie (teardown reclaims them
-	// with the deployment); relay rules on pass-through nodes carry the
-	// deployment's steer cookie instead.
+	// Install the lane steering, batched per node (the local rules were
+	// already installed by each node's lower).
 	specs := make(map[string][]flow.FlowSpec)
-	addSteer := func(st laneSteer, fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, hops []hopSnapshot) error {
-		src, err := cd.deps[fromNode].resolve(fromEp)
-		if err != nil {
-			return err
-		}
-		dst, err := cd.deps[toNode].resolve(toEp)
-		if err != nil {
-			return err
-		}
-		// Sender: tag, stamp the crossing priority, fan into the first hop.
-		acts := flow.Actions{flow.PushVlan(st.vid)}
-		if st.ce.PCP != 0 {
-			acts = append(acts, flow.SetVlanPcp(st.ce.PCP))
-		}
-		acts = append(acts, outputTo(hops[0], fromNode))
-		specs[fromNode] = append(specs[fromNode], flow.FlowSpec{
-			Priority: cd.deps[fromNode].flowPrio,
-			Match:    flow.MatchInPort(src),
-			Actions:  acts,
-			Cookie:   cd.deps[fromNode].cookie,
-		})
-		// Relays: on each intermediate node, forward the tagged lane from
-		// every inbound trunk port of one hop into the next hop's bundle.
-		relay := fromNode
-		for h := 0; h+1 < len(hops); h++ {
-			next := hops[h].pair.lo
-			if next == relay {
-				next = hops[h].pair.hi
-			}
-			prio := uint16(10)
-			if d := cd.deps[next]; d != nil {
-				prio = d.flowPrio
-			}
-			for _, inPort := range hops[h].ports(next) {
-				specs[next] = append(specs[next], flow.FlowSpec{
-					Priority: prio,
-					Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
-					Actions:  flow.Actions{outputTo(hops[h+1], next)},
-					Cookie:   cd.steerCookie,
-				})
-			}
-			cd.relayNodes[next] = true
-			relay = next
-		}
-		// Receiver: match every inbound trunk port of the last hop, strip
-		// the tag, deliver.
-		for _, inPort := range hops[len(hops)-1].ports(toNode) {
-			specs[toNode] = append(specs[toNode], flow.FlowSpec{
-				Priority: cd.deps[toNode].flowPrio,
-				Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
-				Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
-				Cookie:   cd.deps[toNode].cookie,
-			})
-		}
-		return nil
-	}
-	for _, st := range steers {
-		if err := addSteer(st, st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, st.hops); err != nil {
+	for _, st := range cd.steers {
+		if err := cd.steerSpecsInto(st, specs); err != nil {
 			cd.Stop()
 			return nil, err
-		}
-		if st.ce.Bidirectional {
-			rev := make([]hopSnapshot, len(st.hops))
-			for i, h := range st.hops {
-				rev[len(rev)-1-i] = h
-			}
-			if err := addSteer(st, st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, rev); err != nil {
-				cd.Stop()
-				return nil, err
-			}
 		}
 	}
 	for node, ss := range specs {
 		c.nodes[node].Switch.Table().AddBatch(ss)
 	}
+	c.mu.Lock()
+	c.deployments[cd] = true
+	c.mu.Unlock()
 	return cd, nil
+}
+
+// snapshotPath captures fresh hop port snapshots for a steer's adjacency
+// path under Cluster.mu — the only safe way to read bundle ports while
+// FailTrunk/repair mutate link slots concurrently.
+func (c *Cluster) snapshotPath(pairs []pairKey) ([]hopSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hops := make([]hopSnapshot, 0, len(pairs))
+	for _, pair := range pairs {
+		ct, ok := c.trunks[pair]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s-%s vanished from the fabric", ErrUnknownAdjacency, pair.lo, pair.hi)
+		}
+		hops = append(hops, snapshotHop(ct))
+	}
+	return hops, nil
+}
+
+// steerSpecsInto derives the crossing's steering rules against the fabric's
+// CURRENT ports and appends them per node — the desired-state generator
+// shared by Deploy, the reconciler and live migration. Endpoint-node rules
+// are stamped with that node's deployment cookie (teardown reclaims them
+// with the deployment); relay rules on pass-through nodes carry the
+// deployment's steer cookie instead.
+func (cd *ClusterDeployment) steerSpecsInto(st laneSteer, specs map[string][]flow.FlowSpec) error {
+	hops, err := cd.cluster.snapshotPath(st.pairs)
+	if err != nil {
+		return err
+	}
+	if err := cd.steerDir(st, st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, hops, specs); err != nil {
+		return err
+	}
+	if st.ce.Bidirectional {
+		rev := make([]hopSnapshot, len(hops))
+		for i, h := range hops {
+			rev[len(rev)-1-i] = h
+		}
+		if err := cd.steerDir(st, st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, rev, specs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// steerDir lowers one direction of a crossing: sender tag+fan-in, per-hop
+// relays, receiver strip+deliver.
+func (cd *ClusterDeployment) steerDir(st laneSteer, fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, hops []hopSnapshot, specs map[string][]flow.FlowSpec) error {
+	src, err := cd.deps[fromNode].resolve(fromEp)
+	if err != nil {
+		return err
+	}
+	dst, err := cd.deps[toNode].resolve(toEp)
+	if err != nil {
+		return err
+	}
+	if len(hops[0].ports(fromNode)) == 0 || len(hops[len(hops)-1].ports(toNode)) == 0 {
+		// Every link of a hop is dead: there is nothing to steer into. The
+		// reconciler repairs the bundle before re-deriving specs, so hitting
+		// this means repair itself failed — surface it.
+		return fmt.Errorf("orchestrator: lane %d of %s→%s has no live trunk ports", st.vid, fromNode, toNode)
+	}
+	// Sender: tag, stamp the crossing priority, fan into the first hop.
+	acts := flow.Actions{flow.PushVlan(st.vid)}
+	if st.ce.PCP != 0 {
+		acts = append(acts, flow.SetVlanPcp(st.ce.PCP))
+	}
+	acts = append(acts, outputTo(hops[0], fromNode))
+	specs[fromNode] = append(specs[fromNode], flow.FlowSpec{
+		Priority: cd.deps[fromNode].flowPrio,
+		Match:    flow.MatchInPort(src),
+		Actions:  acts,
+		Cookie:   cd.deps[fromNode].cookie,
+	})
+	// Relays: on each intermediate node, forward the tagged lane from
+	// every inbound trunk port of one hop into the next hop's bundle.
+	relay := fromNode
+	for h := 0; h+1 < len(hops); h++ {
+		next := hops[h].pair.lo
+		if next == relay {
+			next = hops[h].pair.hi
+		}
+		prio := uint16(10)
+		if d := cd.deps[next]; d != nil {
+			prio = d.flowPrio
+		}
+		for _, inPort := range hops[h].ports(next) {
+			specs[next] = append(specs[next], flow.FlowSpec{
+				Priority: prio,
+				Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
+				Actions:  flow.Actions{outputTo(hops[h+1], next)},
+				Cookie:   cd.steerCookie,
+			})
+		}
+		cd.relayNodes[next] = true
+		relay = next
+	}
+	// Receiver: match every inbound trunk port of the last hop, strip
+	// the tag, deliver.
+	for _, inPort := range hops[len(hops)-1].ports(toNode) {
+		specs[toNode] = append(specs[toNode], flow.FlowSpec{
+			Priority: cd.deps[toNode].flowPrio,
+			Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
+			Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
+			Cookie:   cd.deps[toNode].cookie,
+		})
+	}
+	return nil
 }
 
 // NodeLoads estimates each node's background load in VNF-equivalents for
@@ -801,7 +1005,27 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 // as hosting most of the load, which is what distinguishes a busy short
 // chain from an idle long one. With no traffic observed in the interval
 // (including the first call), the VM count alone is the load.
+//
+// Trunk-port RX is excluded: a relay-only spine receives every leaf–leaf
+// frame on its trunk ports but hosts none of the VNF work, and counting
+// that forwarding as load would repel placements from the node best wired
+// to host them. Only traffic arriving on VM and external NIC ports — the
+// packets a node's own VNFs actually handle — counts.
 func (c *Cluster) NodeLoads() []float64 {
+	trunkRx := make([]map[uint32]bool, len(c.order))
+	idx := make(map[string]int, len(c.order))
+	for i, name := range c.order {
+		trunkRx[i] = make(map[uint32]bool)
+		idx[name] = i
+	}
+	c.mu.Lock()
+	for pair, ct := range c.trunks {
+		for _, tl := range ct.links {
+			trunkRx[idx[pair.lo]][tl.portLo] = true
+			trunkRx[idx[pair.hi]][tl.portHi] = true
+		}
+	}
+	c.mu.Unlock()
 	loads := make([]float64, len(c.order))
 	var totalVNFs, totalDelta float64
 	rx := make([]float64, len(c.order))
@@ -811,6 +1035,9 @@ func (c *Cluster) NodeLoads() []float64 {
 		loads[i] = float64(n.VMPortCount()) / 2
 		totalVNFs += loads[i]
 		for _, ps := range n.Switch.AllPortStats() {
+			if trunkRx[i][ps.PortNo] {
+				continue
+			}
 			rx[i] += float64(ps.RxPackets)
 		}
 	}
@@ -891,7 +1118,7 @@ func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
 	defer cd.cluster.mu.Unlock()
 	seen := make(map[pairKey]bool)
 	var out []*trunk.Trunk
-	for _, ln := range cd.lanes {
+	for _, ln := range cd.steers {
 		for _, pair := range ln.pairs {
 			if seen[pair] {
 				continue
@@ -899,6 +1126,9 @@ func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
 			seen[pair] = true
 			if ct, ok := cd.cluster.trunks[pair]; ok {
 				for _, tl := range ct.links {
+					if tl.failed {
+						continue
+					}
 					out = append(out, tl.tr)
 				}
 			}
@@ -917,7 +1147,7 @@ func (cd *ClusterDeployment) Lanes() []struct {
 		NodeA, NodeB string
 		VID          uint16
 	}
-	for _, ln := range cd.lanes {
+	for _, ln := range cd.steers {
 		for _, pair := range ln.pairs {
 			out = append(out, struct {
 				NodeA, NodeB string
@@ -935,6 +1165,15 @@ func (cd *ClusterDeployment) Lanes() []struct {
 // bundle, its pumps stopped, NICs detached and queues drained. Lanes of
 // co-resident deployments on the same trunks keep flowing.
 func (cd *ClusterDeployment) Stop() {
+	cd.mu.Lock()
+	defer cd.mu.Unlock()
+	if cd.stopped {
+		return
+	}
+	cd.stopped = true
+	cd.cluster.mu.Lock()
+	delete(cd.cluster.deployments, cd)
+	cd.cluster.mu.Unlock()
 	for node := range cd.relayNodes {
 		cd.cluster.nodes[node].Switch.Table().DeleteWhere(func(f *flow.Flow) bool {
 			return f.Cookie == cd.steerCookie
@@ -947,11 +1186,11 @@ func (cd *ClusterDeployment) Stop() {
 		}
 	}
 	cd.deps = map[string]*Deployment{}
-	for _, ln := range cd.lanes {
+	for _, ln := range cd.steers {
 		for _, pair := range ln.pairs {
 			cd.cluster.releaseLane(pair, ln.vid)
 		}
 		cd.cluster.releaseVid(ln.vid)
 	}
-	cd.lanes = nil
+	cd.steers = nil
 }

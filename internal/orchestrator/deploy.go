@@ -32,8 +32,30 @@ type Deployment struct {
 	// PortOf maps (VNF name, local port) to switch port ids.
 	portOf map[graph.Endpoint]uint32
 
+	// specs is the deployment's DESIRED local steering state: the rules its
+	// node-local edges lower to, stamped with the deployment cookie. The
+	// reconciler re-derives the installed set from the flow table and diffs
+	// it against this — drift (a wiped table, a restarted vSwitch) shows up
+	// as missing entries and is re-installed verbatim.
+	specs []flow.FlowSpec
+
 	flowPrio uint16
 	cookie   uint64
+}
+
+// newDeployment returns an empty deployment shell on n — no VNFs, no rules.
+// Cluster migration uses it to grow a deployment onto a node that hosted
+// none of the graph's VNFs at Deploy time.
+func newDeployment(n *Node) *Deployment {
+	return &Deployment{
+		node:     n,
+		sinks:    make(map[string]*vnf.Sink),
+		srcsinks: make(map[string]*vnf.SrcSink),
+		vms:      make(map[string][]uint32),
+		portOf:   make(map[graph.Endpoint]uint32),
+		flowPrio: 10,
+		cookie:   DeployCookieBase | deployCookieSeq.Add(1),
+	}
 }
 
 // SourceSpecArgs configures a source VNF through graph.VNF.Args.
@@ -47,6 +69,10 @@ type SrcSinkArgs struct {
 	Spec      pkt.UDPSpec
 	Flows     int
 	Timestamp bool
+	// RatePps paces generation (0 = full blast). Paced endpoints below
+	// chain capacity reach a lossless steady state — the precondition for
+	// exact end-to-end packet accounting across a live migration.
+	RatePps float64
 }
 
 // Deploy lowers g onto the node: one VM per VNF with its dpdkr ports, the
@@ -70,46 +96,59 @@ func (n *Node) Deploy(g *graph.Graph) (*Deployment, error) {
 // its edges in one batched table mutation. NIC endpoints the edges name
 // must already be attached to this node.
 func (n *Node) lower(g *graph.Graph) (*Deployment, error) {
-	d := &Deployment{
-		node:     n,
-		sinks:    make(map[string]*vnf.Sink),
-		srcsinks: make(map[string]*vnf.SrcSink),
-		vms:      make(map[string][]uint32),
-		portOf:   make(map[graph.Endpoint]uint32),
-		flowPrio: 10,
-		cookie:   DeployCookieBase | deployCookieSeq.Add(1),
-	}
+	d := newDeployment(n)
 
 	// Instantiate VNFs.
 	for _, v := range g.VNFs {
-		ids, pmds, err := n.CreateVM(v.Name, v.Kind.PortCount())
-		if err != nil {
+		if err := d.instantiate(v); err != nil {
 			d.Stop()
-			return nil, fmt.Errorf("deploy %s: %w", v.Name, err)
-		}
-		d.vms[v.Name] = ids
-		for i, id := range ids {
-			d.portOf[graph.VNFPort(v.Name, i)] = id
-		}
-		if err := d.startVNF(v, pmds); err != nil {
-			d.Stop()
-			return nil, fmt.Errorf("deploy %s: %w", v.Name, err)
+			return nil, err
 		}
 	}
 
 	// Program steering rules in one batched table mutation: a chain lays
 	// down O(edges) rules and per-rule Add would rebuild the classifier
-	// snapshot per rule.
+	// snapshot per rule. The spec list is retained as the deployment's
+	// desired local state for the reconciler.
+	specs, err := d.edgeSpecs(g)
+	if err != nil {
+		d.Stop()
+		return nil, err
+	}
+	d.specs = specs
+	n.Switch.Table().AddBatch(specs)
+	return d, nil
+}
+
+// instantiate creates v's VM on the deployment's node and starts its
+// application, recording the port mapping.
+func (d *Deployment) instantiate(v graph.VNF) error {
+	ids, pmds, err := d.node.CreateVM(v.Name, v.Kind.PortCount())
+	if err != nil {
+		return fmt.Errorf("deploy %s: %w", v.Name, err)
+	}
+	d.vms[v.Name] = ids
+	for i, id := range ids {
+		d.portOf[graph.VNFPort(v.Name, i)] = id
+	}
+	if err := d.startVNF(v, pmds); err != nil {
+		return fmt.Errorf("deploy %s: %w", v.Name, err)
+	}
+	return nil
+}
+
+// edgeSpecs lowers the node-local edges of g to steering rule specs against
+// the deployment's current port mapping. Pure derivation — no table mutation
+// — so Deploy installs the result and the reconciler rederives it each pass.
+func (d *Deployment) edgeSpecs(g *graph.Graph) ([]flow.FlowSpec, error) {
 	specs := make([]flow.FlowSpec, 0, 2*len(g.Edges))
 	for _, e := range g.Edges {
 		a, err := d.resolve(e.A)
 		if err != nil {
-			d.Stop()
 			return nil, err
 		}
 		b, err := d.resolve(e.B)
 		if err != nil {
-			d.Stop()
 			return nil, err
 		}
 		specs = append(specs, flow.FlowSpec{
@@ -123,8 +162,17 @@ func (n *Node) lower(g *graph.Graph) (*Deployment, error) {
 			})
 		}
 	}
-	n.Switch.Table().AddBatch(specs)
-	return d, nil
+	return specs, nil
+}
+
+// appByName returns the named middle-VNF application (nil if absent).
+func (d *Deployment) appByName(name string) *vnf.App {
+	for _, a := range d.apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }
 
 func (d *Deployment) resolve(ep graph.Endpoint) (uint32, error) {
@@ -200,6 +248,7 @@ func (d *Deployment) startVNF(v graph.VNF, pmds []*dpdkr.PMD) error {
 		ss, err := vnf.NewSrcSink(vnf.SrcSinkConfig{
 			Name: v.Name, PMD: pmds[0], Pool: d.node.Pool,
 			Spec: args.Spec, Flows: args.Flows, Timestamp: args.Timestamp,
+			RatePps: args.RatePps,
 		})
 		if err != nil {
 			return err

@@ -86,9 +86,13 @@ func TestClusterECMPPathPinningAndRebalance(t *testing.T) {
 	if carriedTotal(survivor) <= carriedBase {
 		t.Fatal("surviving trunk carried nothing after rebalance")
 	}
-	// Failing the last path is teardown, not rebalance: refused.
-	if err := c.FailTrunk("a", "b", 0); err == nil {
-		t.Fatal("failing the last trunk of an adjacency was accepted")
+	// Re-failing the dead slot is idempotent, not an error.
+	if err := c.FailTrunk("a", "b", 0); err != nil {
+		t.Fatalf("re-failing an already-dead slot errored: %v", err)
+	}
+	// Failing the last live path is teardown, not rebalance: refused.
+	if err := c.FailTrunk("a", "b", 1); err == nil {
+		t.Fatal("failing the last live trunk of an adjacency was accepted")
 	}
 }
 

@@ -1,0 +1,365 @@
+package orchestrator
+
+import (
+	"fmt"
+	"time"
+
+	"ovshighway/internal/flow"
+	"ovshighway/internal/graph"
+)
+
+// Live VNF migration. The protocol is make-before-break double-steering:
+//
+//  1. Instantiate a replica of the VNF on the target node (new VM, new
+//     ports, app started) while the original keeps forwarding.
+//  2. Re-partition the graph with the VNF re-pinned. Crossings that now
+//     touch the moved VNF get FRESH lanes (new vids); crossings untouched
+//     by the move keep theirs. The old lanes stay registered.
+//  3. Install every rule of the new layout that occupies a fresh table
+//     slot — receiver/relay rules for the new vids, the replica's outbound
+//     steering, new local edges. Traffic still flows the old path; the new
+//     path is fully plumbed but dark.
+//  4. Flip the feed rules: the slots steering traffic INTO the VNF are
+//     replaced in place — flow.Table Add semantics swap a slot atomically
+//     (the old rule is death-marked, so EMC/SMC cannot serve it again).
+//     From this instant new packets ride the new path end to end.
+//  5. Drain the old path: packets already committed to it — parked in
+//     bypass rings, the old VM's port backlog, in flight on retired trunk
+//     lanes — are carried to delivery by the STALE rules, which are kept
+//     installed for exactly this long. The drain watches conservation
+//     (old app in == out, backlogs empty, retired-lane counters quiet).
+//  6. Tear down: stale rules deleted (the bypass manager dissolves the old
+//     links with its usual zero-loss drain), old app stopped, old VM
+//     destroyed, retired lanes released.
+//
+// Loss target is zero: at no point does a packet face a table with no
+// matching rule, and nothing holding packets is destroyed before it drains.
+
+// migrateDrainTimeout bounds step 5. A paced chain settles in a few
+// milliseconds; the bound only matters when the chain is saturated (where
+// steady-state loss exists anyway and "drained" is ill-defined).
+const migrateDrainTimeout = 3 * time.Second
+
+// drainSample is one observation of everything still committed to the old
+// path. Comparable: two equal consecutive quiet samples mean drained.
+type drainSample struct {
+	appRx, appTx, appTxD, appDrop uint64
+	backlog                       int
+	bypassBacklog                 int
+	trunkBacklog                  int
+	laneCarried                   uint64
+	laneDropped                   uint64
+}
+
+func (s drainSample) quiet() bool {
+	return s.bypassBacklog == 0 && s.backlog == 0 && s.trunkBacklog == 0 &&
+		s.appRx == s.appTx+s.appTxD+s.appDrop
+}
+
+// Migrate moves a running middle VNF to another node with make-before-break
+// double-steering, draining the old path before tearing it down. The graph
+// the deployment was created from is updated in place (the VNF's Node pin
+// changes), so subsequent reconcile passes converge on the new layout.
+func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
+	cd.mu.Lock()
+	defer cd.mu.Unlock()
+	if cd.stopped {
+		return fmt.Errorf("orchestrator: migrate %s: deployment is stopped", vnfName)
+	}
+	c := cd.cluster
+	if c.nodes[target] == nil {
+		return fmt.Errorf("orchestrator: migrate %s: unknown node %q", vnfName, target)
+	}
+	vi := -1
+	for i, v := range cd.graph.VNFs {
+		if v.Name == vnfName {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return fmt.Errorf("orchestrator: migrate: unknown VNF %q", vnfName)
+	}
+	v := cd.graph.VNFs[vi]
+	if v.Kind.PortCount() != 2 {
+		return fmt.Errorf("orchestrator: migrate %s: only two-port middle VNFs migrate (kind %s)", vnfName, v.Kind)
+	}
+	src := ""
+	for node, d := range cd.deps {
+		if _, ok := d.vms[vnfName]; ok {
+			src = node
+			break
+		}
+	}
+	if src == "" {
+		return fmt.Errorf("orchestrator: migrate: VNF %q not instantiated", vnfName)
+	}
+	if src == target {
+		return nil
+	}
+	srcDep := cd.deps[src]
+	oldIDs := append([]uint32(nil), srcDep.vms[vnfName]...)
+	oldApp := srcDep.appByName(vnfName)
+
+	// Re-pin and re-partition: the new desired layout.
+	prevNode := cd.graph.VNFs[vi].Node
+	cd.graph.VNFs[vi].Node = target
+	revertPin := func() { cd.graph.VNFs[vi].Node = prevNode }
+	part, err := cd.graph.Partition(c.DefaultNode(), c.nicNodes())
+	if err != nil {
+		revertPin()
+		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+	}
+
+	// Step 1: replica on the target node.
+	tdep := cd.deps[target]
+	if tdep == nil {
+		tdep = newDeployment(c.nodes[target])
+		cd.deps[target] = tdep
+	}
+	vNew := v
+	vNew.Node = target
+	if err := tdep.instantiate(vNew); err != nil {
+		revertPin()
+		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+	}
+
+	// Step 2: lane diff by crossing identity (position in Graph.Edges).
+	oldByIdx := make(map[int]laneSteer, len(cd.steers))
+	for _, st := range cd.steers {
+		oldByIdx[st.ce.Index] = st
+	}
+	var kept, added []laneSteer
+	for _, ce := range part.Cross {
+		if st, ok := oldByIdx[ce.Index]; ok && st.ce.NodeA == ce.NodeA && st.ce.NodeB == ce.NodeB {
+			st.ce = ce
+			kept = append(kept, st)
+			delete(oldByIdx, ce.Index)
+			continue
+		}
+		added = append(added, laneSteer{ce: ce})
+	}
+	var retired []laneSteer
+	for _, st := range oldByIdx {
+		retired = append(retired, st)
+	}
+	releaseSteers := func(sts []laneSteer) {
+		for _, st := range sts {
+			for _, pair := range st.pairs {
+				c.releaseLane(pair, st.vid)
+			}
+			c.releaseVid(st.vid)
+		}
+	}
+	c.mu.Lock()
+	for i := range added {
+		ce := added[i].ce
+		vid, err := c.allocVidLocked()
+		if err == nil {
+			added[i].vid = vid
+			for _, pair := range c.path(ce.NodeA, ce.NodeB, cd.spine, cd.tcfg) {
+				ct, terr := c.ensureTrunk(pair, cd.tcfg)
+				if terr == nil {
+					terr = ct.addLaneLocked(vid)
+				}
+				if terr != nil {
+					err = terr
+					break
+				}
+				added[i].pairs = append(added[i].pairs, pair)
+			}
+		}
+		if err != nil {
+			c.mu.Unlock()
+			releaseSteers(added[:i+1])
+			tdep.removeVNF(vnfName)
+			revertPin()
+			return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+		}
+	}
+	c.mu.Unlock()
+
+	// Recompute every node's desired local rules against the new partition
+	// (the old VNF's ports drop out, the replica's come in).
+	prevSpecs := make(map[string][]flow.FlowSpec, len(cd.deps))
+	for node, d := range cd.deps {
+		prevSpecs[node] = d.specs
+	}
+	prevSteers := cd.steers
+	revertSpec := func() {
+		for node, d := range cd.deps {
+			d.specs = prevSpecs[node]
+		}
+		cd.steers = prevSteers
+	}
+	for node, d := range cd.deps {
+		lg, ok := part.Local[node]
+		if !ok {
+			d.specs = nil
+			continue
+		}
+		sp, serr := d.edgeSpecs(lg)
+		if serr != nil {
+			revertSpec()
+			releaseSteers(added)
+			tdep.removeVNF(vnfName)
+			revertPin()
+			return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, serr)
+		}
+		d.specs = sp
+	}
+	cd.steers = append(kept, added...)
+	desired, err := cd.desiredSpecs()
+	if err != nil {
+		revertSpec()
+		releaseSteers(added)
+		tdep.removeVNF(vnfName)
+		revertPin()
+		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+	}
+
+	// Steps 3+4: make before break. Fresh slots first — the complete dark
+	// path — then the in-place feed flips, each one an atomic slot swap.
+	freshByNode := make(map[string][]flow.FlowSpec)
+	flipByNode := make(map[string][]flow.FlowSpec)
+	for _, node := range c.order {
+		installed := cd.installedOn(node)
+		for _, sp := range desired[node] {
+			k := flowKey{sp.Priority, sp.Match}
+			if f, ok := installed[k]; ok {
+				if f.Cookie == sp.Cookie && f.Actions.Equal(sp.Actions) {
+					continue
+				}
+				flipByNode[node] = append(flipByNode[node], sp)
+			} else {
+				freshByNode[node] = append(freshByNode[node], sp)
+			}
+		}
+	}
+	for node, ss := range freshByNode {
+		c.nodes[node].Switch.Table().AddBatch(ss)
+	}
+	for node, ss := range flipByNode {
+		c.nodes[node].Switch.Table().AddBatch(ss)
+	}
+
+	// Step 5: drain everything still committed to the old path. Stale rules
+	// are still installed, so these packets are carried to delivery.
+	oldSet := make(map[uint32]bool, len(oldIDs))
+	for _, id := range oldIDs {
+		oldSet[id] = true
+	}
+	// Pairs still carrying live lanes share their NIC rings and pump queues
+	// with active traffic, so a structural emptiness probe there would never
+	// read zero; it applies only to pairs the retirement leaves idle.
+	pairLive := make(map[pairKey]bool)
+	for _, st := range cd.steers {
+		for _, pair := range st.pairs {
+			pairLive[pair] = true
+		}
+	}
+	sample := func() drainSample {
+		var s drainSample
+		if oldApp != nil {
+			s.appRx = oldApp.RxPackets.Load()
+			s.appTx = oldApp.TxPackets.Load()
+			s.appTxD = oldApp.TxDrops.Load()
+			s.appDrop = oldApp.Dropped.Load()
+		}
+		for _, id := range oldIDs {
+			s.backlog += srcDep.node.portBacklog(id)
+		}
+		// The links themselves persist until the stale rules go (step 6);
+		// what must empty here is the packets parked in their rings.
+		for _, l := range srcDep.node.Switch.BypassLinks() {
+			if oldSet[l.From] || oldSet[l.To] {
+				s.bypassBacklog += l.Ring.Len()
+			}
+		}
+		// Retired-lane hops: the structural backlog (frames parked in the
+		// trunk's staging/delay queues and the NIC descriptor rings) must be
+		// zero, AND the lane counters must not have moved between samples —
+		// counters alone cannot see parked frames, backlogs alone could be
+		// sampled in the instant a frame is between rings.
+		c.mu.Lock()
+		for _, st := range retired {
+			for _, pair := range st.pairs {
+				ct, ok := c.trunks[pair]
+				if !ok {
+					continue
+				}
+				for _, tl := range ct.links {
+					if tl.failed {
+						continue
+					}
+					if !pairLive[pair] {
+						s.trunkBacklog += tl.tr.Backlog() +
+							tl.nicLo.QueueBacklog() + tl.nicHi.QueueBacklog()
+					}
+					ab, ba, ok := tl.tr.LaneStats(st.vid)
+					if ok {
+						s.laneCarried += ab.Carried + ba.Carried
+						s.laneDropped += ab.Dropped + ba.Dropped
+					}
+				}
+			}
+		}
+		c.mu.Unlock()
+		return s
+	}
+	// Drained = a sustained run of identical quiet samples. One quiet pair
+	// is not enough: a frame in a descheduled thread's hands is in no ring
+	// and moves no counter, so the window must outlast scheduling hiccups.
+	deadline := time.Now().Add(migrateDrainTimeout)
+	prev := sample()
+	stable := 0
+	for time.Now().Before(deadline) && stable < 3 {
+		time.Sleep(time.Millisecond)
+		cur := sample()
+		if cur == prev && cur.quiet() {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+	}
+	srcDep.node.Switch.WaitDatapathQuiescence()
+
+	// Step 6: break. Converge tables onto the new desired state (deleting
+	// the stale old-path rules — the bypass manager dissolves their links
+	// with its own zero-loss drain), then retire the old VM and lanes.
+	cd.applySpecs(desired)
+	waitCond(func() bool {
+		for _, l := range srcDep.node.Switch.BypassLinks() {
+			if oldSet[l.From] || oldSet[l.To] {
+				return false
+			}
+		}
+		return true
+	})
+	srcDep.removeVNF(vnfName)
+	releaseSteers(retired)
+	return nil
+}
+
+// removeVNF retires one middle VNF from a local deployment: app stopped,
+// port mappings dropped, VM destroyed (which waits out the datapath and
+// frees parked frames). Rules are the caller's business.
+func (d *Deployment) removeVNF(name string) {
+	ids := d.vms[name]
+	if ids == nil {
+		return
+	}
+	for i, a := range d.apps {
+		if a.Name == name {
+			a.Stop()
+			d.apps = append(d.apps[:i], d.apps[i+1:]...)
+			break
+		}
+	}
+	delete(d.vms, name)
+	for i := range ids {
+		delete(d.portOf, graph.VNFPort(name, i))
+	}
+	_ = d.node.DestroyVM(name, ids)
+}

@@ -234,6 +234,21 @@ func (n *Node) DestroyVM(name string, ids []uint32) error {
 	return nil
 }
 
+// portBacklog reports a port's normal-channel backlog in both directions —
+// frames queued toward the VM plus frames the VM transmitted that the
+// forwarding engine has not yet picked up. The migration drain's emptiness
+// probe: a frame parked in either ring when the VM is destroyed would be
+// freed, not delivered. Returns 0 for unknown ports.
+func (n *Node) portBacklog(id uint32) int {
+	n.mu.Lock()
+	p := n.ports[id]
+	n.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.NormalBacklog() + p.ReturnBacklog()
+}
+
 // AddNIC attaches a simulated physical NIC to the switch under the given
 // graph-visible name.
 func (n *Node) AddNIC(name string, cfg nic.Config) (*nic.NIC, error) {

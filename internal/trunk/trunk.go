@@ -29,6 +29,7 @@ package trunk
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -202,6 +203,15 @@ type Trunk struct {
 	ownedPoller bool
 	stopped     atomic.Bool
 
+	// Fault-injection state (chaos testing): down simulates a pulled cable —
+	// the pumps keep draining the NICs but every frame is lost on the wire —
+	// and lossBits (a float64's bits) drops each carried frame with the given
+	// probability. Both are atomics so the control plane flaps them while the
+	// poller goroutine is mid-step; faulted counts the frames they ate.
+	down     atomic.Bool
+	lossBits atomic.Uint64
+	faulted  atomic.Uint64
+
 	// lanes is a copy-on-write vid→lane map: the polling goroutine loads
 	// it wait-free per frame; AddLane/RemoveLane swap whole maps under mu.
 	mu    sync.Mutex
@@ -337,11 +347,63 @@ func (t *Trunk) PCPStats() (ab, ba [8]DirStats) {
 	return ab, ba
 }
 
+// Backlog reports the number of frames currently held inside the trunk —
+// staged in a PCP class queue or waiting out the propagation delay line,
+// both directions. Parked frames move no stats counter, so counter
+// stability alone cannot distinguish an empty trunk from a stalled one;
+// a migration drain must see this reach zero before retiring a lane.
+func (t *Trunk) Backlog() int {
+	total := 0
+	for _, p := range []*pump{t.ab, t.ba} {
+		// carried+dropped are loaded BEFORE queued: the pump may be moving
+		// frames concurrently, and the reversed order could observe a queued
+		// bump without its matching carried/dropped yet — fine (backlog reads
+		// high, the probe stays conservative) — whereas loading queued first
+		// could undercount and report empty while frames are still inside.
+		done := p.carried.Load() + p.dropped.Load()
+		if q := p.queued.Load(); q > done {
+			total += int(q - done)
+		}
+	}
+	return total
+}
+
 // Unrouted counts frames dropped because they carried no 802.1Q tag or an
 // unregistered vid, summed over both directions.
 func (t *Trunk) Unrouted() uint64 {
 	return t.ab.unrouted.Load() + t.ba.unrouted.Load()
 }
+
+// SetDown injects (or clears) a link-down fault: while down the trunk keeps
+// draining its NICs but every frame is lost on the wire, exactly like a
+// pulled cable with the ports still up. Toggling it rapidly models a
+// flapping link. Safe while traffic flows.
+func (t *Trunk) SetDown(down bool) { t.down.Store(down) }
+
+// Down reports whether a link-down fault is injected.
+func (t *Trunk) Down() bool { return t.down.Load() }
+
+// SetLossRate injects random frame loss: each frame entering the trunk is
+// dropped with probability rate (clamped to [0,1]). Zero clears the fault.
+// Safe while traffic flows.
+func (t *Trunk) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.lossBits.Store(math.Float64bits(rate))
+}
+
+// LossRate returns the injected random-loss probability.
+func (t *Trunk) LossRate() float64 { return math.Float64frombits(t.lossBits.Load()) }
+
+// Faulted counts the frames eaten by injected faults (down or random loss),
+// summed over both directions. Fault drops also count in the regular
+// per-lane/per-direction Dropped counters — Faulted attributes the share
+// that was injected rather than congestion.
+func (t *Trunk) Faulted() uint64 { return t.faulted.Load() }
 
 // Stop detaches both pumps from the poller and frees frames still in
 // flight on the trunk. Frames parked inside the NIC queues stay put: they
@@ -431,6 +493,12 @@ type pump struct {
 	cursor    int
 	inService [8]bool
 
+	// queued counts every frame pulled off the source NIC; each such frame
+	// eventually lands in carried or dropped, so queued-carried-dropped is
+	// the number of frames currently held inside the pump (class staging
+	// queues plus the propagation delay line) — the emptiness probe a
+	// migration drain needs, since parked frames move no other counter.
+	queued   atomic.Uint64
 	carried  atomic.Uint64
 	dropped  atomic.Uint64
 	unrouted atomic.Uint64
@@ -438,6 +506,11 @@ type pump struct {
 	// the lane-QoS experiment tables.
 	pcpCarried [8]atomic.Uint64
 	pcpDropped [8]atomic.Uint64
+
+	// rng drives injected random loss (xorshift64*; single-goroutine like
+	// every other pump field, seeded per direction so the two pumps of a
+	// trunk do not drop in lockstep).
+	rng uint64
 }
 
 func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping, batch int) *pump {
@@ -450,6 +523,7 @@ func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping
 		shaping: sh,
 		drained: make([]*mempool.Buf, batch),
 		homed:   make([]*mempool.Buf, batch),
+		rng:     0x9E3779B97F4A7C15 ^ uint64(dir+1),
 	}
 	// Packet-granular quanta: normalize so the smallest positive weight maps
 	// to one packet per service turn (zero = default weight 1 — an
@@ -499,7 +573,10 @@ func (p *pump) pull() int {
 	n := p.src.NIC.DrainToWire(p.drained)
 	moved := 0
 	if n > 0 {
+		p.queued.Add(uint64(n))
 		lanes := *p.trunk.lanes.Load()
+		down := p.trunk.down.Load()
+		loss := math.Float64frombits(p.trunk.lossBits.Load())
 		got := p.dst.Pool.GetBatch(p.homed[:n])
 		kept := 0
 		var unrouted uint64
@@ -515,6 +592,12 @@ func (p *pump) pull() int {
 				continue // no lane carries this frame: trunk drop
 			}
 			pcp, _ := pkt.FrameVlanPCP(srcBuf.Bytes())
+			if down || (loss > 0 && p.rand01() < loss) {
+				p.trunk.faulted.Add(1)
+				p.laneDir(ln).dropped.Add(1)
+				p.pcpDropped[pcp].Add(1)
+				continue // injected fault: lost on the wire
+			}
 			if kept >= got {
 				p.laneDir(ln).dropped.Add(1)
 				p.pcpDropped[pcp].Add(1)
@@ -552,6 +635,16 @@ func (p *pump) pull() int {
 	}
 	moved += p.schedule()
 	return moved
+}
+
+// rand01 returns the next xorshift64* sample mapped to [0,1).
+func (p *pump) rand01() float64 {
+	x := p.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.rng = x
+	return float64((x*0x2545F4914F6CDD1D)>>11) / (1 << 53)
 }
 
 // schedule runs one deficit-round-robin pass: the shared token bucket

@@ -29,7 +29,14 @@ type SrcSink struct {
 	Lat      stats.LatencyHist
 
 	timestamp bool
+	rate      float64      // generation cap in pps (0 = unpaced)
 	start     atomic.Int64 // window start, UnixNano
+
+	// paused gates generation only: a paused endpoint keeps terminating
+	// arrivals, so callers can drain the pipeline to a known-empty state and
+	// take exact Sent/Received accounting snapshots (the migration
+	// experiment's zero-loss bookkeeping).
+	paused atomic.Bool
 
 	stop atomic.Bool
 	done chan struct{}
@@ -44,6 +51,11 @@ type SrcSinkConfig struct {
 	Flows     int  // distinct UDP source ports to cycle (default 1)
 	Timestamp bool // stamp generated frames and record one-way latency
 	Batch     int  // default 32
+	// RatePps caps the generation rate (0 = generate as fast as the pool and
+	// ring allow). A paced endpoint below the chain's capacity reaches a
+	// lossless steady state, which is what exact end-to-end packet accounting
+	// (the migration experiment) needs.
+	RatePps float64
 }
 
 // NewSrcSink starts a bidirectional endpoint.
@@ -73,6 +85,7 @@ func NewSrcSink(cfg SrcSinkConfig) (*SrcSink, error) {
 		pmd:       cfg.PMD,
 		pool:      cfg.Pool,
 		timestamp: cfg.Timestamp,
+		rate:      cfg.RatePps,
 		done:      make(chan struct{}),
 	}
 	s.start.Store(time.Now().UnixNano())
@@ -85,6 +98,11 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 	txBatch := make([]*mempool.Buf, batchSize)
 	rxBatch := make([]*mempool.Buf, batchSize)
 	next := 0
+	// credit is the paced-mode generation budget, topped up by wall time.
+	// The burst cap (two batches) bounds how hard a starved endpoint slams
+	// the ring when credit accumulates during a stall.
+	var credit float64
+	lastTick := time.Now()
 	for !s.stop.Load() {
 		// work tracks whether this pass moved any packet; an endpoint that is
 		// pool-starved or ring-blocked must yield instead of burning its
@@ -93,7 +111,24 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 		// very consumers that would relieve it).
 		work := false
 		// Generate.
-		n := s.pool.GetBatch(txBatch)
+		want := batchSize
+		if s.paused.Load() {
+			want = 0
+		} else if s.rate > 0 {
+			now := time.Now()
+			credit += now.Sub(lastTick).Seconds() * s.rate
+			lastTick = now
+			if max := float64(2 * batchSize); credit > max {
+				credit = max
+			}
+			if want = int(credit); want > batchSize {
+				want = batchSize
+			}
+		}
+		n := 0
+		if want > 0 {
+			n = s.pool.GetBatch(txBatch[:want])
+		}
 		if n > 0 {
 			var now int64
 			if s.timestamp {
@@ -110,6 +145,9 @@ func (s *SrcSink) run(templates [][]byte, batchSize int) {
 			sent := s.pmd.Tx(txBatch[:n])
 			if sent < n {
 				mempool.FreeBatch(txBatch[sent:n])
+			}
+			if s.rate > 0 {
+				credit -= float64(n)
 			}
 			s.Sent.Add(uint64(sent))
 			if sent > 0 {
@@ -148,6 +186,17 @@ func (s *SrcSink) Stop() {
 	if s.stop.CompareAndSwap(false, true) {
 		<-s.done
 	}
+}
+
+// SetPaused gates generation: a paused endpoint stops injecting but keeps
+// terminating arrivals, so the chain drains to empty and Sent/Received
+// become an exact conservation ledger. Safe to toggle while running.
+func (s *SrcSink) SetPaused(p bool) { s.paused.Store(p) }
+
+// InFlight returns Sent - Received: with every peer endpoint paused and the
+// pipeline drained, a nonzero residue is packets lost in the fabric.
+func (s *SrcSink) InFlight() int64 {
+	return int64(s.Sent.Load()) - int64(s.Received.Load())
 }
 
 // ResetWindow zeroes the receive counters, latency histogram and rate clock.

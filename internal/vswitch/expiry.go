@@ -28,13 +28,13 @@ func (s *Switch) FlowRemovals() <-chan FlowRemovedEvent { return s.flowRemovals 
 // subtables by observed hits. Expiry goes through the table's listener
 // path, so the p-2-p detector dissolves bypasses of expired steering rules
 // exactly as it does for explicit deletes.
-func (s *Switch) sweeper(interval time.Duration) {
+func (s *Switch) sweeper(interval time.Duration, stop <-chan struct{}) {
 	defer s.wg.Done()
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-s.sweepStop:
+		case <-stop:
 			return
 		case now := <-t.C:
 			s.table.Rerank()

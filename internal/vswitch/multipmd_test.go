@@ -30,13 +30,13 @@ func TestFourPMDChainForwarding(t *testing.T) {
 
 	// Every port must be polled by exactly one PMD, and with ids 1..6 over
 	// 4 PMDs every PMD owns at least one port.
-	if len(env.sw.pmds) != nPMD {
-		t.Fatalf("switch started %d PMDs, want %d", len(env.sw.pmds), nPMD)
+	if len(env.sw.pmdList()) != nPMD {
+		t.Fatalf("switch started %d PMDs, want %d", len(env.sw.pmdList()), nPMD)
 	}
 	perPMD := make([]int, nPMD)
 	for id := uint32(1); id <= 6; id++ {
 		owners := 0
-		for i, p := range env.sw.pmds {
+		for i, p := range env.sw.pmdList() {
 			if p.owns(id) {
 				owners++
 				perPMD[i]++
@@ -93,7 +93,7 @@ func TestFourPMDChainForwarding(t *testing.T) {
 	// more than one PMD.
 	var want flow.EMCStats
 	pmdsWithHits := 0
-	for _, p := range env.sw.pmds {
+	for _, p := range env.sw.pmdList() {
 		st := p.emcStats()
 		want.Hits += st.Hits
 		want.Misses += st.Misses

@@ -174,10 +174,17 @@ type Switch struct {
 	// instead of allocating per packet, and ReleasePacketIn returns it.
 	puntPool sync.Pool
 
-	pmds    []*pmdThread
-	started atomic.Bool
-	stopped atomic.Bool
-	wg      sync.WaitGroup
+	// pmdsSnap is the copy-on-write PMD-thread set: stats/quiescence readers
+	// load it wait-free while Restart swaps in a fresh generation of threads.
+	// lifeMu serializes the lifecycle transitions (Start/Stop/Restart).
+	pmdsSnap atomic.Pointer[[]*pmdThread]
+	lifeMu   sync.Mutex
+	started  atomic.Bool
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+
+	// Restarts counts completed Restart cycles (diagnostic; chaos tests).
+	Restarts atomic.Uint64
 
 	// Misses counts slow-path classifications: full tuple-space walks after
 	// EMC, SMC, and within-batch dedup all missed (diagnostic).
@@ -292,35 +299,88 @@ func (s *Switch) Ports() []DataPort {
 	return out
 }
 
-// Start launches the PMD threads. It is an error to start twice.
-func (s *Switch) Start() error {
-	if !s.started.CompareAndSwap(false, true) {
-		return errors.New("vswitch: already started")
+// pmdList returns the current PMD-thread generation (nil before Start).
+func (s *Switch) pmdList() []*pmdThread {
+	if p := s.pmdsSnap.Load(); p != nil {
+		return *p
 	}
+	return nil
+}
+
+// launchLocked builds and starts a fresh generation of PMD threads and the
+// expiry sweeper. Caller holds lifeMu.
+func (s *Switch) launchLocked() {
+	pmds := make([]*pmdThread, 0, s.cfg.NumPMDs)
 	for i := 0; i < s.cfg.NumPMDs; i++ {
 		p := newPMDThread(s, i)
-		s.pmds = append(s.pmds, p)
+		pmds = append(pmds, p)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			p.run()
 		}()
 	}
+	s.pmdsSnap.Store(&pmds)
 	s.wg.Add(1)
-	go s.sweeper(s.cfg.SweepInterval)
+	go s.sweeper(s.cfg.SweepInterval, s.sweepStop)
+}
+
+// haltLocked stops the current PMD generation and the sweeper, waiting for
+// both. Caller holds lifeMu.
+func (s *Switch) haltLocked() {
+	for _, p := range s.pmdList() {
+		p.stop.Store(true)
+	}
+	close(s.sweepStop)
+	s.wg.Wait()
+}
+
+// Start launches the PMD threads. It is an error to start twice.
+func (s *Switch) Start() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("vswitch: already started")
+	}
+	s.launchLocked()
 	return nil
 }
 
 // Stop halts the PMD threads and waits for them. Safe to call once.
 func (s *Switch) Stop() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if !s.started.Load() || !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	for _, p := range s.pmds {
-		p.stop.Store(true)
+	s.haltLocked()
+}
+
+// Restart simulates a vSwitch crash-and-relaunch for fault injection: the
+// forwarding threads and sweeper stop, the ENTIRE flow table is wiped (a
+// restarted switch has lost its datapath and ofproto state; listeners fire,
+// so the bypass manager drains and dissolves every bypass exactly as it
+// would when the rules died one by one), the per-PMD EMC/SMC caches are
+// discarded with their threads, and a fresh generation of threads launches.
+// Ports, pools and VMs survive — they belong to the host, not the switch
+// process. Whatever control plane owns the rules (the reconciler) must
+// reinstall them; until then traffic parks in the port rings and overflow
+// drops at the ring mouth, which is exactly an OVS restart's behaviour.
+func (s *Switch) Restart() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.started.Load() {
+		return errors.New("vswitch: not started")
 	}
-	close(s.sweepStop)
-	s.wg.Wait()
+	if s.stopped.Load() {
+		return errors.New("vswitch: already stopped")
+	}
+	s.haltLocked()
+	s.table.DeleteWhere(func(*flow.Flow) bool { return true })
+	s.sweepStop = make(chan struct{})
+	s.launchLocked()
+	s.Restarts.Add(1)
+	return nil
 }
 
 // WaitDatapathQuiescence blocks until every PMD thread has started a new
@@ -331,11 +391,12 @@ func (s *Switch) WaitDatapathQuiescence() {
 	if !s.started.Load() || s.stopped.Load() {
 		return
 	}
-	before := make([]uint64, len(s.pmds))
-	for i, p := range s.pmds {
+	pmds := s.pmdList()
+	before := make([]uint64, len(pmds))
+	for i, p := range pmds {
 		before[i] = p.iters.Load()
 	}
-	for i, p := range s.pmds {
+	for i, p := range pmds {
 		for p.iters.Load() == before[i] && !p.stop.Load() {
 			runtime.Gosched()
 		}
@@ -345,7 +406,7 @@ func (s *Switch) WaitDatapathQuiescence() {
 // EMCStats aggregates the per-PMD cache counters (diagnostic, ablations).
 func (s *Switch) EMCStats() flow.EMCStats {
 	var out flow.EMCStats
-	for _, p := range s.pmds {
+	for _, p := range s.pmdList() {
 		st := p.emcStats()
 		out.Hits += st.Hits
 		out.Misses += st.Misses
@@ -358,7 +419,7 @@ func (s *Switch) EMCStats() flow.EMCStats {
 // ablation A5). All zeros when the tier is disabled (no caches exist).
 func (s *Switch) SMCStats() flow.SMCStats {
 	var out flow.SMCStats
-	for _, p := range s.pmds {
+	for _, p := range s.pmdList() {
 		if p.smc == nil {
 			continue
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package highway
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package highway
+
+// raceEnabled reports whether this test binary was built with -race, whose
+// scheduler perturbs timing far too much for throughput-ratio assertions.
+const raceEnabled = true
