@@ -594,3 +594,86 @@ func BenchmarkVSwitchSingleHop(b *testing.B) {
 	}
 	b.SetBytes(32)
 }
+
+// BenchmarkPMDScale measures forwarding-thread scaling on a single hot
+// multi-queue port: 32 flows RSS-fanned over 4 RX queues, each queue homed
+// on its own PMD (round-robin), a closed-loop shuttle keeping every queue
+// fed. On a ≥4-core host 4 PMDs must deliver at least 3× the Mpps of 1 PMD;
+// hosts without the cores (or race-instrumented builds, or windows too short
+// to trust) skip the scaling assertion but still report the per-point Mpps.
+func BenchmarkPMDScale(b *testing.B) {
+	type point struct {
+		mpps    float64
+		elapsed time.Duration
+	}
+	results := make(map[int]point)
+	for _, pmds := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("pmds=%d", pmds), func(b *testing.B) {
+			mpps := benchPMDScale(b, pmds, 4)
+			results[pmds] = point{mpps: mpps, elapsed: b.Elapsed()}
+		})
+	}
+	r1, ok1 := results[1]
+	r4, ok4 := results[4]
+	if !ok1 || !ok4 {
+		return // sub-benchmark filter excluded an endpoint
+	}
+	if runtime.NumCPU() < 4 || raceEnabled ||
+		r1.elapsed < 100*time.Millisecond || r4.elapsed < 100*time.Millisecond {
+		return
+	}
+	if r4.mpps < 3*r1.mpps {
+		b.Fatalf("4 PMDs reached %.2f Mpps, want >= 3x the 1-PMD %.2f Mpps", r4.mpps, r1.mpps)
+	}
+}
+
+func benchPMDScale(b *testing.B, pmds, queues int) float64 {
+	sw := vswitch.New(vswitch.Config{NumPMDs: pmds, SweepInterval: time.Hour})
+	pool := mempool.MustNew(mempool.Config{Capacity: 2048})
+	sw.SetInjectionPool(pool)
+	portGen, pmdGen, _ := dpdkr.NewPortMQ(1, "gen", 1024, queues)
+	portSink, pmdSink, _ := dpdkr.NewPort(2, "sink", 1024)
+	sw.AddPort(portGen)
+	sw.AddPort(portSink)
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	if err := sw.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer sw.Stop()
+
+	spec := DefaultTrafficSpec()
+	raw := make([]byte, 256)
+	bufs := make([]*mempool.Buf, 32)
+	out := make([]*mempool.Buf, 32)
+	for i := range bufs {
+		// 32 distinct flows so the guest RSS genuinely spreads the burst
+		// over all queues (and so every PMD sees work each iteration).
+		spec.SrcPort = uint16(5000 + i)
+		n, _ := pkt.BuildUDP(raw, spec)
+		bufs[i], _ = pool.Get()
+		bufs[i].SetBytes(raw[:n])
+	}
+	// Warm the path: EMC entries for all 32 flows, accumulator capacities.
+	pmdGen.Tx(bufs)
+	for got := 0; got < 32; {
+		got += rxYield(pmdSink, out)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent := pmdGen.Tx(bufs)
+		got := 0
+		for got < sent {
+			got += rxYield(pmdSink, out)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	mpps := 0.0
+	if elapsed > 0 {
+		mpps = float64(b.N) * 32 / elapsed.Seconds() / 1e6
+	}
+	b.ReportMetric(mpps, "Mpps")
+	b.SetBytes(32)
+	return mpps
+}

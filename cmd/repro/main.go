@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | heal | migrate | latency | setup | check")
+		exp    = flag.String("exp", "all", "experiment: all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | pmdscale | heal | migrate | latency | setup | check")
 		warmup = flag.Duration("warmup", 200*time.Millisecond, "per-point warm-up")
 		window = flag.Duration("window", 500*time.Millisecond, "per-point measurement window")
 		flows  = flag.Int("flows", 4, "distinct generated 5-tuples")
@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "fig3a", "fig3b", "multinode", "wlatency", "fabric", "flowscale", "heal", "migrate", "latency", "setup", "check":
+	case "all", "fig3a", "fig3b", "multinode", "wlatency", "fabric", "flowscale", "pmdscale", "heal", "migrate", "latency", "setup", "check":
 	default:
-		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | heal | migrate | latency | setup | check)", *exp)
+		log.Fatalf("unknown -exp %q (want all | fig3a | fig3b | multinode | wlatency | fabric | flowscale | pmdscale | heal | migrate | latency | setup | check)", *exp)
 	}
 
 	cfg := highway.ExperimentConfig{Warmup: *warmup, Window: *window, Flows: *flows}
@@ -49,6 +49,7 @@ func main() {
 	run("wlatency", func() error { return wlatency(cfg) })
 	run("fabric", func() error { return fabric(cfg) })
 	run("flowscale", func() error { return flowscale(cfg) })
+	run("pmdscale", func() error { return pmdscale(cfg) })
 	run("heal", func() error { return heal(cfg) })
 	run("migrate", func() error { return migrate(cfg) })
 	run("latency", func() error { return latency(cfg) })
@@ -178,16 +179,17 @@ func flowscale(cfg highway.ExperimentConfig) error {
 	fmt.Println("=== Flow scale: distinct 5-tuples × flow-table delete churn ===")
 	fmt.Println("    (tier shift as flows outgrow each cache: EMC → SMC → classifier;")
 	fmt.Println("     unrelated delete churn barely dents it — death-mark invalidation)")
-	fmt.Printf("%8s %10s %10s %8s %8s %8s %8s\n",
-		"flows", "churn/s", "Mpps", "emc%", "smc%", "dedup%", "cls%")
+	fmt.Printf("%8s %10s %10s %8s %8s %8s %8s %12s\n",
+		"flows", "churn/s", "Mpps", "emc%", "smc%", "dedup%", "cls%", "pmd busy")
 	for _, churn := range []int{0, 1000} {
 		for _, flows := range []int{64, 1024, 4096, 16384, 65536} {
 			r, err := highway.RunFlowScalePoint(flows, churn, cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%8d %10d %10.3f %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
-				r.Flows, r.ChurnPerSec, r.Mpps, r.EMCPct, r.SMCPct, r.DedupPct, r.ClsPct)
+			fmt.Printf("%8d %10d %10.3f %7.1f%% %7.1f%% %7.1f%% %7.1f%%   %s\n",
+				r.Flows, r.ChurnPerSec, r.Mpps, r.EMCPct, r.SMCPct, r.DedupPct, r.ClsPct,
+				busyList(r.PMDBusy))
 		}
 	}
 
@@ -215,6 +217,43 @@ func flowscale(cfg highway.ExperimentConfig) error {
 		}
 		fmt.Printf("%8d %10.3f %7.1f%% %7.1f%% %14d\n",
 			inv, r.Mpps, r.EMCPct, r.ClsPct, r.EMCConflicts)
+	}
+	fmt.Println()
+	return nil
+}
+
+// busyList renders per-PMD busy fractions as "53%/2%/..." for table cells.
+func busyList(fracs []float64) string {
+	if len(fracs) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, f := range fracs {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprintf("%.0f%%", 100*f)
+	}
+	return s
+}
+
+func pmdscale(cfg highway.ExperimentConfig) error {
+	fmt.Println("=== PMD scale: Mpps vs forwarding threads × RSS queues × auto-balancer ===")
+	fmt.Println("    (single hot port, every queue first skewed onto PMD 0; one queue can")
+	fmt.Println("     never use more than one PMD, and without the balancer neither can k)")
+	fmt.Printf("%6s %8s %10s %10s %14s %13s %7s\n",
+		"PMDs", "queues", "balancer", "Mpps", "spread before", "spread after", "moves")
+	rows, err := highway.RunPMDScale(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		bal := "off"
+		if r.Balanced {
+			bal = "on"
+		}
+		fmt.Printf("%6d %8d %10s %10.3f %13.1f%% %12.1f%% %7d\n",
+			r.PMDs, r.Queues, bal, r.Mpps, 100*r.SpreadBefore, 100*r.SpreadAfter, r.Moves)
 	}
 	fmt.Println()
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ovshighway/internal/core"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
 	"ovshighway/internal/graph"
@@ -45,6 +46,15 @@ type ExperimentConfig struct {
 	// carry most packets over a long mouse tail — the regime where sparse
 	// EMC insertion wins.
 	ZipfSkew float64
+	// NumQueues is the RSS queue count per dpdkr port in the pmdscale
+	// experiment (default 4): the hot port's traffic fans over this many
+	// independently-homed queues, which is what gives extra PMDs something
+	// to own.
+	NumQueues int
+	// AutoBalance enables the load balancer in experiment arms that support
+	// it (pmdscale runs each point with and without regardless; this seeds
+	// the default for other harness users).
+	AutoBalance bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -56,6 +66,9 @@ func (c *ExperimentConfig) fill() {
 	}
 	if c.Flows == 0 {
 		c.Flows = 4
+	}
+	if c.NumQueues == 0 {
+		c.NumQueues = 4
 	}
 }
 
@@ -428,6 +441,10 @@ type FlowScaleRow struct {
 	// window — the "elephant churned out by a mouse" events the
 	// emc-insert-inv-prob policy exists to suppress.
 	EMCConflicts uint64
+	// PMDBusy is each forwarding thread's busy-poll fraction over the
+	// measurement window (index = PMD), showing how the load spread across
+	// threads during the point.
+	PMDBusy []float64
 }
 
 // churnVictims builds n unrelated drop flows (an ingress port no traffic
@@ -661,6 +678,10 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 		}
 		return 100 * float64(v) / float64(lookups)
 	}
+	busy := make([]float64, len(st.PMDs))
+	for i, l := range st.PMDs {
+		busy[i] = l.BusyFraction()
+	}
 	return FlowScaleRow{
 		Flows:        flows,
 		ChurnPerSec:  churnPerSec,
@@ -671,6 +692,7 @@ func RunFlowScalePoint(flows, churnPerSec int, cfg ExperimentConfig) (FlowScaleR
 		ClsPct:       pct(st.ClassifierHits + st.ClassifierMisses),
 		ParseErrors:  st.ParseErrors,
 		EMCConflicts: st.EMC.Conflicts,
+		PMDBusy:      busy,
 	}, nil
 }
 
@@ -688,6 +710,227 @@ func RunFlowScale(flowCounts, churnRates []int, cfg ExperimentConfig) ([]FlowSca
 				return rows, err
 			}
 			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// PMDScaleRow is one point of the multi-PMD scaling experiment: a single
+// hot multi-queue port driven at full rate, for a given (PMD count ×
+// queues-per-port), with or without the auto-balancer. Spread is
+// max−min per-PMD busy fraction; Before is measured with every queue
+// deliberately skewed onto PMD 0, After over the final (post-balancing)
+// measurement window. Moves counts the balancer's queue re-homings.
+type PMDScaleRow struct {
+	PMDs         int
+	Queues       int
+	Balanced     bool
+	Mpps         float64
+	SpreadBefore float64
+	SpreadAfter  float64
+	Moves        uint64
+}
+
+// pmdSpread is max−min busy fraction across a windowed PMD load sample.
+func pmdSpread(win []vswitch.PMDLoad) float64 {
+	if len(win) == 0 {
+		return 0
+	}
+	lo, hi := win[0].BusyFraction(), win[0].BusyFraction()
+	for _, l := range win[1:] {
+		f := l.BusyFraction()
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return hi - lo
+}
+
+// pmdLoadWindow samples PMD loads twice, dt apart, and returns the deltas.
+func pmdLoadWindow(sw *vswitch.Switch, dt time.Duration) []vswitch.PMDLoad {
+	pre := sw.PMDLoads()
+	time.Sleep(dt)
+	post := sw.PMDLoads()
+	win := make([]vswitch.PMDLoad, len(post))
+	for i, l := range post {
+		if i < len(pre) {
+			l = l.Delta(pre[i])
+		}
+		win[i] = l
+	}
+	return win
+}
+
+// RunPMDScalePoint measures one (PMDs × queues × balancer) point: a bare
+// vSwitch with a single multi-queue generator port, all of whose RX queues
+// are first forced onto PMD 0 — the residue-clustering pathology made
+// deliberate — then, in the balanced arm, handed to the auto-balancer to
+// spread. The generator cycles enough distinct 5-tuples that the RSS hash
+// populates every queue.
+func RunPMDScalePoint(pmds, queues int, balance bool, cfg ExperimentConfig) (PMDScaleRow, error) {
+	cfg.fill()
+	if pmds < 1 || queues < 1 {
+		return PMDScaleRow{}, fmt.Errorf("pmdscale: need pmds >= 1 and queues >= 1")
+	}
+	sw := vswitch.New(vswitch.Config{NumPMDs: pmds})
+	pool := mempool.MustNew(mempool.Config{Capacity: 4096})
+	portGen, pmdGen, err := dpdkr.NewPortMQ(1, "gen", 1024, queues)
+	if err != nil {
+		return PMDScaleRow{}, err
+	}
+	portSink, pmdSink, err := dpdkr.NewPort(2, "sink", 1024)
+	if err != nil {
+		return PMDScaleRow{}, err
+	}
+	if err := sw.AddPort(portGen); err != nil {
+		return PMDScaleRow{}, err
+	}
+	if err := sw.AddPort(portSink); err != nil {
+		return PMDScaleRow{}, err
+	}
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	if err := sw.Start(); err != nil {
+		return PMDScaleRow{}, err
+	}
+
+	// Skew: home every gen queue on PMD 0 (the sink queue may stay where the
+	// initial assignment put it — one cold single-queue port does not tilt
+	// the comparison).
+	for q := 0; q < queues; q++ {
+		if err := sw.MoveQueue(1, q, 0); err != nil {
+			sw.Stop()
+			return PMDScaleRow{}, err
+		}
+	}
+
+	raw := make([]byte, 256)
+	frameLen, err := pkt.BuildUDP(raw, orchestrator.DefaultTrafficSpec())
+	if err != nil {
+		sw.Stop()
+		return PMDScaleRow{}, err
+	}
+	const srcPortOff = pkt.EthernetLen + pkt.IPv4MinLen
+	raw[srcPortOff+6] = 0 // zero UDP checksum; the rewrite below won't refresh it
+	raw[srcPortOff+7] = 0
+
+	// Enough distinct flows that every queue receives a share of the hash
+	// space with overwhelming probability.
+	flows := cfg.Flows
+	if flows < 8*queues {
+		flows = 8 * queues
+	}
+
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		delivered atomic.Uint64
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]*mempool.Buf, 64)
+		for !stop.Load() {
+			n := pmdSink.Rx(out)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			delivered.Add(uint64(n))
+			mempool.FreeBatch(out[:n])
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bufs := make([]*mempool.Buf, 32)
+		seq := 0
+		for !stop.Load() {
+			got := pool.GetBatch(bufs)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < got; i++ {
+				b := bufs[i]
+				b.SetBytes(raw[:frameLen])
+				fp := uint16(seq % flows)
+				seq++
+				fb := b.Bytes()
+				fb[srcPortOff] = byte(fp >> 8)
+				fb[srcPortOff+1] = byte(fp)
+			}
+			sent := pmdGen.Tx(bufs[:got])
+			if sent < got {
+				mempool.FreeBatch(bufs[sent:got])
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Warmup)
+	spreadBefore := pmdSpread(pmdLoadWindow(sw, cfg.Window))
+
+	var moves uint64
+	if balance && pmds > 1 {
+		// Drive convergence deterministically: sample-and-rebalance at the
+		// balancer's own cadence until a window stays under threshold (or a
+		// bounded number of samples passes — convergence is asserted by the
+		// caller from SpreadAfter, not assumed here).
+		bal := core.NewBalancer(sw, core.BalancerConfig{})
+		for i := 0; i < 20; i++ {
+			time.Sleep(100 * time.Millisecond)
+			bal.RebalanceOnce()
+			st := bal.Stats()
+			if st.Samples >= 3 && st.Moves == moves {
+				break // stable: recent windows triggered no movement
+			}
+			moves = st.Moves
+		}
+		moves = bal.Stats().Moves
+	}
+
+	base := delivered.Load()
+	t0 := time.Now()
+	spreadAfter := pmdSpread(pmdLoadWindow(sw, cfg.Window))
+	got := delivered.Load() - base
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	sw.Stop()
+	return PMDScaleRow{
+		PMDs:         pmds,
+		Queues:       queues,
+		Balanced:     balance,
+		Mpps:         float64(got) / elapsed.Seconds() / 1e6,
+		SpreadBefore: spreadBefore,
+		SpreadAfter:  spreadAfter,
+		Moves:        moves,
+	}, nil
+}
+
+// RunPMDScale sweeps PMD count × queues-per-port × balancer for the
+// pmdscale table: the single-queue column shows why RSS is necessary (one
+// queue can never use more than one PMD), the skewed-unbalanced column
+// shows why the balancer is (all queues pinned to PMD 0), and the balanced
+// column shows the two mechanisms composing.
+func RunPMDScale(cfg ExperimentConfig) ([]PMDScaleRow, error) {
+	cfg.fill()
+	var rows []PMDScaleRow
+	for _, pmds := range []int{1, 2, 4} {
+		for _, queues := range []int{1, cfg.NumQueues} {
+			if queues == 1 && cfg.NumQueues == 1 {
+				continue // axis collapsed; avoid a duplicate point
+			}
+			for _, balance := range []bool{false, true} {
+				r, err := RunPMDScalePoint(pmds, queues, balance, cfg)
+				if err != nil {
+					return rows, err
+				}
+				rows = append(rows, r)
+			}
 		}
 	}
 	return rows, nil

@@ -72,6 +72,18 @@ type Config struct {
 	OpenFlowAddr string
 	// OnBypassUp observes each bypass establishment and its setup latency.
 	OnBypassUp func(from, to uint32, setup time.Duration)
+	// NumQueues is the RSS queue count of every VM-facing dpdkr port: the
+	// guest PMD hashes each flow onto one of NumQueues rings, and the
+	// vSwitch homes each ring on a forwarding thread independently. Default
+	// 1 (classic single-queue ports).
+	NumQueues int
+	// AutoBalance runs the datapath load balancer: per-PMD busy fractions
+	// are sampled every BalanceInterval and RX queues re-home off the
+	// hottest thread when the busy-fraction spread exceeds BalanceSpread
+	// (zero values default to 100ms and 0.2).
+	AutoBalance     bool
+	BalanceInterval time.Duration
+	BalanceSpread   float64
 }
 
 // Node is a running NFV node.
@@ -95,9 +107,13 @@ func (cfg Config) nodeConfig() orchestrator.NodeConfig {
 			HotplugDelay: cfg.HotplugDelay,
 			ConfigDelay:  cfg.ConfigDelay,
 		},
-		RingSize:   cfg.RingSize,
-		PoolSize:   cfg.PoolSize,
-		OnBypassUp: cfg.OnBypassUp,
+		RingSize:        cfg.RingSize,
+		PoolSize:        cfg.PoolSize,
+		OnBypassUp:      cfg.OnBypassUp,
+		NumQueues:       cfg.NumQueues,
+		AutoBalance:     cfg.AutoBalance,
+		BalanceInterval: cfg.BalanceInterval,
+		BalanceSpread:   cfg.BalanceSpread,
 	}
 }
 

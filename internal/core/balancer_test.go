@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ovshighway/internal/core"
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+	"ovshighway/internal/vswitch"
+)
+
+// TestBalancerConvergence skews every RX queue of a hot multi-queue port
+// onto PMD 0 and asserts the balancer spreads the load back out: within a
+// bounded number of samples the per-PMD busy-fraction spread must drop under
+// the 20% threshold, and it must do so by actually moving queues.
+func TestBalancerConvergence(t *testing.T) {
+	const queues = 4
+	sw := vswitch.New(vswitch.Config{NumPMDs: 2})
+	pool := mempool.MustNew(mempool.Config{Capacity: 2048, BufSize: 2048})
+	portGen, pmdGen, err := dpdkr.NewPortMQ(1, "gen", 1024, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	portSink, pmdSink, err := dpdkr.NewPort(2, "sink", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(portGen); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(portSink); err != nil {
+		t.Fatal(err)
+	}
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(2)}, 0)
+	if err := sw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Stop()
+
+	// The deliberate skew: every queue on PMD 0, PMD 1 idle.
+	for q := 0; q < queues; q++ {
+		if err := sw.MoveQueue(1, q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw := make([]byte, 256)
+	frameLen, err := pkt.BuildUDP(raw, pkt.UDPSpec{
+		SrcMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x01},
+		DstMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x02},
+		SrcIP:  pkt.IP4{10, 0, 0, 1}, DstIP: pkt.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000,
+		FrameLen: pkt.MinFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const srcPortOff = pkt.EthernetLen + pkt.IPv4MinLen
+	raw[srcPortOff+6] = 0 // zero UDP checksum; src port is rewritten per frame
+	raw[srcPortOff+7] = 0
+
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]*mempool.Buf, 64)
+		for !stop.Load() {
+			n := pmdSink.Rx(out)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			mempool.FreeBatch(out[:n])
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bufs := make([]*mempool.Buf, 32)
+		seq := 0
+		for !stop.Load() {
+			got := pool.GetBatch(bufs)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < got; i++ {
+				b := bufs[i]
+				b.SetBytes(raw[:frameLen])
+				fp := uint16(5000 + seq%32) // 32 flows spread over the queues
+				seq++
+				fb := b.Bytes()
+				fb[srcPortOff] = byte(fp >> 8)
+				fb[srcPortOff+1] = byte(fp)
+			}
+			sent := pmdGen.Tx(bufs[:got])
+			if sent < got {
+				mempool.FreeBatch(bufs[sent:got])
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Let the skewed state establish, then drive sampling windows by hand.
+	time.Sleep(200 * time.Millisecond)
+	bal := core.NewBalancer(sw, core.BalancerConfig{})
+
+	spread := func() float64 {
+		pre := sw.PMDLoads()
+		time.Sleep(150 * time.Millisecond)
+		post := sw.PMDLoads()
+		lo, hi := 1.0, 0.0
+		for i, l := range post {
+			f := l.Delta(pre[i]).BusyFraction()
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		return hi - lo
+	}
+	before := spread()
+	if before < 0.2 {
+		t.Skipf("skewed spread only %.2f on this host; cannot demonstrate convergence", before)
+	}
+
+	const maxSamples = 15
+	converged := false
+	for i := 0; i < maxSamples; i++ {
+		time.Sleep(150 * time.Millisecond)
+		bal.RebalanceOnce()
+		if bal.Stats().Moves > 0 && spread() < 0.2 {
+			converged = true
+			break
+		}
+	}
+	st := bal.Stats()
+	if st.Moves == 0 {
+		t.Fatalf("balancer never moved a queue (samples %d, spread before %.2f)", st.Samples, before)
+	}
+	if !converged {
+		t.Fatalf("spread did not converge under 0.2 within %d samples (before %.2f, moves %d)",
+			maxSamples, before, st.Moves)
+	}
+}

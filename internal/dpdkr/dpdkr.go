@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"ovshighway/internal/flow"
 	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
 	"ovshighway/internal/ring"
 	"ovshighway/internal/stats"
 )
@@ -37,8 +39,12 @@ type Port struct {
 	ID   uint32
 	Name string
 
-	toVM   *Ring // normal channel: host → guest
-	fromVM *Ring // normal channel: guest → host
+	toVM *Ring // normal channel: host → guest
+	// fromVM is the guest → host direction, split into one ring per RSS
+	// queue: the guest side hashes each frame's flow identity (flow.RSSHash)
+	// to pick a ring, modeling a NIC fanning its RX across hardware queues.
+	// Single-queue ports have exactly one ring and behave as before.
+	fromVM []*Ring
 
 	// Counters hold the host-side view of normal-channel traffic.
 	Counters stats.PortCounters
@@ -50,8 +56,12 @@ type Port struct {
 type PMD struct {
 	PortID uint32
 
-	rxNormal *Ring // host → guest
-	txNormal *Ring // guest → host
+	rxNormal *Ring   // host → guest
+	txNormal []*Ring // guest → host, one ring per RSS queue
+
+	// rssParser classifies outgoing frames onto queues when the port has
+	// more than one (owned by the lcore goroutine, like the rings).
+	rssParser pkt.Parser
 
 	txBypass atomic.Pointer[BypassHalf]
 	rxBypass atomic.Pointer[BypassHalf]
@@ -117,20 +127,35 @@ func (l *Link) Drain() int {
 	}
 }
 
-// NewPort creates a dpdkr port with only the normal channel (the state every
-// port starts in when the compute agent creates the VM) and returns both
-// endpoints.
+// NewPort creates a single-queue dpdkr port with only the normal channel
+// (the state every port starts in when the compute agent creates the VM)
+// and returns both endpoints.
 func NewPort(id uint32, name string, ringSize int) (*Port, *PMD, error) {
+	return NewPortMQ(id, name, ringSize, 1)
+}
+
+// NewPortMQ creates a dpdkr port whose guest→host direction fans out into
+// nq RSS queues, each its own SPSC ring: the guest PMD hashes every frame's
+// flow onto one queue, and each queue is polled by exactly one forwarding
+// thread — the substrate the vSwitch's queue→PMD assignment table
+// distributes load over. nq <= 1 degenerates to the classic single-queue
+// port.
+func NewPortMQ(id uint32, name string, ringSize, nq int) (*Port, *PMD, error) {
 	if ringSize == 0 {
 		ringSize = DefaultRingSize
+	}
+	if nq < 1 {
+		nq = 1
 	}
 	toVM, err := ring.NewSPSC[*mempool.Buf](ringSize)
 	if err != nil {
 		return nil, nil, err
 	}
-	fromVM, err := ring.NewSPSC[*mempool.Buf](ringSize)
-	if err != nil {
-		return nil, nil, err
+	fromVM := make([]*Ring, nq)
+	for i := range fromVM {
+		if fromVM[i], err = ring.NewSPSC[*mempool.Buf](ringSize); err != nil {
+			return nil, nil, err
+		}
 	}
 	p := &Port{ID: id, Name: name, toVM: toVM, fromVM: fromVM}
 	d := &PMD{PortID: id, rxNormal: toVM, txNormal: fromVM}
@@ -139,10 +164,20 @@ func NewPort(id uint32, name string, ringSize int) (*Port, *PMD, error) {
 
 // --- host side -------------------------------------------------------------
 
-// Recv dequeues up to len(out) guest transmissions from the normal channel.
-// The forwarding engine is the single consumer.
-func (p *Port) Recv(out []*mempool.Buf) int {
-	n := p.fromVM.Dequeue(out)
+// Recv dequeues up to len(out) guest transmissions from RSS queue 0 of the
+// normal channel. Single-queue callers keep using this; multi-queue ports
+// are polled per queue via RecvQueue.
+func (p *Port) Recv(out []*mempool.Buf) int { return p.RecvQueue(0, out) }
+
+// NumRxQueues reports how many RSS queues the guest→host direction has.
+// The vSwitch uses it to enumerate pollable queues at port-add time.
+func (p *Port) NumRxQueues() int { return len(p.fromVM) }
+
+// RecvQueue dequeues up to len(out) guest transmissions from one RSS queue.
+// Each queue must have exactly one consumer (the owning PMD thread); the
+// assignment table upstream guarantees that.
+func (p *Port) RecvQueue(q int, out []*mempool.Buf) int {
+	n := p.fromVM[q].Dequeue(out)
 	if n > 0 {
 		var bytes uint64
 		for _, b := range out[:n] {
@@ -188,7 +223,13 @@ func (p *Port) NormalBacklog() int { return p.toVM.Len() }
 // that the forwarding engine has not yet picked up. A migration drain must
 // see BOTH directions empty: frames parked here would be freed — lost — by
 // Drain when the VM is destroyed.
-func (p *Port) ReturnBacklog() int { return p.fromVM.Len() }
+func (p *Port) ReturnBacklog() int {
+	n := 0
+	for _, r := range p.fromVM {
+		n += r.Len()
+	}
+	return n
+}
 
 // Drain frees every packet parked in the port's normal-channel rings,
 // returning the count. Teardown-only: both the forwarding engine and the
@@ -197,7 +238,8 @@ func (p *Port) ReturnBacklog() int { return p.fromVM.Len() }
 func (p *Port) Drain() int {
 	var scratch [32]*mempool.Buf
 	n := 0
-	for _, r := range []*Ring{p.toVM, p.fromVM} {
+	rings := append([]*Ring{p.toVM}, p.fromVM...)
+	for _, r := range rings {
 		for {
 			k := r.Dequeue(scratch[:])
 			if k == 0 {
@@ -294,12 +336,52 @@ func (d *PMD) tx(bufs []*mempool.Buf) int {
 		}
 		return n
 	}
-	n := d.txNormal.Enqueue(bufs)
+	if len(d.txNormal) == 1 {
+		n := d.txNormal[0].Enqueue(bufs)
+		if dropped := len(bufs) - n; dropped > 0 {
+			d.TxNormalDrops.Add(uint64(dropped))
+		}
+		return n
+	}
+	// Multi-queue RSS: hash each frame's flow onto a queue so one flow always
+	// lands in one ring (ordering per flow is the ring's FIFO). The accepted
+	// set must stay a prefix of bufs — the caller frees bufs[n:] — so the
+	// first frame that doesn't fit ends the call even if other queues still
+	// have room.
+	n := 0
+	for _, b := range bufs {
+		q := 0
+		if h, ok := flow.RSSHash(&d.rssParser, b.Bytes()); ok {
+			q = int(h % uint32(len(d.txNormal)))
+		}
+		if d.txNormal[q].Enqueue(bufs[n : n+1]) == 0 {
+			break
+		}
+		n++
+	}
 	if dropped := len(bufs) - n; dropped > 0 {
 		d.TxNormalDrops.Add(uint64(dropped))
 	}
 	return n
 }
+
+// TxQueue enqueues bufs directly onto one normal-channel RSS queue,
+// bypassing both the bypass pointer and the RSS hash. It models traffic a
+// real NIC would have already hashed — benchmarks and tests use it to place
+// load on a specific queue deterministically. Returns the number accepted
+// (a prefix of bufs; the caller frees the rest).
+func (d *PMD) TxQueue(q int, bufs []*mempool.Buf) int {
+	d.txOps.Add(1) // enter critical section (odd)
+	n := d.txNormal[q].Enqueue(bufs)
+	d.txOps.Add(1) // leave critical section (even)
+	if dropped := len(bufs) - n; dropped > 0 {
+		d.TxNormalDrops.Add(uint64(dropped))
+	}
+	return n
+}
+
+// NumTxQueues reports how many RSS queues the guest side fans out over.
+func (d *PMD) NumTxQueues() int { return len(d.txNormal) }
 
 // --- control plane (driven via the agent's virtio-serial commands) ---------
 

@@ -171,6 +171,24 @@ func ExtractKey(p *pkt.Parser, inPort uint32) Key {
 	return k
 }
 
+// RSSHash computes a frame's receive-side-scaling hash the way the
+// simulated multi-queue ports' "hardware" does: parse, extract the header
+// key, and reuse the secondary key hash (Hash2) — the same value the SMC
+// signature and the ECMP path pinning derive from, so one flow maps to one
+// RX queue, one cache signature, and one fabric path. The ingress-port
+// contribution is fixed at zero because RSS runs before the switch has
+// attributed the frame to a port, and a queue choice must not depend on
+// it. ok=false marks frames the parser rejects: they have no flow
+// identity, and callers place them on queue 0. Allocates nothing.
+func RSSHash(p *pkt.Parser, frame []byte) (h uint32, ok bool) {
+	if err := p.Parse(frame); err != nil {
+		return 0, false
+	}
+	k := ExtractKey(p, 0)
+	kp := k.Pack()
+	return kp.Hash2(), true
+}
+
 // Match pairs a key with a mask: the OpenFlow match of a flow entry.
 type Match struct {
 	Key  Key

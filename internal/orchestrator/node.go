@@ -45,6 +45,17 @@ type NodeConfig struct {
 	BufSize    int // packet buffer size; default 2048
 	DrainTO    time.Duration
 	OnBypassUp func(from, to uint32, setup time.Duration)
+
+	// NumQueues is the RSS queue count of every VM-facing dpdkr port the
+	// node creates; default 1 (classic single-queue ports).
+	NumQueues int
+	// AutoBalance starts the datapath load balancer alongside the switch:
+	// per-PMD busy fractions are sampled every BalanceInterval and queues
+	// re-home off the hottest PMD when the spread exceeds BalanceSpread
+	// (zero values take the balancer's defaults: 100ms, 0.2).
+	AutoBalance     bool
+	BalanceInterval time.Duration
+	BalanceSpread   float64
 }
 
 // Node is one NFV compute node.
@@ -57,6 +68,7 @@ type Node struct {
 	Pool     *mempool.Pool
 	Detector *core.Detector
 	Manager  *core.Manager
+	Balancer *core.Balancer
 
 	mu       sync.Mutex
 	nextPort uint32
@@ -106,6 +118,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err := n.Switch.Start(); err != nil {
 		return nil, err
 	}
+	if cfg.AutoBalance {
+		n.Balancer = core.NewBalancer(n.Switch, core.BalancerConfig{
+			Interval:        cfg.BalanceInterval,
+			SpreadThreshold: cfg.BalanceSpread,
+		})
+		go n.Balancer.Run()
+	}
 	return n, nil
 }
 
@@ -119,6 +138,9 @@ func (n *Node) Stop() {
 	}
 	n.stopped = true
 	n.mu.Unlock()
+	if n.Balancer != nil {
+		n.Balancer.Stop()
+	}
 	if n.Manager != nil {
 		n.Manager.Stop()
 	}
@@ -164,7 +186,7 @@ func (n *Node) CreateVM(name string, nports int) ([]uint32, []*dpdkr.PMD, error)
 	byID := make(map[uint32]*dpdkr.PMD, nports)
 	for i := 0; i < nports; i++ {
 		id := n.allocPortID()
-		port, pmd, err := dpdkr.NewPort(id, fmt.Sprintf("dpdkr%d", id), n.cfg.RingSize)
+		port, pmd, err := dpdkr.NewPortMQ(id, fmt.Sprintf("dpdkr%d", id), n.cfg.RingSize, n.cfg.NumQueues)
 		if err != nil {
 			return nil, nil, err
 		}

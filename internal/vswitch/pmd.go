@@ -69,8 +69,17 @@ type pmdThread struct {
 	stop atomic.Bool
 	// iters counts loop iterations; each iteration re-loads the port
 	// snapshot, so control code can wait out an in-flight iteration after
-	// swapping the snapshot (see Switch.WaitDatapathQuiescence).
+	// swapping the snapshot (see Switch.WaitDatapathQuiescence and the
+	// quiesce step of Switch.MoveQueue).
 	iters atomic.Uint64
+
+	// busyNanos/totalNanos implement the pmd-auto-lb load signal: busy is
+	// time spent inside processBatch, total is wall time across whole loop
+	// iterations (empty polls and Gosched waits included), both written only
+	// by this thread. busy/total over a sampling window is the PMD's busy
+	// fraction — what the balancer equalizes.
+	busyNanos  atomic.Uint64
+	totalNanos atomic.Uint64
 
 	emc    *flow.EMC
 	smc    *flow.SMC
@@ -133,26 +142,51 @@ func (p *pmdThread) emcInsertOK() bool {
 	return x%uint32(inv) == 0
 }
 
-// owns reports whether this PMD polls the given port.
+// owns reports whether this PMD polls any queue of the given port under the
+// current assignment table. Ownership is a runtime property of the table,
+// not a function of the id — the old id%NumPMDs rule clustered all-even
+// port ids onto PMD 0 and left the others spinning.
 func (p *pmdThread) owns(id uint32) bool {
-	return int(id)%p.s.cfg.NumPMDs == p.idx
+	asg := p.s.asgSnap.Load()
+	for qi, q := range asg.ports.queues {
+		if q.e.port.PortID() == id && asg.owner[qi] == p.idx {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *pmdThread) run() {
+	var lastTick time.Time
 	for !p.stop.Load() {
 		p.iters.Add(1)
-		snap := p.s.portsSnap.Load()
+		now := time.Now()
+		if !lastTick.IsZero() {
+			p.totalNanos.Add(uint64(now.Sub(lastTick)))
+		}
+		lastTick = now
+		// One atomic load yields a mutually consistent (ports, owners) pair;
+		// the embedded port set is what processBatch resolves output ports
+		// against, so a queue and its destinations always come from the same
+		// generation.
+		asg := p.s.asgSnap.Load()
 		work := false
-		for _, e := range snap.order {
-			if !p.owns(e.port.PortID()) {
+		for qi, q := range asg.ports.queues {
+			if asg.owner[qi] != p.idx {
 				continue
 			}
-			n := e.port.Recv(p.rxBatch)
+			n := q.recv(p.rxBatch)
 			if n == 0 {
 				continue
 			}
 			work = true
-			p.processBatch(e.port.PortID(), p.rxBatch[:n], snap)
+			t0 := time.Now()
+			p.processBatch(q.e.port.PortID(), p.rxBatch[:n], asg.ports)
+			busy := uint64(time.Since(t0))
+			p.busyNanos.Add(busy)
+			q.busyNanos.Add(busy)
+			q.batches.Add(1)
+			q.frames.Add(uint64(n))
 		}
 		if !work {
 			runtime.Gosched()

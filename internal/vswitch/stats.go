@@ -146,6 +146,96 @@ func (s *Switch) FlowCounters(f *flow.Flow) (packets, bytes uint64) {
 	return packets, bytes
 }
 
+// PMDLoad is one forwarding thread's load sample: busy vs. total poll time
+// plus how many queues the assignment table currently homes on it. The
+// balancer and the pmdscale experiment window these via Delta.
+type PMDLoad struct {
+	PMD        int
+	BusyNanos  uint64
+	TotalNanos uint64
+	Queues     int
+}
+
+// BusyFraction is busy/total, clamped to [0,1] (timer jitter can nudge a
+// saturated PMD's busy time past its measured total).
+func (l PMDLoad) BusyFraction() float64 {
+	if l.TotalNanos == 0 {
+		return 0
+	}
+	f := float64(l.BusyNanos) / float64(l.TotalNanos)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Delta returns the counter movement since prev, saturating at zero — a
+// Restart replaces the PMD generation and zeroes the counters, and a
+// windowed reading must not wrap.
+func (l PMDLoad) Delta(prev PMDLoad) PMDLoad {
+	d := l
+	if d.BusyNanos >= prev.BusyNanos {
+		d.BusyNanos -= prev.BusyNanos
+	}
+	if d.TotalNanos >= prev.TotalNanos {
+		d.TotalNanos -= prev.TotalNanos
+	}
+	return d
+}
+
+// QueueLoad is one RX queue's load sample plus its current home PMD
+// (−1 while parked mid-move).
+type QueueLoad struct {
+	Port      uint32
+	Queue     int
+	PMD       int
+	BusyNanos uint64
+	Batches   uint64
+	Frames    uint64
+}
+
+// PMDLoads samples every live forwarding thread's load counters together
+// with its owned-queue count. Index i is PMD i; nil before Start.
+func (s *Switch) PMDLoads() []PMDLoad {
+	pmds := s.pmdList()
+	if pmds == nil {
+		return nil
+	}
+	out := make([]PMDLoad, len(pmds))
+	asg := s.asgSnap.Load()
+	for i, p := range pmds {
+		out[i] = PMDLoad{
+			PMD:        i,
+			BusyNanos:  p.busyNanos.Load(),
+			TotalNanos: p.totalNanos.Load(),
+		}
+	}
+	for qi := range asg.ports.queues {
+		if o := asg.owner[qi]; o >= 0 && o < len(out) {
+			out[o].Queues++
+		}
+	}
+	return out
+}
+
+// QueueLoads samples every RX queue's counters and current owner, in
+// port-id-then-queue-id order.
+func (s *Switch) QueueLoads() []QueueLoad {
+	asg := s.asgSnap.Load()
+	out := make([]QueueLoad, len(asg.ports.queues))
+	for qi, q := range asg.ports.queues {
+		out[qi] = QueueLoad{
+			Port:      q.e.port.PortID(),
+			Queue:     q.qid,
+			PMD:       asg.owner[qi],
+			BusyNanos: q.busyNanos.Load(),
+			Batches:   q.batches.Load(),
+			Frames:    q.frames.Load(),
+		}
+	}
+	return out
+}
+
 // SnapshotFlowStats returns a stable copy of all flows with merged counters,
 // for the OpenFlow flow-stats reply.
 type FlowStatsView struct {

@@ -34,6 +34,18 @@ type DataPort interface {
 	PortCounters() *stats.PortCounters
 }
 
+// MultiQueuePort is a DataPort whose guest→host direction is fanned into
+// several RSS queues. The datapath polls each queue independently and homes
+// every queue on exactly one PMD via the assignment table; ports that do not
+// implement it are treated as single-queue (queue 0 == Recv).
+type MultiQueuePort interface {
+	DataPort
+	// NumRxQueues reports the fixed queue count (≥1), set at port creation.
+	NumRxQueues() int
+	// RecvQueue dequeues arrivals from one queue; single consumer per queue.
+	RecvQueue(q int, out []*mempool.Buf) int
+}
+
 // Config parametrizes a Switch. Zero values take defaults.
 type Config struct {
 	DatapathID uint64
@@ -106,6 +118,54 @@ type PacketInEvent struct {
 type portEntry struct {
 	port DataPort
 	txMu sync.Mutex
+	// queues are this port's pollable RX queues. They are built once, when
+	// the entry is created, and the SAME objects carry over into every later
+	// port-set snapshot — their identity is what lets the assignment table
+	// preserve ownership (and their load counters survive) across unrelated
+	// port add/removes.
+	queues []*rxQueue
+}
+
+// newPortEntry wraps a port and materializes its RX queues: one rxQueue per
+// hardware queue for MultiQueuePort implementations, a single queue 0
+// falling back to Recv for everything else.
+func newPortEntry(p DataPort) *portEntry {
+	e := &portEntry{port: p}
+	nq := 1
+	mq, _ := p.(MultiQueuePort)
+	if mq != nil {
+		if n := mq.NumRxQueues(); n > 1 {
+			nq = n
+		}
+	}
+	e.queues = make([]*rxQueue, nq)
+	for i := range e.queues {
+		e.queues[i] = &rxQueue{e: e, mq: mq, qid: i}
+	}
+	return e
+}
+
+// rxQueue is one pollable RX queue of one port — the unit of PMD ownership
+// and of load accounting. The owning PMD is the only reader of the queue and
+// the only writer of its load counters; stats readers load the counters
+// atomically.
+type rxQueue struct {
+	e   *portEntry
+	mq  MultiQueuePort // nil → single-queue port, recv via e.port.Recv
+	qid int
+
+	// busyNanos is time the owning PMD spent processing this queue's
+	// batches; batches/frames count what it dequeued.
+	busyNanos atomic.Uint64
+	batches   atomic.Uint64
+	frames    atomic.Uint64
+}
+
+func (q *rxQueue) recv(out []*mempool.Buf) int {
+	if q.mq != nil {
+		return q.mq.RecvQueue(q.qid, out)
+	}
+	return q.e.port.Recv(out)
 }
 
 func (e *portEntry) send(bufs []*mempool.Buf, locked bool) int {
@@ -123,6 +183,9 @@ func (e *portEntry) send(bufs []*mempool.Buf, locked bool) int {
 type portSet struct {
 	byID  map[uint32]int
 	order []*portEntry // ascending port id, deterministic polling order
+	// queues flattens every entry's RX queues in port-id-then-queue-id order:
+	// the index domain of the assignment table's owner slice.
+	queues []*rxQueue
 }
 
 // buildPortSet sorts entries by port id and indexes them.
@@ -133,6 +196,7 @@ func buildPortSet(entries []*portEntry) *portSet {
 	ps := &portSet{byID: make(map[uint32]int, len(entries)), order: entries}
 	for i, e := range entries {
 		ps.byID[e.port.PortID()] = i
+		ps.queues = append(ps.queues, e.queues...)
 	}
 	return ps
 }
@@ -145,6 +209,28 @@ func (ps *portSet) entry(id uint32) *portEntry {
 	return nil
 }
 
+// qAssign is the queue→PMD assignment table: one immutable snapshot pairing
+// a port set with the owner of each of its queues (owner[i] owns
+// ports.queues[i]; -1 parks the queue — nobody polls it, used as the quiesce
+// step of a move). PMD loops load it once per iteration, so ports and
+// ownership are always mutually consistent; control code replaces the whole
+// snapshot atomically (copy-on-write under portsMu).
+type qAssign struct {
+	ports *portSet
+	owner []int
+}
+
+// queueIndex locates a (port, queue) pair in the flattened queue slice,
+// returning -1 when absent.
+func (a *qAssign) queueIndex(portID uint32, qid int) int {
+	for i, q := range a.ports.queues {
+		if q.e.port.PortID() == portID && q.qid == qid {
+			return i
+		}
+	}
+	return -1
+}
+
 // Switch is the forwarding engine plus its control surfaces.
 type Switch struct {
 	cfg   Config
@@ -152,7 +238,16 @@ type Switch struct {
 
 	// portsSnap is the copy-on-write port set read by PMD loops.
 	portsSnap atomic.Pointer[portSet]
-	portsMu   sync.Mutex // serializes port add/remove
+	portsMu   sync.Mutex // serializes port add/remove and queue re-homing
+
+	// asgSnap is the copy-on-write queue→PMD assignment table. It embeds the
+	// port set it was built against, so a PMD loading it gets a consistent
+	// (ports, owners) pair in one atomic load.
+	asgSnap atomic.Pointer[qAssign]
+
+	// QueueMoves counts completed queue re-homings (diagnostic; balancer
+	// convergence and experiments read it).
+	QueueMoves atomic.Uint64
 
 	packetIns    chan PacketInEvent
 	flowRemovals chan FlowRemovedEvent
@@ -212,7 +307,9 @@ func New(cfg Config) *Switch {
 		foldedRx:     make(map[uint32]stats.Snapshot),
 		foldedTx:     make(map[uint32]stats.Snapshot),
 	}
-	s.portsSnap.Store(&portSet{byID: map[uint32]int{}})
+	empty := &portSet{byID: map[uint32]int{}}
+	s.portsSnap.Store(empty)
+	s.asgSnap.Store(&qAssign{ports: empty})
 	return s
 }
 
@@ -257,8 +354,10 @@ func (s *Switch) AddPort(p DataPort) error {
 	}
 	entries := make([]*portEntry, 0, len(old.order)+1)
 	entries = append(entries, old.order...)
-	entries = append(entries, &portEntry{port: p})
-	s.portsSnap.Store(buildPortSet(entries))
+	entries = append(entries, newPortEntry(p))
+	ps := buildPortSet(entries)
+	s.portsSnap.Store(ps)
+	s.retargetAssignLocked(ps)
 	return nil
 }
 
@@ -277,8 +376,109 @@ func (s *Switch) RemovePort(id uint32) error {
 			entries = append(entries, e)
 		}
 	}
-	s.portsSnap.Store(buildPortSet(entries))
+	ps := buildPortSet(entries)
+	s.portsSnap.Store(ps)
+	s.retargetAssignLocked(ps)
 	return nil
+}
+
+// retargetAssignLocked rebuilds the assignment table for a new port set.
+// Queues that survive the change (same *rxQueue object) keep their owner —
+// adding port 9 must not re-home port 3's hot queue — and each new queue is
+// homed on the PMD currently owning the fewest queues (ties break toward
+// the lowest index). Counting owned queues rather than hashing ids is what
+// fixes the residue-clustering pathology: all-even port ids with NumPMDs=2
+// used to land every port on PMD 0 under the old id%N rule. Caller holds
+// portsMu.
+func (s *Switch) retargetAssignLocked(ps *portSet) {
+	prev := s.asgSnap.Load()
+	prevOwner := make(map[*rxQueue]int, len(prev.ports.queues))
+	for i, q := range prev.ports.queues {
+		prevOwner[q] = prev.owner[i]
+	}
+	owner := make([]int, len(ps.queues))
+	counts := make([]int, s.cfg.NumPMDs)
+	const unhomed = -2
+	for i, q := range ps.queues {
+		if o, ok := prevOwner[q]; ok {
+			owner[i] = o
+			if o >= 0 && o < len(counts) {
+				counts[o]++
+			}
+			continue
+		}
+		owner[i] = unhomed
+	}
+	for i := range owner {
+		if owner[i] != unhomed {
+			continue
+		}
+		best := 0
+		for p := 1; p < len(counts); p++ {
+			if counts[p] < counts[best] {
+				best = p
+			}
+		}
+		owner[i] = best
+		counts[best]++
+	}
+	s.asgSnap.Store(&qAssign{ports: ps, owner: owner})
+}
+
+// MoveQueue re-homes one RX queue onto the PMD with index dst using the
+// quiesce-then-move protocol: the queue is first parked (owner −1) so no
+// thread polls it, then the source PMD is waited out for one full loop
+// iteration — its current iteration, including the batch it may be flushing
+// from this very queue, completes before the wait returns — and only then
+// does ownership flip to dst. Frames the source already dequeued are fully
+// forwarded before the destination can dequeue newer ones, and the ring
+// itself is FIFO, so per-flow ordering is preserved exactly like a trunk
+// detach. Safe under live traffic.
+func (s *Switch) MoveQueue(portID uint32, qid, dst int) error {
+	if dst < 0 || dst >= s.cfg.NumPMDs {
+		return fmt.Errorf("vswitch: move queue: no PMD %d (NumPMDs=%d)", dst, s.cfg.NumPMDs)
+	}
+	s.portsMu.Lock()
+	defer s.portsMu.Unlock()
+	cur := s.asgSnap.Load()
+	qi := cur.queueIndex(portID, qid)
+	if qi < 0 {
+		return fmt.Errorf("vswitch: move queue: port %d queue %d not found", portID, qid)
+	}
+	src := cur.owner[qi]
+	if src == dst {
+		return nil
+	}
+	parked := make([]int, len(cur.owner))
+	copy(parked, cur.owner)
+	parked[qi] = -1
+	s.asgSnap.Store(&qAssign{ports: cur.ports, owner: parked})
+	if src >= 0 {
+		s.waitPMDIteration(src)
+	}
+	final := make([]int, len(parked))
+	copy(final, parked)
+	final[qi] = dst
+	s.asgSnap.Store(&qAssign{ports: cur.ports, owner: final})
+	s.QueueMoves.Add(1)
+	return nil
+}
+
+// waitPMDIteration blocks until PMD idx begins a new loop iteration (and so
+// has observed the latest assignment snapshot), or the thread/switch stops.
+func (s *Switch) waitPMDIteration(idx int) {
+	if !s.started.Load() || s.stopped.Load() {
+		return
+	}
+	pmds := s.pmdList()
+	if idx < 0 || idx >= len(pmds) {
+		return
+	}
+	p := pmds[idx]
+	before := p.iters.Load()
+	for p.iters.Load() == before && !p.stop.Load() {
+		runtime.Gosched()
+	}
 }
 
 // Port returns the port with the given id, or nil.
@@ -443,13 +643,18 @@ type DatapathStats struct {
 	ClassifierMisses uint64
 	DedupHits        uint64
 	ParseErrors      uint64
+	// PMDs and Queues carry the per-thread and per-queue load samples
+	// (busy-poll time, batches, frames) taken with the tier counters, so one
+	// snapshot-and-Delta yields both cache behaviour and load placement.
+	PMDs   []PMDLoad
+	Queues []QueueLoad
 }
 
 // Delta returns the counter movement since an earlier snapshot — the
 // windowed view experiments use to report steady state instead of
 // since-boot blur (warm-up included).
 func (s DatapathStats) Delta(prev DatapathStats) DatapathStats {
-	return DatapathStats{
+	out := DatapathStats{
 		EMC:              s.EMC.Delta(prev.EMC),
 		SMC:              s.SMC.Delta(prev.SMC),
 		ClassifierHits:   s.ClassifierHits - prev.ClassifierHits,
@@ -457,6 +662,44 @@ func (s DatapathStats) Delta(prev DatapathStats) DatapathStats {
 		DedupHits:        s.DedupHits - prev.DedupHits,
 		ParseErrors:      s.ParseErrors - prev.ParseErrors,
 	}
+	if len(s.PMDs) > 0 {
+		out.PMDs = make([]PMDLoad, len(s.PMDs))
+		for i, l := range s.PMDs {
+			if i < len(prev.PMDs) {
+				l = l.Delta(prev.PMDs[i])
+			}
+			out.PMDs[i] = l
+		}
+	}
+	if len(s.Queues) > 0 {
+		// Queues are keyed by (port, queue), not by index: port add/removes
+		// between the two snapshots shift the flattened order. Saturating
+		// subtraction, like PMDLoad.Delta.
+		type qkey struct {
+			port uint32
+			q    int
+		}
+		prevBy := make(map[qkey]QueueLoad, len(prev.Queues))
+		for _, l := range prev.Queues {
+			prevBy[qkey{l.Port, l.Queue}] = l
+		}
+		out.Queues = make([]QueueLoad, len(s.Queues))
+		for i, l := range s.Queues {
+			if p, ok := prevBy[qkey{l.Port, l.Queue}]; ok {
+				if l.BusyNanos >= p.BusyNanos {
+					l.BusyNanos -= p.BusyNanos
+				}
+				if l.Batches >= p.Batches {
+					l.Batches -= p.Batches
+				}
+				if l.Frames >= p.Frames {
+					l.Frames -= p.Frames
+				}
+			}
+			out.Queues[i] = l
+		}
+	}
+	return out
 }
 
 // DatapathStats returns the aggregated lookup-tier counters. Safe to call
@@ -478,5 +721,7 @@ func (s *Switch) DatapathStats() DatapathStats {
 		ClassifierMisses: tableMisses,
 		DedupHits:        s.DedupHits.Load(),
 		ParseErrors:      s.ParseErrors.Load(),
+		PMDs:             s.PMDLoads(),
+		Queues:           s.QueueLoads(),
 	}
 }
