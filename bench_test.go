@@ -22,6 +22,7 @@ import (
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
 	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
 	"ovshighway/internal/openflow"
 	"ovshighway/internal/pkt"
 	"ovshighway/internal/vswitch"
@@ -430,6 +431,7 @@ func BenchmarkPMDBatch(b *testing.B) {
 	b.Run("untagged", func(b *testing.B) { benchPMDBatch(b, 0) })
 	b.Run("vlan", func(b *testing.B) { benchPMDBatch(b, 7) })
 	b.Run("ecmp", benchPMDBatchECMP)
+	b.Run("ecmp-adaptive", benchPMDBatchECMPAdaptive)
 }
 
 func benchPMDBatch(b *testing.B, vid uint16) {
@@ -532,6 +534,67 @@ func benchPMDBatchECMP(b *testing.B) {
 		return k
 	}
 	// Warm the path (EMC entries, accumulator capacities) before counting.
+	pmdA.Tx(bufs)
+	for got := 0; got < 32; {
+		got += rxBoth()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent := pmdA.Tx(bufs)
+		got := 0
+		for got < sent {
+			got += rxBoth()
+		}
+	}
+	b.SetBytes(32)
+}
+
+// benchPMDBatchECMPAdaptive drives the same ECMP spread with the
+// congestion-aware repick path ACTIVE: the destinations are NIC ports —
+// which export congestion gauges, so portEntry.cong is non-nil — and one
+// gauge is pinned at saturation. Every action execution therefore reads the
+// per-path gauges and every packet's pick scans past the avoided slot; the
+// CI allocation gate holds this at 0 allocs/op like every PMDBatch variant.
+func benchPMDBatchECMPAdaptive(b *testing.B) {
+	sw := vswitch.New(vswitch.Config{SweepInterval: time.Hour})
+	pool := mempool.MustNew(mempool.Config{Capacity: 2048})
+	sw.SetInjectionPool(pool)
+	portA, pmdA, _ := dpdkr.NewPort(1, "a", 1024)
+	nicB, _ := nic.New(nic.Config{ID: 2, Name: "b", QueueSize: 1024, RatePps: -1})
+	nicC, _ := nic.New(nic.Config{ID: 3, Name: "c", QueueSize: 1024, RatePps: -1})
+	sw.AddPort(portA)
+	sw.AddPort(nicB)
+	sw.AddPort(nicC)
+	// Path B congested: the first batch repicks the avoid mask onto it and
+	// every later batch re-reads the gauges, confirms, and steers around.
+	nicB.CongestionGauge().Store(255)
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.OutputECMP(2, 3)}, 0)
+	if err := sw.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer sw.Stop()
+
+	raw := make([]byte, 256)
+	spec := DefaultTrafficSpec()
+	bufs := make([]*mempool.Buf, 32)
+	drain := make([]*mempool.Buf, 64)
+	for i := range bufs {
+		spec.SrcPort = uint16(5000 + i)
+		n, _ := pkt.BuildUDP(raw, spec)
+		bufs[i], _ = pool.Get()
+		bufs[i].SetBytes(raw[:n])
+	}
+	// The datapath is zero-copy end to end: the drained buffers ARE the
+	// injected ones, re-sent next iteration — drain only, never free.
+	rxBoth := func() int {
+		k := nicB.DrainToWire(drain)
+		k += nicC.DrainToWire(drain[k:])
+		if k == 0 {
+			runtime.Gosched()
+		}
+		return k
+	}
 	pmdA.Tx(bufs)
 	for got := 0; got < 32; {
 		got += rxBoth()

@@ -26,11 +26,22 @@ type FabricConfig struct {
 	// leaves relay through the spine's vSwitch).
 	Mode FabricMode
 	// Spine names the relay node in spine mode (default: the first node).
+	// Ignored when Spines is set.
 	Spine string
+	// Spines names the relay nodes of a multi-spine Clos core: each
+	// leaf–leaf lane gets one two-hop path per spine and the sender's ECMP
+	// spreads flows across all of them. Empty falls back to the single
+	// Spine.
+	Spines []string
 	// ECMPWidth is the number of parallel trunks per adjacency (default 1).
 	// Flows are pinned to one trunk of the bundle by their (lane, Hash2)
-	// hash and re-pin live onto survivors when a trunk dies.
+	// hash, repicked off congested paths at flowlet boundaries, and re-pin
+	// live onto survivors when a trunk dies.
 	ECMPWidth int
+	// StagingCap bounds each trunk direction's per-PCP staging queue
+	// (default 256). Shallower queues surface congestion faster; deeper
+	// ones absorb bigger bursts before dropping.
+	StagingCap int
 	// PCPWeights are the per-802.1Q-priority deficit-round-robin weights
 	// every trunk schedules its shared rate budget by (0 = weight 1). A
 	// crossing edge's graph.Edge.PCP selects its class.
@@ -84,8 +95,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		tcfg: orchestrator.TrunkConfig{
 			RatePps:    cfg.TrunkRate,
 			Latency:    cfg.WireLatency,
+			StagingCap: cfg.Fabric.StagingCap,
 			Mode:       cfg.Fabric.Mode,
 			Spine:      cfg.Fabric.Spine,
+			Spines:     cfg.Fabric.Spines,
 			ECMPWidth:  cfg.Fabric.ECMPWidth,
 			PCPWeights: cfg.Fabric.PCPWeights,
 		},

@@ -1316,3 +1316,129 @@ func RunMigrate(cfg ExperimentConfig) (MigrateRow, error) {
 	row.BypassesAfter = cluster.BypassCount()
 	return row, nil
 }
+
+// IncastRow is one arm of the congestion-aware ECMP incast experiment:
+// the measured leaf–leaf chain's goodput and latency while one of the two
+// spine paths is deliberately incast-congested by background traffic.
+type IncastRow struct {
+	Arm      string // "static" (repick disabled) or "adaptive"
+	Mpps     float64
+	P50, P99 time.Duration
+	// Repicks is the number of adaptive avoid-set changes across all nodes
+	// since the measured chain deployed (the static arm must report 0; the
+	// adaptive arm repicks a handful of times as the masks converge, then
+	// holds).
+	Repicks uint64
+	// Paths are the measured deployment's per-trunk carried/dropped window
+	// deltas — the adaptive arm must show the load shifted onto the quiet
+	// spine.
+	Paths []FabricPathRow
+}
+
+// runIncastArm builds a 4-node, 2-spine Clos (leaf-a, leaf-b uplink to
+// spine-1 AND spine-2), incasts background chains onto spine-1 from both
+// leaves — saturating exactly the trunks the measured lane's spine-1 path
+// rides, in both directions — and measures a paced leaf-a↔leaf-b chain
+// whose single ECMP rule spreads over both spine paths. With repick
+// disabled, the flows hashed onto spine-1 sit behind the incast queue;
+// with it enabled, the PMD reads the per-path congestion gauges and moves
+// them to spine-2 at a flowlet boundary.
+func runIncastArm(arm string, disabled bool, perTrunkRate float64, cfg ExperimentConfig) (IncastRow, error) {
+	// Deep staging (2048 frames ≈ 20 ms of wait at the trunk budget) makes
+	// the congested path hurt mostly in LATENCY rather than drops — the
+	// regime adaptive routing exists for. The congestion gauge saturates
+	// long before the queue does (occupancy threshold plus overflow-drop
+	// evidence), so the signal does not need the queue to fill.
+	cluster, err := StartCluster(ClusterConfig{
+		Config:    Config{Mode: ModeVanilla, NumPMDs: cfg.NumPMDs, ECMPAdaptiveDisabled: disabled},
+		Nodes:     []string{"spine-1", "spine-2", "leaf-a", "leaf-b"},
+		TrunkRate: perTrunkRate,
+		Fabric: FabricConfig{
+			Mode:       FabricSpine,
+			Spines:     []string{"spine-1", "spine-2"},
+			StagingCap: 2048,
+		},
+	})
+	if err != nil {
+		return IncastRow{}, err
+	}
+	defer cluster.Stop()
+
+	// Background incast: chains from each leaf onto spine-1, paced at 3×
+	// the trunk budget — steady overload, unlike a saturating (pool-bound)
+	// generator whose two directions seesaw on buffer exhaustion and flap
+	// the congestion signal. Leaf–spine crossings are single-hop, so these
+	// congest the (leaf-a, spine-1) and (leaf-b, spine-1) trunks and
+	// nothing else.
+	for _, bg := range []struct{ prefix, leaf string }{
+		{"bga-", "leaf-a"},
+		{"bgb-", "leaf-b"},
+	} {
+		g := graph.SplitBidirChain(1, []string{bg.leaf, "spine-1"})
+		applyBidirEndpointArgs(g, ChainOptions{Flows: 8, RatePps: perTrunkRate * 3})
+		prefixGraph(g, bg.prefix)
+		dep, err := cluster.Deploy(g)
+		if err != nil {
+			return IncastRow{}, err
+		}
+		defer dep.Stop()
+	}
+
+	// Measured chain: paced well under one path's capacity, so the quiet
+	// spine can absorb it entirely — any residual p99 tail or drops come
+	// from flows stuck behind the incast, not from self-congestion.
+	chain, err := cluster.DeploySplitChain(2, []string{"leaf-a", "leaf-b"},
+		ChainOptions{Flows: 32, Timestamp: true, RatePps: perTrunkRate * 0.5})
+	if err != nil {
+		return IncastRow{}, err
+	}
+	defer chain.Stop()
+
+	// Repicks are counted from chain deploy, not window start: the masks
+	// converge within the first few batches (warmup), and a steady signal
+	// means they then STAY put — near-zero in-window churn is the success
+	// mode, not an idle datapath.
+	repicks := func() uint64 {
+		var total uint64
+		for _, name := range cluster.NodeNames() {
+			total += cluster.inner.Node(name).Switch.DatapathStats().ECMPRepicks
+		}
+		return total
+	}
+	base := repicks()
+	time.Sleep(cfg.Warmup)
+	win := newPathWindow(chain.Deployment().Internal().Trunks())
+	chain.ResetWindow()
+	time.Sleep(cfg.Window)
+	return IncastRow{
+		Arm:     arm,
+		Mpps:    chain.RatePps() / 1e6,
+		P50:     chain.LatencyQuantile(0.50),
+		P99:     chain.LatencyQuantile(0.99),
+		Repicks: repicks() - base,
+		Paths:   win.rows(),
+	}, nil
+}
+
+// RunIncast runs both arms of the incast experiment — static hash pinning
+// vs congestion-aware adaptive repick — on identical topologies and
+// offered load. The adaptive arm must beat the static arm on p99 latency
+// and carried Mpps.
+func RunIncast(perTrunkRate float64, cfg ExperimentConfig) ([]IncastRow, error) {
+	cfg.fill()
+	var rows []IncastRow
+	for _, arm := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"static", true},
+		{"adaptive", false},
+	} {
+		row, err := runIncastArm(arm.name, arm.disabled, perTrunkRate, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("incast %s arm: %w", arm.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

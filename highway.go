@@ -58,6 +58,10 @@ type Config struct {
 	// SMCDisabled turns off the vSwitch signature-match cache, the second
 	// lookup tier between the EMC and the classifier (ablation A5).
 	SMCDisabled bool
+	// ECMPAdaptiveDisabled pins every ECMP flow to its static hash pick,
+	// ignoring the per-path congestion signal — the baseline arm of the
+	// incast experiment.
+	ECMPAdaptiveDisabled bool
 	// RingSize is the dpdkr/bypass ring capacity (default 1024).
 	RingSize int
 	// PoolSize is the packet-buffer population (default 8192).
@@ -99,9 +103,10 @@ func (cfg Config) nodeConfig() orchestrator.NodeConfig {
 	return orchestrator.NodeConfig{
 		Mode: cfg.Mode,
 		Switch: vswitch.Config{
-			NumPMDs:     cfg.NumPMDs,
-			EMCDisabled: cfg.EMCDisabled,
-			SMCDisabled: cfg.SMCDisabled,
+			NumPMDs:              cfg.NumPMDs,
+			EMCDisabled:          cfg.EMCDisabled,
+			SMCDisabled:          cfg.SMCDisabled,
+			ECMPAdaptiveDisabled: cfg.ECMPAdaptiveDisabled,
 		},
 		Agent: agent.Config{
 			HotplugDelay: cfg.HotplugDelay,

@@ -54,7 +54,34 @@ type Flow struct {
 	// the SMC verification path.
 	pmask      Packed
 	pkeyMasked Packed
+
+	// ecmp is the adaptive multipath repick state, mutated by the datapath
+	// under a flowlet gate like the stats counters above (the flow itself
+	// stays immutable; this is runtime state riding on it, the way lastHit
+	// does).
+	ecmp ECMPState
 }
+
+// ECMPState is a flow's adaptive-ECMP repick state. An ECMP rule matches a
+// whole port's traffic (microflows spread by packet hash), so this is
+// per-RULE path-steering state: Avoid masks out bundle slots whose egress
+// reports congestion, and the two epochs gate how often that mask may
+// change — a flowlet-style ordering guarantee (see the datapath's
+// ActOutputECMP execution).
+type ECMPState struct {
+	// Avoid is a bitmask over the ECMP action's bundle slots (bit j = slot
+	// j) the flow currently steers around.
+	Avoid atomic.Uint32
+	// Seen is the UnixNano of the last batch executed through the flow's
+	// ECMP action — the idle-gap side of the flowlet gate.
+	Seen atomic.Int64
+	// Moved is the UnixNano of the last Avoid change — the bounded-rate
+	// side of the gate.
+	Moved atomic.Int64
+}
+
+// ECMP returns the flow's adaptive-ECMP repick state.
+func (f *Flow) ECMP() *ECMPState { return &f.ecmp }
 
 // Dead reports whether the flow has been removed from its table. Cached
 // lookup tiers must never serve a dead flow.

@@ -8,6 +8,7 @@ package nic
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ovshighway/internal/mempool"
@@ -41,6 +42,13 @@ type NIC struct {
 	txBucket tokenBucket // applied when the switch pushes to the wire
 
 	counters stats.PortCounters
+
+	// cong is the egress congestion gauge (0 quiet .. 255 saturated).
+	// Whoever consumes this NIC's wire-TX side (a trunk pump) publishes its
+	// backpressure here; the switch-side sender reads it through
+	// CongestionGauge to steer flows off a congested path. A NIC nobody
+	// writes stays at 0 — permanently quiet.
+	cong atomic.Uint32
 
 	// WireTxDrops counts generator-side drops (wire ingress queue full).
 	WireTxDrops uint64
@@ -81,6 +89,12 @@ func (n *NIC) PortName() string { return n.name }
 
 // PortCounters implements vswitch.DataPort.
 func (n *NIC) PortCounters() *stats.PortCounters { return &n.counters }
+
+// CongestionGauge exposes the egress congestion gauge: the wire-side
+// consumer stores a 0..255 score, the datapath's adaptive ECMP loads it per
+// action execution. Handing out the atomic itself keeps the hot-path read a
+// single load with no interface call.
+func (n *NIC) CongestionGauge() *atomic.Uint32 { return &n.cong }
 
 // Recv implements vswitch.DataPort: the switch pulls wire arrivals, paced at
 // line rate.

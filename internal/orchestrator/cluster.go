@@ -54,11 +54,21 @@ type TrunkConfig struct {
 	Latency time.Duration
 	// QueueSize is the trunk NIC descriptor ring depth (default 1024).
 	QueueSize int
+	// StagingCap bounds each trunk direction's per-PCP staging queue
+	// (default 256). Shallower queues surface congestion faster; deeper
+	// ones absorb bigger bursts before dropping.
+	StagingCap int
 	// Mode selects the core topology (mesh or leaf–spine).
 	Mode FabricMode
 	// Spine names the relay node in FabricSpine mode (default: the
-	// cluster's first node).
+	// cluster's first node). Ignored when Spines is set.
 	Spine string
+	// Spines names the relay nodes of a k-spine Clos core: every leaf–leaf
+	// crossing gets one two-hop path PER SPINE and the sender's ECMP spreads
+	// flows across all of them (spines × bundle width, capped at
+	// flow.MaxECMPPorts fan-out ports). Empty falls back to the single
+	// Spine. Crossings that touch a spine themselves stay single-hop.
+	Spines []string
 	// ECMPWidth is the number of parallel trunks per adjacency (default 1,
 	// max flow.MaxECMPPorts). Each flow is pinned to one trunk of the
 	// bundle by its (lane, Hash2) hash; surviving trunks absorb the flows
@@ -79,6 +89,28 @@ func (tc TrunkConfig) width() int {
 		w = flow.MaxECMPPorts
 	}
 	return w
+}
+
+// equal compares two trunk configs field by field. TrunkConfig stopped
+// being ==-comparable when Spines arrived (slice field), and ensureTrunk's
+// shared-adjacency check must keep comparing by value, not identity.
+func (tc TrunkConfig) equal(o TrunkConfig) bool {
+	if len(tc.Spines) != len(o.Spines) {
+		return false
+	}
+	for i := range tc.Spines {
+		if tc.Spines[i] != o.Spines[i] {
+			return false
+		}
+	}
+	return tc.RatePps == o.RatePps &&
+		tc.Latency == o.Latency &&
+		tc.QueueSize == o.QueueSize &&
+		tc.StagingCap == o.StagingCap &&
+		tc.Mode == o.Mode &&
+		tc.Spine == o.Spine &&
+		tc.ECMPWidth == o.ECMPWidth &&
+		tc.PCPWeights == o.PCPWeights
 }
 
 // Cluster is a set of NFV nodes joined by a switched-core fabric of shared
@@ -443,29 +475,52 @@ func (c *Cluster) nicNodes() map[string]string {
 	return out
 }
 
-// spineNode resolves the relay node for spine-mode routing.
-func (c *Cluster) spineNode(tcfg TrunkConfig) (string, error) {
+// spineNodes resolves the relay nodes for spine-mode routing: the k-spine
+// Spines list when set, else the single Spine (defaulting to the cluster's
+// first node). Nil in mesh mode.
+func (c *Cluster) spineNodes(tcfg TrunkConfig) ([]string, error) {
 	if tcfg.Mode != FabricSpine {
-		return "", nil
+		return nil, nil
 	}
-	spine := tcfg.Spine
-	if spine == "" {
-		spine = c.order[0]
+	spines := tcfg.Spines
+	if len(spines) == 0 {
+		spine := tcfg.Spine
+		if spine == "" {
+			spine = c.order[0]
+		}
+		spines = []string{spine}
 	}
-	if c.nodes[spine] == nil {
-		return "", fmt.Errorf("orchestrator: spine node %q not in cluster %v", spine, c.order)
+	seen := make(map[string]bool, len(spines))
+	for _, s := range spines {
+		if c.nodes[s] == nil {
+			return nil, fmt.Errorf("orchestrator: spine node %q not in cluster %v", s, c.order)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("orchestrator: duplicate spine node %q", s)
+		}
+		seen[s] = true
 	}
-	return spine, nil
+	return spines, nil
 }
 
-// path returns the adjacency sequence a crossing between two distinct
-// nodes rides: direct in mesh mode (or when either end IS the spine), and
-// src→spine→dst otherwise.
-func (c *Cluster) path(a, b, spine string, tcfg TrunkConfig) []pairKey {
-	if tcfg.Mode != FabricSpine || a == spine || b == spine {
-		return []pairKey{makePair(a, b)}
+// paths returns the adjacency paths a crossing between two distinct nodes
+// rides: one direct path in mesh mode (or when either end IS a spine), and
+// one src→spineᵢ→dst path per spine otherwise — the Clos multipath the
+// sender's ECMP spreads flows across.
+func (c *Cluster) paths(a, b string, spines []string, tcfg TrunkConfig) [][]pairKey {
+	if tcfg.Mode != FabricSpine {
+		return [][]pairKey{{makePair(a, b)}}
 	}
-	return []pairKey{makePair(a, spine), makePair(spine, b)}
+	for _, s := range spines {
+		if a == s || b == s {
+			return [][]pairKey{{makePair(a, b)}}
+		}
+	}
+	out := make([][]pairKey, 0, len(spines))
+	for _, s := range spines {
+		out = append(out, []pairKey{makePair(a, s), makePair(s, b)})
+	}
+	return out
 }
 
 // allocVidLocked hands out the lowest free cluster-wide VLAN id. Caller
@@ -488,7 +543,7 @@ func (c *Cluster) allocVidLocked() (uint16, error) {
 // silent drop. Caller holds c.mu.
 func (c *Cluster) ensureTrunk(pair pairKey, tcfg TrunkConfig) (*clusterTrunk, error) {
 	if ct, ok := c.trunks[pair]; ok {
-		if ct.cfg != tcfg {
+		if !ct.cfg.equal(tcfg) {
 			return nil, fmt.Errorf(
 				"orchestrator: trunk %s-%s already exists with config %+v; deployment asked for %+v",
 				pair.lo, pair.hi, ct.cfg, tcfg)
@@ -562,6 +617,7 @@ func (c *Cluster) newTrunkLinkLocked(pair pairKey, i int, tcfg TrunkConfig) (*tr
 		RatePps:    trunkRate(tcfg),
 		Latency:    tcfg.Latency,
 		PCPWeights: tcfg.PCPWeights,
+		StagingCap: tcfg.StagingCap,
 		Poller:     c.poller,
 	})
 	if err != nil {
@@ -707,15 +763,25 @@ func (c *Cluster) releaseVid(vid uint16) {
 }
 
 // laneSteer is one realized crossing's steering intent: the crossing, its
-// cluster-wide VLAN id and the adjacency path it rides (one hop in mesh
-// mode, two through the spine). Hop port snapshots are deliberately NOT
-// stored: they are recaptured under Cluster.mu every time rules are
-// (re)derived, so a repaired bundle's fresh ports flow into the next
-// reconcile pass automatically.
+// cluster-wide VLAN id and the adjacency paths it rides (a single one-hop
+// path in mesh mode, one two-hop path per spine in a k-spine core; the vid
+// is registered on every trunk of every path). Hop port snapshots are
+// deliberately NOT stored: they are recaptured under Cluster.mu every time
+// rules are (re)derived, so a repaired bundle's fresh ports flow into the
+// next reconcile pass automatically.
 type laneSteer struct {
 	ce    graph.CrossEdge
 	vid   uint16
-	pairs []pairKey
+	paths [][]pairKey
+}
+
+// eachPair visits every adjacency of every path, in path-then-hop order.
+func (st laneSteer) eachPair(fn func(pairKey)) {
+	for _, path := range st.paths {
+		for _, pair := range path {
+			fn(pair)
+		}
+	}
 }
 
 // ClusterDeployment is a service graph deployed across a cluster: one local
@@ -731,9 +797,9 @@ type ClusterDeployment struct {
 	mu      sync.Mutex
 	stopped bool
 
-	graph *graph.Graph
-	tcfg  TrunkConfig
-	spine string
+	graph  *graph.Graph
+	tcfg   TrunkConfig
+	spines []string
 
 	deps   map[string]*Deployment
 	steers []laneSteer
@@ -787,10 +853,12 @@ func outputTo(h hopSnapshot, node string) flow.Action {
 // adjacencies on first use), and lowers each partition on its node.
 // Crossing edges lower to vlan steering: the sending side pushes the lane's
 // tag (stamping the edge's PCP priority for the trunk scheduler when set)
-// and outputs into the adjacency bundle — hash-pinned ECMP when the bundle
-// is wider than one trunk; in spine mode the spine's vSwitch relays the
-// tagged lane between its trunk ports; the receiving side matches (trunk
-// port, vid), strips the tag and outputs to the target VNF port. The
+// and outputs into the union of its paths' first-hop bundles — hash-pinned
+// ECMP when that union is wider than one trunk, so with k spines a leaf–leaf
+// crossing spreads over k × bundle-width uplinks; in spine mode each spine's
+// vSwitch relays the tagged lane between its trunk ports; the receiving side
+// matches (trunk port, vid), strips the tag and outputs to the target VNF
+// port. The
 // per-node lowering is exactly the single-node Deploy path, so in highway
 // mode each node's detector establishes bypasses for its intra-node hops
 // while the trunk hops stay on the NIC path — the highway survives the
@@ -806,7 +874,7 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 			return nil, fmt.Errorf("orchestrator: graph places VNFs on unknown node %q (cluster has %v)", node, c.order)
 		}
 	}
-	spine, err := c.spineNode(tcfg)
+	spines, err := c.spineNodes(tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -814,15 +882,16 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 		cluster:     c,
 		graph:       g,
 		tcfg:        tcfg,
-		spine:       spine,
+		spines:      spines,
 		deps:        make(map[string]*Deployment),
 		steerCookie: DeployCookieBase | deployCookieSeq.Add(1),
 		relayNodes:  make(map[string]bool),
 	}
 
 	// Realize the crossings first: one cluster-wide vid per crossing,
-	// registered on every trunk of its path, so the steering rules below
-	// have ports and vids to reference.
+	// registered on every trunk of every path it rides (one path per spine
+	// for a leaf–leaf crossing), so the steering rules below have ports and
+	// vids to reference.
 	c.mu.Lock()
 	for _, ce := range part.Cross {
 		vid, err := c.allocVidLocked()
@@ -832,23 +901,31 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 			return nil, err
 		}
 		st := laneSteer{ce: ce, vid: vid}
-		for _, pair := range c.path(ce.NodeA, ce.NodeB, spine, tcfg) {
-			ct, err := c.ensureTrunk(pair, tcfg)
-			if err == nil {
-				err = ct.addLaneLocked(vid)
+		for _, path := range c.paths(ce.NodeA, ce.NodeB, spines, tcfg) {
+			var done []pairKey
+			for _, pair := range path {
+				ct, err := c.ensureTrunk(pair, tcfg)
+				if err == nil {
+					err = ct.addLaneLocked(vid)
+				}
+				if err != nil {
+					// The partially-registered lane is recorded before Stop
+					// so teardown removes its hops FIRST and only then
+					// returns the vid to the allocator (releaseVid) — freeing
+					// it here, while earlier hops still carry it, would let a
+					// concurrent Deploy be handed a vid that is live on other
+					// trunks.
+					if len(done) > 0 {
+						st.paths = append(st.paths, done)
+					}
+					c.mu.Unlock()
+					cd.steers = append(cd.steers, st)
+					cd.Stop()
+					return nil, err
+				}
+				done = append(done, pair)
 			}
-			if err != nil {
-				// The partially-registered lane is recorded before Stop so
-				// teardown removes its hops FIRST and only then returns the
-				// vid to the allocator (releaseVid) — freeing it here, while
-				// earlier hops still carry it, would let a concurrent Deploy
-				// be handed a vid that is live on other trunks.
-				c.mu.Unlock()
-				cd.steers = append(cd.steers, st)
-				cd.Stop()
-				return nil, err
-			}
-			st.pairs = append(st.pairs, pair)
+			st.paths = append(st.paths, done)
 		}
 		cd.steers = append(cd.steers, st)
 	}
@@ -887,21 +964,25 @@ func (c *Cluster) Deploy(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, 
 	return cd, nil
 }
 
-// snapshotPath captures fresh hop port snapshots for a steer's adjacency
-// path under Cluster.mu — the only safe way to read bundle ports while
-// FailTrunk/repair mutate link slots concurrently.
-func (c *Cluster) snapshotPath(pairs []pairKey) ([]hopSnapshot, error) {
+// snapshotPaths captures fresh hop port snapshots for each of a steer's
+// adjacency paths under Cluster.mu — the only safe way to read bundle ports
+// while FailTrunk/repair mutate link slots concurrently.
+func (c *Cluster) snapshotPaths(paths [][]pairKey) ([][]hopSnapshot, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	hops := make([]hopSnapshot, 0, len(pairs))
-	for _, pair := range pairs {
-		ct, ok := c.trunks[pair]
-		if !ok {
-			return nil, fmt.Errorf("%w: %s-%s vanished from the fabric", ErrUnknownAdjacency, pair.lo, pair.hi)
+	out := make([][]hopSnapshot, 0, len(paths))
+	for _, pairs := range paths {
+		hops := make([]hopSnapshot, 0, len(pairs))
+		for _, pair := range pairs {
+			ct, ok := c.trunks[pair]
+			if !ok {
+				return nil, fmt.Errorf("%w: %s-%s vanished from the fabric", ErrUnknownAdjacency, pair.lo, pair.hi)
+			}
+			hops = append(hops, snapshotHop(ct))
 		}
-		hops = append(hops, snapshotHop(ct))
+		out = append(out, hops)
 	}
-	return hops, nil
+	return out, nil
 }
 
 // steerSpecsInto derives the crossing's steering rules against the fabric's
@@ -911,17 +992,21 @@ func (c *Cluster) snapshotPath(pairs []pairKey) ([]hopSnapshot, error) {
 // with the deployment); relay rules on pass-through nodes carry the
 // deployment's steer cookie instead.
 func (cd *ClusterDeployment) steerSpecsInto(st laneSteer, specs map[string][]flow.FlowSpec) error {
-	hops, err := cd.cluster.snapshotPath(st.pairs)
+	paths, err := cd.cluster.snapshotPaths(st.paths)
 	if err != nil {
 		return err
 	}
-	if err := cd.steerDir(st, st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, hops, specs); err != nil {
+	if err := cd.steerDir(st, st.ce.NodeA, st.ce.A, st.ce.NodeB, st.ce.B, paths, specs); err != nil {
 		return err
 	}
 	if st.ce.Bidirectional {
-		rev := make([]hopSnapshot, len(hops))
-		for i, h := range hops {
-			rev[len(rev)-1-i] = h
+		rev := make([][]hopSnapshot, len(paths))
+		for i, hops := range paths {
+			r := make([]hopSnapshot, len(hops))
+			for j, h := range hops {
+				r[len(r)-1-j] = h
+			}
+			rev[i] = r
 		}
 		if err := cd.steerDir(st, st.ce.NodeB, st.ce.B, st.ce.NodeA, st.ce.A, rev, specs); err != nil {
 			return err
@@ -931,8 +1016,14 @@ func (cd *ClusterDeployment) steerSpecsInto(st laneSteer, specs map[string][]flo
 }
 
 // steerDir lowers one direction of a crossing: sender tag+fan-in, per-hop
-// relays, receiver strip+deliver.
-func (cd *ClusterDeployment) steerDir(st laneSteer, fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, hops []hopSnapshot, specs map[string][]flow.FlowSpec) error {
+// relays on each path, receiver strip+deliver. With k spine paths the
+// sender's fan-in is a single ECMP spread over the UNION of every path's
+// first-hop bundle ports (path order, then bundle order) — one rule, so the
+// PMD's hash pin (and its congestion-aware repick) chooses both the spine
+// and the trunk within its bundle in one pick. Paths whose first hop has no
+// live ports are left out of the union; the direction only errors when NO
+// path can carry it.
+func (cd *ClusterDeployment) steerDir(st laneSteer, fromNode string, fromEp graph.Endpoint, toNode string, toEp graph.Endpoint, paths [][]hopSnapshot, specs map[string][]flow.FlowSpec) error {
 	src, err := cd.deps[fromNode].resolve(fromEp)
 	if err != nil {
 		return err
@@ -941,56 +1032,73 @@ func (cd *ClusterDeployment) steerDir(st laneSteer, fromNode string, fromEp grap
 	if err != nil {
 		return err
 	}
-	if len(hops[0].ports(fromNode)) == 0 || len(hops[len(hops)-1].ports(toNode)) == 0 {
-		// Every link of a hop is dead: there is nothing to steer into. The
-		// reconciler repairs the bundle before re-deriving specs, so hitting
-		// this means repair itself failed — surface it.
+	var sendPorts []uint32
+	recvLive := false
+	for _, hops := range paths {
+		sendPorts = append(sendPorts, hops[0].ports(fromNode)...)
+		if len(hops[len(hops)-1].ports(toNode)) > 0 {
+			recvLive = true
+		}
+	}
+	if len(sendPorts) == 0 || !recvLive {
+		// Every link of the entry (or exit) hop of every path is dead: there
+		// is nothing to steer into. The reconciler repairs bundles before
+		// re-deriving specs, so hitting this means repair itself failed —
+		// surface it.
 		return fmt.Errorf("orchestrator: lane %d of %s→%s has no live trunk ports", st.vid, fromNode, toNode)
 	}
-	// Sender: tag, stamp the crossing priority, fan into the first hop.
+	// Sender: tag, stamp the crossing priority, fan into the union of
+	// first hops.
 	acts := flow.Actions{flow.PushVlan(st.vid)}
 	if st.ce.PCP != 0 {
 		acts = append(acts, flow.SetVlanPcp(st.ce.PCP))
 	}
-	acts = append(acts, outputTo(hops[0], fromNode))
+	if len(sendPorts) == 1 {
+		acts = append(acts, flow.Output(sendPorts[0]))
+	} else {
+		acts = append(acts, flow.OutputECMP(sendPorts...))
+	}
 	specs[fromNode] = append(specs[fromNode], flow.FlowSpec{
 		Priority: cd.deps[fromNode].flowPrio,
 		Match:    flow.MatchInPort(src),
 		Actions:  acts,
 		Cookie:   cd.deps[fromNode].cookie,
 	})
-	// Relays: on each intermediate node, forward the tagged lane from
-	// every inbound trunk port of one hop into the next hop's bundle.
-	relay := fromNode
-	for h := 0; h+1 < len(hops); h++ {
-		next := hops[h].pair.lo
-		if next == relay {
-			next = hops[h].pair.hi
+	for _, hops := range paths {
+		// Relays: on each intermediate node of this path, forward the tagged
+		// lane from every inbound trunk port of one hop into the next hop's
+		// bundle.
+		relay := fromNode
+		for h := 0; h+1 < len(hops); h++ {
+			next := hops[h].pair.lo
+			if next == relay {
+				next = hops[h].pair.hi
+			}
+			prio := uint16(10)
+			if d := cd.deps[next]; d != nil {
+				prio = d.flowPrio
+			}
+			for _, inPort := range hops[h].ports(next) {
+				specs[next] = append(specs[next], flow.FlowSpec{
+					Priority: prio,
+					Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
+					Actions:  flow.Actions{outputTo(hops[h+1], next)},
+					Cookie:   cd.steerCookie,
+				})
+			}
+			cd.relayNodes[next] = true
+			relay = next
 		}
-		prio := uint16(10)
-		if d := cd.deps[next]; d != nil {
-			prio = d.flowPrio
-		}
-		for _, inPort := range hops[h].ports(next) {
-			specs[next] = append(specs[next], flow.FlowSpec{
-				Priority: prio,
+		// Receiver: match every inbound trunk port of this path's last hop,
+		// strip the tag, deliver.
+		for _, inPort := range hops[len(hops)-1].ports(toNode) {
+			specs[toNode] = append(specs[toNode], flow.FlowSpec{
+				Priority: cd.deps[toNode].flowPrio,
 				Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
-				Actions:  flow.Actions{outputTo(hops[h+1], next)},
-				Cookie:   cd.steerCookie,
+				Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
+				Cookie:   cd.deps[toNode].cookie,
 			})
 		}
-		cd.relayNodes[next] = true
-		relay = next
-	}
-	// Receiver: match every inbound trunk port of the last hop, strip
-	// the tag, deliver.
-	for _, inPort := range hops[len(hops)-1].ports(toNode) {
-		specs[toNode] = append(specs[toNode], flow.FlowSpec{
-			Priority: cd.deps[toNode].flowPrio,
-			Match:    flow.MatchInPort(inPort).WithVlan(st.vid),
-			Actions:  flow.Actions{flow.PopVlan(), flow.Output(dst)},
-			Cookie:   cd.deps[toNode].cookie,
-		})
 	}
 	return nil
 }
@@ -1066,20 +1174,22 @@ func (c *Cluster) NodeLoads() []float64 {
 // — and then deploys the placed graph. The chosen crossing count is
 // returned alongside the deployment.
 func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, int, error) {
-	spine, err := c.spineNode(tcfg)
+	spines, err := c.spineNodes(tcfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	opts := graph.PlaceOptions{NodeLoad: c.NodeLoads()}
 	if tcfg.Mode == FabricSpine {
-		spineIdx := 0
+		isSpine := make(map[int]bool, len(spines))
 		for i, name := range c.order {
-			if name == spine {
-				spineIdx = i
+			for _, s := range spines {
+				if name == s {
+					isSpine[i] = true
+				}
 			}
 		}
 		opts.Dist = func(a, b int) int {
-			if a == spineIdx || b == spineIdx {
+			if isSpine[a] || isSpine[b] {
 				return 1
 			}
 			return 2
@@ -1119,9 +1229,9 @@ func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
 	seen := make(map[pairKey]bool)
 	var out []*trunk.Trunk
 	for _, ln := range cd.steers {
-		for _, pair := range ln.pairs {
+		ln.eachPair(func(pair pairKey) {
 			if seen[pair] {
-				continue
+				return
 			}
 			seen[pair] = true
 			if ct, ok := cd.cluster.trunks[pair]; ok {
@@ -1132,7 +1242,7 @@ func (cd *ClusterDeployment) Trunks() []*trunk.Trunk {
 					out = append(out, tl.tr)
 				}
 			}
-		}
+		})
 	}
 	return out
 }
@@ -1148,12 +1258,12 @@ func (cd *ClusterDeployment) Lanes() []struct {
 		VID          uint16
 	}
 	for _, ln := range cd.steers {
-		for _, pair := range ln.pairs {
+		ln.eachPair(func(pair pairKey) {
 			out = append(out, struct {
 				NodeA, NodeB string
 				VID          uint16
 			}{NodeA: pair.lo, NodeB: pair.hi, VID: ln.vid})
-		}
+		})
 	}
 	return out
 }
@@ -1187,9 +1297,9 @@ func (cd *ClusterDeployment) Stop() {
 	}
 	cd.deps = map[string]*Deployment{}
 	for _, ln := range cd.steers {
-		for _, pair := range ln.pairs {
+		ln.eachPair(func(pair pairKey) {
 			cd.cluster.releaseLane(pair, ln.vid)
-		}
+		})
 		cd.cluster.releaseVid(ln.vid)
 	}
 	cd.steers = nil

@@ -187,3 +187,112 @@ func TestClusterSpineEndpointStaysSingleHop(t *testing.T) {
 	}
 	waitRecv(t, cd, "end1", 1000)
 }
+
+// TestClusterMultiSpineClos: with Spines listing two relay nodes, a
+// leaf–leaf crossing is lowered onto one two-hop path per spine — four
+// adjacencies, relay rules on BOTH spines, and the sender's ECMP spreading
+// a many-flow chain over both planes. Teardown leaves no rules, ports, or
+// buffers behind on any of the four nodes.
+func TestClusterMultiSpineClos(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "s1", "s2", "leaf-a", "leaf-b")
+	g := graph.SplitBidirChain(1, []string{"leaf-a", "leaf-b"})
+	for i := range g.VNFs {
+		switch g.VNFs[i].Name {
+		case "end0":
+			g.VNFs[i].Args = SrcSinkArgs{Spec: DefaultTrafficSpec(), Flows: 16}
+		case "end1":
+			spec := DefaultTrafficSpec()
+			spec.SrcIP, spec.DstIP = spec.DstIP, spec.SrcIP
+			spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
+			g.VNFs[i].Args = SrcSinkArgs{Spec: spec, Flows: 16}
+		}
+	}
+	cd, err := c.Deploy(g, TrunkConfig{
+		RatePps: -1, Mode: FabricSpine, Spines: []string{"s1", "s2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One leaf→spine→leaf path per spine: four adjacencies, no direct link.
+	if c.TrunkCount() != 4 {
+		t.Fatalf("2-spine crossing created %d adjacencies, want 4", c.TrunkCount())
+	}
+	if c.PairTrunks("leaf-a", "leaf-b") != nil {
+		t.Fatal("multi-spine mode created a direct leaf–leaf trunk")
+	}
+	hops := map[string][]*trunk.Trunk{}
+	for _, spine := range []string{"s1", "s2"} {
+		for _, leaf := range []string{"leaf-a", "leaf-b"} {
+			trs := c.PairTrunks(leaf, spine)
+			if len(trs) != 1 {
+				t.Fatalf("%s–%s: %d trunks, want 1", leaf, spine, len(trs))
+			}
+			hops[leaf+"/"+spine] = trs
+		}
+		// Both planes relay: steer rules live on each spine's switch even
+		// though neither hosts VNFs.
+		if cd.Deployment(spine) != nil {
+			t.Fatalf("spine %s unexpectedly hosts VNFs", spine)
+		}
+		if c.Node(spine).Switch.Table().Len() == 0 {
+			t.Fatalf("spine %s holds no relay rules", spine)
+		}
+	}
+	// The lane keeps one vid across every hop of every path.
+	vid := hops["leaf-a/s1"][0].Lanes()[0]
+	for name, trs := range hops {
+		if trs[0].LaneCount() != 1 || trs[0].Lanes()[0] != vid {
+			t.Fatalf("hop %s lanes %v, want the single vid %d", name, trs[0].Lanes(), vid)
+		}
+	}
+
+	waitRecv(t, cd, "end0", 2000)
+	waitRecv(t, cd, "end1", 2000)
+	// Spreading: 16 flows per direction hash across the two planes, so both
+	// spines' uplinks carry traffic and nothing is unrouted.
+	for name, trs := range hops {
+		if carriedTotal(trs[0]) == 0 {
+			t.Fatalf("plane idle: hop %s carried nothing", name)
+		}
+		if trs[0].Unrouted() != 0 {
+			t.Fatalf("hop %s dropped %d unrouted frames", name, trs[0].Unrouted())
+		}
+	}
+
+	cd.Stop()
+	if c.TrunkCount() != 0 {
+		t.Fatalf("%d adjacencies survive the deployment", c.TrunkCount())
+	}
+	for _, name := range c.NodeNames() {
+		n := c.Node(name)
+		if got := n.Switch.Table().Len(); got != 0 {
+			t.Fatalf("node %s still has %d flows (relay rules leaked?)", name, got)
+		}
+		if n.Pool.Avail() != n.Pool.Cap() {
+			t.Fatalf("node %s pool leaked: %d of %d free", name, n.Pool.Avail(), n.Pool.Cap())
+		}
+		if len(n.Switch.Ports()) != 0 {
+			t.Fatalf("node %s still has ports attached", name)
+		}
+	}
+}
+
+// TestClusterMultiSpineEndpointStaysDirect: a crossing that touches one of
+// the spines needs no relay — a single direct adjacency, exactly like the
+// one-spine rule.
+func TestClusterMultiSpineEndpointStaysDirect(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "s1", "s2", "leaf-a")
+	g := graph.SplitBidirChain(1, []string{"s1", "leaf-a"})
+	cd, err := c.Deploy(g, TrunkConfig{
+		RatePps: -1, Mode: FabricSpine, Spines: []string{"s1", "s2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+	if c.TrunkCount() != 1 {
+		t.Fatalf("spine-endpoint crossing created %d adjacencies, want 1", c.TrunkCount())
+	}
+	waitRecv(t, cd, "end1", 1000)
+}

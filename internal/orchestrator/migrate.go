@@ -145,9 +145,9 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	}
 	releaseSteers := func(sts []laneSteer) {
 		for _, st := range sts {
-			for _, pair := range st.pairs {
+			st.eachPair(func(pair pairKey) {
 				c.releaseLane(pair, st.vid)
-			}
+			})
 			c.releaseVid(st.vid)
 		}
 	}
@@ -157,16 +157,24 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 		vid, err := c.allocVidLocked()
 		if err == nil {
 			added[i].vid = vid
-			for _, pair := range c.path(ce.NodeA, ce.NodeB, cd.spine, cd.tcfg) {
-				ct, terr := c.ensureTrunk(pair, cd.tcfg)
-				if terr == nil {
-					terr = ct.addLaneLocked(vid)
+		pathLoop:
+			for _, path := range c.paths(ce.NodeA, ce.NodeB, cd.spines, cd.tcfg) {
+				var done []pairKey
+				for _, pair := range path {
+					ct, terr := c.ensureTrunk(pair, cd.tcfg)
+					if terr == nil {
+						terr = ct.addLaneLocked(vid)
+					}
+					if terr != nil {
+						err = terr
+						if len(done) > 0 {
+							added[i].paths = append(added[i].paths, done)
+						}
+						break pathLoop
+					}
+					done = append(done, pair)
 				}
-				if terr != nil {
-					err = terr
-					break
-				}
-				added[i].pairs = append(added[i].pairs, pair)
+				added[i].paths = append(added[i].paths, done)
 			}
 		}
 		if err != nil {
@@ -254,9 +262,9 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	// read zero; it applies only to pairs the retirement leaves idle.
 	pairLive := make(map[pairKey]bool)
 	for _, st := range cd.steers {
-		for _, pair := range st.pairs {
+		st.eachPair(func(pair pairKey) {
 			pairLive[pair] = true
-		}
+		})
 	}
 	sample := func() drainSample {
 		var s drainSample
@@ -283,10 +291,10 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 		// sampled in the instant a frame is between rings.
 		c.mu.Lock()
 		for _, st := range retired {
-			for _, pair := range st.pairs {
+			st.eachPair(func(pair pairKey) {
 				ct, ok := c.trunks[pair]
 				if !ok {
-					continue
+					return
 				}
 				for _, tl := range ct.links {
 					if tl.failed {
@@ -302,7 +310,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 						s.laneDropped += ab.Dropped + ba.Dropped
 					}
 				}
-			}
+			})
 		}
 		c.mu.Unlock()
 		return s

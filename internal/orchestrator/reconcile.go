@@ -116,30 +116,32 @@ func (cd *ClusterDeployment) Reconcile() (int, error) {
 	c := cd.cluster
 	c.mu.Lock()
 	for _, st := range cd.steers {
-		for _, pair := range st.pairs {
-			ct, ok := c.trunks[pair]
-			if !ok {
-				var err error
-				ct, err = c.ensureTrunk(pair, cd.tcfg)
-				if err != nil {
-					c.mu.Unlock()
-					return repairs, err
+		for _, path := range st.paths {
+			for _, pair := range path {
+				ct, ok := c.trunks[pair]
+				if !ok {
+					var err error
+					ct, err = c.ensureTrunk(pair, cd.tcfg)
+					if err != nil {
+						c.mu.Unlock()
+						return repairs, err
+					}
+					repairs++
+				} else {
+					n, err := c.repairTrunkLocked(ct)
+					repairs += n
+					if err != nil {
+						c.mu.Unlock()
+						return repairs, err
+					}
 				}
-				repairs++
-			} else {
-				n, err := c.repairTrunkLocked(ct)
-				repairs += n
-				if err != nil {
-					c.mu.Unlock()
-					return repairs, err
+				if !ct.lanes[st.vid] {
+					if err := ct.addLaneLocked(st.vid); err != nil {
+						c.mu.Unlock()
+						return repairs, err
+					}
+					repairs++
 				}
-			}
-			if !ct.lanes[st.vid] {
-				if err := ct.addLaneLocked(st.vid); err != nil {
-					c.mu.Unlock()
-					return repairs, err
-				}
-				repairs++
 			}
 		}
 	}

@@ -374,3 +374,53 @@ func TestMigrateValidation(t *testing.T) {
 		t.Fatalf("src==target migration should be a no-op, got %v", err)
 	}
 }
+
+// TestReconcileRepairsMultiSpinePath: in a two-spine Clos with ECMP×2
+// uplink bundles, killing a bundle slot on one plane's uplink is repaired by
+// reconciliation — the reconciler re-derives the slot shape from the steer's
+// per-path hop list, rebuilds the trunk with its lane, and the chain keeps
+// delivering across both planes.
+func TestReconcileRepairsMultiSpinePath(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "s1", "s2", "leaf-a", "leaf-b")
+	g := graph.SplitBidirChain(1, []string{"leaf-a", "leaf-b"})
+	cd, err := c.Deploy(g, TrunkConfig{
+		RatePps: -1, Mode: FabricSpine, Spines: []string{"s1", "s2"}, ECMPWidth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Stop()
+	waitRecv(t, cd, "end1", 1000)
+
+	// A freshly-converged Clos reconciles to zero repairs.
+	if n, err := c.ReconcileOnce(); err != nil || n != 0 {
+		t.Fatalf("clean fabric reconciled with %d repairs, err %v", n, err)
+	}
+
+	if err := c.FailTrunk("leaf-a", "s1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.PairTrunks("leaf-a", "s1")); got != 1 {
+		t.Fatalf("uplink bundle has %d live trunks after failure, want 1", got)
+	}
+	if n := reconcileUntilClean(t, c); n == 0 {
+		t.Fatal("reconciler saw nothing to repair after an uplink slot failure")
+	}
+	trunks := c.PairTrunks("leaf-a", "s1")
+	if len(trunks) != 2 {
+		t.Fatalf("uplink bundle not rebuilt: %d live trunks, want 2", len(trunks))
+	}
+	for i, tr := range trunks {
+		if tr.LaneCount() != 1 {
+			t.Fatalf("repaired slot %d carries %d lanes, want 1", i, tr.LaneCount())
+		}
+	}
+	// The other plane's uplinks were untouched.
+	for _, pair := range [][2]string{{"leaf-a", "s2"}, {"leaf-b", "s1"}, {"leaf-b", "s2"}} {
+		if got := len(c.PairTrunks(pair[0], pair[1])); got != 2 {
+			t.Fatalf("%s–%s bundle disturbed: %d live trunks, want 2", pair[0], pair[1], got)
+		}
+	}
+	base := cd.SrcSink("end1").Received.Load()
+	waitRecv(t, cd, "end1", base+1000)
+}

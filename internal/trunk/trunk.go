@@ -65,6 +65,12 @@ type Config struct {
 	// means the default weight 1 (an all-zero array is plain fair sharing),
 	// so existing FIFO-era configs keep their contention behaviour.
 	PCPWeights [8]float64
+	// StagingCap bounds each PCP class's staging queue (default 256).
+	// Overflow drops on the trunk exactly like a full hardware per-priority
+	// egress queue; the bound also caps how much of the destination pool the
+	// scheduler can park. Shallower queues drop sooner under incast —
+	// sharper congestion signal, worse burst tolerance.
+	StagingCap int
 	// BatchSize is the per-iteration pump burst (default 32).
 	BatchSize int
 	// Poller, when non-nil, drives this trunk's two directions from a
@@ -231,6 +237,9 @@ func New(cfg Config) (*Trunk, error) {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 32
 	}
+	if cfg.StagingCap <= 0 {
+		cfg.StagingCap = defaultStagingCap
+	}
 	t := &Trunk{name: cfg.Name, poller: cfg.Poller}
 	if t.poller == nil {
 		t.poller = NewPoller()
@@ -238,7 +247,7 @@ func New(cfg Config) (*Trunk, error) {
 	}
 	empty := map[uint16]*lane{}
 	t.lanes.Store(&empty)
-	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency, Weights: cfg.PCPWeights}
+	sh := shaping{RatePps: cfg.RatePps, Latency: cfg.Latency, Weights: cfg.PCPWeights, StagingCap: cfg.StagingCap}
 	t.ab = newPump(fmt.Sprintf("%s:a->b", cfg.Name), t, dirAB, cfg.A, cfg.B, sh, cfg.BatchSize)
 	t.ba = newPump(fmt.Sprintf("%s:b->a", cfg.Name), t, dirBA, cfg.B, cfg.A, sh, cfg.BatchSize)
 	t.poller.attach(t.ab, t.ba)
@@ -347,6 +356,14 @@ func (t *Trunk) PCPStats() (ab, ba [8]DirStats) {
 	return ab, ba
 }
 
+// Congestion returns each direction's published congestion score (A→B,
+// B→A): the staging-occupancy EWMA + overflow-drop signal, 0 (quiet) to 255
+// (saturated). The same value the sending switch's adaptive ECMP reads from
+// the trunk NIC's gauge, exposed here for tests and experiment tables.
+func (t *Trunk) Congestion() (ab, ba uint32) {
+	return t.ab.gauge.Load(), t.ba.gauge.Load()
+}
+
 // Backlog reports the number of frames currently held inside the trunk —
 // staged in a PCP class queue or waiting out the propagation delay line,
 // both directions. Parked frames move no stats counter, so counter
@@ -431,9 +448,10 @@ const (
 
 // shaping configures one direction of the trunk.
 type shaping struct {
-	RatePps float64
-	Latency time.Duration
-	Weights [8]float64
+	RatePps    float64
+	Latency    time.Duration
+	Weights    [8]float64
+	StagingCap int
 }
 
 // delayed is one re-homed frame waiting out its propagation delay. The lane
@@ -456,10 +474,9 @@ type classQueue struct {
 
 func (c *classQueue) pending() int { return len(c.q) - c.head }
 
-// stagingCap bounds each PCP class's staging queue. Overflow drops on the
-// trunk exactly like a full hardware per-priority egress queue; the bound
-// also caps how much of the destination pool the scheduler can park.
-const stagingCap = 256
+// defaultStagingCap is the Config.StagingCap default: the per-PCP staging
+// bound overflow drops against when the deployment does not choose one.
+const defaultStagingCap = 256
 
 // pump moves one direction: src NIC wire-TX → lane demux → re-home →
 // per-PCP staging → deficit-round-robin grant under the shared rate budget
@@ -487,11 +504,25 @@ type pump struct {
 	// arrives in sub-quantum trickles, and a scheduler that restarted its
 	// scan at class 0 on every grant would hand the whole trickle to the
 	// lowest backlogged class regardless of weight.
-	classes   [8]classQueue
-	quantum   [8]int
-	deficit   [8]int
-	cursor    int
-	inService [8]bool
+	classes    [8]classQueue
+	quantum    [8]int
+	deficit    [8]int
+	cursor     int
+	inService  [8]bool
+	stagingCap int
+
+	// Congestion signal: every pump step folds the staging occupancy (summed
+	// over the 8 PCP classes, scaled against stagingCap) and the
+	// staging-overflow drop delta into an EWMA and publishes the resulting
+	// 0..255 score into the SOURCE NIC's congestion gauge — the port the
+	// sending switch outputs into, so its adaptive ECMP reads exactly this
+	// direction's backpressure. congAcc holds the EWMA in 1/16ths for
+	// smoothing headroom; congDrops/lastCongDrops are single-writer like
+	// every other pump field (only the gauge store is atomic).
+	congAcc       int
+	congDrops     uint64
+	lastCongDrops uint64
+	gauge         *atomic.Uint32
 
 	// queued counts every frame pulled off the source NIC; each such frame
 	// eventually lands in carried or dropped, so queued-carried-dropped is
@@ -515,15 +546,20 @@ type pump struct {
 
 func newPump(name string, t *Trunk, dir direction, src, dst Endpoint, sh shaping, batch int) *pump {
 	p := &pump{
-		name:    name,
-		trunk:   t,
-		dir:     dir,
-		src:     src,
-		dst:     dst,
-		shaping: sh,
-		drained: make([]*mempool.Buf, batch),
-		homed:   make([]*mempool.Buf, batch),
-		rng:     0x9E3779B97F4A7C15 ^ uint64(dir+1),
+		name:       name,
+		trunk:      t,
+		dir:        dir,
+		src:        src,
+		dst:        dst,
+		shaping:    sh,
+		stagingCap: sh.StagingCap,
+		gauge:      src.NIC.CongestionGauge(),
+		drained:    make([]*mempool.Buf, batch),
+		homed:      make([]*mempool.Buf, batch),
+		rng:        0x9E3779B97F4A7C15 ^ uint64(dir+1),
+	}
+	if p.stagingCap <= 0 {
+		p.stagingCap = defaultStagingCap
 	}
 	// Packet-granular quanta: normalize so the smallest positive weight maps
 	// to one packet per service turn (zero = default weight 1 — an
@@ -604,9 +640,10 @@ func (p *pump) pull() int {
 				continue // destination pool exhausted: trunk drop
 			}
 			cq := &p.classes[pcp]
-			if cq.pending() >= stagingCap {
+			if cq.pending() >= p.stagingCap {
 				p.laneDir(ln).dropped.Add(1)
 				p.pcpDropped[pcp].Add(1)
+				p.congDrops++
 				continue // class egress queue full: trunk drop
 			}
 			dstBuf := p.homed[kept]
@@ -634,7 +671,35 @@ func (p *pump) pull() int {
 		moved = n
 	}
 	moved += p.schedule()
+	p.updateCongestion()
 	return moved
+}
+
+// updateCongestion folds this step's staging occupancy and overflow-drop
+// delta into the direction's congestion EWMA and publishes the 0..255 score
+// into the source NIC's gauge. Runs every pump step — including idle ones,
+// so a drained queue decays the score back to zero. A step that overflowed
+// the staging bound saturates the instantaneous sample: drops are the
+// unambiguous congestion evidence, occupancy alone could sit just under the
+// cap forever. Zero-alloc, single-writer; only the gauge store is atomic.
+func (p *pump) updateCongestion() {
+	occ := 0
+	for c := range p.classes {
+		occ += p.classes[c].pending()
+	}
+	inst := occ * 255 / p.stagingCap
+	if d := p.congDrops - p.lastCongDrops; d > 0 {
+		inst = 255
+		p.lastCongDrops = p.congDrops
+	}
+	if inst > 255 {
+		inst = 255
+	}
+	// EWMA in 1/16ths with alpha 1/4: fast enough to open within a few pump
+	// steps of an incast, smooth enough that one bursty poll does not flap
+	// the sender's repick gate.
+	p.congAcc += (inst*16 - p.congAcc) / 4
+	p.gauge.Store(uint32(p.congAcc / 16))
 }
 
 // rand01 returns the next xorshift64* sample mapped to [0,1).
@@ -718,7 +783,7 @@ func (p *pump) schedule() int {
 			// Tokens ran out mid-quantum: stay in service at this class so
 			// the next grant resumes here.
 		}
-		if cq.head >= stagingCap {
+		if cq.head >= p.stagingCap {
 			n := copy(cq.q, cq.q[cq.head:])
 			cq.q = cq.q[:n]
 			cq.head = 0

@@ -1,0 +1,227 @@
+package vswitch
+
+import (
+	"testing"
+	"time"
+
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/nic"
+	"ovshighway/internal/pkt"
+)
+
+// adaptiveEnv wires the adaptive-ECMP micro-testbed: one dpdkr guest port
+// feeding an output_ecmp rule whose two parallel ports are NICs — the port
+// kind that publishes a congestion gauge (trunk endpoints in the fabric).
+type adaptiveEnv struct {
+	sw         *Switch
+	pool       *mempool.Pool
+	src        *dpdkr.PMD
+	nicB, nicC *nic.NIC
+}
+
+func newAdaptiveEnv(t *testing.T, cfg Config) *adaptiveEnv {
+	t.Helper()
+	e := &adaptiveEnv{
+		sw:   New(cfg),
+		pool: mempool.MustNew(mempool.Config{Capacity: 4096, BufSize: 2048, Headroom: 128}),
+	}
+	e.sw.SetInjectionPool(e.pool)
+	port, pmd, err := dpdkr.NewPort(1, "src", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.src = pmd
+	if e.nicB, err = nic.New(nic.Config{ID: 2, Name: "b", QueueSize: 1024, RatePps: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if e.nicC, err = nic.New(nic.Config{ID: 3, Name: "c", QueueSize: 1024, RatePps: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []DataPort{port, e.nicB, e.nicC} {
+		if err := e.sw.AddPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.OutputECMP(2, 3)}, 0)
+	if err := e.sw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.sw.Stop)
+	return e
+}
+
+// sendFlows injects one frame per flow (flows distinguished by UDP source
+// port, the ECMP hash axis).
+func (e *adaptiveEnv) sendFlows(t *testing.T, flows int) {
+	t.Helper()
+	raw := make([]byte, 256)
+	spec := defaultSpec
+	for f := 0; f < flows; f++ {
+		spec.SrcPort = uint16(5000 + f)
+		n, err := pkt.BuildUDP(raw, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetBytes(raw[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if e.src.Tx([]*mempool.Buf{b}) != 1 {
+			t.Fatal("guest tx failed")
+		}
+	}
+}
+
+// collect drains both egress NICs until want frames arrived, returning the
+// per-port flow sets (UDP source port -> count).
+func (e *adaptiveEnv) collect(t *testing.T, want int) (onB, onC map[uint16]int) {
+	t.Helper()
+	onB, onC = map[uint16]int{}, map[uint16]int{}
+	drain := make([]*mempool.Buf, 64)
+	pull := func(n *nic.NIC, seen map[uint16]int) int {
+		k := n.DrainToWire(drain)
+		for _, b := range drain[:k] {
+			var p pkt.Parser
+			if err := p.Parse(b.Bytes()); err == nil && p.Decoded.Has(pkt.LayerUDP) {
+				seen[p.UDP.SrcPort()]++
+			}
+			b.Free()
+		}
+		return k
+	}
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < want && time.Now().Before(deadline) {
+		got += pull(e.nicB, onB)
+		got += pull(e.nicC, onC)
+		if got < want {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if got != want {
+		t.Fatalf("delivered %d of %d packets", got, want)
+	}
+	return onB, onC
+}
+
+// flowletGap sleeps past the flowlet idle threshold so the next batch is
+// allowed to move the rule's avoid mask without reordering risk.
+func flowletGap() { time.Sleep(5 * time.Millisecond) }
+
+const adaptiveFlows = 32
+
+// TestECMPAdaptiveRepicksOffCongestedPath: when one parallel path's
+// congestion gauge crosses the threshold, the next flowlet repicks every
+// flow onto the quiet path — and when the signal clears, flows return to
+// their static hash pins. The repick counter records the mask moves.
+func TestECMPAdaptiveRepicksOffCongestedPath(t *testing.T) {
+	e := newAdaptiveEnv(t, Config{})
+
+	e.sendFlows(t, adaptiveFlows)
+	b1, c1 := e.collect(t, adaptiveFlows)
+	if len(b1) == 0 || len(c1) == 0 {
+		t.Fatalf("static hash did not spread: %d/%d flows", len(b1), len(c1))
+	}
+	if n := e.sw.DatapathStats().ECMPRepicks; n != 0 {
+		t.Fatalf("repicked %d times with no congestion signal", n)
+	}
+
+	// Path B reports congestion: after a flowlet gap, everything must leave
+	// by C, including B's former flows.
+	e.nicB.CongestionGauge().Store(255)
+	flowletGap()
+	e.sendFlows(t, adaptiveFlows)
+	b2, c2 := e.collect(t, adaptiveFlows)
+	if len(b2) != 0 {
+		t.Fatalf("%d flows still on the congested path", len(b2))
+	}
+	if len(c2) != adaptiveFlows {
+		t.Fatalf("quiet path carries %d of %d flows", len(c2), adaptiveFlows)
+	}
+	if n := e.sw.DatapathStats().ECMPRepicks; n == 0 {
+		t.Fatal("avoid mask moved but the repick counter stayed at zero")
+	}
+
+	// Signal clears: flows fall back to their original static pins — the
+	// deterministic hash, not wherever the detour left them.
+	e.nicB.CongestionGauge().Store(0)
+	flowletGap()
+	e.sendFlows(t, adaptiveFlows)
+	b3, c3 := e.collect(t, adaptiveFlows)
+	for fp := range b1 {
+		if b3[fp] == 0 {
+			t.Fatalf("flow %d did not return to its static pin after the signal cleared", fp)
+		}
+	}
+	for fp := range c1 {
+		if c3[fp] == 0 {
+			t.Fatalf("flow %d left its static pin after an unrelated detour", fp)
+		}
+	}
+}
+
+// TestECMPAdaptiveDisabledKeepsStaticPins: the incast baseline arm — with
+// ECMPAdaptiveDisabled the gauge is ignored, every flow keeps its static
+// hash pin through a saturated congestion signal, and no repick is counted.
+func TestECMPAdaptiveDisabledKeepsStaticPins(t *testing.T) {
+	e := newAdaptiveEnv(t, Config{ECMPAdaptiveDisabled: true})
+
+	e.sendFlows(t, adaptiveFlows)
+	b1, c1 := e.collect(t, adaptiveFlows)
+	if len(b1) == 0 {
+		t.Skip("hash pinned no flows to port 2; nothing to hold static")
+	}
+
+	e.nicB.CongestionGauge().Store(255)
+	flowletGap()
+	e.sendFlows(t, adaptiveFlows)
+	b2, c2 := e.collect(t, adaptiveFlows)
+	if len(b2) != len(b1) || len(c2) != len(c1) {
+		t.Fatalf("disabled arm moved flows: %d/%d -> %d/%d", len(b1), len(c1), len(b2), len(c2))
+	}
+	for fp := range b1 {
+		if b2[fp] == 0 {
+			t.Fatalf("flow %d abandoned its static pin with adaptation disabled", fp)
+		}
+	}
+	if n := e.sw.DatapathStats().ECMPRepicks; n != 0 {
+		t.Fatalf("disabled arm counted %d repicks", n)
+	}
+}
+
+// TestECMPAdaptiveAllCongestedFallsBackToStatic: when every parallel path
+// reports congestion there is nowhere better to go — the avoid mask stays
+// empty, flows keep their static pins spread over ALL paths, and nothing is
+// counted as a repick.
+func TestECMPAdaptiveAllCongestedFallsBackToStatic(t *testing.T) {
+	e := newAdaptiveEnv(t, Config{})
+	e.nicB.CongestionGauge().Store(255)
+	e.nicC.CongestionGauge().Store(255)
+
+	e.sendFlows(t, adaptiveFlows)
+	b1, c1 := e.collect(t, adaptiveFlows)
+	if len(b1) == 0 || len(c1) == 0 {
+		t.Fatalf("all-congested fallback collapsed the spread: %d/%d flows", len(b1), len(c1))
+	}
+	flowletGap()
+	e.sendFlows(t, adaptiveFlows)
+	b2, c2 := e.collect(t, adaptiveFlows)
+	for fp := range b1 {
+		if b2[fp] == 0 {
+			t.Fatalf("flow %d moved despite uniform congestion", fp)
+		}
+	}
+	for fp := range c1 {
+		if c2[fp] == 0 {
+			t.Fatalf("flow %d moved despite uniform congestion", fp)
+		}
+	}
+	if n := e.sw.DatapathStats().ECMPRepicks; n != 0 {
+		t.Fatalf("uniform congestion counted %d repicks", n)
+	}
+}

@@ -332,7 +332,7 @@ func (p *pmdThread) processBatch(inPort uint32, bufs []*mempool.Buf, snap *portS
 		g.f.Packets.Add(g.pkts)
 		g.f.Bytes.Add(g.bytes)
 		g.f.Touch(nowNano)
-		p.executeGroup(g, snap)
+		p.executeGroup(g, snap, nowNano)
 	}
 
 	// Flush accumulated outputs.
@@ -370,6 +370,21 @@ func (p *pmdThread) punt(inPort uint32, b *mempool.Buf, reason uint8) {
 	}
 }
 
+// Adaptive-ECMP tuning. A bundle slot whose egress gauge reads at or above
+// ecmpCongestedScore is avoidable; a flow may change its avoid mask only
+// when the flowlet gate is open — an idle gap of ecmpFlowletGapNanos since
+// the flow's previous ECMP batch (no packets in flight to overtake), or
+// ecmpRepickMinNanos since the mask last moved (bounded repick rate). The
+// mask is stable between gate openings, so the path mapping packets observe
+// changes at most once per gate — the same quiesce-then-move ordering
+// argument MoveQueue makes, with the flowlet gap standing in for the parked
+// iteration.
+const (
+	ecmpCongestedScore  = 64
+	ecmpFlowletGapNanos = int64(time.Millisecond)
+	ecmpRepickMinNanos  = int64(5 * time.Millisecond)
+)
+
 // executeGroup runs the group's action list once, applying each action to
 // every live packet in the group chain. Ownership: every chained buffer is
 // consumed (moved into a TX accumulator, or freed). Header-mutating actions
@@ -378,7 +393,7 @@ func (p *pmdThread) punt(inPort uint32, b *mempool.Buf, reason uint8) {
 // already sent. OpenFlow action lists emitted by this system always mutate
 // before output. A packet dropped mid-list (TTL expiry) marks its meta slot
 // nil and later actions skip it.
-func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
+func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet, nowNano int64) {
 	moved := false
 	for _, a := range g.f.Actions {
 		switch a.Type {
@@ -420,13 +435,53 @@ func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 					ecmpIdx[j] = idx
 				}
 			}
+			// Congestion-aware repick: read each live path's egress gauge
+			// (≤8 atomic loads per action) and, when some-but-not-all paths
+			// are congested, move the flow's avoid mask onto the congested
+			// set — but only through the flowlet gate, so the mask packets
+			// observe is stable between gate openings and intra-flow order
+			// holds. All paths congested (or all quiet) falls back to the
+			// static hash pin. Disabled, this whole block is skipped and
+			// avoid stays 0 — exactly the PR 5 datapath.
+			var avoid uint32
+			if !p.s.cfg.ECMPAdaptiveDisabled && n > 1 {
+				var congMask uint32
+				quiet := 0
+				for j := uint32(0); j < n; j++ {
+					idx := ecmpIdx[j]
+					if idx < 0 {
+						continue
+					}
+					if c := snap.order[idx].cong; c != nil && c.Load() >= ecmpCongestedScore {
+						congMask |= 1 << j
+					} else {
+						quiet++
+					}
+				}
+				st := g.f.ECMP()
+				avoid = st.Avoid.Load()
+				want := congMask
+				if quiet == 0 {
+					want = 0 // nowhere better to go: keep the static pin
+				}
+				if want != avoid &&
+					(nowNano-st.Seen.Load() >= ecmpFlowletGapNanos ||
+						nowNano-st.Moved.Load() >= ecmpRepickMinNanos) {
+					st.Avoid.Store(want)
+					st.Moved.Store(nowNano)
+					avoid = want
+					p.s.ECMPRepicks.Add(1)
+				}
+				st.Seen.Store(nowNano)
+			}
 			// Per-packet path pinning: the packet's secondary key hash (mixed
 			// with its VLAN lane, present after an earlier push in this same
 			// action list) selects one of the parallel destinations, so one
 			// flow always rides one path while distinct flows spread. A
-			// selected port missing from the snapshot (a torn-down trunk)
-			// falls forward to the next live one — live rebalance without a
-			// rule rewrite, and surviving pins never move.
+			// selected port missing from the snapshot (a torn-down trunk) or
+			// sitting in the avoid mask falls forward to the next live
+			// unavoided one — live rebalance without a rule rewrite; with an
+			// empty avoid mask surviving pins never move.
 			sent := false
 			for i := g.first; i >= 0; i = p.metas[i].next {
 				m := &p.metas[i]
@@ -438,11 +493,24 @@ func (p *pmdThread) executeGroup(g *flowGroup, snap *portSet) {
 					pick ^= uint32(vid) * 0x9e3779b9
 				}
 				dstIdx := -1
+				fallback := -1
 				for j := uint32(0); j < n; j++ {
-					if idx := ecmpIdx[(pick+j)%n]; idx >= 0 {
-						dstIdx = idx
-						break
+					slot := (pick + j) % n
+					idx := ecmpIdx[slot]
+					if idx < 0 {
+						continue
 					}
+					if fallback < 0 {
+						fallback = idx
+					}
+					if avoid&(1<<slot) != 0 {
+						continue
+					}
+					dstIdx = idx
+					break
+				}
+				if dstIdx < 0 {
+					dstIdx = fallback // every live path avoided: static pin
 				}
 				if dstIdx < 0 {
 					continue // every parallel path is down: behave like ActOutput to nowhere

@@ -34,6 +34,16 @@ type DataPort interface {
 	PortCounters() *stats.PortCounters
 }
 
+// CongestionReporter is implemented by ports whose egress side publishes a
+// congestion score (trunk-attached NICs: the pump draining the wire side
+// writes its staging backpressure there). The datapath caches the gauge
+// pointer at port attach, so the adaptive-ECMP consult is one atomic load
+// per path with no interface call on the hot path. Ports that do not
+// implement it read as permanently quiet.
+type CongestionReporter interface {
+	CongestionGauge() *atomic.Uint32
+}
+
 // MultiQueuePort is a DataPort whose guest→host direction is fanned into
 // several RSS queues. The datapath polls each queue independently and homes
 // every queue on exactly one PMD via the assignment table; ports that do not
@@ -76,6 +86,10 @@ type Config struct {
 	PacketInQueue int
 	// TableMissToController punts unmatched packets instead of dropping.
 	TableMissToController bool
+	// ECMPAdaptiveDisabled pins every ECMP flow to its static hash path,
+	// ignoring port congestion gauges — the PR 5 behaviour, kept as the
+	// baseline arm of the adaptive-routing experiments.
+	ECMPAdaptiveDisabled bool
 	// SweepInterval is the flow-timeout expiry period. Default 500ms.
 	SweepInterval time.Duration
 }
@@ -124,6 +138,9 @@ type portEntry struct {
 	// preserve ownership (and their load counters survive) across unrelated
 	// port add/removes.
 	queues []*rxQueue
+	// cong is the port's egress congestion gauge (nil for ports that report
+	// none), resolved once at attach so ECMP path consults stay a bare load.
+	cong *atomic.Uint32
 }
 
 // newPortEntry wraps a port and materializes its RX queues: one rxQueue per
@@ -131,6 +148,9 @@ type portEntry struct {
 // falling back to Recv for everything else.
 func newPortEntry(p DataPort) *portEntry {
 	e := &portEntry{port: p}
+	if cr, ok := p.(CongestionReporter); ok {
+		e.cong = cr.CongestionGauge()
+	}
 	nq := 1
 	mq, _ := p.(MultiQueuePort)
 	if mq != nil {
@@ -292,6 +312,11 @@ type Switch struct {
 	// ParseErrors counts frames the parser rejected; they are dropped
 	// before classification.
 	ParseErrors atomic.Uint64
+	// ECMPRepicks counts adaptive-ECMP avoid-set changes: each time a flow's
+	// path mask moved off (or back onto) a congested bundle slot through the
+	// flowlet gate. Rate-bounded per flow, so this stays cold even under
+	// sustained congestion.
+	ECMPRepicks atomic.Uint64
 }
 
 // New builds a stopped switch; call Start to launch the PMD threads.
@@ -643,6 +668,8 @@ type DatapathStats struct {
 	ClassifierMisses uint64
 	DedupHits        uint64
 	ParseErrors      uint64
+	// ECMPRepicks counts adaptive multipath avoid-set changes in the window.
+	ECMPRepicks uint64
 	// PMDs and Queues carry the per-thread and per-queue load samples
 	// (busy-poll time, batches, frames) taken with the tier counters, so one
 	// snapshot-and-Delta yields both cache behaviour and load placement.
@@ -661,6 +688,7 @@ func (s DatapathStats) Delta(prev DatapathStats) DatapathStats {
 		ClassifierMisses: s.ClassifierMisses - prev.ClassifierMisses,
 		DedupHits:        s.DedupHits - prev.DedupHits,
 		ParseErrors:      s.ParseErrors - prev.ParseErrors,
+		ECMPRepicks:      s.ECMPRepicks - prev.ECMPRepicks,
 	}
 	if len(s.PMDs) > 0 {
 		out.PMDs = make([]PMDLoad, len(s.PMDs))
@@ -721,6 +749,7 @@ func (s *Switch) DatapathStats() DatapathStats {
 		ClassifierMisses: tableMisses,
 		DedupHits:        s.DedupHits.Load(),
 		ParseErrors:      s.ParseErrors.Load(),
+		ECMPRepicks:      s.ECMPRepicks.Load(),
 		PMDs:             s.PMDLoads(),
 		Queues:           s.QueueLoads(),
 	}
