@@ -139,8 +139,12 @@ func TestMigrateZeroLossPublicAPI(t *testing.T) {
 	chain.Pause(true)
 	l0 := chain.Settle(2 * time.Second)
 	chain.Pause(false)
-	if err := chain.Deployment().Migrate("vnf2", nodes[2]); err != nil {
+	rep, err := chain.Deployment().Migrate("vnf2", nodes[2])
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !rep.Drained {
+		t.Errorf("paced migration should drain before the deadline: %+v", rep)
 	}
 	chain.Pause(true)
 	l1 := chain.Settle(2 * time.Second)

@@ -213,11 +213,28 @@ func (d *ClusterDeployment) Internal() *orchestrator.ClusterDeployment { return 
 // Reconcile runs one convergence pass over just this deployment.
 func (d *ClusterDeployment) Reconcile() (int, error) { return d.inner.Reconcile() }
 
+// MigrateReport describes a completed live migration: the make-before-break
+// cutover window and whether the old path drained before the deadline.
+type MigrateReport = orchestrator.MigrateReport
+
+// ErrMigrationInFlight reports a control-plane action refused because a
+// live migration currently owns the deployment; match with errors.Is.
+var ErrMigrationInFlight = orchestrator.ErrMigrationInFlight
+
 // Migrate live-moves a middle VNF to another node using make-before-break
 // double-steering: the replica and its whole forwarding path are plumbed
 // dark, the feed rules flip atomically, and the old path drains to
 // delivery before anything is torn down — targeting zero packets lost.
-func (d *ClusterDeployment) Migrate(vnf, node string) error { return d.inner.Migrate(vnf, node) }
+// The report says whether the drain was observed complete (Drained) or the
+// teardown proceeded on the deadline. One migration per deployment at a
+// time: a concurrent call fails with ErrMigrationInFlight.
+func (d *ClusterDeployment) Migrate(vnf, node string) (MigrateReport, error) {
+	return d.inner.Migrate(vnf, node)
+}
+
+// Crossings reports the deployment's current node-boundary crossing count —
+// the trunk lanes its layout pays for.
+func (d *ClusterDeployment) Crossings() int { return d.inner.Crossings() }
 
 // SplitChain is a bidirectional benchmark chain deployed across cluster
 // nodes, with the same measurement hooks as Chain.

@@ -339,8 +339,12 @@ func migrate(cfg highway.ExperimentConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s → %s  cutover %v  packets lost %d  %.3f → %.3f Mpps  bypasses %d\n",
-		r.VNF, r.From, r.To, r.Cutover.Round(time.Microsecond), r.Lost,
+	drained := "drained"
+	if !r.Drained {
+		drained = "DRAIN DEADLINE EXPIRED"
+	}
+	fmt.Printf("%s: %s → %s  cutover %v  %s  packets lost %d  %.3f → %.3f Mpps  bypasses %d\n",
+		r.VNF, r.From, r.To, r.Cutover.Round(time.Microsecond), drained, r.Lost,
 		r.BaseMpps, r.AfterMpps, r.BypassesAfter)
 	if r.Lost != 0 {
 		return fmt.Errorf("migration lost %d packets", r.Lost)

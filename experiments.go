@@ -1261,6 +1261,7 @@ type MigrateRow struct {
 	VNF           string
 	From, To      string
 	Cutover       time.Duration
+	Drained       bool // old path observed quiet before the drain deadline
 	Lost          int64 // in-flight delta across the migration; 0 = no loss
 	BaseMpps      float64
 	AfterMpps     float64
@@ -1303,10 +1304,12 @@ func RunMigrate(cfg ExperimentConfig) (MigrateRow, error) {
 	l0 := chain.Settle(2 * time.Second)
 	chain.Pause(false)
 	t0 := time.Now()
-	if err := chain.Deployment().Migrate(row.VNF, row.To); err != nil {
+	rep, err := chain.Deployment().Migrate(row.VNF, row.To)
+	if err != nil {
 		return row, fmt.Errorf("migrate: %w", err)
 	}
 	row.Cutover = time.Since(t0)
+	row.Drained = rep.Drained
 	chain.Pause(true)
 	l1 := chain.Settle(2 * time.Second)
 	row.Lost = l1 - l0

@@ -797,6 +797,19 @@ type ClusterDeployment struct {
 	mu      sync.Mutex
 	stopped bool
 
+	// migrating names the VNF whose live migration currently owns the
+	// deployment (empty when none). It stays set while Migrate RELEASES
+	// cd.mu for its drain window, so control-plane entrants can tell "lock
+	// free" from "deployment free": a second Migrate fails with
+	// ErrMigrationInFlight, Reconcile defers its pass, Stop waits on
+	// migDone. Guarded by mu; migDone is created on first use.
+	migrating string
+	migDone   *sync.Cond
+	// testDrainHold, when set, is invoked at the start of the migration
+	// drain window (after cd.mu is released); tests use it to hold the
+	// drain open while probing concurrent control-plane behavior.
+	testDrainHold func()
+
 	graph  *graph.Graph
 	tcfg   TrunkConfig
 	spines []string
@@ -1210,6 +1223,14 @@ func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeploy
 // hosts no VNFs).
 func (cd *ClusterDeployment) Deployment(node string) *Deployment { return cd.deps[node] }
 
+// Crossings reports the deployment's current node-boundary crossing count
+// under its live placement — the number of trunk lanes the layout pays for.
+func (cd *ClusterDeployment) Crossings() int {
+	cd.mu.Lock()
+	defer cd.mu.Unlock()
+	return cd.graph.Crossings(cd.cluster.DefaultNode(), cd.cluster.nicNodes())
+}
+
 // SrcSink finds a named bidirectional endpoint VNF across all partitions.
 func (cd *ClusterDeployment) SrcSink(name string) *vnf.SrcSink {
 	for _, d := range cd.deps {
@@ -1277,6 +1298,10 @@ func (cd *ClusterDeployment) Lanes() []struct {
 func (cd *ClusterDeployment) Stop() {
 	cd.mu.Lock()
 	defer cd.mu.Unlock()
+	// A migration's drain window owns the deployment even though it has
+	// released cd.mu; tearing down under it would destroy the VMs and lanes
+	// the drain is reading. Wait it out first.
+	cd.waitMigrationDone()
 	if cd.stopped {
 		return
 	}

@@ -1,7 +1,9 @@
 package orchestrator
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ovshighway/internal/flow"
@@ -40,6 +42,30 @@ import (
 // steady-state loss exists anyway and "drained" is ill-defined).
 const migrateDrainTimeout = 3 * time.Second
 
+// ErrMigrationInFlight is returned by control-plane entry points that find
+// another live migration holding the deployment during its drain window.
+// Migrate releases cd.mu for the (up to migrateDrainTimeout-long) drain so
+// co-resident control actions are not blocked; the in-flight mark is what
+// keeps a second migration from interleaving with the first's stale rules.
+var ErrMigrationInFlight = errors.New("orchestrator: migration in flight")
+
+// MigrateReport describes a completed live migration.
+type MigrateReport struct {
+	VNF  string
+	From string
+	To   string
+	// Cutover is the make-before-break window: from the atomic feed-rule
+	// flip until the old path read drained (or the drain deadline fired)
+	// and the datapath quiesced.
+	Cutover time.Duration
+	// Drained reports whether the old path was observed structurally quiet
+	// (a sustained run of identical quiet samples) before teardown. False
+	// means migrateDrainTimeout expired first and teardown proceeded on the
+	// deadline — possible residual loss on a saturated chain, worth
+	// surfacing instead of tearing down silently.
+	Drained bool
+}
+
 // drainSample is one observation of everything still committed to the old
 // path. Comparable: two equal consecutive quiet samples mean drained.
 type drainSample struct {
@@ -56,19 +82,52 @@ func (s drainSample) quiet() bool {
 		s.appRx == s.appTx+s.appTxD+s.appDrop
 }
 
+// beginMigration marks the deployment as owned by a live migration, so the
+// drain window can release cd.mu without letting other control actions
+// interleave with its stale rules. Caller holds cd.mu.
+func (cd *ClusterDeployment) beginMigration(vnf string) {
+	if cd.migDone == nil {
+		cd.migDone = sync.NewCond(&cd.mu)
+	}
+	cd.migrating = vnf
+}
+
+// endMigration clears the in-flight mark and wakes waiters (Stop). Caller
+// holds cd.mu.
+func (cd *ClusterDeployment) endMigration() {
+	cd.migrating = ""
+	cd.migDone.Broadcast()
+}
+
+// waitMigrationDone blocks until no migration is in flight. Caller holds
+// cd.mu; the lock is released while waiting and held again on return.
+func (cd *ClusterDeployment) waitMigrationDone() {
+	for cd.migrating != "" {
+		cd.migDone.Wait()
+	}
+}
+
 // Migrate moves a running middle VNF to another node with make-before-break
 // double-steering, draining the old path before tearing it down. The graph
 // the deployment was created from is updated in place (the VNF's Node pin
 // changes), so subsequent reconcile passes converge on the new layout.
-func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
+//
+// cd.mu is NOT held across the step-5 drain (up to migrateDrainTimeout):
+// the deployment is marked migration-in-flight instead, so a concurrent
+// Migrate fails with ErrMigrationInFlight, Reconcile defers its pass, and
+// Stop waits for the migration to finish.
+func (cd *ClusterDeployment) Migrate(vnfName, target string) (MigrateReport, error) {
 	cd.mu.Lock()
 	defer cd.mu.Unlock()
 	if cd.stopped {
-		return fmt.Errorf("orchestrator: migrate %s: deployment is stopped", vnfName)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: deployment is stopped", vnfName)
+	}
+	if cd.migrating != "" {
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w (%s is draining)", vnfName, ErrMigrationInFlight, cd.migrating)
 	}
 	c := cd.cluster
 	if c.nodes[target] == nil {
-		return fmt.Errorf("orchestrator: migrate %s: unknown node %q", vnfName, target)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: unknown node %q", vnfName, target)
 	}
 	vi := -1
 	for i, v := range cd.graph.VNFs {
@@ -78,11 +137,11 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 		}
 	}
 	if vi < 0 {
-		return fmt.Errorf("orchestrator: migrate: unknown VNF %q", vnfName)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate: unknown VNF %q", vnfName)
 	}
 	v := cd.graph.VNFs[vi]
 	if v.Kind.PortCount() != 2 {
-		return fmt.Errorf("orchestrator: migrate %s: only two-port middle VNFs migrate (kind %s)", vnfName, v.Kind)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: only two-port middle VNFs migrate (kind %s)", vnfName, v.Kind)
 	}
 	src := ""
 	for node, d := range cd.deps {
@@ -92,10 +151,12 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 		}
 	}
 	if src == "" {
-		return fmt.Errorf("orchestrator: migrate: VNF %q not instantiated", vnfName)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate: VNF %q not instantiated", vnfName)
 	}
+	rep := MigrateReport{VNF: vnfName, From: src, To: target}
 	if src == target {
-		return nil
+		rep.Drained = true
+		return rep, nil
 	}
 	srcDep := cd.deps[src]
 	oldIDs := append([]uint32(nil), srcDep.vms[vnfName]...)
@@ -108,7 +169,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	part, err := cd.graph.Partition(c.DefaultNode(), c.nicNodes())
 	if err != nil {
 		revertPin()
-		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
 	}
 
 	// Step 1: replica on the target node.
@@ -121,7 +182,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	vNew.Node = target
 	if err := tdep.instantiate(vNew); err != nil {
 		revertPin()
-		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
 	}
 
 	// Step 2: lane diff by crossing identity (position in Graph.Edges).
@@ -182,7 +243,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 			releaseSteers(added[:i+1])
 			tdep.removeVNF(vnfName)
 			revertPin()
-			return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+			return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
 		}
 	}
 	c.mu.Unlock()
@@ -212,7 +273,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 			releaseSteers(added)
 			tdep.removeVNF(vnfName)
 			revertPin()
-			return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, serr)
+			return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w", vnfName, serr)
 		}
 		d.specs = sp
 	}
@@ -223,7 +284,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 		releaseSteers(added)
 		tdep.removeVNF(vnfName)
 		revertPin()
-		return fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
+		return MigrateReport{}, fmt.Errorf("orchestrator: migrate %s: %w", vnfName, err)
 	}
 
 	// Steps 3+4: make before break. Fresh slots first — the complete dark
@@ -250,6 +311,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	for node, ss := range flipByNode {
 		c.nodes[node].Switch.Table().AddBatch(ss)
 	}
+	flipped := time.Now()
 
 	// Step 5: drain everything still committed to the old path. Stale rules
 	// are still installed, so these packets are carried to delivery.
@@ -318,6 +380,17 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	// Drained = a sustained run of identical quiet samples. One quiet pair
 	// is not enough: a frame in a descheduled thread's hands is in no ring
 	// and moves no counter, so the window must outlast scheduling hiccups.
+	//
+	// The drain holds no control-plane state beyond the stale rules it
+	// reads counters through, so cd.mu is released for its duration — a
+	// multi-second drain must not block Stop, reconcile passes or control
+	// actions on co-resident deployments. The in-flight mark set here is
+	// what concurrent entrants key off.
+	cd.beginMigration(vnfName)
+	cd.mu.Unlock()
+	if cd.testDrainHold != nil {
+		cd.testDrainHold()
+	}
 	deadline := time.Now().Add(migrateDrainTimeout)
 	prev := sample()
 	stable := 0
@@ -331,7 +404,11 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 			prev = cur
 		}
 	}
+	rep.Drained = stable >= 3
 	srcDep.node.Switch.WaitDatapathQuiescence()
+	rep.Cutover = time.Since(flipped)
+	cd.mu.Lock()
+	cd.endMigration()
 
 	// Step 6: break. Converge tables onto the new desired state (deleting
 	// the stale old-path rules — the bypass manager dissolves their links
@@ -347,7 +424,7 @@ func (cd *ClusterDeployment) Migrate(vnfName, target string) error {
 	})
 	srcDep.removeVNF(vnfName)
 	releaseSteers(retired)
-	return nil
+	return rep, nil
 }
 
 // removeVNF retires one middle VNF from a local deployment: app stopped,

@@ -1,0 +1,141 @@
+package orchestrator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ovshighway/internal/graph"
+)
+
+// pacedSplitChain deploys an n-middle bidirectional chain over the given
+// nodes with paced endpoints, so migration drains settle in milliseconds.
+func pacedSplitChain(t *testing.T, c *Cluster, n int, nodes []string) *ClusterDeployment {
+	t.Helper()
+	g := graph.SplitBidirChain(n, nodes)
+	for i := range g.VNFs {
+		switch g.VNFs[i].Name {
+		case "end0":
+			g.VNFs[i].Args = SrcSinkArgs{Spec: DefaultTrafficSpec(), Flows: 4, RatePps: 20_000}
+		case "end1":
+			spec := DefaultTrafficSpec()
+			spec.SrcIP, spec.DstIP = spec.DstIP, spec.SrcIP
+			spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
+			g.VNFs[i].Args = SrcSinkArgs{Spec: spec, Flows: 4, RatePps: 20_000}
+		}
+	}
+	cd, err := c.Deploy(g, TrunkConfig{RatePps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cd.Stop)
+	waitRecv(t, cd, "end0", 1000)
+	waitRecv(t, cd, "end1", 1000)
+	return cd
+}
+
+// TestReconcileDuringMigrationDrain: the multi-second drain window of a
+// live migration must not hold cd.mu — a reconcile pass arriving mid-drain
+// completes (deferring the deployment), and a second Migrate fails fast
+// with the typed in-flight error instead of queueing behind the drain.
+func TestReconcileDuringMigrationDrain(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b", "c")
+	cd := pacedSplitChain(t, c, 3, []string{"a", "b"})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	cd.testDrainHold = func() {
+		close(entered)
+		<-release
+	}
+	type migResult struct {
+		rep MigrateReport
+		err error
+	}
+	resCh := make(chan migResult, 1)
+	go func() {
+		rep, err := cd.Migrate("vnf2", "c")
+		resCh <- migResult{rep, err}
+	}()
+	select {
+	case <-entered:
+	case res := <-resCh:
+		t.Fatalf("migration finished before entering the drain: %+v err=%v", res.rep, res.err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("migration never reached the drain window")
+	}
+
+	recDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReconcileOnce()
+		recDone <- err
+	}()
+	select {
+	case err := <-recDone:
+		if err != nil {
+			t.Fatalf("reconcile during drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReconcileOnce blocked by an in-progress migration drain")
+	}
+
+	if _, err := cd.Migrate("vnf1", "b"); !errors.Is(err, ErrMigrationInFlight) {
+		t.Fatalf("concurrent migrate returned %v, want ErrMigrationInFlight", err)
+	}
+
+	close(release)
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if !res.rep.Drained {
+		t.Errorf("paced chain should drain before the deadline: %+v", res.rep)
+	}
+	base := cd.SrcSink("end1").Received.Load()
+	waitRecv(t, cd, "end1", base+1000)
+	if n, err := c.ReconcileOnce(); err != nil || n != 0 {
+		t.Fatalf("post-migration reconcile: %d repairs, err %v", n, err)
+	}
+}
+
+// TestStopWaitsForMigrationDrain: teardown arriving mid-drain must wait for
+// the migration to finish rather than destroying the VMs and lanes the
+// drain is still reading.
+func TestStopWaitsForMigrationDrain(t *testing.T) {
+	c := newCluster(t, ModeVanilla, "a", "b", "c")
+	cd := pacedSplitChain(t, c, 3, []string{"a", "b"})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	cd.testDrainHold = func() {
+		close(entered)
+		<-release
+	}
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := cd.Migrate("vnf2", "c")
+		migDone <- err
+	}()
+	<-entered
+
+	stopDone := make(chan struct{})
+	go func() {
+		cd.Stop()
+		close(stopDone)
+	}()
+	select {
+	case <-stopDone:
+		t.Fatal("Stop completed while the migration drain was still in progress")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-migDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop never completed after the migration finished")
+	}
+}

@@ -112,6 +112,15 @@ func (cd *ClusterDeployment) Reconcile() (int, error) {
 	if cd.stopped {
 		return 0, nil
 	}
+	if cd.migrating != "" {
+		// A live migration's drain window is in progress: desired state
+		// already reflects the new layout, but the stale old-path rules
+		// must survive until the drain completes. Converging now would
+		// delete them mid-drain and drop the packets they are carrying,
+		// so the pass defers; the migration itself converges the tables
+		// in its step 6.
+		return 0, nil
+	}
 	repairs := 0
 	c := cd.cluster
 	c.mu.Lock()

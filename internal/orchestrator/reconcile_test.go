@@ -328,8 +328,15 @@ func TestMigrateZeroLossOrchestrator(t *testing.T) {
 	}
 
 	l0 := settle()
-	if err := cd.Migrate("vnf2", "c"); err != nil {
+	rep, err := cd.Migrate("vnf2", "c")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !rep.Drained {
+		t.Errorf("paced chain should drain before the deadline: %+v", rep)
+	}
+	if rep.From != "a" || rep.To != "c" {
+		t.Errorf("report endpoints = %s -> %s, want a -> c", rep.From, rep.To)
 	}
 	l1 := settle()
 	if lost := l1 - l0; lost != 0 {
@@ -361,16 +368,16 @@ func TestMigrateValidation(t *testing.T) {
 	}
 	defer cd.Stop()
 
-	if err := cd.Migrate("vnf1", "nope"); err == nil {
+	if _, err := cd.Migrate("vnf1", "nope"); err == nil {
 		t.Fatal("migrate to an unknown node was accepted")
 	}
-	if err := cd.Migrate("ghost", "b"); err == nil {
+	if _, err := cd.Migrate("ghost", "b"); err == nil {
 		t.Fatal("migrating an unknown VNF was accepted")
 	}
-	if err := cd.Migrate("end0", "b"); err == nil {
+	if _, err := cd.Migrate("end0", "b"); err == nil {
 		t.Fatal("migrating an endpoint VNF was accepted")
 	}
-	if err := cd.Migrate("vnf1", "a"); err != nil {
+	if _, err := cd.Migrate("vnf1", "a"); err != nil {
 		t.Fatalf("src==target migration should be a no-op, got %v", err)
 	}
 }
