@@ -113,6 +113,136 @@ func TestChaosSoakReconciler(t *testing.T) {
 	}
 }
 
+// TestChaosSoakRebalancer runs the placement controller and the reconciler
+// together under fault injection: a deliberately skewed split chain carries
+// paced traffic while trunks are killed, rules wiped, and a vSwitch
+// restarted. The rebalancer must converge the layout (fewer crossings) with
+// at most one migration in flight, defer around unrepaired faults instead
+// of erroring, and never race the reconciler. Run under -race in CI.
+func TestChaosSoakRebalancer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	nodes := []string{"node-a", "node-b", "node-c"}
+	cluster, err := StartCluster(ClusterConfig{
+		Config:    Config{Mode: ModeHighway, PoolSize: 4096},
+		Nodes:     nodes,
+		Fabric:    FabricConfig{ECMPWidth: 2},
+		TrunkRate: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	chain, err := cluster.DeploySplitChain(6, nodes, ChainOptions{Flows: 4, RatePps: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Stop()
+	if !cluster.WaitBypasses(chain.ExpectedBypasses()) {
+		t.Fatalf("initial bypasses not established (%d live)", cluster.BypassCount())
+	}
+	received := func() uint64 {
+		var v uint64
+		for _, e := range chain.ends {
+			v += e.Received.Load()
+		}
+		return v
+	}
+	waitProgress := func(want uint64) bool {
+		start := received()
+		deadline := time.Now().Add(5 * time.Second)
+		for received() < start+want && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return received() >= start+want
+	}
+	if !waitProgress(2000) {
+		t.Fatal("chain carries no traffic before chaos")
+	}
+
+	// Skew the layout by hand: two middles swapped across the fabric. The
+	// contiguous deploy has 2 crossings; this drifted layout has 4 — the
+	// drift a long-running cluster accumulates and the controller exists to
+	// repair. (ExpectedBypasses is deploy-time layout; after these moves the
+	// live bypass count differs, so the rest of the test probes progress and
+	// crossings, not bypass counts.)
+	for _, mv := range []struct{ vnf, to string }{
+		{"vnf2", nodes[2]},
+		{"vnf5", nodes[0]},
+	} {
+		if _, err := chain.Deployment().Migrate(mv.vnf, mv.to); err != nil {
+			t.Fatalf("skew migrate %s→%s: %v", mv.vnf, mv.to, err)
+		}
+	}
+	crossBefore := chain.Deployment().Crossings()
+	if crossBefore < 4 {
+		t.Fatalf("skew setup produced only %d crossings", crossBefore)
+	}
+
+	rec := cluster.StartReconciler(2 * time.Millisecond)
+	defer rec.Stop()
+	reb := cluster.StartRebalancer(RebalanceConfig{
+		Interval: 15 * time.Millisecond,
+		Cooldown: 250 * time.Millisecond,
+	})
+	defer reb.Stop()
+
+	mid := nodes[1]
+	faults := []struct {
+		name   string
+		inject func() error
+	}{
+		{"fail-trunk-ab0", func() error { return cluster.FailTrunk(nodes[0], mid, 0) }},
+		{"wipe-rules-mid", func() error { _, err := cluster.WipeRules(mid); return err }},
+		{"restart-mid", func() error { return cluster.RestartVSwitch(mid) }},
+	}
+	for round := 0; round < 2; round++ {
+		for _, f := range faults {
+			if err := f.inject(); err != nil {
+				t.Fatalf("round %d: inject %s: %v", round, f.name, err)
+			}
+			// The reconciler repairs; the rebalancer keeps (or resumes)
+			// converging around the fault. Traffic must keep moving.
+			if !waitProgress(1000) {
+				t.Fatalf("round %d: %s: chain dead after repair", round, f.name)
+			}
+		}
+	}
+
+	// Convergence: with the chaos over, the controller must have reduced the
+	// drifted layout's crossings. Poll — moves still cooling down may land
+	// shortly after the last fault round.
+	deadline := time.Now().Add(10 * time.Second)
+	crossAfter := chain.Deployment().Crossings()
+	for crossAfter >= crossBefore && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		crossAfter = chain.Deployment().Crossings()
+	}
+	if crossAfter >= crossBefore {
+		st := reb.Stats()
+		t.Fatalf("rebalancer never converged the skewed layout: %d → %d crossings (passes=%d deferred=%d damped=%d moves=%d errors=%d)",
+			crossBefore, crossAfter, st.Passes, st.Deferred, st.Damped, st.Moves, st.Errors)
+	}
+
+	st := reb.Stats()
+	if st.Moves == 0 {
+		t.Fatal("rebalancer moved nothing across the whole chaos run")
+	}
+	if st.MaxInFlight > 1 {
+		t.Fatalf("rebalancer ran %d migrations concurrently, want at most 1", st.MaxInFlight)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("rebalancer recorded %d errors", st.Errors)
+	}
+	if rs := rec.Stats(); rs.Errors != 0 {
+		t.Fatalf("reconciler recorded %d errors", rs.Errors)
+	}
+	if !waitProgress(2000) {
+		t.Fatal("chain dead after chaos ended")
+	}
+}
+
 // TestMigrateZeroLossPublicAPI drives a live migration through the public
 // highway API under paced traffic and asserts the conservation ledger:
 // pausing and settling before and after, the in-flight delta must be zero.

@@ -199,6 +199,44 @@ func (c *Cluster) StartReconciler(interval time.Duration) *Reconciler {
 	return c.inner.StartReconciler(interval)
 }
 
+// Rebalancer is the background placement controller; see StartRebalancer.
+type Rebalancer = orchestrator.Rebalancer
+
+// RebalanceConfig tunes the placement controller's sampling interval and
+// damping thresholds.
+type RebalanceConfig = orchestrator.RebalanceConfig
+
+// RebalancerStats is a point-in-time read of a rebalancer's counters.
+type RebalancerStats = orchestrator.RebalancerStats
+
+// RebalanceMove is one executed rolling move of a rebalance plan.
+type RebalanceMove = orchestrator.RebalanceMove
+
+// StartRebalancer launches the drift-driven placement controller: every
+// interval it samples node loads, re-runs the placement optimizer, and
+// converges the live layout onto the proposal via rolling zero-loss
+// migrations — one VNF in flight, damped against oscillating load, and
+// deferred while the fabric carries unrepaired faults. Stop it before
+// stopping the cluster.
+func (c *Cluster) StartRebalancer(cfg RebalanceConfig) *Rebalancer {
+	return c.inner.StartRebalancer(cfg)
+}
+
+// Cordon excludes a node from automatic placement (DeployPlaced and the
+// rebalance controller); running VNFs and explicit pins are untouched.
+func (c *Cluster) Cordon(node string) error { return c.inner.Cordon(node) }
+
+// Uncordon returns a node to the placement pool.
+func (c *Cluster) Uncordon(node string) error { return c.inner.Uncordon(node) }
+
+// CordonedNodes lists the currently cordoned nodes in cluster order.
+func (c *Cluster) CordonedNodes() []string { return c.inner.CordonedNodes() }
+
+// Drain cordons a node and live-evacuates every middle VNF it hosts via
+// rolling zero-loss migrations, so the node can be retired under traffic.
+// Returns the number of VNFs moved.
+func (c *Cluster) Drain(node string) (int, error) { return c.inner.Drain(node) }
+
 // ClusterDeployment is a service graph deployed across a cluster.
 type ClusterDeployment struct {
 	inner *orchestrator.ClusterDeployment

@@ -21,6 +21,13 @@ type PlaceOptions struct {
 	// deployments it hosts — receives correspondingly fewer new VNFs, which
 	// is what models heterogeneous chains sharing a cluster.
 	NodeLoad []float64
+	// Excluded marks nodes (indexed like nodes; nil or short = none) that
+	// must not receive any unpinned VNF — cordoned for decommission, or
+	// carrying failed trunk slots. Exclusion gates new assignment only:
+	// VNFs already pinned to an excluded node stay there, and the balance
+	// average is computed over the eligible nodes alone. Excluding every
+	// node is an error.
+	Excluded []bool
 }
 
 // Place assigns a node to every VNF of the graph, minimizing the number of
@@ -118,16 +125,31 @@ func (g *Graph) PlaceWith(nodes []string, nicNode map[string]string, opts PlaceO
 		return 1
 	}
 
+	// Eligible nodes: the ones unpinned VNFs may land on. Pinned VNFs on
+	// excluded nodes stay put (the caller asked for that placement), so the
+	// invariant the move/swap phases rely on is only that no UNPINNED VNF
+	// ever sits on an excluded node.
+	excl := func(n int) bool { return n < len(opts.Excluded) && opts.Excluded[n] }
+	var elig []int
+	for n := range nodes {
+		if !excl(n) {
+			elig = append(elig, n)
+		}
+	}
+	if len(elig) == 0 {
+		return 0, fmt.Errorf("graph: place: every node is excluded")
+	}
+
 	// Balanced initial assignment: distribute the unpinned VNFs in listed
-	// order over the nodes so total per-node loads (existing background load
-	// plus one per VNF) stay within [floor,ceil] of the per-node average —
-	// the naive contiguous split Place must beat.
+	// order over the eligible nodes so total per-node loads (existing
+	// background load plus one per VNF) stay within [floor,ceil] of the
+	// per-eligible-node average — the naive contiguous split Place must
+	// beat. Mass parked on excluded nodes is left out of the average: it
+	// can neither receive nor shed unpinned VNFs.
 	sizes := make([]float64, len(nodes))
-	total := float64(nv)
 	for n := range nodes {
 		if n < len(opts.NodeLoad) && opts.NodeLoad[n] > 0 {
 			sizes[n] = opts.NodeLoad[n]
-			total += opts.NodeLoad[n]
 		}
 	}
 	for i := range g.VNFs {
@@ -135,17 +157,26 @@ func (g *Graph) PlaceWith(nodes []string, nicNode map[string]string, opts PlaceO
 			sizes[assign[i]]++
 		}
 	}
-	ceil := math.Ceil(total / float64(len(nodes)))
-	target := 0
+	total := 0.0
+	for _, n := range elig {
+		total += sizes[n]
+	}
+	for i := range g.VNFs {
+		if !pinned[i] {
+			total++
+		}
+	}
+	ceil := math.Ceil(total / float64(len(elig)))
+	ti := 0
 	for i := range g.VNFs {
 		if pinned[i] {
 			continue
 		}
-		for target < len(nodes)-1 && sizes[target] >= ceil {
-			target++
+		for ti < len(elig)-1 && sizes[elig[ti]] >= ceil {
+			ti++
 		}
-		assign[i] = target
-		sizes[target]++
+		assign[i] = elig[ti]
+		sizes[elig[ti]]++
 	}
 
 	// cost(i, node) = total fabric distance of i's incident VNF edges to
@@ -160,7 +191,7 @@ func (g *Graph) PlaceWith(nodes []string, nicNode map[string]string, opts PlaceO
 		}
 		return c
 	}
-	floor := math.Floor(total / float64(len(nodes)))
+	floor := math.Floor(total / float64(len(elig)))
 
 	// swapGain evaluates the crossing reduction of exchanging i and j
 	// (positive = fewer crossings). The swap is applied temporarily so
@@ -190,7 +221,7 @@ func (g *Graph) PlaceWith(nodes []string, nicNode map[string]string, opts PlaceO
 			}
 			from := assign[i]
 			for to := range nodes {
-				if to == from || sizes[to] >= ceil || sizes[from] <= floor {
+				if to == from || excl(to) || sizes[to] >= ceil || sizes[from] <= floor {
 					continue
 				}
 				// Self-edges (i adjacent to i) are impossible: ports are

@@ -218,3 +218,53 @@ func TestPlaceWithNodeLoad(t *testing.T) {
 		t.Fatalf("load-weighted balance placed %v, want a:2 b:6", counts)
 	}
 }
+
+func TestPlaceWithExcludedNodes(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+
+	// No unpinned VNF may land on the excluded node.
+	g := parallelChains(2, 4)
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{Excluded: []bool{false, true, false}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.VNFs {
+		if v.Node == "b" {
+			t.Fatalf("VNF %s placed on excluded node b", v.Name)
+		}
+	}
+
+	// A VNF pinned to an excluded node stays there — exclusion gates new
+	// assignment, not existing pins.
+	g = parallelChains(2, 4)
+	g.VNFs[0].Node = "b"
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{Excluded: []bool{false, true, false}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.VNFs[0].Node != "b" {
+		t.Fatalf("pinned VNF moved off its excluded node to %s", g.VNFs[0].Node)
+	}
+	for _, v := range g.VNFs[1:] {
+		if v.Node == "b" {
+			t.Fatalf("unpinned VNF %s placed on excluded node b", v.Name)
+		}
+	}
+
+	// Balance holds across the eligible nodes alone: 8 VNFs over {a, c}.
+	g = parallelChains(2, 4)
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{Excluded: []bool{false, true, false}}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, v := range g.VNFs {
+		counts[v.Node]++
+	}
+	if counts["a"] != 4 || counts["c"] != 4 {
+		t.Fatalf("eligible-node balance placed %v, want a:4 c:4", counts)
+	}
+
+	// Excluding every node is an error, not a panic.
+	g = parallelChains(1, 2)
+	if _, err := g.PlaceWith(nodes, nil, PlaceOptions{Excluded: []bool{true, true, true}}); err == nil {
+		t.Fatal("placement with every node excluded was accepted")
+	}
+}

@@ -142,6 +142,11 @@ type Cluster struct {
 	// reconciler can walk them — the desired state the fabric converges
 	// toward. Guarded by mu.
 	deployments map[*ClusterDeployment]bool
+	// cordoned marks nodes excluded from automatic placement (DeployPlaced
+	// and the rebalance controller). A cordon does not touch running VNFs —
+	// Drain does that — and explicit pins still deploy to a cordoned node.
+	// Guarded by mu; created on first Cordon.
+	cordoned map[string]bool
 }
 
 // pairKey identifies an unordered node pair (lo < hi lexically).
@@ -1181,18 +1186,85 @@ func (c *Cluster) NodeLoads() []float64 {
 	return loads
 }
 
-// DeployPlaced optimizes the graph's placement first — Graph.PlaceWith
-// assigns every unpinned VNF a node, minimizing fabric hop cost (leaf–leaf
-// crossings through a spine cost 2) under load-weighted balance (NodeLoads)
-// — and then deploys the placed graph. The chosen crossing count is
-// returned alongside the deployment.
-func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, int, error) {
-	spines, err := c.spineNodes(tcfg)
-	if err != nil {
-		return nil, 0, err
+// Cordon excludes a node from automatic placement: DeployPlaced and the
+// rebalance controller will not assign unpinned VNFs to it. Running VNFs
+// are untouched (Drain evacuates them) and explicitly pinned graphs still
+// deploy there — a cordon is an operator intent, not a fault. Idempotent.
+func (c *Cluster) Cordon(node string) error {
+	if c.nodes[node] == nil {
+		return fmt.Errorf("orchestrator: cordon: unknown node %q (cluster has %v)", node, c.order)
 	}
-	opts := graph.PlaceOptions{NodeLoad: c.NodeLoads()}
-	if tcfg.Mode == FabricSpine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cordoned == nil {
+		c.cordoned = make(map[string]bool)
+	}
+	c.cordoned[node] = true
+	return nil
+}
+
+// Uncordon returns a node to the placement pool. Idempotent.
+func (c *Cluster) Uncordon(node string) error {
+	if c.nodes[node] == nil {
+		return fmt.Errorf("orchestrator: uncordon: unknown node %q (cluster has %v)", node, c.order)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cordoned, node)
+	return nil
+}
+
+// CordonedNodes lists the currently cordoned nodes in cluster order.
+func (c *Cluster) CordonedNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, name := range c.order {
+		if c.cordoned[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// placementExclusions builds the per-node placement exclusion mask (indexed
+// like c.order): cordoned nodes always, plus — when withFaults is set —
+// every node touching a failed trunk slot, so a controller never targets a
+// node whose fabric attachment is degraded. The second result reports
+// whether any failed slot exists at all (the controller's defer signal),
+// independent of withFaults.
+func (c *Cluster) placementExclusions(withFaults bool) ([]bool, bool) {
+	idx := make(map[string]int, len(c.order))
+	for i, name := range c.order {
+		idx[name] = i
+	}
+	excluded := make([]bool, len(c.order))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name := range c.cordoned {
+		excluded[idx[name]] = true
+	}
+	anyFailed := false
+	for pair, ct := range c.trunks {
+		for _, tl := range ct.links {
+			if tl.failed {
+				anyFailed = true
+				if withFaults {
+					excluded[idx[pair.lo]] = true
+					excluded[idx[pair.hi]] = true
+				}
+			}
+		}
+	}
+	return excluded, anyFailed
+}
+
+// placeOptions assembles the optimizer inputs shared by DeployPlaced and
+// the rebalance controller: measured load-weighted balance, spine-aware
+// fabric distances (leaf–leaf relays cost 2), and node exclusions.
+func (c *Cluster) placeOptions(loads []float64, spines []string, excluded []bool) graph.PlaceOptions {
+	opts := graph.PlaceOptions{NodeLoad: loads, Excluded: excluded}
+	if len(spines) > 0 {
 		isSpine := make(map[int]bool, len(spines))
 		for i, name := range c.order {
 			for _, s := range spines {
@@ -1208,6 +1280,21 @@ func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeploy
 			return 2
 		}
 	}
+	return opts
+}
+
+// DeployPlaced optimizes the graph's placement first — Graph.PlaceWith
+// assigns every unpinned VNF a node, minimizing fabric hop cost (leaf–leaf
+// crossings through a spine cost 2) under load-weighted balance (NodeLoads),
+// skipping cordoned nodes — and then deploys the placed graph. The chosen
+// crossing count is returned alongside the deployment.
+func (c *Cluster) DeployPlaced(g *graph.Graph, tcfg TrunkConfig) (*ClusterDeployment, int, error) {
+	spines, err := c.spineNodes(tcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	excluded, _ := c.placementExclusions(false)
+	opts := c.placeOptions(c.NodeLoads(), spines, excluded)
 	crossings, err := g.PlaceWith(c.order, c.nicNodes(), opts)
 	if err != nil {
 		return nil, 0, err

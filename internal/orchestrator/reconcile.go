@@ -162,9 +162,10 @@ func (cd *ClusterDeployment) Reconcile() (int, error) {
 	return repairs + cd.applySpecs(desired), nil
 }
 
-// ReconcileOnce runs one convergence pass over every live deployment, in
-// deployment-creation order, and returns the total repairs made.
-func (c *Cluster) ReconcileOnce() (int, error) {
+// deploymentsSorted snapshots the live deployments in creation order (the
+// steer cookie is allocation-ordered), the walk order every cluster-wide
+// control loop uses.
+func (c *Cluster) deploymentsSorted() []*ClusterDeployment {
 	c.mu.Lock()
 	cds := make([]*ClusterDeployment, 0, len(c.deployments))
 	for cd := range c.deployments {
@@ -172,6 +173,13 @@ func (c *Cluster) ReconcileOnce() (int, error) {
 	}
 	c.mu.Unlock()
 	sort.Slice(cds, func(i, j int) bool { return cds[i].steerCookie < cds[j].steerCookie })
+	return cds
+}
+
+// ReconcileOnce runs one convergence pass over every live deployment, in
+// deployment-creation order, and returns the total repairs made.
+func (c *Cluster) ReconcileOnce() (int, error) {
+	cds := c.deploymentsSorted()
 	total := 0
 	for _, cd := range cds {
 		n, err := cd.Reconcile()
