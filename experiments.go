@@ -1320,6 +1320,104 @@ func RunMigrate(cfg ExperimentConfig) (MigrateRow, error) {
 	return row, nil
 }
 
+// RebalanceReport is the rolling re-placement experiment's result: the
+// drifted layout's crossing count before and after the controller ran, the
+// move plan it executed (with per-move cutover), how long convergence took,
+// and the packet conservation ledger across the whole run — Lost must be
+// exactly 0.
+type RebalanceReport struct {
+	CrossBefore int
+	CrossAfter  int
+	Moves       []RebalanceMove
+	Converge    time.Duration // start of controller → last layout change
+	Lost        int64         // in-flight delta across the run; 0 = no loss
+	Stats       RebalancerStats
+	BaseMpps    float64
+	AfterMpps   float64
+}
+
+// RunRebalance deploys a split chain, deliberately drifts its layout (two
+// middles swapped across the fabric — the skew a long-running cluster
+// accumulates), then lets the rolling re-placement controller repair it:
+// rolling zero-loss migrations, one in flight at a time, until the crossing
+// count is back down. The conservation ledger brackets the entire
+// controller run. cfg.Window is the controller's load-sampling interval.
+func RunRebalance(cfg ExperimentConfig) (RebalanceReport, error) {
+	cfg.fill()
+	nodes := []string{"node-a", "node-b", "node-c"}
+	cluster, err := StartCluster(ClusterConfig{
+		Config:    Config{Mode: ModeHighway, NumPMDs: cfg.NumPMDs},
+		Nodes:     nodes,
+		TrunkRate: -1,
+	})
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	defer cluster.Stop()
+	// Paced ends: the ledger is exact only when the chain is not saturated,
+	// and unsaturated lanes also drain in milliseconds per migration.
+	chain, err := cluster.DeploySplitChain(6, nodes, ChainOptions{Flows: cfg.Flows, RatePps: 30_000})
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	defer chain.Stop()
+	if !cluster.WaitBypasses(chain.ExpectedBypasses()) {
+		return RebalanceReport{}, fmt.Errorf("rebalance: bypasses not established (%d live, want %d)",
+			cluster.BypassCount(), chain.ExpectedBypasses())
+	}
+	// Drift the layout by hand: vnf2 and vnf5 swapped across the fabric
+	// turns the contiguous deploy's 2 crossings into 4.
+	for _, mv := range []struct{ vnf, to string }{
+		{"vnf2", nodes[2]},
+		{"vnf5", nodes[0]},
+	} {
+		if _, err := chain.Deployment().Migrate(mv.vnf, mv.to); err != nil {
+			return RebalanceReport{}, fmt.Errorf("rebalance: skew migrate %s→%s: %w", mv.vnf, mv.to, err)
+		}
+	}
+	rep := RebalanceReport{CrossBefore: chain.Deployment().Crossings()}
+	time.Sleep(cfg.Warmup)
+	rep.BaseMpps = chain.MeasureMpps(cfg.Window)
+
+	chain.Pause(true)
+	l0 := chain.Settle(2 * time.Second)
+	chain.Pause(false)
+
+	start := time.Now()
+	reb := cluster.StartRebalancer(RebalanceConfig{Interval: cfg.Window})
+	// Converged when the crossings dropped below the drifted count and the
+	// layout then held still for two full sampling intervals.
+	cross := rep.CrossBefore
+	lastChange := start
+	deadline := start.Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if c := chain.Deployment().Crossings(); c != cross {
+			cross = c
+			lastChange = time.Now()
+		}
+		if cross < rep.CrossBefore && time.Since(lastChange) > 2*cfg.Window {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	reb.Stop()
+	rep.Converge = lastChange.Sub(start)
+	rep.CrossAfter = chain.Deployment().Crossings()
+	rep.Stats = reb.Stats()
+	rep.Moves = reb.Moves()
+
+	chain.Pause(true)
+	l1 := chain.Settle(2 * time.Second)
+	rep.Lost = l1 - l0
+	chain.Pause(false)
+	time.Sleep(cfg.Warmup)
+	rep.AfterMpps = chain.MeasureMpps(cfg.Window)
+	if n, err := cluster.ReconcileOnce(); err != nil || n != 0 {
+		return rep, fmt.Errorf("rebalance: post-run reconcile: %d repairs, err %v", n, err)
+	}
+	return rep, nil
+}
+
 // IncastRow is one arm of the congestion-aware ECMP incast experiment:
 // the measured leaf–leaf chain's goodput and latency while one of the two
 // spine paths is deliberately incast-congested by background traffic.
