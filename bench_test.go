@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"ovshighway/internal/conntrack"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
 	"ovshighway/internal/mempool"
@@ -393,6 +394,82 @@ func BenchmarkLookupChurn(b *testing.B) {
 			b.ReportMetric(100*float64(hits)/float64(lookups), "emc-hit-%")
 		})
 	}
+}
+
+// BenchmarkConntrack pins the stateful-VNF fast path: the sharded
+// connection table every NAT44/ACL/balancer consults per packet. hit is the
+// established-connection case (the overwhelming majority at steady state),
+// miss the first-packet probe, and churn the worst case — connections
+// opening and closing every iteration, cycling entries through the arena
+// freelist and forcing tombstone reclaim and bucket compaction. All three
+// must report 0 allocs/op: like the PMD forwarding path, connection
+// tracking never touches the heap — CI gates every line.
+func BenchmarkConntrack(b *testing.B) {
+	const conns = 65536
+	keys := make([]conntrack.Key, conns)
+	for i := range keys {
+		keys[i] = conntrack.Key{
+			Src:     pkt.IP4{10, byte(i >> 16), byte(i >> 8), byte(i)},
+			Dst:     pkt.IP4{10, 99, 0, 1},
+			SrcPort: uint16(1024 + i%60000),
+			DstPort: 80,
+			Proto:   pkt.ProtoUDP,
+		}
+	}
+	newTable := func(b *testing.B) *conntrack.Table {
+		// Headroom over the connection count: the arena is split evenly
+		// across shards but Hash2 spreads keys only statistically evenly.
+		t, err := conntrack.New(conntrack.Config{Shards: 4, Capacity: conns + conns/8, IdleTimeout: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	b.Run("hit", func(b *testing.B) {
+		t := newTable(b)
+		for _, k := range keys {
+			if t.Insert(k, 1) == nil {
+				b.Fatal("insert failed during setup")
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if t.Lookup(keys[i%conns], int64(i)+2) == nil {
+				b.Fatal("unexpected conntrack miss")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		t := newTable(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if t.Lookup(keys[i%conns], int64(i)) != nil {
+				b.Fatal("unexpected conntrack hit")
+			}
+		}
+	})
+	b.Run("churn", func(b *testing.B) {
+		// Quarter-full table, every iteration closes the oldest connection
+		// and opens a new one: constant tombstone creation, freelist reuse,
+		// and periodic compaction — the expiry-churn steady state.
+		t := newTable(b)
+		const live = conns / 4
+		for i := 0; i < live; i++ {
+			if t.Insert(keys[i], 1) == nil {
+				b.Fatal("insert failed during setup")
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Remove(keys[i%conns])
+			if t.Insert(keys[(i+live)%conns], int64(i)+2) == nil {
+				b.Fatal("churn insert failed")
+			}
+		}
+	})
 }
 
 // BenchmarkClassifierLookup pins the EMC-miss cost: a full tuple-space-search

@@ -298,3 +298,98 @@ func TestMigrateZeroLossPublicAPI(t *testing.T) {
 		t.Fatalf("post-migration reconcile: %d repairs, err %v", n, err)
 	}
 }
+
+// TestChaosStatefulConntrack puts the stateful NAT44→ACL→balancer chain
+// under the same faults the reconciler soak uses — steering rules wiped,
+// vSwitches restarted — and requires the connection state to ride through:
+// conntrack tables live on the Switch (not in the per-PMD caches a restart
+// discards) and rules are reconciled, so established connections must keep
+// translating on their original NAT bindings. A reset would show up as
+// fresh port allocations; a lost table as unsolicited-inbound drops.
+func TestChaosStatefulConntrack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	nodes := []string{"node-a", "node-b"}
+	cluster, err := StartCluster(ClusterConfig{
+		Config: Config{Mode: ModeHighway, PoolSize: 4096},
+		Nodes:  nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	sc, _, err := cluster.DeployStatefulChain(StatefulChainOptions{
+		Flows: 32, RatePps: 20_000, Backends: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Stop()
+
+	waitProgress := func(want uint64) bool {
+		start := sc.Received()
+		deadline := time.Now().Add(5 * time.Second)
+		for sc.Received() < start+want && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return sc.Received() >= start+want
+	}
+	if !waitProgress(2000) {
+		t.Fatal("chain carries no traffic before chaos")
+	}
+	// All 32 connections established: the binding census must not move for
+	// the rest of the test — any growth means a connection was reset and
+	// had to re-establish through a fresh NAT binding.
+	bound := sc.NAT().Bound.Load()
+	if bound != 32 {
+		t.Fatalf("NAT established %d bindings before chaos, want 32", bound)
+	}
+	pinned := sc.Balancer().NewConns.Load()
+
+	r := cluster.StartReconciler(2 * time.Millisecond)
+	defer r.Stop()
+
+	faults := []struct {
+		name   string
+		inject func() error
+	}{
+		{"wipe-rules-a", func() error { _, err := cluster.WipeRules(nodes[0]); return err }},
+		{"restart-a", func() error { return cluster.RestartVSwitch(nodes[0]) }},
+		{"wipe-rules-b", func() error { _, err := cluster.WipeRules(nodes[1]); return err }},
+		{"restart-b", func() error { return cluster.RestartVSwitch(nodes[1]) }},
+	}
+	for round := 0; round < 2; round++ {
+		for _, f := range faults {
+			if err := f.inject(); err != nil {
+				t.Fatalf("round %d: inject %s: %v", round, f.name, err)
+			}
+			if !waitProgress(1000) {
+				st := r.Stats()
+				t.Fatalf("round %d: %s: chain dead after repair (reconciler passes=%d repairs=%d errors=%d)",
+					round, f.name, st.Passes, st.Repairs, st.Errors)
+			}
+		}
+	}
+
+	st := r.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("reconciler recorded %d errors", st.Errors)
+	}
+	if st.Repairs == 0 {
+		t.Fatal("reconciler repaired nothing across the whole chaos run")
+	}
+	if got := sc.NAT().Bound.Load(); got != bound {
+		t.Fatalf("connections reset: NAT bindings grew %d → %d across chaos", bound, got)
+	}
+	if got := sc.NAT().Unsolicit.Load(); got != 0 {
+		t.Fatalf("conntrack state lost: %d inbound packets arrived unsolicited", got)
+	}
+	if got := sc.Balancer().NewConns.Load(); got != pinned {
+		t.Fatalf("balancer re-pinned connections %d → %d: conntrack state lost", pinned, got)
+	}
+	if got := sc.Balancer().NoState.Load(); got != 0 {
+		t.Fatalf("balancer dropped %d reply packets for missing state", got)
+	}
+}

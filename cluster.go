@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"ovshighway/internal/flow"
 	"ovshighway/internal/graph"
 	"ovshighway/internal/orchestrator"
+	"ovshighway/internal/pkt"
 	"ovshighway/internal/vnf"
 )
 
@@ -463,4 +465,159 @@ func (c *SplitChain) ExpectedBypasses() int {
 		}
 	}
 	return 2 * hops
+}
+
+// StatefulChainOptions parametrizes DeployStatefulChain. Zero values take
+// defaults sized so the chain reaches a lossless steady state.
+type StatefulChainOptions struct {
+	// Flows is the number of concurrent client connections the source
+	// cycles through (default 64). The NAT's per-node port block is sized
+	// to cover them exactly.
+	Flows int
+	// RatePps paces the client source (default 50_000). Keep it below
+	// chain capacity or the conservation ledger cannot close.
+	RatePps float64
+	// Backends is the number of balancer targets behind the VIP (default 2).
+	Backends int
+}
+
+// StatefulChain is the production service chain of the conntrack PR:
+// client source → NAT44 → ACL (established bypass) → L4 balancer → sink,
+// deployed across cluster nodes by the placement optimizer. Unlike the
+// bidirectional benchmark chains, traffic is unidirectional and paced, so
+// the conservation ledger is exact: after Pause and Settle, every packet
+// the source sent must have landed in the sink.
+type StatefulChain struct {
+	dep  *ClusterDeployment
+	src  *vnf.Source
+	sink *vnf.Sink
+	nat  *vnf.NAT44
+	acl  *vnf.ACL
+	lb   *vnf.Balancer
+}
+
+// DeployStatefulChain builds and deploys the NAT44→ACL→balancer chain via
+// the crossing-minimizing placement optimizer (DeployPlaced), returning the
+// chain handle and the placement's crossing count. The traffic plan: the
+// client talks to a VIP, the NAT source-translates it onto its node's port
+// block, the ACL admits only VIP-bound traffic (first packet via the
+// compiled classifier, the rest through the conntrack bypass), and the
+// balancer pins each connection to a backend.
+func (c *Cluster) DeployStatefulChain(opts StatefulChainOptions) (*StatefulChain, int, error) {
+	if opts.Flows <= 0 {
+		opts.Flows = 64
+	}
+	if opts.RatePps <= 0 {
+		opts.RatePps = 50_000
+	}
+	if opts.Backends <= 0 {
+		opts.Backends = 2
+	}
+	vip := pkt.IP4{10, 99, 0, 1}
+	const vipPort = 80
+	spec := orchestrator.DefaultTrafficSpec()
+	spec.DstIP = vip
+	spec.DstPort = vipPort
+	backends := make([]vnf.Backend, opts.Backends)
+	for i := range backends {
+		backends[i] = vnf.Backend{IP: pkt.IP4{10, 1, 0, byte(i + 1)}, Port: 8080}
+	}
+	g := &Graph{
+		VNFs: []graph.VNF{
+			{Name: "client", Kind: graph.KindSource, Args: orchestrator.SourceSpecArgs{
+				Spec: spec, Flows: opts.Flows, RatePps: opts.RatePps,
+			}},
+			{Name: "nat", Kind: graph.KindNAT44, Args: orchestrator.NAT44Args{
+				ExtIP: pkt.IP4{192, 0, 2, 1}, PortBase: 40000, PortCount: opts.Flows,
+			}},
+			{Name: "acl", Kind: graph.KindACL, Args: orchestrator.ACLArgs{
+				Rules: []vnf.ACLRule{{
+					Priority: 100,
+					Match:    flow.MatchAll().WithIPProto(pkt.ProtoUDP).WithIPDst(vip, 32).WithL4Dst(vipPort),
+					Allow:    true,
+				}},
+			}},
+			{Name: "lb", Kind: graph.KindBalancer, Args: orchestrator.BalancerArgs{
+				VIP: vip, VIPPort: vipPort, Backends: backends,
+			}},
+			{Name: "server", Kind: graph.KindSink},
+		},
+		Edges: []graph.Edge{
+			{A: graph.VNFPort("client", 0), B: graph.VNFPort("nat", 0), Bidirectional: true},
+			{A: graph.VNFPort("nat", 1), B: graph.VNFPort("acl", 0), Bidirectional: true},
+			{A: graph.VNFPort("acl", 1), B: graph.VNFPort("lb", 0), Bidirectional: true},
+			{A: graph.VNFPort("lb", 1), B: graph.VNFPort("server", 0), Bidirectional: true},
+		},
+	}
+	dep, crossings, err := c.DeployPlaced(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc := &StatefulChain{
+		dep:  dep,
+		sink: dep.inner.Sink("server"),
+		nat:  dep.inner.NAT44("nat"),
+		acl:  dep.inner.ACL("acl"),
+		lb:   dep.inner.Balancer("lb"),
+	}
+	if srcs := dep.inner.Sources(); len(srcs) == 1 {
+		sc.src = srcs[0]
+	}
+	if sc.src == nil || sc.sink == nil || sc.nat == nil || sc.acl == nil || sc.lb == nil {
+		dep.Stop()
+		return nil, 0, fmt.Errorf("statefulchain: VNF handles missing after deploy")
+	}
+	return sc, crossings, nil
+}
+
+// Stop tears the chain down across all nodes.
+func (sc *StatefulChain) Stop() { sc.dep.Stop() }
+
+// Deployment exposes the chain's underlying cluster deployment.
+func (sc *StatefulChain) Deployment() *ClusterDeployment { return sc.dep }
+
+// NAT returns the chain's NAT44 handle.
+func (sc *StatefulChain) NAT() *vnf.NAT44 { return sc.nat }
+
+// ACL returns the chain's stateful-firewall handle.
+func (sc *StatefulChain) ACL() *vnf.ACL { return sc.acl }
+
+// Balancer returns the chain's L4 balancer handle.
+func (sc *StatefulChain) Balancer() *vnf.Balancer { return sc.lb }
+
+// Sent returns the number of packets the client source generated.
+func (sc *StatefulChain) Sent() uint64 { return sc.src.Sent.Load() }
+
+// Received returns the number of packets the server sink absorbed.
+func (sc *StatefulChain) Received() uint64 { return sc.sink.Received.Load() }
+
+// Pause stops (or resumes) client generation; the rest of the chain keeps
+// forwarding, so in-flight packets drain toward the sink.
+func (sc *StatefulChain) Pause(p bool) { sc.src.SetPaused(p) }
+
+// InFlight returns sent-minus-received: packets currently inside the chain.
+// After Pause+Settle a nonzero value means packets were lost.
+func (sc *StatefulChain) InFlight() int64 {
+	return int64(sc.Sent()) - int64(sc.Received())
+}
+
+// Settle waits (bounded by timeout) for the chain's ledger to stop moving —
+// a sustained run of identical observations — then returns InFlight. Call
+// after Pause(true).
+func (sc *StatefulChain) Settle(timeout time.Duration) int64 {
+	ledger := func() uint64 { return sc.Sent() + sc.Received() }
+	deadline := time.Now().Add(timeout)
+	prev := ledger()
+	stable := 0
+	for time.Now().Before(deadline) && stable < 8 {
+		time.Sleep(5 * time.Millisecond)
+		cur := ledger()
+		if cur == prev {
+			stable++
+		} else {
+			stable = 0
+			prev = cur
+		}
+	}
+	return sc.InFlight()
 }

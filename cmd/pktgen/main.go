@@ -6,6 +6,7 @@
 //
 //	pktgen -send 127.0.0.1:9000 -rate 100000 -duration 5s -size 64
 //	pktgen -send 127.0.0.1:9000 -flows 64 -churn 100   # rotate 5-tuples
+//	pktgen -send 127.0.0.1:9000 -conns 256 -churn 50    # connection lifecycle
 //	pktgen -recv :9000
 package main
 
@@ -29,12 +30,13 @@ func main() {
 		size     = flag.Int("size", 64, "UDP payload size in bytes")
 		flows    = flag.Int("flows", 1, "distinct source ports to cycle")
 		churn    = flag.Int("churn", 0, "flows/sec whose 5-tuple rotates (0 = stable flows)")
+		conns    = flag.Int("conns", 0, "concurrent connections with SYN/FIN-style lifecycle markers (overrides -flows; -churn sets open/close cycling rate)")
 	)
 	flag.Parse()
 
 	switch {
 	case *sendAddr != "":
-		if err := send(*sendAddr, *rate, *duration, *size, *flows, *churn); err != nil {
+		if err := send(*sendAddr, *rate, *duration, *size, *flows, *churn, *conns); err != nil {
 			log.Fatal(err)
 		}
 	case *recvAddr != "":
@@ -47,7 +49,16 @@ func main() {
 	}
 }
 
-func send(addr string, rate int, duration time.Duration, size, flows, churn int) error {
+func send(addr string, rate int, duration time.Duration, size, flows, churn, nconns int) error {
+	// -conns mode: each socket models one connection with an explicit
+	// lifecycle — a SYN-style open marker when it dials, FIN-style close
+	// marker before it retires — so a stateful device under test (NAT,
+	// firewall) sees N concurrent connections opening and closing at the
+	// churn rate instead of an anonymous packet stream.
+	lifecycle := nconns > 0
+	if lifecycle {
+		flows = nconns
+	}
 	if flows < 1 {
 		flows = 1
 	}
@@ -73,8 +84,32 @@ func send(addr string, rate int, duration time.Duration, size, flows, churn int)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
+	// Lifecycle markers ride the first payload byte: 'S' opens, 'D' is
+	// data, 'F' closes. A UDP sink that tracks connections keys on them.
+	marker := func(c *net.UDPConn, m byte) error {
+		if !lifecycle || len(payload) == 0 {
+			return nil
+		}
+		old := payload[0]
+		payload[0] = m
+		_, err := c.Write(payload)
+		payload[0] = old
+		return err
+	}
+	if lifecycle && len(payload) > 0 {
+		payload[0] = 'D'
+	}
 
-	var sent, churned uint64
+	var sent, churned, opened, closed uint64
+	if lifecycle {
+		for _, c := range conns {
+			if err := marker(c, 'S'); err != nil {
+				return err
+			}
+			opened++
+			sent++
+		}
+	}
 	start := time.Now()
 	deadline := start.Add(duration)
 	next := 0
@@ -105,8 +140,21 @@ func send(addr string, rate int, duration time.Duration, size, flows, churn int)
 			if err != nil {
 				return err
 			}
+			// Close the retiring connection on the wire before the socket:
+			// FIN-style marker out, then the replacement announces itself.
+			if err := marker(conns[churnIdx], 'F'); err != nil {
+				return err
+			}
 			conns[churnIdx].Close()
 			conns[churnIdx] = c
+			if err := marker(c, 'S'); err != nil {
+				return err
+			}
+			if lifecycle {
+				closed++
+				opened++
+				sent += 2
+			}
 			churnIdx = (churnIdx + 1) % flows
 			churned++
 			nextChurn = nextChurn.Add(churnEvery)
@@ -138,9 +186,22 @@ func send(addr string, rate int, duration time.Duration, size, flows, churn int)
 			}
 		}
 	}
+	if lifecycle {
+		// Drain the survivors: every still-open connection closes cleanly.
+		for _, c := range conns {
+			if err := marker(c, 'F'); err != nil {
+				return err
+			}
+			closed++
+			sent++
+		}
+	}
 	el := time.Since(start).Seconds()
 	fmt.Printf("sent %d packets in %.2fs (%.0f pps, %.3f Mpps), rotated %d flows\n",
 		sent, el, float64(sent)/el, float64(sent)/el/1e6, churned)
+	if lifecycle {
+		fmt.Printf("connections: %d opened, %d closed, %d concurrent\n", opened, closed, flows)
+	}
 	return nil
 }
 

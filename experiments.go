@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ovshighway/internal/conntrack"
 	"ovshighway/internal/core"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
@@ -16,6 +17,7 @@ import (
 	"ovshighway/internal/orchestrator"
 	"ovshighway/internal/pkt"
 	"ovshighway/internal/trunk"
+	"ovshighway/internal/vnf"
 	"ovshighway/internal/vswitch"
 )
 
@@ -1538,6 +1540,251 @@ func RunIncast(perTrunkRate float64, cfg ExperimentConfig) ([]IncastRow, error) 
 		row, err := runIncastArm(arm.name, arm.disabled, perTrunkRate, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("incast %s arm: %w", arm.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ConntrackRow is one point of the conntrack scale sweep: a table
+// pre-seeded with Conns established connections, then a measurement window
+// of live traffic through an ACL VNF whose fast path is the conntrack
+// established-connection bypass.
+type ConntrackRow struct {
+	Conns int
+	// SeedMconnsPerSec is the table fill rate while pre-establishing the
+	// Conns connections (arena-backed inserts, no heap traffic).
+	SeedMconnsPerSec float64
+	Mpps             float64
+	// CTHitPct/CTMissPct split conntrack probes over the window: hits are
+	// established-bypass packets, misses took the classifier walk (and, up
+	// to capacity, established a new connection).
+	CTHitPct  float64
+	CTMissPct float64
+	// Per-tier vSwitch lookup split over the same window. With millions of
+	// distinct 5-tuples in flight the EMC/SMC working sets are hopeless and
+	// the split slides toward the classifier — the point of showing it.
+	EMCPct float64
+	SMCPct float64
+	ClsPct float64
+	// Live is the connection count at the end of the window; the sweep
+	// gates Live >= Conns (no seeded connection may fall out mid-run).
+	Live int
+}
+
+// conntrackConnKey enumerates the sweep's connection space: index i maps to
+// a unique 5-tuple toward the experiment VIP. 14 bits ride the source port
+// and the rest the source address, so the space covers far beyond the 4M
+// sweep ceiling without aliasing.
+func conntrackConnKey(i int) conntrack.Key {
+	hi := i >> 14
+	return conntrack.Key{
+		Src:     pkt.IP4{10, byte(hi >> 16), byte(hi >> 8), byte(hi)},
+		Dst:     pkt.IP4{10, 99, 0, 1},
+		SrcPort: uint16(1024 + i&0x3fff),
+		DstPort: 80,
+		Proto:   pkt.ProtoUDP,
+	}
+}
+
+// RunConntrackPoint measures one conntrack scale point. Phase 1 pre-seeds
+// `conns` established connections into a sharded table (reporting the fill
+// rate); phase 2 drives traffic from the generator through the vSwitch into
+// an ACL VNF bound to that table and back out to a sink, with 1 frame in 16
+// carrying a never-seeded 5-tuple so the window exercises both the
+// established bypass and the first-packet classifier walk. The table is
+// attached to the vSwitch, so its counters arrive through the same windowed
+// DatapathStats delta as the cache tiers and the expiry sweeper owns
+// idle-timeout death-marks. The point fails if any seeded connection fell
+// out of the table or the per-shard stats disagree with the global sums.
+func RunConntrackPoint(conns int, cfg ExperimentConfig) (ConntrackRow, error) {
+	cfg.fill()
+	if conns < 1 || conns > 1<<22 {
+		return ConntrackRow{}, fmt.Errorf("conntrack: conns %d out of range [1,%d]", conns, 1<<22)
+	}
+	// Headroom: the arena splits evenly across shards but Hash2 spreads
+	// keys only statistically evenly, and window misses establish new
+	// connections on top of the seeded ones.
+	ct, err := conntrack.New(conntrack.Config{
+		Shards:      4,
+		Capacity:    conns + conns/8 + 4096,
+		IdleTimeout: time.Hour,
+	})
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	now := time.Now().UnixNano()
+	t0 := time.Now()
+	for i := 0; i < conns; i++ {
+		if ct.Insert(conntrackConnKey(i), now) == nil {
+			return ConntrackRow{}, fmt.Errorf("conntrack: seed insert %d/%d failed", i, conns)
+		}
+	}
+	seedRate := float64(conns) / time.Since(t0).Seconds() / 1e6
+
+	sw := vswitch.New(vswitch.Config{NumPMDs: cfg.NumPMDs})
+	sw.AttachConntrack(ct)
+	pool := mempool.MustNew(mempool.Config{Capacity: 4096})
+	portGen, pmdGen, err := dpdkr.NewPort(1, "gen", 1024)
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	portSink, pmdSink, err := dpdkr.NewPort(2, "sink", 1024)
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	portACLIn, pmdACLIn, err := dpdkr.NewPort(3, "aclin", 1024)
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	portACLOut, pmdACLOut, err := dpdkr.NewPort(4, "aclout", 1024)
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	for _, p := range []*dpdkr.Port{portGen, portSink, portACLIn, portACLOut} {
+		if err := sw.AddPort(p); err != nil {
+			return ConntrackRow{}, err
+		}
+	}
+	sw.Table().Add(10, flow.MatchInPort(1), flow.Actions{flow.Output(3)}, 0)
+	sw.Table().Add(10, flow.MatchInPort(4), flow.Actions{flow.Output(2)}, 0)
+	app, acl, err := vnf.NewACL("acl", pmdACLIn, pmdACLOut, pool, ct, []vnf.ACLRule{{
+		Priority: 100,
+		Match:    flow.MatchAll().WithIPProto(pkt.ProtoUDP).WithIPDst(pkt.IP4{10, 99, 0, 1}, 32).WithL4Dst(80),
+		Allow:    true,
+	}}, false)
+	if err != nil {
+		return ConntrackRow{}, err
+	}
+	_ = acl
+	if err := sw.Start(); err != nil {
+		return ConntrackRow{}, err
+	}
+	app.Start()
+
+	spec := orchestrator.DefaultTrafficSpec()
+	spec.DstIP = pkt.IP4{10, 99, 0, 1}
+	spec.DstPort = 80
+	raw := make([]byte, 256)
+	frameLen, err := pkt.BuildUDP(raw, spec)
+	if err != nil {
+		app.Stop()
+		sw.Stop()
+		return ConntrackRow{}, err
+	}
+	// The generator rewrites source address and port per frame; neither the
+	// parser nor the ACL verifies L3/L4 checksums, so clear the UDP
+	// checksum once (0 = "no checksum") and leave the IPv4 sum stale.
+	const srcIPOff = pkt.EthernetLen + 12
+	const srcPortOff = pkt.EthernetLen + pkt.IPv4MinLen
+	raw[srcPortOff+6] = 0
+	raw[srcPortOff+7] = 0
+
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		delivered atomic.Uint64
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]*mempool.Buf, 64)
+		for !stop.Load() {
+			n := pmdSink.Rx(out)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			delivered.Add(uint64(n))
+			mempool.FreeBatch(out[:n])
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bufs := make([]*mempool.Buf, 32)
+		seq := 0
+		mouse := 0
+		for !stop.Load() {
+			got := pool.GetBatch(bufs)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < got; i++ {
+				var idx int
+				if seq%16 == 15 {
+					// Never-seeded tuple: a first-packet classifier walk.
+					// The space above the seeded connections is large
+					// enough that it barely recycles within a window.
+					idx = conns + mouse%(1<<16)
+					mouse++
+				} else {
+					idx = seq % conns
+				}
+				seq++
+				k := conntrackConnKey(idx)
+				b := bufs[i]
+				b.SetBytes(raw[:frameLen])
+				fb := b.Bytes()
+				copy(fb[srcIPOff:srcIPOff+4], k.Src[:])
+				fb[srcPortOff] = byte(k.SrcPort >> 8)
+				fb[srcPortOff+1] = byte(k.SrcPort)
+			}
+			sent := pmdGen.Tx(bufs[:got])
+			if sent < got {
+				mempool.FreeBatch(bufs[sent:got])
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Warmup)
+	pre := sw.DatapathStats()
+	base := delivered.Load()
+	w0 := time.Now()
+	time.Sleep(cfg.Window)
+	got := delivered.Load() - base
+	elapsed := time.Since(w0)
+	st := sw.DatapathStats().Delta(pre)
+	stop.Store(true)
+	wg.Wait()
+	app.Stop()
+	sw.Stop()
+
+	row := ConntrackRow{
+		Conns:            conns,
+		SeedMconnsPerSec: seedRate,
+		Mpps:             float64(got) / elapsed.Seconds() / 1e6,
+		Live:             ct.Live(),
+	}
+	probes := st.Conntrack.Hits + st.Conntrack.Misses
+	if probes > 0 {
+		row.CTHitPct = 100 * float64(st.Conntrack.Hits) / float64(probes)
+		row.CTMissPct = 100 * float64(st.Conntrack.Misses) / float64(probes)
+	}
+	lookups := st.EMC.Hits + st.SMC.Hits + st.DedupHits + st.ClassifierHits + st.ClassifierMisses
+	if lookups > 0 {
+		row.EMCPct = 100 * float64(st.EMC.Hits) / float64(lookups)
+		row.SMCPct = 100 * float64(st.SMC.Hits) / float64(lookups)
+		row.ClsPct = 100 * float64(st.ClassifierHits+st.ClassifierMisses) / float64(lookups)
+	}
+	if row.Live < conns {
+		return row, fmt.Errorf("conntrack: only %d of %d seeded connections still live after the window", row.Live, conns)
+	}
+	if err := ct.CheckShardSums(); err != nil {
+		return row, fmt.Errorf("conntrack: shard stats audit failed: %w", err)
+	}
+	return row, nil
+}
+
+// RunConntrack sweeps concurrent connections 64k → 4M.
+func RunConntrack(cfg ExperimentConfig) ([]ConntrackRow, error) {
+	var rows []ConntrackRow
+	for _, conns := range []int{64 << 10, 256 << 10, 1 << 20, 1 << 22} {
+		row, err := RunConntrackPoint(conns, cfg)
+		if err != nil {
+			return rows, fmt.Errorf("conntrack %d conns: %w", conns, err)
 		}
 		rows = append(rows, row)
 	}

@@ -88,6 +88,12 @@ type Config struct {
 	AutoBalance     bool
 	BalanceInterval time.Duration
 	BalanceSpread   float64
+	// ConntrackCapacity/ConntrackIdle size the connection table each
+	// stateful VNF (NAT44, ACL, balancer) gets when it deploys. Zero values
+	// take the defaults: 65536 entries, 30s idle timeout. Each table is
+	// preallocated in one arena — lookups and inserts never touch the heap.
+	ConntrackCapacity int
+	ConntrackIdle     time.Duration
 }
 
 // Node is a running NFV node.
@@ -119,6 +125,9 @@ func (cfg Config) nodeConfig() orchestrator.NodeConfig {
 		AutoBalance:     cfg.AutoBalance,
 		BalanceInterval: cfg.BalanceInterval,
 		BalanceSpread:   cfg.BalanceSpread,
+
+		ConntrackCapacity: cfg.ConntrackCapacity,
+		ConntrackIdle:     cfg.ConntrackIdle,
 	}
 }
 

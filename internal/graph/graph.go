@@ -17,6 +17,9 @@ const (
 	KindSource   Kind = "source"   // one port, generates traffic
 	KindSink     Kind = "sink"     // one port, terminates traffic
 	KindSrcSink  Kind = "srcsink"  // one port, generates AND terminates (bidirectional endpoint)
+	KindNAT44    Kind = "nat44"    // two ports, stateful source NAT (inside=0, outside=1)
+	KindACL      Kind = "acl"      // two ports, stateful firewall with established bypass
+	KindBalancer Kind = "balancer" // two ports, L4 VIP load balancer (clients=0, backends=1)
 )
 
 // PortCount returns the number of dpdkr ports a kind requires, or 0 for an
@@ -25,7 +28,7 @@ func (k Kind) PortCount() int {
 	switch k {
 	case KindSource, KindSink, KindSrcSink:
 		return 1
-	case KindForward, KindFirewall, KindMonitor:
+	case KindForward, KindFirewall, KindMonitor, KindNAT44, KindACL, KindBalancer:
 		return 2
 	default:
 		return 0

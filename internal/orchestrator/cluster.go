@@ -1328,6 +1328,55 @@ func (cd *ClusterDeployment) SrcSink(name string) *vnf.SrcSink {
 	return nil
 }
 
+// Sink finds a named sink VNF across all partitions.
+func (cd *ClusterDeployment) Sink(name string) *vnf.Sink {
+	for _, d := range cd.deps {
+		if s := d.Sink(name); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// Sources returns every source VNF across all partitions.
+func (cd *ClusterDeployment) Sources() []*vnf.Source {
+	var out []*vnf.Source
+	for _, d := range cd.deps {
+		out = append(out, d.sources...)
+	}
+	return out
+}
+
+// NAT44 finds a named stateful NAT VNF across all partitions.
+func (cd *ClusterDeployment) NAT44(name string) *vnf.NAT44 {
+	for _, d := range cd.deps {
+		if n := d.NAT44(name); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// ACL finds a named stateful firewall VNF across all partitions.
+func (cd *ClusterDeployment) ACL(name string) *vnf.ACL {
+	for _, d := range cd.deps {
+		if a := d.ACL(name); a != nil {
+			return a
+		}
+	}
+	return nil
+}
+
+// Balancer finds a named L4 balancer VNF across all partitions.
+func (cd *ClusterDeployment) Balancer(name string) *vnf.Balancer {
+	for _, d := range cd.deps {
+		if b := d.Balancer(name); b != nil {
+			return b
+		}
+	}
+	return nil
+}
+
 // Trunks returns the trunks this deployment's lanes ride, ordered by node
 // pair then bundle index (shared adjacencies appear once even when several
 // lanes use them).

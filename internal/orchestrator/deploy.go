@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ovshighway/internal/conntrack"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
 	"ovshighway/internal/graph"
@@ -27,7 +28,10 @@ type Deployment struct {
 	sources  []*vnf.Source
 	sinks    map[string]*vnf.Sink
 	srcsinks map[string]*vnf.SrcSink
-	vms      map[string][]uint32 // VM name → port ids
+	nats     map[string]*vnf.NAT44    // stateful-VNF handles, by VNF name
+	acls     map[string]*vnf.ACL      // (lazily allocated: most deployments
+	lbs      map[string]*vnf.Balancer // carry none)
+	vms      map[string][]uint32      // VM name → port ids
 
 	// PortOf maps (VNF name, local port) to switch port ids.
 	portOf map[graph.Endpoint]uint32
@@ -62,6 +66,39 @@ func newDeployment(n *Node) *Deployment {
 type SourceSpecArgs struct {
 	Spec  pkt.UDPSpec
 	Flows int
+	// RatePps paces generation (0 = full blast). A paced source below chain
+	// capacity reaches a lossless steady state — the precondition for the
+	// unidirectional conservation ledger (Sent == Received after settle).
+	RatePps float64
+}
+
+// NAT44Args configures a stateful NAT44 VNF through graph.VNF.Args. The
+// port block is the node's slice of the ExtIP port space — cluster
+// placement hands each NAT node a disjoint block so nodes allocate without
+// coordinating.
+type NAT44Args struct {
+	ExtIP     pkt.IP4
+	PortBase  uint16
+	PortCount int
+	// Table overrides the node's shared conntrack table (tests; optional).
+	Table *conntrack.Table
+}
+
+// ACLArgs configures a stateful ACL VNF through graph.VNF.Args.
+type ACLArgs struct {
+	Rules        []vnf.ACLRule
+	DefaultAllow bool
+	// Table overrides the node's shared conntrack table (tests; optional).
+	Table *conntrack.Table
+}
+
+// BalancerArgs configures an L4 balancer VNF through graph.VNF.Args.
+type BalancerArgs struct {
+	VIP      pkt.IP4
+	VIPPort  uint16
+	Backends []vnf.Backend
+	// Table overrides the node's shared conntrack table (tests; optional).
+	Table *conntrack.Table
 }
 
 // SrcSinkArgs configures a bidirectional endpoint VNF through graph.VNF.Args.
@@ -218,6 +255,64 @@ func (d *Deployment) startVNF(v graph.VNF, pmds []*dpdkr.PMD) error {
 		}
 		app.Start()
 		d.apps = append(d.apps, app)
+	case graph.KindNAT44:
+		args, ok := v.Args.(NAT44Args)
+		if !ok {
+			return fmt.Errorf("nat44 %s: missing NAT44Args", v.Name)
+		}
+		ct, err := d.conntrackFor(args.Table)
+		if err != nil {
+			return err
+		}
+		app, nat, err := vnf.NewNAT44(v.Name, pmds[0], pmds[1], d.node.Pool, vnf.NAT44Config{
+			ExtIP: args.ExtIP, PortBase: args.PortBase, PortCount: args.PortCount, Table: ct,
+		})
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+		if d.nats == nil {
+			d.nats = make(map[string]*vnf.NAT44)
+		}
+		d.nats[v.Name] = nat
+	case graph.KindACL:
+		args, _ := v.Args.(ACLArgs)
+		ct, err := d.conntrackFor(args.Table)
+		if err != nil {
+			return err
+		}
+		app, acl, err := vnf.NewACL(v.Name, pmds[0], pmds[1], d.node.Pool, ct, args.Rules, args.DefaultAllow)
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+		if d.acls == nil {
+			d.acls = make(map[string]*vnf.ACL)
+		}
+		d.acls[v.Name] = acl
+	case graph.KindBalancer:
+		args, ok := v.Args.(BalancerArgs)
+		if !ok {
+			return fmt.Errorf("balancer %s: missing BalancerArgs", v.Name)
+		}
+		ct, err := d.conntrackFor(args.Table)
+		if err != nil {
+			return err
+		}
+		app, lb, err := vnf.NewBalancer(v.Name, pmds[0], pmds[1], d.node.Pool, vnf.BalancerConfig{
+			VIP: args.VIP, VIPPort: args.VIPPort, Backends: args.Backends, Table: ct,
+		})
+		if err != nil {
+			return err
+		}
+		app.Start()
+		d.apps = append(d.apps, app)
+		if d.lbs == nil {
+			d.lbs = make(map[string]*vnf.Balancer)
+		}
+		d.lbs[v.Name] = lb
 	case graph.KindSource:
 		args, _ := v.Args.(SourceSpecArgs)
 		if args.Spec.FrameLen == 0 {
@@ -226,7 +321,7 @@ func (d *Deployment) startVNF(v graph.VNF, pmds []*dpdkr.PMD) error {
 		if args.Flows == 0 {
 			args.Flows = 1
 		}
-		src, err := vnf.NewSource(v.Name, pmds[0], d.node.Pool, args.Spec, args.Flows)
+		src, err := vnf.NewSourcePaced(v.Name, pmds[0], d.node.Pool, args.Spec, args.Flows, args.RatePps)
 		if err != nil {
 			return err
 		}
@@ -272,8 +367,37 @@ func DefaultTrafficSpec() pkt.UDPSpec {
 	}
 }
 
+// conntrackFor resolves a stateful VNF's connection table: an explicit
+// override, or a fresh per-VNF (sweeper-attached) table — per-VNF because a
+// shard admits one writer and chain stages key on different tuple spaces.
+func (d *Deployment) conntrackFor(override *conntrack.Table) (*conntrack.Table, error) {
+	if override != nil {
+		d.node.Switch.AttachConntrack(override)
+		return override, nil
+	}
+	return d.node.NewConntrack()
+}
+
 // Sink returns a named sink VNF (nil if absent).
 func (d *Deployment) Sink(name string) *vnf.Sink { return d.sinks[name] }
+
+// Source returns the i-th source VNF (nil if absent); sources carry no graph
+// names, deployment order is instantiation order.
+func (d *Deployment) Source(i int) *vnf.Source {
+	if i < 0 || i >= len(d.sources) {
+		return nil
+	}
+	return d.sources[i]
+}
+
+// NAT44 returns a named NAT44 VNF handle (nil if absent).
+func (d *Deployment) NAT44(name string) *vnf.NAT44 { return d.nats[name] }
+
+// ACL returns a named ACL VNF handle (nil if absent).
+func (d *Deployment) ACL(name string) *vnf.ACL { return d.acls[name] }
+
+// Balancer returns a named balancer VNF handle (nil if absent).
+func (d *Deployment) Balancer(name string) *vnf.Balancer { return d.lbs[name] }
 
 // SrcSink returns a named bidirectional endpoint VNF (nil if absent).
 func (d *Deployment) SrcSink(name string) *vnf.SrcSink { return d.srcsinks[name] }

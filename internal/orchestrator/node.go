@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ovshighway/internal/agent"
+	"ovshighway/internal/conntrack"
 	"ovshighway/internal/core"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/mempool"
@@ -56,6 +57,12 @@ type NodeConfig struct {
 	AutoBalance     bool
 	BalanceInterval time.Duration
 	BalanceSpread   float64
+
+	// ConntrackCapacity/ConntrackIdle size the connection table each
+	// stateful VNF gets when it deploys (zero values take the conntrack
+	// defaults: 65536 entries, 30s idle).
+	ConntrackCapacity int
+	ConntrackIdle     time.Duration
 }
 
 // Node is one NFV compute node.
@@ -76,6 +83,33 @@ type Node struct {
 	ports    map[uint32]*dpdkr.Port // host-side port objects, for teardown drains
 	nicByNm  map[string]uint32      // NIC name → port id
 	stopped  bool
+}
+
+// NewConntrack builds a connection table sized by the node's config and
+// attaches it to the vSwitch sweeper. Each stateful VNF gets its OWN table:
+// a table shard has a single writer (the owning app goroutine), and VNFs at
+// different points of a chain see different 5-tuples for the same
+// connection anyway (a NAT keys on the pre-translation tuple, the balancer
+// behind it on the post-translation one) — sharing a node-wide table would
+// both break the single-writer contract and collide those key spaces.
+// Shards follow the RSS queue count so a connection's shard and its
+// receiving queue agree. Like the flow table, attached tables survive a
+// vSwitch Restart: connection state is node-local, rules are reconciled.
+func (n *Node) NewConntrack() (*conntrack.Table, error) {
+	shards := n.cfg.NumQueues
+	if shards <= 0 {
+		shards = 1
+	}
+	ct, err := conntrack.New(conntrack.Config{
+		Shards:      shards,
+		Capacity:    n.cfg.ConntrackCapacity,
+		IdleTimeout: n.cfg.ConntrackIdle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.Switch.AttachConntrack(ct)
+	return ct, nil
 }
 
 // NewNode builds and starts a node (switch PMDs running; in highway mode the

@@ -338,6 +338,13 @@ func (h UDP) SetSrcPort(p uint16) { be.PutUint16(h.raw[0:2], p) }
 // SetDstPort stores the destination port.
 func (h UDP) SetDstPort(p uint16) { be.PutUint16(h.raw[2:4], p) }
 
+// SetChecksum stores the checksum field (0 = none, legal for IPv4 UDP).
+func (h UDP) SetChecksum(c uint16) { be.PutUint16(h.raw[6:8], c) }
+
+// Datagram returns the full UDP datagram bytes (header plus payload), the
+// span L4Checksum covers.
+func (h UDP) Datagram() []byte { return h.raw }
+
 // Payload returns the bytes after the header, bounded by the length field.
 func (h UDP) Payload() []byte {
 	end := int(h.Length())
@@ -394,6 +401,24 @@ func (h TCP) Flags() uint8 { return h.raw[13] & 0x3f }
 
 // Payload returns the bytes after the header and options.
 func (h TCP) Payload() []byte { return h.raw[h.DataOff():] }
+
+// SetSrcPort rewrites the source port in place (NAT). The caller owns the
+// checksum fixup.
+func (h TCP) SetSrcPort(p uint16) { be.PutUint16(h.raw[0:2], p) }
+
+// SetDstPort rewrites the destination port in place (NAT). The caller owns
+// the checksum fixup.
+func (h TCP) SetDstPort(p uint16) { be.PutUint16(h.raw[2:4], p) }
+
+// Checksum returns the TCP checksum field.
+func (h TCP) Checksum() uint16 { return be.Uint16(h.raw[16:18]) }
+
+// SetChecksum stores the TCP checksum field.
+func (h TCP) SetChecksum(c uint16) { be.PutUint16(h.raw[16:18], c) }
+
+// Segment returns the full TCP segment bytes (header, options and payload),
+// the span L4Checksum covers.
+func (h TCP) Segment() []byte { return h.raw }
 
 // ICMP is a view over an ICMPv4 header.
 type ICMP struct {

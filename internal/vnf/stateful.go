@@ -1,0 +1,535 @@
+package vnf
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ovshighway/internal/conntrack"
+	"ovshighway/internal/dpdkr"
+	"ovshighway/internal/flow"
+	"ovshighway/internal/mempool"
+	"ovshighway/internal/pkt"
+)
+
+// The stateful VNFs below (NAT44, ACL with established bypass, L4 balancer)
+// all ride one conntrack.Table: a zero-alloc sharded connection table whose
+// shard pick reuses the datapath's Hash2, so a connection's state lives on
+// the PMD/VNF goroutine its packets arrive on. Each App is a single
+// goroutine, satisfying the table's single-writer-per-shard contract; the
+// vSwitch sweeper expires idle entries cross-thread via death-marks.
+
+// fixupL4 repairs the transport checksum after an IP/port rewrite: UDP drops
+// to the no-checksum sentinel (legal for IPv4 UDP — recomputation would scan
+// the payload), TCP recomputes over the pseudo-header and segment.
+func fixupL4(p *pkt.Parser) {
+	switch {
+	case p.Decoded.Has(pkt.LayerUDP):
+		p.UDP.SetChecksum(0)
+	case p.Decoded.Has(pkt.LayerTCP):
+		p.TCP.SetChecksum(0)
+		p.TCP.SetChecksum(pkt.L4Checksum(p.IPv4.Src(), p.IPv4.Dst(), pkt.ProtoTCP, p.TCP.Segment()))
+	}
+}
+
+// reverseKey returns the tuple return traffic for k carries.
+func reverseKey(k conntrack.Key) conntrack.Key {
+	return conntrack.Key{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// --- NAT44 ------------------------------------------------------------------
+
+// NAT44Config parametrizes NewNAT44.
+type NAT44Config struct {
+	// ExtIP is the external (translated-to) address this node owns.
+	ExtIP pkt.IP4
+	// PortBase/PortCount delimit this node's port block — the cluster-level
+	// placement hands each NAT node a disjoint block of the ExtIP port
+	// space, so nodes allocate without coordinating (per-node port-block
+	// allocation).
+	PortBase  uint16
+	PortCount int
+	// Table is the conntrack table translations live in. Its IdleTimeout
+	// bounds how long an idle binding holds its port.
+	Table *conntrack.Table
+}
+
+// NAT44 is the stateful source-NAT VNF: port 0 faces inside, port 1 faces
+// outside. Outbound connections get (ExtIP, block port) bindings; return
+// traffic is translated back; unsolicited outside traffic is dropped.
+type NAT44 struct {
+	cfg      NAT44Config
+	portFree []uint16 // free ports of the block (owner goroutine only)
+	// binding[i] is the inside→outside tuple holding port PortBase+i, valid
+	// when bound[i]; lets ReclaimExpired release ports whose conntrack
+	// entries the sweeper idled out (owner goroutine only).
+	binding   []conntrack.Key
+	bound     []bool
+	Bound     atomic.Uint64
+	Unbound   atomic.Uint64
+	Exhausted atomic.Uint64 // drops: port block empty or table full
+	Unsolicit atomic.Uint64 // drops: outside packet with no binding
+	Untransl  atomic.Uint64 // drops: not translatable (non-IPv4/TCP/UDP)
+}
+
+// PortsFree returns the number of unallocated ports left in the block.
+// Owner-goroutine accuracy; racing readers get a snapshot.
+func (n *NAT44) PortsFree() int { return len(n.portFree) }
+
+// NewNAT44 builds the NAT app. Port allocation, binding insertion and
+// reclamation all run on the app goroutine — the conntrack shard owner — so
+// the whole fast path is lock-free and allocation-free.
+func NewNAT44(name string, inside, outside *dpdkr.PMD, pool *mempool.Pool, cfg NAT44Config) (*App, *NAT44, error) {
+	if cfg.Table == nil {
+		return nil, nil, fmt.Errorf("nat44 %s: nil conntrack table", name)
+	}
+	if cfg.PortCount <= 0 || int(cfg.PortBase)+cfg.PortCount > 0x10000 {
+		return nil, nil, fmt.Errorf("nat44 %s: bad port block [%d,+%d)", name, cfg.PortBase, cfg.PortCount)
+	}
+	n := &NAT44{
+		cfg:      cfg,
+		portFree: make([]uint16, 0, cfg.PortCount),
+		binding:  make([]conntrack.Key, cfg.PortCount),
+		bound:    make([]bool, cfg.PortCount),
+	}
+	for i := cfg.PortCount - 1; i >= 0; i-- {
+		n.portFree = append(n.portFree, cfg.PortBase+uint16(i))
+	}
+	ct := cfg.Table
+	var parser pkt.Parser
+	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		now := time.Now().UnixNano()
+		keep := bufs[:0]
+		for _, b := range bufs {
+			if parser.Parse(b.Bytes()) != nil || !parser.Decoded.Has(pkt.LayerIPv4) {
+				n.Untransl.Add(1)
+				b.Free()
+				continue
+			}
+			ft, ok := parser.FiveTuple()
+			if !ok || (ft.Proto != pkt.ProtoUDP && ft.Proto != pkt.ProtoTCP) {
+				n.Untransl.Add(1)
+				b.Free()
+				continue
+			}
+			if inPort == 0 {
+				if !n.outbound(ct, &parser, ft, now) {
+					b.Free()
+					continue
+				}
+			} else {
+				if !n.inbound(ct, &parser, ft, now) {
+					b.Free()
+					continue
+				}
+			}
+			keep = append(keep, b)
+		}
+		ctx.Tx(1-inPort, keep)
+	}
+	app, err := New(Config{Name: name, PMDs: []*dpdkr.PMD{inside, outside}, Pool: pool, Handler: handler})
+	if err != nil {
+		return nil, nil, err
+	}
+	return app, n, nil
+}
+
+// outbound translates inside→outside traffic, establishing a binding on the
+// first packet of a connection.
+func (n *NAT44) outbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, now int64) bool {
+	e := ct.Lookup(ft, now)
+	if e == nil {
+		if len(n.portFree) == 0 {
+			n.Exhausted.Add(1)
+			return false
+		}
+		port := n.portFree[len(n.portFree)-1]
+		fwd := ct.Insert(ft, now)
+		if fwd == nil {
+			n.Exhausted.Add(1)
+			return false
+		}
+		// Reverse binding keyed by the tuple return packets carry:
+		// remoteIP:remotePort → ExtIP:port.
+		rk := conntrack.Key{Src: ft.Dst, Dst: n.cfg.ExtIP, SrcPort: ft.DstPort, DstPort: port, Proto: ft.Proto}
+		rev := ct.Insert(rk, now)
+		if rev == nil {
+			ct.Remove(ft)
+			n.Exhausted.Add(1)
+			return false
+		}
+		n.portFree = n.portFree[:len(n.portFree)-1]
+		n.binding[port-n.cfg.PortBase] = ft
+		n.bound[port-n.cfg.PortBase] = true
+		fwd.XlateIP = n.cfg.ExtIP
+		fwd.XlatePort = port
+		rev.XlateIP = ft.Src
+		rev.XlatePort = ft.SrcPort
+		if ft.Proto == pkt.ProtoTCP {
+			fwd.TCPState = conntrack.TCPOpening
+			rev.TCPState = conntrack.TCPOpening
+		}
+		n.Bound.Add(1)
+		e = fwd
+	}
+	xip, xport := e.XlateIP, e.XlatePort
+	closing := n.observeTCP(p, e)
+	p.IPv4.SetSrc(xip)
+	if p.Decoded.Has(pkt.LayerUDP) {
+		p.UDP.SetSrcPort(xport)
+	} else {
+		p.TCP.SetSrcPort(xport)
+	}
+	p.IPv4.UpdateChecksum()
+	fixupL4(p)
+	if closing {
+		n.unbind(ct, ft, xport)
+	}
+	return true
+}
+
+// inbound translates outside→inside return traffic through an existing
+// binding; unsolicited traffic dies here (the NAT is also a stateful
+// firewall).
+func (n *NAT44) inbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, now int64) bool {
+	e := ct.Lookup(ft, now)
+	if e == nil {
+		n.Unsolicit.Add(1)
+		return false
+	}
+	insideIP, insidePort := e.XlateIP, e.XlatePort
+	extPort := ft.DstPort
+	closing := n.observeTCP(p, e)
+	p.IPv4.SetDst(insideIP)
+	if p.Decoded.Has(pkt.LayerUDP) {
+		p.UDP.SetDstPort(insidePort)
+	} else {
+		p.TCP.SetDstPort(insidePort)
+	}
+	p.IPv4.UpdateChecksum()
+	fixupL4(p)
+	if closing {
+		// ft is the reverse key; reconstruct the forward tuple from the
+		// binding to retire both directions and release the block port.
+		fwd := conntrack.Key{Src: insideIP, Dst: ft.Src, SrcPort: insidePort, DstPort: ft.SrcPort, Proto: ft.Proto}
+		n.unbind(ct, fwd, extPort)
+	}
+	return true
+}
+
+// observeTCP advances the coarse TCP lifecycle on e and reports whether the
+// packet ends the connection (FIN or RST).
+func (n *NAT44) observeTCP(p *pkt.Parser, e *conntrack.Entry) bool {
+	if !p.Decoded.Has(pkt.LayerTCP) {
+		return false
+	}
+	f := p.TCP.Flags()
+	switch {
+	case f&(pkt.TCPFin|pkt.TCPRst) != 0:
+		e.TCPState = conntrack.TCPClosing
+		return true
+	case f&pkt.TCPAck != 0 && e.TCPState == conntrack.TCPOpening:
+		e.TCPState = conntrack.TCPOpen
+	}
+	return false
+}
+
+// unbind retires a binding: both conntrack directions plus the block port.
+// fwd is the inside→outside tuple; extPort the allocated external port.
+func (n *NAT44) unbind(ct *conntrack.Table, fwd conntrack.Key, extPort uint16) {
+	rk := conntrack.Key{Src: fwd.Dst, Dst: n.cfg.ExtIP, SrcPort: fwd.DstPort, DstPort: extPort, Proto: fwd.Proto}
+	removed := ct.Remove(fwd)
+	ct.Remove(rk)
+	if removed && n.bound[extPort-n.cfg.PortBase] {
+		n.bound[extPort-n.cfg.PortBase] = false
+		n.portFree = append(n.portFree, extPort)
+		n.Unbound.Add(1)
+	}
+}
+
+// ReclaimExpired releases block ports whose bindings the expiry sweeper
+// death-marked (idle connections that never sent a FIN). The conntrack
+// table cannot release NAT ports itself — the block freelist is owner
+// state — so the owner calls this periodically (cheap: one lookup per
+// outstanding allocation). Must run on the app goroutine or with the app
+// stopped. Returns the number of ports freed.
+func (n *NAT44) ReclaimExpired(ct *conntrack.Table, now int64) int {
+	freed := 0
+	for i := range n.bound {
+		if !n.bound[i] {
+			continue
+		}
+		fwd := n.binding[i]
+		if ct.Lookup(fwd, now) != nil {
+			continue // still live
+		}
+		port := n.cfg.PortBase + uint16(i)
+		// Retire the reverse carcass too, then release the port.
+		ct.Remove(conntrack.Key{Src: fwd.Dst, Dst: n.cfg.ExtIP, SrcPort: fwd.DstPort, DstPort: port, Proto: fwd.Proto})
+		n.bound[i] = false
+		n.portFree = append(n.portFree, port)
+		n.Unbound.Add(1)
+		freed++
+	}
+	return freed
+}
+
+// --- ACL with established-connection bypass ---------------------------------
+
+// ACLRule is one compiled firewall rule: a classifier match plus verdict.
+type ACLRule struct {
+	Priority uint16
+	Match    flow.Match
+	Allow    bool
+}
+
+// ACL is the stateful firewall VNF: first-packet decisions walk a classifier
+// compiled from the rules (the same tuple-space machinery the vSwitch
+// uses); allowed connections are inserted into conntrack, and every later
+// packet — both directions — takes the zero-alloc established-bypass hit
+// path without touching the classifier.
+type ACL struct {
+	rules *flow.Table
+	ct    *conntrack.Table
+
+	Established atomic.Uint64 // packets served by the conntrack bypass
+	Walked      atomic.Uint64 // packets that took the classifier walk
+	Denied      atomic.Uint64
+	TableFull   atomic.Uint64 // allowed but not trackable; still forwarded
+}
+
+// Rules exposes the compiled classifier (tests/operators).
+func (a *ACL) Rules() *flow.Table { return a.rules }
+
+// aclCookie tags compiled ACL rules in the classifier; the verdict itself
+// is read from the matched flow's action type.
+const aclCookie = 0xAC1 << 16
+
+// NewACL builds the two-port stateful firewall. Rules are compiled into a
+// flow.Table (priority order, first match wins — exactly the classifier's
+// contract); defaultAllow decides no-match traffic.
+func NewACL(name string, in, out *dpdkr.PMD, pool *mempool.Pool, ct *conntrack.Table, rules []ACLRule, defaultAllow bool) (*App, *ACL, error) {
+	if ct == nil {
+		return nil, nil, fmt.Errorf("acl %s: nil conntrack table", name)
+	}
+	rt := flow.NewTable()
+	for i, r := range rules {
+		act := flow.Actions{flow.Drop()}
+		if r.Allow {
+			act = flow.Actions{flow.Output(1)}
+		}
+		rt.Add(r.Priority, r.Match, act, uint64(aclCookie|i))
+	}
+	// Priority-0 default.
+	defAct := flow.Actions{flow.Drop()}
+	if defaultAllow {
+		defAct = flow.Actions{flow.Output(1)}
+	}
+	rt.Add(0, flow.MatchAll(), defAct, aclCookie|0xffff)
+	a := &ACL{rules: rt, ct: ct}
+	var parser pkt.Parser
+	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		now := time.Now().UnixNano()
+		keep := bufs[:0]
+		for _, b := range bufs {
+			if parser.Parse(b.Bytes()) != nil {
+				b.Free()
+				a.Denied.Add(1)
+				continue
+			}
+			ft, ok := parser.FiveTuple()
+			if ok {
+				if e := ct.Lookup(ft, now); e != nil {
+					// Established: no classifier walk, no allocation.
+					a.Established.Add(1)
+					keep = append(keep, b)
+					continue
+				}
+			}
+			// First packet (or untrackable): classifier walk.
+			a.Walked.Add(1)
+			k := flow.ExtractKey(&parser, uint32(inPort))
+			f := a.rules.Lookup(&k)
+			allow := f != nil && len(f.Actions) > 0 && f.Actions[0].Type == flow.ActOutput
+			if !allow {
+				a.Denied.Add(1)
+				b.Free()
+				continue
+			}
+			if ok {
+				// Track both directions so return traffic bypasses too.
+				if fe := ct.Insert(ft, now); fe != nil {
+					if ct.Insert(reverseKey(ft), now) == nil {
+						a.TableFull.Add(1)
+					}
+				} else {
+					a.TableFull.Add(1)
+				}
+			}
+			keep = append(keep, b)
+		}
+		ctx.Tx(1-inPort, keep)
+	}
+	app, err := New(Config{Name: name, PMDs: []*dpdkr.PMD{in, out}, Pool: pool, Handler: handler})
+	if err != nil {
+		return nil, nil, err
+	}
+	return app, a, nil
+}
+
+// --- L4 load balancer -------------------------------------------------------
+
+// Backend is one balancer target.
+type Backend struct {
+	IP   pkt.IP4
+	Port uint16
+}
+
+// BalancerConfig parametrizes NewBalancer.
+type BalancerConfig struct {
+	// VIP/VIPPort is the virtual service address clients talk to.
+	VIP     pkt.IP4
+	VIPPort uint16
+	// Backends are the real servers; a connection is pinned to one on its
+	// first packet by the same Hash2 the RSS/ECMP spreading uses, so the
+	// pick is stable across the connection's lifetime.
+	Backends []Backend
+	// Table is the conntrack table connection→backend pins live in.
+	Table *conntrack.Table
+}
+
+// Balancer is the L4 load-balancing VNF: port 0 faces clients, port 1 faces
+// the backend fabric. DNAT on the way in, SNAT back to the VIP on the way
+// out; the backend pick is per-connection state in conntrack.
+type Balancer struct {
+	cfg BalancerConfig
+
+	NewConns atomic.Uint64
+	NotVIP   atomic.Uint64 // client-side packets not addressed to the VIP
+	NoState  atomic.Uint64 // backend-side packets with no pinned connection
+	Full     atomic.Uint64 // connection table exhausted
+}
+
+// BackendFor reports the pinned backend index for a client tuple, -1 if
+// none. Test/operator helper; runs a real (counted) lookup.
+func (lb *Balancer) BackendFor(ct *conntrack.Table, k conntrack.Key, now int64) int {
+	if e := ct.Lookup(k, now); e != nil {
+		return int(e.Backend)
+	}
+	return -1
+}
+
+// NewBalancer builds the two-port L4 balancer app.
+func NewBalancer(name string, client, backend *dpdkr.PMD, pool *mempool.Pool, cfg BalancerConfig) (*App, *Balancer, error) {
+	if cfg.Table == nil {
+		return nil, nil, fmt.Errorf("balancer %s: nil conntrack table", name)
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, nil, fmt.Errorf("balancer %s: no backends", name)
+	}
+	lb := &Balancer{cfg: cfg}
+	ct := cfg.Table
+	var parser pkt.Parser
+	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
+		now := time.Now().UnixNano()
+		keep := bufs[:0]
+		for _, b := range bufs {
+			if parser.Parse(b.Bytes()) != nil || !parser.Decoded.Has(pkt.LayerIPv4) {
+				lb.NotVIP.Add(1)
+				b.Free()
+				continue
+			}
+			ft, ok := parser.FiveTuple()
+			if !ok || (ft.Proto != pkt.ProtoUDP && ft.Proto != pkt.ProtoTCP) {
+				lb.NotVIP.Add(1)
+				b.Free()
+				continue
+			}
+			forward := false
+			if inPort == 0 {
+				forward = lb.toBackend(ct, &parser, ft, now)
+			} else {
+				forward = lb.toClient(ct, &parser, ft, now)
+			}
+			if !forward {
+				b.Free()
+				continue
+			}
+			keep = append(keep, b)
+		}
+		ctx.Tx(1-inPort, keep)
+	}
+	app, err := New(Config{Name: name, PMDs: []*dpdkr.PMD{client, backend}, Pool: pool, Handler: handler})
+	if err != nil {
+		return nil, nil, err
+	}
+	return app, lb, nil
+}
+
+// toBackend DNATs a client→VIP packet to its pinned backend, pinning one on
+// the first packet.
+func (lb *Balancer) toBackend(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, now int64) bool {
+	e := ct.Lookup(ft, now)
+	if e == nil {
+		if ft.Dst != lb.cfg.VIP || ft.DstPort != lb.cfg.VIPPort {
+			lb.NotVIP.Add(1)
+			return false
+		}
+		// Pin by the connection hash — the same value that spread the
+		// connection across RX queues and fabric paths.
+		idx := int32(conntrack.HashKey(ft) % uint32(len(lb.cfg.Backends)))
+		fwd := ct.Insert(ft, now)
+		if fwd == nil {
+			lb.Full.Add(1)
+			return false
+		}
+		bk := lb.cfg.Backends[idx]
+		// Reverse pin keyed by the tuple backend replies carry.
+		rk := conntrack.Key{Src: bk.IP, Dst: ft.Src, SrcPort: bk.Port, DstPort: ft.SrcPort, Proto: ft.Proto}
+		rev := ct.Insert(rk, now)
+		if rev == nil {
+			ct.Remove(ft)
+			lb.Full.Add(1)
+			return false
+		}
+		fwd.Backend = idx
+		fwd.XlateIP = bk.IP
+		fwd.XlatePort = bk.Port
+		rev.Backend = idx
+		rev.XlateIP = lb.cfg.VIP
+		rev.XlatePort = lb.cfg.VIPPort
+		lb.NewConns.Add(1)
+		e = fwd
+	}
+	p.IPv4.SetDst(e.XlateIP)
+	if p.Decoded.Has(pkt.LayerUDP) {
+		p.UDP.SetDstPort(e.XlatePort)
+	} else {
+		p.TCP.SetDstPort(e.XlatePort)
+	}
+	p.IPv4.UpdateChecksum()
+	fixupL4(p)
+	return true
+}
+
+// toClient SNATs a backend reply's source back to the VIP.
+func (lb *Balancer) toClient(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, now int64) bool {
+	e := ct.Lookup(ft, now)
+	if e == nil {
+		lb.NoState.Add(1)
+		return false
+	}
+	p.IPv4.SetSrc(e.XlateIP)
+	if p.Decoded.Has(pkt.LayerUDP) {
+		p.UDP.SetSrcPort(e.XlatePort)
+	} else {
+		p.TCP.SetSrcPort(e.XlatePort)
+	}
+	p.IPv4.UpdateChecksum()
+	fixupL4(p)
+	return true
+}

@@ -14,14 +14,28 @@ import (
 // (experiment E1), synthesizing minimum-size frames as fast as the chain
 // absorbs them.
 type Source struct {
-	app  *App
-	Sent atomic.Uint64
+	app    *App
+	Sent   atomic.Uint64
+	paused atomic.Bool
 }
+
+// SetPaused gates generation (stray-receive draining continues). A paused
+// source lets a conservation ledger settle: once every in-flight frame has
+// landed, Sent equals the downstream sink's Received exactly.
+func (s *Source) SetPaused(p bool) { s.paused.Store(p) }
 
 // NewSource builds a one-port generator app. flows is the number of distinct
 // UDP source ports to cycle through (≥1), exercising the EMC with a small
 // flow set as the paper's pktgen does.
 func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpec, flows int) (*Source, error) {
+	return NewSourcePaced(name, port, pool, spec, flows, 0)
+}
+
+// NewSourcePaced is NewSource with a packets-per-second budget (0 = as fast
+// as the chain absorbs, the classic source). Pacing is credit-based like the
+// SrcSink's: credits accrue with wall time and are capped at a small burst,
+// so a stall does not bank an unbounded backlog.
+func NewSourcePaced(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpec, flows int, ratePps float64) (*Source, error) {
 	if flows < 1 {
 		flows = 1
 	}
@@ -55,8 +69,35 @@ func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpe
 	go func() {
 		defer close(app.done)
 		batch := make([]*mempool.Buf, app.batch)
+		credits := 0.0
+		last := time.Now()
 		for !app.stop.Load() {
-			n := pool.GetBatch(batch)
+			if s.paused.Load() {
+				drain(port)
+				last = time.Now()
+				credits = 0
+				runtime.Gosched()
+				continue
+			}
+			want := app.batch
+			if ratePps > 0 {
+				now := time.Now()
+				credits += now.Sub(last).Seconds() * ratePps
+				last = now
+				if cap := float64(2 * app.batch); credits > cap {
+					credits = cap
+				}
+				if credits < 1 {
+					if drain(port) == 0 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				if want > int(credits) {
+					want = int(credits)
+				}
+			}
+			n := pool.GetBatch(batch[:want])
 			if n == 0 {
 				// Pool exhausted: the chain is saturated. Yield instead of
 				// spinning — on few-core hosts a spinning source starves the
@@ -78,6 +119,9 @@ func NewSource(name string, port *dpdkr.PMD, pool *mempool.Pool, spec pkt.UDPSpe
 				mempool.FreeBatch(batch[sent:n])
 			}
 			s.Sent.Add(uint64(sent))
+			if ratePps > 0 {
+				credits -= float64(sent)
+			}
 			if sent == 0 {
 				// Ring full: back off until the downstream consumer runs.
 				if drain(port) == 0 {

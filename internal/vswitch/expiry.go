@@ -38,6 +38,13 @@ func (s *Switch) sweeper(interval time.Duration, stop <-chan struct{}) {
 			return
 		case now := <-t.C:
 			s.table.Rerank()
+			// Attached connection tables expire on the same tick: the sweeper
+			// only death-marks idle entries (per-entry atomics); the owning
+			// VNF goroutines reclaim them lazily, exactly as the lookup
+			// caches scrub death-marked flows.
+			for _, ct := range s.ConntrackTables() {
+				ct.Expire(now)
+			}
 			for _, e := range s.table.Expire(now) {
 				if e.Flow.Flags&flow.SendFlowRemoved == 0 {
 					continue

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ovshighway/internal/conntrack"
 	"ovshighway/internal/dpdkr"
 	"ovshighway/internal/flow"
 	"ovshighway/internal/mempool"
@@ -317,6 +318,47 @@ type Switch struct {
 	// flowlet gate. Rate-bounded per flow, so this stays cold even under
 	// sustained congestion.
 	ECMPRepicks atomic.Uint64
+
+	// conntracks is the copy-on-write list of attached connection tables:
+	// their idle expiry rides the flow-table sweeper (same death-mark
+	// semantics as cached flows), and their counters fold into
+	// DatapathStats. A Switch-level field, so attached tables — like the
+	// flow table itself — survive Restart, which is exactly the "state is
+	// node-local, rules are reconciled" split the stateful VNFs depend on.
+	ctMu       sync.Mutex
+	conntracks atomic.Pointer[[]*conntrack.Table]
+}
+
+// AttachConntrack registers a connection table with the switch: the expiry
+// sweeper drives its idle timeout and DatapathStats reports its counters.
+// Attaching is idempotent per table.
+func (s *Switch) AttachConntrack(t *conntrack.Table) {
+	if t == nil {
+		return
+	}
+	s.ctMu.Lock()
+	defer s.ctMu.Unlock()
+	var cur []*conntrack.Table
+	if p := s.conntracks.Load(); p != nil {
+		cur = *p
+	}
+	for _, have := range cur {
+		if have == t {
+			return
+		}
+	}
+	next := make([]*conntrack.Table, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = t
+	s.conntracks.Store(&next)
+}
+
+// ConntrackTables returns the attached connection tables (read-only snapshot).
+func (s *Switch) ConntrackTables() []*conntrack.Table {
+	if p := s.conntracks.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // New builds a stopped switch; call Start to launch the PMD threads.
@@ -675,6 +717,12 @@ type DatapathStats struct {
 	// snapshot-and-Delta yields both cache behaviour and load placement.
 	PMDs   []PMDLoad
 	Queues []QueueLoad
+	// Conntrack aggregates the attached connection tables' counters;
+	// ConntrackShards carries the per-shard (= per-PMD, by the Hash2
+	// alignment) split, so windowed views show where connection state
+	// actually lives.
+	Conntrack       conntrack.Stats
+	ConntrackShards []conntrack.Stats
 }
 
 // Delta returns the counter movement since an earlier snapshot — the
@@ -689,6 +737,16 @@ func (s DatapathStats) Delta(prev DatapathStats) DatapathStats {
 		DedupHits:        s.DedupHits - prev.DedupHits,
 		ParseErrors:      s.ParseErrors - prev.ParseErrors,
 		ECMPRepicks:      s.ECMPRepicks - prev.ECMPRepicks,
+		Conntrack:        s.Conntrack.Delta(prev.Conntrack),
+	}
+	if len(s.ConntrackShards) > 0 {
+		out.ConntrackShards = make([]conntrack.Stats, len(s.ConntrackShards))
+		for i, st := range s.ConntrackShards {
+			if i < len(prev.ConntrackShards) {
+				st = st.Delta(prev.ConntrackShards[i])
+			}
+			out.ConntrackShards[i] = st
+		}
 	}
 	if len(s.PMDs) > 0 {
 		out.PMDs = make([]PMDLoad, len(s.PMDs))
@@ -742,7 +800,7 @@ func (s *Switch) DatapathStats() DatapathStats {
 	if tableMisses > misses {
 		tableMisses = misses
 	}
-	return DatapathStats{
+	out := DatapathStats{
 		EMC:              s.EMCStats(),
 		SMC:              s.SMCStats(),
 		ClassifierHits:   misses - tableMisses,
@@ -753,4 +811,14 @@ func (s *Switch) DatapathStats() DatapathStats {
 		PMDs:             s.PMDLoads(),
 		Queues:           s.QueueLoads(),
 	}
+	for _, ct := range s.ConntrackTables() {
+		out.Conntrack.Add(ct.Stats())
+		for i, ss := range ct.ShardStats() {
+			if i == len(out.ConntrackShards) {
+				out.ConntrackShards = append(out.ConntrackShards, conntrack.Stats{})
+			}
+			out.ConntrackShards[i].Add(ss)
+		}
+	}
+	return out
 }
