@@ -20,7 +20,9 @@
 // exactly as flow-table removal death-marks cached flows, and the owning
 // writer reclaims dead entries lazily — on probe contact and via an
 // amortized clock hand on insert. A dead entry is never served: Lookup
-// treats anything but Live as a miss.
+// treats anything but Live as a miss, and Peek — the side-effect-free
+// control-plane probe that leaves the idle clock and the stats untouched —
+// does the same.
 package conntrack
 
 import (
@@ -278,6 +280,19 @@ func (t *Table) shardOf(h uint32) *shard {
 	return t.shards[h%uint32(len(t.shards))]
 }
 
+// homeSlot derives a bucket home index for hash h. The shard pick consumes
+// the hash's low bits (h % shards, pinned to the RSS modulus), so with a
+// power-of-two shard count every key in a shard shares those bits — masking
+// the raw hash would leave only 1/shards of the bucket array reachable as
+// home positions, clustering entries and multiplying probe-chain lengths.
+// A multiply-shift remix spreads home slots over the whole array while
+// leaving the shard pick, and its PMD alignment, untouched.
+func homeSlot(h, mask uint32) uint32 {
+	x := h * 0x9e3779b1 // odd golden-ratio constant; fold high bits down
+	x ^= x >> 16
+	return x & mask
+}
+
 // Lookup finds the live entry for k, bumping its idle clock to nowNano and
 // its hit counter. Zero-alloc, lock-free; must be called from the shard's
 // owning goroutine. Returns nil on miss — including death-marked entries: a
@@ -285,7 +300,7 @@ func (t *Table) shardOf(h uint32) *shard {
 func (t *Table) Lookup(k Key, nowNano int64) *Entry {
 	h := HashKey(k)
 	sh := t.shardOf(h)
-	i := h & sh.mask
+	i := homeSlot(h, sh.mask)
 	for {
 		bi := sh.buckets[i]
 		if bi == bucketEmpty {
@@ -314,6 +329,35 @@ func (t *Table) Lookup(k Key, nowNano int64) *Entry {
 	return nil
 }
 
+// Peek returns the live entry for k with no side effects: no idle-clock
+// refresh, no hit counter, no stats movement, no carcass reclaim. It exists
+// for control-plane probes — NAT44's port reclaim must ask "is this binding
+// still live?" without resetting the very idle clock the sweeper expires on
+// (a Lookup-based probe called with any period shorter than IdleTimeout
+// would keep every binding eternally fresh). Keep Lookup for datapath hits.
+// Owner goroutine only: it reads the shard's buckets non-atomically.
+func (t *Table) Peek(k Key) *Entry {
+	h := HashKey(k)
+	sh := t.shardOf(h)
+	i := homeSlot(h, sh.mask)
+	for {
+		bi := sh.buckets[i]
+		if bi == bucketEmpty {
+			return nil
+		}
+		if bi != bucketDead {
+			e := &t.arena[bi]
+			if e.hash == h && e.key == k {
+				if e.state.Load() == stateLive {
+					return e
+				}
+				return nil // death-marked: never served, but left for reclaim
+			}
+		}
+		i = (i + 1) & sh.mask
+	}
+}
+
 // Insert admits a new connection for k and returns its entry, or nil if the
 // key is already live or the shard's arena share is exhausted. The caller
 // fills the VNF payload fields on the returned entry. Zero-alloc; owner
@@ -327,7 +371,7 @@ func (t *Table) Insert(k Key, nowNano int64) *Entry {
 	t.reclaimStep(sh, 4)
 retry:
 	firstDead := int32(-1)
-	i := h & sh.mask
+	i := homeSlot(h, sh.mask)
 	for {
 		bi := sh.buckets[i]
 		if bi == bucketEmpty {
@@ -396,7 +440,7 @@ retry:
 func (t *Table) Remove(k Key) bool {
 	h := HashKey(k)
 	sh := t.shardOf(h)
-	i := h & sh.mask
+	i := homeSlot(h, sh.mask)
 	for {
 		bi := sh.buckets[i]
 		if bi == bucketEmpty {
@@ -485,7 +529,7 @@ func (t *Table) compact(sh *shard) {
 	sh.tombs = 0
 	for _, bi := range live {
 		e := &t.arena[bi]
-		i := e.hash & sh.mask
+		i := homeSlot(e.hash, sh.mask)
 		for sh.buckets[i] != bucketEmpty {
 			i = (i + 1) & sh.mask
 		}

@@ -311,6 +311,76 @@ func TestQuickConntrackOracle(t *testing.T) {
 	}
 }
 
+// TestConntrackPeek pins the side-effect-free contract of the control-plane
+// probe: no idle-clock refresh, no packet counter, no stats movement — the
+// exact properties NAT44's port reclaim depends on (a Lookup-based probe
+// would keep every binding eternally fresh).
+func TestConntrackPeek(t *testing.T) {
+	ct, err := New(Config{Shards: 4, Capacity: 256, IdleTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	k := mkKey(1)
+	if ct.Peek(k) != nil {
+		t.Fatal("peek on empty table hit")
+	}
+	e := ct.Insert(k, now)
+	if e == nil {
+		t.Fatal("insert failed")
+	}
+	before := ct.Stats()
+	for i := 0; i < 10; i++ {
+		if ct.Peek(k) != e {
+			t.Fatal("peek missed a live entry")
+		}
+	}
+	if e.LastSeen() != now {
+		t.Fatalf("peek refreshed the idle clock: %d != %d", e.LastSeen(), now)
+	}
+	if e.Packets != 0 {
+		t.Fatalf("peek counted packets: %d", e.Packets)
+	}
+	if after := ct.Stats(); after != before {
+		t.Fatalf("peek moved stats: %+v -> %+v", before, after)
+	}
+	// A death-marked entry peeks as nil even before the owner reclaims it.
+	if ct.Expire(time.Unix(0, now).Add(2*time.Second)) != 1 {
+		t.Fatal("expire missed the idle entry")
+	}
+	if ct.Peek(k) != nil {
+		t.Fatal("peek served a death-marked entry")
+	}
+	if err := ct.CheckShardSums(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConntrackHomeSlotSpread guards the shard-vs-bucket bit split: the
+// shard pick consumes the hash's low bits (h % shards), so with a
+// power-of-two shard count every key in one shard shares them — a home slot
+// masked from the raw hash could only reach 1/shards of the bucket array.
+// The remixed home slot must reach (nearly) all of it.
+func TestConntrackHomeSlotSpread(t *testing.T) {
+	const shards = 4
+	const mask = 1<<10 - 1
+	seen := map[uint32]bool{}
+	n := 0
+	for i := 0; n < 4096; i++ {
+		h := HashKey(mkKey(i))
+		if h%shards != 0 {
+			continue // keep one shard's key population
+		}
+		n++
+		seen[homeSlot(h, mask)] = true
+	}
+	// 4096 draws over 1024 slots reach ~1000 distinct ones if uniform; the
+	// raw-mask scheme caps at 256.
+	if len(seen) <= (mask+1)/shards {
+		t.Fatalf("home slots clustered: %d distinct of %d reachable", len(seen), mask+1)
+	}
+}
+
 // TestConntrackShardAlignment pins the shard pick to the RSS queue formula:
 // shard = Hash2 % shards, the same modulus the guest-side RSS fan-out uses.
 func TestConntrackShardAlignment(t *testing.T) {

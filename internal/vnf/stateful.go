@@ -56,6 +56,29 @@ type NAT44Config struct {
 	// Table is the conntrack table translations live in. Its IdleTimeout
 	// bounds how long an idle binding holds its port.
 	Table *conntrack.Table
+	// Linger is the TIME_WAIT-style hold-down between observing a full TCP
+	// close (a FIN from each direction, or a RST) and releasing the external
+	// port. The binding keeps translating through the hold-down — the peer's
+	// FIN/ACK, the final ACK and any retransmits still flow — and the port
+	// cannot be remapped while the remote endpoint may still legitimately
+	// transmit to it. Zero takes the 2s default.
+	Linger time.Duration
+}
+
+// natDefaultLinger is the default NAT44Config.Linger.
+const natDefaultLinger = 2 * time.Second
+
+// Close-handshake progress bits, one set per allocated port (closeFl).
+const (
+	closeFinIn  uint8 = 1 << iota // FIN seen from the inside host
+	closeFinOut                   // FIN seen from the outside peer
+	closeQueued                   // close complete; port lingering toward release
+)
+
+// portLinger is one closed binding awaiting its hold-down expiry.
+type portLinger struct {
+	port     uint16
+	deadline int64 // UnixNano after which the port may be released
 }
 
 // NAT44 is the stateful source-NAT VNF: port 0 faces inside, port 1 faces
@@ -67,9 +90,17 @@ type NAT44 struct {
 	// binding[i] is the inside→outside tuple holding port PortBase+i, valid
 	// when bound[i]; lets ReclaimExpired release ports whose conntrack
 	// entries the sweeper idled out (owner goroutine only).
-	binding   []conntrack.Key
-	bound     []bool
-	Bound     atomic.Uint64
+	binding []conntrack.Key
+	bound   []bool
+	// closeFl[i] tracks the TCP close handshake of the binding on port
+	// PortBase+i; lingerQ is a FIFO ring (closeQueued guarantees at most one
+	// slot per port, so PortCount slots never overflow) of close-complete
+	// ports riding out the Linger hold-down. Owner goroutine only.
+	closeFl    []uint8
+	lingerQ    []portLinger
+	lingerHead int
+	lingerLen  int
+	Bound      atomic.Uint64
 	Unbound   atomic.Uint64
 	Exhausted atomic.Uint64 // drops: port block empty or table full
 	Unsolicit atomic.Uint64 // drops: outside packet with no binding
@@ -90,11 +121,16 @@ func NewNAT44(name string, inside, outside *dpdkr.PMD, pool *mempool.Pool, cfg N
 	if cfg.PortCount <= 0 || int(cfg.PortBase)+cfg.PortCount > 0x10000 {
 		return nil, nil, fmt.Errorf("nat44 %s: bad port block [%d,+%d)", name, cfg.PortBase, cfg.PortCount)
 	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = natDefaultLinger
+	}
 	n := &NAT44{
 		cfg:      cfg,
 		portFree: make([]uint16, 0, cfg.PortCount),
 		binding:  make([]conntrack.Key, cfg.PortCount),
 		bound:    make([]bool, cfg.PortCount),
+		closeFl:  make([]uint8, cfg.PortCount),
+		lingerQ:  make([]portLinger, cfg.PortCount),
 	}
 	for i := cfg.PortCount - 1; i >= 0; i-- {
 		n.portFree = append(n.portFree, cfg.PortBase+uint16(i))
@@ -103,6 +139,7 @@ func NewNAT44(name string, inside, outside *dpdkr.PMD, pool *mempool.Pool, cfg N
 	var parser pkt.Parser
 	handler := func(ctx *Ctx, inPort int, bufs []*mempool.Buf) {
 		now := time.Now().UnixNano()
+		n.drainLinger(ct, now)
 		keep := bufs[:0]
 		for _, b := range bufs {
 			if parser.Parse(b.Bytes()) != nil || !parser.Decoded.Has(pkt.LayerIPv4) {
@@ -177,7 +214,7 @@ func (n *NAT44) outbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, n
 		e = fwd
 	}
 	xip, xport := e.XlateIP, e.XlatePort
-	closing := n.observeTCP(p, e)
+	fin, rst := observeTCP(p, e)
 	p.IPv4.SetSrc(xip)
 	if p.Decoded.Has(pkt.LayerUDP) {
 		p.UDP.SetSrcPort(xport)
@@ -186,8 +223,8 @@ func (n *NAT44) outbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, n
 	}
 	p.IPv4.UpdateChecksum()
 	fixupL4(p)
-	if closing {
-		n.unbind(ct, ft, xport)
+	if fin || rst {
+		n.noteClose(xport, closeFinIn, rst, now)
 	}
 	return true
 }
@@ -203,7 +240,7 @@ func (n *NAT44) inbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, no
 	}
 	insideIP, insidePort := e.XlateIP, e.XlatePort
 	extPort := ft.DstPort
-	closing := n.observeTCP(p, e)
+	fin, rst := observeTCP(p, e)
 	p.IPv4.SetDst(insideIP)
 	if p.Decoded.Has(pkt.LayerUDP) {
 		p.UDP.SetDstPort(insidePort)
@@ -212,67 +249,116 @@ func (n *NAT44) inbound(ct *conntrack.Table, p *pkt.Parser, ft conntrack.Key, no
 	}
 	p.IPv4.UpdateChecksum()
 	fixupL4(p)
-	if closing {
-		// ft is the reverse key; reconstruct the forward tuple from the
-		// binding to retire both directions and release the block port.
-		fwd := conntrack.Key{Src: insideIP, Dst: ft.Src, SrcPort: insidePort, DstPort: ft.SrcPort, Proto: ft.Proto}
-		n.unbind(ct, fwd, extPort)
+	if fin || rst {
+		n.noteClose(extPort, closeFinOut, rst, now)
 	}
 	return true
 }
 
 // observeTCP advances the coarse TCP lifecycle on e and reports whether the
-// packet ends the connection (FIN or RST).
-func (n *NAT44) observeTCP(p *pkt.Parser, e *conntrack.Entry) bool {
+// packet carries a FIN or RST.
+func observeTCP(p *pkt.Parser, e *conntrack.Entry) (fin, rst bool) {
 	if !p.Decoded.Has(pkt.LayerTCP) {
-		return false
+		return false, false
 	}
 	f := p.TCP.Flags()
 	switch {
-	case f&(pkt.TCPFin|pkt.TCPRst) != 0:
+	case f&pkt.TCPRst != 0:
 		e.TCPState = conntrack.TCPClosing
-		return true
+		return false, true
+	case f&pkt.TCPFin != 0:
+		e.TCPState = conntrack.TCPClosing
+		return true, false
 	case f&pkt.TCPAck != 0 && e.TCPState == conntrack.TCPOpening:
 		e.TCPState = conntrack.TCPOpen
 	}
-	return false
+	return false, false
+}
+
+// noteClose records close-handshake progress on the binding holding port:
+// dir is the direction bit the FIN was seen from; a RST counts for both
+// directions (the connection is dead both ways). Once both directions have
+// closed, the port enters the linger queue — the binding keeps translating
+// (FIN/ACKs, the final ACK, retransmits) until drainLinger retires it after
+// the hold-down, so the port is never remapped while the remote endpoint
+// may still legitimately transmit. Owner goroutine only.
+func (n *NAT44) noteClose(port uint16, dir uint8, rst bool, now int64) {
+	i := int(port) - int(n.cfg.PortBase)
+	if i < 0 || i >= len(n.bound) || !n.bound[i] {
+		return
+	}
+	if rst {
+		n.closeFl[i] |= closeFinIn | closeFinOut
+	} else {
+		n.closeFl[i] |= dir
+	}
+	const bothFins = closeFinIn | closeFinOut
+	if n.closeFl[i]&bothFins != bothFins || n.closeFl[i]&closeQueued != 0 {
+		return
+	}
+	n.closeFl[i] |= closeQueued
+	slot := (n.lingerHead + n.lingerLen) % len(n.lingerQ)
+	n.lingerQ[slot] = portLinger{port: port, deadline: now + n.cfg.Linger.Nanoseconds()}
+	n.lingerLen++
+}
+
+// drainLinger unbinds the closed ports whose hold-down elapsed. Deadlines
+// are enqueued in arrival order, so the scan stops at the first live one.
+// Owner goroutine only.
+func (n *NAT44) drainLinger(ct *conntrack.Table, now int64) {
+	for n.lingerLen > 0 {
+		le := n.lingerQ[n.lingerHead]
+		if le.deadline > now {
+			return
+		}
+		n.lingerHead = (n.lingerHead + 1) % len(n.lingerQ)
+		n.lingerLen--
+		n.unbind(ct, n.binding[le.port-n.cfg.PortBase], le.port)
+	}
 }
 
 // unbind retires a binding: both conntrack directions plus the block port.
-// fwd is the inside→outside tuple; extPort the allocated external port.
+// fwd is the inside→outside tuple; extPort the allocated external port. The
+// conntrack entries may already be sweeper-expired carcasses — the bound
+// record, not the table, is authoritative for whether the port is held.
 func (n *NAT44) unbind(ct *conntrack.Table, fwd conntrack.Key, extPort uint16) {
 	rk := conntrack.Key{Src: fwd.Dst, Dst: n.cfg.ExtIP, SrcPort: fwd.DstPort, DstPort: extPort, Proto: fwd.Proto}
-	removed := ct.Remove(fwd)
+	ct.Remove(fwd)
 	ct.Remove(rk)
-	if removed && n.bound[extPort-n.cfg.PortBase] {
-		n.bound[extPort-n.cfg.PortBase] = false
+	i := extPort - n.cfg.PortBase
+	if n.bound[i] {
+		n.bound[i] = false
+		n.closeFl[i] = 0
 		n.portFree = append(n.portFree, extPort)
 		n.Unbound.Add(1)
 	}
 }
 
 // ReclaimExpired releases block ports whose bindings the expiry sweeper
-// death-marked (idle connections that never sent a FIN). The conntrack
-// table cannot release NAT ports itself — the block freelist is owner
-// state — so the owner calls this periodically (cheap: one lookup per
-// outstanding allocation). Must run on the app goroutine or with the app
-// stopped. Returns the number of ports freed.
+// death-marked (idle connections that never sent a FIN), and drains any
+// close-lingered ports whose hold-down elapsed. The conntrack table cannot
+// release NAT ports itself — the block freelist is owner state — so the
+// owner calls this periodically (cheap: one probe per outstanding
+// allocation). Must run on the app goroutine or with the app stopped.
+// Returns the number of ports freed.
 func (n *NAT44) ReclaimExpired(ct *conntrack.Table, now int64) int {
 	freed := 0
+	before := n.lingerLen
+	n.drainLinger(ct, now)
+	freed += before - n.lingerLen
 	for i := range n.bound {
-		if !n.bound[i] {
-			continue
+		if !n.bound[i] || n.closeFl[i]&closeQueued != 0 {
+			continue // free, or owned by the linger queue
 		}
 		fwd := n.binding[i]
-		if ct.Lookup(fwd, now) != nil {
+		// Peek, not Lookup: a counting probe would refresh the entry's idle
+		// clock and keep every binding eternally fresh, defeating the very
+		// expiry this reclaim rides on.
+		if ct.Peek(fwd) != nil {
 			continue // still live
 		}
-		port := n.cfg.PortBase + uint16(i)
-		// Retire the reverse carcass too, then release the port.
-		ct.Remove(conntrack.Key{Src: fwd.Dst, Dst: n.cfg.ExtIP, SrcPort: fwd.DstPort, DstPort: port, Proto: fwd.Proto})
-		n.bound[i] = false
-		n.portFree = append(n.portFree, port)
-		n.Unbound.Add(1)
+		// Retire both carcasses and release the port.
+		n.unbind(ct, fwd, n.cfg.PortBase+uint16(i))
 		freed++
 	}
 	return freed
@@ -361,9 +447,15 @@ func NewACL(name string, in, out *dpdkr.PMD, pool *mempool.Pool, ct *conntrack.T
 				continue
 			}
 			if ok {
-				// Track both directions so return traffic bypasses too.
+				// Track both directions so return traffic bypasses too. If
+				// only the forward entry fits, roll it back: a half-tracked
+				// connection would serve forward packets from the bypass
+				// while replies — matching no forward-direction rule — are
+				// denied. Untracked, the connection keeps re-walking the
+				// classifier and retries tracking once the table has room.
 				if fe := ct.Insert(ft, now); fe != nil {
 					if ct.Insert(reverseKey(ft), now) == nil {
+						ct.Remove(ft)
 						a.TableFull.Add(1)
 					}
 				} else {

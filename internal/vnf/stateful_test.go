@@ -134,8 +134,9 @@ func TestNAT44TCPLifecycle(t *testing.T) {
 	in, out, pmdIn, pmdOut := hostPair(t)
 	ct := ctTable(t, 1, 256)
 	extIP := pkt.IP4{192, 0, 2, 1}
+	const linger = 100 * time.Millisecond
 	app, nat, err := NewNAT44("nat", pmdIn, pmdOut, pl, NAT44Config{
-		ExtIP: extIP, PortBase: 40000, PortCount: 4, Table: ct,
+		ExtIP: extIP, PortBase: 40000, PortCount: 4, Table: ct, Linger: linger,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,12 +163,14 @@ func TestNAT44TCPLifecycle(t *testing.T) {
 	if pkt.L4Checksum(p.IPv4.Src(), p.IPv4.Dst(), pkt.ProtoTCP, seg) != 0 {
 		t.Fatal("TCP checksum invalid after NAT")
 	}
+	extPort := p.TCP.SrcPort()
 	b.Free()
 	if nat.PortsFree() != 3 {
 		t.Fatalf("ports free %d after SYN", nat.PortsFree())
 	}
 
-	// FIN tears the binding down and releases the port.
+	// The inside host's FIN alone must NOT release the port: the peer's
+	// FIN/ACK and the final ACK are still in flight.
 	fin := syn
 	fin.Flags = pkt.TCPFin | pkt.TCPAck
 	in.Send([]*mempool.Buf{tcpFrame(t, pl, fin)})
@@ -176,16 +179,99 @@ func TestNAT44TCPLifecycle(t *testing.T) {
 		t.Fatal("FIN lost")
 	}
 	b.Free()
-	// The app goroutine frees the port after forwarding; poll briefly.
-	deadline := time.Now().Add(time.Second)
-	for nat.PortsFree() != 4 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	if nat.PortsFree() != 3 || nat.Unbound.Load() != 0 {
+		t.Fatalf("half-closed binding released: free=%d unbound=%d",
+			nat.PortsFree(), nat.Unbound.Load())
 	}
-	if nat.PortsFree() != 4 {
-		t.Fatalf("port not released on FIN: free=%d", nat.PortsFree())
+
+	// The peer's FIN/ACK still translates through the binding (the old
+	// first-FIN teardown dropped it as unsolicited).
+	peerFin := pkt.TCPSpec{
+		SrcMAC: spec.DstMAC, DstMAC: spec.SrcMAC,
+		SrcIP: spec.DstIP, DstIP: extIP,
+		SrcPort: 6000, DstPort: extPort, Flags: pkt.TCPFin | pkt.TCPAck,
 	}
-	if nat.Unbound.Load() != 1 {
-		t.Fatalf("unbound=%d", nat.Unbound.Load())
+	out.Send([]*mempool.Buf{tcpFrame(t, pl, peerFin)})
+	b = recvHost(in, time.Second)
+	if b == nil {
+		t.Fatal("peer FIN/ACK dropped as unsolicited")
+	}
+	p = parse(t, b)
+	if p.IPv4.Dst() != spec.SrcIP || p.TCP.DstPort() != 5000 {
+		t.Fatalf("peer FIN not untranslated: %v:%d", p.IPv4.Dst(), p.TCP.DstPort())
+	}
+	b.Free()
+
+	// So does the final ACK. Both FINs are now seen: the port is lingering,
+	// still held.
+	ack := syn
+	ack.Flags = pkt.TCPAck
+	in.Send([]*mempool.Buf{tcpFrame(t, pl, ack)})
+	b = recvHost(out, time.Second)
+	if b == nil {
+		t.Fatal("final ACK dropped")
+	}
+	b.Free()
+	app.Stop()
+	if nat.PortsFree() != 3 {
+		t.Fatalf("port released before linger: free=%d", nat.PortsFree())
+	}
+	if freed := nat.ReclaimExpired(ct, time.Now().UnixNano()); freed != 0 {
+		t.Fatalf("reclaim released %d lingering ports before the hold-down", freed)
+	}
+	// Past the hold-down the port comes back.
+	if freed := nat.ReclaimExpired(ct, time.Now().Add(2*linger).UnixNano()); freed != 1 {
+		t.Fatalf("reclaimed %d ports after linger, want 1", freed)
+	}
+	if nat.PortsFree() != 4 || nat.Unbound.Load() != 1 {
+		t.Fatalf("after linger: free=%d unbound=%d", nat.PortsFree(), nat.Unbound.Load())
+	}
+}
+
+// TestNAT44RSTLinger pins the abort path: a RST ends the connection both
+// ways at once, but the port still rides out the hold-down before reuse.
+func TestNAT44RSTLinger(t *testing.T) {
+	pl := pool(t)
+	in, out, pmdIn, pmdOut := hostPair(t)
+	ct := ctTable(t, 1, 256)
+	const linger = 100 * time.Millisecond
+	app, nat, err := NewNAT44("nat", pmdIn, pmdOut, pl, NAT44Config{
+		ExtIP: pkt.IP4{192, 0, 2, 1}, PortBase: 41000, PortCount: 2, Table: ct, Linger: linger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start()
+	defer app.Stop()
+
+	syn := pkt.TCPSpec{
+		SrcMAC: spec.SrcMAC, DstMAC: spec.DstMAC,
+		SrcIP: spec.SrcIP, DstIP: spec.DstIP,
+		SrcPort: 5001, DstPort: 6000, Flags: pkt.TCPSyn,
+	}
+	in.Send([]*mempool.Buf{tcpFrame(t, pl, syn)})
+	b := recvHost(out, time.Second)
+	if b == nil {
+		t.Fatal("SYN lost")
+	}
+	b.Free()
+	rst := syn
+	rst.Flags = pkt.TCPRst
+	in.Send([]*mempool.Buf{tcpFrame(t, pl, rst)})
+	b = recvHost(out, time.Second)
+	if b == nil {
+		t.Fatal("RST lost")
+	}
+	b.Free()
+	app.Stop()
+	if nat.PortsFree() != 1 {
+		t.Fatalf("port released on RST with no hold-down: free=%d", nat.PortsFree())
+	}
+	if freed := nat.ReclaimExpired(ct, time.Now().Add(2*linger).UnixNano()); freed != 1 {
+		t.Fatalf("reclaimed %d ports after RST linger, want 1", freed)
+	}
+	if nat.PortsFree() != 2 {
+		t.Fatalf("ports free %d after RST linger", nat.PortsFree())
 	}
 }
 
@@ -296,6 +382,55 @@ func TestACLEstablishedBypass(t *testing.T) {
 	}
 	if acl.Denied.Load() != 1 {
 		t.Fatalf("denied=%d", acl.Denied.Load())
+	}
+}
+
+// TestACLTableFullRollback pins the insert-pair rollback: when the forward
+// entry fits but the reverse doesn't (table full), the forward entry must be
+// rolled back — a half-tracked connection would serve forward packets from
+// the bypass while denying replies, and would never retry tracking.
+func TestACLTableFullRollback(t *testing.T) {
+	pl := pool(t)
+	in, out, pmdIn, pmdOut := hostPair(t)
+	// Capacity 1: the forward insert fits, the reverse cannot.
+	ct := ctTable(t, 1, 1)
+	rules := []ACLRule{{
+		Priority: 100,
+		Match:    flow.MatchAll().WithIPProto(pkt.ProtoUDP).WithL4Dst(6000),
+		Allow:    true,
+	}}
+	app, acl, err := NewACL("acl", pmdIn, pmdOut, pl, ct, rules, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Start()
+	defer app.Stop()
+
+	// The packet is still forwarded (the rule allows it) but the connection
+	// must end up untracked, not half-tracked.
+	in.Send([]*mempool.Buf{frame(t, pl, spec)})
+	b := recvHost(out, time.Second)
+	if b == nil {
+		t.Fatal("allowed packet dropped under table pressure")
+	}
+	b.Free()
+	if acl.TableFull.Load() != 1 {
+		t.Fatalf("tablefull=%d", acl.TableFull.Load())
+	}
+	if live := ct.Live(); live != 0 {
+		t.Fatalf("half-tracked connection left behind: live=%d", live)
+	}
+
+	// The next forward packet re-walks the classifier — no stale bypass hit
+	// on a connection whose replies would be denied.
+	in.Send([]*mempool.Buf{frame(t, pl, spec)})
+	b = recvHost(out, time.Second)
+	if b == nil {
+		t.Fatal("second packet dropped")
+	}
+	b.Free()
+	if acl.Walked.Load() != 2 || acl.Established.Load() != 0 {
+		t.Fatalf("walked=%d established=%d", acl.Walked.Load(), acl.Established.Load())
 	}
 }
 
